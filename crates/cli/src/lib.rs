@@ -1,0 +1,479 @@
+//! Command implementations and argument parsing for the `ifet` CLI.
+//!
+//! Subcommands:
+//! - `generate <dataset> --out DIR [--dims N] [--seed S]` — write one of the
+//!   five synthetic 4D datasets as raw bricks (+ ground-truth sidecars),
+//! - `info --data DIR` — inventory a series on disk,
+//! - `train-iatf --data DIR --key T:LO:HI ... --out FILE` — train the
+//!   adaptive transfer function from key-frame value bands,
+//! - `render --data DIR --step T (--iatf FILE | --band LO:HI) --out FILE.ppm`
+//!   — ray-cast one frame,
+//! - `track --data DIR --seed X,Y,Z (--iatf FILE --tau V | --band LO:HI)`
+//!   — 4D region growing with an adaptive or fixed criterion; prints the
+//!   per-frame voxel counts and events.
+
+use ifet_core::prelude::*;
+use ifet_tf::Iatf;
+use ifet_volume::io::{read_series, write_series};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Parsed command line: subcommand, positional args, `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    pub command: String,
+    pub positional: Vec<String>,
+    pub options: HashMap<String, Vec<String>>,
+}
+
+/// Parse raw arguments (after the binary name). `--flag v` options may
+/// repeat; repeated values accumulate.
+pub fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut it = raw.iter().peekable();
+    let command = it.next().ok_or("missing subcommand")?.clone();
+    let mut positional = Vec::new();
+    let mut options: HashMap<String, Vec<String>> = HashMap::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{name} needs a value"))?;
+            options.entry(name.to_string()).or_default().push(value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args {
+        command,
+        positional,
+        options,
+    })
+}
+
+impl Args {
+    /// Single-valued option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(|s| s.as_str())
+    }
+
+    /// Required single-valued option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.opt(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// All values of a repeatable option.
+    pub fn all(&self, name: &str) -> &[String] {
+        self.options.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("invalid --{name}: {s:?}")),
+        }
+    }
+}
+
+/// Parse `T:LO:HI` key-frame specs.
+pub fn parse_key_spec(s: &str) -> Result<(u32, f32, f32), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("key spec must be T:LO:HI, got {s:?}"));
+    }
+    let t = parts[0].parse().map_err(|_| format!("bad step in {s:?}"))?;
+    let lo = parts[1].parse().map_err(|_| format!("bad lo in {s:?}"))?;
+    let hi: f32 = parts[2].parse().map_err(|_| format!("bad hi in {s:?}"))?;
+    if hi <= lo {
+        return Err(format!("key spec {s:?}: hi must exceed lo"));
+    }
+    Ok((t, lo, hi))
+}
+
+/// Parse `X,Y,Z` voxel coordinates.
+pub fn parse_voxel(s: &str) -> Result<(usize, usize, usize), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("voxel must be X,Y,Z, got {s:?}"));
+    }
+    let p = |i: usize| {
+        parts[i]
+            .parse::<usize>()
+            .map_err(|_| format!("bad coordinate in {s:?}"))
+    };
+    Ok((p(0)?, p(1)?, p(2)?))
+}
+
+/// Parse `LO:HI` bands.
+pub fn parse_band(s: &str) -> Result<(f32, f32), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 2 {
+        return Err(format!("band must be LO:HI, got {s:?}"));
+    }
+    let lo = parts[0].parse().map_err(|_| format!("bad lo in {s:?}"))?;
+    let hi: f32 = parts[1].parse().map_err(|_| format!("bad hi in {s:?}"))?;
+    if hi <= lo {
+        return Err(format!("band {s:?}: hi must exceed lo"));
+    }
+    Ok((lo, hi))
+}
+
+fn load_series(dir: &str) -> Result<TimeSeries, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
+        // Ground-truth companions written by `generate` are not data frames.
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| !n.contains("_truth"))
+                .unwrap_or(true)
+        })
+        .collect();
+    if paths.is_empty() {
+        return Err(format!("no .raw frames in {dir}"));
+    }
+    paths.sort();
+    read_series(&paths).map_err(|e| format!("failed to load series: {e}"))
+}
+
+/// `generate` subcommand.
+pub fn cmd_generate(args: &Args) -> Result<String, String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("generate needs a dataset name")?;
+    let out = args.require("out")?;
+    let n: usize = args.opt_parse("dims", 48usize)?;
+    let seed: u64 = args.opt_parse("seed", 7u64)?;
+    let dims = Dims3::cube(n);
+    let data = match name.as_str() {
+        "shock-bubble" => ifet_sim::shock_bubble(dims, seed),
+        "combustion-jet" => ifet_sim::combustion_jet(dims, seed),
+        "reionization" => ifet_sim::reionization(dims, seed),
+        "turbulent-vortex" => ifet_sim::turbulent_vortex(dims, seed),
+        "swirling-flow" => ifet_sim::swirling_flow(dims, seed),
+        "qg-turbulence" => ifet_sim::qg_turbulence(dims, seed),
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (try shock-bubble, combustion-jet, reionization, turbulent-vortex, swirling-flow)"
+            ))
+        }
+    };
+    let paths = write_series(Path::new(out), &data.name, &data.series)
+        .map_err(|e| format!("write failed: {e}"))?;
+    // Ground-truth masks as 0/1 volumes alongside.
+    let truth_series = TimeSeries::from_frames(
+        data.series
+            .steps()
+            .iter()
+            .zip(&data.truth)
+            .map(|(&t, m)| (t, m.to_volume()))
+            .collect(),
+    );
+    write_series(Path::new(out), &format!("{}_truth", data.name), &truth_series)
+        .map_err(|e| format!("truth write failed: {e}"))?;
+    Ok(format!(
+        "wrote {} frames of {} ({}) + ground truth to {}",
+        paths.len(),
+        data.name,
+        dims,
+        out
+    ))
+}
+
+/// `info` subcommand.
+pub fn cmd_info(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let series = load_series(dir)?;
+    let (lo, hi) = series.global_range();
+    let mut out = format!(
+        "series: {} frames of {}, steps {:?}\nglobal value range [{lo:.4}, {hi:.4}]\n",
+        series.len(),
+        series.dims(),
+        series.steps()
+    );
+    for (t, f) in series.iter() {
+        let (flo, fhi) = f.value_range();
+        out.push_str(&format!(
+            "  t={t:<6} range [{flo:.4}, {fhi:.4}] mean {:.4}\n",
+            f.mean()
+        ));
+    }
+    Ok(out)
+}
+
+/// `train-iatf` subcommand.
+pub fn cmd_train_iatf(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let out = args.require("out")?;
+    let series = load_series(dir)?;
+    let keys = args.all("key");
+    if keys.is_empty() {
+        return Err("train-iatf needs at least one --key T:LO:HI".into());
+    }
+    let (glo, ghi) = series.global_range();
+    let mut session = VisSession::new(series);
+    for k in keys {
+        let (t, lo, hi) = parse_key_spec(k)?;
+        session.add_key_frame(t, TransferFunction1D::band(glo, ghi, lo, hi, 1.0));
+    }
+    let epochs: usize = args.opt_parse("epochs", 600usize)?;
+    session.train_iatf(IatfParams {
+        epochs,
+        ..Default::default()
+    });
+    let iatf = session.iatf().unwrap();
+    let json = serde_json::to_string(iatf).map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trained IATF on {} key frames, final loss {:.5}, saved to {out}",
+        session.key_frames().len(),
+        iatf.final_loss().unwrap_or(f32::NAN)
+    ))
+}
+
+fn load_iatf(path: &str) -> Result<Iatf, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    serde_json::from_str(&json).map_err(|e| format!("bad IATF file: {e}"))
+}
+
+/// `render` subcommand.
+pub fn cmd_render(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let out = args.require("out")?;
+    let t: u32 = args.require("step")?.parse().map_err(|_| "bad --step")?;
+    let size: usize = args.opt_parse("size", 256usize)?;
+    let series = load_series(dir)?;
+    let (glo, ghi) = series.global_range();
+    let session = VisSession::new(series.clone());
+
+    let tf = if let Some(path) = args.opt("iatf") {
+        let iatf = load_iatf(path)?;
+        let frame = series
+            .frame_at_step(t)
+            .ok_or_else(|| format!("step {t} not in series"))?;
+        iatf.generate(t, frame)
+    } else if let Some(band) = args.opt("band") {
+        let (lo, hi) = parse_band(band)?;
+        TransferFunction1D::band(glo, ghi, lo, hi, 0.9)
+    } else {
+        return Err("render needs --iatf FILE or --band LO:HI".into());
+    };
+
+    let img = session.render_with_tf(t, &tf, size, size);
+    img.save_ppm(Path::new(out)).map_err(|e| e.to_string())?;
+    Ok(format!("rendered step {t} at {size}x{size} -> {out}"))
+}
+
+/// `track` subcommand.
+pub fn cmd_track(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let (sx, sy, sz) = parse_voxel(args.require("seed")?)?;
+    let series = load_series(dir)?;
+    let (glo, ghi) = series.global_range();
+    let _ = glo;
+    let session = VisSession::new(series.clone());
+
+    let result = if let Some(path) = args.opt("iatf") {
+        let iatf = load_iatf(path)?;
+        let tau: f32 = args.opt_parse("tau", 0.5f32)?;
+        let tfs: Vec<TransferFunction1D> = series
+            .iter()
+            .map(|(t, frame)| iatf.generate(t, frame))
+            .collect();
+        let criterion = AdaptiveTfCriterion::new(tfs, tau);
+        session.track_with(&criterion, &[(0, sx, sy, sz)])
+    } else if let Some(band) = args.opt("band") {
+        let (lo, hi) = parse_band(band)?;
+        let _ = ghi;
+        session.track_fixed(&[(0, sx, sy, sz)], lo, hi)
+    } else {
+        return Err("track needs --iatf FILE [--tau V] or --band LO:HI".into());
+    };
+
+    let mut out = String::from("t      voxels components\n");
+    for (i, &t) in series.steps().iter().enumerate() {
+        out.push_str(&format!(
+            "{:<6} {:>7} {:>10}\n",
+            t, result.report.voxels_per_frame[i], result.report.components_per_frame[i]
+        ));
+    }
+    out.push_str("events:\n");
+    for e in &result.report.events {
+        out.push_str(&format!(
+            "  t={}: {:?} {:?} -> {:?}\n",
+            series.steps()[e.frame],
+            e.kind,
+            e.before,
+            e.after
+        ));
+    }
+    let _ = session;
+    Ok(out)
+}
+
+/// `suggest-keys` subcommand: where should the user paint key frames?
+pub fn cmd_suggest_keys(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let max: usize = args.opt_parse("max", 4usize)?;
+    let series = load_series(dir)?;
+    let behavior = ifet_tf::classify_behavior(&series, 256, 0.1);
+    let keys = ifet_tf::suggest_key_frames(&series, 256, max, 0.02);
+    Ok(format!(
+        "temporal behaviour: {behavior:?}\nsuggested key frames (paint these): {keys:?}"
+    ))
+}
+
+/// Dispatch a parsed command.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "info" => cmd_info(args),
+        "train-iatf" => cmd_train_iatf(args),
+        "render" => cmd_render(args),
+        "track" => cmd_track(args),
+        "suggest-keys" => cmd_suggest_keys(args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ifet — intelligent feature extraction and tracking for 4D flow data
+
+USAGE:
+  ifet generate <dataset> --out DIR [--dims N] [--seed S]
+  ifet info --data DIR
+  ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
+  ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
+  ifet track --data DIR --seed X,Y,Z (--iatf FILE [--tau V] | --band LO:HI)
+  ifet suggest-keys --data DIR [--max N]
+
+datasets: shock-bubble, combustion-jet, reionization, turbulent-vortex,
+          swirling-flow, qg-turbulence";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_basic_command() {
+        let a = parse_args(&argv("generate shock-bubble --out /tmp/x --dims 32")).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.positional, vec!["shock-bubble"]);
+        assert_eq!(a.opt("out"), Some("/tmp/x"));
+        assert_eq!(a.opt_parse("dims", 0usize).unwrap(), 32);
+        assert_eq!(a.opt_parse("seed", 9u64).unwrap(), 9); // default
+    }
+
+    #[test]
+    fn repeated_options_accumulate() {
+        let a = parse_args(&argv("train-iatf --key 0:1:2 --key 5:2:3 --data d --out o")).unwrap();
+        assert_eq!(a.all("key"), &["0:1:2".to_string(), "5:2:3".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse_args(&argv("render --out")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn key_spec_parsing() {
+        assert_eq!(parse_key_spec("195:0.4:0.9").unwrap(), (195, 0.4, 0.9));
+        assert!(parse_key_spec("195:0.9:0.4").is_err()); // inverted
+        assert!(parse_key_spec("195:0.4").is_err());
+        assert!(parse_key_spec("x:0:1").is_err());
+    }
+
+    #[test]
+    fn voxel_parsing() {
+        assert_eq!(parse_voxel("3,4,5").unwrap(), (3, 4, 5));
+        assert!(parse_voxel("3,4").is_err());
+        assert!(parse_voxel("a,b,c").is_err());
+    }
+
+    #[test]
+    fn band_parsing() {
+        assert_eq!(parse_band("0.5:1.5").unwrap(), (0.5, 1.5));
+        assert!(parse_band("1.5:0.5").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_mentions_usage() {
+        let a = parse_args(&argv("bogus")).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_then_info_and_train_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+
+        let g = parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap();
+        let msg = run(&g).unwrap();
+        assert!(msg.contains("wrote 5 frames"), "{msg}");
+
+        // info: finds frames (including truth volumes, also .raw).
+        let i = parse_args(&argv(&format!("info --data {dirs}"))).unwrap();
+        let info = run(&i).unwrap();
+        assert!(info.contains("frames of 16x16x16"), "{info}");
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn suggest_keys_subcommand() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_sk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(&parse_args(&argv(&format!("suggest-keys --data {dirs} --max 3"))).unwrap())
+            .unwrap();
+        assert!(out.contains("suggested key frames"), "{out}");
+        assert!(out.contains("195"), "endpoints must be included: {out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn render_requires_tf_source() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_r_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate turbulent-vortex --out {dirs} --dims 16"
+        )))
+        .unwrap())
+        .unwrap();
+
+        let r = parse_args(&argv(&format!(
+            "render --data {dirs} --step 50 --out {dirs}/img.ppm"
+        )))
+        .unwrap();
+        assert!(run(&r).unwrap_err().contains("--iatf"));
+
+        let r2 = parse_args(&argv(&format!(
+            "render --data {dirs} --step 50 --band 0.5:2.0 --size 32 --out {dirs}/img.ppm"
+        )))
+        .unwrap();
+        let msg = run(&r2).unwrap();
+        assert!(msg.contains("rendered step 50"), "{msg}");
+        assert!(dir.join("img.ppm").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,19 @@
+//! The `ifet` command-line tool. See [`ifet_cli::USAGE`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match ifet_cli::parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", ifet_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match ifet_cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The interactive visualization session — the headless equivalent of the
+//! paper's multi-view interface (Section 6): key-frame transfer functions,
+//! IATF training, painted data-space extraction, tracking, and rendering,
+//! all against one loaded time series.
+
+use ifet_extract::{ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec};
+use ifet_extract::paint::PaintSet;
+use ifet_render::{render_tracking_overlay, Camera, Image, Renderer};
+use ifet_tf::{ColorMap, Iatf, IatfBuilder, IatfParams, TransferFunction1D};
+use ifet_track::{grow_4d, track_events, AdaptiveTfCriterion, FixedBandCriterion, GrowthCriterion, Seed4, TrackReport};
+use ifet_volume::{Mask3, TimeSeries};
+
+/// Result of a tracking run: per-frame masks plus the event report.
+#[derive(Debug, Clone)]
+pub struct TrackResult {
+    pub masks: Vec<Mask3>,
+    pub report: TrackReport,
+}
+
+/// One loaded dataset plus everything the user has taught the system so far.
+#[derive(Debug, Clone)]
+pub struct VisSession {
+    series: TimeSeries,
+    key_frames: Vec<(u32, TransferFunction1D)>,
+    iatf: Option<Iatf>,
+    iatf_params: IatfParams,
+    paints: Vec<PaintSet>,
+    classifier: Option<DataSpaceClassifier>,
+    pub renderer: Renderer,
+    pub colormap: ColorMap,
+}
+
+impl VisSession {
+    /// Open a session on a time series.
+    pub fn new(series: TimeSeries) -> Self {
+        assert!(!series.is_empty(), "cannot open a session on an empty series");
+        Self {
+            series,
+            key_frames: Vec::new(),
+            iatf: None,
+            iatf_params: IatfParams::default(),
+            paints: Vec::new(),
+            classifier: None,
+            renderer: Renderer::default(),
+            colormap: ColorMap::Rainbow,
+        }
+    }
+
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Suggest time steps worth painting key frames on: the frames whose
+    /// value distributions differ most (farthest-point selection in
+    /// histogram space). The user then supplies TFs only for these.
+    pub fn suggest_key_frames(&self, max_keys: usize) -> Vec<u32> {
+        ifet_tf::suggest_key_frames(&self.series, 256, max_keys, 0.02)
+    }
+
+    /// Classify the series' temporal behaviour (regular / periodic /
+    /// drifting) — drifting data is where the IATF pays off.
+    pub fn temporal_behavior(&self) -> ifet_tf::TemporalBehavior {
+        ifet_tf::classify_behavior(&self.series, 256, 0.1)
+    }
+
+    // ---- Transfer-function-space extraction (paper Section 4.2) ----
+
+    /// Register a user key-frame transfer function. Invalidates any
+    /// previously trained IATF (new user input → retrain).
+    pub fn add_key_frame(&mut self, t: u32, tf: TransferFunction1D) -> &mut Self {
+        assert!(
+            self.series.index_of_step(t).is_some(),
+            "step {t} not in the series"
+        );
+        self.key_frames.push((t, tf));
+        self.iatf = None;
+        self
+    }
+
+    pub fn key_frames(&self) -> &[(u32, TransferFunction1D)] {
+        &self.key_frames
+    }
+
+    /// Train the adaptive transfer function from the current key frames.
+    pub fn train_iatf(&mut self, params: IatfParams) -> &Iatf {
+        assert!(!self.key_frames.is_empty(), "no key frames specified");
+        let mut b = IatfBuilder::new(params);
+        for (t, tf) in &self.key_frames {
+            b.add_key_frame(*t, tf.clone());
+        }
+        self.iatf_params = params;
+        self.iatf = Some(b.train(&self.series));
+        self.iatf.as_ref().unwrap()
+    }
+
+    pub fn iatf(&self) -> Option<&Iatf> {
+        self.iatf.as_ref()
+    }
+
+    /// The adaptive TF for a series step (None until `train_iatf` ran).
+    pub fn adaptive_tf_at_step(&self, t: u32) -> Option<TransferFunction1D> {
+        let iatf = self.iatf.as_ref()?;
+        let frame = self.series.frame_at_step(t)?;
+        Some(iatf.generate(t, frame))
+    }
+
+    /// Adaptive TFs for every frame, in series order.
+    pub fn adaptive_tfs(&self) -> Option<Vec<TransferFunction1D>> {
+        let iatf = self.iatf.as_ref()?;
+        Some(
+            self.series
+                .iter()
+                .map(|(t, frame)| iatf.generate(t, frame))
+                .collect(),
+        )
+    }
+
+    /// The linear-interpolation baseline TF at step `t`: lerp between the
+    /// nearest bracketing key frames (clamped outside their range).
+    pub fn lerp_tf_at_step(&self, t: u32) -> Option<TransferFunction1D> {
+        if self.key_frames.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<&(u32, TransferFunction1D)> = self.key_frames.iter().collect();
+        sorted.sort_by_key(|(kt, _)| *kt);
+        if t <= sorted[0].0 {
+            return Some(sorted[0].1.clone());
+        }
+        if t >= sorted[sorted.len() - 1].0 {
+            return Some(sorted[sorted.len() - 1].1.clone());
+        }
+        let i = sorted.partition_point(|(kt, _)| *kt <= t);
+        let (t0, tf0) = sorted[i - 1];
+        let (t1, tf1) = sorted[i];
+        let alpha = (t - t0) as f32 / (t1 - t0) as f32;
+        Some(TransferFunction1D::lerp(tf0, tf1, alpha))
+    }
+
+    /// Extraction mask at step `t` using a transfer function: voxels whose
+    /// opacity reaches `tau`.
+    pub fn extract_with_tf(&self, t: u32, tf: &TransferFunction1D, tau: f32) -> Mask3 {
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|| panic!("step {t} not in series"));
+        let d = frame.dims();
+        let mut m = Mask3::empty(d);
+        for (i, &v) in frame.as_slice().iter().enumerate() {
+            if tf.opacity_at(v) >= tau {
+                m.set_linear(i, true);
+            }
+        }
+        m
+    }
+
+    // ---- Data-space extraction (paper Section 4.3) ----
+
+    /// Add painted voxels for a frame. Invalidates the trained classifier.
+    pub fn add_paints(&mut self, paints: PaintSet) -> &mut Self {
+        assert!(
+            self.series.index_of_step(paints.step).is_some(),
+            "painted step {} not in series",
+            paints.step
+        );
+        self.paints.push(paints);
+        self.classifier = None;
+        self
+    }
+
+    /// Train the data-space classifier from all paints so far.
+    pub fn train_classifier(&mut self, spec: FeatureSpec, params: ClassifierParams) -> &DataSpaceClassifier {
+        assert!(!self.paints.is_empty(), "no painted samples");
+        let fx = FeatureExtractor::new(spec);
+        self.classifier = Some(DataSpaceClassifier::train(
+            fx,
+            &self.series,
+            &self.paints,
+            params,
+        ));
+        self.classifier.as_ref().unwrap()
+    }
+
+    pub fn classifier(&self) -> Option<&DataSpaceClassifier> {
+        self.classifier.as_ref()
+    }
+
+    /// Data-space extraction mask at step `t` (None until trained).
+    pub fn extract_data_space(&self, t: u32, tau: f32) -> Option<Mask3> {
+        let clf = self.classifier.as_ref()?;
+        let frame = self.series.frame_at_step(t)?;
+        Some(clf.extract_mask(frame, self.series.normalized_time(t), tau))
+    }
+
+    // ---- Tracking (paper Section 5) ----
+
+    /// Track from seeds with the adaptive (IATF) criterion at opacity `tau`.
+    pub fn track_adaptive(&self, seeds: &[Seed4], tau: f32) -> Option<TrackResult> {
+        let tfs = self.adaptive_tfs()?;
+        let criterion = AdaptiveTfCriterion::new(tfs, tau);
+        Some(self.track_with(&criterion, seeds))
+    }
+
+    /// Track from seeds with the conventional fixed value band.
+    pub fn track_fixed(&self, seeds: &[Seed4], lo: f32, hi: f32) -> TrackResult {
+        let criterion = FixedBandCriterion::new(lo, hi, self.series.len());
+        self.track_with(&criterion, seeds)
+    }
+
+    /// Track with an arbitrary criterion.
+    pub fn track_with(&self, criterion: &dyn GrowthCriterion, seeds: &[Seed4]) -> TrackResult {
+        let masks = grow_4d(&self.series, criterion, seeds);
+        let report = track_events(&masks);
+        TrackResult { masks, report }
+    }
+
+    // ---- Rendering (paper Section 7) ----
+
+    /// Default camera framing the volume.
+    pub fn camera(&self) -> Camera {
+        Camera::framing(self.series.dims(), 0.7, 0.35)
+    }
+
+    /// Render frame `t` with an explicit transfer function.
+    pub fn render_with_tf(&self, t: u32, tf: &TransferFunction1D, w: usize, h: usize) -> Image {
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|| panic!("step {t} not in series"));
+        self.renderer
+            .render(frame, tf, self.colormap, &self.camera(), w, h)
+    }
+
+    /// Render frame `t` with the adaptive TF (None until trained). This is
+    /// the per-frame "recalculate the adaptive transfer function, then
+    /// render" loop of Section 7.
+    pub fn render_adaptive(&self, t: u32, w: usize, h: usize) -> Option<Image> {
+        let tf = self.adaptive_tf_at_step(t)?;
+        Some(self.render_with_tf(t, &tf, w, h))
+    }
+
+    /// Maximum-intensity projection of frame `t` (quick overview mode).
+    pub fn render_mip(&self, t: u32, w: usize, h: usize) -> Image {
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|| panic!("step {t} not in series"));
+        self.renderer
+            .render_mip(frame, self.colormap, &self.camera(), w, h)
+    }
+
+    /// Render frame `t` with opacity taken from the data-space classifier's
+    /// certainty field (None until a classifier is trained) — Section 7's
+    /// "classified result ... used to assign opacity to each voxel".
+    pub fn render_classified(&self, t: u32, w: usize, h: usize) -> Option<Image> {
+        let clf = self.classifier.as_ref()?;
+        let frame = self.series.frame_at_step(t)?;
+        let certainty = clf.classify_frame(frame, self.series.normalized_time(t));
+        Some(self.renderer.render_classified(
+            frame,
+            &certainty,
+            self.colormap,
+            &self.camera(),
+            w,
+            h,
+        ))
+    }
+
+    /// Render frame `t` with the tracked feature highlighted in red.
+    pub fn render_tracked(
+        &self,
+        t: u32,
+        tracked: &Mask3,
+        base_tf: &TransferFunction1D,
+        adaptive_tf: &TransferFunction1D,
+        w: usize,
+        h: usize,
+    ) -> Image {
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|| panic!("step {t} not in series"));
+        render_tracking_overlay(
+            &self.renderer,
+            frame,
+            tracked,
+            base_tf,
+            adaptive_tf,
+            self.colormap,
+            &self.camera(),
+            w,
+            h,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifet_volume::{Dims3, ScalarVolume};
+
+    /// Uniform-ramp frames whose values shift irregularly per step.
+    fn series() -> TimeSeries {
+        let d = Dims3::cube(12);
+        let n = d.len();
+        let shifts = [0.0f32, 0.3, 0.1];
+        TimeSeries::from_frames(
+            (0..3usize)
+                .map(|k| {
+                    (
+                        (k as u32) * 10,
+                        ScalarVolume::from_vec(
+                            d,
+                            (0..n).map(|i| i as f32 / n as f32 + shifts[k]).collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn band_for(s: &TimeSeries, shift: f32) -> TransferFunction1D {
+        let (lo, hi) = s.global_range();
+        TransferFunction1D::band(lo, hi, 0.6 + shift, 0.75 + shift, 1.0)
+    }
+
+    #[test]
+    fn key_frames_and_iatf_flow() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        sess.add_key_frame(0, band_for(&s, 0.0));
+        sess.add_key_frame(10, band_for(&s, 0.3));
+        sess.add_key_frame(20, band_for(&s, 0.1));
+        assert!(sess.iatf().is_none());
+        sess.train_iatf(IatfParams {
+            epochs: 300,
+            ..Default::default()
+        });
+        assert!(sess.iatf().is_some());
+        let tf = sess.adaptive_tf_at_step(10).unwrap();
+        // Band at t=10 should sit near [0.9, 1.05].
+        let (blo, bhi) = tf.support(0.5).expect("no band learned");
+        assert!((0.5 * (blo + bhi) - 0.975).abs() < 0.12, "[{blo}, {bhi}]");
+    }
+
+    #[test]
+    fn adding_key_frame_invalidates_iatf() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        sess.add_key_frame(0, band_for(&s, 0.0));
+        sess.train_iatf(IatfParams {
+            epochs: 10,
+            ..Default::default()
+        });
+        assert!(sess.iatf().is_some());
+        sess.add_key_frame(20, band_for(&s, 0.1));
+        assert!(sess.iatf().is_none(), "stale IATF must be dropped");
+    }
+
+    #[test]
+    fn lerp_baseline_brackets() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        let a = band_for(&s, 0.0);
+        let b = band_for(&s, 0.3);
+        sess.add_key_frame(0, a.clone());
+        sess.add_key_frame(20, b.clone());
+        assert_eq!(sess.lerp_tf_at_step(0).unwrap(), a);
+        assert_eq!(sess.lerp_tf_at_step(20).unwrap(), b);
+        let mid = sess.lerp_tf_at_step(10).unwrap();
+        // Half opacity at both ghost bands.
+        assert!((mid.opacity_at(0.65) - 0.5).abs() < 0.01);
+        assert!((mid.opacity_at(0.95) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn extract_with_tf_masks_band() {
+        let s = series();
+        let sess = VisSession::new(s.clone());
+        let tf = band_for(&s, 0.0);
+        let m = sess.extract_with_tf(0, &tf, 0.5);
+        // Band [0.6, 0.75] of a uniform ramp covers ~15% of voxels.
+        let frac = m.count() as f64 / s.dims().len() as f64;
+        assert!((frac - 0.15).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn fixed_tracking_runs() {
+        let s = series();
+        let sess = VisSession::new(s);
+        // Seed at the voxel with value ~0.65 in frame 0.
+        let d = sess.series().dims();
+        let idx = (0.65 * d.len() as f32) as usize;
+        let (x, y, z) = d.coords(idx);
+        let r = sess.track_fixed(&[(0, x, y, z)], 0.6, 0.75);
+        assert!(r.masks[0].count() > 0);
+        assert_eq!(r.report.voxels_per_frame.len(), 3);
+    }
+
+    #[test]
+    fn render_paths_produce_images() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        sess.add_key_frame(0, band_for(&s, 0.0));
+        sess.train_iatf(IatfParams {
+            epochs: 50,
+            ..Default::default()
+        });
+        let img = sess.render_adaptive(0, 16, 16).unwrap();
+        assert_eq!(img.width(), 16);
+        let tf = band_for(&s, 0.0);
+        let tracked = sess.extract_with_tf(0, &tf, 0.5);
+        let overlay = sess.render_tracked(0, &tracked, &tf, &tf, 16, 16);
+        assert_eq!(overlay.height(), 16);
+    }
+
+    #[test]
+    fn mip_and_classified_render_paths() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        let mip = sess.render_mip(0, 16, 16);
+        assert_eq!((mip.width(), mip.height()), (16, 16));
+        // No classifier yet.
+        assert!(sess.render_classified(0, 8, 8).is_none());
+        // Paint + train, then the classified path renders.
+        let truth = ifet_volume::Mask3::threshold(s.frame(0), 0.6);
+        let mut oracle = ifet_extract::PaintOracle::new(1);
+        oracle.slice_stride = 1;
+        sess.add_paints(oracle.paint_from_truth(0, &truth, 40, 40));
+        sess.train_classifier(
+            ifet_extract::FeatureSpec::default(),
+            ifet_extract::ClassifierParams {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
+        let img = sess.render_classified(0, 16, 16).unwrap();
+        assert_eq!(img.width(), 16);
+    }
+
+    #[test]
+    fn key_frame_suggestion_and_behavior() {
+        let s = series(); // irregular shifts: drifting distribution
+        let sess = VisSession::new(s);
+        assert_eq!(
+            sess.temporal_behavior(),
+            ifet_tf::TemporalBehavior::Periodic // shifts 0.0 -> 0.3 -> 0.1 come back down
+        );
+        let keys = sess.suggest_key_frames(3);
+        assert!(keys.contains(&0) && keys.contains(&20));
+        // The middle frame (shift 0.3) is the outlier worth painting.
+        assert!(keys.contains(&10), "{keys:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_key_frame_step_panics() {
+        let s = series();
+        let mut sess = VisSession::new(s.clone());
+        sess.add_key_frame(99, band_for(&s, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn train_iatf_without_key_frames_panics() {
+        let s = series();
+        VisSession::new(s).train_iatf(IatfParams::default());
+    }
+}

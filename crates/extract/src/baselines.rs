@@ -1,0 +1,234 @@
+//! Conventional baselines the learning-based extraction is compared against
+//! in Figure 7: the 1D transfer function (a value band) and repeated
+//! smoothing of the volume.
+
+use ifet_tf::TransferFunction2D;
+use ifet_volume::filter::repeated_blur;
+use ifet_volume::sample::gradient_magnitude_volume;
+use ifet_volume::{Mask3, ScalarVolume};
+
+/// The 1D-transfer-function baseline: every voxel whose value lies in
+/// `[lo, hi]` is "the feature". Cannot use spatial context, so same-valued
+/// small features pollute the result.
+pub fn value_band_mask(vol: &ScalarVolume, lo: f32, hi: f32) -> Mask3 {
+    Mask3::value_band(vol, lo, hi)
+}
+
+/// The conventional filtering baseline: "repeatedly smooth the data" then
+/// apply the value band. Removes small features but erodes the large
+/// features' boundary detail along with them.
+pub fn blur_then_band_mask(
+    vol: &ScalarVolume,
+    sigma: f32,
+    passes: usize,
+    lo: f32,
+    hi: f32,
+) -> Mask3 {
+    let smoothed = repeated_blur(vol, sigma, passes);
+    Mask3::value_band(&smoothed, lo, hi)
+}
+
+/// Sweep a value threshold and return the `(lo, f1)` that maximizes F1
+/// against the ground truth — gives the *best possible* 1D TF so comparisons
+/// are fair (the baseline is not handicapped by a poorly chosen band).
+pub fn best_threshold_band(
+    vol: &ScalarVolume,
+    truth: &Mask3,
+    candidates: usize,
+) -> (f32, f64) {
+    let (lo, hi) = vol.value_range();
+    let mut best = (lo, -1.0f64);
+    for i in 0..candidates.max(1) {
+        let t = lo + (hi - lo) * i as f32 / candidates as f32;
+        let f1 = Mask3::threshold(vol, t).f1(truth);
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    best
+}
+
+/// Sweep a 2D (value, gradient-magnitude) threshold grid and return the
+/// best-F1 2D transfer function band — the Kindlmann-style baseline with
+/// the same fairness treatment as [`best_threshold_band`]. Returns
+/// `(value_threshold, gradient_threshold, f1)`; the selected band is
+/// `value >= vt AND gradient <= gt` (interiors) or `gradient >= gt`
+/// (boundaries), whichever scores higher.
+pub fn best_tf2d_band(
+    vol: &ScalarVolume,
+    truth: &Mask3,
+    candidates: usize,
+) -> (TransferFunction2D, f64) {
+    let (vlo, vhi) = vol.value_range();
+    let grad = gradient_magnitude_volume(vol);
+    let (glo, ghi) = grad.value_range();
+    let n = candidates.max(2);
+    let mut best: Option<(TransferFunction2D, f64)> = None;
+    for i in 0..n {
+        let vt = vlo + (vhi - vlo) * i as f32 / n as f32;
+        for j in 0..n {
+            let gt = glo + (ghi - glo) * j as f32 / n as f32;
+            for interior in [true, false] {
+                let g_band = if interior { (glo, gt) } else { (gt, ghi) };
+                if g_band.1 <= g_band.0 {
+                    continue;
+                }
+                let mask = Mask3::from_fn(vol.dims(), |x, y, z| {
+                    let v = *vol.get(x, y, z);
+                    let g = *grad.get(x, y, z);
+                    v >= vt && g >= g_band.0 && g <= g_band.1
+                });
+                let f1 = mask.f1(truth);
+                if best.as_ref().map(|(_, b)| f1 > *b).unwrap_or(true) {
+                    let tf = TransferFunction2D::band(
+                        (vlo, vhi),
+                        (glo, ghi),
+                        (vt, vhi),
+                        g_band,
+                        1.0,
+                    );
+                    best = Some((tf, f1));
+                }
+            }
+        }
+    }
+    best.expect("candidate grid is non-empty")
+}
+
+/// Boundary-detail score of an extraction: the surface voxel count of the
+/// mask restricted to the truth region, normalized by the truth's own
+/// surface count. Blur-based extraction scores low because it rounds off
+/// the fine boundary structure.
+pub fn detail_score(mask: &Mask3, truth: &Mask3) -> f64 {
+    let truth_surface = truth.surface_count();
+    if truth_surface == 0 {
+        return 1.0;
+    }
+    let mut inside = mask.clone();
+    inside.intersect_with(truth);
+    // Surface voxels of the prediction that are also truth-surface voxels.
+    let mut pred_surface = Mask3::empty(mask.dims());
+    for (x, y, z) in inside.set_coords() {
+        let on_surface = mask
+            .dims()
+            .neighbors6(x, y, z)
+            .any(|(a, b, c)| !inside.get(a, b, c));
+        if on_surface {
+            pred_surface.set(x, y, z, true);
+        }
+    }
+    let mut truth_surf_mask = Mask3::empty(truth.dims());
+    for (x, y, z) in truth.set_coords() {
+        let on_surface = truth
+            .dims()
+            .neighbors6(x, y, z)
+            .any(|(a, b, c)| !truth.get(a, b, c));
+        if on_surface {
+            truth_surf_mask.set(x, y, z, true);
+        }
+    }
+    pred_surface.intersection_count(&truth_surf_mask) as f64 / truth_surface as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifet_volume::Dims3;
+
+    fn scene() -> (ScalarVolume, Mask3) {
+        // A large ball (r=7) and small bright specks, all value 1.0.
+        let d = Dims3::cube(24);
+        let c = 11.5f32;
+        let dist = |x: usize, y: usize, z: usize| {
+            ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt()
+        };
+        let specks = [(2usize, 2usize, 2usize), (20, 4, 18), (4, 20, 20)];
+        let vol = ScalarVolume::from_fn(d, |x, y, z| {
+            if dist(x, y, z) <= 7.0 || specks.contains(&(x, y, z)) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let truth = Mask3::from_fn(d, |x, y, z| dist(x, y, z) <= 7.0);
+        (vol, truth)
+    }
+
+    #[test]
+    fn value_band_captures_everything_bright() {
+        let (vol, truth) = scene();
+        let band = value_band_mask(&vol, 0.5, 1.5);
+        assert!(band.recall(&truth) > 0.999);
+        assert!(band.precision(&truth) < 1.0, "specks must pollute the band");
+    }
+
+    #[test]
+    fn blur_removes_specks_but_shrinks_detail() {
+        let (vol, truth) = scene();
+        let blurred = blur_then_band_mask(&vol, 1.2, 2, 0.5, 1.5);
+        // Specks are gone...
+        for &(x, y, z) in &[(2usize, 2usize, 2usize), (20, 4, 18)] {
+            assert!(!blurred.get(x, y, z), "speck survived blurring");
+        }
+        // ...but the ball shrank (recall drops).
+        assert!(blurred.recall(&truth) < value_band_mask(&vol, 0.5, 1.5).recall(&truth));
+    }
+
+    #[test]
+    fn best_threshold_finds_reasonable_band() {
+        let (vol, truth) = scene();
+        let (t, f1) = best_threshold_band(&vol, &truth, 32);
+        assert!(f1 > 0.9, "best threshold F1 {f1}");
+        assert!(t > 0.0 && t <= 1.0);
+    }
+
+    #[test]
+    fn best_tf2d_band_beats_or_matches_1d_on_boundary_task() {
+        // Truth = the shell of a ball: definable in (value, gradient) space,
+        // not in value alone.
+        let d = Dims3::cube(20);
+        let c = 9.5f32;
+        let dist = |x: usize, y: usize, z: usize| {
+            ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt()
+        };
+        let vol = ScalarVolume::from_fn(d, |x, y, z| if dist(x, y, z) <= 6.0 { 1.0 } else { 0.0 });
+        let truth = Mask3::from_fn(d, |x, y, z| {
+            let dd = dist(x, y, z);
+            (5.0..=6.0).contains(&dd)
+        });
+        let (_, f1_1d) = best_threshold_band(&vol, &truth, 24);
+        let (tf2d, f1_2d) = best_tf2d_band(&vol, &truth, 12);
+        assert!(
+            f1_2d > f1_1d + 0.1,
+            "2D TF should win on a boundary task: {f1_2d} vs {f1_1d}"
+        );
+        // And the returned TF actually reproduces that score.
+        let mask = tf2d.extract_mask(&vol, 0.5);
+        assert!((mask.f1(&truth) - f1_2d).abs() < 0.05);
+    }
+
+    #[test]
+    fn detail_score_perfect_for_exact_match() {
+        let (_, truth) = scene();
+        assert!((detail_score(&truth, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detail_score_penalizes_blurred_extraction() {
+        let (vol, truth) = scene();
+        let sharp = value_band_mask(&vol, 0.5, 1.5);
+        let blurred = blur_then_band_mask(&vol, 1.5, 3, 0.5, 1.5);
+        let ds_sharp = detail_score(&sharp, &truth);
+        let ds_blur = detail_score(&blurred, &truth);
+        assert!(
+            ds_sharp > ds_blur,
+            "sharp {ds_sharp} should beat blurred {ds_blur}"
+        );
+    }
+
+    #[test]
+    fn detail_score_empty_truth_is_one() {
+        let d = Dims3::cube(4);
+        assert_eq!(detail_score(&Mask3::full(d), &Mask3::empty(d)), 1.0);
+    }
+}

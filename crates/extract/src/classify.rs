@@ -1,0 +1,608 @@
+//! Training on paints and whole-volume classification.
+
+use crate::features::FeatureExtractor;
+use crate::paint::PaintSet;
+use ifet_nn::mlp::Scratch;
+use ifet_nn::{Activation, Mlp, Normalizer, Svm, SvmParams, TrainParams, Trainer, TrainingSet};
+use ifet_volume::{Mask3, MultiSeries, MultiVolume, ScalarVolume, TimeSeries};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The supervised learner behind a classifier. The paper uses a neural
+/// network throughout but reports promising SVM results (Section 8); both
+/// engines expose the same certainty-in-`[0,1]` interface so they are
+/// interchangeable here.
+#[derive(Debug, Clone)]
+pub enum LearningEngine {
+    NeuralNet(Mlp),
+    SupportVector(Svm),
+}
+
+impl LearningEngine {
+    /// A per-thread predictor (owns forward-pass scratch for the MLP).
+    fn predictor(&self) -> EnginePredictor<'_> {
+        let scratch = match self {
+            LearningEngine::NeuralNet(net) => Scratch::for_net(net),
+            LearningEngine::SupportVector(_) => Scratch::default(),
+        };
+        EnginePredictor {
+            engine: self,
+            scratch,
+        }
+    }
+}
+
+/// Reusable single-threaded prediction state.
+struct EnginePredictor<'a> {
+    engine: &'a LearningEngine,
+    scratch: Scratch,
+}
+
+impl EnginePredictor<'_> {
+    #[inline]
+    fn predict(&mut self, x: &[f32]) -> f32 {
+        match self.engine {
+            LearningEngine::NeuralNet(net) => net.predict1(x, &mut self.scratch),
+            LearningEngine::SupportVector(svm) => svm.predict(x),
+        }
+    }
+}
+
+/// Hyper-parameters for the data-space classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierParams {
+    /// Hidden-layer width of the three-layer perceptron.
+    pub hidden: usize,
+    pub epochs: usize,
+    pub learning_rate: f32,
+    pub momentum: f32,
+    pub seed: u64,
+}
+
+impl Default for ClassifierParams {
+    fn default() -> Self {
+        Self {
+            hidden: 12,
+            epochs: 200,
+            learning_rate: 0.3,
+            momentum: 0.9,
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// A trained per-voxel classifier: feature vector → certainty in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct DataSpaceClassifier {
+    extractor: FeatureExtractor,
+    normalizer: Normalizer,
+    engine: LearningEngine,
+    final_loss: f32,
+}
+
+/// Assemble normalized `(rows, labels)` from painted frames.
+fn assemble_rows(
+    extractor: &FeatureExtractor,
+    series: &TimeSeries,
+    paints: &[PaintSet],
+) -> (Normalizer, Vec<Vec<f32>>, Vec<f32>) {
+    assert!(!paints.is_empty(), "need at least one painted frame");
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    let mut buf = Vec::new();
+    for set in paints {
+        let frame = series
+            .frame_at_step(set.step)
+            .unwrap_or_else(|| panic!("painted step {} not in series", set.step));
+        let tn = series.normalized_time(set.step);
+        for ((x, y, z), label) in set.iter() {
+            extractor.vector_into(frame, x, y, z, tn, &mut buf);
+            rows.push(buf.clone());
+            labels.push(label);
+        }
+    }
+    assert!(!rows.is_empty(), "paint sets contain no voxels");
+    let normalizer = Normalizer::fit(&rows);
+    let rows = rows.iter().map(|r| normalizer.transform(r)).collect();
+    (normalizer, rows, labels)
+}
+
+impl DataSpaceClassifier {
+    /// Train a neural-network classifier from painted frames. Each element
+    /// of `paints` pairs a [`PaintSet`] with the frame it was painted on
+    /// (looked up by the paint set's step label in `series`).
+    ///
+    /// Training is per-voxel: every painted voxel contributes one
+    /// `(feature vector, label)` row.
+    pub fn train(
+        extractor: FeatureExtractor,
+        series: &TimeSeries,
+        paints: &[PaintSet],
+        params: ClassifierParams,
+    ) -> Self {
+        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints);
+        let mut train_set = TrainingSet::new();
+        for (row, &label) in rows.iter().zip(&labels) {
+            train_set.add1(row.clone(), label);
+        }
+
+        let mut net = Mlp::new(
+            &[extractor.num_features(), params.hidden, 1],
+            Activation::Sigmoid,
+            Activation::Sigmoid,
+            params.seed,
+        );
+        let mut trainer = Trainer::new(TrainParams {
+            learning_rate: params.learning_rate,
+            momentum: params.momentum,
+            seed: params.seed,
+        });
+        let losses = trainer.train(&mut net, &train_set, params.epochs);
+        let final_loss = losses.last().copied().unwrap_or(f32::NAN);
+
+        Self {
+            extractor,
+            normalizer,
+            engine: LearningEngine::NeuralNet(net),
+            final_loss,
+        }
+    }
+
+    /// Train a support-vector-machine classifier on the same painted rows —
+    /// the alternative engine of the paper's Section 8. `final_loss` reports
+    /// the training-set misclassification rate.
+    pub fn train_svm(
+        extractor: FeatureExtractor,
+        series: &TimeSeries,
+        paints: &[PaintSet],
+        params: SvmParams,
+    ) -> Self {
+        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints);
+        let svm = Svm::train(&rows, &labels, params);
+        let errors = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| (svm.predict(r) >= 0.5) != (l >= 0.5))
+            .count();
+        let final_loss = errors as f32 / rows.len() as f32;
+        Self {
+            extractor,
+            normalizer,
+            engine: LearningEngine::SupportVector(svm),
+            final_loss,
+        }
+    }
+
+    /// Mean MSE of the final training epoch (NN) or training error rate (SVM).
+    pub fn final_loss(&self) -> f32 {
+        self.final_loss
+    }
+
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The underlying learning engine.
+    pub fn engine(&self) -> &LearningEngine {
+        &self.engine
+    }
+
+    /// The neural network, when this classifier uses one.
+    pub fn network(&self) -> &Mlp {
+        match &self.engine {
+            LearningEngine::NeuralNet(net) => net,
+            LearningEngine::SupportVector(_) => {
+                panic!("classifier uses an SVM engine, not a neural network")
+            }
+        }
+    }
+
+    /// Train a neural-network classifier on *multivariate* frames: every
+    /// painted voxel contributes all variable values plus the shell/position/
+    /// time features of the primary variable. "The machine learning engine
+    /// can take high-dimensional data directly but the scientists do not need
+    /// to specify explicitly the relationship between these different
+    /// dimensions" (Section 4.3).
+    pub fn train_multi(
+        extractor: FeatureExtractor,
+        mseries: &MultiSeries,
+        paints: &[PaintSet],
+        params: ClassifierParams,
+    ) -> Self {
+        assert!(!paints.is_empty(), "need at least one painted frame");
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels: Vec<f32> = Vec::new();
+        let mut buf = Vec::new();
+        for set in paints {
+            let frame = mseries
+                .frame_at_step(set.step)
+                .unwrap_or_else(|| panic!("painted step {} not in series", set.step));
+            let tn = mseries.normalized_time(set.step);
+            for ((x, y, z), label) in set.iter() {
+                extractor.vector_multi_into(frame, x, y, z, tn, &mut buf);
+                rows.push(buf.clone());
+                labels.push(label);
+            }
+        }
+        assert!(!rows.is_empty(), "paint sets contain no voxels");
+        let normalizer = Normalizer::fit(&rows);
+        let mut train_set = TrainingSet::new();
+        for (row, &label) in rows.iter().zip(&labels) {
+            train_set.add1(normalizer.transform(row), label);
+        }
+
+        let n_in = extractor.num_features_multi(mseries.names().len());
+        let mut net = Mlp::new(
+            &[n_in, params.hidden, 1],
+            Activation::Sigmoid,
+            Activation::Sigmoid,
+            params.seed,
+        );
+        let mut trainer = Trainer::new(TrainParams {
+            learning_rate: params.learning_rate,
+            momentum: params.momentum,
+            seed: params.seed,
+        });
+        let losses = trainer.train(&mut net, &train_set, params.epochs);
+        let final_loss = losses.last().copied().unwrap_or(f32::NAN);
+        Self {
+            extractor,
+            normalizer,
+            engine: LearningEngine::NeuralNet(net),
+            final_loss,
+        }
+    }
+
+    /// Classify a multivariate frame (trained via [`Self::train_multi`]).
+    pub fn classify_frame_multi(&self, frame: &MultiVolume, t_norm: f32) -> ScalarVolume {
+        let d = frame.dims();
+        let slab = d.nx * d.ny;
+        let mut data = vec![0.0f32; d.len()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
+            let mut buf = Vec::new();
+            let mut predictor = self.engine.predictor();
+            for y in 0..d.ny {
+                for x in 0..d.nx {
+                    self.extractor.vector_multi_into(frame, x, y, z, t_norm, &mut buf);
+                    self.normalizer.apply(&mut buf);
+                    out[x + d.nx * y] = predictor.predict(&buf);
+                }
+            }
+        });
+        ScalarVolume::from_vec(d, data)
+    }
+
+    /// Multivariate classification thresholded into a mask.
+    pub fn extract_mask_multi(&self, frame: &MultiVolume, t_norm: f32, tau: f32) -> Mask3 {
+        Mask3::threshold(&self.classify_frame_multi(frame, t_norm), tau)
+    }
+
+    /// Certainty for one voxel.
+    pub fn certainty_at(
+        &self,
+        frame: &ScalarVolume,
+        x: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+    ) -> f32 {
+        let mut buf = Vec::with_capacity(self.extractor.num_features());
+        self.extractor.vector_into(frame, x, y, z, t_norm, &mut buf);
+        self.normalizer.apply(&mut buf);
+        self.engine.predictor().predict(&buf)
+    }
+
+    /// Classify a whole frame into a certainty volume (parallel over
+    /// z-slabs; this is the "10 seconds for a 256³ volume" operation of
+    /// Section 7, here multithreaded).
+    pub fn classify_frame(&self, frame: &ScalarVolume, t_norm: f32) -> ScalarVolume {
+        let d = frame.dims();
+        let slab = d.nx * d.ny;
+        let mut data = vec![0.0f32; d.len()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
+            let mut buf = Vec::with_capacity(self.extractor.num_features());
+            let mut predictor = self.engine.predictor();
+            for y in 0..d.ny {
+                for x in 0..d.nx {
+                    self.extractor.vector_into(frame, x, y, z, t_norm, &mut buf);
+                    self.normalizer.apply(&mut buf);
+                    out[x + d.nx * y] = predictor.predict(&buf);
+                }
+            }
+        });
+        ScalarVolume::from_vec(d, data)
+    }
+
+    /// Classify one slice `z = k` only (the interactive per-slice feedback
+    /// path of Section 6). Returns `(nx, ny, certainties)`.
+    pub fn classify_slice_z(
+        &self,
+        frame: &ScalarVolume,
+        k: usize,
+        t_norm: f32,
+    ) -> (usize, usize, Vec<f32>) {
+        let d = frame.dims();
+        assert!(k < d.nz);
+        let mut buf = Vec::with_capacity(self.extractor.num_features());
+        let mut predictor = self.engine.predictor();
+        let mut out = Vec::with_capacity(d.nx * d.ny);
+        for y in 0..d.ny {
+            for x in 0..d.nx {
+                self.extractor.vector_into(frame, x, y, k, t_norm, &mut buf);
+                self.normalizer.apply(&mut buf);
+                out.push(predictor.predict(&buf));
+            }
+        }
+        (d.nx, d.ny, out)
+    }
+
+    /// Classify a frame and threshold at `tau` into a feature mask.
+    pub fn extract_mask(&self, frame: &ScalarVolume, t_norm: f32, tau: f32) -> Mask3 {
+        Mask3::threshold(&self.classify_frame(frame, t_norm), tau)
+    }
+
+    /// Classify every frame of a series in parallel over *frames* — the
+    /// paper's Conclusion notes per-time-step independence makes cluster
+    /// fan-out trivial; here frames fan out across the thread pool.
+    pub fn classify_series(&self, series: &TimeSeries) -> Vec<ScalarVolume> {
+        let items: Vec<(u32, &ScalarVolume)> = series.iter().collect();
+        items
+            .par_iter()
+            .map(|(t, frame)| {
+                // Within a frame we stay sequential: frame-level parallelism
+                // already saturates the pool for multi-frame series.
+                let tn = series.normalized_time(*t);
+                let d = frame.dims();
+                let mut buf = Vec::with_capacity(self.extractor.num_features());
+                let mut predictor = self.engine.predictor();
+                let mut data = Vec::with_capacity(d.len());
+                for z in 0..d.nz {
+                    for y in 0..d.ny {
+                        for x in 0..d.nx {
+                            self.extractor.vector_into(frame, x, y, z, tn, &mut buf);
+                            self.normalizer.apply(&mut buf);
+                            data.push(predictor.predict(&buf));
+                        }
+                    }
+                }
+                ScalarVolume::from_vec(d, data)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureSpec, ShellMode};
+    use crate::paint::PaintOracle;
+    use ifet_volume::Dims3;
+
+    /// One big ball and several small balls, all with value 1.0 — separable
+    /// only through the shell (size), not the value.
+    fn size_scene(n: usize) -> (ScalarVolume, Mask3) {
+        let d = Dims3::cube(n);
+        let big_c = (n as f32 * 0.35, n as f32 * 0.5, n as f32 * 0.5);
+        let big_r = n as f32 * 0.22;
+        let smalls = [
+            (n as f32 * 0.8, n as f32 * 0.2, n as f32 * 0.3),
+            (n as f32 * 0.75, n as f32 * 0.75, n as f32 * 0.7),
+            (n as f32 * 0.2, n as f32 * 0.15, n as f32 * 0.85),
+            (n as f32 * 0.85, n as f32 * 0.5, n as f32 * 0.15),
+            (n as f32 * 0.15, n as f32 * 0.8, n as f32 * 0.25),
+            (n as f32 * 0.5, n as f32 * 0.12, n as f32 * 0.6),
+        ];
+        let small_r = n as f32 * 0.07;
+        let dist = |x: usize, y: usize, z: usize, c: (f32, f32, f32)| {
+            ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2)).sqrt()
+        };
+        let vol = ScalarVolume::from_fn(d, |x, y, z| {
+            if dist(x, y, z, big_c) <= big_r
+                || smalls.iter().any(|&c| dist(x, y, z, c) <= small_r)
+            {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let truth = Mask3::from_fn(d, |x, y, z| dist(x, y, z, big_c) <= big_r);
+        (vol, truth)
+    }
+
+    fn trained_on_scene() -> (DataSpaceClassifier, ScalarVolume, Mask3, TimeSeries) {
+        let (vol, truth) = size_scene(32);
+        let series = TimeSeries::from_frames(vec![(0, vol.clone())]);
+        let mut oracle = PaintOracle::new(5);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 150, 150);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell_radius: 4.0,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train(fx, &series, &[paints], ClassifierParams::default());
+        (clf, vol, truth, series)
+    }
+
+    #[test]
+    fn learns_size_discrimination() {
+        // The Figure 7 property: value alone cannot separate (everything is
+        // 1.0); the shell-equipped classifier must.
+        let (clf, vol, truth, _) = trained_on_scene();
+        assert!(clf.final_loss() < 0.05, "loss {}", clf.final_loss());
+        let mask = clf.extract_mask(&vol, 0.0, 0.5);
+        let f1 = mask.f1(&truth);
+        assert!(f1 > 0.85, "F1 {f1}");
+        // A pure value band (the 1D TF) gets terrible precision by design.
+        let band = Mask3::threshold(&vol, 0.5);
+        assert!(band.precision(&truth) < 0.9);
+        assert!(mask.precision(&truth) > band.precision(&truth));
+    }
+
+    /// Two variables where the feature is a JOINT condition: region A has
+    /// var0 high only, region B var1 high only, region C (the feature) both
+    /// high. No single variable separates C.
+    fn joint_scene(n: usize) -> (ifet_volume::MultiSeries, Mask3) {
+        use ifet_volume::{MultiSeries, MultiVolume};
+        let d = Dims3::cube(n);
+        let third = n / 3;
+        let var0 = ScalarVolume::from_fn(d, |x, _, _| if x < 2 * third { 1.0 } else { 0.0 });
+        let var1 = ScalarVolume::from_fn(d, |x, _, _| if x >= third { 1.0 } else { 0.0 });
+        let truth = Mask3::from_fn(d, |x, _, _| x >= third && x < 2 * third);
+        let mut mv = MultiVolume::new(d);
+        mv.add("a", var0);
+        mv.add("b", var1);
+        (MultiSeries::from_frames(vec![(0, mv)]), truth)
+    }
+
+    #[test]
+    fn multivariate_classifier_learns_joint_condition() {
+        let (ms, truth) = joint_scene(24);
+        let mut oracle = PaintOracle::new(8);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 120, 120);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            ..Default::default()
+        });
+        let clf =
+            DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default());
+        let mask = clf.extract_mask_multi(ms.frame(0), 0.0, 0.5);
+        let f1 = mask.f1(&truth);
+        assert!(f1 > 0.95, "joint condition should be learnable: F1 {f1}");
+
+        // Either single variable alone covers 2/3 of the domain — its best
+        // achievable F1 against the middle third is bounded at 2·(1/3)/(1/3+2/3+...)
+        let single = Mask3::threshold(ms.frame(0).var("a").unwrap(), 0.5);
+        assert!(mask.f1(&truth) > single.f1(&truth) + 0.2);
+    }
+
+    #[test]
+    fn svm_engine_also_learns_size_discrimination() {
+        // The Section 8 claim: SVMs give "promising results" on the same task.
+        let (vol, truth) = size_scene(32);
+        let series = TimeSeries::from_frames(vec![(0, vol.clone())]);
+        let mut oracle = PaintOracle::new(5);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 150, 150);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell_radius: 4.0,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train_svm(
+            fx,
+            &series,
+            &[paints],
+            ifet_nn::SvmParams::default(),
+        );
+        assert!(clf.final_loss() < 0.1, "SVM training error {}", clf.final_loss());
+        let mask = clf.extract_mask(&vol, 0.0, 0.5);
+        let f1 = mask.f1(&truth);
+        assert!(f1 > 0.8, "SVM F1 {f1}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn network_accessor_panics_for_svm_engine() {
+        let (vol, truth) = size_scene(16);
+        let series = TimeSeries::from_frames(vec![(0, vol)]);
+        let mut oracle = PaintOracle::new(1);
+        oracle.slice_stride = 1;
+        let paints = oracle.paint_from_truth(0, &truth, 20, 20);
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let clf = DataSpaceClassifier::train_svm(
+            fx,
+            &series,
+            &[paints],
+            ifet_nn::SvmParams::default(),
+        );
+        let _ = clf.network();
+    }
+
+    #[test]
+    fn certainty_at_matches_classify_frame() {
+        let (clf, vol, _, _) = trained_on_scene();
+        let field = clf.classify_frame(&vol, 0.0);
+        for &(x, y, z) in &[(3usize, 3usize, 3usize), (16, 16, 16), (28, 5, 9)] {
+            let a = clf.certainty_at(&vol, x, y, z, 0.0);
+            let b = *field.get(x, y, z);
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn classify_slice_matches_frame() {
+        let (clf, vol, _, _) = trained_on_scene();
+        let field = clf.classify_frame(&vol, 0.0);
+        let (nx, _, slice) = clf.classify_slice_z(&vol, 10, 0.0);
+        for y in 0..5 {
+            for x in 0..5 {
+                assert!((slice[x + nx * y] - field.get(x, y, 10)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn certainties_in_unit_interval() {
+        let (clf, vol, _, _) = trained_on_scene();
+        let field = clf.classify_frame(&vol, 0.0);
+        for &c in field.as_slice() {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn classify_series_matches_per_frame() {
+        let (clf, vol, _, series) = trained_on_scene();
+        let all = clf.classify_series(&series);
+        assert_eq!(all.len(), 1);
+        let single = clf.classify_frame(&vol, 0.0);
+        for (a, b) in all[0].as_slice().iter().zip(single.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_paints_panics() {
+        let (vol, _) = size_scene(8);
+        let series = TimeSeries::from_frames(vec![(0, vol)]);
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let _ = DataSpaceClassifier::train(fx, &series, &[], ClassifierParams::default());
+    }
+
+    #[test]
+    fn value_only_spec_fails_on_size_task() {
+        // Ablation: drop the shell and the classifier degenerates to a 1D TF,
+        // which cannot separate same-valued features by size.
+        let (vol, truth) = size_scene(32);
+        let series = TimeSeries::from_frames(vec![(0, vol.clone())]);
+        let mut oracle = PaintOracle::new(5);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 150, 150);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            value: true,
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            position: false,
+            time: true,
+        });
+        let clf =
+            DataSpaceClassifier::train(fx, &series, std::slice::from_ref(&paints), ClassifierParams::default());
+        let mask = clf.extract_mask(&vol, 0.0, 0.5);
+        let value_only_f1 = mask.f1(&truth);
+
+        let shell_fx = FeatureExtractor::new(FeatureSpec {
+            shell_radius: 4.0,
+            ..Default::default()
+        });
+        let shell_clf =
+            DataSpaceClassifier::train(shell_fx, &series, &[paints], ClassifierParams::default());
+        let shell_f1 = shell_clf.extract_mask(&vol, 0.0, 0.5).f1(&truth);
+
+        assert!(
+            value_only_f1 + 0.04 < shell_f1,
+            "shell must clearly beat value-only on a size task: {value_only_f1} vs {shell_f1}"
+        );
+    }
+}

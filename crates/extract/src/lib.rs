@@ -1,0 +1,27 @@
+//! Data-space intelligent feature extraction (paper Section 4.3).
+//!
+//! Instead of classifying by value alone (a transfer function), the scientist
+//! *paints* sample voxels of the wanted/unwanted features on slices of the
+//! data; per-voxel **feature vectors** — the voxel's value(s), samples of a
+//! spherical shell around it, optionally its position, and the time step —
+//! are fed to a neural network, which then classifies the entire 4D volume.
+//! The shell encodes feature *size* without anyone measuring size: a voxel
+//! deep inside a large structure sees a bright shell, a voxel of a small blob
+//! sees background beyond the blob's boundary.
+//!
+//! - [`FeatureSpec`] / [`FeatureExtractor`] — assemble per-voxel descriptors,
+//! - [`paint`] — painted strokes and the scripted [`paint::PaintOracle`]
+//!   standing in for the interactive user,
+//! - [`DataSpaceClassifier`] — train on paints, classify whole volumes
+//!   (rayon-parallel) into certainty fields and masks,
+//! - [`baselines`] — the 1D-transfer-function and repeated-blur baselines the
+//!   paper contrasts in Figure 7.
+
+pub mod baselines;
+pub mod classify;
+pub mod features;
+pub mod paint;
+
+pub use classify::{ClassifierParams, DataSpaceClassifier, LearningEngine};
+pub use features::{FeatureExtractor, FeatureSpec, ShellMode};
+pub use paint::{PaintOracle, PaintSet};

@@ -1,0 +1,267 @@
+//! Painted training samples and the scripted painting oracle.
+//!
+//! In the paper the scientist paints on "three axis-aligned slices" with
+//! "brushes of different color" (Section 6); each painted voxel becomes a
+//! training sample. [`PaintSet`] is the headless representation of those
+//! strokes. [`PaintOracle`] is the scripted stand-in for the scientist: it
+//! paints from a ground-truth mask, slice by slice, with configurable sample
+//! counts and label noise, so experiments are reproducible.
+
+use ifet_volume::{Dims3, Mask3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Painted voxels for one frame: positives (the feature) and negatives
+/// (explicitly-not-the-feature), each tagged with the frame's step label.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PaintSet {
+    /// Step label of the frame these paints refer to.
+    pub step: u32,
+    /// Voxels painted as "feature of interest".
+    pub positives: Vec<(usize, usize, usize)>,
+    /// Voxels painted as "not the feature".
+    pub negatives: Vec<(usize, usize, usize)>,
+}
+
+impl PaintSet {
+    pub fn new(step: u32) -> Self {
+        Self {
+            step,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+        }
+    }
+
+    /// Paint a single voxel.
+    pub fn paint(&mut self, voxel: (usize, usize, usize), is_feature: bool) {
+        if is_feature {
+            self.positives.push(voxel);
+        } else {
+            self.negatives.push(voxel);
+        }
+    }
+
+    /// Paint a straight stroke of voxels along the x axis on slice `z = k`
+    /// (the "brush on a slice" gesture).
+    pub fn stroke_x(&mut self, y: usize, z: usize, x0: usize, x1: usize, is_feature: bool) {
+        for x in x0..=x1 {
+            self.paint((x, y, z), is_feature);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate `(voxel, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize, usize), f32)> + '_ {
+        self.positives
+            .iter()
+            .map(|&v| (v, 1.0))
+            .chain(self.negatives.iter().map(|&v| (v, 0.0)))
+    }
+
+    /// Paint an entire region at once — the Section 6 gesture "the system
+    /// also allows the user to select small features from the window of
+    /// feature volume, and consider the selected regions as part of the
+    /// unwanted feature". To keep training balanced, at most `max_voxels`
+    /// voxels of the region are sampled (every k-th set voxel).
+    pub fn paint_region(&mut self, region: &Mask3, is_feature: bool, max_voxels: usize) {
+        let count = region.count();
+        if count == 0 {
+            return;
+        }
+        let stride = count.div_ceil(max_voxels.max(1));
+        for (i, voxel) in region.set_coords().enumerate() {
+            if i % stride == 0 {
+                self.paint(voxel, is_feature);
+            }
+        }
+    }
+}
+
+/// A scripted "scientist" that paints training samples from ground truth.
+#[derive(Debug, Clone)]
+pub struct PaintOracle {
+    rng: SmallRng,
+    /// Probability of flipping a label (simulates imprecise painting).
+    pub label_noise: f32,
+    /// Paint only on every `slice_stride`-th z-slice (mimics slice-based UI;
+    /// 1 = anywhere).
+    pub slice_stride: usize,
+}
+
+impl PaintOracle {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            label_noise: 0.0,
+            slice_stride: 4,
+        }
+    }
+
+    /// Paint `n_pos` positive and `n_neg` negative voxels for one frame,
+    /// drawn uniformly from the truth mask / its complement on the allowed
+    /// slices. Panics if the mask (or complement) is empty on those slices.
+    pub fn paint_from_truth(
+        &mut self,
+        step: u32,
+        truth: &Mask3,
+        n_pos: usize,
+        n_neg: usize,
+    ) -> PaintSet {
+        let d = truth.dims();
+        let allowed = |z: usize| z % self.slice_stride.max(1) == 0;
+
+        let pos_pool: Vec<_> = truth.set_coords().filter(|&(_, _, z)| allowed(z)).collect();
+        let neg_pool: Vec<_> = all_coords(d)
+            .filter(|&(x, y, z)| allowed(z) && !truth.get(x, y, z))
+            .collect();
+        assert!(
+            !pos_pool.is_empty(),
+            "oracle cannot paint positives: truth empty on allowed slices"
+        );
+        assert!(
+            !neg_pool.is_empty(),
+            "oracle cannot paint negatives: truth covers all allowed slices"
+        );
+
+        let mut set = PaintSet::new(step);
+        for _ in 0..n_pos {
+            let v = pos_pool[self.rng.gen_range(0..pos_pool.len())];
+            set.paint(v, !self.flip());
+        }
+        for _ in 0..n_neg {
+            let v = neg_pool[self.rng.gen_range(0..neg_pool.len())];
+            set.paint(v, self.flip());
+        }
+        set
+    }
+
+    fn flip(&mut self) -> bool {
+        self.label_noise > 0.0 && self.rng.gen::<f32>() < self.label_noise
+    }
+}
+
+fn all_coords(d: Dims3) -> impl Iterator<Item = (usize, usize, usize)> {
+    (0..d.nz).flat_map(move |z| (0..d.ny).flat_map(move |y| (0..d.nx).map(move |x| (x, y, z))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ball_mask(n: usize, r: f32) -> Mask3 {
+        let c = (n as f32 - 1.0) / 2.0;
+        Mask3::from_fn(Dims3::cube(n), |x, y, z| {
+            ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt() <= r
+        })
+    }
+
+    #[test]
+    fn manual_painting() {
+        let mut p = PaintSet::new(5);
+        p.paint((1, 2, 3), true);
+        p.stroke_x(4, 0, 2, 5, false);
+        assert_eq!(p.positives.len(), 1);
+        assert_eq!(p.negatives.len(), 4);
+        assert_eq!(p.len(), 5);
+        let labels: Vec<f32> = p.iter().map(|(_, l)| l).collect();
+        assert_eq!(labels[0], 1.0);
+        assert!(labels[1..].iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn paint_region_samples_component() {
+        let region = ball_mask(12, 3.0);
+        let mut p = PaintSet::new(0);
+        p.paint_region(&region, false, 20);
+        assert!(!p.negatives.is_empty());
+        assert!(p.negatives.len() <= 40, "sampling cap blown: {}", p.negatives.len());
+        for &(x, y, z) in &p.negatives {
+            assert!(region.get(x, y, z), "painted outside the region");
+        }
+    }
+
+    #[test]
+    fn paint_region_empty_is_noop() {
+        let mut p = PaintSet::new(0);
+        p.paint_region(&Mask3::empty(Dims3::cube(4)), true, 10);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn paint_region_small_region_takes_all() {
+        let d = Dims3::cube(6);
+        let mut m = Mask3::empty(d);
+        m.set(1, 1, 1, true);
+        m.set(2, 1, 1, true);
+        let mut p = PaintSet::new(0);
+        p.paint_region(&m, true, 100);
+        assert_eq!(p.positives.len(), 2);
+    }
+
+    #[test]
+    fn oracle_paints_correct_labels() {
+        let truth = ball_mask(16, 5.0);
+        let mut o = PaintOracle::new(1);
+        o.slice_stride = 1;
+        let set = o.paint_from_truth(7, &truth, 30, 30);
+        assert_eq!(set.step, 7);
+        assert_eq!(set.positives.len(), 30);
+        assert_eq!(set.negatives.len(), 30);
+        for &(x, y, z) in &set.positives {
+            assert!(truth.get(x, y, z));
+        }
+        for &(x, y, z) in &set.negatives {
+            assert!(!truth.get(x, y, z));
+        }
+    }
+
+    #[test]
+    fn oracle_respects_slice_stride() {
+        let truth = ball_mask(16, 6.0);
+        let mut o = PaintOracle::new(2);
+        o.slice_stride = 4;
+        let set = o.paint_from_truth(0, &truth, 20, 20);
+        for ((_, _, z), _) in set.iter() {
+            assert_eq!(z % 4, 0, "painted off an allowed slice");
+        }
+    }
+
+    #[test]
+    fn oracle_label_noise_flips_some() {
+        let truth = ball_mask(16, 5.0);
+        let mut o = PaintOracle::new(3);
+        o.slice_stride = 1;
+        o.label_noise = 0.5;
+        let set = o.paint_from_truth(0, &truth, 200, 200);
+        // With 50% noise, a good chunk of "positives" land outside the truth.
+        let wrong_pos = set
+            .positives
+            .iter()
+            .filter(|&&(x, y, z)| !truth.get(x, y, z))
+            .count();
+        assert!(wrong_pos > 20, "noise had no effect: {wrong_pos}");
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let truth = ball_mask(12, 4.0);
+        let a = PaintOracle::new(9).paint_from_truth(0, &truth, 10, 10);
+        let b = PaintOracle::new(9).paint_from_truth(0, &truth, 10, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oracle_empty_truth_panics() {
+        let truth = Mask3::empty(Dims3::cube(8));
+        PaintOracle::new(0).paint_from_truth(0, &truth, 1, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for data-space extraction.
+
+use ifet_extract::features::{FeatureExtractor, FeatureSpec, ShellMode};
+use ifet_extract::paint::{PaintOracle, PaintSet};
+use ifet_volume::{Dims3, Mask3, ScalarVolume};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = FeatureSpec> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(ShellMode::None),
+            Just(ShellMode::Stats),
+            (6usize..32).prop_map(|count| ShellMode::Samples { count }),
+        ],
+        1.0f32..5.0,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(value, shell, shell_radius, position, time)| FeatureSpec {
+            value,
+            shell,
+            shell_radius,
+            position,
+            time,
+        })
+        .prop_filter("spec must select something", |s| !s.is_empty())
+}
+
+proptest! {
+    #[test]
+    fn vector_length_always_matches_extractor(spec in spec_strategy(),
+                                              fx in 0.0f32..1.0, fy in 0.0f32..1.0, fz in 0.0f32..1.0) {
+        let fxr = FeatureExtractor::new(spec);
+        let d = Dims3::cube(12);
+        let vol = ScalarVolume::from_fn(d, |x, y, z| (x + y * 2 + z * 3) as f32);
+        let x = (fx * 11.0) as usize;
+        let y = (fy * 11.0) as usize;
+        let z = (fz * 11.0) as usize;
+        let v = fxr.vector(&vol, x, y, z, 0.5);
+        prop_assert_eq!(v.len(), fxr.num_features());
+    }
+
+    #[test]
+    fn vectors_finite_even_at_boundaries(spec in spec_strategy()) {
+        let fxr = FeatureExtractor::new(spec);
+        let d = Dims3::new(5, 7, 3);
+        let vol = ScalarVolume::from_fn(d, |x, y, z| (x * y * z) as f32 * 0.1);
+        for &(x, y, z) in &[(0usize, 0usize, 0usize), (4, 6, 2), (2, 0, 2)] {
+            for v in fxr.vector(&vol, x, y, z, 1.0) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_volume_gives_position_independent_shell(radius in 1.0f32..4.0, c in -3.0f32..3.0) {
+        let spec = FeatureSpec {
+            value: true,
+            shell: ShellMode::Stats,
+            shell_radius: radius,
+            position: false,
+            time: false,
+        };
+        let fxr = FeatureExtractor::new(spec);
+        let vol = ScalarVolume::filled(Dims3::cube(16), c);
+        let a = fxr.vector(&vol, 8, 8, 8, 0.0);
+        let b = fxr.vector(&vol, 3, 12, 5, 0.0);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_labels_are_always_truthful_without_noise(seed in any::<u64>(),
+                                                       n_pos in 1usize..40, n_neg in 1usize..40) {
+        let d = Dims3::cube(10);
+        let truth = Mask3::from_fn(d, |x, y, z| x + y + z < 12);
+        let mut o = PaintOracle::new(seed);
+        o.slice_stride = 1;
+        let set = o.paint_from_truth(0, &truth, n_pos, n_neg);
+        prop_assert_eq!(set.positives.len(), n_pos);
+        prop_assert_eq!(set.negatives.len(), n_neg);
+        for &(x, y, z) in &set.positives {
+            prop_assert!(truth.get(x, y, z));
+        }
+        for &(x, y, z) in &set.negatives {
+            prop_assert!(!truth.get(x, y, z));
+        }
+    }
+
+    #[test]
+    fn paint_set_iter_counts(n_pos in 0usize..20, n_neg in 0usize..20) {
+        let mut set = PaintSet::new(3);
+        for i in 0..n_pos {
+            set.paint((i, 0, 0), true);
+        }
+        for i in 0..n_neg {
+            set.paint((i, 1, 0), false);
+        }
+        prop_assert_eq!(set.len(), n_pos + n_neg);
+        let pos_labels = set.iter().filter(|&(_, l)| l == 1.0).count();
+        prop_assert_eq!(pos_labels, n_pos);
+    }
+}

@@ -1,0 +1,107 @@
+//! Neuron activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied element-wise at a layer's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` — the classic BPN choice; output in
+    /// `(0, 1)`, matching the paper's "level of certainty" interpretation.
+    Sigmoid,
+    /// Hyperbolic tangent, output in `(-1, 1)`.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (linear layer).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y = f(x)`
+    /// (the form back-propagation consumes; exact for all four variants).
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative(a: Activation, x: f32) -> f32 {
+        let h = 1e-3;
+        (a.apply(x + h) - a.apply(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        assert!((t.apply(1.3) + t.apply(-1.3)).abs() < 1e-6);
+        assert_eq!(t.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let r = Activation::Relu;
+        assert_eq!(r.apply(-2.0), 0.0);
+        assert_eq!(r.apply(3.5), 3.5);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(Activation::Identity.apply(-7.25), -7.25);
+        assert_eq!(Activation::Identity.derivative_from_output(123.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        for a in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for &x in &[-2.0f32, -0.5, 0.0, 0.7, 1.9] {
+                let y = a.apply(x);
+                let analytic = a.derivative_from_output(y);
+                let numeric = numeric_derivative(a, x);
+                assert!(
+                    (analytic - numeric).abs() < 1e-3,
+                    "{a:?} at {x}: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // ReLU away from the kink.
+        for &x in &[-1.5f32, 2.0] {
+            let a = Activation::Relu;
+            let y = a.apply(x);
+            assert!((a.derivative_from_output(y) - numeric_derivative(a, x)).abs() < 1e-3);
+        }
+    }
+}

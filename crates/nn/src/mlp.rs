@@ -1,0 +1,358 @@
+//! The multi-layer perceptron.
+
+use crate::activation::Activation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer: `out = act(W · in + b)`.
+///
+/// Weights are stored row-major: `weights[o * n_in + i]` connects input `i`
+/// to output neuron `o`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    pub(crate) n_in: usize,
+    pub(crate) n_out: usize,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) biases: Vec<f32>,
+    pub(crate) activation: Activation,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, activation: Activation, rng: &mut SmallRng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (n_in + n_out) as f32).sqrt();
+        let weights = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        let biases = vec![0.0; n_out];
+        Self {
+            n_in,
+            n_out,
+            weights,
+            biases,
+            activation,
+        }
+    }
+
+    /// Number of inputs this layer consumes.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of neurons (outputs) in this layer.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The weight from input `i` to output neuron `o`.
+    pub fn weight(&self, o: usize, i: usize) -> f32 {
+        self.weights[o * self.n_in + i]
+    }
+
+    /// The bias of output neuron `o`.
+    pub fn bias(&self, o: usize) -> f32 {
+        self.biases[o]
+    }
+
+    /// This layer's activation function.
+    pub fn activation_kind(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward one layer: `out` must have length `n_out`.
+    #[inline]
+    pub(crate) fn forward_into(&self, input: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(input.len(), self.n_in);
+        debug_assert_eq!(out.len(), self.n_out);
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            *out_v = self.activation.apply(acc);
+        }
+    }
+}
+
+/// A feed-forward multi-layer perceptron.
+///
+/// The paper's configuration is a *three-layer perceptron*: one input layer,
+/// one hidden layer, one output layer — i.e. `Mlp::new(&[n_in, n_hidden, n_out], ..)`.
+/// Deeper stacks are supported but unnecessary for reproducing the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Build a network with the given layer sizes (`sizes[0]` inputs,
+    /// `sizes.last()` outputs), hidden activation `hidden_act` and output
+    /// activation `output_act`, deterministically initialized from `seed`.
+    pub fn new(sizes: &[usize], hidden_act: Activation, output_act: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layer sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be non-zero");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = sizes.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n { output_act } else { hidden_act };
+                Layer::new(sizes[i], sizes[i + 1], act, &mut rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The paper's default: `inputs -> hidden (sigmoid) -> 1 output (sigmoid)`.
+    ///
+    /// ```
+    /// use ifet_nn::Mlp;
+    /// let net = Mlp::three_layer(3, 16, 42);
+    /// assert_eq!(net.layer_sizes(), vec![3, 16, 1]);
+    /// let certainty = net.forward(&[0.2, 0.9, 0.5])[0];
+    /// assert!(certainty > 0.0 && certainty < 1.0);
+    /// ```
+    pub fn three_layer(n_in: usize, n_hidden: usize, seed: u64) -> Self {
+        Self::new(
+            &[n_in, n_hidden, 1],
+            Activation::Sigmoid,
+            Activation::Sigmoid,
+            seed,
+        )
+    }
+
+    /// Number of input features.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].n_in
+    }
+
+    /// Number of outputs.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().unwrap().n_out
+    }
+
+    /// Layer output sizes, input first.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.layers[0].n_in];
+        v.extend(self.layers.iter().map(|l| l.n_out));
+        v
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    pub(crate) fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Read-only access to the layer stack (for introspection tools).
+    pub fn layers_ref(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Overwrite one weight (used by weight-transferring network surgery).
+    pub fn set_weight(&mut self, layer: usize, o: usize, i: usize, w: f32) {
+        let l = &mut self.layers[layer];
+        assert!(o < l.n_out && i < l.n_in);
+        l.weights[o * l.n_in + i] = w;
+    }
+
+    /// Overwrite one bias.
+    pub fn set_bias(&mut self, layer: usize, o: usize, b: f32) {
+        let l = &mut self.layers[layer];
+        assert!(o < l.n_out);
+        l.biases[o] = b;
+    }
+
+    pub(crate) fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Run the network, allocating the output vector.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut scratch = Scratch::for_net(self);
+        self.forward_scratch(input, &mut scratch);
+        scratch.output().to_vec()
+    }
+
+    /// Run the network reusing `scratch` buffers (no allocation after the
+    /// first call) — the hot path for per-voxel classification.
+    pub fn forward_scratch<'s>(&self, input: &[f32], scratch: &'s mut Scratch) -> &'s [f32] {
+        assert_eq!(
+            input.len(),
+            self.input_size(),
+            "input length {} != network input size {}",
+            input.len(),
+            self.input_size()
+        );
+        scratch.ensure(self);
+        for (li, layer) in self.layers.iter().enumerate() {
+            // Split-borrow: the previous layer's output feeds this layer's buffer.
+            let (done, todo) = scratch.activations.split_at_mut(li);
+            let layer_input: &[f32] = if li == 0 { input } else { &done[li - 1] };
+            layer.forward_into(layer_input, &mut todo[0]);
+        }
+        scratch.output()
+    }
+
+    /// Convenience for single-output networks: forward and take output 0.
+    pub fn predict1(&self, input: &[f32], scratch: &mut Scratch) -> f32 {
+        self.forward_scratch(input, scratch)[0]
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Mlp serialization cannot fail")
+    }
+
+    /// Deserialize from [`Mlp::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Reusable forward-pass buffers: one activation vector per layer.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    activations: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// Allocate scratch sized for `net`.
+    pub fn for_net(net: &Mlp) -> Self {
+        let mut s = Self::default();
+        s.ensure(net);
+        s
+    }
+
+    fn ensure(&mut self, net: &Mlp) {
+        if self.activations.len() != net.layers.len()
+            || self
+                .activations
+                .iter()
+                .zip(&net.layers)
+                .any(|(a, l)| a.len() != l.n_out)
+        {
+            self.activations = net.layers.iter().map(|l| vec![0.0; l.n_out]).collect();
+        }
+    }
+
+    /// The last layer's activations from the most recent forward pass.
+    pub fn output(&self) -> &[f32] {
+        self.activations.last().map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All per-layer activations (used by the trainer).
+    pub(crate) fn activations(&self) -> &[Vec<f32>] {
+        &self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_shapes() {
+        let net = Mlp::new(
+            &[3, 8, 2],
+            Activation::Sigmoid,
+            Activation::Identity,
+            42,
+        );
+        assert_eq!(net.input_size(), 3);
+        assert_eq!(net.output_size(), 2);
+        assert_eq!(net.layer_sizes(), vec![3, 8, 2]);
+        assert_eq!(net.num_params(), 3 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn three_layer_is_paper_shape() {
+        let net = Mlp::three_layer(5, 10, 0);
+        assert_eq!(net.layer_sizes(), vec![5, 10, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_layers_panics() {
+        let _ = Mlp::new(&[4], Activation::Sigmoid, Activation::Sigmoid, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_layer_size_panics() {
+        let _ = Mlp::new(&[4, 0, 1], Activation::Sigmoid, Activation::Sigmoid, 0);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Mlp::three_layer(4, 6, 7);
+        let b = Mlp::three_layer(4, 6, 7);
+        let c = Mlp::three_layer(4, 6, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forward_output_in_sigmoid_range() {
+        let net = Mlp::three_layer(3, 5, 1);
+        let out = net.forward(&[0.1, 0.9, 0.4]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0] > 0.0 && out[0] < 1.0);
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward() {
+        let net = Mlp::new(&[2, 4, 4, 2], Activation::Tanh, Activation::Identity, 3);
+        let x = [0.3, -0.7];
+        let a = net.forward(&x);
+        let mut s = Scratch::for_net(&net);
+        let b = net.forward_scratch(&x, &mut s).to_vec();
+        assert_eq!(a, b);
+        // Re-run with the same scratch; still consistent.
+        let c = net.forward_scratch(&x, &mut s).to_vec();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_length_panics() {
+        let net = Mlp::three_layer(3, 4, 0);
+        let _ = net.forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_single_layer_is_affine() {
+        // One linear layer must compute exactly W x + b.
+        let mut net = Mlp::new(&[2, 1], Activation::Sigmoid, Activation::Identity, 0);
+        net.layers_mut()[0].weights = vec![2.0, -1.0];
+        net.layers_mut()[0].biases = vec![0.5];
+        let y = net.forward(&[3.0, 4.0]);
+        assert!((y[0] - (2.0 * 3.0 - 4.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let net = Mlp::three_layer(4, 8, 11);
+        let s = net.to_json();
+        let back = Mlp::from_json(&s).unwrap();
+        assert_eq!(net, back);
+        let x = [0.2, 0.4, 0.6, 0.8];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn scratch_resizes_for_different_net() {
+        let a = Mlp::three_layer(2, 3, 0);
+        let b = Mlp::new(&[2, 7, 2], Activation::Sigmoid, Activation::Sigmoid, 1);
+        let mut s = Scratch::for_net(&a);
+        let _ = b.forward_scratch(&[0.1, 0.2], &mut s);
+        assert_eq!(s.output().len(), 2);
+    }
+}

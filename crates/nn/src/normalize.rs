@@ -1,0 +1,161 @@
+//! Per-feature input normalization.
+//!
+//! Neural-network inputs assembled from heterogeneous data properties (raw
+//! scalar values, cumulative-histogram fractions, time-step numbers, shell
+//! samples) live on wildly different scales; min-max scaling each feature
+//! into `[0, 1]` keeps back-propagation well-conditioned.
+
+use serde::{Deserialize, Serialize};
+
+/// Min-max normalizer fitted per feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fit from rows of equal-length feature vectors.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a normalizer on zero rows");
+        let n = rows[0].len();
+        let mut lo = vec![f32::INFINITY; n];
+        let mut hi = vec![f32::NEG_INFINITY; n];
+        for row in rows {
+            assert_eq!(row.len(), n, "inconsistent feature-vector lengths");
+            for (k, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                lo[k] = lo[k].min(v);
+                hi[k] = hi[k].max(v);
+            }
+        }
+        // Features never observed finite collapse to [0, 0].
+        for k in 0..n {
+            if lo[k] > hi[k] {
+                lo[k] = 0.0;
+                hi[k] = 0.0;
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Construct with explicit per-feature ranges.
+    pub fn from_ranges(ranges: &[(f32, f32)]) -> Self {
+        let lo = ranges.iter().map(|r| r.0).collect();
+        let hi = ranges.iter().map(|r| r.1).collect();
+        Self { lo, hi }
+    }
+
+    /// Identity normalizer (all features pass through unchanged).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            lo: vec![0.0; n],
+            hi: vec![1.0; n],
+        }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Normalize in place: each feature mapped to `[0, 1]` by its fitted
+    /// range (values outside the range extrapolate linearly; constant
+    /// features map to 0).
+    pub fn apply(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.lo.len(), "feature count mismatch");
+        for (k, v) in row.iter_mut().enumerate() {
+            let span = self.hi[k] - self.lo[k];
+            *v = if span <= 0.0 { 0.0 } else { (*v - self.lo[k]) / span };
+        }
+    }
+
+    /// Normalized copy.
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        let mut out = row.to_vec();
+        self.apply(&mut out);
+        out
+    }
+
+    /// Invert normalization for feature `k`.
+    pub fn denormalize(&self, k: usize, v: f32) -> f32 {
+        self.lo[k] + v * (self.hi[k] - self.lo[k])
+    }
+
+    /// The fitted `(lo, hi)` for feature `k`.
+    pub fn range(&self, k: usize) -> (f32, f32) {
+        (self.lo[k], self.hi[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_transform_unit_range() {
+        let rows = vec![vec![0.0, 10.0], vec![2.0, 20.0], vec![1.0, 15.0]];
+        let n = Normalizer::fit(&rows);
+        assert_eq!(n.num_features(), 2);
+        assert_eq!(n.transform(&[0.0, 10.0]), vec![0.0, 0.0]);
+        assert_eq!(n.transform(&[2.0, 20.0]), vec![1.0, 1.0]);
+        assert_eq!(n.transform(&[1.0, 15.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let n = Normalizer::from_ranges(&[(0.0, 10.0)]);
+        assert_eq!(n.transform(&[20.0]), vec![2.0]);
+        assert_eq!(n.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let rows = vec![vec![5.0], vec![5.0]];
+        let n = Normalizer::fit(&rows);
+        assert_eq!(n.transform(&[5.0]), vec![0.0]);
+        assert_eq!(n.transform(&[99.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn nan_rows_ignored_in_fit() {
+        let rows = vec![vec![f32::NAN], vec![1.0], vec![3.0]];
+        let n = Normalizer::fit(&rows);
+        assert_eq!(n.range(0), (1.0, 3.0));
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let n = Normalizer::identity(3);
+        assert_eq!(n.transform(&[0.1, 0.5, 0.9]), vec![0.1, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn denormalize_inverts() {
+        let n = Normalizer::from_ranges(&[(2.0, 6.0)]);
+        let t = n.transform(&[5.0])[0];
+        assert!((n.denormalize(0, t) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_fit_panics() {
+        let _ = Normalizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Normalizer::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_wrong_len_panics() {
+        let n = Normalizer::identity(2);
+        let mut row = vec![1.0];
+        n.apply(&mut row);
+    }
+}

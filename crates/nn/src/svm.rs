@@ -1,0 +1,349 @@
+//! A support vector machine — the alternative learning engine the paper
+//! reports trying (Section 8: "We have also used support vector machines and
+//! obtained promising results"; Section 3 lists SVMs among the usable
+//! supervised techniques whose "cost and performance tradeoffs ... remain to
+//! be evaluated" — the ablation benches evaluate exactly that).
+//!
+//! Implementation: the simplified SMO algorithm (sequential minimal
+//! optimization) with linear and RBF kernels, trained on ±1 labels, with a
+//! logistic squash for certainty-style outputs compatible with the rest of
+//! the system.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Dot product.
+    Linear,
+    /// Gaussian radial basis function `exp(-gamma * |x - y|²)`.
+    Rbf { gamma: f32 },
+}
+
+impl Kernel {
+    #[inline]
+    fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// SVM training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Soft-margin penalty.
+    pub c: f32,
+    /// KKT violation tolerance.
+    pub tol: f32,
+    /// Stop after this many passes without any alpha update.
+    pub max_passes: usize,
+    /// Hard cap on total passes (guards non-separable pathologies).
+    pub max_iter: usize,
+    pub kernel: Kernel,
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iter: 200,
+            kernel: Kernel::Rbf { gamma: 2.0 },
+            seed: 0x57A4,
+        }
+    }
+}
+
+/// A trained (binary) support vector machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Svm {
+    kernel: Kernel,
+    /// Support vectors (training rows with non-zero alpha).
+    support: Vec<Vec<f32>>,
+    /// `alpha_i * y_i` per support vector.
+    coeffs: Vec<f32>,
+    bias: f32,
+}
+
+impl Svm {
+    /// Train with simplified SMO. `labels` are class probabilities in
+    /// `[0, 1]`; anything `>= 0.5` is the positive class (matching the
+    /// painting interface's certainty labels).
+    pub fn train(inputs: &[Vec<f32>], labels: &[f32], params: SvmParams) -> Self {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(!inputs.is_empty(), "cannot train an SVM on zero samples");
+        let n = inputs.len();
+        let dim = inputs[0].len();
+        for row in inputs {
+            assert_eq!(row.len(), dim, "inconsistent feature lengths");
+        }
+        let y: Vec<f32> = labels.iter().map(|&l| if l >= 0.5 { 1.0 } else { -1.0 }).collect();
+        assert!(
+            y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0),
+            "SVM training needs both classes"
+        );
+
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut alphas = vec![0.0f32; n];
+        let mut b = 0.0f32;
+
+        // Cache the kernel matrix for small training sets (painted samples
+        // are a few hundred rows — n² fits easily).
+        let kmat: Vec<f32> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| params.kernel.eval(&inputs[i], &inputs[j]))
+            .collect();
+        let k = |i: usize, j: usize| kmat[i * n + j];
+
+        let f = |alphas: &[f32], b: f32, i: usize| -> f32 {
+            let mut acc = b;
+            for j in 0..n {
+                if alphas[j] != 0.0 {
+                    acc += alphas[j] * y[j] * k(j, i);
+                }
+            }
+            acc
+        };
+
+        let mut passes = 0;
+        let mut iter = 0;
+        while passes < params.max_passes && iter < params.max_iter {
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alphas, b, i) - y[i];
+                let violates = (y[i] * ei < -params.tol && alphas[i] < params.c)
+                    || (y[i] * ei > params.tol && alphas[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Pick a random j != i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alphas, b, j) - y[j];
+                let (ai_old, aj_old) = (alphas[i], alphas[j]);
+
+                let (lo, hi) = if y[i] != y[j] {
+                    ((aj_old - ai_old).max(0.0), (params.c + aj_old - ai_old).min(params.c))
+                } else {
+                    ((ai_old + aj_old - params.c).max(0.0), (ai_old + aj_old).min(params.c))
+                };
+                // Degenerate or inverted box (float error can push hi just
+                // below lo): nothing to optimize on this pair.
+                if hi - lo < 1e-9 {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj_new = aj_old - y[j] * (ei - ej) / eta;
+                aj_new = aj_new.clamp(lo, hi);
+                if (aj_new - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai_new = ai_old + y[i] * y[j] * (aj_old - aj_new);
+
+                let b1 = b - ei
+                    - y[i] * (ai_new - ai_old) * k(i, i)
+                    - y[j] * (aj_new - aj_old) * k(i, j);
+                let b2 = b - ej
+                    - y[i] * (ai_new - ai_old) * k(i, j)
+                    - y[j] * (aj_new - aj_old) * k(j, j);
+                b = if ai_new > 0.0 && ai_new < params.c {
+                    b1
+                } else if aj_new > 0.0 && aj_new < params.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                alphas[i] = ai_new;
+                alphas[j] = aj_new;
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+            iter += 1;
+        }
+
+        let mut support = Vec::new();
+        let mut coeffs = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-7 {
+                support.push(inputs[i].clone());
+                coeffs.push(alphas[i] * y[i]);
+            }
+        }
+        Self {
+            kernel: params.kernel,
+            support,
+            coeffs,
+            bias: b,
+        }
+    }
+
+    /// Raw decision value (positive → positive class).
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        let mut acc = self.bias;
+        for (sv, &c) in self.support.iter().zip(&self.coeffs) {
+            acc += c * self.kernel.eval(sv, x);
+        }
+        acc
+    }
+
+    /// Certainty-style output in `(0, 1)` (logistic squash of the margin),
+    /// interchangeable with the neural network's output.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        1.0 / (1.0 + (-2.0 * self.decision(x)).exp())
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_set() -> (Vec<Vec<f32>>, Vec<f32>) {
+        // Separable by x0 + x1 > 1.
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x = [i as f32 / 10.0, j as f32 / 10.0];
+                inputs.push(x.to_vec());
+                labels.push(if x[0] + x[1] > 1.0 { 1.0 } else { 0.0 });
+            }
+        }
+        (inputs, labels)
+    }
+
+    #[test]
+    fn learns_linear_separation() {
+        let (inputs, labels) = linear_set();
+        let svm = Svm::train(
+            &inputs,
+            &labels,
+            SvmParams {
+                kernel: Kernel::Linear,
+                c: 10.0,
+                ..Default::default()
+            },
+        );
+        let correct = inputs
+            .iter()
+            .zip(&labels)
+            .filter(|(x, &l)| (svm.predict(x) >= 0.5) == (l >= 0.5))
+            .count();
+        assert!(correct >= 95, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn rbf_learns_xor() {
+        // XOR: not linearly separable, needs the RBF kernel.
+        let inputs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0.0, 1.0, 1.0, 0.0];
+        let svm = Svm::train(
+            &inputs,
+            &labels,
+            SvmParams {
+                kernel: Kernel::Rbf { gamma: 4.0 },
+                c: 50.0,
+                max_passes: 20,
+                ..Default::default()
+            },
+        );
+        for (x, &l) in inputs.iter().zip(&labels) {
+            let p = svm.predict(x);
+            assert_eq!(p >= 0.5, l >= 0.5, "at {x:?}: {p} vs {l}");
+        }
+    }
+
+    #[test]
+    fn predict_is_in_unit_interval() {
+        let (inputs, labels) = linear_set();
+        let svm = Svm::train(&inputs, &labels, SvmParams::default());
+        for x in &inputs {
+            let p = svm.predict(x);
+            assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    #[test]
+    fn decision_sign_matches_predict() {
+        let (inputs, labels) = linear_set();
+        let svm = Svm::train(&inputs, &labels, SvmParams::default());
+        for x in &inputs {
+            assert_eq!(svm.decision(x) > 0.0, svm.predict(x) > 0.5);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (inputs, labels) = linear_set();
+        let a = Svm::train(&inputs, &labels, SvmParams::default());
+        let b = Svm::train(&inputs, &labels, SvmParams::default());
+        assert_eq!(a.num_support_vectors(), b.num_support_vectors());
+        assert_eq!(a.decision(&inputs[3]), b.decision(&inputs[3]));
+    }
+
+    #[test]
+    fn keeps_only_a_subset_as_support_vectors() {
+        let (inputs, labels) = linear_set();
+        let svm = Svm::train(
+            &inputs,
+            &labels,
+            SvmParams {
+                kernel: Kernel::Linear,
+                c: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(svm.num_support_vectors() < inputs.len());
+        assert!(svm.num_support_vectors() > 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (inputs, labels) = linear_set();
+        let svm = Svm::train(&inputs, &labels, SvmParams::default());
+        let json = serde_json::to_string(&svm).unwrap();
+        let back: Svm = serde_json::from_str(&json).unwrap();
+        assert_eq!(svm.decision(&inputs[0]), back.decision(&inputs[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_class_panics() {
+        let inputs = vec![vec![0.0], vec![1.0]];
+        let labels = vec![1.0, 1.0];
+        let _ = Svm::train(&inputs, &labels, SvmParams::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_panics() {
+        let _ = Svm::train(&[], &[], SvmParams::default());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the neural network.
+
+use ifet_nn::mlp::Scratch;
+use ifet_nn::{Activation, Mlp, Normalizer, TrainParams, Trainer, TrainingSet};
+use proptest::prelude::*;
+
+fn small_input() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, 3)
+}
+
+proptest! {
+    #[test]
+    fn sigmoid_network_output_in_unit_interval(input in small_input(), seed in any::<u64>()) {
+        let net = Mlp::three_layer(3, 8, seed);
+        let y = net.forward(&input);
+        prop_assert!(y[0] > 0.0 && y[0] < 1.0, "{}", y[0]);
+    }
+
+    #[test]
+    fn forward_is_pure(input in small_input(), seed in any::<u64>()) {
+        let net = Mlp::three_layer(3, 5, seed);
+        let a = net.forward(&input);
+        let b = net.forward(&input);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_equals_fresh(input in small_input(), seed in any::<u64>()) {
+        let net = Mlp::new(&[3, 6, 4, 2], Activation::Tanh, Activation::Identity, seed);
+        let fresh = net.forward(&input);
+        let mut scratch = Scratch::for_net(&net);
+        // Warm the scratch with a different input first.
+        let _ = net.forward_scratch(&[9.0, -9.0, 0.5], &mut scratch);
+        let reused = net.forward_scratch(&input, &mut scratch).to_vec();
+        prop_assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour(input in small_input(), seed in any::<u64>()) {
+        let net = Mlp::three_layer(3, 7, seed);
+        let restored = Mlp::from_json(&net.to_json()).unwrap();
+        prop_assert_eq!(net.forward(&input), restored.forward(&input));
+    }
+
+    #[test]
+    fn one_gradient_step_reduces_sample_error(seed in any::<u64>(),
+                                              target in 0.1f32..0.9) {
+        // For a single training sample, repeated gradient steps with no
+        // momentum must monotonically-ish reduce that sample's error.
+        let mut net = Mlp::three_layer(3, 6, seed);
+        let mut trainer = Trainer::new(TrainParams {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            seed,
+        });
+        let input = [0.3f32, 0.7, 0.1];
+        let before = {
+            let y = net.forward(&input)[0];
+            (y - target).powi(2)
+        };
+        for _ in 0..50 {
+            trainer.train_sample(&mut net, &input, &[target]);
+        }
+        let after = {
+            let y = net.forward(&input)[0];
+            (y - target).powi(2)
+        };
+        prop_assert!(after < before + 1e-6, "error {before} -> {after}");
+    }
+
+    #[test]
+    fn evaluate_is_nonnegative(seed in any::<u64>()) {
+        let net = Mlp::three_layer(2, 4, seed);
+        let mut trainer = Trainer::new(TrainParams::default());
+        let mut set = TrainingSet::new();
+        set.add1(vec![0.0, 1.0], 1.0);
+        set.add1(vec![1.0, 0.0], 0.0);
+        prop_assert!(trainer.evaluate(&net, &set) >= 0.0);
+    }
+
+    #[test]
+    fn normalizer_maps_fitted_rows_into_unit_box(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0f32..100.0, 4), 1..20)) {
+        let n = Normalizer::fit(&rows);
+        for row in &rows {
+            for (k, &v) in n.transform(row).iter().enumerate() {
+                prop_assert!((-1e-5..=1.0 + 1e-5).contains(&v), "feature {k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_denormalize_inverts(lo in -50.0f32..0.0, span in 0.1f32..100.0,
+                                      t in 0.0f32..1.0) {
+        let n = Normalizer::from_ranges(&[(lo, lo + span)]);
+        let raw = lo + t * span;
+        let norm = n.transform(&[raw])[0];
+        prop_assert!((n.denormalize(0, norm) - raw).abs() < span * 1e-4);
+    }
+
+    #[test]
+    fn activations_are_monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Relu, Activation::Identity] {
+            prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-6, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn activation_derivatives_nonnegative(x in -5.0f32..5.0) {
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Relu, Activation::Identity] {
+            let y = act.apply(x);
+            prop_assert!(act.derivative_from_output(y) >= 0.0, "{act:?}");
+        }
+    }
+}

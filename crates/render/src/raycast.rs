@@ -1,0 +1,593 @@
+//! The ray caster: front-to-back compositing with transfer-function lookup,
+//! gradient shading, early ray termination, and the tracked-feature overlay.
+
+use crate::camera::Camera;
+use crate::image::Image;
+use ifet_tf::{ColorMap, TransferFunction1D};
+use ifet_volume::sample::{gradient_trilinear, normalize3, trilinear};
+use ifet_volume::{Mask3, ScalarVolume};
+use rayon::prelude::*;
+
+/// Rendering configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderParams {
+    /// Sampling step along the ray, in voxels.
+    pub step: f32,
+    /// Stop compositing when accumulated opacity exceeds this.
+    pub early_termination: f32,
+    /// Enable gradient (Phong) shading.
+    pub shading: bool,
+    /// Ambient light factor when shading.
+    pub ambient: f32,
+    /// Specular highlight strength (0 disables the specular term).
+    pub specular: f32,
+    /// Specular exponent (shininess).
+    pub shininess: f32,
+    /// Global opacity scale applied to TF lookups (per-sample, corrected for
+    /// step length against a reference step of 1 voxel).
+    pub opacity_scale: f32,
+    /// Background color.
+    pub background: [f32; 3],
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        Self {
+            step: 0.8,
+            early_termination: 0.98,
+            shading: true,
+            ambient: 0.35,
+            specular: 0.0,
+            shininess: 32.0,
+            opacity_scale: 1.0,
+            background: [0.0; 3],
+        }
+    }
+}
+
+/// A software direct volume renderer.
+#[derive(Debug, Clone, Default)]
+pub struct Renderer {
+    pub params: RenderParams,
+}
+
+impl Renderer {
+    pub fn new(params: RenderParams) -> Self {
+        Self { params }
+    }
+
+    /// Render `vol` through `tf` (opacity) and `cmap` (color by value over
+    /// the TF's domain) from `camera` into a `w`×`h` image.
+    pub fn render(
+        &self,
+        vol: &ScalarVolume,
+        tf: &TransferFunction1D,
+        cmap: ColorMap,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+    ) -> Image {
+        self.render_impl(vol, tf, cmap, camera, w, h, None, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn render_impl(
+        &self,
+        vol: &ScalarVolume,
+        tf: &TransferFunction1D,
+        cmap: ColorMap,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        overlay: Option<&Mask3>,
+        overlay_tf: Option<&TransferFunction1D>,
+    ) -> Image {
+        let mut img = Image::new(w, h);
+        let p = self.params;
+        let d = vol.dims();
+        let (tlo, thi) = tf.domain();
+        let light = camera.view_dir(); // headlight
+
+        let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
+        rows.into_par_iter().for_each(|(py, row)| {
+            for px in 0..w {
+                let (origin, dir) = camera.ray(px, py, w, h);
+                let rgb = self.trace(
+                    vol, tf, cmap, origin, dir, light, tlo, thi, overlay, overlay_tf,
+                );
+                row[3 * px] = rgb[0].clamp(0.0, 1.0);
+                row[3 * px + 1] = rgb[1].clamp(0.0, 1.0);
+                row[3 * px + 2] = rgb[2].clamp(0.0, 1.0);
+            }
+        });
+
+        let _ = (d, p);
+        img
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn trace(
+        &self,
+        vol: &ScalarVolume,
+        tf: &TransferFunction1D,
+        cmap: ColorMap,
+        origin: [f32; 3],
+        dir: [f32; 3],
+        light: [f32; 3],
+        tlo: f32,
+        thi: f32,
+        overlay: Option<&Mask3>,
+        overlay_tf: Option<&TransferFunction1D>,
+    ) -> [f32; 3] {
+        let p = &self.params;
+        let d = vol.dims();
+        let bounds = [
+            d.nx as f32 - 1.0,
+            d.ny as f32 - 1.0,
+            d.nz as f32 - 1.0,
+        ];
+        let Some((t_enter, t_exit)) = ray_box(origin, dir, bounds) else {
+            return p.background;
+        };
+
+        let mut color = [0.0f32; 3];
+        let mut alpha = 0.0f32;
+        let mut t = t_enter.max(0.0);
+        // Opacity correction for step size relative to unit reference.
+        let correction = p.step;
+
+        while t <= t_exit {
+            let x = origin[0] + dir[0] * t;
+            let y = origin[1] + dir[1] * t;
+            let z = origin[2] + dir[2] * t;
+            let v = trilinear(vol, x, y, z);
+
+            // Tracked-feature overlay: voxels inside the region-grow mask
+            // render red with the adaptive TF's opacity (Section 7).
+            let (mut sample_color, tf_opacity) = if let (Some(mask), Some(otf)) =
+                (overlay, overlay_tf)
+            {
+                let (cx, cy, cz) = d.clamp_i(
+                    x.round() as i64,
+                    y.round() as i64,
+                    z.round() as i64,
+                );
+                if mask.get(cx, cy, cz) {
+                    ([1.0, 0.1, 0.1], otf.opacity_at(v))
+                } else {
+                    (cmap.sample_in(v, tlo, thi), tf.opacity_at(v))
+                }
+            } else {
+                (cmap.sample_in(v, tlo, thi), tf.opacity_at(v))
+            };
+
+            let a = (tf_opacity * p.opacity_scale * correction).clamp(0.0, 1.0);
+            if a > 1e-4 {
+                if p.shading {
+                    let g = normalize3(gradient_trilinear(vol, x, y, z));
+                    let ndotl =
+                        (g[0] * light[0] + g[1] * light[1] + g[2] * light[2]).abs();
+                    let shade = p.ambient + (1.0 - p.ambient) * ndotl;
+                    for c in &mut sample_color {
+                        *c *= shade;
+                    }
+                    // Headlight specular: the half-vector coincides with the
+                    // light/view direction, so the highlight is |n·l|^s.
+                    if p.specular > 0.0 {
+                        let spec = p.specular * ndotl.powf(p.shininess);
+                        for c in &mut sample_color {
+                            *c += spec;
+                        }
+                    }
+                }
+                let w = a * (1.0 - alpha);
+                for k in 0..3 {
+                    color[k] += w * sample_color[k];
+                }
+                alpha += w;
+                if alpha >= p.early_termination {
+                    break;
+                }
+            }
+            t += p.step;
+        }
+
+        [
+            color[0] + (1.0 - alpha) * p.background[0],
+            color[1] + (1.0 - alpha) * p.background[1],
+            color[2] + (1.0 - alpha) * p.background[2],
+        ]
+    }
+}
+
+impl Renderer {
+    /// Render a data-space classification result: "the classified result is
+    /// stored as a 3D texture and used to assign opacity to each voxel"
+    /// (Section 7). Opacity comes from the certainty field, color from the
+    /// original data values — so color still communicates the physics
+    /// (Section 7's color-stays-quantitative rule).
+    pub fn render_classified(
+        &self,
+        vol: &ScalarVolume,
+        certainty: &ScalarVolume,
+        cmap: ColorMap,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+    ) -> Image {
+        assert_eq!(vol.dims(), certainty.dims(), "certainty field dims mismatch");
+        let mut img = Image::new(w, h);
+        let p = self.params;
+        let d = vol.dims();
+        let (vlo, vhi) = vol.value_range();
+        let bounds = [d.nx as f32 - 1.0, d.ny as f32 - 1.0, d.nz as f32 - 1.0];
+        let light = camera.view_dir();
+
+        let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
+        rows.into_par_iter().for_each(|(py, row)| {
+            for px in 0..w {
+                let (origin, dir) = camera.ray(px, py, w, h);
+                let mut color = [0.0f32; 3];
+                let mut alpha = 0.0f32;
+                if let Some((t0, t1)) = ray_box(origin, dir, bounds) {
+                    let mut t = t0.max(0.0);
+                    while t <= t1 {
+                        let x = origin[0] + dir[0] * t;
+                        let y = origin[1] + dir[1] * t;
+                        let z = origin[2] + dir[2] * t;
+                        let a = (trilinear(certainty, x, y, z)
+                            * p.opacity_scale
+                            * p.step)
+                            .clamp(0.0, 1.0);
+                        if a > 1e-4 {
+                            let v = trilinear(vol, x, y, z);
+                            let mut c = cmap.sample_in(v, vlo, vhi);
+                            if p.shading {
+                                let g = normalize3(gradient_trilinear(vol, x, y, z));
+                                let ndotl =
+                                    (g[0] * light[0] + g[1] * light[1] + g[2] * light[2]).abs();
+                                let shade = p.ambient + (1.0 - p.ambient) * ndotl;
+                                for ch in &mut c {
+                                    *ch *= shade;
+                                }
+                            }
+                            let wgt = a * (1.0 - alpha);
+                            for k in 0..3 {
+                                color[k] += wgt * c[k];
+                            }
+                            alpha += wgt;
+                            if alpha >= p.early_termination {
+                                break;
+                            }
+                        }
+                        t += p.step;
+                    }
+                }
+                row[3 * px] = (color[0] + (1.0 - alpha) * p.background[0]).clamp(0.0, 1.0);
+                row[3 * px + 1] = (color[1] + (1.0 - alpha) * p.background[1]).clamp(0.0, 1.0);
+                row[3 * px + 2] = (color[2] + (1.0 - alpha) * p.background[2]).clamp(0.0, 1.0);
+            }
+        });
+        img
+    }
+
+    /// Maximum-intensity projection: each pixel shows the color-mapped
+    /// maximum TF-visible value along its ray. A cheap overview mode — no
+    /// compositing, no shading — useful for locating features before
+    /// committing to a transfer function.
+    pub fn render_mip(
+        &self,
+        vol: &ScalarVolume,
+        cmap: ColorMap,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+    ) -> Image {
+        let mut img = Image::new(w, h);
+        let p = self.params;
+        let d = vol.dims();
+        let (vlo, vhi) = vol.value_range();
+        let bounds = [d.nx as f32 - 1.0, d.ny as f32 - 1.0, d.nz as f32 - 1.0];
+
+        let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
+        rows.into_par_iter().for_each(|(py, row)| {
+            for px in 0..w {
+                let (origin, dir) = camera.ray(px, py, w, h);
+                let rgb = if let Some((t0, t1)) = ray_box(origin, dir, bounds) {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut t = t0.max(0.0);
+                    while t <= t1 {
+                        let v = trilinear(
+                            vol,
+                            origin[0] + dir[0] * t,
+                            origin[1] + dir[1] * t,
+                            origin[2] + dir[2] * t,
+                        );
+                        best = best.max(v);
+                        t += p.step;
+                    }
+                    if best.is_finite() {
+                        cmap.sample_in(best, vlo, vhi)
+                    } else {
+                        p.background
+                    }
+                } else {
+                    p.background
+                };
+                row[3 * px] = rgb[0].clamp(0.0, 1.0);
+                row[3 * px + 1] = rgb[1].clamp(0.0, 1.0);
+                row[3 * px + 2] = rgb[2].clamp(0.0, 1.0);
+            }
+        });
+        img
+    }
+}
+
+/// Ray / axis-aligned-box intersection over `[0, bounds]³`.
+/// Returns the parametric `(t_enter, t_exit)` interval, or None for a miss.
+fn ray_box(origin: [f32; 3], dir: [f32; 3], bounds: [f32; 3]) -> Option<(f32, f32)> {
+    let mut t0 = f32::NEG_INFINITY;
+    let mut t1 = f32::INFINITY;
+    for k in 0..3 {
+        if dir[k].abs() < 1e-9 {
+            if origin[k] < 0.0 || origin[k] > bounds[k] {
+                return None;
+            }
+            continue;
+        }
+        let inv = 1.0 / dir[k];
+        let mut a = -origin[k] * inv;
+        let mut b = (bounds[k] - origin[k]) * inv;
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        t0 = t0.max(a);
+        t1 = t1.min(b);
+    }
+    (t0 <= t1).then_some((t0, t1))
+}
+
+/// Render the tracked feature highlighted in red over the context volume —
+/// "when a voxel's value in the region growing texture is one, its color is
+/// set to red and its opacity is set to the opacity in the adaptive transfer
+/// function. Otherwise, the color and opacity looked up from the user
+/// specified 1D transfer function are shown." (Section 7)
+#[allow(clippy::too_many_arguments)]
+pub fn render_tracking_overlay(
+    renderer: &Renderer,
+    vol: &ScalarVolume,
+    tracked: &Mask3,
+    base_tf: &TransferFunction1D,
+    adaptive_tf: &TransferFunction1D,
+    cmap: ColorMap,
+    camera: &Camera,
+    w: usize,
+    h: usize,
+) -> Image {
+    assert_eq!(tracked.dims(), vol.dims());
+    renderer.render_impl(
+        vol,
+        base_tf,
+        cmap,
+        camera,
+        w,
+        h,
+        Some(tracked),
+        Some(adaptive_tf),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifet_volume::Dims3;
+
+    fn ball_volume(n: usize, r: f32) -> ScalarVolume {
+        let c = (n as f32 - 1.0) / 2.0;
+        ScalarVolume::from_fn(Dims3::cube(n), |x, y, z| {
+            let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
+                .sqrt();
+            if d <= r {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn setup(n: usize) -> (ScalarVolume, TransferFunction1D, Camera) {
+        let vol = ball_volume(n, n as f32 * 0.25);
+        let tf = TransferFunction1D::band(0.0, 1.0, 0.5, 1.0, 0.9);
+        let cam = Camera::framing(vol.dims(), 0.6, 0.4);
+        (vol, tf, cam)
+    }
+
+    #[test]
+    fn ray_box_hit_and_miss() {
+        let b = [9.0, 9.0, 9.0];
+        let hit = ray_box([-5.0, 4.5, 4.5], [1.0, 0.0, 0.0], b).unwrap();
+        assert!((hit.0 - 5.0).abs() < 1e-5);
+        assert!((hit.1 - 14.0).abs() < 1e-5);
+        assert!(ray_box([-5.0, 20.0, 4.5], [1.0, 0.0, 0.0], b).is_none());
+        // Parallel ray inside the slab.
+        assert!(ray_box([4.0, 4.0, -3.0], [0.0, 0.0, 1.0], b).is_some());
+    }
+
+    #[test]
+    fn ball_renders_bright_center_dark_corner() {
+        let (vol, tf, cam) = setup(24);
+        let img = Renderer::default().render(&vol, &tf, ColorMap::Grayscale, &cam, 48, 48);
+        let center = img.pixel(24, 24);
+        let corner = img.pixel(1, 1);
+        assert!(
+            center[0] > corner[0] + 0.2,
+            "center {center:?} vs corner {corner:?}"
+        );
+    }
+
+    #[test]
+    fn transparent_tf_gives_background() {
+        let (vol, _, cam) = setup(16);
+        let tf = TransferFunction1D::transparent(0.0, 1.0);
+        let mut r = Renderer::default();
+        r.params.background = [0.2, 0.3, 0.4];
+        let img = r.render(&vol, &tf, ColorMap::Grayscale, &cam, 16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let p = img.pixel(x, y);
+                assert!((p[0] - 0.2).abs() < 1e-4 && (p[2] - 0.4).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (vol, tf, cam) = setup(16);
+        let r = Renderer::default();
+        let a = r.render(&vol, &tf, ColorMap::Rainbow, &cam, 32, 32);
+        let b = r.render(&vol, &tf, ColorMap::Rainbow, &cam, 32, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_termination_changes_little() {
+        let (vol, tf, cam) = setup(20);
+        let mut on = Renderer::default();
+        on.params.early_termination = 0.95;
+        let mut off = Renderer::default();
+        off.params.early_termination = 1.1; // never triggers
+        let a = on.render(&vol, &tf, ColorMap::Grayscale, &cam, 24, 24);
+        let b = off.render(&vol, &tf, ColorMap::Grayscale, &cam, 24, 24);
+        assert!(a.mse(&b) < 1e-3, "mse {}", a.mse(&b));
+    }
+
+    #[test]
+    fn shading_darkens_flat_regions() {
+        // With a headlight, faces oblique to the view get darker than the
+        // unshaded render; total luminance must drop.
+        let (vol, tf, cam) = setup(20);
+        let mut shaded = Renderer::default();
+        shaded.params.ambient = 0.2;
+        let mut flat = Renderer::default();
+        flat.params.shading = false;
+        let a = shaded.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
+        let b = flat.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
+        assert!(a.mean_luminance() < b.mean_luminance());
+    }
+
+    #[test]
+    fn specular_adds_highlights() {
+        let (vol, tf, cam) = setup(20);
+        let mut plain = Renderer::default();
+        plain.params.specular = 0.0;
+        let mut shiny = Renderer::default();
+        shiny.params.specular = 0.8;
+        shiny.params.shininess = 8.0;
+        let a = plain.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
+        let b = shiny.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
+        assert!(b.mean_luminance() > a.mean_luminance());
+    }
+
+    #[test]
+    fn perspective_projection_renders_the_ball() {
+        let (vol, tf, _) = setup(24);
+        let cam = crate::camera::Camera::framing_perspective(vol.dims(), 0.6, 0.4);
+        let img = Renderer::default().render(&vol, &tf, ColorMap::Grayscale, &cam, 48, 48);
+        let center = img.pixel(24, 24);
+        let corner = img.pixel(1, 1);
+        assert!(center[0] > corner[0] + 0.2, "{center:?} vs {corner:?}");
+    }
+
+    #[test]
+    fn overlay_highlights_tracked_feature_in_red() {
+        let (vol, tf, cam) = setup(24);
+        let tracked = Mask3::threshold(&vol, 0.5);
+        let adaptive = TransferFunction1D::band(0.0, 1.0, 0.5, 1.0, 1.0);
+        let mut r = Renderer::default();
+        r.params.shading = false;
+        let img = render_tracking_overlay(
+            &r, &vol, &tracked, &tf, &adaptive, ColorMap::Grayscale, &cam, 48, 48,
+        );
+        let center = img.pixel(24, 24);
+        assert!(
+            center[0] > center[1] * 2.0,
+            "tracked feature should be red: {center:?}"
+        );
+    }
+
+    #[test]
+    fn overlay_leaves_background_unchanged() {
+        let (vol, tf, cam) = setup(24);
+        let empty = Mask3::empty(vol.dims());
+        let adaptive = TransferFunction1D::band(0.0, 1.0, 0.5, 1.0, 1.0);
+        let r = Renderer::default();
+        let with = render_tracking_overlay(
+            &r, &vol, &empty, &tf, &adaptive, ColorMap::Grayscale, &cam, 32, 32,
+        );
+        let without = r.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
+        assert!(with.mse(&without) < 1e-9);
+    }
+
+    #[test]
+    fn classified_render_shows_only_certain_regions() {
+        let (vol, _, cam) = setup(24);
+        // Certainty = the ball itself vs all-zero certainty.
+        let certainty = vol.clone();
+        let r = Renderer::default();
+        let img = r.render_classified(&vol, &certainty, ColorMap::Grayscale, &cam, 32, 32);
+        assert!(img.mean_luminance() > 0.01);
+        let none = r.render_classified(
+            &vol,
+            &ScalarVolume::zeros(vol.dims()),
+            ColorMap::Grayscale,
+            &cam,
+            32,
+            32,
+        );
+        assert!(none.mean_luminance() < 1e-6, "zero certainty must render black");
+    }
+
+    #[test]
+    #[should_panic]
+    fn classified_render_dims_mismatch_panics() {
+        let (vol, _, cam) = setup(8);
+        let bad = ScalarVolume::zeros(Dims3::cube(4));
+        Renderer::default().render_classified(&vol, &bad, ColorMap::Grayscale, &cam, 8, 8);
+    }
+
+    #[test]
+    fn mip_brightest_where_feature_is() {
+        let (vol, _, cam) = setup(24);
+        let img = Renderer::default().render_mip(&vol, ColorMap::Grayscale, &cam, 48, 48);
+        // The ball projects to the image center: MIP there sees value 1.0.
+        let center = img.pixel(24, 24);
+        let corner = img.pixel(1, 1);
+        assert!(center[0] > 0.9, "{center:?}");
+        assert!(center[0] > corner[0]);
+    }
+
+    #[test]
+    fn mip_of_constant_volume_is_uniform() {
+        let vol = ScalarVolume::filled(Dims3::cube(12), 0.5);
+        let cam = Camera::framing(vol.dims(), 0.3, 0.2);
+        let img = Renderer::default().render_mip(&vol, ColorMap::Grayscale, &cam, 16, 16);
+        // Every ray that hits the box sees the same max (degenerate range
+        // maps to the color map's low end).
+        let p = img.pixel(8, 8);
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn opacity_scale_monotone() {
+        let (vol, tf, cam) = setup(16);
+        let mut weak = Renderer::default();
+        weak.params.opacity_scale = 0.2;
+        weak.params.shading = false;
+        let mut strong = Renderer::default();
+        strong.params.opacity_scale = 1.0;
+        strong.params.shading = false;
+        let a = weak.render(&vol, &tf, ColorMap::Grayscale, &cam, 24, 24);
+        let b = strong.render(&vol, &tf, ColorMap::Grayscale, &cam, 24, 24);
+        assert!(a.mean_luminance() < b.mean_luminance());
+    }
+}

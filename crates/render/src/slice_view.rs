@@ -1,0 +1,171 @@
+//! Axis-aligned slice views — the lower row of the paper's multi-view
+//! interface (Section 6): the user paints on "three axis-aligned slices",
+//! sees classification feedback per slice, and inspects the data in 2D.
+//!
+//! Headless equivalents: render a slice as a grayscale or color-mapped
+//! image, overlay painted voxels as colored marks, and overlay a per-slice
+//! certainty field as a red tint.
+
+use crate::image::Image;
+use ifet_tf::ColorMap;
+use ifet_volume::ScalarVolume;
+
+/// Which axis the slice cuts across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceAxis {
+    X,
+    Y,
+    Z,
+}
+
+/// Extract slice data for an axis: `(width, height, row-major values)`.
+pub fn slice_data(vol: &ScalarVolume, axis: SliceAxis, k: usize) -> (usize, usize, Vec<f32>) {
+    match axis {
+        SliceAxis::X => vol.slice_x(k),
+        SliceAxis::Y => vol.slice_y(k),
+        SliceAxis::Z => vol.slice_z(k),
+    }
+}
+
+/// Render a slice through a color map, normalized to the *volume's* global
+/// range so slices are comparable.
+pub fn render_slice(vol: &ScalarVolume, axis: SliceAxis, k: usize, cmap: ColorMap) -> Image {
+    let (w, h, data) = slice_data(vol, axis, k);
+    let (lo, hi) = vol.value_range();
+    let mut img = Image::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            img.set_pixel(x, y, cmap.sample_in(data[x + w * y], lo, hi));
+        }
+    }
+    img
+}
+
+/// Paint marks onto a z-slice image: positives in green, negatives in blue
+/// (the "brushes of different color"). Marks off this slice are ignored.
+pub fn overlay_paints_z(
+    img: &mut Image,
+    k: usize,
+    positives: &[(usize, usize, usize)],
+    negatives: &[(usize, usize, usize)],
+) {
+    for &(x, y, z) in positives {
+        if z == k && x < img.width() && y < img.height() {
+            img.set_pixel(x, y, [0.1, 1.0, 0.1]);
+        }
+    }
+    for &(x, y, z) in negatives {
+        if z == k && x < img.width() && y < img.height() {
+            img.set_pixel(x, y, [0.1, 0.1, 1.0]);
+        }
+    }
+}
+
+/// Tint a slice image by a certainty field (row-major, `[0, 1]`): certain
+/// voxels blend toward red — the immediate per-slice feedback of Section 6.
+pub fn overlay_certainty(img: &mut Image, certainty: &[f32]) {
+    let (w, h) = (img.width(), img.height());
+    assert_eq!(certainty.len(), w * h, "certainty field size mismatch");
+    for y in 0..h {
+        for x in 0..w {
+            let c = certainty[x + w * y].clamp(0.0, 1.0);
+            if c > 0.0 {
+                let p = img.pixel(x, y);
+                img.set_pixel(
+                    x,
+                    y,
+                    [
+                        p[0] * (1.0 - c) + c,
+                        p[1] * (1.0 - c),
+                        p[2] * (1.0 - c),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// The interface's lower row: the three axis-aligned mid-slices as images.
+pub fn three_view(vol: &ScalarVolume, cmap: ColorMap) -> [Image; 3] {
+    let d = vol.dims();
+    [
+        render_slice(vol, SliceAxis::X, d.nx / 2, cmap),
+        render_slice(vol, SliceAxis::Y, d.ny / 2, cmap),
+        render_slice(vol, SliceAxis::Z, d.nz / 2, cmap),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifet_volume::Dims3;
+
+    fn ramp() -> ScalarVolume {
+        ScalarVolume::from_fn(Dims3::new(6, 8, 10), |x, y, z| (x + y + z) as f32)
+    }
+
+    #[test]
+    fn slice_dimensions_per_axis() {
+        let v = ramp();
+        let (w, h, _) = slice_data(&v, SliceAxis::X, 0);
+        assert_eq!((w, h), (8, 10));
+        let (w, h, _) = slice_data(&v, SliceAxis::Y, 0);
+        assert_eq!((w, h), (6, 10));
+        let (w, h, _) = slice_data(&v, SliceAxis::Z, 0);
+        assert_eq!((w, h), (6, 8));
+    }
+
+    #[test]
+    fn rendered_slice_uses_global_range() {
+        let v = ramp();
+        // Slice z=0 has max value 12 while the global max is 21: its
+        // brightest pixel must NOT be pure white.
+        let img = render_slice(&v, SliceAxis::Z, 0, ColorMap::Grayscale);
+        let brightest = img.pixel(5, 7);
+        assert!(brightest[0] < 0.99, "{brightest:?}");
+        // But the global max voxel on the last slice is white.
+        let img_last = render_slice(&v, SliceAxis::Z, 9, ColorMap::Grayscale);
+        assert!(img_last.pixel(5, 7)[0] > 0.99);
+    }
+
+    #[test]
+    fn paint_overlay_marks_only_matching_slice() {
+        let v = ramp();
+        let mut img = render_slice(&v, SliceAxis::Z, 3, ColorMap::Grayscale);
+        overlay_paints_z(&mut img, 3, &[(1, 1, 3)], &[(2, 2, 4)]);
+        assert_eq!(img.pixel(1, 1), [0.1, 1.0, 0.1]); // on-slice positive
+        let p = img.pixel(2, 2);
+        assert_ne!(p, [0.1, 0.1, 1.0], "off-slice negative must not draw");
+    }
+
+    #[test]
+    fn certainty_overlay_reddens() {
+        let v = ramp();
+        let mut img = render_slice(&v, SliceAxis::Z, 0, ColorMap::Grayscale);
+        let mut field = vec![0.0f32; 6 * 8];
+        field[0] = 1.0; // pixel (0,0) fully certain
+        overlay_certainty(&mut img, &field);
+        let p = img.pixel(0, 0);
+        assert!(p[0] > 0.99 && p[1] < 0.01, "{p:?}");
+        // Unmarked pixel unchanged (certainty 0).
+        let q = img.pixel(3, 3);
+        assert_eq!(q[0], q[1]);
+    }
+
+    #[test]
+    fn three_view_shapes() {
+        let v = ramp();
+        let [ix, iy, iz] = three_view(&v, ColorMap::Rainbow);
+        assert_eq!((ix.width(), ix.height()), (8, 10));
+        assert_eq!((iy.width(), iy.height()), (6, 10));
+        assert_eq!((iz.width(), iz.height()), (6, 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn certainty_size_mismatch_panics() {
+        let v = ramp();
+        let mut img = render_slice(&v, SliceAxis::Z, 0, ColorMap::Grayscale);
+        overlay_certainty(&mut img, &[0.5; 3]);
+    }
+}

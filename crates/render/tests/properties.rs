@@ -1,0 +1,91 @@
+//! Property-based tests for the renderer.
+
+use ifet_render::{Camera, Image, RenderParams, Renderer};
+use ifet_tf::{ColorMap, TransferFunction1D};
+use ifet_volume::{Dims3, ScalarVolume};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn camera_rays_unit_and_parallel(az in 0.0f32..std::f32::consts::TAU, el in -1.4f32..1.4) {
+        let cam = Camera::framing(Dims3::cube(16), az, el);
+        let (_, d1) = cam.ray(0, 0, 9, 9);
+        let (_, d2) = cam.ray(8, 8, 9, 9);
+        let len = (d1[0] * d1[0] + d1[1] * d1[1] + d1[2] * d1[2]).sqrt();
+        prop_assert!((len - 1.0).abs() < 1e-4);
+        prop_assert_eq!(d1, d2); // orthographic
+    }
+
+    #[test]
+    fn rendered_pixels_always_valid(az in 0.0f32..std::f32::consts::TAU, el in -1.2f32..1.2,
+                                    band_lo in 0.0f32..0.8) {
+        let vol = ScalarVolume::from_fn(Dims3::cube(10), |x, y, z| {
+            ((x + y + z) % 5) as f32 / 4.0
+        });
+        let tf = TransferFunction1D::band(0.0, 1.0, band_lo, 1.0, 0.7);
+        let cam = Camera::framing(vol.dims(), az, el);
+        let img = Renderer::default().render(&vol, &tf, ColorMap::Rainbow, &cam, 12, 12);
+        for y in 0..12 {
+            for x in 0..12 {
+                for c in img.pixel(x, y) {
+                    prop_assert!((0.0..=1.0).contains(&c) && c.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_opacity_scale_never_darkens(scale in 0.1f32..0.9) {
+        let vol = ScalarVolume::from_fn(Dims3::cube(10), |x, _, _| x as f32 / 9.0);
+        let tf = TransferFunction1D::band(0.0, 1.0, 0.3, 1.0, 0.5);
+        let cam = Camera::framing(vol.dims(), 0.5, 0.3);
+        let mut weak = Renderer::default();
+        weak.params.shading = false;
+        weak.params.opacity_scale = scale;
+        let mut strong = weak.clone();
+        strong.params.opacity_scale = (scale * 1.5).min(1.0);
+        let a = weak.render(&vol, &tf, ColorMap::Grayscale, &cam, 10, 10);
+        let b = strong.render(&vol, &tf, ColorMap::Grayscale, &cam, 10, 10);
+        prop_assert!(b.mean_luminance() >= a.mean_luminance() - 1e-5);
+    }
+
+    #[test]
+    fn background_shows_through_transparent_tf(bg_r in 0.0f32..1.0, bg_g in 0.0f32..1.0) {
+        let vol = ScalarVolume::filled(Dims3::cube(8), 0.5);
+        let tf = TransferFunction1D::transparent(0.0, 1.0);
+        let cam = Camera::framing(vol.dims(), 1.0, 0.5);
+        let r = Renderer::new(RenderParams {
+            background: [bg_r, bg_g, 0.0],
+            ..Default::default()
+        });
+        let img = r.render(&vol, &tf, ColorMap::Grayscale, &cam, 8, 8);
+        let p = img.pixel(4, 4);
+        prop_assert!((p[0] - bg_r).abs() < 1e-4);
+        prop_assert!((p[1] - bg_g).abs() < 1e-4);
+    }
+
+    #[test]
+    fn image_mse_is_symmetric_and_zero_on_self(seed in any::<u64>()) {
+        let mut a = Image::new(6, 6);
+        let mut b = Image::new(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                let h = (seed ^ (x as u64 * 7 + y as u64 * 13)) as f32;
+                a.set_pixel(x, y, [(h % 7.0) / 7.0, 0.5, 0.2]);
+                b.set_pixel(x, y, [(h % 5.0) / 5.0, 0.1, 0.9]);
+            }
+        }
+        prop_assert_eq!(a.mse(&a), 0.0);
+        prop_assert!((a.mse(&b) - b.mse(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppm_size_matches_dimensions(w in 1usize..20, h in 1usize..20) {
+        let img = Image::new(w, h);
+        let ppm = img.to_ppm();
+        let header = format!("P6\n{w} {h}\n255\n");
+        prop_assert_eq!(ppm.len(), header.len() + w * h * 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Closed-form velocity fields used as initial conditions and workloads.
+
+use ifet_volume::{Dims3, VectorVolume};
+use std::f32::consts::PI;
+
+/// Taylor–Green vortex on `[0, 2π]³` mapped over the grid; a classical
+/// divergence-free benchmark field.
+pub fn taylor_green(dims: Dims3, amplitude: f32) -> VectorVolume {
+    let sx = 2.0 * PI / dims.nx as f32;
+    let sy = 2.0 * PI / dims.ny as f32;
+    let sz = 2.0 * PI / dims.nz as f32;
+    VectorVolume::from_fn(dims, |x, y, z| {
+        let (px, py, pz) = (x as f32 * sx, y as f32 * sy, z as f32 * sz);
+        [
+            amplitude * px.cos() * py.sin() * pz.sin(),
+            -amplitude * px.sin() * py.cos() * pz.sin() * 0.5,
+            -amplitude * px.sin() * py.sin() * pz.cos() * 0.5,
+        ]
+    })
+}
+
+/// Arnold–Beltrami–Childress flow, a chaotic steady solution of Euler's
+/// equations; good for generating tangled vortex structures.
+pub fn abc_flow(dims: Dims3, a: f32, b: f32, c: f32) -> VectorVolume {
+    let sx = 2.0 * PI / dims.nx as f32;
+    let sy = 2.0 * PI / dims.ny as f32;
+    let sz = 2.0 * PI / dims.nz as f32;
+    VectorVolume::from_fn(dims, |x, y, z| {
+        let (px, py, pz) = (x as f32 * sx, y as f32 * sy, z as f32 * sz);
+        [
+            a * pz.sin() + c * py.cos(),
+            b * px.sin() + a * pz.cos(),
+            c * py.sin() + b * px.cos(),
+        ]
+    })
+}
+
+/// A temporally-evolving plane jet: streamwise (x) velocity with a
+/// `sech²` profile across y, centered mid-domain with half-width `delta`
+/// (in voxels). The shear layers at the jet edges are where vorticity
+/// concentrates — the structure visualized in the paper's DNS combustion
+/// case study.
+pub fn plane_jet(dims: Dims3, peak_velocity: f32, delta: f32) -> VectorVolume {
+    let yc = (dims.ny as f32 - 1.0) / 2.0;
+    VectorVolume::from_fn(dims, |_, y, _| {
+        let eta = (y as f32 - yc) / delta;
+        let sech = 1.0 / eta.cosh();
+        [peak_velocity * sech * sech, 0.0, 0.0]
+    })
+}
+
+/// A solid-body swirl about the z-axis with Gaussian radial falloff
+/// (`core_radius` in voxels), the initial condition for the swirling-flow
+/// dataset.
+pub fn gaussian_swirl(dims: Dims3, strength: f32, core_radius: f32) -> VectorVolume {
+    let cx = (dims.nx as f32 - 1.0) / 2.0;
+    let cy = (dims.ny as f32 - 1.0) / 2.0;
+    VectorVolume::from_fn(dims, |x, y, _| {
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let r2 = dx * dx + dy * dy;
+        let envelope = (-r2 / (2.0 * core_radius * core_radius)).exp();
+        [-dy * strength * envelope, dx * strength * envelope, 0.0]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taylor_green_is_divergence_free_interior() {
+        let f = taylor_green(Dims3::cube(24), 1.0);
+        let div = f.divergence();
+        // Sample interior voxels; central differences of a smooth
+        // divergence-free field should be near zero.
+        let mut max_abs: f32 = 0.0;
+        for z in 4..20 {
+            for y in 4..20 {
+                for x in 4..20 {
+                    max_abs = max_abs.max(div.get(x, y, z).abs());
+                }
+            }
+        }
+        assert!(max_abs < 0.05, "max |div| = {max_abs}");
+    }
+
+    #[test]
+    fn abc_flow_magnitude_bounded() {
+        let f = abc_flow(Dims3::cube(16), 1.0, 1.0, 1.0);
+        let m = f.magnitude();
+        let (_, hi) = m.value_range();
+        assert!(hi <= 2.0 * 3.0f32.sqrt() + 1e-3);
+        assert!(hi > 0.5);
+    }
+
+    #[test]
+    fn plane_jet_peaks_at_centerline() {
+        let d = Dims3::new(16, 33, 8);
+        let f = plane_jet(d, 2.0, 4.0);
+        let center = f.get(8, 16, 4);
+        assert!((center[0] - 2.0).abs() < 1e-3);
+        assert_eq!(center[1], 0.0);
+        // Decays away from centerline.
+        assert!(f.get(8, 0, 4)[0] < 0.1);
+        assert!(f.get(8, 32, 4)[0] < 0.1);
+    }
+
+    #[test]
+    fn plane_jet_vorticity_concentrates_in_shear_layers() {
+        let d = Dims3::new(16, 33, 16);
+        let f = plane_jet(d, 2.0, 4.0);
+        let w = f.vorticity_magnitude();
+        // Vorticity at the centerline is ~0; at the shear layer (~delta away) it's large.
+        assert!(w.get(8, 16, 8) < &0.05);
+        assert!(w.get(8, 12, 8) > &0.1);
+    }
+
+    #[test]
+    fn swirl_rotates_about_center() {
+        let d = Dims3::cube(17);
+        let f = gaussian_swirl(d, 1.0, 4.0);
+        // At (cx + r, cy): velocity should point in +y.
+        let v = f.get(12, 8, 8);
+        assert!(v[1] > 0.0 && v[0].abs() < 1e-4);
+        // Vorticity is maximal at the core.
+        let w = f.vorticity_magnitude();
+        assert!(w.get(8, 8, 8) > w.get(1, 1, 8));
+    }
+}

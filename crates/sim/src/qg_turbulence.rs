@@ -1,0 +1,285 @@
+//! Quasi-geostrophic turbulence — the sixth dataset the paper acknowledges
+//! (the NCAR "quasi-geostrophic turbulence flow data set").
+//!
+//! QG turbulence's signature phenomenology is the inverse cascade: many
+//! small same-sign vortices progressively **merge** into fewer, larger
+//! coherent vortices. We reproduce it with an actual dynamical system —
+//! regularized 2D point-vortex dynamics (RK2 integration) with a same-sign
+//! merge rule — extruded into a weakly z-dependent 3D field, so tracking
+//! experiments get real *merge* events (the counterpart of the
+//! turbulent-vortex dataset's split).
+
+use crate::LabeledSeries;
+use ifet_volume::{Dims3, Mask3, ScalarVolume, TimeSeries};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One coherent vortex.
+#[derive(Debug, Clone, Copy)]
+struct Vortex {
+    /// Position in normalized [0,1]² coordinates.
+    pos: [f32; 2],
+    /// Circulation (signed strength).
+    circulation: f32,
+    /// Core radius (normalized units).
+    radius: f32,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QgTurbulenceParams {
+    pub dims: Dims3,
+    /// Number of recorded frames.
+    pub frames: usize,
+    /// Solver steps between recorded frames.
+    pub substeps: usize,
+    /// Initial vortex count.
+    pub num_vortices: usize,
+    /// Integration time step.
+    pub dt: f32,
+    /// Same-sign vortices closer than this (normalized) merge.
+    pub merge_dist: f32,
+    pub seed: u64,
+}
+
+impl Default for QgTurbulenceParams {
+    fn default() -> Self {
+        Self {
+            dims: Dims3::cube(48),
+            frames: 12,
+            substeps: 5,
+            num_vortices: 14,
+            dt: 0.01,
+            merge_dist: 0.11,
+            seed: 0x96,
+        }
+    }
+}
+
+/// Convenience with default dynamics.
+pub fn qg_turbulence(dims: Dims3, seed: u64) -> LabeledSeries {
+    qg_turbulence_with(QgTurbulenceParams {
+        dims,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Induced velocity at `p` from all vortices (regularized Biot–Savart).
+fn induced_velocity(vortices: &[Vortex], p: [f32; 2], skip: Option<usize>) -> [f32; 2] {
+    let mut u = [0.0f32; 2];
+    for (j, v) in vortices.iter().enumerate() {
+        if Some(j) == skip {
+            continue;
+        }
+        let dx = p[0] - v.pos[0];
+        let dy = p[1] - v.pos[1];
+        let r2 = dx * dx + dy * dy + v.radius * v.radius * 0.25; // core regularization
+        let k = v.circulation / (2.0 * std::f32::consts::PI * r2);
+        u[0] += -k * dy;
+        u[1] += k * dx;
+    }
+    u
+}
+
+/// One RK2 step of the point-vortex system, then the merge rule.
+fn step(vortices: &mut Vec<Vortex>, dt: f32, merge_dist: f32) {
+    // RK2 (midpoint).
+    let k1: Vec<[f32; 2]> = (0..vortices.len())
+        .map(|i| induced_velocity(vortices, vortices[i].pos, Some(i)))
+        .collect();
+    let mid: Vec<Vortex> = vortices
+        .iter()
+        .zip(&k1)
+        .map(|(v, k)| Vortex {
+            pos: [v.pos[0] + 0.5 * dt * k[0], v.pos[1] + 0.5 * dt * k[1]],
+            ..*v
+        })
+        .collect();
+    let k2: Vec<[f32; 2]> = (0..mid.len())
+        .map(|i| induced_velocity(&mid, mid[i].pos, Some(i)))
+        .collect();
+    for (v, k) in vortices.iter_mut().zip(&k2) {
+        v.pos[0] = (v.pos[0] + dt * k[0]).clamp(0.05, 0.95);
+        v.pos[1] = (v.pos[1] + dt * k[1]).clamp(0.05, 0.95);
+    }
+
+    // Merge same-sign pairs that drew close (inverse cascade).
+    let mut i = 0;
+    while i < vortices.len() {
+        let mut j = i + 1;
+        let mut merged = false;
+        while j < vortices.len() {
+            let a = vortices[i];
+            let b = vortices[j];
+            let d = ((a.pos[0] - b.pos[0]).powi(2) + (a.pos[1] - b.pos[1]).powi(2)).sqrt();
+            if d < merge_dist && a.circulation.signum() == b.circulation.signum() {
+                let total = a.circulation + b.circulation;
+                let wa = a.circulation.abs() / total.abs().max(1e-9);
+                vortices[i] = Vortex {
+                    pos: [
+                        a.pos[0] * wa + b.pos[0] * (1.0 - wa),
+                        a.pos[1] * wa + b.pos[1] * (1.0 - wa),
+                    ],
+                    circulation: total,
+                    // Area adds under merger.
+                    radius: (a.radius * a.radius + b.radius * b.radius).sqrt(),
+                };
+                vortices.remove(j);
+                merged = true;
+            } else {
+                j += 1;
+            }
+        }
+        if !merged {
+            i += 1;
+        }
+    }
+}
+
+/// Rasterize the vortex population into a 3D scalar field (vorticity
+/// magnitude) and the core ground-truth mask. Layers tilt slightly with z
+/// so the field is genuinely 3D.
+fn rasterize(dims: Dims3, vortices: &[Vortex]) -> (ScalarVolume, Mask3) {
+    let vol = ScalarVolume::from_fn(dims, |x, y, z| {
+        let zf = z as f32 / dims.nz as f32 - 0.5;
+        let px = x as f32 / dims.nx as f32 + 0.03 * zf;
+        let py = y as f32 / dims.ny as f32 - 0.02 * zf;
+        let mut acc = 0.0f32;
+        for v in vortices {
+            let dx = px - v.pos[0];
+            let dy = py - v.pos[1];
+            let s2 = v.radius * v.radius;
+            acc += v.circulation.abs() * (-(dx * dx + dy * dy) / (2.0 * s2)).exp();
+        }
+        acc
+    });
+    let mask = Mask3::from_fn(dims, |x, y, z| {
+        let zf = z as f32 / dims.nz as f32 - 0.5;
+        let px = x as f32 / dims.nx as f32 + 0.03 * zf;
+        let py = y as f32 / dims.ny as f32 - 0.02 * zf;
+        vortices.iter().any(|v| {
+            let dx = px - v.pos[0];
+            let dy = py - v.pos[1];
+            (dx * dx + dy * dy).sqrt() <= v.radius
+        })
+    });
+    (vol, mask)
+}
+
+/// Full-control generator.
+pub fn qg_turbulence_with(p: QgTurbulenceParams) -> LabeledSeries {
+    assert!(p.frames >= 2 && p.num_vortices >= 2);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut vortices: Vec<Vortex> = (0..p.num_vortices)
+        .map(|k| Vortex {
+            pos: [rng.gen_range(0.15..0.85), rng.gen_range(0.15..0.85)],
+            // Mostly same-sign (QG inverse cascade merges same-sign cores).
+            circulation: if k % 5 == 4 { -1.0 } else { 1.0 } * rng.gen_range(0.5..1.2),
+            radius: rng.gen_range(0.035..0.055),
+        })
+        .collect();
+
+    let mut frames = Vec::with_capacity(p.frames);
+    let mut truth = Vec::with_capacity(p.frames);
+    for fi in 0..p.frames {
+        let (vol, mask) = rasterize(p.dims, &vortices);
+        frames.push((fi as u32 * 10, vol));
+        truth.push(mask);
+        if fi + 1 < p.frames {
+            for _ in 0..p.substeps {
+                step(&mut vortices, p.dt, p.merge_dist);
+            }
+        }
+    }
+
+    let out = LabeledSeries {
+        name: "qg_turbulence".into(),
+        series: TimeSeries::from_frames(frames),
+        truth,
+    };
+    out.validate();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::count_components;
+
+    fn small() -> LabeledSeries {
+        qg_turbulence_with(QgTurbulenceParams {
+            dims: Dims3::cube(32),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_frames() {
+        let s = small();
+        assert_eq!(s.series.len(), 12);
+        s.validate();
+    }
+
+    #[test]
+    fn inverse_cascade_reduces_component_count() {
+        // The QG signature: coherent cores merge, so the ground-truth
+        // component count must drop over the run.
+        let s = small();
+        let first = count_components(&s.truth[0]);
+        let last = count_components(s.truth.last().unwrap());
+        assert!(
+            last < first,
+            "vortices should merge: {first} components -> {last}"
+        );
+        assert!(last >= 1);
+    }
+
+    #[test]
+    fn field_is_positive_and_peaked_at_cores() {
+        let s = small();
+        let f = s.series.frame(0);
+        assert!(f.min_value().unwrap() >= 0.0);
+        // Mean inside cores far exceeds mean outside.
+        let m = &s.truth[0];
+        let (mut inside, mut n_in, mut outside, mut n_out) = (0.0f64, 0.0, 0.0f64, 0.0);
+        for ((x, y, z), &v) in f.iter() {
+            if m.get(x, y, z) {
+                inside += v as f64;
+                n_in += 1.0;
+            } else {
+                outside += v as f64;
+                n_out += 1.0;
+            }
+        }
+        assert!(inside / n_in > 3.0 * (outside / n_out));
+    }
+
+    #[test]
+    fn consecutive_truths_overlap() {
+        let s = small();
+        for i in 1..s.truth.len() {
+            assert!(
+                s.truth[i].intersection_count(&s.truth[i - 1]) > 0,
+                "frame {i} lost temporal overlap"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = qg_turbulence(Dims3::cube(16), 4);
+        let b = qg_turbulence(Dims3::cube(16), 4);
+        assert_eq!(a.series.frame(5), b.series.frame(5));
+    }
+
+    #[test]
+    fn vortices_stay_in_bounds() {
+        let s = small();
+        // All truth voxels should be away from the absolute corner (positions
+        // are clamped into [0.05, 0.95]).
+        for m in &s.truth {
+            assert!(m.count() > 0);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The argon-bubble ("smoke ring") analog — Figures 2, 3, and 4.
+//!
+//! The paper's argon bubble dataset shows "a shockwave applied to a bubble of
+//! argon gas ... creating a swirling torus-shaped 'smoke ring' along with
+//! smaller turbulence structures", and the figures rely on two properties:
+//!
+//! 1. the ring's **data values drift over time** (a transfer function tuned
+//!    on one key frame loses the ring later), and
+//! 2. the ring's **cumulative-histogram position stays nearly constant**
+//!    (the drift is a global distribution shift, Figure 2).
+//!
+//! This generator enforces both: every voxel's value is a static structural
+//! field pushed through a time-dependent monotone value transform
+//! (gain + offset), so the distribution shifts globally while the ring also
+//! translates and expands geometrically. Ground truth is the torus interior.
+
+use crate::noise::ValueNoise;
+use crate::LabeledSeries;
+use ifet_volume::{Dims3, Mask3, ScalarVolume, TimeSeries};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShockBubbleParams {
+    /// Grid size.
+    pub dims: Dims3,
+    /// Inclusive time-step range, e.g. 195..=255 in the paper's Figure 4.
+    pub t_start: u32,
+    pub t_end: u32,
+    /// Step stride between stored frames.
+    pub stride: u32,
+    /// Noise seed.
+    pub seed: u64,
+    /// Amplitude of a non-monotone component added to the global value
+    /// drift. Zero gives a linear drift; positive values make the drift
+    /// irregular in time — the regime where "the range of the data values
+    /// can vary so dramatically" that only the cumulative histogram can
+    /// follow it (no smooth interpolation in time works).
+    pub drift_wobble: f32,
+}
+
+impl Default for ShockBubbleParams {
+    fn default() -> Self {
+        Self {
+            dims: Dims3::cube(64),
+            t_start: 195,
+            t_end: 255,
+            stride: 15,
+            seed: 0xA4601,
+            drift_wobble: 0.0,
+        }
+    }
+}
+
+impl ShockBubbleParams {
+    /// The global value offset at normalized time `tn` (monotone-in-value
+    /// transforms only — the offset may move non-monotonically in *time*).
+    fn offset(&self, tn: f32) -> f32 {
+        0.35 * tn + self.drift_wobble * (tn * 1.7 * std::f32::consts::PI).sin()
+    }
+
+    fn gain(&self, tn: f32) -> f32 {
+        1.0 + 0.6 * tn
+    }
+
+    /// Apply this parameterization's time-dependent value transform.
+    pub fn transform(&self, structural: f32, tn: f32) -> f32 {
+        structural * self.gain(tn) + self.offset(tn)
+    }
+
+    /// The value band occupied by the ring at normalized time `tn`.
+    pub fn ring_band(&self, tn: f32) -> (f32, f32) {
+        (self.transform(0.42, tn), self.transform(0.95, tn))
+    }
+}
+
+/// Paper-flavoured convenience: steps 195..=255 at the given grid size.
+pub fn shock_bubble(dims: Dims3, seed: u64) -> LabeledSeries {
+    shock_bubble_with(ShockBubbleParams {
+        dims,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Full-control generator.
+pub fn shock_bubble_with(p: ShockBubbleParams) -> LabeledSeries {
+    assert!(p.t_end > p.t_start && p.stride > 0);
+    let steps: Vec<u32> = (p.t_start..=p.t_end).step_by(p.stride as usize).collect();
+    let noise = ValueNoise::new(p.seed);
+    let turb_noise = ValueNoise::new(p.seed ^ 0xDEADBEEF);
+
+    let mut frames = Vec::with_capacity(steps.len());
+    let mut truth = Vec::with_capacity(steps.len());
+    let span = (p.t_end - p.t_start) as f32;
+
+    for &t in &steps {
+        let tn = (t - p.t_start) as f32 / span; // 0..1
+        let (vol, mask) = frame(&p, tn, &noise, &turb_noise);
+        frames.push((t, vol));
+        truth.push(mask);
+    }
+
+    let out = LabeledSeries {
+        name: "shock_bubble".into(),
+        series: TimeSeries::from_frames(frames),
+        truth,
+    };
+    out.validate();
+    out
+}
+
+/// Inverse of the default-parameter transform for a given `tn` (tests).
+pub fn invert_transform(v: f32, tn: f32) -> f32 {
+    let gain = 1.0 + 0.6 * tn;
+    let offset = 0.35 * tn;
+    (v - offset) / gain
+}
+
+/// Ring geometry at normalized time `tn`: center drifts in +z, major radius
+/// grows (the smoke ring expands as it travels).
+fn ring_geometry(dims: Dims3, tn: f32) -> ([f32; 3], f32, f32) {
+    let cx = (dims.nx as f32 - 1.0) / 2.0;
+    let cy = (dims.ny as f32 - 1.0) / 2.0;
+    let cz = dims.nz as f32 * (0.30 + 0.35 * tn);
+    let major = dims.nx as f32 * (0.18 + 0.08 * tn);
+    let minor = dims.nx as f32 * 0.055;
+    ([cx, cy, cz], major, minor)
+}
+
+/// Distance from a point to the torus centerline circle (the ring's "spine").
+/// A point is inside the ring tube when this is `<= minor`.
+fn tube_distance(pos: [f32; 3], center: [f32; 3], major: f32) -> f32 {
+    let dx = pos[0] - center[0];
+    let dy = pos[1] - center[1];
+    let dz = pos[2] - center[2];
+    let ring_xy = (dx * dx + dy * dy).sqrt() - major;
+    (ring_xy * ring_xy + dz * dz).sqrt()
+}
+
+fn frame(
+    p: &ShockBubbleParams,
+    tn: f32,
+    noise: &ValueNoise,
+    turb_noise: &ValueNoise,
+) -> (ScalarVolume, Mask3) {
+    let dims = p.dims;
+    let (center, major, minor) = ring_geometry(dims, tn);
+    let inv = 1.0 / dims.nx as f32;
+
+    let vol = ScalarVolume::from_fn(dims, |x, y, z| {
+        let pos = [x as f32, y as f32, z as f32];
+        // Ambient medium: low-amplitude fBm around 0.15.
+        let ambient = 0.10 + 0.12 * noise.fbm(pos[0] * inv * 5.0, pos[1] * inv * 5.0, pos[2] * inv * 5.0, 3, 0.5);
+
+        // The ring: plateau of height ~0.55 above ambient inside the tube,
+        // falling smoothly to zero at the tube wall.
+        let q = tube_distance(pos, center, major);
+        let ring = 0.55 * plateau(q / minor);
+
+        // Smaller turbulence structures trailing the ring (paper: "smaller
+        // turbulence structures"): mid-value fBm filaments below the ring.
+        let trail_z = center[2] - dims.nz as f32 * 0.18;
+        let trail_falloff = (-(pos[2] - trail_z).powi(2) / (dims.nz as f32 * 0.12).powi(2)).exp();
+        let turb = 0.30
+            * trail_falloff
+            * turb_noise
+                .fbm(pos[0] * inv * 9.0, pos[1] * inv * 9.0, pos[2] * inv * 9.0 + tn * 2.0, 3, 0.55)
+                .powi(2);
+
+        let structural = ambient + ring + turb;
+        p.transform(structural, tn)
+    });
+
+    let mask = Mask3::from_fn(dims, |x, y, z| {
+        tube_distance([x as f32, y as f32, z as f32], center, major) <= minor
+    });
+
+    (vol, mask)
+}
+
+/// Plateau profile: 1 for `s <= 0.6`, smoothstep down to 0 at `s >= 1`.
+/// The flat core means most ring voxels share the feature's value band.
+fn plateau(s: f32) -> f32 {
+    if s <= 0.6 {
+        1.0
+    } else if s >= 1.0 {
+        0.0
+    } else {
+        let t = 1.0 - (s - 0.6) / 0.4;
+        t * t * (3.0 - 2.0 * t)
+    }
+}
+
+/// The value band occupied by the ring at normalized time `tn` for the
+/// *default* parameters (used to script "user key-frame transfer functions"
+/// in experiments). For custom parameters use [`ShockBubbleParams::ring_band`].
+pub fn ring_value_band(tn: f32) -> (f32, f32) {
+    // Structural ring band: ambient ~[0.10, 0.22]; ring core reaches
+    // ambient + 0.55. Use the upper part of the plateau.
+    ShockBubbleParams::default().ring_band(tn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifet_volume::CumulativeHistogram;
+
+    fn small() -> LabeledSeries {
+        shock_bubble_with(ShockBubbleParams {
+            dims: Dims3::cube(32),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shape_and_labels() {
+        let s = small();
+        assert_eq!(s.series.len(), 5);
+        assert_eq!(s.series.steps(), &[195, 210, 225, 240, 255]);
+        s.validate();
+    }
+
+    #[test]
+    fn ring_truth_nonempty_every_frame() {
+        let s = small();
+        for (i, m) in s.truth.iter().enumerate() {
+            assert!(m.count() > 50, "frame {i} ring too small: {}", m.count());
+            // Ring is a minority feature.
+            assert!(m.count() < m.dims().len() / 10);
+        }
+    }
+
+    #[test]
+    fn ring_moves_upward_over_time() {
+        let s = small();
+        let mean_z = |m: &Mask3| {
+            let mut acc = 0.0f64;
+            let mut n = 0.0f64;
+            for (_, _, z) in m.set_coords() {
+                acc += z as f64;
+                n += 1.0;
+            }
+            acc / n
+        };
+        assert!(mean_z(&s.truth[4]) > mean_z(&s.truth[0]) + 2.0);
+    }
+
+    #[test]
+    fn ring_values_drift_upward() {
+        // The property that breaks a static transfer function (Figure 4).
+        let s = small();
+        let mean_ring_value = |i: usize| {
+            let f = s.series.frame(i);
+            let m = &s.truth[i];
+            let mut acc = 0.0f64;
+            let mut n = 0.0f64;
+            for (x, y, z) in m.set_coords() {
+                acc += *f.get(x, y, z) as f64;
+                n += 1.0;
+            }
+            acc / n
+        };
+        let v0 = mean_ring_value(0);
+        let v4 = mean_ring_value(4);
+        assert!(
+            v4 > v0 * 1.3,
+            "ring value must drift substantially: {v0} -> {v4}"
+        );
+    }
+
+    #[test]
+    fn cumulative_position_is_stable() {
+        // The property that makes the IATF work (Figure 2): the ring's
+        // cumulative-histogram fraction is nearly constant over time.
+        let s = small();
+        let fractions: Vec<f32> = (0..s.series.len())
+            .map(|i| {
+                let f = s.series.frame(i);
+                let ch = CumulativeHistogram::of_volume(f, 256);
+                let m = &s.truth[i];
+                let mut acc = 0.0f64;
+                let mut n = 0.0f64;
+                for (x, y, z) in m.set_coords() {
+                    acc += ch.fraction_at_or_below(*f.get(x, y, z)) as f64;
+                    n += 1.0;
+                }
+                (acc / n) as f32
+            })
+            .collect();
+        let lo = fractions.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = fractions.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            hi - lo < 0.08,
+            "cumulative fraction drifted too much: {fractions:?}"
+        );
+        // And the ring sits in the high tail (it is the bright feature).
+        assert!(lo > 0.8, "{fractions:?}");
+    }
+
+    #[test]
+    fn value_band_captures_ring() {
+        let s = small();
+        for (i, &t) in s.series.steps().iter().enumerate() {
+            let tn = (t - 195) as f32 / 60.0;
+            let (lo, hi) = ring_value_band(tn);
+            let f = s.series.frame(i);
+            let band = Mask3::value_band(f, lo, hi);
+            let recall = band.recall(&s.truth[i]);
+            assert!(recall > 0.5, "frame {i}: band recall {recall}");
+        }
+    }
+
+    #[test]
+    fn static_band_fails_on_late_frames() {
+        // The motivating failure: the t=0 band misses most of the late ring.
+        let s = small();
+        let (lo, hi) = ring_value_band(0.0);
+        let late = s.series.frame(4);
+        let band = Mask3::value_band(late, lo, hi);
+        let recall = band.recall(&s.truth[4]);
+        assert!(
+            recall < 0.3,
+            "static transfer function should lose the drifted ring, recall = {recall}"
+        );
+    }
+
+    #[test]
+    fn transform_is_invertible() {
+        for tn in [0.0f32, 0.3, 1.0] {
+            let v = ShockBubbleParams::default().transform(0.7, tn);
+            assert!((invert_transform(v, tn) - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = shock_bubble(Dims3::cube(16), 3);
+        let b = shock_bubble(Dims3::cube(16), 3);
+        assert_eq!(a.series.frame(0), b.series.frame(0));
+        let c = shock_bubble(Dims3::cube(16), 4);
+        assert_ne!(a.series.frame(0), c.series.frame(0));
+    }
+}

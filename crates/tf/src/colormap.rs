@@ -1,0 +1,135 @@
+//! Value-to-color maps.
+//!
+//! Per the paper's Section 7, "color is typically used to communicate
+//! quantitative physical properties ... our methods only apply to the
+//! opacity, when color is assigned by the original data value" — so color
+//! maps here are plain static functions of the data value.
+
+use serde::{Deserialize, Serialize};
+
+/// A named color map over a value domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColorMap {
+    /// Black → white.
+    Grayscale,
+    /// Blue → cyan → green → yellow → red (classic "rainbow"/jet).
+    Rainbow,
+    /// Black → red → yellow → white.
+    Heat,
+    /// Blue → white → red (diverging).
+    CoolWarm,
+}
+
+impl ColorMap {
+    /// RGB in `[0, 1]³` for a normalized value `t ∈ [0, 1]` (clamped).
+    pub fn sample(self, t: f32) -> [f32; 3] {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            ColorMap::Grayscale => [t, t, t],
+            ColorMap::Rainbow => rainbow(t),
+            ColorMap::Heat => heat(t),
+            ColorMap::CoolWarm => coolwarm(t),
+        }
+    }
+
+    /// Sample for a raw value in `[lo, hi]`.
+    pub fn sample_in(self, v: f32, lo: f32, hi: f32) -> [f32; 3] {
+        let span = hi - lo;
+        let t = if span <= 0.0 { 0.0 } else { (v - lo) / span };
+        self.sample(t)
+    }
+}
+
+fn rainbow(t: f32) -> [f32; 3] {
+    // Piecewise HSV-like ramp through blue, cyan, green, yellow, red.
+    let seg = t * 4.0;
+    match seg as u32 {
+        0 => [0.0, seg, 1.0],
+        1 => [0.0, 1.0, 1.0 - (seg - 1.0)],
+        2 => [seg - 2.0, 1.0, 0.0],
+        _ => [1.0, 1.0 - (seg - 3.0).min(1.0), 0.0],
+    }
+}
+
+fn heat(t: f32) -> [f32; 3] {
+    [
+        (3.0 * t).min(1.0),
+        (3.0 * t - 1.0).clamp(0.0, 1.0),
+        (3.0 * t - 2.0).clamp(0.0, 1.0),
+    ]
+}
+
+fn coolwarm(t: f32) -> [f32; 3] {
+    if t < 0.5 {
+        let s = t * 2.0;
+        [s, s, 1.0]
+    } else {
+        let s = (t - 0.5) * 2.0;
+        [1.0, 1.0 - s, 1.0 - s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_rgb_valid(c: [f32; 3]) {
+        for ch in c {
+            assert!((0.0..=1.0).contains(&ch), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn all_maps_produce_valid_rgb() {
+        for map in [
+            ColorMap::Grayscale,
+            ColorMap::Rainbow,
+            ColorMap::Heat,
+            ColorMap::CoolWarm,
+        ] {
+            for i in 0..=100 {
+                assert_rgb_valid(map.sample(i as f32 / 100.0));
+            }
+        }
+    }
+
+    #[test]
+    fn grayscale_endpoints() {
+        assert_eq!(ColorMap::Grayscale.sample(0.0), [0.0; 3]);
+        assert_eq!(ColorMap::Grayscale.sample(1.0), [1.0; 3]);
+    }
+
+    #[test]
+    fn rainbow_endpoints_blue_to_red() {
+        let lo = ColorMap::Rainbow.sample(0.0);
+        let hi = ColorMap::Rainbow.sample(1.0);
+        assert!(lo[2] > 0.9 && lo[0] < 0.1, "low end should be blue: {lo:?}");
+        assert!(hi[0] > 0.9 && hi[2] < 0.1, "high end should be red: {hi:?}");
+    }
+
+    #[test]
+    fn heat_is_monotone_in_red() {
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let r = ColorMap::Heat.sample(i as f32 / 20.0)[0];
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn coolwarm_is_white_at_center() {
+        let c = ColorMap::CoolWarm.sample(0.5);
+        for ch in c {
+            assert!(ch > 0.95, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn sample_in_clamps_and_normalizes() {
+        let m = ColorMap::Grayscale;
+        assert_eq!(m.sample_in(5.0, 0.0, 10.0), [0.5; 3]);
+        assert_eq!(m.sample_in(-99.0, 0.0, 10.0), [0.0; 3]);
+        assert_eq!(m.sample_in(1.0, 2.0, 2.0), [0.0; 3]); // degenerate domain
+    }
+}

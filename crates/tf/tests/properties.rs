@@ -1,0 +1,110 @@
+//! Property-based tests for transfer functions.
+
+use ifet_tf::tf1d::TF_ENTRIES;
+use ifet_tf::{ColorMap, TransferFunction1D};
+use proptest::prelude::*;
+
+fn domain() -> impl Strategy<Value = (f32, f32)> {
+    (-10.0f32..10.0, 0.1f32..20.0).prop_map(|(lo, span)| (lo, lo + span))
+}
+
+proptest! {
+    #[test]
+    fn band_opacity_only_inside_band((lo, hi) in domain(),
+                                     a in 0.0f32..1.0, b in 0.0f32..1.0,
+                                     peak in 0.05f32..1.0) {
+        let span = hi - lo;
+        let (ba, bb) = (lo + span * a.min(b), lo + span * a.max(b));
+        let tf = TransferFunction1D::band(lo, hi, ba, bb, peak);
+        // Inside (away from entry-quantization edges) the opacity is `peak`.
+        let entry_w = span / TF_ENTRIES as f32;
+        if bb - ba > 2.0 * entry_w {
+            let mid = 0.5 * (ba + bb);
+            prop_assert_eq!(tf.opacity_at(mid), peak);
+        }
+        // Well outside it is zero.
+        if ba - lo > 2.0 * entry_w {
+            prop_assert_eq!(tf.opacity_at(lo + 0.5 * entry_w), 0.0);
+        }
+    }
+
+    #[test]
+    fn entry_value_roundtrip((lo, hi) in domain(), i in 0usize..TF_ENTRIES) {
+        let tf = TransferFunction1D::transparent(lo, hi);
+        prop_assert_eq!(tf.entry_of(tf.value_of_entry(i)), i);
+    }
+
+    #[test]
+    fn lerp_is_bounded_by_endpoints((lo, hi) in domain(), alpha in 0.0f32..1.0,
+                                    c1 in 0.0f32..1.0, c2 in 0.0f32..1.0) {
+        let a = TransferFunction1D::from_fn(lo, hi, |v| ((v - lo) / (hi - lo)) * c1);
+        let b = TransferFunction1D::from_fn(lo, hi, |v| (1.0 - (v - lo) / (hi - lo)) * c2);
+        let m = TransferFunction1D::lerp(&a, &b, alpha);
+        for i in (0..TF_ENTRIES).step_by(17) {
+            let x = a.table()[i];
+            let y = b.table()[i];
+            let z = m.table()[i];
+            prop_assert!(z >= x.min(y) - 1e-6 && z <= x.max(y) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lerp_alpha_clamps((lo, hi) in domain(), alpha in -3.0f32..4.0) {
+        let a = TransferFunction1D::band(lo, hi, lo, lo + (hi - lo) * 0.3, 1.0);
+        let b = TransferFunction1D::transparent(lo, hi);
+        let m = TransferFunction1D::lerp(&a, &b, alpha);
+        for &o in m.table() {
+            prop_assert!((0.0..=1.0).contains(&o));
+        }
+    }
+
+    #[test]
+    fn from_fn_output_always_clamped((lo, hi) in domain(), scale in -5.0f32..5.0) {
+        let tf = TransferFunction1D::from_fn(lo, hi, |v| v * scale);
+        for &o in tf.table() {
+            prop_assert!((0.0..=1.0).contains(&o));
+        }
+    }
+
+    #[test]
+    fn control_points_hit_their_anchors((lo, hi) in domain(),
+                                        o1 in 0.0f32..1.0, o2 in 0.0f32..1.0) {
+        let span = hi - lo;
+        let p1 = lo + span * 0.25;
+        let p2 = lo + span * 0.75;
+        let tf = TransferFunction1D::from_control_points(lo, hi, &[(p1, o1), (p2, o2)]);
+        prop_assert!((tf.opacity_at(p1) - o1).abs() < 0.05, "{} vs {o1}", tf.opacity_at(p1));
+        prop_assert!((tf.opacity_at(p2) - o2).abs() < 0.05);
+        // Outside the anchors, opacity is held constant.
+        prop_assert!((tf.opacity_at(lo) - o1).abs() < 1e-6);
+        prop_assert!((tf.opacity_at(hi - span / 512.0) - o2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn support_is_consistent_with_table((lo, hi) in domain(), a in 0.1f32..0.4, w in 0.1f32..0.4) {
+        let span = hi - lo;
+        let tf = TransferFunction1D::band(lo, hi, lo + span * a, lo + span * (a + w), 0.8);
+        let (slo, shi) = tf.support(0.5).unwrap();
+        prop_assert!(tf.opacity_at(slo) > 0.5);
+        prop_assert!(tf.opacity_at(shi) > 0.5);
+        prop_assert!(slo <= shi);
+    }
+
+    #[test]
+    fn colormaps_valid_for_any_input(t in -2.0f32..3.0) {
+        for m in [ColorMap::Grayscale, ColorMap::Rainbow, ColorMap::Heat, ColorMap::CoolWarm] {
+            for c in m.sample(t) {
+                prop_assert!((0.0..=1.0).contains(&c), "{m:?} at {t}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn resample_preserves_value_mapping((lo, hi) in domain(), grow in 1.0f32..3.0) {
+        let span = hi - lo;
+        let tf = TransferFunction1D::band(lo, hi, lo + span * 0.4, lo + span * 0.6, 1.0);
+        let wide = tf.resampled(lo - span * (grow - 1.0), hi + span * (grow - 1.0));
+        // The band center keeps full opacity after resampling.
+        prop_assert_eq!(wide.opacity_at(lo + span * 0.5), 1.0);
+    }
+}

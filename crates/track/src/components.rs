@@ -1,0 +1,227 @@
+//! 3D connected-component labeling.
+//!
+//! Features "are defined as connected nodes that satisfy a certain criteria"
+//! (Section 2, citing the flood-fill extraction literature). Components are
+//! labeled 1..=count; 0 means background.
+
+use ifet_volume::{Dims3, Mask3, Volume};
+
+/// Connectivity for component labeling and region growing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connectivity {
+    /// Face-adjacent (6 neighbours).
+    Six,
+    /// Face-, edge- and corner-adjacent (26 neighbours).
+    TwentySix,
+}
+
+/// A labeling of a mask into connected components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentLabels {
+    labels: Volume<u32>,
+    count: u32,
+}
+
+impl ComponentLabels {
+    /// Label the connected components of `mask` (BFS flood fill).
+    pub fn label(mask: &Mask3, conn: Connectivity) -> Self {
+        let d = mask.dims();
+        let mut labels = Volume::filled(d, 0u32);
+        let mut next = 0u32;
+        let mut queue = std::collections::VecDeque::new();
+
+        for start in 0..d.len() {
+            if !mask.get_linear(start) || labels.as_slice()[start] != 0 {
+                continue;
+            }
+            next += 1;
+            labels.as_mut_slice()[start] = next;
+            queue.push_back(start);
+            while let Some(i) = queue.pop_front() {
+                let (x, y, z) = d.coords(i);
+                let mut visit = |nx: usize, ny: usize, nz: usize| {
+                    let j = d.index(nx, ny, nz);
+                    if mask.get_linear(j) && labels.as_slice()[j] == 0 {
+                        labels.as_mut_slice()[j] = next;
+                        queue.push_back(j);
+                    }
+                };
+                match conn {
+                    Connectivity::Six => {
+                        for (nx, ny, nz) in d.neighbors6(x, y, z) {
+                            visit(nx, ny, nz);
+                        }
+                    }
+                    Connectivity::TwentySix => {
+                        for (nx, ny, nz) in d.neighbors26(x, y, z) {
+                            visit(nx, ny, nz);
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            labels,
+            count: next,
+        }
+    }
+
+    /// Number of components (labels run 1..=count).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    pub fn dims(&self) -> Dims3 {
+        self.labels.dims()
+    }
+
+    /// Label of a voxel (0 = background).
+    #[inline]
+    pub fn label_at(&self, x: usize, y: usize, z: usize) -> u32 {
+        *self.labels.get(x, y, z)
+    }
+
+    /// Raw label volume.
+    pub fn labels(&self) -> &Volume<u32> {
+        &self.labels
+    }
+
+    /// Voxel count per component (index 0 unused; `sizes()[l]` for label l).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize + 1];
+        for &l in self.labels.as_slice() {
+            sizes[l as usize] += 1;
+        }
+        sizes[0] = 0;
+        sizes
+    }
+
+    /// Mask of one component.
+    pub fn component_mask(&self, label: u32) -> Mask3 {
+        assert!(label >= 1 && label <= self.count, "label {label} out of range");
+        let d = self.labels.dims();
+        let mut m = Mask3::empty(d);
+        for (i, &l) in self.labels.as_slice().iter().enumerate() {
+            if l == label {
+                m.set_linear(i, true);
+            }
+        }
+        m
+    }
+
+    /// The label with the most voxels (None when there are no components).
+    pub fn largest(&self) -> Option<u32> {
+        let sizes = self.sizes();
+        (1..=self.count).max_by_key(|&l| sizes[l as usize])
+    }
+
+    /// Drop components smaller than `min_voxels`, returning the cleaned mask.
+    pub fn filter_small(&self, min_voxels: usize) -> Mask3 {
+        let sizes = self.sizes();
+        let d = self.labels.dims();
+        let mut m = Mask3::empty(d);
+        for (i, &l) in self.labels.as_slice().iter().enumerate() {
+            if l != 0 && sizes[l as usize] >= min_voxels {
+                m.set_linear(i, true);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_balls(n: usize) -> Mask3 {
+        let r = n as f32 * 0.15;
+        let c1 = (n as f32 * 0.25, n as f32 * 0.25, n as f32 * 0.5);
+        let c2 = (n as f32 * 0.75, n as f32 * 0.75, n as f32 * 0.5);
+        Mask3::from_fn(Dims3::cube(n), |x, y, z| {
+            let d1 = ((x as f32 - c1.0).powi(2) + (y as f32 - c1.1).powi(2) + (z as f32 - c1.2).powi(2)).sqrt();
+            let d2 = ((x as f32 - c2.0).powi(2) + (y as f32 - c2.1).powi(2) + (z as f32 - c2.2).powi(2)).sqrt();
+            d1 <= r || d2 <= r
+        })
+    }
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        let l = ComponentLabels::label(&Mask3::empty(Dims3::cube(4)), Connectivity::Six);
+        assert_eq!(l.count(), 0);
+        assert!(l.largest().is_none());
+    }
+
+    #[test]
+    fn full_mask_is_one_component() {
+        let l = ComponentLabels::label(&Mask3::full(Dims3::cube(4)), Connectivity::Six);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.sizes()[1], 64);
+    }
+
+    #[test]
+    fn two_balls_are_two_components() {
+        let m = two_balls(20);
+        let l = ComponentLabels::label(&m, Connectivity::Six);
+        assert_eq!(l.count(), 2);
+        let sizes = l.sizes();
+        assert_eq!(sizes[1] + sizes[2], m.count());
+    }
+
+    #[test]
+    fn component_mask_partitions() {
+        let m = two_balls(16);
+        let l = ComponentLabels::label(&m, Connectivity::Six);
+        let a = l.component_mask(1);
+        let b = l.component_mask(2);
+        assert_eq!(a.intersection_count(&b), 0);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, m);
+    }
+
+    #[test]
+    fn diagonal_voxels_connectivity_dependent() {
+        // Two voxels touching only at a corner: 26-connected, not 6-connected.
+        let d = Dims3::cube(3);
+        let mut m = Mask3::empty(d);
+        m.set(0, 0, 0, true);
+        m.set(1, 1, 1, true);
+        assert_eq!(ComponentLabels::label(&m, Connectivity::Six).count(), 2);
+        assert_eq!(ComponentLabels::label(&m, Connectivity::TwentySix).count(), 1);
+    }
+
+    #[test]
+    fn largest_picks_bigger() {
+        let d = Dims3::cube(8);
+        let mut m = Mask3::empty(d);
+        m.set(0, 0, 0, true); // lone voxel
+        for x in 3..7 {
+            m.set(x, 4, 4, true); // bar of 4
+        }
+        let l = ComponentLabels::label(&m, Connectivity::Six);
+        let big = l.largest().unwrap();
+        assert_eq!(l.sizes()[big as usize], 4);
+    }
+
+    #[test]
+    fn filter_small_removes_specks() {
+        let d = Dims3::cube(8);
+        let mut m = Mask3::empty(d);
+        m.set(0, 0, 0, true);
+        for x in 3..7 {
+            m.set(x, 4, 4, true);
+        }
+        let l = ComponentLabels::label(&m, Connectivity::Six);
+        let cleaned = l.filter_small(2);
+        assert_eq!(cleaned.count(), 4);
+        assert!(!cleaned.get(0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn component_mask_bad_label_panics() {
+        let l = ComponentLabels::label(&Mask3::empty(Dims3::cube(2)), Connectivity::Six);
+        let _ = l.component_mask(1);
+    }
+}

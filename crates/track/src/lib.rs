@@ -1,0 +1,37 @@
+//! Feature tracking for time-varying volume data (paper Section 5).
+//!
+//! "Because of this overlap, tracking can be achieved by using 4D region
+//! growing where the fourth dimension is time, and the adaptive transfer
+//! function is applied to feature tracking. ... the adaptive transfer
+//! function is created with the previous method and is used as the region
+//! growing criteria."
+//!
+//! - [`components`] — 3D connected-component labeling (union-find + BFS),
+//! - [`attributes`] — per-feature measurements (volume, mass, centroid,
+//!   bounding box) in the spirit of Reinders et al.'s attribute tracking,
+//! - [`criterion`] — pluggable region-growing criteria: a fixed value band
+//!   (the conventional baseline) or per-frame adaptive transfer functions
+//!   (the IATF tracking criterion),
+//! - [`region_grow`] — the 4D region grower itself,
+//! - [`events`] — overlap-based correspondence and event detection
+//!   (continuation, split, merge, birth, death),
+//! - [`octree`] — octree feature storage for data reduction during tracking
+//!   (Silver & Wang's representation).
+
+pub mod attributes;
+pub mod components;
+pub mod criterion;
+pub mod events;
+pub mod multires;
+pub mod octree;
+pub mod region_grow;
+pub mod tracks;
+
+pub use attributes::FeatureAttributes;
+pub use components::ComponentLabels;
+pub use criterion::{AdaptiveTfCriterion, FixedBandCriterion, GrowthCriterion, MaskCriterion};
+pub use events::{track_events, Event, EventKind, TrackReport};
+pub use octree::FeatureOctree;
+pub use multires::grow_4d_multires;
+pub use region_grow::{grow_4d, Seed4};
+pub use tracks::{extract_tracks, Track, TrackEnding, TrackSet};

@@ -1,0 +1,224 @@
+//! Multiresolution 4D region growing.
+//!
+//! Chen et al.'s "feature tree" (cited in Section 2) lets tracking "work
+//! between refinement levels"; Silver & Wang's octrees reduce data during
+//! tracking. In the same spirit, this module tracks at a downsampled level
+//! first, then refines at full resolution *only inside the dilated coarse
+//! result* — the criterion is evaluated on a small fraction of the volume
+//! when the feature is compact.
+//!
+//! The refinement is conservative in the common case (features thicker than
+//! the downsample factor) but is an approximation: structures thinner than a
+//! coarse cell can be missed at the coarse level. `grow_4d_multires` is
+//! therefore an *accelerator* whose agreement with the exact
+//! [`crate::region_grow::grow_4d`] is a measurable property (see tests and
+//! the `multires` bench), not a silent replacement.
+
+use crate::criterion::GrowthCriterion;
+use crate::region_grow::Seed4;
+use ifet_volume::filter::downsample;
+use ifet_volume::{Dims3, Mask3, TimeSeries};
+use std::collections::VecDeque;
+
+/// Upsample a coarse mask by `factor`, then dilate it `dilate` times —
+/// the fine-level candidate region.
+pub fn upsample_mask(coarse: &Mask3, fine_dims: Dims3, factor: usize, dilate: usize) -> Mask3 {
+    let mut fine = Mask3::from_fn(fine_dims, |x, y, z| {
+        let (cx, cy, cz) = (x / factor, y / factor, z / factor);
+        let d = coarse.dims();
+        let cx = cx.min(d.nx - 1);
+        let cy = cy.min(d.ny - 1);
+        let cz = cz.min(d.nz - 1);
+        coarse.get(cx, cy, cz)
+    });
+    for _ in 0..dilate {
+        fine = fine.dilate6();
+    }
+    fine
+}
+
+/// Track through `series` under `criterion`, accelerated by a coarse pass at
+/// `1/factor` resolution. `seeds` are fine-level coordinates.
+///
+/// Fine-level growth is restricted to the upsampled, dilated coarse track,
+/// which bounds the number of criterion evaluations by
+/// `O(|coarse track| * factor³)` instead of `O(volume)`.
+pub fn grow_4d_multires(
+    series: &TimeSeries,
+    criterion: &dyn GrowthCriterion,
+    seeds: &[Seed4],
+    factor: usize,
+) -> Vec<Mask3> {
+    assert!(factor >= 1);
+    assert_eq!(criterion.num_frames(), series.len());
+    let fine_dims = series.dims();
+    if factor == 1 {
+        return crate::region_grow::grow_4d(series, criterion, seeds);
+    }
+
+    // 1. Coarse pass: downsampled frames, same criterion (the criterion sees
+    //    block-averaged values; bands survive averaging for compact features).
+    let coarse_series = TimeSeries::from_frames(
+        series
+            .iter()
+            .map(|(t, f)| (t, downsample(f, factor)))
+            .collect(),
+    );
+    let coarse_seeds: Vec<Seed4> = seeds
+        .iter()
+        .map(|&(fi, x, y, z)| {
+            let d = coarse_series.dims();
+            (
+                fi,
+                (x / factor).min(d.nx - 1),
+                (y / factor).min(d.ny - 1),
+                (z / factor).min(d.nz - 1),
+            )
+        })
+        .collect();
+    let coarse = crate::region_grow::grow_4d(&coarse_series, criterion, &coarse_seeds);
+
+    // 2. Fine pass restricted to the candidate region (coarse result
+    //    upsampled and dilated by one coarse cell to recover boundary loss).
+    let candidates: Vec<Mask3> = coarse
+        .iter()
+        .map(|c| upsample_mask(c, fine_dims, factor, factor))
+        .collect();
+
+    let n_frames = series.len();
+    let mut masks: Vec<Mask3> = (0..n_frames).map(|_| Mask3::empty(fine_dims)).collect();
+    let mut queue: VecDeque<Seed4> = VecDeque::new();
+    for &(fi, x, y, z) in seeds {
+        if !masks[fi].get(x, y, z)
+            && candidates[fi].get(x, y, z)
+            && criterion.accept(fi, series.frame(fi), x, y, z)
+        {
+            masks[fi].set(x, y, z, true);
+            queue.push_back((fi, x, y, z));
+        }
+    }
+    while let Some((fi, x, y, z)) = queue.pop_front() {
+        for (nx, ny, nz) in fine_dims.neighbors6(x, y, z) {
+            if !masks[fi].get(nx, ny, nz)
+                && candidates[fi].get(nx, ny, nz)
+                && criterion.accept(fi, series.frame(fi), nx, ny, nz)
+            {
+                masks[fi].set(nx, ny, nz, true);
+                queue.push_back((fi, nx, ny, nz));
+            }
+        }
+        for nf in [fi.wrapping_sub(1), fi + 1] {
+            if nf >= n_frames {
+                continue;
+            }
+            if !masks[nf].get(x, y, z)
+                && candidates[nf].get(x, y, z)
+                && criterion.accept(nf, series.frame(nf), x, y, z)
+            {
+                masks[nf].set(x, y, z, true);
+                queue.push_back((nf, x, y, z));
+            }
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::FixedBandCriterion;
+    use crate::region_grow::grow_4d;
+    use ifet_volume::ScalarVolume;
+
+    /// A bright moving ball series (compact feature, thicker than any
+    /// reasonable downsample factor).
+    fn ball_series(n: usize) -> TimeSeries {
+        let d = Dims3::cube(n);
+        TimeSeries::from_frames(
+            (0..4u32)
+                .map(|t| {
+                    let cx = n as f32 * 0.3 + 1.5 * t as f32;
+                    let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                        let dist = ((x as f32 - cx).powi(2)
+                            + (y as f32 - n as f32 / 2.0).powi(2)
+                            + (z as f32 - n as f32 / 2.0).powi(2))
+                        .sqrt();
+                        if dist <= n as f32 * 0.18 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    });
+                    (t, vol)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn upsample_mask_covers_block() {
+        let coarse = Mask3::from_fn(Dims3::cube(2), |x, _, _| x == 1);
+        let fine = upsample_mask(&coarse, Dims3::cube(4), 2, 0);
+        assert_eq!(fine.count(), 2 * 2 * 2 * 4); // the x >= 2 half
+        assert!(fine.get(2, 0, 0) && fine.get(3, 3, 3));
+        assert!(!fine.get(1, 0, 0));
+    }
+
+    #[test]
+    fn factor_one_is_exact() {
+        let s = ball_series(16);
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let seed = [(0usize, 5usize, 8usize, 8usize)];
+        assert_eq!(
+            grow_4d_multires(&s, &c, &seed, 1),
+            grow_4d(&s, &c, &seed)
+        );
+    }
+
+    #[test]
+    fn multires_matches_exact_on_compact_feature() {
+        let s = ball_series(24);
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let seed = [(0usize, 7usize, 12usize, 12usize)];
+        let exact = grow_4d(&s, &c, &seed);
+        let fast = grow_4d_multires(&s, &c, &seed, 2);
+        for (i, (a, b)) in exact.iter().zip(&fast).enumerate() {
+            let agreement = a.jaccard(b);
+            assert!(
+                agreement > 0.98,
+                "frame {i}: multires diverged, Jaccard {agreement}"
+            );
+        }
+    }
+
+    #[test]
+    fn multires_result_is_subset_of_criterion() {
+        let s = ball_series(24);
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let seed = [(0usize, 7usize, 12usize, 12usize)];
+        let fast = grow_4d_multires(&s, &c, &seed, 3);
+        for (fi, m) in fast.iter().enumerate() {
+            for (x, y, z) in m.set_coords() {
+                assert!(c.accept(fi, s.frame(fi), x, y, z));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_outside_feature_grows_nothing() {
+        let s = ball_series(16);
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let fast = grow_4d_multires(&s, &c, &[(0, 0, 0, 0)], 2);
+        assert!(fast.iter().all(|m| m.is_empty_mask()));
+    }
+
+    #[test]
+    fn non_divisible_dims_handled() {
+        // 23 is not divisible by 2: boundary coarse cells must still map.
+        let s = ball_series(23);
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let seed = [(0usize, 7usize, 11usize, 11usize)];
+        let fast = grow_4d_multires(&s, &c, &seed, 2);
+        assert!(fast[0].count() > 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Octree storage of extracted features.
+//!
+//! Silver & Wang (cited in Section 2) "extract the features, and organize
+//! them into an octree structure to reduce the amount of data during
+//! tracking". Uniform regions collapse to single nodes, so compact features
+//! in a large volume store in far fewer nodes than a dense mask has voxels.
+
+use ifet_volume::{Dims3, Mask3};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Node {
+    Empty,
+    Full,
+    Mixed(Box<[Node; 8]>),
+}
+
+/// An octree-encoded boolean feature mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureOctree {
+    dims: Dims3,
+    /// Side length of the padded cube (power of two covering dims).
+    size: usize,
+    root: Node,
+}
+
+impl FeatureOctree {
+    /// Encode a mask. Space outside `dims` (padding to the power-of-two
+    /// cube) is treated as empty.
+    pub fn from_mask(mask: &Mask3) -> Self {
+        let d = mask.dims();
+        let size = d.nx.max(d.ny).max(d.nz).next_power_of_two().max(1);
+        let root = build(mask, 0, 0, 0, size);
+        Self {
+            dims: d,
+            size,
+            root,
+        }
+    }
+
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Membership query.
+    pub fn get(&self, x: usize, y: usize, z: usize) -> bool {
+        assert!(self.dims.contains(x, y, z));
+        let mut node = &self.root;
+        let mut size = self.size;
+        let (mut ox, mut oy, mut oz) = (0usize, 0usize, 0usize);
+        loop {
+            match node {
+                Node::Empty => return false,
+                Node::Full => return true,
+                Node::Mixed(children) => {
+                    size /= 2;
+                    let ix = usize::from(x >= ox + size);
+                    let iy = usize::from(y >= oy + size);
+                    let iz = usize::from(z >= oz + size);
+                    ox += ix * size;
+                    oy += iy * size;
+                    oz += iz * size;
+                    node = &children[ix + 2 * iy + 4 * iz];
+                }
+            }
+        }
+    }
+
+    /// Total node count (the storage cost).
+    pub fn node_count(&self) -> usize {
+        count_nodes(&self.root)
+    }
+
+    /// Number of set voxels represented.
+    pub fn voxel_count(&self) -> usize {
+        count_voxels(&self.root, self.size, self.dims, 0, 0, 0)
+    }
+
+    /// Decode back into a dense mask (exact inverse of `from_mask`).
+    pub fn to_mask(&self) -> Mask3 {
+        let mut m = Mask3::empty(self.dims);
+        fill_mask(&self.root, self.size, self.dims, 0, 0, 0, &mut m);
+        m
+    }
+
+    /// Ratio of octree nodes to dense voxels (< 1 means compression).
+    pub fn compression_ratio(&self) -> f64 {
+        self.node_count() as f64 / self.dims.len() as f64
+    }
+}
+
+fn build(mask: &Mask3, ox: usize, oy: usize, oz: usize, size: usize) -> Node {
+    let d = mask.dims();
+    // Entirely outside the real volume: empty padding.
+    if ox >= d.nx || oy >= d.ny || oz >= d.nz {
+        return Node::Empty;
+    }
+    if size == 1 {
+        return if mask.get(ox, oy, oz) {
+            Node::Full
+        } else {
+            Node::Empty
+        };
+    }
+
+    let half = size / 2;
+    let children: Vec<Node> = (0..8)
+        .map(|i| {
+            build(
+                mask,
+                ox + (i & 1) * half,
+                oy + ((i >> 1) & 1) * half,
+                oz + ((i >> 2) & 1) * half,
+                half,
+            )
+        })
+        .collect();
+
+    // Collapse uniform children — but only when the block lies fully inside
+    // the real volume (otherwise Full would claim padding voxels).
+    let fully_inside = ox + size <= d.nx && oy + size <= d.ny && oz + size <= d.nz;
+    if children.iter().all(|c| *c == Node::Empty) {
+        return Node::Empty;
+    }
+    if fully_inside && children.iter().all(|c| *c == Node::Full) {
+        return Node::Full;
+    }
+    let boxed: Box<[Node; 8]> = children.try_into().map(Box::new).unwrap();
+    Node::Mixed(boxed)
+}
+
+fn count_nodes(n: &Node) -> usize {
+    match n {
+        Node::Empty | Node::Full => 1,
+        Node::Mixed(c) => 1 + c.iter().map(count_nodes).sum::<usize>(),
+    }
+}
+
+fn count_voxels(n: &Node, size: usize, d: Dims3, ox: usize, oy: usize, oz: usize) -> usize {
+    match n {
+        Node::Empty => 0,
+        Node::Full => {
+            // Clip the block to the real volume.
+            let cx = (ox + size).min(d.nx).saturating_sub(ox);
+            let cy = (oy + size).min(d.ny).saturating_sub(oy);
+            let cz = (oz + size).min(d.nz).saturating_sub(oz);
+            cx * cy * cz
+        }
+        Node::Mixed(c) => {
+            let half = size / 2;
+            (0..8)
+                .map(|i| {
+                    count_voxels(
+                        &c[i],
+                        half,
+                        d,
+                        ox + (i & 1) * half,
+                        oy + ((i >> 1) & 1) * half,
+                        oz + ((i >> 2) & 1) * half,
+                    )
+                })
+                .sum()
+        }
+    }
+}
+
+fn fill_mask(n: &Node, size: usize, d: Dims3, ox: usize, oy: usize, oz: usize, m: &mut Mask3) {
+    match n {
+        Node::Empty => {}
+        Node::Full => {
+            for z in oz..(oz + size).min(d.nz) {
+                for y in oy..(oy + size).min(d.ny) {
+                    for x in ox..(ox + size).min(d.nx) {
+                        m.set(x, y, z, true);
+                    }
+                }
+            }
+        }
+        Node::Mixed(c) => {
+            let half = size / 2;
+            for i in 0..8 {
+                fill_mask(
+                    &c[i],
+                    half,
+                    d,
+                    ox + (i & 1) * half,
+                    oy + ((i >> 1) & 1) * half,
+                    oz + ((i >> 2) & 1) * half,
+                    m,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ball_mask(n: usize, r: f32) -> Mask3 {
+        let c = (n as f32 - 1.0) / 2.0;
+        Mask3::from_fn(Dims3::cube(n), |x, y, z| {
+            ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt() <= r
+        })
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        for mask in [
+            ball_mask(16, 5.0),
+            Mask3::empty(Dims3::cube(8)),
+            Mask3::full(Dims3::cube(8)),
+            ball_mask(13, 4.0), // non-power-of-two dims
+        ] {
+            let tree = FeatureOctree::from_mask(&mask);
+            assert_eq!(tree.to_mask(), mask, "roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn get_matches_mask() {
+        let mask = ball_mask(16, 5.0);
+        let tree = FeatureOctree::from_mask(&mask);
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    assert_eq!(tree.get(x, y, z), mask.get(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voxel_count_matches() {
+        let mask = ball_mask(20, 6.0);
+        let tree = FeatureOctree::from_mask(&mask);
+        assert_eq!(tree.voxel_count(), mask.count());
+    }
+
+    #[test]
+    fn uniform_masks_are_single_nodes() {
+        assert_eq!(FeatureOctree::from_mask(&Mask3::empty(Dims3::cube(32))).node_count(), 1);
+        assert_eq!(FeatureOctree::from_mask(&Mask3::full(Dims3::cube(32))).node_count(), 1);
+    }
+
+    #[test]
+    fn compact_feature_compresses() {
+        // A small ball in a big volume: far fewer nodes than voxels.
+        let mask = ball_mask(64, 6.0);
+        let tree = FeatureOctree::from_mask(&mask);
+        assert!(
+            tree.compression_ratio() < 0.15,
+            "ratio {}",
+            tree.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn non_cubic_dims_handled() {
+        let d = Dims3::new(10, 6, 14);
+        let mask = Mask3::from_fn(d, |x, y, z| (x + y + z) % 3 == 0);
+        let tree = FeatureOctree::from_mask(&mask);
+        assert_eq!(tree.to_mask(), mask);
+        assert_eq!(tree.voxel_count(), mask.count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let tree = FeatureOctree::from_mask(&Mask3::empty(Dims3::cube(4)));
+        let _ = tree.get(4, 0, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! 4D region growing, the paper's tracking mechanism (Section 5).
+//!
+//! Starting from user-selected seed voxels, the region grows through the six
+//! spatial neighbours within a frame *and* through the same voxel position in
+//! the previous/next frames — valid because "there is sufficient temporal
+//! sampling for the matching features to overlap in 3D space for consecutive
+//! time steps". The per-frame result is "saved in a 3D volume texture for
+//! rendering" — here, one [`Mask3`] per frame.
+
+use crate::criterion::GrowthCriterion;
+use ifet_volume::{Mask3, TimeSeries};
+use std::collections::VecDeque;
+
+/// A seed voxel in space-time: `(frame index, x, y, z)`.
+pub type Seed4 = (usize, usize, usize, usize);
+
+/// Grow a 4D region from `seeds` through `series` under `criterion`.
+///
+/// Returns one mask per frame (empty masks for frames the region never
+/// reaches). Seeds that fail the criterion are ignored (the user clicked
+/// background).
+pub fn grow_4d(
+    series: &TimeSeries,
+    criterion: &dyn GrowthCriterion,
+    seeds: &[Seed4],
+) -> Vec<Mask3> {
+    assert_eq!(
+        criterion.num_frames(),
+        series.len(),
+        "criterion covers {} frames, series has {}",
+        criterion.num_frames(),
+        series.len()
+    );
+    let d = series.dims();
+    let n_frames = series.len();
+    let mut masks: Vec<Mask3> = (0..n_frames).map(|_| Mask3::empty(d)).collect();
+    let mut queue: VecDeque<Seed4> = VecDeque::new();
+
+    for &(fi, x, y, z) in seeds {
+        assert!(fi < n_frames, "seed frame {fi} out of range");
+        assert!(d.contains(x, y, z), "seed ({x},{y},{z}) out of bounds");
+        if masks[fi].get(x, y, z) {
+            continue;
+        }
+        if criterion.accept(fi, series.frame(fi), x, y, z) {
+            masks[fi].set(x, y, z, true);
+            queue.push_back((fi, x, y, z));
+        }
+    }
+
+    while let Some((fi, x, y, z)) = queue.pop_front() {
+        // Spatial growth within the frame.
+        for (nx, ny, nz) in d.neighbors6(x, y, z) {
+            if !masks[fi].get(nx, ny, nz)
+                && criterion.accept(fi, series.frame(fi), nx, ny, nz)
+            {
+                masks[fi].set(nx, ny, nz, true);
+                queue.push_back((fi, nx, ny, nz));
+            }
+        }
+        // Temporal growth: the same voxel in adjacent frames.
+        for nf in [fi.wrapping_sub(1), fi + 1] {
+            if nf >= n_frames {
+                continue;
+            }
+            if !masks[nf].get(x, y, z) && criterion.accept(nf, series.frame(nf), x, y, z) {
+                masks[nf].set(x, y, z, true);
+                queue.push_back((nf, x, y, z));
+            }
+        }
+    }
+
+    masks
+}
+
+/// Total voxels captured per frame — a convenient track summary
+/// (this is the series plotted in the Figure 10 experiment).
+pub fn voxels_per_frame(masks: &[Mask3]) -> Vec<usize> {
+    masks.iter().map(|m| m.count()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::{FixedBandCriterion, MaskCriterion};
+    use ifet_volume::{Dims3, ScalarVolume};
+
+    /// A bright ball moving +x by 2 voxels per frame, fading 0.2 per frame.
+    fn moving_ball_series() -> TimeSeries {
+        let d = Dims3::cube(16);
+        let frames = (0..4u32)
+            .map(|t| {
+                let cx = 4.0 + 2.0 * t as f32;
+                let brightness = 1.0 - 0.2 * t as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let dist = ((x as f32 - cx).powi(2)
+                        + (y as f32 - 8.0).powi(2)
+                        + (z as f32 - 8.0).powi(2))
+                    .sqrt();
+                    if dist <= 3.0 {
+                        brightness
+                    } else {
+                        0.0
+                    }
+                });
+                (t, vol)
+            })
+            .collect();
+        TimeSeries::from_frames(frames)
+    }
+
+    #[test]
+    fn grows_spatially_within_frame() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        // Frame 0 ball fully captured.
+        let truth0 = Mask3::threshold(s.frame(0), 0.5);
+        assert_eq!(masks[0], truth0);
+    }
+
+    #[test]
+    fn tracks_across_frames_through_overlap() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        // Ball moves 2 voxels per frame with radius 3: consecutive frames
+        // overlap, so every frame is reached.
+        for (i, m) in masks.iter().enumerate() {
+            assert!(m.count() > 0, "frame {i} not tracked");
+        }
+    }
+
+    #[test]
+    fn fixed_criterion_loses_fading_feature() {
+        // The Figure 10 failure mode: brightness drops below the fixed band.
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.75, 2.0, s.len());
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        assert!(masks[0].count() > 0);
+        // Frame 2 brightness = 0.6 < 0.75: lost.
+        assert_eq!(masks[2].count(), 0);
+        assert_eq!(masks[3].count(), 0);
+    }
+
+    #[test]
+    fn seed_on_background_is_ignored() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let masks = grow_4d(&s, &c, &[(0, 0, 0, 0)]);
+        assert!(masks.iter().all(|m| m.is_empty_mask()));
+    }
+
+    #[test]
+    fn disconnected_feature_not_captured() {
+        // A second bright ball far away must not be swallowed.
+        let d = Dims3::cube(16);
+        let vol = ScalarVolume::from_fn(d, |x, y, z| {
+            let d1 = ((x as f32 - 3.0).powi(2) + (y as f32 - 3.0).powi(2) + (z as f32 - 3.0).powi(2)).sqrt();
+            let d2 = ((x as f32 - 12.0).powi(2) + (y as f32 - 12.0).powi(2) + (z as f32 - 12.0).powi(2)).sqrt();
+            if d1 <= 2.0 || d2 <= 2.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let s = TimeSeries::from_frames(vec![(0, vol)]);
+        let c = FixedBandCriterion::new(0.5, 2.0, 1);
+        let masks = grow_4d(&s, &c, &[(0, 3, 3, 3)]);
+        assert!(masks[0].get(3, 3, 3));
+        assert!(!masks[0].get(12, 12, 12));
+    }
+
+    #[test]
+    fn grows_backward_in_time_too() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        // Seed in the LAST frame; earlier frames must still be reached.
+        let masks = grow_4d(&s, &c, &[(3, 10, 8, 8)]);
+        assert!(masks[0].count() > 0, "backward temporal growth failed");
+    }
+
+    #[test]
+    fn mask_criterion_grow_respects_masks() {
+        let d = Dims3::cube(8);
+        let s = TimeSeries::from_frames(vec![(0, ScalarVolume::zeros(d))]);
+        let mut allowed = Mask3::empty(d);
+        for x in 2..6 {
+            allowed.set(x, 4, 4, true);
+        }
+        let c = MaskCriterion::new(vec![allowed.clone()]);
+        let masks = grow_4d(&s, &c, &[(0, 3, 4, 4)]);
+        assert_eq!(masks[0], allowed);
+    }
+
+    #[test]
+    fn voxels_per_frame_summary() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        let counts = voxels_per_frame(&masks);
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn criterion_frame_mismatch_panics() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.0, 1.0, 2); // wrong frame count
+        let _ = grow_4d(&s, &c, &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_seed_panics() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.0, 1.0, s.len());
+        let _ = grow_4d(&s, &c, &[(0, 99, 0, 0)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Volume I/O: raw little-endian `f32` bricks with a JSON sidecar, the common
+//! interchange format for scientific volume data (value-compatible with the
+//! `.raw` + metadata convention used by most volume renderers).
+
+use crate::dims::Dims3;
+use crate::series::TimeSeries;
+use crate::volume::ScalarVolume;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Sidecar metadata for a raw volume file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolumeMeta {
+    pub dims: Dims3,
+    /// Value type; only `"f32le"` is produced/consumed.
+    pub dtype: String,
+    /// Optional time-step label.
+    pub step: Option<u32>,
+    /// Optional variable name.
+    pub variable: Option<String>,
+}
+
+impl VolumeMeta {
+    pub fn new(dims: Dims3) -> Self {
+        Self {
+            dims,
+            dtype: "f32le".to_string(),
+            step: None,
+            variable: None,
+        }
+    }
+}
+
+/// Errors raised by volume I/O.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    Json(serde_json::Error),
+    /// The file length does not match `dims.len() * 4`.
+    SizeMismatch { expected: usize, got: usize },
+    /// Unsupported `dtype` in the sidecar.
+    UnsupportedDtype(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Json(e) => write!(f, "metadata error: {e}"),
+            IoError::SizeMismatch { expected, got } => {
+                write!(f, "raw size mismatch: expected {expected} bytes, got {got}")
+            }
+            IoError::UnsupportedDtype(d) => write!(f, "unsupported dtype {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+fn sidecar_path(raw: &Path) -> PathBuf {
+    let mut p = raw.as_os_str().to_owned();
+    p.push(".json");
+    PathBuf::from(p)
+}
+
+/// Write a volume as raw little-endian f32 plus a `<path>.json` sidecar.
+pub fn write_raw(path: &Path, vol: &ScalarVolume, meta: &VolumeMeta) -> Result<(), IoError> {
+    assert_eq!(vol.dims(), meta.dims, "meta dims must match volume dims");
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in vol.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    let side = File::create(sidecar_path(path))?;
+    serde_json::to_writer_pretty(BufWriter::new(side), meta)?;
+    Ok(())
+}
+
+/// Read a volume written by [`write_raw`]. The sidecar supplies dimensions.
+pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
+    let side = File::open(sidecar_path(path))?;
+    let meta: VolumeMeta = serde_json::from_reader(BufReader::new(side))?;
+    if meta.dtype != "f32le" {
+        return Err(IoError::UnsupportedDtype(meta.dtype.clone()));
+    }
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    let expected = meta.dims.len() * 4;
+    if bytes.len() != expected {
+        return Err(IoError::SizeMismatch {
+            expected,
+            got: bytes.len(),
+        });
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok((ScalarVolume::from_vec(meta.dims, data), meta))
+}
+
+/// Write every frame of a series as `prefix_t<step>.raw` (+ sidecars).
+/// Returns the written paths.
+pub fn write_series(dir: &Path, prefix: &str, series: &TimeSeries) -> Result<Vec<PathBuf>, IoError> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for (t, frame) in series.iter() {
+        let p = dir.join(format!("{prefix}_t{t:05}.raw"));
+        let mut meta = VolumeMeta::new(frame.dims());
+        meta.step = Some(t);
+        write_raw(&p, frame, &meta)?;
+        paths.push(p);
+    }
+    Ok(paths)
+}
+
+/// Read a series back from the paths produced by [`write_series`]
+/// (any order; frames are sorted by their sidecar step labels).
+pub fn read_series(paths: &[PathBuf]) -> Result<TimeSeries, IoError> {
+    let mut frames = Vec::new();
+    for p in paths {
+        let (vol, meta) = read_raw(p)?;
+        frames.push((meta.step.unwrap_or(frames.len() as u32), vol));
+    }
+    frames.sort_by_key(|(t, _)| *t);
+    Ok(TimeSeries::from_frames(frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = env::temp_dir().join(format!("ifet_io_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_volume() {
+        let dir = tmpdir("vol");
+        let v = ScalarVolume::from_fn(Dims3::new(3, 4, 5), |x, y, z| {
+            x as f32 + 0.5 * y as f32 - z as f32
+        });
+        let p = dir.join("v.raw");
+        let mut meta = VolumeMeta::new(v.dims());
+        meta.variable = Some("density".into());
+        write_raw(&p, &v, &meta).unwrap();
+        let (back, meta2) = read_raw(&p).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(meta2.variable.as_deref(), Some("density"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let dir = tmpdir("bad");
+        let v = ScalarVolume::zeros(Dims3::cube(2));
+        let p = dir.join("v.raw");
+        write_raw(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        // Corrupt: truncate the raw file.
+        std::fs::write(&p, [0u8; 4]).unwrap();
+        match read_raw(&p) {
+            Err(IoError::SizeMismatch { expected, got }) => {
+                assert_eq!(expected, 32);
+                assert_eq!(got, 4);
+            }
+            other => panic!("expected SizeMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unsupported_dtype_rejected() {
+        let dir = tmpdir("dtype");
+        let v = ScalarVolume::zeros(Dims3::cube(2));
+        let p = dir.join("v.raw");
+        let mut meta = VolumeMeta::new(v.dims());
+        write_raw(&p, &v, &meta).unwrap();
+        meta.dtype = "u8".to_string();
+        std::fs::write(
+            sidecar_path(&p),
+            serde_json::to_string(&meta).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(read_raw(&p), Err(IoError::UnsupportedDtype(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_series() {
+        let dir = tmpdir("series");
+        let d = Dims3::cube(3);
+        let s = TimeSeries::from_frames(vec![
+            (5, ScalarVolume::filled(d, 1.0)),
+            (10, ScalarVolume::filled(d, 2.0)),
+        ]);
+        let paths = write_series(&dir, "test", &s).unwrap();
+        assert_eq!(paths.len(), 2);
+        let back = read_series(&paths).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = PathBuf::from("/nonexistent/ifet/v.raw");
+        assert!(matches!(read_raw(&p), Err(IoError::Io(_))));
+    }
+}

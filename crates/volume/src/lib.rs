@@ -1,0 +1,44 @@
+//! Time-varying volume data substrate for intelligent feature extraction and
+//! tracking (Tzeng & Ma, SC 2005).
+//!
+//! This crate provides the dense regular-grid data structures the rest of the
+//! workspace is built on:
+//!
+//! - [`Dims3`] — grid dimensions and index arithmetic,
+//! - [`ScalarVolume`] / [`Volume`] — a dense 3D scalar field,
+//! - [`VectorVolume`] — a dense 3D vector field with differential operators,
+//! - [`TimeSeries`] — a time-varying sequence of scalar volumes,
+//! - [`MultiVolume`] — several named variables over one grid (multivariate data),
+//! - [`Histogram`] / [`CumulativeHistogram`] — value distributions, the key
+//!   ingredient of the paper's adaptive transfer function (Section 4.2.1),
+//! - [`Mask3`] — boolean voxel masks with the set metrics used to score
+//!   extraction quality against ground truth,
+//! - trilinear [`sample`]-ing and central-difference gradients for rendering,
+//! - separable Gaussian [`filter`]-ing (the paper's "blur the volume"
+//!   baseline in Figure 7),
+//! - raw-binary + JSON-sidecar [`io`].
+//!
+//! Everything is deterministic and `f32`-based; volumes are laid out in
+//! x-fastest (C) order so `idx = x + nx*(y + ny*z)`.
+
+pub mod dims;
+pub mod filter;
+pub mod histogram;
+pub mod io;
+pub mod mask;
+pub mod multivol;
+pub mod ooc;
+pub mod sample;
+pub mod series;
+pub mod shell;
+pub mod vecfield;
+pub mod volume;
+
+pub use dims::{Dims3, Ix3};
+pub use histogram::{CumulativeHistogram, Histogram};
+pub use mask::Mask3;
+pub use multivol::{MultiSeries, MultiVolume};
+pub use ooc::OutOfCoreSeries;
+pub use series::TimeSeries;
+pub use vecfield::VectorVolume;
+pub use volume::{ScalarVolume, Volume};

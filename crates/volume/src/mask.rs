@@ -1,0 +1,403 @@
+//! Boolean voxel masks and the set metrics used to score feature extraction
+//! against ground truth.
+
+use crate::dims::{Dims3, Ix3};
+use crate::volume::ScalarVolume;
+use serde::{Deserialize, Serialize};
+
+/// A dense boolean mask over a 3D grid.
+///
+/// ```
+/// use ifet_volume::{Dims3, Mask3, ScalarVolume};
+/// let vol = ScalarVolume::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+/// let pred = Mask3::threshold(&vol, 2.0);
+/// let truth = Mask3::from_fn(Dims3::cube(4), |x, _, _| x >= 1);
+/// assert_eq!(pred.count(), 2 * 16);
+/// assert!(pred.precision(&truth) == 1.0 && pred.recall(&truth) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mask3 {
+    dims: Dims3,
+    bits: Vec<bool>,
+}
+
+impl Mask3 {
+    /// An all-false mask.
+    pub fn empty(dims: Dims3) -> Self {
+        Self {
+            dims,
+            bits: vec![false; dims.len()],
+        }
+    }
+
+    /// An all-true mask.
+    pub fn full(dims: Dims3) -> Self {
+        Self {
+            dims,
+            bits: vec![true; dims.len()],
+        }
+    }
+
+    /// Threshold a scalar volume: voxels with `value >= t` are set.
+    pub fn threshold(vol: &ScalarVolume, t: f32) -> Self {
+        Self {
+            dims: vol.dims(),
+            bits: vol.as_slice().iter().map(|&v| v >= t).collect(),
+        }
+    }
+
+    /// Voxels whose value lies inside `[lo, hi]`.
+    pub fn value_band(vol: &ScalarVolume, lo: f32, hi: f32) -> Self {
+        Self {
+            dims: vol.dims(),
+            bits: vol.as_slice().iter().map(|&v| v >= lo && v <= hi).collect(),
+        }
+    }
+
+    /// Build from a predicate over coordinates.
+    pub fn from_fn(dims: Dims3, mut f: impl FnMut(usize, usize, usize) -> bool) -> Self {
+        let mut bits = Vec::with_capacity(dims.len());
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    bits.push(f(x, y, z));
+                }
+            }
+        }
+        Self { dims, bits }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> bool {
+        self.bits[self.dims.index(x, y, z)]
+    }
+
+    #[inline]
+    pub fn get_linear(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: bool) {
+        let i = self.dims.index(x, y, z);
+        self.bits[i] = v;
+    }
+
+    #[inline]
+    pub fn set_linear(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// Number of set voxels.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// True when no voxel is set.
+    pub fn is_empty_mask(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Linear indices of set voxels.
+    pub fn set_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+    }
+
+    /// Coordinates of set voxels.
+    pub fn set_coords(&self) -> impl Iterator<Item = Ix3> + '_ {
+        let dims = self.dims;
+        self.set_indices().map(move |i| dims.coords(i))
+    }
+
+    fn check_same_dims(&self, other: &Self) {
+        assert_eq!(
+            self.dims, other.dims,
+            "mask dimension mismatch: {} vs {}",
+            self.dims, other.dims
+        );
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        self.check_same_dims(other);
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.check_same_dims(other);
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self AND NOT other`).
+    pub fn subtract(&mut self, other: &Self) {
+        self.check_same_dims(other);
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// Complement in place.
+    pub fn invert(&mut self) {
+        for b in &mut self.bits {
+            *b = !*b;
+        }
+    }
+
+    /// Count of voxels set in both.
+    pub fn intersection_count(&self, other: &Self) -> usize {
+        self.check_same_dims(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|&(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Count of voxels set in either.
+    pub fn union_count(&self, other: &Self) -> usize {
+        self.check_same_dims(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|&(&a, &b)| a || b)
+            .count()
+    }
+
+    /// Jaccard index (intersection over union); 1.0 for two empty masks.
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        let u = self.union_count(other);
+        if u == 0 {
+            return 1.0;
+        }
+        self.intersection_count(other) as f64 / u as f64
+    }
+
+    /// Dice coefficient; 1.0 for two empty masks.
+    pub fn dice(&self, other: &Self) -> f64 {
+        let a = self.count();
+        let b = other.count();
+        if a + b == 0 {
+            return 1.0;
+        }
+        2.0 * self.intersection_count(other) as f64 / (a + b) as f64
+    }
+
+    /// Precision of `self` as a prediction of ground-truth `truth`.
+    pub fn precision(&self, truth: &Self) -> f64 {
+        let p = self.count();
+        if p == 0 {
+            return if truth.is_empty_mask() { 1.0 } else { 0.0 };
+        }
+        self.intersection_count(truth) as f64 / p as f64
+    }
+
+    /// Recall of `self` against ground-truth `truth`.
+    pub fn recall(&self, truth: &Self) -> f64 {
+        let t = truth.count();
+        if t == 0 {
+            return 1.0;
+        }
+        self.intersection_count(truth) as f64 / t as f64
+    }
+
+    /// F1 score against ground-truth `truth`.
+    pub fn f1(&self, truth: &Self) -> f64 {
+        let p = self.precision(truth);
+        let r = self.recall(truth);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Convert to a 0/1 scalar volume (useful for rendering masks).
+    pub fn to_volume(&self) -> ScalarVolume {
+        ScalarVolume::from_vec(
+            self.dims,
+            self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+        )
+    }
+
+    /// Morphological dilation by one voxel (6-connectivity).
+    pub fn dilate6(&self) -> Self {
+        let mut out = self.clone();
+        for (x, y, z) in self.set_coords() {
+            for (nx, ny, nz) in self.dims.neighbors6(x, y, z) {
+                out.set(nx, ny, nz, true);
+            }
+        }
+        out
+    }
+
+    /// Morphological erosion by one voxel (6-connectivity; boundary voxels
+    /// survive only if all in-bounds neighbours are set).
+    pub fn erode6(&self) -> Self {
+        let mut out = Mask3::empty(self.dims);
+        for (x, y, z) in self.set_coords() {
+            let keep = self.dims.neighbors6(x, y, z).all(|(a, b, c)| self.get(a, b, c));
+            if keep {
+                out.set(x, y, z, true);
+            }
+        }
+        out
+    }
+
+    /// Count of set voxels with at least one unset 6-neighbour (surface area
+    /// proxy, used as the boundary-detail score in the Figure 7 experiment).
+    pub fn surface_count(&self) -> usize {
+        self.set_coords()
+            .filter(|&(x, y, z)| {
+                self.dims
+                    .neighbors6(x, y, z)
+                    .any(|(a, b, c)| !self.get(a, b, c))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ball(dims: Dims3, c: (f32, f32, f32), r: f32) -> Mask3 {
+        Mask3::from_fn(dims, |x, y, z| {
+            let dx = x as f32 - c.0;
+            let dy = y as f32 - c.1;
+            let dz = z as f32 - c.2;
+            (dx * dx + dy * dy + dz * dz).sqrt() <= r
+        })
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let d = Dims3::cube(4);
+        assert_eq!(Mask3::empty(d).count(), 0);
+        assert_eq!(Mask3::full(d).count(), 64);
+        assert!(Mask3::empty(d).is_empty_mask());
+    }
+
+    #[test]
+    fn threshold_and_band() {
+        let v = ScalarVolume::from_fn(Dims3::new(4, 1, 1), |x, _, _| x as f32);
+        assert_eq!(Mask3::threshold(&v, 2.0).count(), 2);
+        assert_eq!(Mask3::value_band(&v, 1.0, 2.0).count(), 2);
+    }
+
+    #[test]
+    fn set_ops() {
+        let d = Dims3::cube(3);
+        let a = ball(d, (0.0, 0.0, 0.0), 1.1);
+        let b = ball(d, (2.0, 2.0, 2.0), 1.1);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), a.count() + b.count()); // disjoint balls
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert!(i.is_empty_mask());
+        let mut s = u.clone();
+        s.subtract(&b);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn invert_flips_count() {
+        let d = Dims3::cube(3);
+        let mut m = ball(d, (1.0, 1.0, 1.0), 1.1);
+        let c = m.count();
+        m.invert();
+        assert_eq!(m.count(), 27 - c);
+    }
+
+    #[test]
+    fn jaccard_dice_identity() {
+        let d = Dims3::cube(4);
+        let a = ball(d, (1.5, 1.5, 1.5), 1.6);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(a.dice(&a), 1.0);
+        let e = Mask3::empty(d);
+        assert_eq!(e.jaccard(&e), 1.0);
+        assert_eq!(a.jaccard(&e), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let d = Dims3::new(4, 1, 1);
+        let truth = Mask3::from_fn(d, |x, _, _| x < 2);
+        let pred = Mask3::from_fn(d, |x, _, _| x < 3); // 2 TP, 1 FP
+        assert!((pred.precision(&truth) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pred.recall(&truth) - 1.0).abs() < 1e-12);
+        let f1 = pred.f1(&truth);
+        assert!((f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_edge_cases() {
+        let d = Dims3::cube(2);
+        let e = Mask3::empty(d);
+        let f = Mask3::full(d);
+        assert_eq!(e.precision(&e), 1.0);
+        assert_eq!(e.precision(&f), 0.0);
+        assert_eq!(f.recall(&e), 1.0);
+        assert_eq!(e.f1(&f), 0.0);
+    }
+
+    #[test]
+    fn dilate_then_erode_contains_original() {
+        let d = Dims3::cube(8);
+        let a = ball(d, (3.5, 3.5, 3.5), 2.0);
+        let closed = a.dilate6().erode6();
+        // Closing is extensive: contains the original.
+        assert_eq!(a.intersection_count(&closed), a.count());
+    }
+
+    #[test]
+    fn erode_shrinks_dilate_grows() {
+        let d = Dims3::cube(8);
+        let a = ball(d, (3.5, 3.5, 3.5), 2.5);
+        assert!(a.erode6().count() < a.count());
+        assert!(a.dilate6().count() > a.count());
+    }
+
+    #[test]
+    fn surface_of_solid_cube() {
+        let d = Dims3::cube(5);
+        let m = Mask3::from_fn(d, |x, y, z| {
+            (1..4).contains(&x) && (1..4).contains(&y) && (1..4).contains(&z)
+        });
+        // 3x3x3 block: all but the single interior voxel are surface.
+        assert_eq!(m.surface_count(), 26);
+    }
+
+    #[test]
+    fn to_volume_roundtrip() {
+        let d = Dims3::cube(3);
+        let m = ball(d, (1.0, 1.0, 1.0), 1.1);
+        let v = m.to_volume();
+        let back = Mask3::threshold(&v, 0.5);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn set_coords_match_get() {
+        let d = Dims3::cube(4);
+        let m = ball(d, (2.0, 2.0, 2.0), 1.5);
+        for (x, y, z) in m.set_coords() {
+            assert!(m.get(x, y, z));
+        }
+        assert_eq!(m.set_coords().count(), m.count());
+    }
+}

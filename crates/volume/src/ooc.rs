@@ -1,0 +1,319 @@
+//! Out-of-core time series: disk-backed frames with an LRU cache.
+//!
+//! The paper's motivation is terascale data: "when the volume size is large
+//! or many time steps are used, it can be time consuming to load the volumes
+//! for training since not all the data can fit in core" (Section 4.2.2), and
+//! "as the data set grows ... it becomes impractical to load the entire data
+//! onto a single computer" (Section 4.2.3). [`OutOfCoreSeries`] keeps only a
+//! bounded number of frames resident, paging the rest from the raw-brick
+//! files of [`crate::io`]; the IATF workflow needs only the key frames in
+//! core, exactly as the paper argues.
+
+use crate::dims::Dims3;
+use crate::io::{read_raw, write_series, IoError};
+use crate::series::TimeSeries;
+use crate::volume::ScalarVolume;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Cache state: most-recently-used at the back.
+struct Cache {
+    capacity: usize,
+    entries: VecDeque<(usize, Arc<ScalarVolume>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    fn get(&mut self, idx: usize) -> Option<Arc<ScalarVolume>> {
+        if let Some(pos) = self.entries.iter().position(|(i, _)| *i == idx) {
+            let entry = self.entries.remove(pos).unwrap();
+            let vol = entry.1.clone();
+            self.entries.push_back(entry);
+            self.hits += 1;
+            Some(vol)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, idx: usize, vol: Arc<ScalarVolume>) {
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((idx, vol));
+    }
+}
+
+/// A time series whose frames live on disk, with at most `capacity` frames
+/// resident at a time.
+pub struct OutOfCoreSeries {
+    dims: Dims3,
+    steps: Vec<u32>,
+    paths: Vec<PathBuf>,
+    cache: Mutex<Cache>,
+}
+
+impl OutOfCoreSeries {
+    /// Write an in-core series to `dir` and return the disk-backed handle.
+    pub fn create(
+        dir: &Path,
+        prefix: &str,
+        series: &TimeSeries,
+        capacity: usize,
+    ) -> Result<Self, IoError> {
+        let paths = write_series(dir, prefix, series)?;
+        Ok(Self {
+            dims: series.dims(),
+            steps: series.steps().to_vec(),
+            paths,
+            cache: Mutex::new(Cache {
+                capacity: capacity.max(1),
+                entries: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        })
+    }
+
+    /// Open from existing frame files (reads each sidecar for the step
+    /// label, but no voxel data).
+    pub fn open(paths: Vec<PathBuf>, capacity: usize) -> Result<Self, IoError> {
+        assert!(!paths.is_empty(), "need at least one frame file");
+        // Read sidecars only — via read_raw on the first file for dims, and
+        // cheap JSON reads for steps.
+        let mut labelled: Vec<(u32, PathBuf)> = Vec::with_capacity(paths.len());
+        let mut dims = None;
+        for (k, p) in paths.iter().enumerate() {
+            let side = std::fs::File::open(PathBuf::from({
+                let mut s = p.as_os_str().to_owned();
+                s.push(".json");
+                s
+            }))?;
+            let meta: crate::io::VolumeMeta = serde_json::from_reader(side)?;
+            if let Some(d) = dims {
+                assert_eq!(d, meta.dims, "frame dims mismatch in series");
+            } else {
+                dims = Some(meta.dims);
+            }
+            labelled.push((meta.step.unwrap_or(k as u32), p.clone()));
+        }
+        labelled.sort_by_key(|(t, _)| *t);
+        Ok(Self {
+            dims: dims.unwrap(),
+            steps: labelled.iter().map(|(t, _)| *t).collect(),
+            paths: labelled.into_iter().map(|(_, p)| p).collect(),
+            cache: Mutex::new(Cache {
+                capacity: capacity.max(1),
+                entries: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        })
+    }
+
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// Load frame `i`, from cache when resident. The `Arc` keeps the frame
+    /// alive for the caller even after eviction.
+    pub fn frame(&self, i: usize) -> Result<Arc<ScalarVolume>, IoError> {
+        assert!(i < self.paths.len(), "frame {i} out of range");
+        if let Some(hit) = self.cache.lock().unwrap().get(i) {
+            return Ok(hit);
+        }
+        let (vol, _) = read_raw(&self.paths[i])?;
+        let vol = Arc::new(vol);
+        self.cache.lock().unwrap().insert(i, vol.clone());
+        Ok(vol)
+    }
+
+    /// Frame by step label.
+    pub fn frame_at_step(&self, t: u32) -> Result<Option<Arc<ScalarVolume>>, IoError> {
+        match self.steps.binary_search(&t) {
+            Ok(i) => Ok(Some(self.frame(i)?)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock().unwrap();
+        (c.hits, c.misses)
+    }
+
+    /// Frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.cache.lock().unwrap().entries.len()
+    }
+
+    /// Materialize the whole series in core (only for small data / tests).
+    pub fn load_all(&self) -> Result<TimeSeries, IoError> {
+        let mut frames = Vec::with_capacity(self.len());
+        for (i, &t) in self.steps.iter().enumerate() {
+            frames.push((t, (*self.frame(i)?).clone()));
+        }
+        Ok(TimeSeries::from_frames(frames))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> TimeSeries {
+        let d = Dims3::cube(8);
+        TimeSeries::from_frames(
+            (0..6u32)
+                .map(|k| (k * 10, ScalarVolume::filled(d, k as f32)))
+                .collect(),
+        )
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ifet_ooc_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn create_and_read_frames() {
+        let dir = tmpdir("basic");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        assert_eq!(ooc.len(), 6);
+        assert_eq!(ooc.dims(), Dims3::cube(8));
+        assert_eq!(ooc.steps(), &[0, 10, 20, 30, 40, 50]);
+        for i in 0..6 {
+            assert_eq!(ooc.frame(i).unwrap().as_slice()[0], i as f32);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cache_respects_capacity() {
+        let dir = tmpdir("cap");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        for i in 0..6 {
+            let _ = ooc.frame(i).unwrap();
+        }
+        assert!(ooc.resident() <= 2, "resident {}", ooc.resident());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn repeated_access_hits_cache() {
+        let dir = tmpdir("hits");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 3).unwrap();
+        let _ = ooc.frame(0).unwrap();
+        let _ = ooc.frame(0).unwrap();
+        let _ = ooc.frame(0).unwrap();
+        let (hits, misses) = ooc.cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let dir = tmpdir("lru");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        let _ = ooc.frame(0).unwrap();
+        let _ = ooc.frame(1).unwrap();
+        let _ = ooc.frame(0).unwrap(); // refresh 0
+        let _ = ooc.frame(2).unwrap(); // evicts 1
+        let (h0, _) = ooc.cache_stats();
+        let _ = ooc.frame(0).unwrap(); // still resident -> hit
+        let (h1, _) = ooc.cache_stats();
+        assert_eq!(h1, h0 + 1);
+        let (_, m0) = ooc.cache_stats();
+        let _ = ooc.frame(1).unwrap(); // was evicted -> miss
+        let (_, m1) = ooc.cache_stats();
+        assert_eq!(m1, m0 + 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_from_paths_matches_created() {
+        let dir = tmpdir("open");
+        let s = sample_series();
+        let created = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        let paths: Vec<PathBuf> = (0..created.len()).map(|i| created.paths[i].clone()).collect();
+        let opened = OutOfCoreSeries::open(paths, 2).unwrap();
+        assert_eq!(opened.steps(), created.steps());
+        assert_eq!(opened.load_all().unwrap(), s);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn frame_at_step_lookup() {
+        let dir = tmpdir("step");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        assert_eq!(ooc.frame_at_step(30).unwrap().unwrap().as_slice()[0], 3.0);
+        assert!(ooc.frame_at_step(31).unwrap().is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_frame_file_is_an_error_not_a_panic() {
+        let dir = tmpdir("gone");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
+        // Delete one raw file behind the cache's back.
+        std::fs::remove_file(&ooc.paths[3]).unwrap();
+        assert!(ooc.frame(3).is_err(), "deleted frame must surface as Err");
+        // Other frames still load.
+        assert!(ooc.frame(0).is_ok());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_frame_is_an_error() {
+        let dir = tmpdir("corrupt");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
+        std::fs::write(&ooc.paths[2], [1u8, 2, 3]).unwrap(); // truncated
+        assert!(ooc.frame(2).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn arc_keeps_evicted_frame_alive() {
+        let dir = tmpdir("arc");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
+        let held = ooc.frame(0).unwrap();
+        let _ = ooc.frame(1).unwrap(); // evicts frame 0 from the cache
+        // The caller's Arc still works even though the cache dropped it.
+        assert_eq!(held.as_slice()[0], 0.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_all_roundtrips() {
+        let dir = tmpdir("all");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
+        assert_eq!(ooc.load_all().unwrap(), s);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Continuous sampling of volumes: trilinear interpolation and
+//! central-difference gradients (used by the renderer and the fluid solver's
+//! semi-Lagrangian advection).
+
+use crate::volume::ScalarVolume;
+
+/// Trilinearly interpolate `vol` at continuous voxel coordinates `(x, y, z)`.
+///
+/// Coordinates are in voxel units where integer positions coincide with voxel
+/// centers; out-of-range coordinates are clamped (Neumann boundary).
+pub fn trilinear(vol: &ScalarVolume, x: f32, y: f32, z: f32) -> f32 {
+    let d = vol.dims();
+    let cx = x.clamp(0.0, (d.nx - 1) as f32);
+    let cy = y.clamp(0.0, (d.ny - 1) as f32);
+    let cz = z.clamp(0.0, (d.nz - 1) as f32);
+
+    let x0 = cx.floor() as usize;
+    let y0 = cy.floor() as usize;
+    let z0 = cz.floor() as usize;
+    let x1 = (x0 + 1).min(d.nx - 1);
+    let y1 = (y0 + 1).min(d.ny - 1);
+    let z1 = (z0 + 1).min(d.nz - 1);
+
+    let fx = cx - x0 as f32;
+    let fy = cy - y0 as f32;
+    let fz = cz - z0 as f32;
+
+    let v000 = *vol.get(x0, y0, z0);
+    let v100 = *vol.get(x1, y0, z0);
+    let v010 = *vol.get(x0, y1, z0);
+    let v110 = *vol.get(x1, y1, z0);
+    let v001 = *vol.get(x0, y0, z1);
+    let v101 = *vol.get(x1, y0, z1);
+    let v011 = *vol.get(x0, y1, z1);
+    let v111 = *vol.get(x1, y1, z1);
+
+    let c00 = v000 + (v100 - v000) * fx;
+    let c10 = v010 + (v110 - v010) * fx;
+    let c01 = v001 + (v101 - v001) * fx;
+    let c11 = v011 + (v111 - v011) * fx;
+
+    let c0 = c00 + (c10 - c00) * fy;
+    let c1 = c01 + (c11 - c01) * fy;
+
+    c0 + (c1 - c0) * fz
+}
+
+/// Central-difference gradient at an integer voxel (clamped at boundaries).
+pub fn gradient_at(vol: &ScalarVolume, x: usize, y: usize, z: usize) -> [f32; 3] {
+    let (xi, yi, zi) = (x as i64, y as i64, z as i64);
+    let gx = (vol.get_clamped(xi + 1, yi, zi) - vol.get_clamped(xi - 1, yi, zi)) * 0.5;
+    let gy = (vol.get_clamped(xi, yi + 1, zi) - vol.get_clamped(xi, yi - 1, zi)) * 0.5;
+    let gz = (vol.get_clamped(xi, yi, zi + 1) - vol.get_clamped(xi, yi, zi - 1)) * 0.5;
+    [gx, gy, gz]
+}
+
+/// Central-difference gradient at continuous coordinates, built from
+/// trilinear samples half a voxel apart.
+pub fn gradient_trilinear(vol: &ScalarVolume, x: f32, y: f32, z: f32) -> [f32; 3] {
+    let h = 0.5;
+    [
+        (trilinear(vol, x + h, y, z) - trilinear(vol, x - h, y, z)) / (2.0 * h),
+        (trilinear(vol, x, y + h, z) - trilinear(vol, x, y - h, z)) / (2.0 * h),
+        (trilinear(vol, x, y, z + h) - trilinear(vol, x, y, z - h)) / (2.0 * h),
+    ]
+}
+
+/// Gradient-magnitude volume: `|∇f|` at every voxel (central differences,
+/// clamped boundaries) — the second axis of Kindlmann-style 2D transfer
+/// functions.
+pub fn gradient_magnitude_volume(vol: &ScalarVolume) -> ScalarVolume {
+    ScalarVolume::from_fn(vol.dims(), |x, y, z| norm3(gradient_at(vol, x, y, z)))
+}
+
+/// Euclidean norm of a 3-vector.
+#[inline]
+pub fn norm3(v: [f32; 3]) -> f32 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+/// Normalize a 3-vector; returns zero vector for (near-)zero input.
+#[inline]
+pub fn normalize3(v: [f32; 3]) -> [f32; 3] {
+    let n = norm3(v);
+    if n < 1e-12 {
+        [0.0; 3]
+    } else {
+        [v[0] / n, v[1] / n, v[2] / n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+
+    fn linear_field() -> ScalarVolume {
+        // f(x,y,z) = 2x + 3y - z  (trilinear interpolation is exact on it)
+        ScalarVolume::from_fn(Dims3::cube(8), |x, y, z| {
+            2.0 * x as f32 + 3.0 * y as f32 - z as f32
+        })
+    }
+
+    #[test]
+    fn trilinear_exact_at_voxel_centers() {
+        let v = linear_field();
+        assert_eq!(trilinear(&v, 3.0, 4.0, 5.0), *v.get(3, 4, 5));
+    }
+
+    #[test]
+    fn trilinear_exact_on_linear_fields() {
+        let v = linear_field();
+        let got = trilinear(&v, 2.25, 3.5, 1.75);
+        let want = 2.0 * 2.25 + 3.0 * 3.5 - 1.75;
+        assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+    }
+
+    #[test]
+    fn trilinear_clamps_out_of_range() {
+        let v = linear_field();
+        assert_eq!(trilinear(&v, -10.0, 0.0, 0.0), *v.get(0, 0, 0));
+        assert_eq!(trilinear(&v, 100.0, 7.0, 7.0), *v.get(7, 7, 7));
+    }
+
+    #[test]
+    fn gradient_of_linear_field() {
+        let v = linear_field();
+        let g = gradient_at(&v, 4, 4, 4);
+        assert!((g[0] - 2.0).abs() < 1e-5);
+        assert!((g[1] - 3.0).abs() < 1e-5);
+        assert!((g[2] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_trilinear_matches_integer_gradient_interior() {
+        let v = linear_field();
+        let gi = gradient_at(&v, 4, 4, 4);
+        let gc = gradient_trilinear(&v, 4.0, 4.0, 4.0);
+        for k in 0..3 {
+            assert!((gi[k] - gc[k]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn boundary_gradient_uses_one_sided_clamp() {
+        let v = linear_field();
+        // At x=0 the clamped central difference halves: (f(1)-f(0))/2.
+        let g = gradient_at(&v, 0, 4, 4);
+        assert!((g[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_magnitude_volume_matches_pointwise() {
+        let v = linear_field();
+        let g = gradient_magnitude_volume(&v);
+        let expected = (4.0f32 + 9.0 + 1.0).sqrt();
+        assert!((g.get(4, 4, 4) - expected).abs() < 1e-4);
+        assert_eq!(g.dims(), v.dims());
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        assert!((norm3([3.0, 4.0, 0.0]) - 5.0).abs() < 1e-6);
+        let n = normalize3([0.0, 0.0, 2.0]);
+        assert_eq!(n, [0.0, 0.0, 1.0]);
+        assert_eq!(normalize3([0.0; 3]), [0.0; 3]);
+    }
+}

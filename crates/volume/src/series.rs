@@ -1,0 +1,216 @@
+//! Time-varying volume sequences.
+
+use crate::dims::Dims3;
+use crate::histogram::CumulativeHistogram;
+use crate::volume::ScalarVolume;
+use serde::{Deserialize, Serialize};
+
+/// A time-varying sequence of scalar volumes over a fixed grid.
+///
+/// Time steps carry explicit integer labels (e.g. simulation step numbers
+/// 195, 210, 225 ... as in the paper's argon bubble figures) which need not
+/// start at zero or be contiguous.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    dims: Dims3,
+    steps: Vec<u32>,
+    frames: Vec<ScalarVolume>,
+}
+
+impl TimeSeries {
+    /// Create an empty series over `dims`.
+    pub fn new(dims: Dims3) -> Self {
+        Self {
+            dims,
+            steps: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Build from labelled frames. Frames must share `dims`; steps must be
+    /// strictly increasing.
+    pub fn from_frames(frames: Vec<(u32, ScalarVolume)>) -> Self {
+        assert!(!frames.is_empty(), "a series needs at least one frame");
+        let dims = frames[0].1.dims();
+        let mut s = Self::new(dims);
+        for (t, v) in frames {
+            s.push(t, v);
+        }
+        s
+    }
+
+    /// Append a frame at time step `t`.
+    pub fn push(&mut self, t: u32, vol: ScalarVolume) {
+        assert_eq!(vol.dims(), self.dims, "frame dims mismatch");
+        if let Some(&last) = self.steps.last() {
+            assert!(t > last, "time steps must be strictly increasing: {last} -> {t}");
+        }
+        self.steps.push(t);
+        self.frames.push(vol);
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The time-step labels.
+    #[inline]
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// Frame by positional index.
+    #[inline]
+    pub fn frame(&self, i: usize) -> &ScalarVolume {
+        &self.frames[i]
+    }
+
+    /// Frame by time-step label.
+    pub fn frame_at_step(&self, t: u32) -> Option<&ScalarVolume> {
+        self.index_of_step(t).map(|i| &self.frames[i])
+    }
+
+    /// Positional index of a time-step label.
+    pub fn index_of_step(&self, t: u32) -> Option<usize> {
+        self.steps.binary_search(&t).ok()
+    }
+
+    /// Iterate `(step, frame)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ScalarVolume)> {
+        self.steps.iter().copied().zip(self.frames.iter())
+    }
+
+    /// Global `(min, max)` across all frames.
+    pub fn global_range(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for f in &self.frames {
+            let (a, b) = f.value_range();
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Normalized time in `[0, 1]` for a step label (0 for single-frame series).
+    pub fn normalized_time(&self, t: u32) -> f32 {
+        let (first, last) = match (self.steps.first(), self.steps.last()) {
+            (Some(&a), Some(&b)) if b > a => (a, b),
+            _ => return 0.0,
+        };
+        ((t.max(first) - first) as f32 / (last - first) as f32).clamp(0.0, 1.0)
+    }
+
+    /// Cumulative histogram of each frame at `bins` resolution, computed over
+    /// the *global* range so fractions are comparable across frames.
+    pub fn cumulative_histograms(&self, bins: usize) -> Vec<CumulativeHistogram> {
+        let (lo, hi) = self.global_range();
+        self.frames
+            .iter()
+            .map(|f| {
+                let h = crate::histogram::Histogram::of_values(f.as_slice(), bins, lo, hi);
+                CumulativeHistogram::from_histogram(&h)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let d = Dims3::cube(4);
+        TimeSeries::from_frames(vec![
+            (10, ScalarVolume::filled(d, 1.0)),
+            (20, ScalarVolume::filled(d, 2.0)),
+            (30, ScalarVolume::filled(d, 4.0)),
+        ])
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let s = series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.steps(), &[10, 20, 30]);
+        assert_eq!(s.frame_at_step(20).unwrap().as_slice()[0], 2.0);
+        assert!(s.frame_at_step(15).is_none());
+        assert_eq!(s.index_of_step(30), Some(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_increasing_steps_panic() {
+        let d = Dims3::cube(2);
+        let mut s = TimeSeries::new(d);
+        s.push(5, ScalarVolume::zeros(d));
+        s.push(5, ScalarVolume::zeros(d));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dims_mismatch_panics() {
+        let mut s = TimeSeries::new(Dims3::cube(2));
+        s.push(0, ScalarVolume::zeros(Dims3::cube(3)));
+    }
+
+    #[test]
+    fn global_range_spans_frames() {
+        assert_eq!(series().global_range(), (1.0, 4.0));
+    }
+
+    #[test]
+    fn normalized_time_endpoints() {
+        let s = series();
+        assert_eq!(s.normalized_time(10), 0.0);
+        assert_eq!(s.normalized_time(30), 1.0);
+        assert!((s.normalized_time(20) - 0.5).abs() < 1e-6);
+        // Out-of-range clamps.
+        assert_eq!(s.normalized_time(0), 0.0);
+        assert_eq!(s.normalized_time(99), 1.0);
+    }
+
+    #[test]
+    fn single_frame_normalized_time_is_zero() {
+        let d = Dims3::cube(2);
+        let s = TimeSeries::from_frames(vec![(7, ScalarVolume::zeros(d))]);
+        assert_eq!(s.normalized_time(7), 0.0);
+    }
+
+    #[test]
+    fn cumulative_histograms_share_global_range() {
+        let s = series();
+        let chs = s.cumulative_histograms(16);
+        assert_eq!(chs.len(), 3);
+        for ch in &chs {
+            assert_eq!(ch.range(), (1.0, 4.0));
+        }
+        // Frame 0 (all 1.0): everything is <= 1.0.
+        assert!((chs[0].fraction_at_or_below(1.0) - 1.0).abs() < 1e-6);
+        // Frame 2 (all 4.0): nothing is below 3.0.
+        assert_eq!(chs[2].fraction_at_or_below(2.0), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let s = series();
+        let pairs: Vec<_> = s.iter().map(|(t, f)| (t, f.as_slice()[0])).collect();
+        assert_eq!(pairs, vec![(10, 1.0), (20, 2.0), (30, 4.0)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the volume substrate's core invariants.
+
+use ifet_volume::histogram::{CumulativeHistogram, Histogram};
+use ifet_volume::sample::{gradient_at, trilinear};
+use ifet_volume::{Dims3, Mask3, ScalarVolume};
+use proptest::prelude::*;
+
+/// Arbitrary small dims (kept tiny so each case is fast).
+fn dims_strategy() -> impl Strategy<Value = Dims3> {
+    (1usize..8, 1usize..8, 1usize..8).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+}
+
+/// A volume with values in [-10, 10] over arbitrary small dims.
+fn volume_strategy() -> impl Strategy<Value = ScalarVolume> {
+    dims_strategy().prop_flat_map(|d| {
+        proptest::collection::vec(-10.0f32..10.0, d.len())
+            .prop_map(move |data| ScalarVolume::from_vec(d, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn index_coords_roundtrip(d in dims_strategy(), idx_frac in 0.0f64..1.0) {
+        let idx = ((d.len() - 1) as f64 * idx_frac) as usize;
+        let (x, y, z) = d.coords(idx);
+        prop_assert!(d.contains(x, y, z));
+        prop_assert_eq!(d.index(x, y, z), idx);
+    }
+
+    #[test]
+    fn trilinear_within_data_bounds(vol in volume_strategy(),
+                                    fx in 0.0f32..1.0, fy in 0.0f32..1.0, fz in 0.0f32..1.0) {
+        // Interpolation is a convex combination: result must lie within the
+        // volume's min/max (allow epsilon for float error).
+        let d = vol.dims();
+        let x = fx * (d.nx as f32 - 1.0);
+        let y = fy * (d.ny as f32 - 1.0);
+        let z = fz * (d.nz as f32 - 1.0);
+        let v = trilinear(&vol, x, y, z);
+        let (lo, hi) = vol.value_range();
+        prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn trilinear_at_integer_coords_is_exact(vol in volume_strategy()) {
+        let d = vol.dims();
+        let (x, y, z) = (d.nx / 2, d.ny / 2, d.nz / 2);
+        let v = trilinear(&vol, x as f32, y as f32, z as f32);
+        prop_assert!((v - vol.get(x, y, z)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_of_constant_volume_is_zero(d in dims_strategy(), c in -5.0f32..5.0) {
+        let vol = ScalarVolume::filled(d, c);
+        let g = gradient_at(&vol, d.nx / 2, d.ny / 2, d.nz / 2);
+        prop_assert_eq!(g, [0.0; 3]);
+    }
+
+    #[test]
+    fn normalized_is_in_unit_range(vol in volume_strategy()) {
+        let n = vol.normalized();
+        let (lo, hi) = n.value_range();
+        prop_assert!(lo >= -1e-6 && hi <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn histogram_total_counts_all_voxels(vol in volume_strategy(), bins in 1usize..64) {
+        let h = Histogram::of_volume(&vol, bins);
+        prop_assert_eq!(h.total(), vol.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), vol.len() as u64);
+    }
+
+    #[test]
+    fn cumulative_fraction_is_monotone(vol in volume_strategy(),
+                                       a in -12.0f32..12.0, b in -12.0f32..12.0) {
+        let ch = CumulativeHistogram::of_volume(&vol, 32);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(ch.fraction_at_or_below(lo) <= ch.fraction_at_or_below(hi) + 1e-6);
+    }
+
+    #[test]
+    fn cumulative_fraction_bounds(vol in volume_strategy(), q in -12.0f32..12.0) {
+        let ch = CumulativeHistogram::of_volume(&vol, 32);
+        let f = ch.fraction_at_or_below(q);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn cumhist_rank_invariant_under_monotone_shift(vol in volume_strategy(),
+                                                   shift in -3.0f32..3.0,
+                                                   q in -9.0f32..9.0) {
+        // The IATF's foundation: shifting all values by a constant preserves
+        // every query's cumulative fraction (up to binning).
+        let shifted = vol.map(|&v| v + shift);
+        let c0 = CumulativeHistogram::of_volume(&vol, 512);
+        let c1 = CumulativeHistogram::of_volume(&shifted, 512);
+        let f0 = c0.fraction_at_or_below(q);
+        let f1 = c1.fraction_at_or_below(q + shift);
+        prop_assert!((f0 - f1).abs() < 0.05, "{f0} vs {f1}");
+    }
+
+    #[test]
+    fn mask_set_algebra(d in dims_strategy(), seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let bits = |seed: u64| {
+            Mask3::from_fn(d, |x, y, z| {
+                (seed ^ (x as u64).wrapping_mul(31) ^ (y as u64).wrapping_mul(1009)
+                    ^ (z as u64).wrapping_mul(74747)).count_ones() % 2 == 0
+            })
+        };
+        let a = bits(seed_a);
+        let b = bits(seed_b);
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        prop_assert_eq!(
+            a.union_count(&b) + a.intersection_count(&b),
+            a.count() + b.count()
+        );
+        // Subtraction partitions A.
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        prop_assert_eq!(diff.count() + a.intersection_count(&b), a.count());
+        // Double inversion is identity.
+        let mut inv = a.clone();
+        inv.invert();
+        inv.invert();
+        prop_assert_eq!(inv, a);
+    }
+
+    #[test]
+    fn jaccard_dice_relationship(d in dims_strategy(), seed in any::<u64>()) {
+        // dice = 2J / (1 + J) for any pair of masks.
+        let a = Mask3::from_fn(d, |x, y, z| (x + y + z + seed as usize) % 3 == 0);
+        let b = Mask3::from_fn(d, |x, y, z| (x * 2 + y + z) % 4 == 0);
+        let j = a.jaccard(&b);
+        let dice = a.dice(&b);
+        prop_assert!((dice - 2.0 * j / (1.0 + j)).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn dilate_contains_original_erode_contained(d in dims_strategy(), seed in any::<u64>()) {
+        let m = Mask3::from_fn(d, |x, y, z| (x ^ y ^ z ^ seed as usize) % 2 == 0);
+        let dil = m.dilate6();
+        prop_assert_eq!(m.intersection_count(&dil), m.count(), "dilation must contain original");
+        let ero = m.erode6();
+        prop_assert_eq!(ero.intersection_count(&m), ero.count(), "erosion must be contained");
+    }
+
+    #[test]
+    fn f1_between_zero_and_one(d in dims_strategy(), ta in 0usize..4, tb in 0usize..4) {
+        let a = Mask3::from_fn(d, |x, _, _| x % 4 >= ta);
+        let b = Mask3::from_fn(d, |_, y, _| y % 4 >= tb);
+        let f1 = a.f1(&b);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+}

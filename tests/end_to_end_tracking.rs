@@ -1,0 +1,136 @@
+//! End-to-end integration: feature tracking (paper Section 5) — the
+//! turbulent-vortex split story and the swirling-flow fixed-vs-adaptive
+//! comparison, spanning ifet-sim → ifet-tf → ifet-track → ifet-render.
+
+use ifet_core::prelude::*;
+use ifet_sim::swirling_flow::{swirling_flow_with, SwirlingFlowParams};
+use ifet_track::EventKind;
+
+fn centroid_seed(mask: &Mask3) -> (usize, usize, usize) {
+    let (mut cx, mut cy, mut cz, mut n) = (0usize, 0usize, 0usize, 0usize);
+    for (x, y, z) in mask.set_coords() {
+        cx += x;
+        cy += y;
+        cz += z;
+        n += 1;
+    }
+    assert!(n > 0);
+    (cx / n, cy / n, cz / n)
+}
+
+#[test]
+fn vortex_track_moves_deforms_and_splits() {
+    let data = ifet_sim::turbulent_vortex(Dims3::cube(40), 0x909);
+    let session = VisSession::new(data.series.clone());
+    let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+
+    // Tracked on every frame.
+    for (i, &c) in result.report.voxels_per_frame.iter().enumerate() {
+        assert!(c > 0, "lost the vortex at frame {i}");
+    }
+    // One component at the start, two at the end, with a split event.
+    assert_eq!(result.report.components_per_frame[0], 1);
+    assert_eq!(*result.report.components_per_frame.last().unwrap(), 2);
+    assert!(result.report.has_split(), "split event not detected");
+    // No spurious merges in this dataset.
+    assert_eq!(result.report.events_of(EventKind::Merge).count(), 0);
+}
+
+#[test]
+fn fixed_criterion_loses_decaying_swirl_adaptive_does_not() {
+    let data = swirling_flow_with(SwirlingFlowParams {
+        dims: Dims3::cube(24),
+        ..Default::default()
+    });
+    let mut session = VisSession::new(data.series.clone());
+    let (glo, ghi) = session.series().global_range();
+    let steps: Vec<u32> = data.series.steps().to_vec();
+
+    // Seed at the strongest vorticity voxel of the first frame.
+    let f0 = data.series.frame(0);
+    let (mut best, mut seed) = (f32::NEG_INFINITY, (0usize, 0usize, 0usize));
+    for ((x, y, z), &v) in f0.iter() {
+        if v > best {
+            best = v;
+            seed = (x, y, z);
+        }
+    }
+    let seeds = [(0usize, seed.0, seed.1, seed.2)];
+
+    // Fixed criterion at the first frame's core band.
+    let ch0 = CumulativeHistogram::of_volume(f0, 512);
+    let fixed = session.track_fixed(&seeds, ch0.quantile(0.98), ghi + 1.0);
+    assert_eq!(
+        *fixed.report.voxels_per_frame.last().unwrap(),
+        0,
+        "the fixed criterion should lose the decaying feature"
+    );
+
+    // Adaptive criterion from key-frame TFs at first/middle/last frames.
+    for &t in [steps[0], steps[steps.len() / 2], steps[steps.len() - 1]].iter() {
+        let frame = data.series.frame_at_step(t).unwrap();
+        let ch = CumulativeHistogram::of_volume(frame, 512);
+        session.add_key_frame(
+            t,
+            TransferFunction1D::band(glo, ghi, ch.quantile(0.98), ghi, 1.0),
+        );
+    }
+    session.train_iatf(IatfParams::default());
+    let adaptive = session.track_adaptive(&seeds, 0.5).unwrap();
+    for (i, &c) in adaptive.report.voxels_per_frame.iter().enumerate() {
+        assert!(c > 0, "adaptive criterion lost the feature at frame {i}");
+    }
+}
+
+#[test]
+fn tracked_overlay_renders_red_over_context() {
+    let data = ifet_sim::turbulent_vortex(Dims3::cube(32), 0x90A);
+    let mut session = VisSession::new(data.series.clone());
+    session.renderer.params.shading = false; // flat colors: red stays red
+    let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+
+    let (glo, ghi) = session.series().global_range();
+    let base = TransferFunction1D::band(glo, ghi, 0.3, ghi, 0.08);
+    let adaptive = TransferFunction1D::band(glo, ghi, 0.5, ghi, 0.9);
+    let t0 = data.series.steps()[0];
+    let wh = 128;
+    let img = session.render_tracked(t0, &result.masks[0], &base, &adaptive, wh, wh);
+
+    // Somewhere in the image the tracked feature must appear red-dominant.
+    let mut red_pixels = 0;
+    for y in 0..wh {
+        for x in 0..wh {
+            let p = img.pixel(x, y);
+            if p[0] > 0.3 && p[0] > 1.8 * p[1] {
+                red_pixels += 1;
+            }
+        }
+    }
+    assert!(red_pixels > 20, "tracked feature not visibly red ({red_pixels} px)");
+}
+
+#[test]
+fn track_report_events_are_frame_ordered_and_consistent() {
+    let data = ifet_sim::turbulent_vortex(Dims3::cube(32), 0x90B);
+    let session = VisSession::new(data.series.clone());
+    let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+
+    let mut prev = 0;
+    for e in &result.report.events {
+        assert!(e.frame >= prev, "events out of order");
+        prev = e.frame;
+        assert!(e.frame + 1 < data.series.len());
+        match e.kind {
+            EventKind::Split => assert!(e.before.len() == 1 && e.after.len() >= 2),
+            EventKind::Merge => assert!(e.before.len() >= 2 && e.after.len() == 1),
+            EventKind::Birth => assert!(e.before.is_empty() && e.after.len() == 1),
+            EventKind::Death => assert!(e.before.len() == 1 && e.after.is_empty()),
+            EventKind::Continuation => {
+                assert!(e.before.len() == 1 && e.after.len() == 1)
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration: disk round-trips and whole-pipeline determinism — the
+//! properties that make experiments reproducible and let trained systems be
+//! shipped to other machines (paper Sections 4.2.3 and 8).
+
+use ifet_core::prelude::*;
+use ifet_sim::shock_bubble::ring_value_band;
+use ifet_volume::io::{read_series, write_series};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ifet_it_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn series_roundtrips_through_disk() {
+    let data = ifet_sim::shock_bubble(Dims3::cube(16), 0x10);
+    let dir = tmpdir("series");
+    let paths = write_series(&dir, "bubble", &data.series).unwrap();
+    assert_eq!(paths.len(), data.series.len());
+    let back = read_series(&paths).unwrap();
+    assert_eq!(back, data.series);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn training_on_reloaded_series_is_identical() {
+    // Write, reload, retrain: the trained IATF must be bit-identical — the
+    // full pipeline is deterministic end to end.
+    let data = ifet_sim::shock_bubble(Dims3::cube(16), 0x11);
+    let dir = tmpdir("retrain");
+    let paths = write_series(&dir, "bubble", &data.series).unwrap();
+    let reloaded = read_series(&paths).unwrap();
+    std::fs::remove_dir_all(dir).ok();
+
+    let train = |series: &TimeSeries| {
+        let mut session = VisSession::new(series.clone());
+        let (glo, ghi) = series.global_range();
+        for (t, tn) in [(195u32, 0.0f32), (255, 1.0)] {
+            let (lo, hi) = ring_value_band(tn);
+            session.add_key_frame(t, TransferFunction1D::band(glo, ghi, lo, hi, 1.0));
+        }
+        session.train_iatf(IatfParams {
+            epochs: 100,
+            ..Default::default()
+        });
+        session.adaptive_tf_at_step(225).unwrap()
+    };
+    assert_eq!(train(&data.series), train(&reloaded));
+}
+
+#[test]
+fn whole_figure_pipeline_is_deterministic() {
+    let run = || {
+        let data = ifet_sim::reionization(Dims3::cube(24), 0x12);
+        let mut session = VisSession::new(data.series.clone());
+        let mut oracle = PaintOracle::new(0x12);
+        let fi = data.series.index_of_step(310).unwrap();
+        session.add_paints(oracle.paint_from_truth(310, data.truth_frame(fi), 80, 80));
+        session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+        session.extract_data_space(310, 0.5).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn renderer_is_deterministic_across_thread_counts() {
+    // Scanline parallelism must not change pixels.
+    let data = ifet_sim::turbulent_vortex(Dims3::cube(24), 0x13);
+    let session = VisSession::new(data.series.clone());
+    let (glo, ghi) = session.series().global_range();
+    let tf = TransferFunction1D::band(glo, ghi, 0.5, ghi, 0.8);
+    let t0 = data.series.steps()[0];
+
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| session.render_with_tf(t0, &tf, 48, 48));
+    let multi = session.render_with_tf(t0, &tf, 48, 48);
+    assert_eq!(single, multi);
+}
+
+#[test]
+fn classifier_network_roundtrips_as_json() {
+    let data = ifet_sim::reionization(Dims3::cube(24), 0x14);
+    let mut session = VisSession::new(data.series.clone());
+    let mut oracle = PaintOracle::new(0x14);
+    let fi = data.series.index_of_step(130).unwrap();
+    session.add_paints(oracle.paint_from_truth(130, data.truth_frame(fi), 60, 60));
+    session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+
+    let net = session.classifier().unwrap().network();
+    let restored = Mlp::from_json(&net.to_json()).unwrap();
+    assert_eq!(*net, restored);
+}

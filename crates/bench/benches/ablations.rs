@@ -78,7 +78,7 @@ fn bench_region_grow_and_components(c: &mut Criterion) {
     g.bench_function("grow_4d_13_frames_48c", |b| {
         b.iter(|| black_box(session.track_fixed(&seeds, 0.5, 10.0)))
     });
-    let masks = session.track_fixed(&seeds, 0.5, 10.0).masks;
+    let masks = session.track_fixed(&seeds, 0.5, 10.0).unwrap().masks;
     g.bench_function("label_components_48c", |b| {
         b.iter(|| black_box(ComponentLabels::label(&masks[0], Connectivity::TwentySix)))
     });
@@ -109,9 +109,13 @@ fn bench_multires_tracking(c: &mut Criterion) {
         b.iter(|| black_box(grow_4d(&data.series, &criterion_band, &seeds)))
     });
     for &factor in &[2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("multires_64c", factor), &factor, |b, &f| {
-            b.iter(|| black_box(grow_4d_multires(&data.series, &criterion_band, &seeds, f)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("multires_64c", factor),
+            &factor,
+            |b, &f| {
+                b.iter(|| black_box(grow_4d_multires(&data.series, &criterion_band, &seeds, f)))
+            },
+        );
     }
     g.finish();
 }

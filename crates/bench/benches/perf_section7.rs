@@ -67,7 +67,9 @@ fn bench_dataspace_classify(c: &mut Criterion) {
     let mut session = VisSession::new(data.series.clone());
     let mut oracle = PaintOracle::new(3);
     session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150));
-    session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+    session
+        .train_classifier(FeatureSpec::default(), ClassifierParams::default())
+        .unwrap();
     let mut g = c.benchmark_group("dataspace_classify");
     g.sample_size(10);
     g.bench_function("classify_64c", |b| {

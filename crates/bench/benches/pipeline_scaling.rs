@@ -9,17 +9,20 @@ use ifet_core::prelude::*;
 use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
-    let data = ifet_sim::shock_bubble::shock_bubble_with(ifet_sim::shock_bubble::ShockBubbleParams {
-        dims: Dims3::cube(32),
-        stride: 5, // 13 frames
-        ..Default::default()
-    });
+    let data =
+        ifet_sim::shock_bubble::shock_bubble_with(ifet_sim::shock_bubble::ShockBubbleParams {
+            dims: Dims3::cube(32),
+            stride: 5, // 13 frames
+            ..Default::default()
+        });
     let t0 = data.series.steps()[0];
     let fi = 0;
     let mut session = VisSession::new(data.series.clone());
     let mut oracle = PaintOracle::new(1);
     session.add_paints(oracle.paint_from_truth(t0, data.truth_frame(fi), 120, 120));
-    session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+    session
+        .train_classifier(FeatureSpec::default(), ClassifierParams::default())
+        .unwrap();
     let clf = session.classifier().unwrap().clone();
     let series = data.series.clone();
 

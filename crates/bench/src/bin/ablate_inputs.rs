@@ -40,7 +40,11 @@ fn run_variant(
 }
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     // Stride 5 gives unseen intermediate steps between the three key frames;
     // drift_wobble makes the global value drift irregular in time, so a
     // network without the cumulative-histogram input cannot interpolate the
@@ -73,6 +77,10 @@ fn main() {
         "\nmean F1: full {} vs ablated {} — cumulative histogram {}",
         f3(mean(&full)),
         f3(mean(&ablated)),
-        if mean(&full) > mean(&ablated) { "HELPS" } else { "does not help here" }
+        if mean(&full) > mean(&ablated) {
+            "HELPS"
+        } else {
+            "does not help here"
+        }
     );
 }

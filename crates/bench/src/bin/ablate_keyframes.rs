@@ -30,16 +30,18 @@ fn evaluate(data: &ifet_sim::LabeledSeries, params: &ShockBubbleParams, key_step
         .enumerate()
         .map(|(i, &t)| {
             let tf = session.adaptive_tf_at_step(t).unwrap();
-            session
-                .extract_with_tf(t, &tf, 0.5)
-                .f1(data.truth_frame(i))
+            session.extract_with_tf(t, &tf, 0.5).f1(data.truth_frame(i))
         })
         .collect();
     f1s.iter().sum::<f64>() / f1s.len() as f64
 }
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     let params = ShockBubbleParams {
         dims,
         stride: 5,

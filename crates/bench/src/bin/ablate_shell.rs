@@ -7,7 +7,11 @@ use ifet_bench::{f3, header, row, timed};
 use ifet_core::prelude::*;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     let data = ifet_sim::reionization(dims, 0xAB1E);
     let t = 310;
     let fi = data.series.index_of_step(t).unwrap();
@@ -37,7 +41,9 @@ fn main() {
             time: true,
         };
         let inputs = spec.len();
-        session.train_classifier(spec, ClassifierParams::default());
+        session
+            .train_classifier(spec, ClassifierParams::default())
+            .expect("training failed");
         let (mask, secs) = timed(|| session.extract_data_space(t, 0.5).unwrap());
         row(&[
             name.to_string(),

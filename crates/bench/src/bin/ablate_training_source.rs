@@ -40,7 +40,12 @@ fn train_from_random_voxels(
         }
     });
 
-    let mut net = Mlp::new(&[3, 16, 1], Activation::Sigmoid, Activation::Sigmoid, 0x1A7F);
+    let mut net = Mlp::new(
+        &[3, 16, 1],
+        Activation::Sigmoid,
+        Activation::Sigmoid,
+        0x1A7F,
+    );
     let mut trainer = Trainer::new(TrainParams {
         learning_rate: 0.35,
         momentum: 0.9,
@@ -58,7 +63,10 @@ fn train_from_random_voxels(
             let tn = series.normalized_time(t);
             let mut scratch = ifet_nn::mlp::Scratch::for_net(&net);
             TransferFunction1D::from_fn(glo, ghi, |v| {
-                net.predict1(&[(v - glo) / span, ch.fraction_at_or_below(v), tn], &mut scratch)
+                net.predict1(
+                    &[(v - glo) / span, ch.fraction_at_or_below(v), tn],
+                    &mut scratch,
+                )
             })
         })
         .collect();
@@ -66,7 +74,11 @@ fn train_from_random_voxels(
 }
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     let data = ifet_sim::shock_bubble(dims, 0x5A3);
     let series = &data.series;
     let (glo, ghi) = series.global_range();
@@ -93,9 +105,7 @@ fn main() {
         .enumerate()
         .map(|(i, &t)| {
             let tf = iatf.generate(t, series.frame(i));
-            session
-                .extract_with_tf(t, &tf, 0.5)
-                .f1(data.truth_frame(i))
+            session.extract_with_tf(t, &tf, 0.5).f1(data.truth_frame(i))
         })
         .collect();
 
@@ -131,6 +141,8 @@ fn main() {
             f3(mean(&f1)),
         ]);
     }
-    println!("\n(random sampling wastes rows on background values — the paper's Section 4.2.2 argument;");
+    println!(
+        "\n(random sampling wastes rows on background values — the paper's Section 4.2.2 argument;"
+    );
     println!(" with a small ring feature most random rows are uninteresting, hurting quality per unit work)");
 }

@@ -33,7 +33,8 @@ fn train_and_score(
             ms,
             &[paints],
             ClassifierParams::default(),
-        );
+        )
+        .expect("training failed");
         eval_steps
             .iter()
             .map(|&t| {
@@ -49,7 +50,8 @@ fn train_and_score(
             &series,
             &[paints],
             ClassifierParams::default(),
-        );
+        )
+        .expect("training failed");
         eval_steps
             .iter()
             .map(|&t| {

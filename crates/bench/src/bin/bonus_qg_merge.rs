@@ -11,7 +11,11 @@ use ifet_track::tracks::extract_tracks;
 use ifet_track::EventKind;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     let data = ifet_sim::qg_turbulence(dims, 0xB095);
 
     // Track everything above the vortex-core level, seeded from every core
@@ -22,7 +26,7 @@ fn main() {
         .set_coords()
         .map(|(x, y, z)| (0usize, x, y, z))
         .collect();
-    let masks = grow_4d(&data.series, &criterion, &seeds);
+    let masks = grow_4d(&data.series, &criterion, &seeds).expect("tracking failed");
     let report = track_events(&masks);
 
     println!("# Bonus — QG turbulence: the inverse cascade as tracked merges\n");
@@ -41,7 +45,9 @@ fn main() {
     println!("\nmerge events: {merges}, split events: {splits}");
 
     // Persistent tracks: lifetimes and fates.
-    let frames: Vec<&ScalarVolume> = (0..data.series.len()).map(|i| data.series.frame(i)).collect();
+    let frames: Vec<&ScalarVolume> = (0..data.series.len())
+        .map(|i| data.series.frame(i))
+        .collect();
     let tracks = extract_tracks(&masks, &frames);
     println!("\ntracks: {}", tracks.tracks.len());
     header(&["track", "start", "lifetime", "path length", "ending"]);
@@ -59,6 +65,10 @@ fn main() {
     let last = *report.components_per_frame.last().unwrap();
     println!(
         "\ninverse cascade observed (components {first} -> {last}, ≥1 merge): {}",
-        if last < first && merges > 0 { "YES" } else { "NO" }
+        if last < first && merges > 0 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 }

@@ -10,7 +10,11 @@ use ifet_sim::swirling_flow::{swirling_flow_with, SwirlingFlowParams};
 use ifet_volume::CumulativeHistogram;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(24) } else { Dims3::cube(32) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(24)
+    } else {
+        Dims3::cube(32)
+    };
     let data = swirling_flow_with(SwirlingFlowParams {
         dims,
         ..Default::default()
@@ -33,7 +37,9 @@ fn main() {
     // Fixed criterion: the core band of the FIRST frame, held constant.
     let ch0 = CumulativeHistogram::of_volume(f0, 512);
     let fixed_lo = ch0.quantile(0.98);
-    let fixed = session.track_fixed(&seeds, fixed_lo, ghi + 1.0);
+    let fixed = session
+        .track_fixed(&seeds, fixed_lo, ghi + 1.0)
+        .expect("tracking failed");
 
     // Adaptive criterion: the user sets key-frame TFs on the first and last
     // frames capturing each frame's own top-2% band; the IATF interpolates.
@@ -46,10 +52,16 @@ fn main() {
     session.train_iatf(IatfParams::default());
     let adaptive = session
         .track_adaptive(&seeds, 0.5)
-        .expect("IATF trained, tracking must run");
+        .expect("IATF trained, tracking must run")
+        .expect("tracking failed");
 
     println!("# Figure 10 — fixed vs adaptive tracking criterion (decaying swirl)\n");
-    header(&["t", "frame max vorticity", "fixed-criterion voxels", "adaptive voxels"]);
+    header(&[
+        "t",
+        "frame max vorticity",
+        "fixed-criterion voxels",
+        "adaptive voxels",
+    ]);
     for (i, &t) in steps.iter().enumerate() {
         row(&[
             t.to_string(),
@@ -66,6 +78,10 @@ fn main() {
     );
     println!(
         "paper claim: {}",
-        if fixed_lost && adaptive_kept { "REPRODUCED" } else { "NOT reproduced" }
+        if fixed_lost && adaptive_kept {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -11,7 +11,11 @@ use ifet_sim::shock_bubble::{shock_bubble_with, ShockBubbleParams};
 use ifet_volume::{CumulativeHistogram, Dims3, Histogram};
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(64) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(64)
+    };
     let data = shock_bubble_with(ShockBubbleParams {
         dims,
         t_start: 200,
@@ -22,7 +26,12 @@ fn main() {
     });
 
     println!("# Figure 2 — histogram vs cumulative histogram stability\n");
-    header(&["t", "ring mean value", "hist peak height", "ring mean cum-hist"]);
+    header(&[
+        "t",
+        "ring mean value",
+        "hist peak height",
+        "ring mean cum-hist",
+    ]);
 
     let mut values = Vec::new();
     let mut fractions = Vec::new();
@@ -51,12 +60,7 @@ fn main() {
         let (_, peak_count) = h.peak_in(peak_bin_lo, peak_bin_hi);
         values.push(val);
         fractions.push(frac);
-        row(&[
-            t.to_string(),
-            f3(val),
-            peak_count.to_string(),
-            f3(frac),
-        ]);
+        row(&[t.to_string(), f3(val), peak_count.to_string(), f3(frac)]);
     }
 
     let spread = |v: &[f64]| {
@@ -67,10 +71,20 @@ fn main() {
     let value_drift = spread(&values);
     let frac_drift = spread(&fractions);
     println!();
-    println!("relative drift of ring VALUE over time:    {}", f3(value_drift));
-    println!("relative drift of ring CUM-HIST over time: {}", f3(frac_drift));
+    println!(
+        "relative drift of ring VALUE over time:    {}",
+        f3(value_drift)
+    );
+    println!(
+        "relative drift of ring CUM-HIST over time: {}",
+        f3(frac_drift)
+    );
     println!(
         "paper claim (value drifts, cum-hist ~constant): {}",
-        if value_drift > 5.0 * frac_drift { "REPRODUCED" } else { "NOT reproduced" }
+        if value_drift > 5.0 * frac_drift {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

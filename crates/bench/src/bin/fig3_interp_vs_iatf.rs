@@ -8,7 +8,11 @@ use ifet_core::prelude::*;
 use ifet_sim::shock_bubble::ring_value_band;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(64) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(64)
+    };
     let data = ifet_sim::shock_bubble(dims, 0xF163);
     let mut session = VisSession::new(data.series.clone());
     let (glo, ghi) = session.series().global_range();
@@ -44,17 +48,20 @@ fn main() {
     ] {
         let mask = session.extract_with_tf(t, tf, 0.5);
         let s = Scores::of(&mask, truth);
-        row(&[
-            name.to_string(),
-            f3(s.precision),
-            f3(s.recall),
-            f3(s.f1),
-        ]);
+        row(&[name.to_string(), f3(s.precision), f3(s.recall), f3(s.f1)]);
     }
 
     // The mechanism: lerp leaves two half-opacity ghost bands.
-    let mid_a = lerp_tf.opacity_at(0.5 * (tf_a.support(0.5).unwrap().0 + tf_a.support(0.5).unwrap().1));
-    println!("\nlerp opacity at the OLD key-frame band center: {} (ghost band)", f3(mid_a as f64));
+    let mid_a =
+        lerp_tf.opacity_at(0.5 * (tf_a.support(0.5).unwrap().0 + tf_a.support(0.5).unwrap().1));
+    println!(
+        "\nlerp opacity at the OLD key-frame band center: {} (ghost band)",
+        f3(mid_a as f64)
+    );
     let (ilo, ihi) = iatf_tf.support(0.5).unwrap_or((f32::NAN, f32::NAN));
-    println!("IATF band at t={t}: [{}, {}]", f3(ilo as f64), f3(ihi as f64));
+    println!(
+        "IATF band at t={t}: [{}, {}]",
+        f3(ilo as f64),
+        f3(ihi as f64)
+    );
 }

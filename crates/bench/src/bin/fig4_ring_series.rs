@@ -8,7 +8,11 @@ use ifet_core::prelude::*;
 use ifet_sim::shock_bubble::ring_value_band;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(64) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(64)
+    };
     let data = ifet_sim::shock_bubble(dims, 0xF164);
     let mut session = VisSession::new(data.series.clone());
     let (glo, ghi) = session.series().global_range();
@@ -62,6 +66,10 @@ fn main() {
     let min_iatf = iatf_f1.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "\npaper claim (ring completely preserved over the period): {}",
-        if min_iatf > 0.6 { "REPRODUCED" } else { "NOT reproduced" }
+        if min_iatf > 0.6 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

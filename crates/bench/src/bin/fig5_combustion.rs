@@ -71,8 +71,14 @@ fn main() {
     row(&cells);
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\nmean static F1 away from its key frame: {}", f3(mean(&static_off_key)));
-    println!("mean IATF F1 over all steps:            {}", f3(mean(&iatf_all)));
+    println!(
+        "\nmean static F1 away from its key frame: {}",
+        f3(mean(&static_off_key))
+    );
+    println!(
+        "mean IATF F1 over all steps:            {}",
+        f3(mean(&iatf_all))
+    );
     println!(
         "paper claim (vortex well extracted over whole sequence by IATF only): {}",
         if mean(&iatf_all) > mean(&static_off_key) + 0.2 {

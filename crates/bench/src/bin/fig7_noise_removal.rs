@@ -10,7 +10,11 @@ use ifet_extract::baselines;
 use ifet_volume::filter::repeated_blur;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(40) } else { Dims3::cube(64) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(40)
+    } else {
+        Dims3::cube(64)
+    };
     let data = ifet_sim::reionization(dims, 0xF167);
     let mut session = VisSession::new(data.series.clone());
 
@@ -29,7 +33,9 @@ fn main() {
         ..Default::default()
     };
     let (_, train_s) = timed(|| {
-        session.train_classifier(spec, ClassifierParams::default());
+        session
+            .train_classifier(spec, ClassifierParams::default())
+            .expect("training failed");
     });
 
     // Baseline 1: best-possible 1D transfer function (threshold swept).
@@ -50,7 +56,10 @@ fn main() {
     // Ours.
     let (ours, classify_s) = timed(|| session.extract_data_space(t, 0.5).unwrap());
 
-    println!("# Figure 7 — noise removal at t=310 ({} voxels)\n", frame.len());
+    println!(
+        "# Figure 7 — noise removal at t=310 ({} voxels)\n",
+        frame.len()
+    );
     header(&["method", "precision", "recall", "F1", "boundary detail"]);
     for (name, mask) in [
         ("1D transfer function", &band),
@@ -77,12 +86,22 @@ fn main() {
     let mut noise_ours = ours.clone();
     noise_ours.subtract(truth);
     println!();
-    println!("surviving noise voxels — 1D TF: {}, blur: {}, ours: {}",
-        noise_band.count(), noise_blur.count(), noise_ours.count());
-    println!("classifier training {:.2}s, full-volume classification {:.2}s", train_s, classify_s);
+    println!(
+        "surviving noise voxels — 1D TF: {}, blur: {}, ours: {}",
+        noise_band.count(),
+        noise_blur.count(),
+        noise_ours.count()
+    );
+    println!(
+        "classifier training {:.2}s, full-volume classification {:.2}s",
+        train_s, classify_s
+    );
 
     let ours_f1 = ours.f1(truth);
-    let best_baseline = band.f1(truth).max(blur_mask.f1(truth)).max(band2d.f1(truth));
+    let best_baseline = band
+        .f1(truth)
+        .max(blur_mask.f1(truth))
+        .max(band2d.f1(truth));
     println!(
         "\npaper claim (learning preserves detail AND suppresses noise): {}",
         if ours_f1 > best_baseline && noise_ours.count() < noise_band.count() {

@@ -7,7 +7,11 @@ use ifet_core::prelude::*;
 use ifet_extract::baselines;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(40) } else { Dims3::cube(64) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(40)
+    } else {
+        Dims3::cube(64)
+    };
     let data = ifet_sim::reionization(dims, 0xF168);
     let mut session = VisSession::new(data.series.clone());
 
@@ -19,16 +23,25 @@ fn main() {
         let paints = oracle.paint_from_truth(t, data.truth_frame(fi), 200, 200);
         session.add_paints(paints);
     }
-    session.train_classifier(
-        FeatureSpec {
-            shell_radius: 4.0,
-            ..Default::default()
-        },
-        ClassifierParams::default(),
-    );
+    session
+        .train_classifier(
+            FeatureSpec {
+                shell_radius: 4.0,
+                ..Default::default()
+            },
+            ClassifierParams::default(),
+        )
+        .unwrap();
 
     println!("# Figure 8 — temporal generalization of the trained network\n");
-    header(&["t", "trained on?", "1D TF F1", "ours F1", "noise voxels (TF)", "noise voxels (ours)"]);
+    header(&[
+        "t",
+        "trained on?",
+        "1D TF F1",
+        "ours F1",
+        "noise voxels (TF)",
+        "noise voxels (ours)",
+    ]);
     for (i, &t) in data.series.steps().to_vec().iter().enumerate() {
         let frame = data.series.frame(i);
         let truth = data.truth_frame(i);
@@ -41,7 +54,12 @@ fn main() {
         no.subtract(truth);
         row(&[
             t.to_string(),
-            if train_steps.contains(&t) { "yes" } else { "NO (generalized)" }.to_string(),
+            if train_steps.contains(&t) {
+                "yes"
+            } else {
+                "NO (generalized)"
+            }
+            .to_string(),
             f3(band.f1(truth)),
             f3(ours.f1(truth)),
             nb.count().to_string(),

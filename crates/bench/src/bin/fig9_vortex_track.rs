@@ -4,12 +4,16 @@
 
 use ifet_bench::{f3, header, row, timed};
 use ifet_core::prelude::*;
-use ifet_track::EventKind;
 use ifet_track::attributes::FeatureAttributes;
 use ifet_track::components::{ComponentLabels, Connectivity};
+use ifet_track::EventKind;
 
 fn main() {
-    let dims = if ifet_bench::quick() { Dims3::cube(32) } else { Dims3::cube(48) };
+    let dims = if ifet_bench::quick() {
+        Dims3::cube(32)
+    } else {
+        Dims3::cube(48)
+    };
     let data = ifet_sim::turbulent_vortex(dims, 0xF169);
     let session = VisSession::new(data.series.clone());
 
@@ -23,10 +27,19 @@ fn main() {
         n += 1;
     }
     let seeds: Vec<Seed4> = vec![(0, cx / n, cy / n, cz / n)];
-    let result = session.track_fixed(&seeds, 0.5, 10.0);
+    let result = session
+        .track_fixed(&seeds, 0.5, 10.0)
+        .expect("tracking failed");
 
     println!("# Figure 9 — vortex track: motion, deformation, split\n");
-    header(&["t", "voxels", "components", "centroid x", "centroid y", "bbox extent"]);
+    header(&[
+        "t",
+        "voxels",
+        "components",
+        "centroid x",
+        "centroid y",
+        "bbox extent",
+    ]);
     for (i, &t) in data.series.steps().to_vec().iter().enumerate() {
         let labels = ComponentLabels::label(&result.masks[i], Connectivity::TwentySix);
         let attrs = FeatureAttributes::measure_all(&labels, data.series.frame(i));
@@ -71,7 +84,14 @@ fn main() {
     };
     let _ = res;
     let (_, secs) = timed(|| {
-        session.render_tracked(last, result.masks.last().unwrap(), &base_tf, &adaptive_tf, w, h)
+        session.render_tracked(
+            last,
+            result.masks.last().unwrap(),
+            &base_tf,
+            &adaptive_tf,
+            w,
+            h,
+        )
     });
     println!(
         "tracking-overlay render {}x{}: {:.2}s/frame = {:.2} fps (paper: ~4 fps on a GeForce 6800; CPU ray caster expected slower)",

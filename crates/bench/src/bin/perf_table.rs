@@ -17,7 +17,11 @@ use ifet_core::prelude::*;
 use ifet_sim::shock_bubble::{ring_value_band, shock_bubble_with, ShockBubbleParams};
 
 fn main() {
-    let (n, wh) = if ifet_bench::quick() { (64usize, 128usize) } else { (256, 512) };
+    let (n, wh) = if ifet_bench::quick() {
+        (64usize, 128usize)
+    } else {
+        (256, 512)
+    };
     println!("# Section 7 performance (volume {n}^3, window {wh}x{wh})\n");
 
     let data = shock_bubble_with(ShockBubbleParams {
@@ -60,9 +64,7 @@ fn main() {
 
     // 3. Tracking-overlay rendering (multi-pass equivalent).
     let tracked = session.extract_with_tf(t_mid, &tf, 0.5);
-    let (_, overlay_s) = timed(|| {
-        session.render_tracked(t_mid, &tracked, &tf, &tf, wh, wh)
-    });
+    let (_, overlay_s) = timed(|| session.render_tracked(t_mid, &tracked, &tf, &tf, wh, wh));
     row(&[
         "DVR + tracking overlay".into(),
         format!("{:.3} s/frame", overlay_s),
@@ -76,15 +78,13 @@ fn main() {
     let paints = oracle.paint_from_truth(t_mid, data.truth_frame(fi), 150, 150);
     let mut s2 = VisSession::new(data.series.clone());
     s2.add_paints(paints);
-    s2.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+    s2.train_classifier(FeatureSpec::default(), ClassifierParams::default())
+        .expect("training failed");
     let (_, classify_s) = timed(|| s2.extract_data_space(t_mid, 0.5).unwrap());
     row(&[
         format!("data-space classification ({n}^3)"),
         format!("{:.2} s", classify_s),
-        format!(
-            "{:.1} Mvoxel/s",
-            (n * n * n) as f64 / classify_s / 1e6
-        ),
+        format!("{:.1} Mvoxel/s", (n * n * n) as f64 / classify_s / 1e6),
         "10 s (256^3)".into(),
     ]);
 
@@ -97,7 +97,11 @@ fn main() {
     println!(
         "- overlay costs {:.2}x the plain render (paper: 6 fps -> 4 fps = 1.5x): {}",
         overlay_s / render_s,
-        if (0.8..3.0).contains(&(overlay_s / render_s)) { "OK" } else { "UNEXPECTED" }
+        if (0.8..3.0).contains(&(overlay_s / render_s)) {
+            "OK"
+        } else {
+            "UNEXPECTED"
+        }
     );
     let _ = img;
 }

@@ -22,7 +22,10 @@ pub fn row(cells: &[String]) {
 /// Print a Markdown-style table header with separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Format an f64 with 3 decimals (negative zero normalized).
@@ -34,7 +37,9 @@ pub fn f3(v: f64) -> String {
 /// The standard "smaller grid when quick" switch: `IFET_QUICK=1` shrinks
 /// workloads so figure bins finish in seconds (CI mode). Default: full size.
 pub fn quick() -> bool {
-    std::env::var("IFET_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IFET_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

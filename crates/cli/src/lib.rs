@@ -38,7 +38,10 @@ pub fn parse_args(raw: &[String]) -> Result<Args, String> {
             let value = it
                 .next()
                 .ok_or_else(|| format!("option --{name} needs a value"))?;
-            options.entry(name.to_string()).or_default().push(value.clone());
+            options
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
         } else {
             positional.push(a.clone());
         }
@@ -53,12 +56,16 @@ pub fn parse_args(raw: &[String]) -> Result<Args, String> {
 impl Args {
     /// Single-valued option.
     pub fn opt(&self, name: &str) -> Option<&str> {
-        self.options.get(name).and_then(|v| v.last()).map(|s| s.as_str())
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(|s| s.as_str())
     }
 
     /// Required single-valued option.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.opt(name).ok_or_else(|| format!("missing required --{name}"))
+        self.opt(name)
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 
     /// All values of a repeatable option.
@@ -171,8 +178,12 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
             .map(|(&t, m)| (t, m.to_volume()))
             .collect(),
     );
-    write_series(Path::new(out), &format!("{}_truth", data.name), &truth_series)
-        .map_err(|e| format!("truth write failed: {e}"))?;
+    write_series(
+        Path::new(out),
+        &format!("{}_truth", data.name),
+        &truth_series,
+    )
+    .map_err(|e| format!("truth write failed: {e}"))?;
     Ok(format!(
         "wrote {} frames of {} ({}) + ground truth to {}",
         paths.len(),
@@ -270,26 +281,37 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
 pub fn cmd_track(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
     let (sx, sy, sz) = parse_voxel(args.require("seed")?)?;
+    let threads: usize = args.opt_parse("threads", 0usize)?;
     let series = load_series(dir)?;
     let (glo, ghi) = series.global_range();
     let _ = glo;
     let session = VisSession::new(series.clone());
 
-    let result = if let Some(path) = args.opt("iatf") {
-        let iatf = load_iatf(path)?;
-        let tau: f32 = args.opt_parse("tau", 0.5f32)?;
-        let tfs: Vec<TransferFunction1D> = series
-            .iter()
-            .map(|(t, frame)| iatf.generate(t, frame))
-            .collect();
-        let criterion = AdaptiveTfCriterion::new(tfs, tau);
-        session.track_with(&criterion, &[(0, sx, sy, sz)])
-    } else if let Some(band) = args.opt("band") {
-        let (lo, hi) = parse_band(band)?;
-        let _ = ghi;
-        session.track_fixed(&[(0, sx, sy, sz)], lo, hi)
+    // The frontier-parallel grower fans out per-frame work; `--threads`
+    // pins its worker count (0 = default sizing).
+    let run_tracking = |session: &VisSession| -> Result<TrackResult, String> {
+        let result = if let Some(path) = args.opt("iatf") {
+            let iatf = load_iatf(path)?;
+            let tau: f32 = args.opt_parse("tau", 0.5f32)?;
+            let tfs: Vec<TransferFunction1D> = series
+                .iter()
+                .map(|(t, frame)| iatf.generate(t, frame))
+                .collect();
+            let criterion = AdaptiveTfCriterion::new(tfs, tau);
+            session.track_with(&criterion, &[(0, sx, sy, sz)])
+        } else if let Some(band) = args.opt("band") {
+            let (lo, hi) = parse_band(band)?;
+            let _ = ghi;
+            session.track_fixed(&[(0, sx, sy, sz)], lo, hi)
+        } else {
+            return Err("track needs --iatf FILE [--tau V] or --band LO:HI".into());
+        };
+        result.map_err(|e| format!("tracking failed: {e}"))
+    };
+    let result = if threads == 0 {
+        run_tracking(&session)?
     } else {
-        return Err("track needs --iatf FILE [--tau V] or --band LO:HI".into());
+        pipeline::pool_with_threads(threads).install(|| run_tracking(&session))?
     };
 
     let mut out = String::from("t      voxels components\n");
@@ -348,7 +370,7 @@ USAGE:
   ifet info --data DIR
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
   ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
-  ifet track --data DIR --seed X,Y,Z (--iatf FILE [--tau V] | --band LO:HI)
+  ifet track --data DIR --seed X,Y,Z (--iatf FILE [--tau V] | --band LO:HI) [--threads N]
   ifet suggest-keys --data DIR [--max N]
 
 datasets: shock-bubble, combustion-jet, reionization, turbulent-vortex,

@@ -45,24 +45,24 @@ pub mod pipeline;
 pub mod session;
 
 pub use metrics::Scores;
-pub use session::VisSession;
+pub use session::{TrackResult, VisSession};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::metrics::Scores;
     pub use crate::pipeline;
-    pub use crate::session::VisSession;
+    pub use crate::session::{TrackResult, VisSession};
     pub use ifet_extract::{
         ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, LearningEngine,
-        PaintOracle, ShellMode,
+        PaintOracle, ShellMode, TrainError,
     };
     pub use ifet_nn::{Activation, Kernel, Mlp, Svm, SvmParams, TrainParams};
     pub use ifet_render::{Camera, Image, RenderParams, Renderer};
     pub use ifet_sim::LabeledSeries;
     pub use ifet_tf::{ColorMap, Iatf, IatfBuilder, IatfParams, TransferFunction1D};
     pub use ifet_track::{
-        extract_tracks, grow_4d, track_events, AdaptiveTfCriterion, FixedBandCriterion,
-        MaskCriterion, Seed4, Track, TrackEnding, TrackSet,
+        extract_tracks, grow_4d, grow_4d_serial, track_events, AdaptiveTfCriterion,
+        FixedBandCriterion, GrowError, MaskCriterion, Seed4, Track, TrackEnding, TrackSet,
     };
     pub use ifet_volume::{
         CumulativeHistogram, Dims3, Histogram, Mask3, MultiSeries, MultiVolume, OutOfCoreSeries,

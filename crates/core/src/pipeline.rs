@@ -8,6 +8,28 @@
 
 use ifet_volume::{ScalarVolume, TimeSeries};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A process-wide pool per thread count, built on first use.
+///
+/// Scaling studies and the `--threads` CLI knob request the same counts over
+/// and over; spawning a fresh pool's worth of OS threads per call dominates
+/// small per-frame workloads, so pools are cached for the process lifetime.
+/// `threads == 0` (rayon's default sizing) is also cached under its own key.
+pub fn pool_with_threads(threads: usize) -> Arc<rayon::ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().expect("thread-pool cache poisoned");
+    Arc::clone(map.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build thread pool"),
+        )
+    }))
+}
 
 /// Apply `f` to every `(step, frame)` of a series in parallel, preserving
 /// order in the output.
@@ -20,8 +42,8 @@ where
     items.par_iter().map(|(t, frame)| f(*t, frame)).collect()
 }
 
-/// Apply `f` with an explicit thread count (for scaling studies). Builds a
-/// scoped thread pool; `threads == 0` means rayon's default.
+/// Apply `f` with an explicit thread count (for scaling studies), using the
+/// cached pool for that count; `threads == 0` means rayon's default.
 pub fn map_frames_with_threads<T, F>(series: &TimeSeries, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -30,11 +52,7 @@ where
     if threads == 0 {
         return map_frames(series, f);
     }
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool");
-    pool.install(|| map_frames(series, f))
+    pool_with_threads(threads).install(|| map_frames(series, f))
 }
 
 /// Sequential reference (the 1-worker baseline for speedup computation).
@@ -82,5 +100,14 @@ mod tests {
         let default = map_frames_with_threads(&s, 0, f);
         assert_eq!(one, four);
         assert_eq!(one, default);
+    }
+
+    #[test]
+    fn pools_are_cached_per_count() {
+        let a = pool_with_threads(2);
+        let b = pool_with_threads(2);
+        assert!(Arc::ptr_eq(&a, &b), "same count must reuse the pool");
+        let c = pool_with_threads(3);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

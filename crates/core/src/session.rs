@@ -3,11 +3,16 @@
 //! IATF training, painted data-space extraction, tracking, and rendering,
 //! all against one loaded time series.
 
-use ifet_extract::{ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec};
 use ifet_extract::paint::PaintSet;
+use ifet_extract::{
+    ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, TrainError,
+};
 use ifet_render::{render_tracking_overlay, Camera, Image, Renderer};
 use ifet_tf::{ColorMap, Iatf, IatfBuilder, IatfParams, TransferFunction1D};
-use ifet_track::{grow_4d, track_events, AdaptiveTfCriterion, FixedBandCriterion, GrowthCriterion, Seed4, TrackReport};
+use ifet_track::{
+    grow_4d, track_events, AdaptiveTfCriterion, FixedBandCriterion, GrowError, GrowthCriterion,
+    Seed4, TrackReport,
+};
 use ifet_volume::{Mask3, TimeSeries};
 
 /// Result of a tracking run: per-frame masks plus the event report.
@@ -33,7 +38,10 @@ pub struct VisSession {
 impl VisSession {
     /// Open a session on a time series.
     pub fn new(series: TimeSeries) -> Self {
-        assert!(!series.is_empty(), "cannot open a session on an empty series");
+        assert!(
+            !series.is_empty(),
+            "cannot open a session on an empty series"
+        );
         Self {
             series,
             key_frames: Vec::new(),
@@ -168,16 +176,15 @@ impl VisSession {
     }
 
     /// Train the data-space classifier from all paints so far.
-    pub fn train_classifier(&mut self, spec: FeatureSpec, params: ClassifierParams) -> &DataSpaceClassifier {
-        assert!(!self.paints.is_empty(), "no painted samples");
+    pub fn train_classifier(
+        &mut self,
+        spec: FeatureSpec,
+        params: ClassifierParams,
+    ) -> Result<&DataSpaceClassifier, TrainError> {
         let fx = FeatureExtractor::new(spec);
-        self.classifier = Some(DataSpaceClassifier::train(
-            fx,
-            &self.series,
-            &self.paints,
-            params,
-        ));
-        self.classifier.as_ref().unwrap()
+        let clf = DataSpaceClassifier::train(fx, &self.series, &self.paints, params)?;
+        self.classifier = Some(clf);
+        Ok(self.classifier.as_ref().unwrap())
     }
 
     pub fn classifier(&self) -> Option<&DataSpaceClassifier> {
@@ -194,23 +201,33 @@ impl VisSession {
     // ---- Tracking (paper Section 5) ----
 
     /// Track from seeds with the adaptive (IATF) criterion at opacity `tau`.
-    pub fn track_adaptive(&self, seeds: &[Seed4], tau: f32) -> Option<TrackResult> {
+    /// `None` until an IATF has been trained.
+    pub fn track_adaptive(
+        &self,
+        seeds: &[Seed4],
+        tau: f32,
+    ) -> Option<Result<TrackResult, GrowError>> {
         let tfs = self.adaptive_tfs()?;
         let criterion = AdaptiveTfCriterion::new(tfs, tau);
         Some(self.track_with(&criterion, seeds))
     }
 
     /// Track from seeds with the conventional fixed value band.
-    pub fn track_fixed(&self, seeds: &[Seed4], lo: f32, hi: f32) -> TrackResult {
+    pub fn track_fixed(&self, seeds: &[Seed4], lo: f32, hi: f32) -> Result<TrackResult, GrowError> {
         let criterion = FixedBandCriterion::new(lo, hi, self.series.len());
         self.track_with(&criterion, seeds)
     }
 
-    /// Track with an arbitrary criterion.
-    pub fn track_with(&self, criterion: &dyn GrowthCriterion, seeds: &[Seed4]) -> TrackResult {
-        let masks = grow_4d(&self.series, criterion, seeds);
+    /// Track with an arbitrary criterion. Fails with [`GrowError`] when the
+    /// seeds fall outside the series or the criterion's frame count differs.
+    pub fn track_with(
+        &self,
+        criterion: &dyn GrowthCriterion,
+        seeds: &[Seed4],
+    ) -> Result<TrackResult, GrowError> {
+        let masks = grow_4d(&self.series, criterion, seeds)?;
         let report = track_events(&masks);
-        TrackResult { masks, report }
+        Ok(TrackResult { masks, report })
     }
 
     // ---- Rendering (paper Section 7) ----
@@ -391,7 +408,7 @@ mod tests {
         let d = sess.series().dims();
         let idx = (0.65 * d.len() as f32) as usize;
         let (x, y, z) = d.coords(idx);
-        let r = sess.track_fixed(&[(0, x, y, z)], 0.6, 0.75);
+        let r = sess.track_fixed(&[(0, x, y, z)], 0.6, 0.75).unwrap();
         assert!(r.masks[0].count() > 0);
         assert_eq!(r.report.voxels_per_frame.len(), 3);
     }
@@ -432,7 +449,8 @@ mod tests {
                 epochs: 30,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let img = sess.render_classified(0, 16, 16).unwrap();
         assert_eq!(img.width(), 16);
     }

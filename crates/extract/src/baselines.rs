@@ -31,11 +31,7 @@ pub fn blur_then_band_mask(
 /// Sweep a value threshold and return the `(lo, f1)` that maximizes F1
 /// against the ground truth — gives the *best possible* 1D TF so comparisons
 /// are fair (the baseline is not handicapped by a poorly chosen band).
-pub fn best_threshold_band(
-    vol: &ScalarVolume,
-    truth: &Mask3,
-    candidates: usize,
-) -> (f32, f64) {
+pub fn best_threshold_band(vol: &ScalarVolume, truth: &Mask3, candidates: usize) -> (f32, f64) {
     let (lo, hi) = vol.value_range();
     let mut best = (lo, -1.0f64);
     for i in 0..candidates.max(1) {
@@ -80,13 +76,8 @@ pub fn best_tf2d_band(
                 });
                 let f1 = mask.f1(truth);
                 if best.as_ref().map(|(_, b)| f1 > *b).unwrap_or(true) {
-                    let tf = TransferFunction2D::band(
-                        (vlo, vhi),
-                        (glo, ghi),
-                        (vt, vhi),
-                        g_band,
-                        1.0,
-                    );
+                    let tf =
+                        TransferFunction2D::band((vlo, vhi), (glo, ghi), (vt, vhi), g_band, 1.0);
                     best = Some((tf, f1));
                 }
             }

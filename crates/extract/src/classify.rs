@@ -80,20 +80,52 @@ pub struct DataSpaceClassifier {
     final_loss: f32,
 }
 
+/// Why classifier training could not start. These are caller mistakes a UI or
+/// CLI can plausibly produce (painting before loading the right series, or
+/// submitting an empty paint set), so they are reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// `paints` was empty — there is nothing to learn from.
+    NoPaintedFrames,
+    /// A paint set references a time step the series does not contain.
+    PaintedStepNotInSeries { step: u32 },
+    /// Paint sets were supplied but none of them contains a voxel.
+    NoPaintedVoxels,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoPaintedFrames => write!(f, "need at least one painted frame"),
+            TrainError::PaintedStepNotInSeries { step } => {
+                write!(f, "painted step {step} not in series")
+            }
+            TrainError::NoPaintedVoxels => write!(f, "paint sets contain no voxels"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Fitted normalizer plus normalized training rows and their labels.
+type TrainingRows = (Normalizer, Vec<Vec<f32>>, Vec<f32>);
+
 /// Assemble normalized `(rows, labels)` from painted frames.
 fn assemble_rows(
     extractor: &FeatureExtractor,
     series: &TimeSeries,
     paints: &[PaintSet],
-) -> (Normalizer, Vec<Vec<f32>>, Vec<f32>) {
-    assert!(!paints.is_empty(), "need at least one painted frame");
+) -> Result<TrainingRows, TrainError> {
+    if paints.is_empty() {
+        return Err(TrainError::NoPaintedFrames);
+    }
     let mut rows: Vec<Vec<f32>> = Vec::new();
     let mut labels: Vec<f32> = Vec::new();
     let mut buf = Vec::new();
     for set in paints {
         let frame = series
             .frame_at_step(set.step)
-            .unwrap_or_else(|| panic!("painted step {} not in series", set.step));
+            .ok_or(TrainError::PaintedStepNotInSeries { step: set.step })?;
         let tn = series.normalized_time(set.step);
         for ((x, y, z), label) in set.iter() {
             extractor.vector_into(frame, x, y, z, tn, &mut buf);
@@ -101,10 +133,12 @@ fn assemble_rows(
             labels.push(label);
         }
     }
-    assert!(!rows.is_empty(), "paint sets contain no voxels");
+    if rows.is_empty() {
+        return Err(TrainError::NoPaintedVoxels);
+    }
     let normalizer = Normalizer::fit(&rows);
     let rows = rows.iter().map(|r| normalizer.transform(r)).collect();
-    (normalizer, rows, labels)
+    Ok((normalizer, rows, labels))
 }
 
 impl DataSpaceClassifier {
@@ -119,8 +153,8 @@ impl DataSpaceClassifier {
         series: &TimeSeries,
         paints: &[PaintSet],
         params: ClassifierParams,
-    ) -> Self {
-        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints);
+    ) -> Result<Self, TrainError> {
+        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints)?;
         let mut train_set = TrainingSet::new();
         for (row, &label) in rows.iter().zip(&labels) {
             train_set.add1(row.clone(), label);
@@ -140,12 +174,12 @@ impl DataSpaceClassifier {
         let losses = trainer.train(&mut net, &train_set, params.epochs);
         let final_loss = losses.last().copied().unwrap_or(f32::NAN);
 
-        Self {
+        Ok(Self {
             extractor,
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
-        }
+        })
     }
 
     /// Train a support-vector-machine classifier on the same painted rows —
@@ -156,8 +190,8 @@ impl DataSpaceClassifier {
         series: &TimeSeries,
         paints: &[PaintSet],
         params: SvmParams,
-    ) -> Self {
-        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints);
+    ) -> Result<Self, TrainError> {
+        let (normalizer, rows, labels) = assemble_rows(&extractor, series, paints)?;
         let svm = Svm::train(&rows, &labels, params);
         let errors = rows
             .iter()
@@ -165,12 +199,12 @@ impl DataSpaceClassifier {
             .filter(|(r, &l)| (svm.predict(r) >= 0.5) != (l >= 0.5))
             .count();
         let final_loss = errors as f32 / rows.len() as f32;
-        Self {
+        Ok(Self {
             extractor,
             normalizer,
             engine: LearningEngine::SupportVector(svm),
             final_loss,
-        }
+        })
     }
 
     /// Mean MSE of the final training epoch (NN) or training error rate (SVM).
@@ -208,15 +242,17 @@ impl DataSpaceClassifier {
         mseries: &MultiSeries,
         paints: &[PaintSet],
         params: ClassifierParams,
-    ) -> Self {
-        assert!(!paints.is_empty(), "need at least one painted frame");
+    ) -> Result<Self, TrainError> {
+        if paints.is_empty() {
+            return Err(TrainError::NoPaintedFrames);
+        }
         let mut rows: Vec<Vec<f32>> = Vec::new();
         let mut labels: Vec<f32> = Vec::new();
         let mut buf = Vec::new();
         for set in paints {
             let frame = mseries
                 .frame_at_step(set.step)
-                .unwrap_or_else(|| panic!("painted step {} not in series", set.step));
+                .ok_or(TrainError::PaintedStepNotInSeries { step: set.step })?;
             let tn = mseries.normalized_time(set.step);
             for ((x, y, z), label) in set.iter() {
                 extractor.vector_multi_into(frame, x, y, z, tn, &mut buf);
@@ -224,7 +260,9 @@ impl DataSpaceClassifier {
                 labels.push(label);
             }
         }
-        assert!(!rows.is_empty(), "paint sets contain no voxels");
+        if rows.is_empty() {
+            return Err(TrainError::NoPaintedVoxels);
+        }
         let normalizer = Normalizer::fit(&rows);
         let mut train_set = TrainingSet::new();
         for (row, &label) in rows.iter().zip(&labels) {
@@ -245,12 +283,12 @@ impl DataSpaceClassifier {
         });
         let losses = trainer.train(&mut net, &train_set, params.epochs);
         let final_loss = losses.last().copied().unwrap_or(f32::NAN);
-        Self {
+        Ok(Self {
             extractor,
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
-        }
+        })
     }
 
     /// Classify a multivariate frame (trained via [`Self::train_multi`]).
@@ -263,7 +301,8 @@ impl DataSpaceClassifier {
             let mut predictor = self.engine.predictor();
             for y in 0..d.ny {
                 for x in 0..d.nx {
-                    self.extractor.vector_multi_into(frame, x, y, z, t_norm, &mut buf);
+                    self.extractor
+                        .vector_multi_into(frame, x, y, z, t_norm, &mut buf);
                     self.normalizer.apply(&mut buf);
                     out[x + d.nx * y] = predictor.predict(&buf);
                 }
@@ -397,8 +436,7 @@ mod tests {
             ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2)).sqrt()
         };
         let vol = ScalarVolume::from_fn(d, |x, y, z| {
-            if dist(x, y, z, big_c) <= big_r
-                || smalls.iter().any(|&c| dist(x, y, z, c) <= small_r)
+            if dist(x, y, z, big_c) <= big_r || smalls.iter().any(|&c| dist(x, y, z, c) <= small_r)
             {
                 1.0
             } else {
@@ -419,7 +457,8 @@ mod tests {
             shell_radius: 4.0,
             ..Default::default()
         });
-        let clf = DataSpaceClassifier::train(fx, &series, &[paints], ClassifierParams::default());
+        let clf = DataSpaceClassifier::train(fx, &series, &[paints], ClassifierParams::default())
+            .unwrap();
         (clf, vol, truth, series)
     }
 
@@ -465,8 +504,8 @@ mod tests {
             shell_radius: 1.0,
             ..Default::default()
         });
-        let clf =
-            DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default());
+        let clf = DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default())
+            .unwrap();
         let mask = clf.extract_mask_multi(ms.frame(0), 0.0, 0.5);
         let f1 = mask.f1(&truth);
         assert!(f1 > 0.95, "joint condition should be learnable: F1 {f1}");
@@ -489,13 +528,14 @@ mod tests {
             shell_radius: 4.0,
             ..Default::default()
         });
-        let clf = DataSpaceClassifier::train_svm(
-            fx,
-            &series,
-            &[paints],
-            ifet_nn::SvmParams::default(),
+        let clf =
+            DataSpaceClassifier::train_svm(fx, &series, &[paints], ifet_nn::SvmParams::default())
+                .unwrap();
+        assert!(
+            clf.final_loss() < 0.1,
+            "SVM training error {}",
+            clf.final_loss()
         );
-        assert!(clf.final_loss() < 0.1, "SVM training error {}", clf.final_loss());
         let mask = clf.extract_mask(&vol, 0.0, 0.5);
         let f1 = mask.f1(&truth);
         assert!(f1 > 0.8, "SVM F1 {f1}");
@@ -510,12 +550,9 @@ mod tests {
         oracle.slice_stride = 1;
         let paints = oracle.paint_from_truth(0, &truth, 20, 20);
         let fx = FeatureExtractor::new(FeatureSpec::default());
-        let clf = DataSpaceClassifier::train_svm(
-            fx,
-            &series,
-            &[paints],
-            ifet_nn::SvmParams::default(),
-        );
+        let clf =
+            DataSpaceClassifier::train_svm(fx, &series, &[paints], ifet_nn::SvmParams::default())
+                .unwrap();
         let _ = clf.network();
     }
 
@@ -563,12 +600,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn empty_paints_panics() {
+    fn empty_paints_is_error() {
         let (vol, _) = size_scene(8);
         let series = TimeSeries::from_frames(vec![(0, vol)]);
         let fx = FeatureExtractor::new(FeatureSpec::default());
-        let _ = DataSpaceClassifier::train(fx, &series, &[], ClassifierParams::default());
+        let err =
+            DataSpaceClassifier::train(fx, &series, &[], ClassifierParams::default()).unwrap_err();
+        assert_eq!(err, TrainError::NoPaintedFrames);
+    }
+
+    #[test]
+    fn painted_step_outside_series_is_error() {
+        let (vol, truth) = size_scene(8);
+        let series = TimeSeries::from_frames(vec![(0, vol)]);
+        let mut oracle = PaintOracle::new(1);
+        oracle.slice_stride = 1;
+        let paints = oracle.paint_from_truth(7, &truth, 10, 10);
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let err = DataSpaceClassifier::train(fx, &series, &[paints], ClassifierParams::default())
+            .unwrap_err();
+        assert_eq!(err, TrainError::PaintedStepNotInSeries { step: 7 });
+        assert_eq!(err.to_string(), "painted step 7 not in series");
     }
 
     #[test]
@@ -587,8 +639,13 @@ mod tests {
             position: false,
             time: true,
         });
-        let clf =
-            DataSpaceClassifier::train(fx, &series, std::slice::from_ref(&paints), ClassifierParams::default());
+        let clf = DataSpaceClassifier::train(
+            fx,
+            &series,
+            std::slice::from_ref(&paints),
+            ClassifierParams::default(),
+        )
+        .unwrap();
         let mask = clf.extract_mask(&vol, 0.0, 0.5);
         let value_only_f1 = mask.f1(&truth);
 
@@ -597,7 +654,8 @@ mod tests {
             ..Default::default()
         });
         let shell_clf =
-            DataSpaceClassifier::train(shell_fx, &series, &[paints], ClassifierParams::default());
+            DataSpaceClassifier::train(shell_fx, &series, &[paints], ClassifierParams::default())
+                .unwrap();
         let shell_f1 = shell_clf.extract_mask(&vol, 0.0, 0.5).f1(&truth);
 
         assert!(

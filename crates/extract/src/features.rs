@@ -89,9 +89,7 @@ impl FeatureExtractor {
         let shell = match spec.shell {
             ShellMode::None => None,
             ShellMode::Stats => Some(ShellOffsets::full(spec.shell_radius)),
-            ShellMode::Samples { count } => {
-                Some(ShellOffsets::fibonacci(spec.shell_radius, count))
-            }
+            ShellMode::Samples { count } => Some(ShellOffsets::fibonacci(spec.shell_radius, count)),
         };
         Self { spec, shell }
     }
@@ -158,7 +156,14 @@ impl FeatureExtractor {
     }
 
     /// Allocating convenience wrapper.
-    pub fn vector(&self, vol: &ScalarVolume, x: usize, y: usize, z: usize, t_norm: f32) -> Vec<f32> {
+    pub fn vector(
+        &self,
+        vol: &ScalarVolume,
+        x: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+    ) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_features());
         self.vector_into(vol, x, y, z, t_norm, &mut out);
         out
@@ -192,7 +197,10 @@ impl FeatureExtractor {
                 out.extend_from_slice(&stats);
             }
             ShellMode::Samples { .. } => {
-                self.shell.as_ref().unwrap().sample_into(primary, x, y, z, out);
+                self.shell
+                    .as_ref()
+                    .unwrap()
+                    .sample_into(primary, x, y, z, out);
             }
         }
         if self.spec.position {
@@ -230,8 +238,8 @@ mod tests {
     fn vol_ball(n: usize, r: f32) -> ScalarVolume {
         let c = (n as f32 - 1.0) / 2.0;
         ScalarVolume::from_fn(Dims3::cube(n), |x, y, z| {
-            let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
-                .sqrt();
+            let d =
+                ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt();
             if d <= r {
                 1.0
             } else {

@@ -22,6 +22,6 @@ pub mod classify;
 pub mod features;
 pub mod paint;
 
-pub use classify::{ClassifierParams, DataSpaceClassifier, LearningEngine};
+pub use classify::{ClassifierParams, DataSpaceClassifier, LearningEngine, TrainError};
 pub use features::{FeatureExtractor, FeatureSpec, ShellMode};
 pub use paint::{PaintOracle, PaintSet};

@@ -182,7 +182,11 @@ mod tests {
         let mut p = PaintSet::new(0);
         p.paint_region(&region, false, 20);
         assert!(!p.negatives.is_empty());
-        assert!(p.negatives.len() <= 40, "sampling cap blown: {}", p.negatives.len());
+        assert!(
+            p.negatives.len() <= 40,
+            "sampling cap blown: {}",
+            p.negatives.len()
+        );
         for &(x, y, z) in &p.negatives {
             assert!(region.get(x, y, z), "painted outside the region");
         }

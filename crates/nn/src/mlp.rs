@@ -91,7 +91,10 @@ impl Mlp {
     /// `sizes.last()` outputs), hidden activation `hidden_act` and output
     /// activation `output_act`, deterministically initialized from `seed`.
     pub fn new(sizes: &[usize], hidden_act: Activation, output_act: Activation, seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "need at least input and output layer sizes");
+        assert!(
+            sizes.len() >= 2,
+            "need at least input and output layer sizes"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be non-zero");
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = sizes.len() - 1;
@@ -260,12 +263,7 @@ mod tests {
 
     #[test]
     fn construction_shapes() {
-        let net = Mlp::new(
-            &[3, 8, 2],
-            Activation::Sigmoid,
-            Activation::Identity,
-            42,
-        );
+        let net = Mlp::new(&[3, 8, 2], Activation::Sigmoid, Activation::Identity, 42);
         assert_eq!(net.input_size(), 3);
         assert_eq!(net.output_size(), 2);
         assert_eq!(net.layer_sizes(), vec![3, 8, 2]);

@@ -68,7 +68,11 @@ impl Normalizer {
         assert_eq!(row.len(), self.lo.len(), "feature count mismatch");
         for (k, v) in row.iter_mut().enumerate() {
             let span = self.hi[k] - self.lo[k];
-            *v = if span <= 0.0 { 0.0 } else { (*v - self.lo[k]) / span };
+            *v = if span <= 0.0 {
+                0.0
+            } else {
+                (*v - self.lo[k]) / span
+            };
         }
     }
 

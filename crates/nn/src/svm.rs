@@ -86,7 +86,10 @@ impl Svm {
         for row in inputs {
             assert_eq!(row.len(), dim, "inconsistent feature lengths");
         }
-        let y: Vec<f32> = labels.iter().map(|&l| if l >= 0.5 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f32> = labels
+            .iter()
+            .map(|&l| if l >= 0.5 { 1.0 } else { -1.0 })
+            .collect();
         assert!(
             y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0),
             "SVM training needs both classes"
@@ -134,9 +137,15 @@ impl Svm {
                 let (ai_old, aj_old) = (alphas[i], alphas[j]);
 
                 let (lo, hi) = if y[i] != y[j] {
-                    ((aj_old - ai_old).max(0.0), (params.c + aj_old - ai_old).min(params.c))
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (params.c + aj_old - ai_old).min(params.c),
+                    )
                 } else {
-                    ((ai_old + aj_old - params.c).max(0.0), (ai_old + aj_old).min(params.c))
+                    (
+                        (ai_old + aj_old - params.c).max(0.0),
+                        (ai_old + aj_old).min(params.c),
+                    )
                 };
                 // Degenerate or inverted box (float error can push hi just
                 // below lo): nothing to optimize on this pair.
@@ -154,10 +163,12 @@ impl Svm {
                 }
                 let ai_new = ai_old + y[i] * y[j] * (aj_old - aj_new);
 
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - y[i] * (ai_new - ai_old) * k(i, i)
                     - y[j] * (aj_new - aj_old) * k(i, j);
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - y[i] * (ai_new - ai_old) * k(i, j)
                     - y[j] * (aj_new - aj_old) * k(j, j);
                 b = if ai_new > 0.0 && ai_new < params.c {

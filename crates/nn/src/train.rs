@@ -102,8 +102,16 @@ struct Velocity {
 impl Velocity {
     fn for_net(net: &Mlp) -> Self {
         Self {
-            weights: net.layers().iter().map(|l| vec![0.0; l.weights.len()]).collect(),
-            biases: net.layers().iter().map(|l| vec![0.0; l.biases.len()]).collect(),
+            weights: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.weights.len()])
+                .collect(),
+            biases: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.biases.len()])
+                .collect(),
         }
     }
 
@@ -379,12 +387,8 @@ impl Trainer {
         for i in 0..set.len() {
             let (x, t) = set.sample(i);
             let y = net.forward_scratch(x, &mut self.scratch);
-            let mse: f32 = y
-                .iter()
-                .zip(t)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                / t.len() as f32;
+            let mse: f32 =
+                y.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / t.len() as f32;
             total += mse as f64;
         }
         (total / set.len() as f64) as f32

@@ -161,11 +161,7 @@ mod tests {
     fn position_at_distance() {
         let c = Camera::framing(Dims3::cube(32), 0.3, 0.5);
         let p = c.position();
-        let d = [
-            p[0] - c.target[0],
-            p[1] - c.target[1],
-            p[2] - c.target[2],
-        ];
+        let d = [p[0] - c.target[0], p[1] - c.target[1], p[2] - c.target[2]];
         assert!((len3(d) - c.distance).abs() < 1e-3);
     }
 

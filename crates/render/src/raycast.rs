@@ -121,11 +121,7 @@ impl Renderer {
     ) -> [f32; 3] {
         let p = &self.params;
         let d = vol.dims();
-        let bounds = [
-            d.nx as f32 - 1.0,
-            d.ny as f32 - 1.0,
-            d.nz as f32 - 1.0,
-        ];
+        let bounds = [d.nx as f32 - 1.0, d.ny as f32 - 1.0, d.nz as f32 - 1.0];
         let Some((t_enter, t_exit)) = ray_box(origin, dir, bounds) else {
             return p.background;
         };
@@ -147,11 +143,7 @@ impl Renderer {
             let (mut sample_color, tf_opacity) = if let (Some(mask), Some(otf)) =
                 (overlay, overlay_tf)
             {
-                let (cx, cy, cz) = d.clamp_i(
-                    x.round() as i64,
-                    y.round() as i64,
-                    z.round() as i64,
-                );
+                let (cx, cy, cz) = d.clamp_i(x.round() as i64, y.round() as i64, z.round() as i64);
                 if mask.get(cx, cy, cz) {
                     ([1.0, 0.1, 0.1], otf.opacity_at(v))
                 } else {
@@ -165,8 +157,7 @@ impl Renderer {
             if a > 1e-4 {
                 if p.shading {
                     let g = normalize3(gradient_trilinear(vol, x, y, z));
-                    let ndotl =
-                        (g[0] * light[0] + g[1] * light[1] + g[2] * light[2]).abs();
+                    let ndotl = (g[0] * light[0] + g[1] * light[1] + g[2] * light[2]).abs();
                     let shade = p.ambient + (1.0 - p.ambient) * ndotl;
                     for c in &mut sample_color {
                         *c *= shade;
@@ -215,7 +206,11 @@ impl Renderer {
         w: usize,
         h: usize,
     ) -> Image {
-        assert_eq!(vol.dims(), certainty.dims(), "certainty field dims mismatch");
+        assert_eq!(
+            vol.dims(),
+            certainty.dims(),
+            "certainty field dims mismatch"
+        );
         let mut img = Image::new(w, h);
         let p = self.params;
         let d = vol.dims();
@@ -235,9 +230,7 @@ impl Renderer {
                         let x = origin[0] + dir[0] * t;
                         let y = origin[1] + dir[1] * t;
                         let z = origin[2] + dir[2] * t;
-                        let a = (trilinear(certainty, x, y, z)
-                            * p.opacity_scale
-                            * p.step)
+                        let a = (trilinear(certainty, x, y, z) * p.opacity_scale * p.step)
                             .clamp(0.0, 1.0);
                         if a > 1e-4 {
                             let v = trilinear(vol, x, y, z);
@@ -385,8 +378,8 @@ mod tests {
     fn ball_volume(n: usize, r: f32) -> ScalarVolume {
         let c = (n as f32 - 1.0) / 2.0;
         ScalarVolume::from_fn(Dims3::cube(n), |x, y, z| {
-            let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
-                .sqrt();
+            let d =
+                ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt();
             if d <= r {
                 1.0
             } else {
@@ -506,7 +499,15 @@ mod tests {
         let mut r = Renderer::default();
         r.params.shading = false;
         let img = render_tracking_overlay(
-            &r, &vol, &tracked, &tf, &adaptive, ColorMap::Grayscale, &cam, 48, 48,
+            &r,
+            &vol,
+            &tracked,
+            &tf,
+            &adaptive,
+            ColorMap::Grayscale,
+            &cam,
+            48,
+            48,
         );
         let center = img.pixel(24, 24);
         assert!(
@@ -522,7 +523,15 @@ mod tests {
         let adaptive = TransferFunction1D::band(0.0, 1.0, 0.5, 1.0, 1.0);
         let r = Renderer::default();
         let with = render_tracking_overlay(
-            &r, &vol, &empty, &tf, &adaptive, ColorMap::Grayscale, &cam, 32, 32,
+            &r,
+            &vol,
+            &empty,
+            &tf,
+            &adaptive,
+            ColorMap::Grayscale,
+            &cam,
+            32,
+            32,
         );
         let without = r.render(&vol, &tf, ColorMap::Grayscale, &cam, 32, 32);
         assert!(with.mse(&without) < 1e-9);
@@ -544,7 +553,10 @@ mod tests {
             32,
             32,
         );
-        assert!(none.mean_luminance() < 1e-6, "zero certainty must render black");
+        assert!(
+            none.mean_luminance() < 1e-6,
+            "zero certainty must render black"
+        );
     }
 
     #[test]

@@ -74,11 +74,7 @@ pub fn overlay_certainty(img: &mut Image, certainty: &[f32]) {
                 img.set_pixel(
                     x,
                     y,
-                    [
-                        p[0] * (1.0 - c) + c,
-                        p[1] * (1.0 - c),
-                        p[2] * (1.0 - c),
-                    ],
+                    [p[0] * (1.0 - c) + c, p[1] * (1.0 - c), p[2] * (1.0 - c)],
                 );
             }
         }

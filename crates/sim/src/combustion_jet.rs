@@ -289,7 +289,10 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(ms.len(), truth.len());
-        assert_eq!(ms.names(), &["vorticity_rank".to_string(), "mixture".to_string()]);
+        assert_eq!(
+            ms.names(),
+            &["vorticity_rank".to_string(), "mixture".to_string()]
+        );
         for m in &truth {
             assert!(m.count() > 0, "reacting layer must not be empty");
         }

@@ -250,7 +250,11 @@ impl FluidSolver {
     pub fn rms_divergence(&self) -> f32 {
         let div = self.velocity().divergence();
         let n = div.len() as f64;
-        let ss: f64 = div.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let ss: f64 = div
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum();
         ((ss / n) as f32).sqrt()
     }
 
@@ -261,7 +265,9 @@ impl FluidSolver {
             .iter()
             .zip(self.v.as_slice())
             .zip(self.w.as_slice())
-            .map(|((&a, &b), &c)| 0.5 * (a as f64 * a as f64 + b as f64 * b as f64 + c as f64 * c as f64))
+            .map(|((&a, &b), &c)| {
+                0.5 * (a as f64 * a as f64 + b as f64 * b as f64 + c as f64 * c as f64)
+            })
             .sum()
     }
 }
@@ -383,7 +389,13 @@ mod tests {
         let d = Dims3::cube(16);
         // Uniform +x wind.
         let wind = VectorVolume::from_fn(d, |_, _, _| [2.0, 0.0, 0.0]);
-        let s = FluidSolver::with_velocity(&wind, FluidParams { dt: 1.0, ..Default::default() });
+        let s = FluidSolver::with_velocity(
+            &wind,
+            FluidParams {
+                dt: 1.0,
+                ..Default::default()
+            },
+        );
         let mut blob = ScalarVolume::zeros(d);
         blob.set(5, 8, 8, 1.0);
         let moved = s.advect_scalar(&blob);

@@ -145,7 +145,13 @@ fn blob_field(blob: &Blob, pos: [f32; 3], tn: f32, wobble: f32) -> f32 {
 /// the paper wants preserved (and blurring destroys). Shared by the volume
 /// and the ground-truth mask so they agree exactly.
 fn boundary_wobble(noise: &ValueNoise, pos: [f32; 3], inv: f32) -> f32 {
-    0.55 * (noise.fbm(pos[0] * inv * 16.0, pos[1] * inv * 16.0, pos[2] * inv * 16.0, 3, 0.6) - 0.5)
+    0.55 * (noise.fbm(
+        pos[0] * inv * 16.0,
+        pos[1] * inv * 16.0,
+        pos[2] * inv * 16.0,
+        3,
+        0.6,
+    ) - 0.5)
 }
 
 fn frame(
@@ -161,7 +167,15 @@ fn frame(
     let vol = ScalarVolume::from_fn(dims, |x, y, z| {
         let pos = [x as f32, y as f32, z as f32];
         // Faint intergalactic background.
-        let bg = 0.05 + 0.08 * noise.fbm(pos[0] * inv * 3.0, pos[1] * inv * 3.0, pos[2] * inv * 3.0, 2, 0.5);
+        let bg = 0.05
+            + 0.08
+                * noise.fbm(
+                    pos[0] * inv * 3.0,
+                    pos[1] * inv * 3.0,
+                    pos[2] * inv * 3.0,
+                    2,
+                    0.5,
+                );
 
         let w = boundary_wobble(noise, pos, inv);
         let mut best = 0.0f32;
@@ -231,7 +245,10 @@ mod tests {
         let band = Mask3::value_band(f, 0.5, 1.2);
         let recall = band.recall(t);
         let precision = band.precision(t);
-        assert!(recall > 0.6, "band should capture the structures, recall {recall}");
+        assert!(
+            recall > 0.6,
+            "band should capture the structures, recall {recall}"
+        );
         assert!(
             precision < 0.92,
             "small blobs must pollute the band, precision {precision}"

@@ -150,7 +150,15 @@ fn frame(
     let vol = ScalarVolume::from_fn(dims, |x, y, z| {
         let pos = [x as f32, y as f32, z as f32];
         // Ambient medium: low-amplitude fBm around 0.15.
-        let ambient = 0.10 + 0.12 * noise.fbm(pos[0] * inv * 5.0, pos[1] * inv * 5.0, pos[2] * inv * 5.0, 3, 0.5);
+        let ambient = 0.10
+            + 0.12
+                * noise.fbm(
+                    pos[0] * inv * 5.0,
+                    pos[1] * inv * 5.0,
+                    pos[2] * inv * 5.0,
+                    3,
+                    0.5,
+                );
 
         // The ring: plateau of height ~0.55 above ambient inside the tube,
         // falling smoothly to zero at the tube wall.
@@ -164,7 +172,13 @@ fn frame(
         let turb = 0.30
             * trail_falloff
             * turb_noise
-                .fbm(pos[0] * inv * 9.0, pos[1] * inv * 9.0, pos[2] * inv * 9.0 + tn * 2.0, 3, 0.55)
+                .fbm(
+                    pos[0] * inv * 9.0,
+                    pos[1] * inv * 9.0,
+                    pos[2] * inv * 9.0 + tn * 2.0,
+                    3,
+                    0.55,
+                )
                 .powi(2);
 
         let structural = ambient + ring + turb;

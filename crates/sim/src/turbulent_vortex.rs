@@ -109,13 +109,16 @@ fn frame(dims: Dims3, tn: f32, split_at: f32, noise: &ValueNoise) -> (ScalarVolu
         let pos = [x as f32, y as f32, z as f32];
         // Ambient turbulence filling the domain ("the original volume" that
         // gives the tracked feature context in Figure 9).
-        let bg = 0.35 * noise.fbm(pos[0] * inv * 6.0, pos[1] * inv * 6.0, pos[2] * inv * 6.0 + tn, 3, 0.5);
+        let bg = 0.35
+            * noise.fbm(
+                pos[0] * inv * 6.0,
+                pos[1] * inv * 6.0,
+                pos[2] * inv * 6.0 + tn,
+                3,
+                0.5,
+            );
         let s = lobe(pos, ca).min(lobe(pos, cb));
-        let core = if s >= 1.0 {
-            0.0
-        } else {
-            0.8 * (1.0 - s * s)
-        };
+        let core = if s >= 1.0 { 0.0 } else { 0.8 * (1.0 - s * s) };
         0.1 + bg + core
     });
 
@@ -200,8 +203,8 @@ mod tests {
         };
         let c0 = centroid(&s.truth[0]);
         let c6 = centroid(s.truth.last().unwrap());
-        let dist = ((c6[0] - c0[0]).powi(2) + (c6[1] - c0[1]).powi(2) + (c6[2] - c0[2]).powi(2))
-            .sqrt();
+        let dist =
+            ((c6[0] - c0[0]).powi(2) + (c6[1] - c0[1]).powi(2) + (c6[2] - c0[2]).powi(2)).sqrt();
         assert!(dist > 5.0, "feature should travel, moved {dist}");
     }
 
@@ -233,7 +236,10 @@ mod tests {
         }
         let mean_in = inside / n_in;
         let mean_all = f.mean() as f64;
-        assert!(mean_in > mean_all + 0.2, "inside {mean_in} vs all {mean_all}");
+        assert!(
+            mean_in > mean_all + 0.2,
+            "inside {mean_in} vs all {mean_all}"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ fn series_histograms(series: &TimeSeries, bins: usize) -> Vec<Histogram> {
 /// Distribution change between consecutive frames.
 pub fn change_curve(series: &TimeSeries, bins: usize) -> Vec<f64> {
     let hs = series_histograms(series, bins);
-    hs.windows(2).map(|w| histogram_distance(&w[0], &w[1])).collect()
+    hs.windows(2)
+        .map(|w| histogram_distance(&w[0], &w[1]))
+        .collect()
 }
 
 /// Jankun-Kelly & Ma's behaviour categories.
@@ -167,7 +169,10 @@ mod tests {
         assert_eq!(histogram_distance(&a, &a), 0.0);
         let b = Histogram::of_values(&[0.8, 0.9, 1.0], 8, 0.0, 1.0);
         let d = histogram_distance(&a, &b);
-        assert!(d > 1.9, "disjoint distributions should be ~2 apart, got {d}");
+        assert!(
+            d > 1.9,
+            "disjoint distributions should be ~2 apart, got {d}"
+        );
     }
 
     #[test]
@@ -243,7 +248,11 @@ mod tests {
     fn min_gain_stops_early_on_regular_data() {
         let s = shifted_series(&[0.1, 0.1, 0.1, 0.1, 0.1]);
         let keys = suggest_key_frames(&s, 32, 5, 0.05);
-        assert_eq!(keys.len(), 2, "regular data needs only the anchors: {keys:?}");
+        assert_eq!(
+            keys.len(),
+            2,
+            "regular data needs only the anchors: {keys:?}"
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl TransferFunction1D {
     /// key-frame interpolation baseline the IATF beats in Figure 3. Domains
     /// must match.
     pub fn lerp(a: &Self, b: &Self, alpha: f32) -> Self {
-        assert_eq!(a.domain(), b.domain(), "cannot lerp TFs over different domains");
+        assert_eq!(
+            a.domain(),
+            b.domain(),
+            "cannot lerp TFs over different domains"
+        );
         let alpha = alpha.clamp(0.0, 1.0);
         let opacity = a
             .opacity
@@ -210,8 +214,7 @@ mod tests {
 
     #[test]
     fn control_points_interpolate() {
-        let tf =
-            TransferFunction1D::from_control_points(0.0, 1.0, &[(0.2, 0.0), (0.8, 1.0)]);
+        let tf = TransferFunction1D::from_control_points(0.0, 1.0, &[(0.2, 0.0), (0.8, 1.0)]);
         assert_eq!(tf.opacity_at(0.1), 0.0);
         assert!((tf.opacity_at(0.5) - 0.5).abs() < 0.05);
         assert!((tf.opacity_at(0.9) - 1.0).abs() < 1e-6);
@@ -229,7 +232,9 @@ mod tests {
         let tf = TransferFunction1D::band(0.0, 1.0, 0.4, 0.6, 1.0);
         let (lo, hi) = tf.support(0.5).unwrap();
         assert!((lo - 0.4).abs() < 0.01 && (hi - 0.6).abs() < 0.01);
-        assert!(TransferFunction1D::transparent(0.0, 1.0).support(0.1).is_none());
+        assert!(TransferFunction1D::transparent(0.0, 1.0)
+            .support(0.1)
+            .is_none());
     }
 
     #[test]

@@ -159,8 +159,8 @@ mod tests {
         let n = 20;
         let c = (n as f32 - 1.0) / 2.0;
         let vol = ScalarVolume::from_fn(Dims3::cube(n), |x, y, z| {
-            let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
-                .sqrt();
+            let d =
+                ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt();
             if d <= 6.0 {
                 1.0
             } else {

@@ -4,7 +4,6 @@
 //! attributes"; we compute the standard set for each connected component so
 //! tracks can be summarized and verified quantitatively.
 
-
 #![allow(clippy::needless_range_loop)] // indexing fixed-size [f64; 3] axes
 use crate::components::ComponentLabels;
 use ifet_volume::ScalarVolume;

@@ -99,7 +99,10 @@ impl ComponentLabels {
 
     /// Mask of one component.
     pub fn component_mask(&self, label: u32) -> Mask3 {
-        assert!(label >= 1 && label <= self.count, "label {label} out of range");
+        assert!(
+            label >= 1 && label <= self.count,
+            "label {label} out of range"
+        );
         let d = self.labels.dims();
         let mut m = Mask3::empty(d);
         for (i, &l) in self.labels.as_slice().iter().enumerate() {
@@ -139,8 +142,12 @@ mod tests {
         let c1 = (n as f32 * 0.25, n as f32 * 0.25, n as f32 * 0.5);
         let c2 = (n as f32 * 0.75, n as f32 * 0.75, n as f32 * 0.5);
         Mask3::from_fn(Dims3::cube(n), |x, y, z| {
-            let d1 = ((x as f32 - c1.0).powi(2) + (y as f32 - c1.1).powi(2) + (z as f32 - c1.2).powi(2)).sqrt();
-            let d2 = ((x as f32 - c2.0).powi(2) + (y as f32 - c2.1).powi(2) + (z as f32 - c2.2).powi(2)).sqrt();
+            let d1 =
+                ((x as f32 - c1.0).powi(2) + (y as f32 - c1.1).powi(2) + (z as f32 - c1.2).powi(2))
+                    .sqrt();
+            let d2 =
+                ((x as f32 - c2.0).powi(2) + (y as f32 - c2.1).powi(2) + (z as f32 - c2.2).powi(2))
+                    .sqrt();
             d1 <= r || d2 <= r
         })
     }
@@ -188,7 +195,10 @@ mod tests {
         m.set(0, 0, 0, true);
         m.set(1, 1, 1, true);
         assert_eq!(ComponentLabels::label(&m, Connectivity::Six).count(), 2);
-        assert_eq!(ComponentLabels::label(&m, Connectivity::TwentySix).count(), 1);
+        assert_eq!(
+            ComponentLabels::label(&m, Connectivity::TwentySix).count(),
+            1
+        );
     }
 
     #[test]

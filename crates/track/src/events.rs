@@ -183,8 +183,7 @@ mod tests {
 
     fn ball(d: Dims3, c: (f32, f32, f32), r: f32) -> Mask3 {
         Mask3::from_fn(d, |x, y, z| {
-            ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2))
-                .sqrt()
+            ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2)).sqrt()
                 <= r
         })
     }
@@ -209,7 +208,7 @@ mod tests {
         both.union_with(&ball(d, (15.0, 10.0, 10.0), 2.5));
         let masks = vec![
             ball(d, (9.5, 10.0, 10.0), 5.0), // one blob covering both
-            both,                             // two blobs
+            both,                            // two blobs
         ];
         let r = track_events(&masks);
         assert_eq!(r.components_per_frame, vec![1, 2]);

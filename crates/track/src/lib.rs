@@ -31,7 +31,7 @@ pub use attributes::FeatureAttributes;
 pub use components::ComponentLabels;
 pub use criterion::{AdaptiveTfCriterion, FixedBandCriterion, GrowthCriterion, MaskCriterion};
 pub use events::{track_events, Event, EventKind, TrackReport};
-pub use octree::FeatureOctree;
 pub use multires::grow_4d_multires;
-pub use region_grow::{grow_4d, Seed4};
+pub use octree::FeatureOctree;
+pub use region_grow::{grow_4d, grow_4d_serial, GrowError, Seed4};
 pub use tracks::{extract_tracks, Track, TrackEnding, TrackSet};

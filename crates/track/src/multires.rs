@@ -15,7 +15,7 @@
 //! the `multires` bench), not a silent replacement.
 
 use crate::criterion::GrowthCriterion;
-use crate::region_grow::Seed4;
+use crate::region_grow::{GrowError, Seed4};
 use ifet_volume::filter::downsample;
 use ifet_volume::{Dims3, Mask3, TimeSeries};
 use std::collections::VecDeque;
@@ -48,9 +48,9 @@ pub fn grow_4d_multires(
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
     factor: usize,
-) -> Vec<Mask3> {
+) -> Result<Vec<Mask3>, GrowError> {
     assert!(factor >= 1);
-    assert_eq!(criterion.num_frames(), series.len());
+    crate::region_grow::validate(series, criterion, seeds)?;
     let fine_dims = series.dims();
     if factor == 1 {
         return crate::region_grow::grow_4d(series, criterion, seeds);
@@ -76,7 +76,7 @@ pub fn grow_4d_multires(
             )
         })
         .collect();
-    let coarse = crate::region_grow::grow_4d(&coarse_series, criterion, &coarse_seeds);
+    let coarse = crate::region_grow::grow_4d(&coarse_series, criterion, &coarse_seeds)?;
 
     // 2. Fine pass restricted to the candidate region (coarse result
     //    upsampled and dilated by one coarse cell to recover boundary loss).
@@ -120,7 +120,7 @@ pub fn grow_4d_multires(
             }
         }
     }
-    masks
+    Ok(masks)
 }
 
 #[cfg(test)]
@@ -170,8 +170,8 @@ mod tests {
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
         let seed = [(0usize, 5usize, 8usize, 8usize)];
         assert_eq!(
-            grow_4d_multires(&s, &c, &seed, 1),
-            grow_4d(&s, &c, &seed)
+            grow_4d_multires(&s, &c, &seed, 1).unwrap(),
+            grow_4d(&s, &c, &seed).unwrap()
         );
     }
 
@@ -180,8 +180,8 @@ mod tests {
         let s = ball_series(24);
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
         let seed = [(0usize, 7usize, 12usize, 12usize)];
-        let exact = grow_4d(&s, &c, &seed);
-        let fast = grow_4d_multires(&s, &c, &seed, 2);
+        let exact = grow_4d(&s, &c, &seed).unwrap();
+        let fast = grow_4d_multires(&s, &c, &seed, 2).unwrap();
         for (i, (a, b)) in exact.iter().zip(&fast).enumerate() {
             let agreement = a.jaccard(b);
             assert!(
@@ -196,7 +196,7 @@ mod tests {
         let s = ball_series(24);
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
         let seed = [(0usize, 7usize, 12usize, 12usize)];
-        let fast = grow_4d_multires(&s, &c, &seed, 3);
+        let fast = grow_4d_multires(&s, &c, &seed, 3).unwrap();
         for (fi, m) in fast.iter().enumerate() {
             for (x, y, z) in m.set_coords() {
                 assert!(c.accept(fi, s.frame(fi), x, y, z));
@@ -208,7 +208,7 @@ mod tests {
     fn seed_outside_feature_grows_nothing() {
         let s = ball_series(16);
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
-        let fast = grow_4d_multires(&s, &c, &[(0, 0, 0, 0)], 2);
+        let fast = grow_4d_multires(&s, &c, &[(0, 0, 0, 0)], 2).unwrap();
         assert!(fast.iter().all(|m| m.is_empty_mask()));
     }
 
@@ -218,7 +218,7 @@ mod tests {
         let s = ball_series(23);
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
         let seed = [(0usize, 7usize, 11usize, 11usize)];
-        let fast = grow_4d_multires(&s, &c, &seed, 2);
+        let fast = grow_4d_multires(&s, &c, &seed, 2).unwrap();
         assert!(fast[0].count() > 0);
     }
 }

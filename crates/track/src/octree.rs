@@ -239,8 +239,14 @@ mod tests {
 
     #[test]
     fn uniform_masks_are_single_nodes() {
-        assert_eq!(FeatureOctree::from_mask(&Mask3::empty(Dims3::cube(32))).node_count(), 1);
-        assert_eq!(FeatureOctree::from_mask(&Mask3::full(Dims3::cube(32))).node_count(), 1);
+        assert_eq!(
+            FeatureOctree::from_mask(&Mask3::empty(Dims3::cube(32))).node_count(),
+            1
+        );
+        assert_eq!(
+            FeatureOctree::from_mask(&Mask3::full(Dims3::cube(32))).node_count(),
+            1
+        );
     }
 
     #[test]

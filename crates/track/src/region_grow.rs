@@ -6,39 +6,200 @@
 //! sampling for the matching features to overlap in 3D space for consecutive
 //! time steps". The per-frame result is "saved in a 3D volume texture for
 //! rendering" — here, one [`Mask3`] per frame.
+//!
+//! Two implementations share the same contract:
+//!
+//! * [`grow_4d_serial`] — the reference: a single queue, criterion evaluated
+//!   through `accept` at every visited edge.
+//! * [`grow_4d`] — level-synchronous frontier growth. Each round expands the
+//!   current frontier of every frame in parallel (spatial neighbours stay
+//!   within the frame, so each frame's mask is owned by one task), while
+//!   temporal candidates are exchanged between rounds at a barrier. Criterion
+//!   queries hit per-frame acceptance tables precomputed once via
+//!   [`GrowthCriterion::precompute_frame`].
+//!
+//! The grown region is the connected component of the acceptance set that
+//! is reachable from the seeds — a fixpoint independent of visit order — so
+//! the two implementations return bit-identical masks (enforced by a
+//! property test).
 
 use crate::criterion::GrowthCriterion;
-use ifet_volume::{Mask3, TimeSeries};
+use ifet_volume::{Dims3, Mask3, TimeSeries};
 use std::collections::VecDeque;
+
+use rayon::prelude::*;
 
 /// A seed voxel in space-time: `(frame index, x, y, z)`.
 pub type Seed4 = (usize, usize, usize, usize);
+
+/// Why a region-growing request is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrowError {
+    /// The criterion covers a different number of frames than the series.
+    FrameCountMismatch {
+        criterion_frames: usize,
+        series_frames: usize,
+    },
+    /// A seed's frame index is past the end of the series.
+    SeedFrameOutOfRange { seed: Seed4, frames: usize },
+    /// A seed's spatial coordinate lies outside the volume.
+    SeedOutOfBounds { seed: Seed4, dims: Dims3 },
+}
+
+impl std::fmt::Display for GrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FrameCountMismatch {
+                criterion_frames,
+                series_frames,
+            } => write!(
+                f,
+                "criterion covers {criterion_frames} frames, series has {series_frames}"
+            ),
+            Self::SeedFrameOutOfRange { seed, frames } => write!(
+                f,
+                "seed frame {} out of range (series has {frames} frames)",
+                seed.0
+            ),
+            Self::SeedOutOfBounds { seed, dims } => write!(
+                f,
+                "seed ({}, {}, {}) out of bounds for volume {dims}",
+                seed.1, seed.2, seed.3
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GrowError {}
+
+pub(crate) fn validate(
+    series: &TimeSeries,
+    criterion: &dyn GrowthCriterion,
+    seeds: &[Seed4],
+) -> Result<(), GrowError> {
+    if criterion.num_frames() != series.len() {
+        return Err(GrowError::FrameCountMismatch {
+            criterion_frames: criterion.num_frames(),
+            series_frames: series.len(),
+        });
+    }
+    let d = series.dims();
+    for &seed in seeds {
+        let (fi, x, y, z) = seed;
+        if fi >= series.len() {
+            return Err(GrowError::SeedFrameOutOfRange {
+                seed,
+                frames: series.len(),
+            });
+        }
+        if !d.contains(x, y, z) {
+            return Err(GrowError::SeedOutOfBounds { seed, dims: d });
+        }
+    }
+    Ok(())
+}
 
 /// Grow a 4D region from `seeds` through `series` under `criterion`.
 ///
 /// Returns one mask per frame (empty masks for frames the region never
 /// reaches). Seeds that fail the criterion are ignored (the user clicked
-/// background).
+/// background). Runs the frontier-parallel algorithm; the result is
+/// bit-identical to [`grow_4d_serial`].
 pub fn grow_4d(
     series: &TimeSeries,
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
-) -> Vec<Mask3> {
-    assert_eq!(
-        criterion.num_frames(),
-        series.len(),
-        "criterion covers {} frames, series has {}",
-        criterion.num_frames(),
-        series.len()
-    );
+) -> Result<Vec<Mask3>, GrowError> {
+    validate(series, criterion, seeds)?;
+    let d = series.dims();
+    let n_frames = series.len();
+
+    // Per-frame acceptance tables, evaluated in parallel: after this, the
+    // criterion is never consulted again.
+    let tables: Vec<Mask3> = (0..n_frames)
+        .into_par_iter()
+        .map(|fi| criterion.precompute_frame(fi, series.frame(fi)))
+        .collect();
+
+    // Per-frame growth state. One task owns one frame per round, so spatial
+    // expansion needs no synchronisation; temporal candidates cross frame
+    // boundaries and are applied serially between rounds.
+    struct FrameState {
+        mask: Mask3,
+        frontier: Vec<usize>,
+        spatial_next: Vec<usize>,
+        temporal_out: Vec<(usize, usize)>, // (target frame, linear index)
+    }
+
+    let mut states: Vec<FrameState> = (0..n_frames)
+        .map(|_| FrameState {
+            mask: Mask3::empty(d),
+            frontier: Vec::new(),
+            spatial_next: Vec::new(),
+            temporal_out: Vec::new(),
+        })
+        .collect();
+
+    for &(fi, x, y, z) in seeds {
+        let i = d.index(x, y, z);
+        if tables[fi].get_linear(i) && states[fi].mask.insert_linear(i) {
+            states[fi].frontier.push(i);
+        }
+    }
+
+    while states.iter().any(|s| !s.frontier.is_empty()) {
+        // Expand every frame's frontier one level, in parallel.
+        states.par_iter_mut().enumerate().for_each(|(fi, st)| {
+            let table = &tables[fi];
+            let frontier = std::mem::take(&mut st.frontier);
+            for &i in &frontier {
+                let (x, y, z) = d.coords(i);
+                for (nx, ny, nz) in d.neighbors6(x, y, z) {
+                    let j = d.index(nx, ny, nz);
+                    if table.get_linear(j) && st.mask.insert_linear(j) {
+                        st.spatial_next.push(j);
+                    }
+                }
+                if fi > 0 {
+                    st.temporal_out.push((fi - 1, i));
+                }
+                if fi + 1 < n_frames {
+                    st.temporal_out.push((fi + 1, i));
+                }
+            }
+        });
+
+        // Barrier: promote spatial discoveries to the next frontier, then
+        // resolve cross-frame candidates against their target frames.
+        let mut proposals: Vec<(usize, usize)> = Vec::new();
+        for st in &mut states {
+            st.frontier = std::mem::take(&mut st.spatial_next);
+            proposals.append(&mut st.temporal_out);
+        }
+        for (tf, i) in proposals {
+            if tables[tf].get_linear(i) && states[tf].mask.insert_linear(i) {
+                states[tf].frontier.push(i);
+            }
+        }
+    }
+
+    Ok(states.into_iter().map(|s| s.mask).collect())
+}
+
+/// Single-threaded reference implementation of [`grow_4d`]: one FIFO queue,
+/// criterion consulted through [`GrowthCriterion::accept`] at every edge.
+pub fn grow_4d_serial(
+    series: &TimeSeries,
+    criterion: &dyn GrowthCriterion,
+    seeds: &[Seed4],
+) -> Result<Vec<Mask3>, GrowError> {
+    validate(series, criterion, seeds)?;
     let d = series.dims();
     let n_frames = series.len();
     let mut masks: Vec<Mask3> = (0..n_frames).map(|_| Mask3::empty(d)).collect();
     let mut queue: VecDeque<Seed4> = VecDeque::new();
 
     for &(fi, x, y, z) in seeds {
-        assert!(fi < n_frames, "seed frame {fi} out of range");
-        assert!(d.contains(x, y, z), "seed ({x},{y},{z}) out of bounds");
         if masks[fi].get(x, y, z) {
             continue;
         }
@@ -51,9 +212,7 @@ pub fn grow_4d(
     while let Some((fi, x, y, z)) = queue.pop_front() {
         // Spatial growth within the frame.
         for (nx, ny, nz) in d.neighbors6(x, y, z) {
-            if !masks[fi].get(nx, ny, nz)
-                && criterion.accept(fi, series.frame(fi), nx, ny, nz)
-            {
+            if !masks[fi].get(nx, ny, nz) && criterion.accept(fi, series.frame(fi), nx, ny, nz) {
                 masks[fi].set(nx, ny, nz, true);
                 queue.push_back((fi, nx, ny, nz));
             }
@@ -70,7 +229,7 @@ pub fn grow_4d(
         }
     }
 
-    masks
+    Ok(masks)
 }
 
 /// Total voxels captured per frame — a convenient track summary
@@ -113,7 +272,7 @@ mod tests {
     fn grows_spatially_within_frame() {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
-        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         // Frame 0 ball fully captured.
         let truth0 = Mask3::threshold(s.frame(0), 0.5);
         assert_eq!(masks[0], truth0);
@@ -123,7 +282,7 @@ mod tests {
     fn tracks_across_frames_through_overlap() {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.3, 2.0, s.len());
-        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         // Ball moves 2 voxels per frame with radius 3: consecutive frames
         // overlap, so every frame is reached.
         for (i, m) in masks.iter().enumerate() {
@@ -136,7 +295,7 @@ mod tests {
         // The Figure 10 failure mode: brightness drops below the fixed band.
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.75, 2.0, s.len());
-        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         assert!(masks[0].count() > 0);
         // Frame 2 brightness = 0.6 < 0.75: lost.
         assert_eq!(masks[2].count(), 0);
@@ -147,7 +306,7 @@ mod tests {
     fn seed_on_background_is_ignored() {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.5, 2.0, s.len());
-        let masks = grow_4d(&s, &c, &[(0, 0, 0, 0)]);
+        let masks = grow_4d(&s, &c, &[(0, 0, 0, 0)]).unwrap();
         assert!(masks.iter().all(|m| m.is_empty_mask()));
     }
 
@@ -156,8 +315,12 @@ mod tests {
         // A second bright ball far away must not be swallowed.
         let d = Dims3::cube(16);
         let vol = ScalarVolume::from_fn(d, |x, y, z| {
-            let d1 = ((x as f32 - 3.0).powi(2) + (y as f32 - 3.0).powi(2) + (z as f32 - 3.0).powi(2)).sqrt();
-            let d2 = ((x as f32 - 12.0).powi(2) + (y as f32 - 12.0).powi(2) + (z as f32 - 12.0).powi(2)).sqrt();
+            let d1 =
+                ((x as f32 - 3.0).powi(2) + (y as f32 - 3.0).powi(2) + (z as f32 - 3.0).powi(2))
+                    .sqrt();
+            let d2 =
+                ((x as f32 - 12.0).powi(2) + (y as f32 - 12.0).powi(2) + (z as f32 - 12.0).powi(2))
+                    .sqrt();
             if d1 <= 2.0 || d2 <= 2.0 {
                 1.0
             } else {
@@ -166,7 +329,7 @@ mod tests {
         });
         let s = TimeSeries::from_frames(vec![(0, vol)]);
         let c = FixedBandCriterion::new(0.5, 2.0, 1);
-        let masks = grow_4d(&s, &c, &[(0, 3, 3, 3)]);
+        let masks = grow_4d(&s, &c, &[(0, 3, 3, 3)]).unwrap();
         assert!(masks[0].get(3, 3, 3));
         assert!(!masks[0].get(12, 12, 12));
     }
@@ -176,7 +339,7 @@ mod tests {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.3, 2.0, s.len());
         // Seed in the LAST frame; earlier frames must still be reached.
-        let masks = grow_4d(&s, &c, &[(3, 10, 8, 8)]);
+        let masks = grow_4d(&s, &c, &[(3, 10, 8, 8)]).unwrap();
         assert!(masks[0].count() > 0, "backward temporal growth failed");
     }
 
@@ -189,7 +352,7 @@ mod tests {
             allowed.set(x, 4, 4, true);
         }
         let c = MaskCriterion::new(vec![allowed.clone()]);
-        let masks = grow_4d(&s, &c, &[(0, 3, 4, 4)]);
+        let masks = grow_4d(&s, &c, &[(0, 3, 4, 4)]).unwrap();
         assert_eq!(masks[0], allowed);
     }
 
@@ -197,25 +360,72 @@ mod tests {
     fn voxels_per_frame_summary() {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.3, 2.0, s.len());
-        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]);
+        let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         let counts = voxels_per_frame(&masks);
         assert_eq!(counts.len(), 4);
         assert!(counts.iter().all(|&c| c > 0));
     }
 
     #[test]
-    #[should_panic]
-    fn criterion_frame_mismatch_panics() {
+    fn parallel_matches_serial_on_fixture() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.0, 1.0, 2); // wrong frame count
-        let _ = grow_4d(&s, &c, &[]);
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let seeds = [(0, 4, 8, 8), (3, 10, 8, 8), (1, 0, 0, 0)];
+        assert_eq!(
+            grow_4d(&s, &c, &seeds).unwrap(),
+            grow_4d_serial(&s, &c, &seeds).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_bounds_seed_panics() {
+    fn criterion_frame_mismatch_is_error() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.0, 1.0, 2); // wrong frame count
+        let err = grow_4d(&s, &c, &[]).unwrap_err();
+        assert_eq!(
+            err,
+            GrowError::FrameCountMismatch {
+                criterion_frames: 2,
+                series_frames: 4
+            }
+        );
+        assert_eq!(grow_4d_serial(&s, &c, &[]).unwrap_err(), err);
+    }
+
+    #[test]
+    fn out_of_bounds_seed_is_error() {
         let s = moving_ball_series();
         let c = FixedBandCriterion::new(0.0, 1.0, s.len());
-        let _ = grow_4d(&s, &c, &[(0, 99, 0, 0)]);
+        let err = grow_4d(&s, &c, &[(0, 99, 0, 0)]).unwrap_err();
+        assert!(matches!(err, GrowError::SeedOutOfBounds { .. }));
+        assert_eq!(grow_4d_serial(&s, &c, &[(0, 99, 0, 0)]).unwrap_err(), err);
+    }
+
+    #[test]
+    fn out_of_range_seed_frame_is_error() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.0, 1.0, s.len());
+        let err = grow_4d(&s, &c, &[(9, 0, 0, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            GrowError::SeedFrameOutOfRange {
+                seed: (9, 0, 0, 0),
+                frames: 4
+            }
+        );
+    }
+
+    #[test]
+    fn grow_errors_display() {
+        let e = GrowError::FrameCountMismatch {
+            criterion_frames: 2,
+            series_frames: 4,
+        };
+        assert!(e.to_string().contains("2 frames"));
+        let e = GrowError::SeedOutOfBounds {
+            seed: (0, 99, 0, 0),
+            dims: Dims3::cube(16),
+        };
+        assert!(e.to_string().contains("(99, 0, 0)"));
     }
 }

@@ -130,8 +130,7 @@ pub fn extract_tracks(masks: &[Mask3], frames: &[&ScalarVolume]) -> TrackSet {
                     next_active[la] = Some(ti);
                 }
                 EventKind::Split => {
-                    let ti = active[(e.before[0] - 1) as usize]
-                        .expect("split from unknown track");
+                    let ti = active[(e.before[0] - 1) as usize].expect("split from unknown track");
                     tracks[ti].ending = TrackEnding::Split;
                     let parent_id = tracks[ti].id;
                     for &after in &e.after {
@@ -195,8 +194,7 @@ mod tests {
 
     fn ball(d: Dims3, c: (f32, f32, f32), r: f32) -> Mask3 {
         Mask3::from_fn(d, |x, y, z| {
-            ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2))
-                .sqrt()
+            ((x as f32 - c.0).powi(2) + (y as f32 - c.1).powi(2) + (z as f32 - c.2).powi(2)).sqrt()
                 <= r
         })
     }

@@ -48,7 +48,12 @@ impl Histogram {
             counts[bin] += 1;
         }
         let total = counts.iter().sum();
-        Self { counts, lo, hi, total }
+        Self {
+            counts,
+            lo,
+            hi,
+            total,
+        }
     }
 
     #[inline]

@@ -39,7 +39,10 @@ pub enum IoError {
     Io(io::Error),
     Json(serde_json::Error),
     /// The file length does not match `dims.len() * 4`.
-    SizeMismatch { expected: usize, got: usize },
+    SizeMismatch {
+        expected: usize,
+        got: usize,
+    },
     /// Unsupported `dtype` in the sidecar.
     UnsupportedDtype(String),
 }
@@ -115,7 +118,11 @@ pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
 
 /// Write every frame of a series as `prefix_t<step>.raw` (+ sidecars).
 /// Returns the written paths.
-pub fn write_series(dir: &Path, prefix: &str, series: &TimeSeries) -> Result<Vec<PathBuf>, IoError> {
+pub fn write_series(
+    dir: &Path,
+    prefix: &str,
+    series: &TimeSeries,
+) -> Result<Vec<PathBuf>, IoError> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::new();
     for (t, frame) in series.iter() {
@@ -193,11 +200,7 @@ mod tests {
         let mut meta = VolumeMeta::new(v.dims());
         write_raw(&p, &v, &meta).unwrap();
         meta.dtype = "u8".to_string();
-        std::fs::write(
-            sidecar_path(&p),
-            serde_json::to_string(&meta).unwrap(),
-        )
-        .unwrap();
+        std::fs::write(sidecar_path(&p), serde_json::to_string(&meta).unwrap()).unwrap();
         assert!(matches!(read_raw(&p), Err(IoError::UnsupportedDtype(_))));
         std::fs::remove_dir_all(dir).ok();
     }

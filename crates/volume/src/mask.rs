@@ -5,7 +5,15 @@ use crate::dims::{Dims3, Ix3};
 use crate::volume::ScalarVolume;
 use serde::{Deserialize, Serialize};
 
-/// A dense boolean mask over a 3D grid.
+const WORD_BITS: usize = 64;
+
+/// A dense boolean mask over a 3D grid, stored as a `u64`-packed bitset.
+///
+/// Voxel `i` (linear, x-fastest) lives in bit `i % 64` of word `i / 64`.
+/// Bits past `dims.len()` in the last word are always zero, so counting and
+/// comparing operate on whole words. Set operations (union, intersection,
+/// difference, metric counts) run word-at-a-time — 64 voxels per `popcnt` —
+/// which is what makes region growing over large series affordable.
 ///
 /// ```
 /// use ifet_volume::{Dims3, Mask3, ScalarVolume};
@@ -18,7 +26,12 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mask3 {
     dims: Dims3,
-    bits: Vec<bool>,
+    words: Vec<u64>,
+}
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
 }
 
 impl Mask3 {
@@ -26,45 +39,62 @@ impl Mask3 {
     pub fn empty(dims: Dims3) -> Self {
         Self {
             dims,
-            bits: vec![false; dims.len()],
+            words: vec![0; words_for(dims.len())],
         }
     }
 
     /// An all-true mask.
     pub fn full(dims: Dims3) -> Self {
-        Self {
+        let mut m = Self {
             dims,
-            bits: vec![true; dims.len()],
+            words: vec![!0u64; words_for(dims.len())],
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Build from a linear sequence of bits; must yield exactly `dims.len()`.
+    fn from_bits(dims: Dims3, bits: impl Iterator<Item = bool>) -> Self {
+        let mut words = vec![0u64; words_for(dims.len())];
+        let mut n = 0usize;
+        for b in bits {
+            if b {
+                words[n / WORD_BITS] |= 1u64 << (n % WORD_BITS);
+            }
+            n += 1;
         }
+        assert_eq!(n, dims.len(), "bit sequence length mismatch");
+        Self { dims, words }
     }
 
     /// Threshold a scalar volume: voxels with `value >= t` are set.
     pub fn threshold(vol: &ScalarVolume, t: f32) -> Self {
-        Self {
-            dims: vol.dims(),
-            bits: vol.as_slice().iter().map(|&v| v >= t).collect(),
-        }
+        Self::from_bits(vol.dims(), vol.as_slice().iter().map(|&v| v >= t))
     }
 
     /// Voxels whose value lies inside `[lo, hi]`.
     pub fn value_band(vol: &ScalarVolume, lo: f32, hi: f32) -> Self {
-        Self {
-            dims: vol.dims(),
-            bits: vol.as_slice().iter().map(|&v| v >= lo && v <= hi).collect(),
-        }
+        Self::from_bits(
+            vol.dims(),
+            vol.as_slice().iter().map(|&v| v >= lo && v <= hi),
+        )
     }
 
     /// Build from a predicate over coordinates.
     pub fn from_fn(dims: Dims3, mut f: impl FnMut(usize, usize, usize) -> bool) -> Self {
-        let mut bits = Vec::with_capacity(dims.len());
+        let mut words = vec![0u64; words_for(dims.len())];
+        let mut i = 0usize;
         for z in 0..dims.nz {
             for y in 0..dims.ny {
                 for x in 0..dims.nx {
-                    bits.push(f(x, y, z));
+                    if f(x, y, z) {
+                        words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+                    }
+                    i += 1;
                 }
             }
         }
-        Self { dims, bits }
+        Self { dims, words }
     }
 
     #[inline]
@@ -72,49 +102,86 @@ impl Mask3 {
         self.dims
     }
 
+    /// The backing words; bit `i % 64` of word `i / 64` is voxel `i`.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     #[inline]
     pub fn get(&self, x: usize, y: usize, z: usize) -> bool {
-        self.bits[self.dims.index(x, y, z)]
+        self.get_linear(self.dims.index(x, y, z))
     }
 
     #[inline]
     pub fn get_linear(&self, i: usize) -> bool {
-        self.bits[i]
+        assert!(i < self.dims.len(), "mask index {i} out of range");
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
     }
 
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, z: usize, v: bool) {
-        let i = self.dims.index(x, y, z);
-        self.bits[i] = v;
+        self.set_linear(self.dims.index(x, y, z), v);
     }
 
     #[inline]
     pub fn set_linear(&mut self, i: usize, v: bool) {
-        self.bits[i] = v;
+        assert!(i < self.dims.len(), "mask index {i} out of range");
+        let bit = 1u64 << (i % WORD_BITS);
+        if v {
+            self.words[i / WORD_BITS] |= bit;
+        } else {
+            self.words[i / WORD_BITS] &= !bit;
+        }
+    }
+
+    /// Set voxel `i`, returning `true` iff it was previously unset.
+    ///
+    /// The test-and-set primitive frontier BFS is built on: "newly visited"
+    /// and "mark visited" in one word access.
+    #[inline]
+    pub fn insert_linear(&mut self, i: usize) -> bool {
+        assert!(i < self.dims.len(), "mask index {i} out of range");
+        let w = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
     }
 
     /// Number of set voxels.
     pub fn count(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when no voxel is set.
     pub fn is_empty_mask(&self) -> bool {
-        !self.bits.iter().any(|&b| b)
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// Linear indices of set voxels.
     pub fn set_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * WORD_BITS;
+            SetBits(w).map(move |b| base + b)
+        })
     }
 
     /// Coordinates of set voxels.
     pub fn set_coords(&self) -> impl Iterator<Item = Ix3> + '_ {
         let dims = self.dims;
         self.set_indices().map(move |i| dims.coords(i))
+    }
+
+    /// Zero any bits past `dims.len()` in the last word (the invariant all
+    /// whole-word operations rely on).
+    fn clear_tail(&mut self) {
+        let tail = self.dims.len() % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
     }
 
     fn check_same_dims(&self, other: &Self) {
@@ -128,7 +195,7 @@ impl Mask3 {
     /// In-place union.
     pub fn union_with(&mut self, other: &Self) {
         self.check_same_dims(other);
-        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
     }
@@ -136,7 +203,7 @@ impl Mask3 {
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &Self) {
         self.check_same_dims(other);
-        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
     }
@@ -144,36 +211,37 @@ impl Mask3 {
     /// In-place difference (`self AND NOT other`).
     pub fn subtract(&mut self, other: &Self) {
         self.check_same_dims(other);
-        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
     }
 
     /// Complement in place.
     pub fn invert(&mut self) {
-        for b in &mut self.bits {
-            *b = !*b;
+        for w in &mut self.words {
+            *w = !*w;
         }
+        self.clear_tail();
     }
 
     /// Count of voxels set in both.
     pub fn intersection_count(&self, other: &Self) -> usize {
         self.check_same_dims(other);
-        self.bits
+        self.words
             .iter()
-            .zip(&other.bits)
-            .filter(|&(&a, &b)| a && b)
-            .count()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Count of voxels set in either.
     pub fn union_count(&self, other: &Self) -> usize {
         self.check_same_dims(other);
-        self.bits
+        self.words
             .iter()
-            .zip(&other.bits)
-            .filter(|&(&a, &b)| a || b)
-            .count()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a | b).count_ones() as usize)
+            .sum()
     }
 
     /// Jaccard index (intersection over union); 1.0 for two empty masks.
@@ -226,10 +294,12 @@ impl Mask3 {
 
     /// Convert to a 0/1 scalar volume (useful for rendering masks).
     pub fn to_volume(&self) -> ScalarVolume {
-        ScalarVolume::from_vec(
-            self.dims,
-            self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-        )
+        let mut v = ScalarVolume::filled(self.dims, 0.0);
+        let data = v.as_mut_slice();
+        for i in self.set_indices() {
+            data[i] = 1.0;
+        }
+        v
     }
 
     /// Morphological dilation by one voxel (6-connectivity).
@@ -248,7 +318,10 @@ impl Mask3 {
     pub fn erode6(&self) -> Self {
         let mut out = Mask3::empty(self.dims);
         for (x, y, z) in self.set_coords() {
-            let keep = self.dims.neighbors6(x, y, z).all(|(a, b, c)| self.get(a, b, c));
+            let keep = self
+                .dims
+                .neighbors6(x, y, z)
+                .all(|(a, b, c)| self.get(a, b, c));
             if keep {
                 out.set(x, y, z, true);
             }
@@ -266,6 +339,23 @@ impl Mask3 {
                     .any(|(a, b, c)| !self.get(a, b, c))
             })
             .count()
+    }
+}
+
+/// Iterator over set-bit positions within one word, lowest first.
+struct SetBits(u64);
+
+impl Iterator for SetBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
     }
 }
 
@@ -288,6 +378,19 @@ mod tests {
         assert_eq!(Mask3::empty(d).count(), 0);
         assert_eq!(Mask3::full(d).count(), 64);
         assert!(Mask3::empty(d).is_empty_mask());
+    }
+
+    #[test]
+    fn full_mask_has_clean_tail() {
+        // 3*3*3 = 27 bits: one partial word; whole-word ops must not see
+        // phantom bits past the end.
+        let d = Dims3::cube(3);
+        let f = Mask3::full(d);
+        assert_eq!(f.count(), 27);
+        let mut inv = f.clone();
+        inv.invert();
+        assert!(inv.is_empty_mask());
+        assert_eq!(f.union_count(&f), 27);
     }
 
     #[test]
@@ -320,6 +423,16 @@ mod tests {
         let c = m.count();
         m.invert();
         assert_eq!(m.count(), 27 - c);
+    }
+
+    #[test]
+    fn insert_linear_reports_freshness() {
+        let d = Dims3::cube(4);
+        let mut m = Mask3::empty(d);
+        assert!(m.insert_linear(37));
+        assert!(!m.insert_linear(37));
+        assert!(m.get_linear(37));
+        assert_eq!(m.count(), 1);
     }
 
     #[test]
@@ -399,5 +512,17 @@ mod tests {
             assert!(m.get(x, y, z));
         }
         assert_eq!(m.set_coords().count(), m.count());
+    }
+
+    #[test]
+    fn set_indices_cross_word_boundaries() {
+        // 5*5*5 = 125 voxels spans two words; hit bits around 63/64.
+        let d = Dims3::cube(5);
+        let mut m = Mask3::empty(d);
+        for i in [0usize, 1, 62, 63, 64, 65, 124] {
+            m.set_linear(i, true);
+        }
+        let got: Vec<usize> = m.set_indices().collect();
+        assert_eq!(got, vec![0, 1, 62, 63, 64, 65, 124]);
     }
 }

@@ -246,7 +246,10 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.steps(), &[0, 5]);
         assert_eq!(s.names(), &["u".to_string(), "v".to_string()]);
-        assert_eq!(*s.frame_at_step(5).unwrap().var("v").unwrap().get(0, 0, 0), 20.0);
+        assert_eq!(
+            *s.frame_at_step(5).unwrap().var("v").unwrap().get(0, 0, 0),
+            20.0
+        );
         assert!(s.frame_at_step(3).is_none());
         assert_eq!(s.normalized_time(5), 1.0);
     }

@@ -256,7 +256,9 @@ mod tests {
         let dir = tmpdir("open");
         let s = sample_series();
         let created = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
-        let paths: Vec<PathBuf> = (0..created.len()).map(|i| created.paths[i].clone()).collect();
+        let paths: Vec<PathBuf> = (0..created.len())
+            .map(|i| created.paths[i].clone())
+            .collect();
         let opened = OutOfCoreSeries::open(paths, 2).unwrap();
         assert_eq!(opened.steps(), created.steps());
         assert_eq!(opened.load_all().unwrap(), s);
@@ -303,7 +305,7 @@ mod tests {
         let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
         let held = ooc.frame(0).unwrap();
         let _ = ooc.frame(1).unwrap(); // evicts frame 0 from the cache
-        // The caller's Arc still works even though the cache dropped it.
+                                       // The caller's Arc still works even though the cache dropped it.
         assert_eq!(held.as_slice()[0], 0.0);
         std::fs::remove_dir_all(dir).ok();
     }

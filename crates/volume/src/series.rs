@@ -43,7 +43,10 @@ impl TimeSeries {
     pub fn push(&mut self, t: u32, vol: ScalarVolume) {
         assert_eq!(vol.dims(), self.dims, "frame dims mismatch");
         if let Some(&last) = self.steps.last() {
-            assert!(t > last, "time steps must be strictly increasing: {last} -> {t}");
+            assert!(
+                t > last,
+                "time steps must be strictly increasing: {last} -> {t}"
+            );
         }
         self.steps.push(t);
         self.frames.push(vol);

@@ -143,8 +143,7 @@ pub fn derive_radius(selected: &[(usize, usize, usize)], max_radius: f32) -> f32
             hi[k] = hi[k].max(c[k]);
         }
     }
-    let mean_extent =
-        ((hi[0] - lo[0]) + (hi[1] - lo[1]) + (hi[2] - lo[2])) as f32 / 3.0;
+    let mean_extent = ((hi[0] - lo[0]) + (hi[1] - lo[1]) + (hi[2] - lo[2])) as f32 / 3.0;
     (mean_extent * 0.5).clamp(1.0, max_radius.max(1.0))
 }
 

@@ -1,7 +1,6 @@
 //! Dense 3D vector fields and differential operators (vorticity, divergence),
 //! the raw material of flow-feature extraction.
 
-
 #![allow(clippy::needless_range_loop)] // indexing fixed-size [f64; 3] axes
 use crate::dims::Dims3;
 use crate::volume::{ScalarVolume, Volume};
@@ -118,11 +117,7 @@ impl VectorVolume {
             let u = |v: [f32; 3]| v[0];
             let vv = |v: [f32; 3]| v[1];
             let w = |v: [f32; 3]| v[2];
-            [
-                ddy(&w) - ddz(&vv),
-                ddz(&u) - ddx(&w),
-                ddx(&vv) - ddy(&u),
-            ]
+            [ddy(&w) - ddz(&vv), ddz(&u) - ddx(&w), ddx(&vv) - ddy(&u)]
         })
     }
 
@@ -137,9 +132,12 @@ impl VectorVolume {
         let d = self.dims;
         ScalarVolume::from_fn(d, |x, y, z| {
             let (xi, yi, zi) = (x as i64, y as i64, z as i64);
-            let du = (self.get_clamped(xi + 1, yi, zi)[0] - self.get_clamped(xi - 1, yi, zi)[0]) * 0.5;
-            let dv = (self.get_clamped(xi, yi + 1, zi)[1] - self.get_clamped(xi, yi - 1, zi)[1]) * 0.5;
-            let dw = (self.get_clamped(xi, yi, zi + 1)[2] - self.get_clamped(xi, yi, zi - 1)[2]) * 0.5;
+            let du =
+                (self.get_clamped(xi + 1, yi, zi)[0] - self.get_clamped(xi - 1, yi, zi)[0]) * 0.5;
+            let dv =
+                (self.get_clamped(xi, yi + 1, zi)[1] - self.get_clamped(xi, yi - 1, zi)[1]) * 0.5;
+            let dw =
+                (self.get_clamped(xi, yi, zi + 1)[2] - self.get_clamped(xi, yi, zi - 1)[2]) * 0.5;
             du + dv + dw
         })
     }

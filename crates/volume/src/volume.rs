@@ -107,7 +107,10 @@ impl<T> Volume<T> {
     /// Iterate `(coords, &value)` in linear order.
     pub fn iter(&self) -> impl Iterator<Item = (Ix3, &T)> {
         let dims = self.dims;
-        self.data.iter().enumerate().map(move |(i, v)| (dims.coords(i), v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (dims.coords(i), v))
     }
 
     /// Map every voxel through `f` producing a new volume.

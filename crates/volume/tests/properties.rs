@@ -152,4 +152,81 @@ proptest! {
         let f1 = a.f1(&b);
         prop_assert!((0.0..=1.0).contains(&f1));
     }
+
+    #[test]
+    fn bitset_roundtrips_arbitrary_bools(bm in bool_mask_strategy()) {
+        // The packed-word mask must reproduce the reference `Vec<bool>`
+        // exactly, bit for bit, through both linear and 3D accessors.
+        let (d, bits) = bm;
+        let m = mask_of_bools(d, &bits);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(m.get_linear(i), b);
+            let (x, y, z) = d.coords(i);
+            prop_assert_eq!(m.get(x, y, z), b);
+        }
+        let truthy: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(m.set_indices().collect::<Vec<_>>(), truthy);
+        prop_assert_eq!(m.count(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn word_level_set_metrics_match_bool_reference((d, bits_a, bits_b) in bool_mask_pair_strategy()) {
+        // Word-level popcount metrics must agree with per-element counting
+        // over the old `Vec<bool>` semantics.
+        let a = mask_of_bools(d, &bits_a);
+        let b = mask_of_bools(d, &bits_b);
+        let naive_inter = bits_a.iter().zip(&bits_b).filter(|(&x, &y)| x && y).count();
+        let naive_union = bits_a.iter().zip(&bits_b).filter(|(&x, &y)| x || y).count();
+        prop_assert_eq!(a.intersection_count(&b), naive_inter);
+        prop_assert_eq!(a.union_count(&b), naive_union);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u.count(), naive_union);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(i.count(), naive_inter);
+        let mut s = a.clone();
+        s.subtract(&b);
+        prop_assert_eq!(s.count(), bits_a.iter().zip(&bits_b).filter(|(&x, &y)| x && !y).count());
+
+        // Inversion must respect the tail: exactly the complement, never
+        // phantom bits past `dims.len()`.
+        let mut inv = a.clone();
+        inv.invert();
+        prop_assert_eq!(inv.count(), d.len() - a.count());
+        prop_assert_eq!(inv.intersection_count(&a), 0);
+    }
+}
+
+/// `(dims, bits)` with `bits.len() == dims.len()`, sized to cross u64 word
+/// boundaries (up to 9³ = 729 bits ≈ 12 words).
+fn bool_mask_strategy() -> impl Strategy<Value = (Dims3, Vec<bool>)> {
+    (1usize..10, 1usize..10, 1usize..10)
+        .prop_map(|(x, y, z)| Dims3::new(x, y, z))
+        .prop_flat_map(|d| {
+            proptest::collection::vec(any::<bool>(), d.len()).prop_map(move |bits| (d, bits))
+        })
+}
+
+/// Two independent bool masks over the same dims.
+fn bool_mask_pair_strategy() -> impl Strategy<Value = (Dims3, Vec<bool>, Vec<bool>)> {
+    (1usize..10, 1usize..10, 1usize..10)
+        .prop_map(|(x, y, z)| Dims3::new(x, y, z))
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(any::<bool>(), d.len()),
+                proptest::collection::vec(any::<bool>(), d.len()),
+            )
+                .prop_map(move |(a, b)| (d, a, b))
+        })
+}
+
+fn mask_of_bools(d: Dims3, bits: &[bool]) -> Mask3 {
+    let mut m = Mask3::empty(d);
+    for (i, &b) in bits.iter().enumerate() {
+        m.set_linear(i, b);
+    }
+    m
 }

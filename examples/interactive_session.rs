@@ -53,13 +53,22 @@ fn main() {
         shell_radius: 4.0,
         ..Default::default()
     };
-    session.train_classifier(spec, ClassifierParams::default());
+    session
+        .train_classifier(spec, ClassifierParams::default())
+        .expect("training failed");
     let net = session.classifier().unwrap().network();
 
     println!("\ninput importance (connection weights):");
     let names = [
-        "value", "shell mean", "shell min", "shell max", "shell std",
-        "pos x", "pos y", "pos z", "time",
+        "value",
+        "shell mean",
+        "shell min",
+        "shell max",
+        "shell std",
+        "pos x",
+        "pos y",
+        "pos z",
+        "time",
     ];
     for (idx, w) in introspect::rank_inputs(net) {
         println!("  {:<10} {:.3}", names[idx], w);
@@ -94,11 +103,18 @@ fn main() {
             max_passes: 10,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let tn = series.normalized_time(t_mid);
     let nn_mask = session.extract_data_space(t_mid, 0.6).unwrap();
     let svm_mask = svm_clf.extract_mask(series.frame(fi), tn, 0.6);
-    println!("\nNN  extraction: {}", Scores::of(&nn_mask, data.truth_frame(fi)));
-    println!("SVM extraction: {}", Scores::of(&svm_mask, data.truth_frame(fi)));
+    println!(
+        "\nNN  extraction: {}",
+        Scores::of(&nn_mask, data.truth_frame(fi))
+    );
+    println!(
+        "SVM extraction: {}",
+        Scores::of(&svm_mask, data.truth_frame(fi))
+    );
     println!("(the paper's Section 8: SVMs also give promising results)");
 }

@@ -30,7 +30,9 @@ fn main() {
         shell_radius: 4.0,
         ..Default::default()
     };
-    let clf = session.train_classifier(spec, ClassifierParams::default());
+    let clf = session
+        .train_classifier(spec, ClassifierParams::default())
+        .expect("training failed");
     println!("classifier trained, final loss = {:.5}", clf.final_loss());
 
     // Compare against the conventional baselines.
@@ -39,7 +41,10 @@ fn main() {
     let band = Mask3::threshold(frame, thr);
     let blurred = baselines::blur_then_band_mask(frame, 1.2, 2, thr, f32::INFINITY);
 
-    println!("\n{:<22} {:>9} {:>9} {:>9} {:>9}", "method", "precision", "recall", "F1", "detail");
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>9} {:>9}",
+        "method", "precision", "recall", "F1", "detail"
+    );
     for (name, mask) in [
         ("1D transfer function", &band),
         ("repeated blurring", &blurred),

@@ -32,7 +32,10 @@ fn main() {
 
     // 3. Train the Intelligent Adaptive Transfer Function.
     let iatf = session.train_iatf(IatfParams::default());
-    println!("IATF trained, final loss = {:.5}", iatf.final_loss().unwrap());
+    println!(
+        "IATF trained, final loss = {:.5}",
+        iatf.final_loss().unwrap()
+    );
 
     // 4. Compare static vs adaptive extraction on every frame.
     println!("\n{:<6} {:>12} {:>12}", "step", "static-TF F1", "IATF F1");

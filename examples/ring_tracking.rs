@@ -27,15 +27,15 @@ fn main() {
     let seeds: Vec<Seed4> = vec![(0, cx / n, cy / n, cz / n)];
 
     // Track with a value band criterion wide enough to follow the feature.
-    let result = session.track_fixed(&seeds, 0.5, 2.0);
+    let result = session
+        .track_fixed(&seeds, 0.5, 2.0)
+        .expect("tracking failed");
 
     println!("step   voxels  components");
     for (i, &t) in data.series.steps().iter().enumerate() {
         println!(
             "{:<6} {:>7} {:>10}",
-            t,
-            result.report.voxels_per_frame[i],
-            result.report.components_per_frame[i]
+            t, result.report.voxels_per_frame[i], result.report.components_per_frame[i]
         );
     }
 

@@ -1,0 +1,293 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], `sample_size`,
+//! `measurement_time`, [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — on a simple measurement scheme: a short
+//! warmup, then `sample_size` samples, each timing a batch of iterations
+//! sized so one sample takes roughly `measurement_time / sample_size`.
+//! Reports min / median / mean per iteration on stdout.
+//!
+//! No statistical rigor (no outlier analysis, no baseline comparison);
+//! the goal is honest relative numbers with zero dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            // Upstream defaults to 100 samples / 5s; benches here are run on
+            // constrained single-core machines, so default lighter.
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Top-level handle, created by `criterion_main!`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.settings, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group sharing settings, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_bench(&full, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.settings, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and `BenchmarkId` for `bench_function`.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    settings: Settings,
+    /// Collected per-iteration mean of each sample, in nanoseconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup: run until the warmup budget is spent, measuring the rough
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let per_sample =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2e} elem/s)", n as f64 / (median * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2e} B/s)", n as f64 / (median * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<50} min {:>12}  median {:>12}  mean {:>12}{extra}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

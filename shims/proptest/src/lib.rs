@@ -1,0 +1,263 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property over `cases` pseudo-random inputs drawn from
+//! [`Strategy`] values. The RNG is seeded deterministically from the test
+//! name, so failures are reproducible run-to-run. Unlike real proptest
+//! there is **no shrinking**: a failing case panics with the generated
+//! inputs' `Debug` rendering (see the `proptest!` macro), which for the
+//! small domains used in this workspace is diagnostic enough.
+//!
+//! Supported surface: range strategies over the numeric primitives,
+//! `any::<T>()`, `Just`, tuples of strategies, `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `boxed`, `collection::vec`,
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, and
+//! `ProptestConfig::with_cases`.
+
+use std::rc::Rc;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Re-exports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestRng,
+    };
+
+    /// `prop::...` paths as used by upstream's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps single-threaded CI fast while
+        // still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per test name.
+pub struct TestRng(pub rand::rngs::SmallRng);
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        use rand::SeedableRng;
+        Self(rand::rngs::SmallRng::seed_from_u64(h))
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_full_range_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy::new(Rc::new(|rng: &mut TestRng| {
+                    use rand::Rng;
+                    rng.0.gen::<$t>()
+                }))
+            }
+        }
+    )*};
+}
+arbitrary_full_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy::new(Rc::new(|rng: &mut TestRng| {
+            use rand::Rng;
+            rng.0.gen::<bool>()
+        }))
+    }
+}
+
+macro_rules! arbitrary_unit_float {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            /// Uniform over `[0, 1)` — a pragmatic default (upstream samples
+            /// weird floats too; nothing in-tree relies on that).
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy::new(Rc::new(|rng: &mut TestRng| {
+                    use rand::Rng;
+                    rng.0.gen::<$t>()
+                }))
+            }
+        }
+    )*};
+}
+arbitrary_unit_float!(f32, f64);
+
+/// Assert inside a property; panics abort the whole test (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("property failed: {}", format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!(
+                "property failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), left, right
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!(
+                "property failed: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), left, right
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            panic!(
+                "property failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            );
+        }
+    }};
+}
+
+/// Union of same-valued strategies, chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-defining macro. Mirrors upstream's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]   // optional
+///     #[test]
+///     fn my_property(x in 0usize..10, (lo, hi) in pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // `@impl` must precede the catch-all arm or expansion recurses forever.
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                // Bind each argument from its strategy, logging the values
+                // on failure via a bomb that prints on unwind.
+                let values_desc = std::cell::RefCell::new(String::new());
+                $(
+                    let value = $crate::Strategy::gen(&$strategy, &mut rng);
+                    {
+                        use std::fmt::Write;
+                        let _ = write!(
+                            values_desc.borrow_mut(),
+                            "\n  {} = {:?}", stringify!($pat), &value
+                        );
+                    }
+                    let $pat = value;
+                )*
+                let bomb = $crate::CaseReporter {
+                    case,
+                    values: &values_desc,
+                    armed: true,
+                };
+                $body
+                bomb.disarm();
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Prints the failing case's inputs when a property body panics.
+pub struct CaseReporter<'a> {
+    pub case: u32,
+    pub values: &'a std::cell::RefCell<String>,
+    pub armed: bool,
+}
+
+impl CaseReporter<'_> {
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest case #{} failed with inputs:{}",
+                self.case,
+                self.values.borrow()
+            );
+        }
+    }
+}

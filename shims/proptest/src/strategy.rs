@@ -1,0 +1,213 @@
+//! Strategies: composable random-value generators.
+
+use crate::TestRng;
+use rand::Rng;
+use rand::SampleUniform;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// `gen` is object-safe; the combinators require `Sized` and so live on
+/// the trait with default implementations.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<R, P>(self, reason: R, pred: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        R: ToString,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            pred,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = Rc::new(self);
+        BoxedStrategy::new(Rc::new(move |rng: &mut TestRng| inner.gen(rng)))
+    }
+}
+
+/// Type-erased strategy (also what `any::<T>()` returns).
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn new(gen_fn: Rc<dyn Fn(&mut TestRng) -> T>) -> Self {
+        Self { gen_fn }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + std::fmt::Debug + 'static,
+{
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + std::fmt::Debug + 'static,
+{
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(*self.start()..=*self.end())
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.gen(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.gen(rng)).gen(rng)
+    }
+}
+
+pub struct Filter<S, P> {
+    base: S,
+    pred: P,
+    reason: String,
+}
+
+impl<S, P> Strategy for Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> S::Value {
+        // Rejection sampling; a predicate this starved indicates a broken
+        // strategy, so fail loudly rather than looping forever.
+        for _ in 0..10_000 {
+            let v = self.base.gen(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Uniform choice between same-valued strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.options.len());
+        self.options[i].gen(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}

@@ -1,0 +1,42 @@
+//! Named generators. Only `SmallRng` is provided: a xoshiro256++ generator,
+//! matching upstream's choice of a small, fast, non-cryptographic PRNG.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// xoshiro256++ — 256 bits of state, period 2^256 - 1.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        // splitmix64 expansion guarantees a non-zero state even for seed 0.
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequence helpers, mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // UFCS with Self = `&mut R` (Sized) satisfies `gen_range`'s bound.
+            let j = Rng::gen_range(&mut &mut *rng, 0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[Rng::gen_range(&mut &mut *rng, 0..self.len())])
+        }
+    }
+}

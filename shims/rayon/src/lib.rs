@@ -1,0 +1,388 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the slice of rayon's API the workspace actually uses on top of
+//! `std::thread::scope`:
+//!
+//! - `par_iter()` / `into_par_iter()` / `par_chunks_mut()` producers,
+//! - `map` / `enumerate` / `filter` adaptors and `for_each` / `collect` /
+//!   `sum` / `reduce` terminals,
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] with an explicit
+//!   thread-count override, honoured by every parallel terminal.
+//!
+//! Work is split into one contiguous chunk per worker; terminals preserve
+//! input order where rayon does (`collect`). The implementation trades
+//! rayon's work stealing for simplicity — fine for the coarse-grained,
+//! evenly sized work units (frames, slabs, image rows, frontier blocks)
+//! this workspace feeds it.
+
+#![allow(clippy::type_complexity)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+pub mod prelude;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "use the machine default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel terminals will use on this thread.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(|c| c.get());
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Run `op` with an explicit thread-count override (0 = default).
+fn with_thread_override<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    let prev = POOL_THREADS.with(|c| c.replace(n));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    op()
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for signature compatibility; construction cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 means "default parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle carrying a thread-count policy. Threads are spawned scoped per
+/// parallel terminal, so the pool itself holds no OS resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` so that parallel terminals inside it use this pool's
+    /// thread count.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_thread_override(self.num_threads, op)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size.
+fn split_vec<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Walk from the back so split_off is O(chunk), keeping order overall.
+    let mut sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < extra)).collect();
+    while let Some(size) = sizes.pop() {
+        let tail = items.split_off(items.len() - size);
+        out.push(tail);
+    }
+    out.reverse();
+    out
+}
+
+/// A parallel pipeline: base items plus a per-item transform, executed by
+/// the terminal operations. This is the single concrete type behind every
+/// producer/adaptor in the shim.
+pub struct Par<B, F> {
+    base: Vec<B>,
+    f: F,
+}
+
+/// Entry point used by the producers in [`prelude`].
+fn par_from<B: Send>(base: Vec<B>) -> Par<B, impl Fn(B) -> B + Sync> {
+    Par { base, f: |b| b }
+}
+
+impl<B, I, F> Par<B, F>
+where
+    B: Send,
+    I: Send,
+    F: Fn(B) -> I + Sync,
+{
+    pub fn map<U, G>(self, g: G) -> Par<B, impl Fn(B) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(I) -> U + Sync,
+    {
+        let f = self.f;
+        Par {
+            base: self.base,
+            f: move |b| g(f(b)),
+        }
+    }
+
+    pub fn enumerate(self) -> Par<(usize, B), impl Fn((usize, B)) -> (usize, I) + Sync> {
+        let f = self.f;
+        Par {
+            base: self.base.into_iter().enumerate().collect(),
+            f: move |(i, b)| (i, f(b)),
+        }
+    }
+
+    pub fn filter<P>(self, pred: P) -> Par<B, impl Fn(B) -> Option<I> + Sync>
+    where
+        P: Fn(&I) -> bool + Sync,
+    {
+        let f = self.f;
+        Par {
+            base: self.base,
+            f: move |b| {
+                let item = f(b);
+                pred(&item).then_some(item)
+            },
+        }
+    }
+
+    /// Compatibility no-op (rayon uses it to bound splitting granularity).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(I) + Sync,
+    {
+        let f = self.f;
+        run_parts(self.base, |part| part.into_iter().for_each(|b| g(f(b))));
+    }
+
+    /// Order-preserving collect.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I>,
+    {
+        let f = self.f;
+        let parts = run_parts_map(self.base, |part| {
+            part.into_iter().map(&f).collect::<Vec<I>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I
+    where
+        ID: Fn() -> I + Sync,
+        OP: Fn(I, I) -> I + Sync,
+    {
+        let f = self.f;
+        let parts = run_parts_map(self.base, |part| {
+            part.into_iter().map(&f).fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I> + std::iter::Sum<S> + Send,
+    {
+        let f = self.f;
+        let parts = run_parts_map(self.base, |part| part.into_iter().map(&f).sum::<S>());
+        parts.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        let f = self.f;
+        let parts = run_parts_map(self.base, |part| part.into_iter().map(&f).count());
+        parts.into_iter().sum()
+    }
+}
+
+/// `filter` wraps items in `Option`; these terminals unwrap them.
+impl<B, I, F> Par<B, F>
+where
+    B: Send,
+    I: Send,
+    F: Fn(B) -> Option<I> + Sync,
+{
+    pub fn collect_filtered<C>(self) -> C
+    where
+        C: FromIterator<I>,
+    {
+        let f = self.f;
+        let parts = run_parts_map(self.base, |part| {
+            part.into_iter().filter_map(&f).collect::<Vec<I>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Execute `work` over contiguous parts of `items` on scoped threads.
+fn run_parts<B: Send>(items: Vec<B>, work: impl Fn(Vec<B>) + Sync) {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        work(items);
+        return;
+    }
+    let parts = split_vec(items, threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        for part in parts {
+            s.spawn(move || work(part));
+        }
+    });
+}
+
+/// As [`run_parts`], returning each part's result in input order.
+fn run_parts_map<B: Send, R: Send>(items: Vec<B>, work: impl Fn(Vec<B>) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return vec![work(items)];
+    }
+    let parts = split_vec(items, threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || work(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// `rayon::join` — runs both closures, in parallel when threads allow.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_range() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut data = vec![0u32; 64];
+        data.par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[16], 1);
+        assert_eq!(data[32], 2);
+        assert_eq!(data[48], 3);
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+        let m = v.par_iter().map(|&x| x).reduce(|| 0, u64::max);
+        assert_eq!(m, 100);
+    }
+
+    #[test]
+    fn filter_collect() {
+        let v: Vec<u64> = (0..100).collect();
+        let evens: Vec<u64> = v
+            .par_iter()
+            .map(|&x| x)
+            .filter(|x| x % 2 == 0)
+            .collect_filtered();
+        assert_eq!(evens.len(), 50);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn split_vec_covers_all() {
+        let parts = split_vec((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(parts.len(), 3);
+        let flat: Vec<_> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+}

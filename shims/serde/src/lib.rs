@@ -1,0 +1,100 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! deliberately small replacement: instead of serde's zero-copy
+//! serializer/deserializer traits, [`Serialize`] renders a value into an
+//! in-memory JSON [`Value`] tree and [`Deserialize`] reads one back. The
+//! sibling `serde_json` shim handles text encoding of that tree, and the
+//! `serde_derive` shim generates these impls for structs and enums.
+//!
+//! This trades generality (only JSON, always via a tree) for simplicity;
+//! every `serde`/`serde_json` call site in the workspace goes through this
+//! model.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+mod impls;
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// Standard "wrong shape" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self(format!("expected {what}, got {}", got.kind_name()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helpers used by `serde_derive`-generated code. Not part of the public
+/// API contract; kept `pub` so generated code in other crates can call them.
+pub mod vhelp {
+    use super::{DeError, Value};
+
+    /// Look up a struct field by name.
+    pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+
+    /// Externally tagged enum variant: `{"Name": payload}`.
+    pub fn variant(name: &str, payload: Value) -> Value {
+        Value::Object(vec![(name.to_string(), payload)])
+    }
+
+    /// Split an externally tagged enum value into `(tag, payload)`.
+    /// Unit variants are encoded as a bare string tag with no payload.
+    pub fn untag(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+        match v {
+            Value::String(s) => Ok((s.as_str(), None)),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
+            }
+            other => Err(DeError::expected(
+                "enum (string or single-key object)",
+                other,
+            )),
+        }
+    }
+
+    /// Element `i` of an array payload (tuple structs / tuple variants).
+    pub fn element(v: &Value, i: usize) -> Result<&Value, DeError> {
+        match v {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| DeError(format!("missing tuple element {i}"))),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde`'s [`Serialize`]/[`Deserialize`]
+//! traits (a JSON-value-tree model, far simpler than real serde's visitor
+//! machinery). Since syn/quote are unavailable offline, the input item is
+//! parsed directly from the `proc_macro` token stream and code is emitted
+//! via string formatting.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields (optionally generic over type parameters),
+//! - tuple and unit structs,
+//! - enums with unit, tuple, and struct variants.
+//!
+//! `#[serde(...)]` attributes are not supported (none are used in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter names (lifetimes and const params unsupported).
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let type_params = parse_generics(&tokens, &mut pos);
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                type_params,
+                kind: Kind::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                type_params,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            _ => Item {
+                name,
+                type_params,
+                kind: Kind::UnitStruct,
+            },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                type_params,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the item name, returning type-parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1; // '<'
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        let tok = tokens
+            .get(*pos)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start && depth == 1 => {
+                panic!("serde_derive: lifetime parameters are not supported");
+            }
+            TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde_derive: const parameters are not supported");
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Parse `{ field: Type, ... }`, returning field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        // ':' then the type, up to a comma outside any angle brackets.
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` or end of stream.
+/// Bracket/paren groups are single tokens; only `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: usize = 0;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                pos += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            skip_type(&tokens, &mut pos);
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T, U>` header, `Name<T, U>` type, and a where clause bounding every
+/// type parameter by `trait_path`.
+fn impl_parts(item: &Item, trait_path: &str) -> (String, String, String) {
+    if item.type_params.is_empty() {
+        (String::new(), item.name.clone(), String::new())
+    } else {
+        let params = item.type_params.join(", ");
+        let bounds = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        (
+            format!("<{params}>"),
+            format!("{}<{params}>", item.name),
+            format!("where {bounds}"),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty, where_clause) = impl_parts(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::vhelp::variant(\"{vn}\", \
+                                 ::serde::Value::Array(vec![{items}])),"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::vhelp::variant(\"{vn}\", \
+                                 ::serde::Value::Object(vec![{pairs}])),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {ty} {where_clause} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty, where_clause) = impl_parts(item, "::serde::Deserialize");
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::vhelp::field(v, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("Ok(Self {{\n            {inits}\n        }})")
+        }
+        Kind::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::vhelp::element(v, {i})?)?")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Ok(Self({inits}))")
+        }
+        Kind::UnitStruct => "Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!("\"{vn}\" => Ok({name}::{vn}),"),
+                        VariantFields::Tuple(n) => {
+                            let inits = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::vhelp::element(__payload, {i})?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{vn}\" => {{\n                let __payload = __payload_opt\
+                                 .ok_or_else(|| ::serde::DeError::new(\
+                                 \"variant `{vn}` expects a payload\"))?;\n                \
+                                 Ok({name}::{vn}({inits}))\n            }}"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::vhelp::field(__payload, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join("\n                    ");
+                            format!(
+                                "\"{vn}\" => {{\n                let __payload = __payload_opt\
+                                 .ok_or_else(|| ::serde::DeError::new(\
+                                 \"variant `{vn}` expects a payload\"))?;\n                \
+                                 Ok({name}::{vn} {{\n                    {inits}\n                \
+                                 }})\n            }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let (__tag, __payload_opt) = ::serde::vhelp::untag(v)?;\n        \
+                 match __tag {{\n            {arms}\n            \
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n        }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {ty} {where_clause} {{\n\
+         \x20   fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}

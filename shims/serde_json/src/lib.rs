@@ -1,0 +1,217 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the shim `serde`'s [`Value`] tree to JSON text and parses it
+//! back. Floats are printed with Rust's shortest-round-trip formatting, so
+//! `f64` (and `f32` via exact widening) survive a round trip bit-exactly;
+//! non-finite floats encode as `null` (see the serde shim's float impls).
+
+pub use serde::value::{Number, Value};
+use serde::{Deserialize, Serialize};
+
+mod parse;
+mod write;
+
+pub use parse::parse_value;
+pub use write::{write_compact, write_pretty};
+
+/// Error for both syntax problems and shape mismatches, mirroring
+/// `serde_json::Error` closely enough for this workspace's `From` impls.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed JSON text, with a byte offset.
+    Syntax { msg: String, offset: usize },
+    /// Structurally valid JSON that does not fit the target type.
+    Data(String),
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Syntax { msg, offset } => {
+                write!(f, "JSON syntax error at byte {offset}: {msg}")
+            }
+            Error::Data(msg) => write!(f, "JSON data error: {msg}"),
+            Error::Io(e) => write!(f, "JSON io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::Data(e.0)
+    }
+}
+
+/// Serialize to a compact JSON string. Infallible for tree-model values;
+/// returns `Result` for signature compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&value.to_value()))
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_pretty(&value.to_value()))
+}
+
+/// Serialize compactly into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(write_compact(&value.to_value()).as_bytes())?;
+    Ok(())
+}
+
+/// Serialize with indentation into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(write_pretty(&value.to_value()).as_bytes())?;
+    writer.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize from a reader (reads to end first; the tree model has no
+/// streaming parser).
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f32>("1.5").unwrap(), 1.5);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1e30, -2.5e-12] {
+            let s = to_string(&x).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {s} -> {back}");
+        }
+        for &x in &[0.1f64, std::f64::consts::PI, 1e300] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_inf_encode_as_null_and_parse_as_nan() {
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f32>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn u64_extremes_roundtrip() {
+        let s = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
+        let s = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&s).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],[3]]");
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&s).unwrap(), v);
+
+        let t = (1u32, "hi".to_string(), Some(2.5f64));
+        let s = to_string(&t).unwrap();
+        assert_eq!(from_str::<(u32, String, Option<f64>)>(&s).unwrap(), t);
+
+        let none: Option<u32> = None;
+        assert_eq!(to_string(&none).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline2\t\"quoted\" \\ \u{1F600} \u{7} end".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Number(Number::U(1))])),
+            ("b".into(), Value::Null),
+        ]);
+        let pretty = write_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(from_str::<u32>("[1,").is_err());
+        assert!(from_str::<u32>("{\"a\":}").is_err());
+        assert!(from_str::<u32>("tru").is_err());
+        assert!(from_str::<u32>("1 trailing").is_err());
+        assert!(from_str::<u32>("").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u32>>(" [ 1 , 2 ,\n\t3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+}

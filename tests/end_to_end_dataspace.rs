@@ -15,13 +15,15 @@ fn setup() -> (ifet_sim::LabeledSeries, VisSession) {
         let fi = data.series.index_of_step(t).unwrap();
         session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 200, 200));
     }
-    session.train_classifier(
-        FeatureSpec {
-            shell_radius: 4.0,
-            ..Default::default()
-        },
-        ClassifierParams::default(),
-    );
+    session
+        .train_classifier(
+            FeatureSpec {
+                shell_radius: 4.0,
+                ..Default::default()
+            },
+            ClassifierParams::default(),
+        )
+        .unwrap();
     (data, session)
 }
 
@@ -51,7 +53,10 @@ fn generalizes_to_unseen_time_steps() {
         let truth = data.truth_frame(fi);
         let ours = session.extract_data_space(t, 0.5).unwrap();
         let f1 = ours.f1(truth);
-        assert!(f1 > 0.8, "unseen t={t}: F1 {f1} too low to claim generalization");
+        assert!(
+            f1 > 0.8,
+            "unseen t={t}: F1 {f1} too low to claim generalization"
+        );
     }
 }
 
@@ -129,7 +134,7 @@ fn mask_criterion_tracking_from_classifier_output() {
 
     // Seed at a truth voxel of the first frame.
     let seed = data.truth_frame(0).set_coords().next().unwrap();
-    let tracked = grow_4d(&data.series, &criterion, &[(0, seed.0, seed.1, seed.2)]);
+    let tracked = grow_4d(&data.series, &criterion, &[(0, seed.0, seed.1, seed.2)]).unwrap();
     // If the seed's structure is classified, it must be tracked across
     // every frame (structures only grow in this dataset).
     if tracked[0].count() > 0 {

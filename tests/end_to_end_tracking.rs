@@ -23,7 +23,7 @@ fn vortex_track_moves_deforms_and_splits() {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(40), 0x909);
     let session = VisSession::new(data.series.clone());
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
-    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
 
     // Tracked on every frame.
     for (i, &c) in result.report.voxels_per_frame.iter().enumerate() {
@@ -60,7 +60,9 @@ fn fixed_criterion_loses_decaying_swirl_adaptive_does_not() {
 
     // Fixed criterion at the first frame's core band.
     let ch0 = CumulativeHistogram::of_volume(f0, 512);
-    let fixed = session.track_fixed(&seeds, ch0.quantile(0.98), ghi + 1.0);
+    let fixed = session
+        .track_fixed(&seeds, ch0.quantile(0.98), ghi + 1.0)
+        .unwrap();
     assert_eq!(
         *fixed.report.voxels_per_frame.last().unwrap(),
         0,
@@ -77,7 +79,7 @@ fn fixed_criterion_loses_decaying_swirl_adaptive_does_not() {
         );
     }
     session.train_iatf(IatfParams::default());
-    let adaptive = session.track_adaptive(&seeds, 0.5).unwrap();
+    let adaptive = session.track_adaptive(&seeds, 0.5).unwrap().unwrap();
     for (i, &c) in adaptive.report.voxels_per_frame.iter().enumerate() {
         assert!(c > 0, "adaptive criterion lost the feature at frame {i}");
     }
@@ -89,7 +91,7 @@ fn tracked_overlay_renders_red_over_context() {
     let mut session = VisSession::new(data.series.clone());
     session.renderer.params.shading = false; // flat colors: red stays red
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
-    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
 
     let (glo, ghi) = session.series().global_range();
     let base = TransferFunction1D::band(glo, ghi, 0.3, ghi, 0.08);
@@ -108,7 +110,10 @@ fn tracked_overlay_renders_red_over_context() {
             }
         }
     }
-    assert!(red_pixels > 20, "tracked feature not visibly red ({red_pixels} px)");
+    assert!(
+        red_pixels > 20,
+        "tracked feature not visibly red ({red_pixels} px)"
+    );
 }
 
 #[test]
@@ -116,7 +121,7 @@ fn track_report_events_are_frame_ordered_and_consistent() {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(32), 0x90B);
     let session = VisSession::new(data.series.clone());
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
-    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0);
+    let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
 
     let mut prev = 0;
     for e in &result.report.events {

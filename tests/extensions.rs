@@ -17,7 +17,7 @@ fn qg_inverse_cascade_yields_merge_events_and_tracks() {
         .set_coords()
         .map(|(x, y, z)| (0usize, x, y, z))
         .collect();
-    let masks = grow_4d(&data.series, &criterion, &seeds);
+    let masks = grow_4d(&data.series, &criterion, &seeds).unwrap();
     let report = track_events(&masks);
 
     // Coherent vortices merge: component count must drop, with Merge events.
@@ -29,7 +29,9 @@ fn qg_inverse_cascade_yields_merge_events_and_tracks() {
     assert!(report.events_of(EventKind::Merge).next().is_some());
 
     // Persistent tracks record the fates.
-    let frames: Vec<&ScalarVolume> = (0..data.series.len()).map(|i| data.series.frame(i)).collect();
+    let frames: Vec<&ScalarVolume> = (0..data.series.len())
+        .map(|i| data.series.frame(i))
+        .collect();
     let set = extract_tracks(&masks, &frames);
     assert!(set.tracks.iter().any(|t| t.ending == TrackEnding::Merged));
     assert!(set
@@ -72,7 +74,8 @@ fn multivariate_classifier_beats_single_variables() {
         &ms,
         std::slice::from_ref(&paints),
         params,
-    );
+    )
+    .unwrap();
     let multi_f1 = multi
         .extract_mask_multi(ms.frame(fi), ms.normalized_time(paint_step), 0.5)
         .f1(&truth[fi]);
@@ -83,9 +86,14 @@ fn multivariate_classifier_beats_single_variables() {
         &single_series,
         &[paints],
         params,
-    );
+    )
+    .unwrap();
     let single_f1 = single
-        .extract_mask(single_series.frame(fi), single_series.normalized_time(paint_step), 0.5)
+        .extract_mask(
+            single_series.frame(fi),
+            single_series.normalized_time(paint_step),
+            0.5,
+        )
         .f1(&truth[fi]);
 
     assert!(
@@ -114,7 +122,8 @@ fn svm_and_nn_agree_on_an_easy_task() {
         &data.series,
         &[make_paints()],
         ClassifierParams::default(),
-    );
+    )
+    .unwrap();
     let svm = DataSpaceClassifier::train_svm(
         FeatureExtractor::new(spec),
         &data.series,
@@ -125,12 +134,16 @@ fn svm_and_nn_agree_on_an_easy_task() {
             max_passes: 10,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let tn = data.series.normalized_time(t);
     let nn_f1 = nn.extract_mask(data.series.frame(fi), tn, 0.5).f1(truth);
     let svm_f1 = svm.extract_mask(data.series.frame(fi), tn, 0.5).f1(truth);
     assert!(nn_f1 > 0.8, "NN F1 {nn_f1}");
-    assert!(svm_f1 > 0.7, "SVM F1 {svm_f1} — 'promising results' (Section 8)");
+    assert!(
+        svm_f1 > 0.7,
+        "SVM F1 {svm_f1} — 'promising results' (Section 8)"
+    );
 }
 
 #[test]
@@ -207,14 +220,16 @@ fn pruned_classifier_network_still_extracts() {
     let mut session = VisSession::new(data.series.clone());
     let mut oracle = PaintOracle::new(0xEA);
     session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150));
-    session.train_classifier(
-        FeatureSpec {
-            position: true, // superfluous here
-            shell_radius: 3.0,
-            ..Default::default()
-        },
-        ClassifierParams::default(),
-    );
+    session
+        .train_classifier(
+            FeatureSpec {
+                position: true, // superfluous here
+                shell_radius: 3.0,
+                ..Default::default()
+            },
+            ClassifierParams::default(),
+        )
+        .unwrap();
     let net = session.classifier().unwrap().network();
     let ranked = introspect::rank_inputs(net);
     let (least, _) = *ranked.last().unwrap();

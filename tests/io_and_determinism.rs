@@ -58,7 +58,9 @@ fn whole_figure_pipeline_is_deterministic() {
         let mut oracle = PaintOracle::new(0x12);
         let fi = data.series.index_of_step(310).unwrap();
         session.add_paints(oracle.paint_from_truth(310, data.truth_frame(fi), 80, 80));
-        session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+        session
+            .train_classifier(FeatureSpec::default(), ClassifierParams::default())
+            .unwrap();
         session.extract_data_space(310, 0.5).unwrap()
     };
     assert_eq!(run(), run());
@@ -89,7 +91,9 @@ fn classifier_network_roundtrips_as_json() {
     let mut oracle = PaintOracle::new(0x14);
     let fi = data.series.index_of_step(130).unwrap();
     session.add_paints(oracle.paint_from_truth(130, data.truth_frame(fi), 60, 60));
-    session.train_classifier(FeatureSpec::default(), ClassifierParams::default());
+    session
+        .train_classifier(FeatureSpec::default(), ClassifierParams::default())
+        .unwrap();
 
     let net = session.classifier().unwrap().network();
     let restored = Mlp::from_json(&net.to_json()).unwrap();

@@ -62,7 +62,7 @@ fn bench_octree(c: &mut Criterion) {
 
 fn bench_region_grow_and_components(c: &mut Criterion) {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(48), 1);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
     let truth0 = data.truth_frame(0);
     let (mut cx, mut cy, mut cz, mut n) = (0usize, 0usize, 0usize, 0usize);
     for (x, y, z) in truth0.set_coords() {
@@ -92,7 +92,7 @@ fn bench_multires_tracking(c: &mut Criterion) {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(64), 2);
     let (glo, ghi) = data.series.global_range();
     let _ = (glo, ghi);
-    let criterion_band = FixedBandCriterion::new(0.5, 10.0, data.series.len());
+    let criterion_band = FixedBandCriterion::new(0.5, 10.0, data.series.len()).unwrap();
     let truth0 = data.truth_frame(0);
     let (mut cx, mut cy, mut cz, mut n) = (0usize, 0usize, 0usize, 0usize);
     for (x, y, z) in truth0.set_coords() {

@@ -13,7 +13,7 @@ fn setup(n: usize) -> (ifet_sim::LabeledSeries, VisSession) {
         dims: Dims3::cube(n),
         ..Default::default()
     });
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     for (t, tn) in [(195u32, 0.0f32), (255, 1.0)] {
         let (lo, hi) = ring_value_band(tn);
@@ -64,9 +64,11 @@ fn bench_dataspace_classify(c: &mut Criterion) {
     let (data, _) = setup(64);
     let t = 225;
     let fi = data.series.index_of_step(t).unwrap();
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let mut oracle = PaintOracle::new(3);
-    session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150));
+    session
+        .add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150))
+        .unwrap();
     session
         .train_classifier(FeatureSpec::default(), ClassifierParams::default())
         .unwrap();

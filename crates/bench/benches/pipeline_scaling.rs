@@ -17,9 +17,11 @@ fn bench_scaling(c: &mut Criterion) {
         });
     let t0 = data.series.steps()[0];
     let fi = 0;
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let mut oracle = PaintOracle::new(1);
-    session.add_paints(oracle.paint_from_truth(t0, data.truth_frame(fi), 120, 120));
+    session
+        .add_paints(oracle.paint_from_truth(t0, data.truth_frame(fi), 120, 120))
+        .unwrap();
     session
         .train_classifier(FeatureSpec::default(), ClassifierParams::default())
         .unwrap();

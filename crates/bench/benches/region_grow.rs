@@ -34,7 +34,7 @@ fn drifting_sphere_series() -> TimeSeries {
 
 fn bench_grow_parallel_vs_serial(c: &mut Criterion) {
     let series = drifting_sphere_series();
-    let criterion = FixedBandCriterion::new(0.25, 2.0, series.len());
+    let criterion = FixedBandCriterion::new(0.25, 2.0, series.len()).unwrap();
     let seeds: Vec<Seed4> = vec![(0, 20, 32, 32)];
 
     // Sanity: the two paths agree before we time them.
@@ -60,11 +60,11 @@ fn bench_grow_parallel_vs_serial(c: &mut Criterion) {
 fn bench_criterion_precompute(c: &mut Criterion) {
     let series = drifting_sphere_series();
     let n = series.len();
-    let band = FixedBandCriterion::new(0.25, 2.0, n);
+    let band = FixedBandCriterion::new(0.25, 2.0, n).unwrap();
     let tfs = (0..n)
         .map(|_| TransferFunction1D::band(0.0, 1.0, 0.25, 1.0, 1.0))
         .collect::<Vec<_>>();
-    let adaptive = AdaptiveTfCriterion::new(tfs, 0.5);
+    let adaptive = AdaptiveTfCriterion::new(tfs, 0.5).unwrap();
 
     // The per-voxel virtual-call path the tables replace: one full frame of
     // `accept` calls vs. one `precompute_frame` table build.

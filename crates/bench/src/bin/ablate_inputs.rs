@@ -25,7 +25,7 @@ fn run_variant(
     }
     let iatf = b.train(series);
 
-    let session = VisSession::new(series.clone());
+    let session = VisSession::new(series.clone()).unwrap();
     series
         .steps()
         .to_vec()

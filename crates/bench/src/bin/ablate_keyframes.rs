@@ -16,7 +16,7 @@ fn evaluate(data: &ifet_sim::LabeledSeries, params: &ShockBubbleParams, key_step
     let series = &data.series;
     let (glo, ghi) = series.global_range();
     let span = (params.t_end - params.t_start) as f32;
-    let mut session = VisSession::new(series.clone());
+    let mut session = VisSession::new(series.clone()).unwrap();
     for &t in key_steps {
         let tn = (t - params.t_start) as f32 / span;
         let (lo, hi) = params.ring_band(tn);

@@ -30,9 +30,11 @@ fn main() {
     ];
 
     for (name, shell, radius) in variants {
-        let mut session = VisSession::new(data.series.clone());
+        let mut session = VisSession::new(data.series.clone()).unwrap();
         let mut oracle = PaintOracle::new(0xAB1E);
-        session.add_paints(oracle.paint_from_truth(t, truth, 250, 250));
+        session
+            .add_paints(oracle.paint_from_truth(t, truth, 250, 250))
+            .unwrap();
         let spec = FeatureSpec {
             value: true,
             shell,

@@ -82,7 +82,7 @@ fn main() {
     let data = ifet_sim::shock_bubble(dims, 0x5A3);
     let series = &data.series;
     let (glo, ghi) = series.global_range();
-    let session = VisSession::new(series.clone());
+    let session = VisSession::new(series.clone()).unwrap();
 
     let key_frames: Vec<(u32, TransferFunction1D)> = [(195u32, 0.0f32), (225, 0.5), (255, 1.0)]
         .iter()

@@ -20,7 +20,7 @@ fn main() {
 
     // Track everything above the vortex-core level, seeded from every core
     // voxel of the first frame (the "track all features" mode).
-    let criterion = MaskCriterion::new(data.truth.clone());
+    let criterion = MaskCriterion::new(data.truth.clone()).unwrap();
     let seeds: Vec<Seed4> = data
         .truth_frame(0)
         .set_coords()

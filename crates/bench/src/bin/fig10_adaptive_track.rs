@@ -19,7 +19,7 @@ fn main() {
         dims,
         ..Default::default()
     });
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let steps: Vec<u32> = data.series.steps().to_vec();
 

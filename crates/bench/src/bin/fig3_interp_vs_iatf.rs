@@ -14,7 +14,7 @@ fn main() {
         Dims3::cube(64)
     };
     let data = ifet_sim::shock_bubble(dims, 0xF163);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
 
     // Key frames at the first and last steps only (as in the figure).

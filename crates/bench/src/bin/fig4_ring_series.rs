@@ -14,7 +14,7 @@ fn main() {
         Dims3::cube(64)
     };
     let data = ifet_sim::shock_bubble(dims, 0xF164);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let steps: Vec<u32> = data.series.steps().to_vec();
 

@@ -18,7 +18,7 @@ fn main() {
         seed: 0xF165,
         ..Default::default()
     });
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let steps: Vec<u32> = data.series.steps().to_vec();
 

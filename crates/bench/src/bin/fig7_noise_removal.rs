@@ -16,7 +16,7 @@ fn main() {
         Dims3::cube(64)
     };
     let data = ifet_sim::reionization(dims, 0xF167);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
 
     let t = 310;
     let fi = data.series.index_of_step(t).unwrap();
@@ -27,7 +27,7 @@ fn main() {
     // negatives on noise/background.
     let mut oracle = PaintOracle::new(0xF167);
     let paints = oracle.paint_from_truth(t, truth, 250, 250);
-    session.add_paints(paints);
+    session.add_paints(paints).unwrap();
     let spec = FeatureSpec {
         shell_radius: 4.0,
         ..Default::default()

@@ -13,7 +13,7 @@ fn main() {
         Dims3::cube(64)
     };
     let data = ifet_sim::reionization(dims, 0xF168);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
 
     // Paint only on the first and last steps (the paper trains on 130 & 310).
     let train_steps = [130u32, 310];
@@ -21,7 +21,7 @@ fn main() {
     for &t in &train_steps {
         let fi = data.series.index_of_step(t).unwrap();
         let paints = oracle.paint_from_truth(t, data.truth_frame(fi), 200, 200);
-        session.add_paints(paints);
+        session.add_paints(paints).unwrap();
     }
     session
         .train_classifier(

@@ -15,7 +15,7 @@ fn main() {
         Dims3::cube(48)
     };
     let data = ifet_sim::turbulent_vortex(dims, 0xF169);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
 
     // Seed at the ground-truth centroid of the first frame.
     let truth0 = data.truth_frame(0);

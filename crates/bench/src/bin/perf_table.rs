@@ -28,7 +28,7 @@ fn main() {
         dims: Dims3::cube(n),
         ..Default::default()
     });
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     for (t, tn) in [(195u32, 0.0f32), (255, 1.0)] {
         let (lo, hi) = ring_value_band(tn);
@@ -76,8 +76,8 @@ fn main() {
     let mut oracle = PaintOracle::new(7);
     let fi = data.series.index_of_step(t_mid).unwrap();
     let paints = oracle.paint_from_truth(t_mid, data.truth_frame(fi), 150, 150);
-    let mut s2 = VisSession::new(data.series.clone());
-    s2.add_paints(paints);
+    let mut s2 = VisSession::new(data.series.clone()).unwrap();
+    s2.add_paints(paints).unwrap();
     s2.train_classifier(FeatureSpec::default(), ClassifierParams::default())
         .expect("training failed");
     let (_, classify_s) = timed(|| s2.extract_data_space(t_mid, 0.5).unwrap());

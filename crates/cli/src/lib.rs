@@ -224,7 +224,7 @@ pub fn cmd_train_iatf(args: &Args) -> Result<String, String> {
         return Err("train-iatf needs at least one --key T:LO:HI".into());
     }
     let (glo, ghi) = series.global_range();
-    let mut session = VisSession::new(series);
+    let mut session = VisSession::new(series).unwrap();
     for k in keys {
         let (t, lo, hi) = parse_key_spec(k)?;
         session.add_key_frame(t, TransferFunction1D::band(glo, ghi, lo, hi, 1.0));
@@ -257,7 +257,7 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
     let size: usize = args.opt_parse("size", 256usize)?;
     let series = load_series(dir)?;
     let (glo, ghi) = series.global_range();
-    let session = VisSession::new(series.clone());
+    let session = VisSession::new(series.clone()).unwrap();
 
     let tf = if let Some(path) = args.opt("iatf") {
         let iatf = load_iatf(path)?;
@@ -285,28 +285,32 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
     let series = load_series(dir)?;
     let (glo, ghi) = series.global_range();
     let _ = glo;
-    let session = VisSession::new(series.clone());
+    let session = VisSession::new(series.clone()).unwrap();
 
     // The frontier-parallel grower fans out per-frame work; `--threads`
     // pins its worker count (0 = default sizing).
     let run_tracking = |session: &VisSession| -> Result<TrackResult, String> {
-        let result = if let Some(path) = args.opt("iatf") {
+        if let Some(path) = args.opt("iatf") {
             let iatf = load_iatf(path)?;
             let tau: f32 = args.opt_parse("tau", 0.5f32)?;
             let tfs: Vec<TransferFunction1D> = series
                 .iter()
                 .map(|(t, frame)| iatf.generate(t, frame))
                 .collect();
-            let criterion = AdaptiveTfCriterion::new(tfs, tau);
-            session.track_with(&criterion, &[(0, sx, sy, sz)])
+            let criterion =
+                AdaptiveTfCriterion::new(tfs, tau).map_err(|e| format!("tracking failed: {e}"))?;
+            session
+                .track_with(&criterion, &[(0, sx, sy, sz)])
+                .map_err(|e| format!("tracking failed: {e}"))
         } else if let Some(band) = args.opt("band") {
             let (lo, hi) = parse_band(band)?;
             let _ = ghi;
-            session.track_fixed(&[(0, sx, sy, sz)], lo, hi)
+            session
+                .track_fixed(&[(0, sx, sy, sz)], lo, hi)
+                .map_err(|e| format!("tracking failed: {e}"))
         } else {
-            return Err("track needs --iatf FILE [--tau V] or --band LO:HI".into());
-        };
-        result.map_err(|e| format!("tracking failed: {e}"))
+            Err("track needs --iatf FILE [--tau V] or --band LO:HI".into())
+        }
     };
     let result = if threads == 0 {
         run_tracking(&session)?
@@ -335,6 +339,165 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `session` subcommand dispatcher: versioned artifact save / load / resume.
+pub fn cmd_session(args: &Args) -> Result<String, String> {
+    let action = args
+        .positional
+        .first()
+        .ok_or("session needs an action: save, load, or resume")?;
+    match action.as_str() {
+        "save" => cmd_session_save(args),
+        "load" => cmd_session_load(args),
+        "resume" => cmd_session_resume(args),
+        other => Err(format!(
+            "unknown session action {other:?} (try save, load, resume)"
+        )),
+    }
+}
+
+/// `session save`: build up session state (key frames → IATF, optionally a
+/// tracking run) and persist it as a versioned artifact. With `--rounds N`
+/// the tracking run may pause mid-growth; the checkpoint is saved too and
+/// `session resume` finishes it later.
+fn cmd_session_save(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let out = args.require("out")?;
+    let series = load_series(dir)?;
+    let (glo, ghi) = series.global_range();
+    let mut session = VisSession::new(series).map_err(|e| e.to_string())?;
+
+    let keys = args.all("key");
+    for k in keys {
+        let (t, lo, hi) = parse_key_spec(k)?;
+        session.add_key_frame(t, TransferFunction1D::band(glo, ghi, lo, hi, 1.0));
+    }
+    let mut notes = Vec::new();
+    if !keys.is_empty() {
+        let epochs: usize = args.opt_parse("epochs", 600usize)?;
+        session.train_iatf(IatfParams {
+            epochs,
+            ..Default::default()
+        });
+        notes.push(format!("trained IATF on {} key frames", keys.len()));
+    }
+
+    if let Some(seed) = args.opt("seed") {
+        let (sx, sy, sz) = parse_voxel(seed)?;
+        let spec = if let Some(band) = args.opt("band") {
+            let (lo, hi) = parse_band(band)?;
+            CriterionSpec::FixedBand { lo, hi }
+        } else if session.iatf().is_some() {
+            CriterionSpec::AdaptiveTf {
+                tau: args.opt_parse("tau", 0.5f32)?,
+            }
+        } else {
+            return Err(
+                "session save --seed needs --band LO:HI or --key frames (adaptive criterion)"
+                    .into(),
+            );
+        };
+        let max_rounds = args
+            .opt("rounds")
+            .map(|r| {
+                r.parse::<u64>()
+                    .map_err(|_| format!("invalid --rounds: {r:?}"))
+            })
+            .transpose()?;
+        let status = session
+            .run_track(spec, &[(0, sx, sy, sz)], max_rounds)
+            .map_err(|e| format!("tracking failed: {e}"))?;
+        match status {
+            TrackStatus::Completed => notes.push("tracking completed".into()),
+            TrackStatus::Paused { rounds } => notes.push(format!(
+                "tracking paused after {rounds} rounds (checkpoint included)"
+            )),
+        }
+    }
+
+    session.save(out).map_err(|e| e.to_string())?;
+    let mut msg = format!("saved session artifact -> {out}");
+    for n in notes {
+        msg.push_str(&format!("\n  {n}"));
+    }
+    Ok(msg)
+}
+
+/// Human-readable inventory of a loaded session.
+fn session_inventory(session: &VisSession) -> String {
+    let mut out = String::new();
+    let steps: Vec<u32> = session.key_frames().iter().map(|(t, _)| *t).collect();
+    out.push_str(&format!("key frames: {} {steps:?}\n", steps.len()));
+    out.push_str(&format!(
+        "IATF: {}\n",
+        if session.iatf().is_some() {
+            "trained"
+        } else {
+            "absent"
+        }
+    ));
+    let painted: usize = session.paints().iter().map(|p| p.len()).sum();
+    out.push_str(&format!(
+        "paints: {} sets, {painted} voxels\n",
+        session.paints().len()
+    ));
+    out.push_str(&format!(
+        "classifier: {}\n",
+        if session.classifier().is_some() {
+            "trained"
+        } else {
+            "absent"
+        }
+    ));
+    out.push_str(&format!("completed tracks: {}\n", session.tracks().len()));
+    for (i, t) in session.tracks().iter().enumerate() {
+        let total: usize = t.result.report.voxels_per_frame.iter().sum();
+        out.push_str(&format!(
+            "  #{i}: {:?} seeds {:?} -> {total} voxels, {} events\n",
+            t.spec,
+            t.seeds,
+            t.result.report.events.len()
+        ));
+    }
+    match session.pending_track() {
+        Some(p) => out.push_str(&format!(
+            "pending checkpoint: {:?} at round {}\n",
+            p.spec, p.checkpoint.rounds
+        )),
+        None => out.push_str("pending checkpoint: none\n"),
+    }
+    out
+}
+
+/// `session load`: open an artifact against its series and print what is in
+/// it (also serving as an integrity check — corrupt files fail here).
+fn cmd_session_load(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let path = args.require("session")?;
+    let series = load_series(dir)?;
+    let session = VisSession::load(series, path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "session artifact {path}\n{}",
+        session_inventory(&session)
+    ))
+}
+
+/// `session resume`: finish the artifact's pending tracking run from its
+/// checkpoint and write the completed session back out.
+fn cmd_session_resume(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    let path = args.require("session")?;
+    let out = args.opt("out").unwrap_or(path);
+    let series = load_series(dir)?;
+    let mut session = VisSession::load(series, path).map_err(|e| e.to_string())?;
+    let result = session.resume_track().map_err(|e| e.to_string())?;
+    let total: usize = result.report.voxels_per_frame.iter().sum();
+    let events = result.report.events.len();
+    session.save(out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "resumed tracking to completion: {total} voxels, {events} events\nsaved -> {out}"
+    ))
+}
+
 /// `suggest-keys` subcommand: where should the user paint key frames?
 pub fn cmd_suggest_keys(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
@@ -355,6 +518,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "train-iatf" => cmd_train_iatf(args),
         "render" => cmd_render(args),
         "track" => cmd_track(args),
+        "session" => cmd_session(args),
         "suggest-keys" => cmd_suggest_keys(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -371,6 +535,10 @@ USAGE:
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
   ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
   ifet track --data DIR --seed X,Y,Z (--iatf FILE [--tau V] | --band LO:HI) [--threads N]
+  ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
+                    [--seed X,Y,Z (--band LO:HI | --tau V)] [--rounds N]
+  ifet session load --data DIR --session FILE
+  ifet session resume --data DIR --session FILE [--out FILE]
   ifet suggest-keys --data DIR [--max N]
 
 datasets: shock-bubble, combustion-jet, reionization, turbulent-vortex,
@@ -470,6 +638,98 @@ mod tests {
         assert!(out.contains("suggested key frames"), "{out}");
         assert!(out.contains("195"), "endpoints must be included: {out}");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn session_save_load_resume_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_sess_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Pick the hottest voxel of frame 0 and a band around it so the
+        // fixed-band tracking has something to grow from.
+        let series = load_series(&dirs).unwrap();
+        let f0 = series.frame(0);
+        let (mut best_i, mut best_v) = (0usize, f32::MIN);
+        for (i, &v) in f0.as_slice().iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best_i = i;
+            }
+        }
+        let (x, y, z) = series.dims().coords(best_i);
+        let (glo, ghi) = series.global_range();
+        let lo = best_v - 0.25 * (ghi - glo);
+
+        // A full run and a run paused at round 0 (checkpoint on disk).
+        let full = format!("{dirs}/full.ifet");
+        let part = format!("{dirs}/part.ifet");
+        let msg = run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {full} --seed {x},{y},{z} --band {lo}:{ghi}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(msg.contains("tracking completed"), "{msg}");
+        let msg = run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {part} --seed {x},{y},{z} --band {lo}:{ghi} --rounds 0"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(msg.contains("tracking paused"), "{msg}");
+
+        // Inventory shows the checkpoint.
+        let inv = run(&parse_args(&argv(&format!(
+            "session load --data {dirs} --session {part}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(inv.contains("pending checkpoint: FixedBand"), "{inv}");
+
+        // Resume finishes the run; the resulting artifact is byte-identical
+        // to the uninterrupted one (growth is a fixpoint).
+        let resumed = format!("{dirs}/resumed.ifet");
+        let msg = run(&parse_args(&argv(&format!(
+            "session resume --data {dirs} --session {part} --out {resumed}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(msg.contains("resumed tracking to completion"), "{msg}");
+        assert_eq!(
+            std::fs::read(&full).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "resumed artifact must match the uninterrupted run byte-for-byte"
+        );
+
+        // A flipped byte anywhere makes `session load` fail loudly.
+        let mut corrupt = std::fs::read(&full).unwrap();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let bad = format!("{dirs}/bad.ifet");
+        std::fs::write(&bad, &corrupt).unwrap();
+        let err = run(&parse_args(&argv(&format!(
+            "session load --data {dirs} --session {bad}"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("malformed"),
+            "{err}"
+        );
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn session_needs_action() {
+        let a = parse_args(&argv("session --data d")).unwrap();
+        assert!(run(&a).unwrap_err().contains("save, load, or resume"));
+        let a = parse_args(&argv("session frobnicate --data d")).unwrap();
+        assert!(run(&a).unwrap_err().contains("unknown session action"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! // A synthetic 4D dataset (the paper's argon-bubble analog) with ground truth.
 //! let data = ifet_sim::shock_bubble(Dims3::cube(32), 42);
-//! let mut session = VisSession::new(data.series.clone());
+//! let mut session = VisSession::new(data.series.clone()).unwrap();
 //!
 //! // The user paints 1D transfer functions on two key frames...
 //! let (lo, hi) = session.series().global_range();
@@ -41,17 +41,25 @@
 //! | `ifet_core` | this façade: [`VisSession`], metrics, parallel pipeline |
 
 pub mod metrics;
+pub mod persist;
 pub mod pipeline;
 pub mod session;
 
 pub use metrics::Scores;
-pub use session::{TrackResult, VisSession};
+pub use persist::PersistError;
+pub use session::{
+    CompletedTrack, CriterionSpec, PendingTrack, SessionError, TrackResult, TrackStatus, VisSession,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::metrics::Scores;
+    pub use crate::persist::{load_session_bytes, save_session_bytes, PersistError};
     pub use crate::pipeline;
-    pub use crate::session::{TrackResult, VisSession};
+    pub use crate::session::{
+        CompletedTrack, CriterionSpec, PendingTrack, SessionError, TrackResult, TrackStatus,
+        VisSession,
+    };
     pub use ifet_extract::{
         ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, LearningEngine,
         PaintOracle, ShellMode, TrainError,

@@ -3,6 +3,7 @@
 //! IATF training, painted data-space extraction, tracking, and rendering,
 //! all against one loaded time series.
 
+use crate::persist::{self, PersistError};
 use ifet_extract::paint::PaintSet;
 use ifet_extract::{
     ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, TrainError,
@@ -10,16 +11,115 @@ use ifet_extract::{
 use ifet_render::{render_tracking_overlay, Camera, Image, Renderer};
 use ifet_tf::{ColorMap, Iatf, IatfBuilder, IatfParams, TransferFunction1D};
 use ifet_track::{
-    grow_4d, track_events, AdaptiveTfCriterion, FixedBandCriterion, GrowError, GrowthCriterion,
-    Seed4, TrackReport,
+    grow_4d, track_events, AdaptiveTfCriterion, CriterionError, FixedBandCriterion, GrowCheckpoint,
+    GrowError, Grower, GrowthCriterion, MaskCriterion, Seed4, TrackReport,
 };
 use ifet_volume::{Mask3, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Result of a tracking run: per-frame masks plus the event report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrackResult {
     pub masks: Vec<Mask3>,
     pub report: TrackReport,
+}
+
+/// A growth criterion *by name* — the serializable recipe a session stores so
+/// a tracking run (or its checkpoint) can be re-materialized after a reload.
+/// Resolution happens against the session's current IATF/classifier state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CriterionSpec {
+    /// Conventional fixed value band `[lo, hi]`.
+    FixedBand { lo: f32, hi: f32 },
+    /// Adaptive-TF opacity threshold (requires a trained IATF).
+    AdaptiveTf { tau: f32 },
+    /// Data-space classifier certainty threshold (requires a trained
+    /// classifier); frames are pre-classified into masks.
+    DataSpace { tau: f32 },
+}
+
+/// A finished tracking run the session remembers (and persists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedTrack {
+    pub spec: CriterionSpec,
+    pub seeds: Vec<Seed4>,
+    pub result: TrackResult,
+}
+
+/// A tracking run that was interrupted mid-growth; `checkpoint` holds the
+/// exact frontier state needed to finish it with [`VisSession::resume_track`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingTrack {
+    pub spec: CriterionSpec,
+    pub seeds: Vec<Seed4>,
+    pub checkpoint: GrowCheckpoint,
+}
+
+/// Outcome of [`VisSession::run_track`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackStatus {
+    /// The run reached its fixpoint; the result joined [`VisSession::tracks`].
+    Completed,
+    /// The round budget ran out first; a checkpoint is parked as the
+    /// session's pending track (and rides along in saved artifacts).
+    Paused { rounds: u64 },
+}
+
+/// Why a session operation was refused. These were once asserts (the ROADMAP
+/// "typed errors" item); each is a caller mistake a UI or CLI can produce, so
+/// they are reported instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// A session needs at least one frame.
+    EmptySeries,
+    /// A paint set or key frame references a step the series does not have.
+    StepNotInSeries { step: u32 },
+    /// An adaptive-TF operation needs a trained IATF first.
+    NoIatf,
+    /// A data-space operation needs a trained classifier first.
+    NoClassifier,
+    /// Criterion construction rejected its parameters.
+    Criterion(CriterionError),
+    /// Region growing rejected the seeds or checkpoint.
+    Grow(GrowError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::EmptySeries => write!(f, "cannot open a session on an empty series"),
+            SessionError::StepNotInSeries { step } => {
+                write!(f, "step {step} not in the series")
+            }
+            SessionError::NoIatf => write!(f, "no trained IATF in this session"),
+            SessionError::NoClassifier => write!(f, "no trained classifier in this session"),
+            SessionError::Criterion(e) => write!(f, "criterion: {e}"),
+            SessionError::Grow(e) => write!(f, "tracking: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Criterion(e) => Some(e),
+            SessionError::Grow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CriterionError> for SessionError {
+    fn from(e: CriterionError) -> Self {
+        SessionError::Criterion(e)
+    }
+}
+
+impl From<GrowError> for SessionError {
+    fn from(e: GrowError) -> Self {
+        SessionError::Grow(e)
+    }
 }
 
 /// One loaded dataset plus everything the user has taught the system so far.
@@ -31,26 +131,56 @@ pub struct VisSession {
     iatf_params: IatfParams,
     paints: Vec<PaintSet>,
     classifier: Option<DataSpaceClassifier>,
+    tracks: Vec<CompletedTrack>,
+    pending: Option<PendingTrack>,
     pub renderer: Renderer,
     pub colormap: ColorMap,
 }
 
 impl VisSession {
     /// Open a session on a time series.
-    pub fn new(series: TimeSeries) -> Self {
-        assert!(
-            !series.is_empty(),
-            "cannot open a session on an empty series"
-        );
-        Self {
+    pub fn new(series: TimeSeries) -> Result<Self, SessionError> {
+        if series.is_empty() {
+            return Err(SessionError::EmptySeries);
+        }
+        Ok(Self {
             series,
             key_frames: Vec::new(),
             iatf: None,
             iatf_params: IatfParams::default(),
             paints: Vec::new(),
             classifier: None,
+            tracks: Vec::new(),
+            pending: None,
             renderer: Renderer::default(),
             colormap: ColorMap::Rainbow,
+        })
+    }
+
+    /// Rebuild a session from persisted parts (see [`crate::persist`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        series: TimeSeries,
+        key_frames: Vec<(u32, TransferFunction1D)>,
+        iatf: Option<Iatf>,
+        iatf_params: IatfParams,
+        paints: Vec<PaintSet>,
+        classifier: Option<DataSpaceClassifier>,
+        colormap: ColorMap,
+        tracks: Vec<CompletedTrack>,
+        pending: Option<PendingTrack>,
+    ) -> Self {
+        Self {
+            series,
+            key_frames,
+            iatf,
+            iatf_params,
+            paints,
+            classifier,
+            tracks,
+            pending,
+            renderer: Renderer::default(),
+            colormap,
         }
     }
 
@@ -164,15 +294,23 @@ impl VisSession {
     // ---- Data-space extraction (paper Section 4.3) ----
 
     /// Add painted voxels for a frame. Invalidates the trained classifier.
-    pub fn add_paints(&mut self, paints: PaintSet) -> &mut Self {
-        assert!(
-            self.series.index_of_step(paints.step).is_some(),
-            "painted step {} not in series",
-            paints.step
-        );
+    pub fn add_paints(&mut self, paints: PaintSet) -> Result<&mut Self, SessionError> {
+        if self.series.index_of_step(paints.step).is_none() {
+            return Err(SessionError::StepNotInSeries { step: paints.step });
+        }
         self.paints.push(paints);
         self.classifier = None;
-        self
+        Ok(self)
+    }
+
+    /// All paint sets registered so far.
+    pub fn paints(&self) -> &[PaintSet] {
+        &self.paints
+    }
+
+    /// Parameters the current IATF was (or will be) trained with.
+    pub fn iatf_params(&self) -> IatfParams {
+        self.iatf_params
     }
 
     /// Train the data-space classifier from all paints so far.
@@ -206,16 +344,29 @@ impl VisSession {
         &self,
         seeds: &[Seed4],
         tau: f32,
-    ) -> Option<Result<TrackResult, GrowError>> {
-        let tfs = self.adaptive_tfs()?;
-        let criterion = AdaptiveTfCriterion::new(tfs, tau);
-        Some(self.track_with(&criterion, seeds))
+    ) -> Option<Result<TrackResult, SessionError>> {
+        self.adaptive_tfs()?;
+        Some(self.track_spec(&CriterionSpec::AdaptiveTf { tau }, seeds))
     }
 
     /// Track from seeds with the conventional fixed value band.
-    pub fn track_fixed(&self, seeds: &[Seed4], lo: f32, hi: f32) -> Result<TrackResult, GrowError> {
-        let criterion = FixedBandCriterion::new(lo, hi, self.series.len());
-        self.track_with(&criterion, seeds)
+    pub fn track_fixed(
+        &self,
+        seeds: &[Seed4],
+        lo: f32,
+        hi: f32,
+    ) -> Result<TrackResult, SessionError> {
+        self.track_spec(&CriterionSpec::FixedBand { lo, hi }, seeds)
+    }
+
+    /// Track with a named criterion, without recording the run.
+    fn track_spec(
+        &self,
+        spec: &CriterionSpec,
+        seeds: &[Seed4],
+    ) -> Result<TrackResult, SessionError> {
+        let criterion = self.resolve_criterion(spec)?;
+        Ok(self.track_with(criterion.as_ref(), seeds)?)
     }
 
     /// Track with an arbitrary criterion. Fails with [`GrowError`] when the
@@ -228,6 +379,115 @@ impl VisSession {
         let masks = grow_4d(&self.series, criterion, seeds)?;
         let report = track_events(&masks);
         Ok(TrackResult { masks, report })
+    }
+
+    /// Materialize a [`CriterionSpec`] against the session's current state.
+    pub fn resolve_criterion(
+        &self,
+        spec: &CriterionSpec,
+    ) -> Result<Box<dyn GrowthCriterion>, SessionError> {
+        match spec {
+            CriterionSpec::FixedBand { lo, hi } => Ok(Box::new(FixedBandCriterion::new(
+                *lo,
+                *hi,
+                self.series.len(),
+            )?)),
+            CriterionSpec::AdaptiveTf { tau } => {
+                let tfs = self.adaptive_tfs().ok_or(SessionError::NoIatf)?;
+                Ok(Box::new(AdaptiveTfCriterion::new(tfs, *tau)?))
+            }
+            CriterionSpec::DataSpace { tau } => {
+                let clf = self.classifier.as_ref().ok_or(SessionError::NoClassifier)?;
+                let masks: Vec<Mask3> = clf
+                    .classify_series(&self.series)
+                    .iter()
+                    .map(|c| Mask3::threshold(c, *tau))
+                    .collect();
+                Ok(Box::new(MaskCriterion::new(masks)?))
+            }
+        }
+    }
+
+    /// Run (or start) a tracking job the session remembers. With
+    /// `max_rounds: None` the run always completes; with a budget it may
+    /// instead pause, parking a resumable checkpoint that [`Self::save`]
+    /// persists and [`Self::resume_track`] finishes — possibly in a later
+    /// process.
+    pub fn run_track(
+        &mut self,
+        spec: CriterionSpec,
+        seeds: &[Seed4],
+        max_rounds: Option<u64>,
+    ) -> Result<TrackStatus, SessionError> {
+        let criterion = self.resolve_criterion(&spec)?;
+        let mut grower = Grower::start(&self.series, criterion.as_ref(), seeds)?;
+        if grower.run(max_rounds) {
+            let masks = grower.into_masks();
+            let report = track_events(&masks);
+            self.tracks.push(CompletedTrack {
+                spec,
+                seeds: seeds.to_vec(),
+                result: TrackResult { masks, report },
+            });
+            Ok(TrackStatus::Completed)
+        } else {
+            let rounds = grower.rounds();
+            self.pending = Some(PendingTrack {
+                spec,
+                seeds: seeds.to_vec(),
+                checkpoint: grower.checkpoint(),
+            });
+            Ok(TrackStatus::Paused { rounds })
+        }
+    }
+
+    /// Finish the pending tracking run from its checkpoint. The completed
+    /// result is identical to what an uninterrupted run would have produced
+    /// (growth is a fixpoint, independent of round partitioning).
+    pub fn resume_track(&mut self) -> Result<&TrackResult, PersistError> {
+        let pending = self.pending.take().ok_or(PersistError::NoCheckpoint)?;
+        let criterion =
+            self.resolve_criterion(&pending.spec)
+                .map_err(|e| PersistError::Malformed {
+                    section: "CHECKPT".into(),
+                    reason: format!("checkpoint criterion cannot be rebuilt: {e}"),
+                })?;
+        let mut grower = Grower::resume(&self.series, criterion.as_ref(), pending.checkpoint)
+            .map_err(PersistError::Grow)?;
+        grower.run(None);
+        let masks = grower.into_masks();
+        let report = track_events(&masks);
+        self.tracks.push(CompletedTrack {
+            spec: pending.spec,
+            seeds: pending.seeds,
+            result: TrackResult { masks, report },
+        });
+        Ok(&self.tracks.last().unwrap().result)
+    }
+
+    /// Completed tracking runs, in execution order.
+    pub fn tracks(&self) -> &[CompletedTrack] {
+        &self.tracks
+    }
+
+    /// The interrupted tracking run awaiting [`Self::resume_track`], if any.
+    pub fn pending_track(&self) -> Option<&PendingTrack> {
+        self.pending.as_ref()
+    }
+
+    // ---- Persistence (versioned session artifacts) ----
+
+    /// Save everything the user taught this session — key frames, IATF,
+    /// paints, classifier, completed tracks, and any pending checkpoint — to
+    /// a versioned artifact file. The raw series is *not* embedded; `load`
+    /// re-attaches the artifact to a series and verifies it is the same one.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        persist::save_session(self, path.as_ref())
+    }
+
+    /// Load a session artifact against its time series.
+    pub fn load(series: TimeSeries, path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        persist::load_session(series, path.as_ref())
     }
 
     // ---- Rendering (paper Section 7) ----
@@ -343,7 +603,7 @@ mod tests {
     #[test]
     fn key_frames_and_iatf_flow() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         sess.add_key_frame(0, band_for(&s, 0.0));
         sess.add_key_frame(10, band_for(&s, 0.3));
         sess.add_key_frame(20, band_for(&s, 0.1));
@@ -362,7 +622,7 @@ mod tests {
     #[test]
     fn adding_key_frame_invalidates_iatf() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         sess.add_key_frame(0, band_for(&s, 0.0));
         sess.train_iatf(IatfParams {
             epochs: 10,
@@ -376,7 +636,7 @@ mod tests {
     #[test]
     fn lerp_baseline_brackets() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         let a = band_for(&s, 0.0);
         let b = band_for(&s, 0.3);
         sess.add_key_frame(0, a.clone());
@@ -392,7 +652,7 @@ mod tests {
     #[test]
     fn extract_with_tf_masks_band() {
         let s = series();
-        let sess = VisSession::new(s.clone());
+        let sess = VisSession::new(s.clone()).unwrap();
         let tf = band_for(&s, 0.0);
         let m = sess.extract_with_tf(0, &tf, 0.5);
         // Band [0.6, 0.75] of a uniform ramp covers ~15% of voxels.
@@ -403,7 +663,7 @@ mod tests {
     #[test]
     fn fixed_tracking_runs() {
         let s = series();
-        let sess = VisSession::new(s);
+        let sess = VisSession::new(s).unwrap();
         // Seed at the voxel with value ~0.65 in frame 0.
         let d = sess.series().dims();
         let idx = (0.65 * d.len() as f32) as usize;
@@ -416,7 +676,7 @@ mod tests {
     #[test]
     fn render_paths_produce_images() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         sess.add_key_frame(0, band_for(&s, 0.0));
         sess.train_iatf(IatfParams {
             epochs: 50,
@@ -433,7 +693,7 @@ mod tests {
     #[test]
     fn mip_and_classified_render_paths() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         let mip = sess.render_mip(0, 16, 16);
         assert_eq!((mip.width(), mip.height()), (16, 16));
         // No classifier yet.
@@ -442,7 +702,8 @@ mod tests {
         let truth = ifet_volume::Mask3::threshold(s.frame(0), 0.6);
         let mut oracle = ifet_extract::PaintOracle::new(1);
         oracle.slice_stride = 1;
-        sess.add_paints(oracle.paint_from_truth(0, &truth, 40, 40));
+        sess.add_paints(oracle.paint_from_truth(0, &truth, 40, 40))
+            .unwrap();
         sess.train_classifier(
             ifet_extract::FeatureSpec::default(),
             ifet_extract::ClassifierParams {
@@ -458,7 +719,7 @@ mod tests {
     #[test]
     fn key_frame_suggestion_and_behavior() {
         let s = series(); // irregular shifts: drifting distribution
-        let sess = VisSession::new(s);
+        let sess = VisSession::new(s).unwrap();
         assert_eq!(
             sess.temporal_behavior(),
             ifet_tf::TemporalBehavior::Periodic // shifts 0.0 -> 0.3 -> 0.1 come back down
@@ -473,7 +734,7 @@ mod tests {
     #[should_panic]
     fn unknown_key_frame_step_panics() {
         let s = series();
-        let mut sess = VisSession::new(s.clone());
+        let mut sess = VisSession::new(s.clone()).unwrap();
         sess.add_key_frame(99, band_for(&s, 0.0));
     }
 
@@ -481,6 +742,93 @@ mod tests {
     #[should_panic]
     fn train_iatf_without_key_frames_panics() {
         let s = series();
-        VisSession::new(s).train_iatf(IatfParams::default());
+        VisSession::new(s)
+            .unwrap()
+            .train_iatf(IatfParams::default());
+    }
+
+    #[test]
+    fn empty_series_is_typed_error() {
+        let err = VisSession::new(TimeSeries::new(Dims3::cube(4))).unwrap_err();
+        assert_eq!(err, SessionError::EmptySeries);
+        assert_eq!(err.to_string(), "cannot open a session on an empty series");
+    }
+
+    #[test]
+    fn paints_on_unknown_step_is_typed_error() {
+        let s = series();
+        let mut sess = VisSession::new(s).unwrap();
+        let mut paints = ifet_extract::PaintSet::new(99);
+        paints.paint((1, 1, 1), true);
+        let err = sess.add_paints(paints).unwrap_err();
+        assert_eq!(err, SessionError::StepNotInSeries { step: 99 });
+        assert!(sess.paints().is_empty(), "rejected paints must not stick");
+    }
+
+    #[test]
+    fn bad_track_band_is_typed_error() {
+        let s = series();
+        let sess = VisSession::new(s).unwrap();
+        let err = sess.track_fixed(&[(0, 1, 1, 1)], 0.9, 0.1).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Criterion(CriterionError::InvalidBand { .. })
+        ));
+    }
+
+    #[test]
+    fn adaptive_spec_without_iatf_is_typed_error() {
+        let s = series();
+        let mut sess = VisSession::new(s).unwrap();
+        let err = sess
+            .run_track(
+                CriterionSpec::AdaptiveTf { tau: 0.5 },
+                &[(0, 1, 1, 1)],
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, SessionError::NoIatf);
+        let err = sess
+            .run_track(CriterionSpec::DataSpace { tau: 0.5 }, &[(0, 1, 1, 1)], None)
+            .unwrap_err();
+        assert_eq!(err, SessionError::NoClassifier);
+    }
+
+    #[test]
+    fn run_track_records_and_pauses() {
+        let s = series();
+        let d = s.dims();
+        let mut sess = VisSession::new(s).unwrap();
+        let idx = (0.65 * d.len() as f32) as usize;
+        let seed = {
+            let (x, y, z) = d.coords(idx);
+            (0usize, x, y, z)
+        };
+        // Unbudgeted: completes and is recorded.
+        let spec = CriterionSpec::FixedBand { lo: 0.6, hi: 0.75 };
+        let status = sess.run_track(spec.clone(), &[seed], None).unwrap();
+        assert_eq!(status, TrackStatus::Completed);
+        assert_eq!(sess.tracks().len(), 1);
+        let full = sess.tracks()[0].result.clone();
+
+        // Budget of one round: pauses with a checkpoint, resume finishes with
+        // the identical result.
+        let status = sess.run_track(spec, &[seed], Some(1)).unwrap();
+        assert_eq!(status, TrackStatus::Paused { rounds: 1 });
+        assert!(sess.pending_track().is_some());
+        let resumed = sess.resume_track().unwrap().clone();
+        assert_eq!(resumed, full);
+        assert!(sess.pending_track().is_none());
+        assert_eq!(sess.tracks().len(), 2);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_typed_error() {
+        let s = series();
+        let mut sess = VisSession::new(s).unwrap();
+        assert!(matches!(
+            sess.resume_track().unwrap_err(),
+            crate::persist::PersistError::NoCheckpoint
+        ));
     }
 }

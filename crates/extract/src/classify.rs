@@ -7,44 +7,116 @@ use ifet_nn::{Activation, Mlp, Normalizer, Svm, SvmParams, TrainParams, Trainer,
 use ifet_volume::{Mask3, MultiSeries, MultiVolume, ScalarVolume, TimeSeries};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// The supervised learner behind a classifier. The paper uses a neural
 /// network throughout but reports promising SVM results (Section 8); both
 /// engines expose the same certainty-in-`[0,1]` interface so they are
 /// interchangeable here.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LearningEngine {
     NeuralNet(Mlp),
     SupportVector(Svm),
 }
 
-impl LearningEngine {
-    /// A per-thread predictor (owns forward-pass scratch for the MLP).
-    fn predictor(&self) -> EnginePredictor<'_> {
-        let scratch = match self {
-            LearningEngine::NeuralNet(net) => Scratch::for_net(net),
-            LearningEngine::SupportVector(_) => Scratch::default(),
-        };
-        EnginePredictor {
-            engine: self,
-            scratch,
-        }
-    }
-}
-
-/// Reusable single-threaded prediction state.
-struct EnginePredictor<'a> {
-    engine: &'a LearningEngine,
+/// Reusable per-predictor buffers: the feature vector under construction and
+/// the MLP forward-pass scratch. `Scratch` self-sizes on first use, so a
+/// default-constructed instance works for either engine.
+#[derive(Debug, Default)]
+struct PredictBuffers {
+    features: Vec<f32>,
     scratch: Scratch,
 }
 
-impl EnginePredictor<'_> {
+/// A free-list of [`PredictBuffers`] shared across classification calls.
+///
+/// Every `classify_*` entry point used to allocate fresh scratch per z-slab
+/// (a ROADMAP perf item: allocation churn on large volumes); instead, workers
+/// now check buffers out at slab start and return them on drop, so steady
+/// state holds one buffer set per concurrently-running worker and repeated
+/// classify calls reuse them. The pool is deliberately *not* part of the
+/// classifier's identity: cloning a classifier starts with an empty pool, and
+/// it never appears in serialized form.
+struct ScratchPool {
+    free: Mutex<Vec<PredictBuffers>>,
+}
+
+impl ScratchPool {
+    fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self) -> PredictBuffers {
+        self.free.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put(&self, bufs: PredictBuffers) {
+        self.free.lock().unwrap().push(bufs);
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.free.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "ScratchPool({n} free)")
+    }
+}
+
+/// Prediction state checked out of a classifier's scratch pool; returns its
+/// buffers to the pool when dropped.
+struct PooledPredictor<'a> {
+    clf: &'a DataSpaceClassifier,
+    bufs: PredictBuffers,
+}
+
+impl PooledPredictor<'_> {
     #[inline]
-    fn predict(&mut self, x: &[f32]) -> f32 {
-        match self.engine {
-            LearningEngine::NeuralNet(net) => net.predict1(x, &mut self.scratch),
+    fn predict_engine(engine: &LearningEngine, x: &[f32], scratch: &mut Scratch) -> f32 {
+        match engine {
+            LearningEngine::NeuralNet(net) => net.predict1(x, scratch),
             LearningEngine::SupportVector(svm) => svm.predict(x),
         }
+    }
+
+    /// Certainty for one voxel of a scalar frame.
+    #[inline]
+    fn predict_at(&mut self, frame: &ScalarVolume, x: usize, y: usize, z: usize, tn: f32) -> f32 {
+        let PredictBuffers { features, scratch } = &mut self.bufs;
+        self.clf.extractor.vector_into(frame, x, y, z, tn, features);
+        self.clf.normalizer.apply(features);
+        Self::predict_engine(&self.clf.engine, features, scratch)
+    }
+
+    /// Certainty for one voxel of a multivariate frame.
+    #[inline]
+    fn predict_multi_at(
+        &mut self,
+        frame: &MultiVolume,
+        x: usize,
+        y: usize,
+        z: usize,
+        tn: f32,
+    ) -> f32 {
+        let PredictBuffers { features, scratch } = &mut self.bufs;
+        self.clf
+            .extractor
+            .vector_multi_into(frame, x, y, z, tn, features);
+        self.clf.normalizer.apply(features);
+        Self::predict_engine(&self.clf.engine, features, scratch)
+    }
+}
+
+impl Drop for PooledPredictor<'_> {
+    fn drop(&mut self) {
+        self.clf.scratch_pool.put(std::mem::take(&mut self.bufs));
     }
 }
 
@@ -78,7 +150,50 @@ pub struct DataSpaceClassifier {
     normalizer: Normalizer,
     engine: LearningEngine,
     final_loss: f32,
+    scratch_pool: ScratchPool,
 }
+
+/// The serializable identity of a trained [`DataSpaceClassifier`]: feature
+/// spec, fitted normalizer, learned engine weights, and the recorded training
+/// loss. Everything needed to rebuild an identical classifier with
+/// [`DataSpaceClassifier::from_snapshot`]; runtime scratch state is excluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierSnapshot {
+    pub spec: crate::features::FeatureSpec,
+    pub normalizer: Normalizer,
+    pub engine: LearningEngine,
+    pub final_loss: f32,
+}
+
+/// Why a [`ClassifierSnapshot`] cannot be rebuilt into a working classifier.
+/// Snapshots arrive from disk, so every internal-consistency violation is a
+/// typed error rather than a downstream index panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The feature spec selects no properties at all.
+    EmptySpec,
+    /// Normalizer or engine input width disagrees with the feature spec.
+    FeatureCountMismatch { expected: usize, got: usize },
+    /// The engine's weight tensors are internally inconsistent.
+    BadNetwork(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::EmptySpec => write!(f, "feature spec selects no properties"),
+            SnapshotError::FeatureCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "feature count mismatch: spec yields {expected}, model expects {got}"
+                )
+            }
+            SnapshotError::BadNetwork(why) => write!(f, "inconsistent model weights: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Why classifier training could not start. These are caller mistakes a UI or
 /// CLI can plausibly produce (painting before loading the right series, or
@@ -179,6 +294,7 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
+            scratch_pool: ScratchPool::new(),
         })
     }
 
@@ -204,6 +320,70 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::SupportVector(svm),
             final_loss,
+            scratch_pool: ScratchPool::new(),
+        })
+    }
+
+    /// Check a predictor (feature buffer + forward scratch) out of the pool.
+    fn predictor(&self) -> PooledPredictor<'_> {
+        PooledPredictor {
+            clf: self,
+            bufs: self.scratch_pool.take(),
+        }
+    }
+
+    /// Capture this classifier's serializable state.
+    pub fn snapshot(&self) -> ClassifierSnapshot {
+        ClassifierSnapshot {
+            spec: *self.extractor.spec(),
+            normalizer: self.normalizer.clone(),
+            engine: self.engine.clone(),
+            final_loss: self.final_loss,
+        }
+    }
+
+    /// Rebuild a classifier from a snapshot, validating internal consistency
+    /// first so that malformed (or maliciously corrupted) snapshots are
+    /// reported as typed errors instead of panicking in a hot loop later.
+    pub fn from_snapshot(snap: ClassifierSnapshot) -> Result<Self, SnapshotError> {
+        if snap.spec.is_empty() {
+            return Err(SnapshotError::EmptySpec);
+        }
+        let extractor = FeatureExtractor::new(snap.spec);
+        let n = extractor.num_features();
+        if snap.normalizer.num_features() != n {
+            return Err(SnapshotError::FeatureCountMismatch {
+                expected: n,
+                got: snap.normalizer.num_features(),
+            });
+        }
+        match &snap.engine {
+            LearningEngine::NeuralNet(net) => {
+                net.validate_shape().map_err(SnapshotError::BadNetwork)?;
+                let sizes = net.layer_sizes();
+                if sizes[0] != n {
+                    return Err(SnapshotError::FeatureCountMismatch {
+                        expected: n,
+                        got: sizes[0],
+                    });
+                }
+                if *sizes.last().unwrap() != 1 {
+                    return Err(SnapshotError::BadNetwork(format!(
+                        "classifier network must emit one certainty, has {} outputs",
+                        sizes.last().unwrap()
+                    )));
+                }
+            }
+            LearningEngine::SupportVector(svm) => {
+                svm.validate_shape(n).map_err(SnapshotError::BadNetwork)?;
+            }
+        }
+        Ok(Self {
+            extractor,
+            normalizer: snap.normalizer,
+            engine: snap.engine,
+            final_loss: snap.final_loss,
+            scratch_pool: ScratchPool::new(),
         })
     }
 
@@ -288,6 +468,7 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
+            scratch_pool: ScratchPool::new(),
         })
     }
 
@@ -297,14 +478,10 @@ impl DataSpaceClassifier {
         let slab = d.nx * d.ny;
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
-            let mut buf = Vec::new();
-            let mut predictor = self.engine.predictor();
+            let mut predictor = self.predictor();
             for y in 0..d.ny {
                 for x in 0..d.nx {
-                    self.extractor
-                        .vector_multi_into(frame, x, y, z, t_norm, &mut buf);
-                    self.normalizer.apply(&mut buf);
-                    out[x + d.nx * y] = predictor.predict(&buf);
+                    out[x + d.nx * y] = predictor.predict_multi_at(frame, x, y, z, t_norm);
                 }
             }
         });
@@ -325,10 +502,7 @@ impl DataSpaceClassifier {
         z: usize,
         t_norm: f32,
     ) -> f32 {
-        let mut buf = Vec::with_capacity(self.extractor.num_features());
-        self.extractor.vector_into(frame, x, y, z, t_norm, &mut buf);
-        self.normalizer.apply(&mut buf);
-        self.engine.predictor().predict(&buf)
+        self.predictor().predict_at(frame, x, y, z, t_norm)
     }
 
     /// Classify a whole frame into a certainty volume (parallel over
@@ -339,13 +513,33 @@ impl DataSpaceClassifier {
         let slab = d.nx * d.ny;
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
+            let mut predictor = self.predictor();
+            for y in 0..d.ny {
+                for x in 0..d.nx {
+                    out[x + d.nx * y] = predictor.predict_at(frame, x, y, z, t_norm);
+                }
+            }
+        });
+        ScalarVolume::from_vec(d, data)
+    }
+
+    /// Reference implementation of [`Self::classify_frame`] that builds fresh
+    /// per-slab buffers instead of drawing on the scratch pool. Kept for the
+    /// cached-vs-fresh identity test and the bench axis; not for general use.
+    #[doc(hidden)]
+    pub fn classify_frame_uncached(&self, frame: &ScalarVolume, t_norm: f32) -> ScalarVolume {
+        let d = frame.dims();
+        let slab = d.nx * d.ny;
+        let mut data = vec![0.0f32; d.len()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
             let mut buf = Vec::with_capacity(self.extractor.num_features());
-            let mut predictor = self.engine.predictor();
+            let mut scratch = Scratch::default();
             for y in 0..d.ny {
                 for x in 0..d.nx {
                     self.extractor.vector_into(frame, x, y, z, t_norm, &mut buf);
                     self.normalizer.apply(&mut buf);
-                    out[x + d.nx * y] = predictor.predict(&buf);
+                    out[x + d.nx * y] =
+                        PooledPredictor::predict_engine(&self.engine, &buf, &mut scratch);
                 }
             }
         });
@@ -362,14 +556,11 @@ impl DataSpaceClassifier {
     ) -> (usize, usize, Vec<f32>) {
         let d = frame.dims();
         assert!(k < d.nz);
-        let mut buf = Vec::with_capacity(self.extractor.num_features());
-        let mut predictor = self.engine.predictor();
+        let mut predictor = self.predictor();
         let mut out = Vec::with_capacity(d.nx * d.ny);
         for y in 0..d.ny {
             for x in 0..d.nx {
-                self.extractor.vector_into(frame, x, y, k, t_norm, &mut buf);
-                self.normalizer.apply(&mut buf);
-                out.push(predictor.predict(&buf));
+                out.push(predictor.predict_at(frame, x, y, k, t_norm));
             }
         }
         (d.nx, d.ny, out)
@@ -392,15 +583,12 @@ impl DataSpaceClassifier {
                 // already saturates the pool for multi-frame series.
                 let tn = series.normalized_time(*t);
                 let d = frame.dims();
-                let mut buf = Vec::with_capacity(self.extractor.num_features());
-                let mut predictor = self.engine.predictor();
+                let mut predictor = self.predictor();
                 let mut data = Vec::with_capacity(d.len());
                 for z in 0..d.nz {
                     for y in 0..d.ny {
                         for x in 0..d.nx {
-                            self.extractor.vector_into(frame, x, y, z, tn, &mut buf);
-                            self.normalizer.apply(&mut buf);
-                            data.push(predictor.predict(&buf));
+                            data.push(predictor.predict_at(frame, x, y, z, tn));
                         }
                     }
                 }
@@ -597,6 +785,94 @@ mod tests {
         for (a, b) in all[0].as_slice().iter().zip(single.as_slice()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn pooled_classify_matches_uncached_exactly() {
+        // The scratch pool is a pure allocation optimization: bit-identical
+        // output to fresh-buffer classification, on both engines, including
+        // repeated calls that hit warm pool entries.
+        let (clf, vol, _, _) = trained_on_scene();
+        let fresh = clf.classify_frame_uncached(&vol, 0.0);
+        for _ in 0..3 {
+            let pooled = clf.classify_frame(&vol, 0.0);
+            assert_eq!(pooled.as_slice(), fresh.as_slice());
+        }
+
+        let (vol, truth) = size_scene(16);
+        let series = TimeSeries::from_frames(vec![(0, vol.clone())]);
+        let mut oracle = PaintOracle::new(3);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 60, 60);
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let svm =
+            DataSpaceClassifier::train_svm(fx, &series, &[paints], ifet_nn::SvmParams::default())
+                .unwrap();
+        assert_eq!(
+            svm.classify_frame(&vol, 0.0).as_slice(),
+            svm.classify_frame_uncached(&vol, 0.0).as_slice()
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_rebuilds_identical_classifier() {
+        let (clf, vol, _, _) = trained_on_scene();
+        let snap = clf.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ClassifierSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let rebuilt = DataSpaceClassifier::from_snapshot(back).unwrap();
+        assert_eq!(
+            rebuilt.classify_frame(&vol, 0.0).as_slice(),
+            clf.classify_frame(&vol, 0.0).as_slice()
+        );
+        assert_eq!(rebuilt.final_loss(), clf.final_loss());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_typed_errors() {
+        let (clf, _, _, _) = trained_on_scene();
+        let snap = clf.snapshot();
+
+        let mut empty = snap.clone();
+        empty.spec = FeatureSpec {
+            value: false,
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            position: false,
+            time: false,
+        };
+        assert_eq!(
+            DataSpaceClassifier::from_snapshot(empty).unwrap_err(),
+            SnapshotError::EmptySpec
+        );
+
+        // Shrinking the spec desyncs it from the trained network width.
+        let mut narrowed = snap.clone();
+        narrowed.spec = FeatureSpec {
+            value: true,
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            position: false,
+            time: false,
+        };
+        assert!(matches!(
+            DataSpaceClassifier::from_snapshot(narrowed).unwrap_err(),
+            SnapshotError::FeatureCountMismatch { .. }
+        ));
+
+        // A truncated weight vector is caught by shape validation, not a
+        // slice-index panic mid-classification.
+        let mut lobotomized = snap.clone();
+        if let LearningEngine::NeuralNet(net) = &mut lobotomized.engine {
+            let json = net.to_json();
+            let bad = json.replacen("\"weights\":[", "\"weights\":[0.0,", 1);
+            *net = Mlp::from_json(&bad).unwrap();
+        }
+        assert!(matches!(
+            DataSpaceClassifier::from_snapshot(lobotomized).unwrap_err(),
+            SnapshotError::BadNetwork(_)
+        ));
     }
 
     #[test]

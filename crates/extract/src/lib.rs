@@ -22,6 +22,14 @@ pub mod classify;
 pub mod features;
 pub mod paint;
 
-pub use classify::{ClassifierParams, DataSpaceClassifier, LearningEngine, TrainError};
+/// Version of this crate's serialized model types (feature specs, classifier
+/// snapshots, paint sets) inside session artifacts. Bump on any breaking
+/// schema change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub use classify::{
+    ClassifierParams, ClassifierSnapshot, DataSpaceClassifier, LearningEngine, SnapshotError,
+    TrainError,
+};
 pub use features::{FeatureExtractor, FeatureSpec, ShellMode};
 pub use paint::{PaintOracle, PaintSet};

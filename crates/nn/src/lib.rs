@@ -27,6 +27,10 @@ pub mod normalize;
 pub mod svm;
 pub mod train;
 
+/// Version of this crate's serialized model types (networks, normalizers,
+/// SVMs) inside session artifacts. Bump on any breaking schema change.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub use activation::Activation;
 pub use mlp::Mlp;
 pub use normalize::Normalizer;

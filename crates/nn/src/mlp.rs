@@ -209,6 +209,57 @@ impl Mlp {
         self.forward_scratch(input, scratch)[0]
     }
 
+    /// Check the structural invariants a deserialized network must satisfy
+    /// before it is safe to run: non-empty layer stack, non-zero layer sizes,
+    /// weight/bias buffers of exactly the advertised shape, and consecutive
+    /// layers that agree on their interface width.
+    ///
+    /// `forward_*` index weight rows by shape arithmetic, so feeding a
+    /// malformed network (e.g. from a corrupted session artifact) would panic
+    /// or read garbage — loaders call this to reject such inputs with a typed
+    /// error instead.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("network has no layers".to_string());
+        }
+        let mut prev_out: Option<usize> = None;
+        for (li, l) in self.layers.iter().enumerate() {
+            if l.n_in == 0 || l.n_out == 0 {
+                return Err(format!("layer {li} has a zero dimension"));
+            }
+            let expected = l
+                .n_in
+                .checked_mul(l.n_out)
+                .ok_or_else(|| format!("layer {li} weight count overflows"))?;
+            if l.weights.len() != expected {
+                return Err(format!(
+                    "layer {li} has {} weights, shape {}x{} needs {expected}",
+                    l.weights.len(),
+                    l.n_out,
+                    l.n_in
+                ));
+            }
+            if l.biases.len() != l.n_out {
+                return Err(format!(
+                    "layer {li} has {} biases for {} outputs",
+                    l.biases.len(),
+                    l.n_out
+                ));
+            }
+            if let Some(p) = prev_out {
+                if p != l.n_in {
+                    return Err(format!(
+                        "layer {li} consumes {} inputs but layer {} produces {p}",
+                        l.n_in,
+                        li - 1
+                    ));
+                }
+            }
+            prev_out = Some(l.n_out);
+        }
+        Ok(())
+    }
+
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("Mlp serialization cannot fail")
@@ -343,6 +394,27 @@ mod tests {
         assert_eq!(net, back);
         let x = [0.2, 0.4, 0.6, 0.8];
         assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn validate_shape_accepts_trained_and_rejects_corrupt() {
+        let net = Mlp::three_layer(3, 5, 9);
+        assert!(net.validate_shape().is_ok());
+
+        let mut bad = net.clone();
+        bad.layers[0].weights.pop();
+        assert!(bad.validate_shape().is_err());
+
+        let mut bad = net.clone();
+        bad.layers[1].n_in = 4; // breaks both weight count and chain width
+        assert!(bad.validate_shape().is_err());
+
+        let mut bad = net.clone();
+        bad.layers[0].biases.push(0.0);
+        assert!(bad.validate_shape().is_err());
+
+        let bad = Mlp { layers: Vec::new() };
+        assert!(bad.validate_shape().is_err());
     }
 
     #[test]

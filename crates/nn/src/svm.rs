@@ -64,7 +64,7 @@ impl Default for SvmParams {
 }
 
 /// A trained (binary) support vector machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Svm {
     kernel: Kernel,
     /// Support vectors (training rows with non-zero alpha).
@@ -224,6 +224,30 @@ impl Svm {
     /// Number of support vectors retained.
     pub fn num_support_vectors(&self) -> usize {
         self.support.len()
+    }
+
+    /// Check the invariants a deserialized SVM must satisfy to be safe and
+    /// meaningful to evaluate on `expected_dim`-feature inputs: one
+    /// coefficient per support vector, and every support vector of the
+    /// expected width. Used by artifact loaders to reject corrupt models
+    /// with a typed error instead of silently mis-predicting.
+    pub fn validate_shape(&self, expected_dim: usize) -> Result<(), String> {
+        if self.coeffs.len() != self.support.len() {
+            return Err(format!(
+                "{} coefficients for {} support vectors",
+                self.coeffs.len(),
+                self.support.len()
+            ));
+        }
+        for (i, sv) in self.support.iter().enumerate() {
+            if sv.len() != expected_dim {
+                return Err(format!(
+                    "support vector {i} has {} features, expected {expected_dim}",
+                    sv.len()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

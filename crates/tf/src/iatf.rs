@@ -197,6 +197,28 @@ impl Iatf {
         &self.net
     }
 
+    /// Check the invariants a deserialized IATF must satisfy before use: a
+    /// structurally sound 3-input/1-output network, at least one histogram
+    /// bin, and a finite value domain. Artifact loaders call this so a
+    /// corrupted session yields a typed error instead of a downstream panic
+    /// (e.g. `Histogram::of_values` with zero bins).
+    pub fn validate(&self) -> Result<(), String> {
+        self.net.validate_shape()?;
+        let sizes = self.net.layer_sizes();
+        if sizes.first() != Some(&3) || sizes.last() != Some(&1) {
+            return Err(format!(
+                "IATF network must map 3 inputs to 1 output, got {sizes:?}"
+            ));
+        }
+        if self.bins == 0 {
+            return Err("IATF has zero histogram bins".to_string());
+        }
+        if !self.domain.0.is_finite() || !self.domain.1.is_finite() {
+            return Err(format!("IATF domain {:?} is not finite", self.domain));
+        }
+        Ok(())
+    }
+
     fn normalized_time(&self, t: u32) -> f32 {
         if self.t_last <= self.t_first {
             return 0.0;
@@ -363,6 +385,18 @@ mod tests {
         let a = trained_iatf(&s).generate(50, s.frame_at_step(50).unwrap());
         let b = trained_iatf(&s).generate(50, s.frame_at_step(50).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_accepts_trained_rejects_corrupt() {
+        let s = drifting_series();
+        let mut iatf = trained_iatf(&s);
+        assert!(iatf.validate().is_ok());
+        iatf.bins = 0;
+        assert!(iatf.validate().is_err());
+        iatf.bins = 256;
+        iatf.domain = (0.0, f32::NAN);
+        assert!(iatf.validate().is_err());
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub mod keyframes;
 pub mod tf1d;
 pub mod tf2d;
 
+/// Version of this crate's serialized model types (transfer functions,
+/// IATFs) inside session artifacts. Bump on any breaking schema change.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub use colormap::ColorMap;
 pub use iatf::{Iatf, IatfBuilder, IatfParams};
 pub use keyframes::{classify_behavior, suggest_key_frames, TemporalBehavior};

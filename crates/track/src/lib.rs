@@ -29,9 +29,15 @@ pub mod tracks;
 
 pub use attributes::FeatureAttributes;
 pub use components::ComponentLabels;
-pub use criterion::{AdaptiveTfCriterion, FixedBandCriterion, GrowthCriterion, MaskCriterion};
+pub use criterion::{
+    AdaptiveTfCriterion, CriterionError, FixedBandCriterion, GrowthCriterion, MaskCriterion,
+};
 pub use events::{track_events, Event, EventKind, TrackReport};
 pub use multires::grow_4d_multires;
 pub use octree::FeatureOctree;
-pub use region_grow::{grow_4d, grow_4d_serial, GrowError, Seed4};
+pub use region_grow::{grow_4d, grow_4d_serial, GrowCheckpoint, GrowError, Grower, Seed4};
 pub use tracks::{extract_tracks, Track, TrackEnding, TrackSet};
+
+/// Version of this crate's serialized model types (criteria, checkpoints,
+/// reports) inside session artifacts. Bump on any breaking schema change.
+pub const SCHEMA_VERSION: u32 = 1;

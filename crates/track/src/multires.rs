@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn factor_one_is_exact() {
         let s = ball_series(16);
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let seed = [(0usize, 5usize, 8usize, 8usize)];
         assert_eq!(
             grow_4d_multires(&s, &c, &seed, 1).unwrap(),
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn multires_matches_exact_on_compact_feature() {
         let s = ball_series(24);
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let seed = [(0usize, 7usize, 12usize, 12usize)];
         let exact = grow_4d(&s, &c, &seed).unwrap();
         let fast = grow_4d_multires(&s, &c, &seed, 2).unwrap();
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn multires_result_is_subset_of_criterion() {
         let s = ball_series(24);
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let seed = [(0usize, 7usize, 12usize, 12usize)];
         let fast = grow_4d_multires(&s, &c, &seed, 3).unwrap();
         for (fi, m) in fast.iter().enumerate() {
@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn seed_outside_feature_grows_nothing() {
         let s = ball_series(16);
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let fast = grow_4d_multires(&s, &c, &[(0, 0, 0, 0)], 2).unwrap();
         assert!(fast.iter().all(|m| m.is_empty_mask()));
     }
@@ -216,7 +216,7 @@ mod tests {
     fn non_divisible_dims_handled() {
         // 23 is not divisible by 2: boundary coarse cells must still map.
         let s = ball_series(23);
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let seed = [(0usize, 7usize, 11usize, 11usize)];
         let fast = grow_4d_multires(&s, &c, &seed, 2).unwrap();
         assert!(fast[0].count() > 0);

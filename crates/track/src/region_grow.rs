@@ -25,6 +25,7 @@
 
 use crate::criterion::GrowthCriterion;
 use ifet_volume::{Dims3, Mask3, TimeSeries};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use rayon::prelude::*;
@@ -44,6 +45,10 @@ pub enum GrowError {
     SeedFrameOutOfRange { seed: Seed4, frames: usize },
     /// A seed's spatial coordinate lies outside the volume.
     SeedOutOfBounds { seed: Seed4, dims: Dims3 },
+    /// A [`GrowCheckpoint`] is inconsistent with the series it is resumed
+    /// against (wrong frame count, wrong dims, or out-of-range frontier
+    /// indices) — typically a corrupted or mismatched session artifact.
+    BadCheckpoint { reason: String },
 }
 
 impl std::fmt::Display for GrowError {
@@ -66,6 +71,7 @@ impl std::fmt::Display for GrowError {
                 "seed ({}, {}, {}) out of bounds for volume {dims}",
                 seed.1, seed.2, seed.3
             ),
+            Self::BadCheckpoint { reason } => write!(f, "bad grow checkpoint: {reason}"),
         }
     }
 }
@@ -110,46 +116,204 @@ pub fn grow_4d(
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
 ) -> Result<Vec<Mask3>, GrowError> {
-    validate(series, criterion, seeds)?;
-    let d = series.dims();
-    let n_frames = series.len();
+    let mut grower = Grower::start(series, criterion, seeds)?;
+    grower.run(None);
+    Ok(grower.into_masks())
+}
 
-    // Per-frame acceptance tables, evaluated in parallel: after this, the
-    // criterion is never consulted again.
-    let tables: Vec<Mask3> = (0..n_frames)
-        .into_par_iter()
-        .map(|fi| criterion.precompute_frame(fi, series.frame(fi)))
-        .collect();
+/// Per-frame growth state. One task owns one frame per round, so spatial
+/// expansion needs no synchronisation; temporal candidates cross frame
+/// boundaries and are applied serially between rounds.
+struct FrameState {
+    mask: Mask3,
+    frontier: Vec<usize>,
+    spatial_next: Vec<usize>,
+    temporal_out: Vec<(usize, usize)>, // (target frame, linear index)
+}
 
-    // Per-frame growth state. One task owns one frame per round, so spatial
-    // expansion needs no synchronisation; temporal candidates cross frame
-    // boundaries and are applied serially between rounds.
-    struct FrameState {
-        mask: Mask3,
-        frontier: Vec<usize>,
-        spatial_next: Vec<usize>,
-        temporal_out: Vec<(usize, usize)>, // (target frame, linear index)
-    }
-
-    let mut states: Vec<FrameState> = (0..n_frames)
-        .map(|_| FrameState {
+impl FrameState {
+    fn fresh(d: Dims3) -> Self {
+        Self {
             mask: Mask3::empty(d),
             frontier: Vec::new(),
             spatial_next: Vec::new(),
             temporal_out: Vec::new(),
-        })
-        .collect();
-
-    for &(fi, x, y, z) in seeds {
-        let i = d.index(x, y, z);
-        if tables[fi].get_linear(i) && states[fi].mask.insert_linear(i) {
-            states[fi].frontier.push(i);
         }
     }
+}
 
-    while states.iter().any(|s| !s.frontier.is_empty()) {
-        // Expand every frame's frontier one level, in parallel.
-        states.par_iter_mut().enumerate().for_each(|(fi, st)| {
+/// A serializable snapshot of an in-progress [`Grower`], taken at a round
+/// boundary. Together with the original series and criterion it is enough to
+/// resume growth and reach the exact fixpoint an uninterrupted run produces:
+/// the grown region is the reachable connected component of the acceptance
+/// set, which is independent of visit order, and at a round boundary the
+/// per-frame masks + frontiers are the *entire* algorithm state (the
+/// transient spatial/temporal buffers are always empty between rounds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowCheckpoint {
+    /// Per-frame region state so far.
+    pub masks: Vec<Mask3>,
+    /// Per-frame frontier: linear voxel indices discovered in the last round.
+    pub frontiers: Vec<Vec<usize>>,
+    /// Number of completed rounds.
+    pub rounds: u64,
+}
+
+/// The level-synchronous frontier-parallel 4D region grower, exposed as a
+/// resumable state machine.
+///
+/// [`grow_4d`] is `start` + `run(None)` + `into_masks`. Long-running tracks
+/// can instead call [`Grower::run`] with a round budget, [`Grower::checkpoint`]
+/// the state, persist it, and later [`Grower::resume`] — the final masks are
+/// bit-identical to an uninterrupted run (enforced by tests).
+///
+/// The criterion is consulted only during construction (to precompute
+/// per-frame acceptance tables), so the `Grower` borrows neither the series
+/// nor the criterion afterwards.
+pub struct Grower {
+    d: Dims3,
+    tables: Vec<Mask3>,
+    states: Vec<FrameState>,
+    rounds: u64,
+}
+
+impl Grower {
+    fn precompute_tables(series: &TimeSeries, criterion: &dyn GrowthCriterion) -> Vec<Mask3> {
+        // Evaluated in parallel: after this, the criterion is never consulted
+        // again.
+        (0..series.len())
+            .into_par_iter()
+            .map(|fi| criterion.precompute_frame(fi, series.frame(fi)))
+            .collect()
+    }
+
+    /// Begin a fresh grow from `seeds`.
+    pub fn start(
+        series: &TimeSeries,
+        criterion: &dyn GrowthCriterion,
+        seeds: &[Seed4],
+    ) -> Result<Self, GrowError> {
+        validate(series, criterion, seeds)?;
+        let d = series.dims();
+        let tables = Self::precompute_tables(series, criterion);
+        let mut states: Vec<FrameState> = (0..series.len()).map(|_| FrameState::fresh(d)).collect();
+        for &(fi, x, y, z) in seeds {
+            let i = d.index(x, y, z);
+            if tables[fi].get_linear(i) && states[fi].mask.insert_linear(i) {
+                states[fi].frontier.push(i);
+            }
+        }
+        Ok(Self {
+            d,
+            tables,
+            states,
+            rounds: 0,
+        })
+    }
+
+    /// Rebuild a grower from a persisted checkpoint.
+    ///
+    /// The checkpoint is validated against the series before any growth state
+    /// is adopted — a corrupted or mismatched artifact yields
+    /// [`GrowError::BadCheckpoint`], never a panic.
+    pub fn resume(
+        series: &TimeSeries,
+        criterion: &dyn GrowthCriterion,
+        ckpt: GrowCheckpoint,
+    ) -> Result<Self, GrowError> {
+        validate(series, criterion, &[])?;
+        let d = series.dims();
+        let bad = |reason: String| GrowError::BadCheckpoint { reason };
+        if ckpt.masks.len() != series.len() {
+            return Err(bad(format!(
+                "checkpoint has {} frames, series has {}",
+                ckpt.masks.len(),
+                series.len()
+            )));
+        }
+        if ckpt.frontiers.len() != series.len() {
+            return Err(bad(format!(
+                "checkpoint has {} frontiers for {} frames",
+                ckpt.frontiers.len(),
+                series.len()
+            )));
+        }
+        for (fi, m) in ckpt.masks.iter().enumerate() {
+            if m.dims() != d {
+                return Err(bad(format!(
+                    "frame {fi} mask dims {} do not match series dims {d}",
+                    m.dims()
+                )));
+            }
+        }
+        for (fi, frontier) in ckpt.frontiers.iter().enumerate() {
+            for &i in frontier {
+                if i >= d.len() {
+                    return Err(bad(format!(
+                        "frame {fi} frontier index {i} out of range (volume has {} voxels)",
+                        d.len()
+                    )));
+                }
+                if !ckpt.masks[fi].get_linear(i) {
+                    return Err(bad(format!(
+                        "frame {fi} frontier index {i} is not set in its mask"
+                    )));
+                }
+            }
+        }
+        let tables = Self::precompute_tables(series, criterion);
+        let states = ckpt
+            .masks
+            .into_iter()
+            .zip(ckpt.frontiers)
+            .map(|(mask, frontier)| FrameState {
+                mask,
+                frontier,
+                spatial_next: Vec::new(),
+                temporal_out: Vec::new(),
+            })
+            .collect();
+        Ok(Self {
+            d,
+            tables,
+            states,
+            rounds: ckpt.rounds,
+        })
+    }
+
+    /// True when every frontier is exhausted (the fixpoint is reached).
+    pub fn is_done(&self) -> bool {
+        self.states.iter().all(|s| s.frontier.is_empty())
+    }
+
+    /// Completed rounds so far (including those before a resume).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Run at most `max_rounds` further rounds (all the way to the fixpoint
+    /// when `None`). Returns `true` when growth is complete.
+    pub fn run(&mut self, max_rounds: Option<u64>) -> bool {
+        let mut this_call = 0u64;
+        while !self.is_done() {
+            if let Some(m) = max_rounds {
+                if this_call >= m {
+                    return false;
+                }
+            }
+            self.round();
+            this_call += 1;
+        }
+        true
+    }
+
+    /// One level-synchronous round: expand every frame's frontier in
+    /// parallel, then exchange temporal candidates at the barrier.
+    fn round(&mut self) {
+        let d = self.d;
+        let n_frames = self.states.len();
+        let tables = &self.tables;
+        self.states.par_iter_mut().enumerate().for_each(|(fi, st)| {
             let table = &tables[fi];
             let frontier = std::mem::take(&mut st.frontier);
             for &i in &frontier {
@@ -172,18 +336,37 @@ pub fn grow_4d(
         // Barrier: promote spatial discoveries to the next frontier, then
         // resolve cross-frame candidates against their target frames.
         let mut proposals: Vec<(usize, usize)> = Vec::new();
-        for st in &mut states {
+        for st in &mut self.states {
             st.frontier = std::mem::take(&mut st.spatial_next);
             proposals.append(&mut st.temporal_out);
         }
         for (tf, i) in proposals {
-            if tables[tf].get_linear(i) && states[tf].mask.insert_linear(i) {
-                states[tf].frontier.push(i);
+            if self.tables[tf].get_linear(i) && self.states[tf].mask.insert_linear(i) {
+                self.states[tf].frontier.push(i);
             }
+        }
+        self.rounds += 1;
+    }
+
+    /// Snapshot the growth state. Only valid between [`Grower::run`] calls
+    /// (which is the only time callers can observe the grower), where the
+    /// transient buffers are empty by construction.
+    pub fn checkpoint(&self) -> GrowCheckpoint {
+        debug_assert!(self
+            .states
+            .iter()
+            .all(|s| s.spatial_next.is_empty() && s.temporal_out.is_empty()));
+        GrowCheckpoint {
+            masks: self.states.iter().map(|s| s.mask.clone()).collect(),
+            frontiers: self.states.iter().map(|s| s.frontier.clone()).collect(),
+            rounds: self.rounds,
         }
     }
 
-    Ok(states.into_iter().map(|s| s.mask).collect())
+    /// Consume the grower, yielding one mask per frame.
+    pub fn into_masks(self) -> Vec<Mask3> {
+        self.states.into_iter().map(|s| s.mask).collect()
+    }
 }
 
 /// Single-threaded reference implementation of [`grow_4d`]: one FIFO queue,
@@ -271,7 +454,7 @@ mod tests {
     #[test]
     fn grows_spatially_within_frame() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         // Frame 0 ball fully captured.
         let truth0 = Mask3::threshold(s.frame(0), 0.5);
@@ -281,7 +464,7 @@ mod tests {
     #[test]
     fn tracks_across_frames_through_overlap() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         // Ball moves 2 voxels per frame with radius 3: consecutive frames
         // overlap, so every frame is reached.
@@ -294,7 +477,7 @@ mod tests {
     fn fixed_criterion_loses_fading_feature() {
         // The Figure 10 failure mode: brightness drops below the fixed band.
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.75, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.75, 2.0, s.len()).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         assert!(masks[0].count() > 0);
         // Frame 2 brightness = 0.6 < 0.75: lost.
@@ -305,7 +488,7 @@ mod tests {
     #[test]
     fn seed_on_background_is_ignored() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.5, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.5, 2.0, s.len()).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 0, 0, 0)]).unwrap();
         assert!(masks.iter().all(|m| m.is_empty_mask()));
     }
@@ -328,7 +511,7 @@ mod tests {
             }
         });
         let s = TimeSeries::from_frames(vec![(0, vol)]);
-        let c = FixedBandCriterion::new(0.5, 2.0, 1);
+        let c = FixedBandCriterion::new(0.5, 2.0, 1).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 3, 3, 3)]).unwrap();
         assert!(masks[0].get(3, 3, 3));
         assert!(!masks[0].get(12, 12, 12));
@@ -337,7 +520,7 @@ mod tests {
     #[test]
     fn grows_backward_in_time_too() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
         // Seed in the LAST frame; earlier frames must still be reached.
         let masks = grow_4d(&s, &c, &[(3, 10, 8, 8)]).unwrap();
         assert!(masks[0].count() > 0, "backward temporal growth failed");
@@ -351,7 +534,7 @@ mod tests {
         for x in 2..6 {
             allowed.set(x, 4, 4, true);
         }
-        let c = MaskCriterion::new(vec![allowed.clone()]);
+        let c = MaskCriterion::new(vec![allowed.clone()]).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 3, 4, 4)]).unwrap();
         assert_eq!(masks[0], allowed);
     }
@@ -359,7 +542,7 @@ mod tests {
     #[test]
     fn voxels_per_frame_summary() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
         let masks = grow_4d(&s, &c, &[(0, 4, 8, 8)]).unwrap();
         let counts = voxels_per_frame(&masks);
         assert_eq!(counts.len(), 4);
@@ -369,7 +552,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial_on_fixture() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.3, 2.0, s.len());
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
         let seeds = [(0, 4, 8, 8), (3, 10, 8, 8), (1, 0, 0, 0)];
         assert_eq!(
             grow_4d(&s, &c, &seeds).unwrap(),
@@ -380,7 +563,7 @@ mod tests {
     #[test]
     fn criterion_frame_mismatch_is_error() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.0, 1.0, 2); // wrong frame count
+        let c = FixedBandCriterion::new(0.0, 1.0, 2).unwrap(); // wrong frame count
         let err = grow_4d(&s, &c, &[]).unwrap_err();
         assert_eq!(
             err,
@@ -395,7 +578,7 @@ mod tests {
     #[test]
     fn out_of_bounds_seed_is_error() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.0, 1.0, s.len());
+        let c = FixedBandCriterion::new(0.0, 1.0, s.len()).unwrap();
         let err = grow_4d(&s, &c, &[(0, 99, 0, 0)]).unwrap_err();
         assert!(matches!(err, GrowError::SeedOutOfBounds { .. }));
         assert_eq!(grow_4d_serial(&s, &c, &[(0, 99, 0, 0)]).unwrap_err(), err);
@@ -404,7 +587,7 @@ mod tests {
     #[test]
     fn out_of_range_seed_frame_is_error() {
         let s = moving_ball_series();
-        let c = FixedBandCriterion::new(0.0, 1.0, s.len());
+        let c = FixedBandCriterion::new(0.0, 1.0, s.len()).unwrap();
         let err = grow_4d(&s, &c, &[(9, 0, 0, 0)]).unwrap_err();
         assert_eq!(
             err,
@@ -413,6 +596,82 @@ mod tests {
                 frames: 4
             }
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
+        let seeds = [(0, 4, 8, 8)];
+        let uninterrupted = grow_4d(&s, &c, &seeds).unwrap();
+
+        // Interrupt after every possible number of rounds; each resume must
+        // land on the identical fixpoint.
+        for budget in 0..20u64 {
+            let mut g = Grower::start(&s, &c, &seeds).unwrap();
+            let done = g.run(Some(budget));
+            let ckpt = g.checkpoint();
+            assert_eq!(done, ckpt.frontiers.iter().all(|f| f.is_empty()));
+            let mut resumed = Grower::resume(&s, &c, ckpt).unwrap();
+            assert!(resumed.run(None));
+            assert_eq!(resumed.into_masks(), uninterrupted, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_as_json() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
+        let mut g = Grower::start(&s, &c, &[(0, 4, 8, 8)]).unwrap();
+        g.run(Some(2));
+        let ckpt = g.checkpoint();
+        let back: GrowCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&ckpt).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.rounds, 2);
+    }
+
+    #[test]
+    fn bad_checkpoints_are_typed_errors() {
+        let s = moving_ball_series();
+        let c = FixedBandCriterion::new(0.3, 2.0, s.len()).unwrap();
+        let mut g = Grower::start(&s, &c, &[(0, 4, 8, 8)]).unwrap();
+        g.run(Some(1));
+        let good = g.checkpoint();
+
+        // Wrong frame count.
+        let mut ck = good.clone();
+        ck.masks.pop();
+        assert!(matches!(
+            Grower::resume(&s, &c, ck),
+            Err(GrowError::BadCheckpoint { .. })
+        ));
+        // Wrong mask dims.
+        let mut ck = good.clone();
+        ck.masks[0] = Mask3::empty(Dims3::cube(4));
+        assert!(matches!(
+            Grower::resume(&s, &c, ck),
+            Err(GrowError::BadCheckpoint { .. })
+        ));
+        // Out-of-range frontier index.
+        let mut ck = good.clone();
+        ck.frontiers[0] = vec![usize::MAX];
+        assert!(matches!(
+            Grower::resume(&s, &c, ck),
+            Err(GrowError::BadCheckpoint { .. })
+        ));
+        // Frontier voxel not present in its mask.
+        let mut ck = good.clone();
+        let unset = (0..s.dims().len())
+            .find(|&i| !ck.masks[1].get_linear(i))
+            .unwrap();
+        ck.frontiers[1] = vec![unset];
+        assert!(matches!(
+            Grower::resume(&s, &c, ck),
+            Err(GrowError::BadCheckpoint { .. })
+        ));
+        // The untouched checkpoint still resumes fine.
+        assert!(Grower::resume(&s, &c, good).is_ok());
     }
 
     #[test]

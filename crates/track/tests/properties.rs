@@ -82,7 +82,7 @@ proptest! {
     fn region_grow_result_is_subset_of_criterion(m in mask_strategy(), seed_frac in 0.0f64..1.0) {
         let d = m.dims();
         let series = TimeSeries::from_frames(vec![(0, ScalarVolume::zeros(d))]);
-        let criterion = MaskCriterion::new(vec![m.clone()]);
+        let criterion = MaskCriterion::new(vec![m.clone()]).unwrap();
         let idx = ((d.len() - 1) as f64 * seed_frac) as usize;
         let (x, y, z) = d.coords(idx);
         let grown = grow_4d(&series, &criterion, &[(0, x, y, z)]).unwrap();
@@ -112,7 +112,7 @@ proptest! {
         let series = TimeSeries::from_frames(
             (0..n).map(|k| (k as u32, ScalarVolume::zeros(d))).collect(),
         );
-        let criterion = MaskCriterion::new(masks);
+        let criterion = MaskCriterion::new(masks).unwrap();
         let seeds: Vec<_> = seed_fracs
             .iter()
             .map(|&(ff, vf)| {
@@ -143,7 +143,7 @@ proptest! {
                 .map(|(k, data)| (k as u32, ScalarVolume::from_vec(d, data)))
                 .collect(),
         );
-        let criterion = FixedBandCriterion::new(lo, lo + width, n);
+        let criterion = FixedBandCriterion::new(lo, lo + width, n).unwrap();
         let seeds = [(0usize, 1usize, 2usize, 3usize), (n - 1, 0, 0, 0)];
         let par = grow_4d(&series, &criterion, &seeds).unwrap();
         let ser = grow_4d_serial(&series, &criterion, &seeds).unwrap();
@@ -154,7 +154,7 @@ proptest! {
     fn more_seeds_grow_at_least_as_much(m in mask_strategy()) {
         let d = m.dims();
         let series = TimeSeries::from_frames(vec![(0, ScalarVolume::zeros(d))]);
-        let criterion = MaskCriterion::new(vec![m.clone()]);
+        let criterion = MaskCriterion::new(vec![m.clone()]).unwrap();
         let one_seed = grow_4d(&series, &criterion, &[(0, 0, 0, 0)]).unwrap();
         let all_seeds: Vec<_> = (0..d.len())
             .map(|i| {

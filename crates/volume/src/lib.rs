@@ -16,7 +16,8 @@
 //! - trilinear [`sample`]-ing and central-difference gradients for rendering,
 //! - separable Gaussian [`filter`]-ing (the paper's "blur the volume"
 //!   baseline in Figure 7),
-//! - raw-binary + JSON-sidecar [`io`].
+//! - raw-binary + JSON-sidecar [`io`],
+//! - versioned binary [`maskio`] encoding for masks inside session artifacts.
 //!
 //! Everything is deterministic and `f32`-based; volumes are laid out in
 //! x-fastest (C) order so `idx = x + nx*(y + ny*z)`.
@@ -26,6 +27,7 @@ pub mod filter;
 pub mod histogram;
 pub mod io;
 pub mod mask;
+pub mod maskio;
 pub mod multivol;
 pub mod ooc;
 pub mod sample;
@@ -36,7 +38,8 @@ pub mod volume;
 
 pub use dims::{Dims3, Ix3};
 pub use histogram::{CumulativeHistogram, Histogram};
-pub use mask::Mask3;
+pub use mask::{Mask3, MaskWordsError};
+pub use maskio::{decode_mask, encode_mask, encode_mask_into, MaskIoError};
 pub use multivol::{MultiSeries, MultiVolume};
 pub use ooc::OutOfCoreSeries;
 pub use series::TimeSeries;

@@ -97,6 +97,31 @@ impl Mask3 {
         Self { dims, words }
     }
 
+    /// Rebuild a mask from its backing words (the inverse of [`Mask3::words`]).
+    ///
+    /// Rejects inputs that would violate the type's invariants instead of
+    /// panicking, so it is safe to feed with untrusted on-disk data: the word
+    /// count must be exactly `dims.len().div_ceil(64)` and every bit past
+    /// `dims.len()` in the last word must be zero.
+    pub fn from_words(dims: Dims3, words: Vec<u64>) -> Result<Self, MaskWordsError> {
+        let expected = words_for(dims.len());
+        if words.len() != expected {
+            return Err(MaskWordsError::WordCountMismatch {
+                expected,
+                got: words.len(),
+            });
+        }
+        let tail = dims.len() % WORD_BITS;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err(MaskWordsError::TailBitsSet);
+                }
+            }
+        }
+        Ok(Self { dims, words })
+    }
+
     #[inline]
     pub fn dims(&self) -> Dims3 {
         self.dims
@@ -341,6 +366,28 @@ impl Mask3 {
             .count()
     }
 }
+
+/// Why [`Mask3::from_words`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskWordsError {
+    WordCountMismatch { expected: usize, got: usize },
+    TailBitsSet,
+}
+
+impl std::fmt::Display for MaskWordsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaskWordsError::WordCountMismatch { expected, got } => {
+                write!(f, "word count mismatch: expected {expected}, got {got}")
+            }
+            MaskWordsError::TailBitsSet => {
+                write!(f, "bits set past the end of the voxel range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskWordsError {}
 
 /// Iterator over set-bit positions within one word, lowest first.
 struct SetBits(u64);

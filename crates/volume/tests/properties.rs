@@ -1,6 +1,8 @@
 //! Property-based tests for the volume substrate's core invariants.
 
 use ifet_volume::histogram::{CumulativeHistogram, Histogram};
+use ifet_volume::mask::MaskWordsError;
+use ifet_volume::maskio::{decode_mask, encode_mask};
 use ifet_volume::sample::{gradient_at, trilinear};
 use ifet_volume::{Dims3, Mask3, ScalarVolume};
 use proptest::prelude::*;
@@ -197,6 +199,34 @@ proptest! {
         inv.invert();
         prop_assert_eq!(inv.count(), d.len() - a.count());
         prop_assert_eq!(inv.intersection_count(&a), 0);
+    }
+
+    #[test]
+    fn binary_mask_section_roundtrips_bool_reference(bm in bool_mask_strategy()) {
+        // The on-disk mask section must round-trip against the `Vec<bool>`
+        // reference model: encode → decode reproduces every bit, and the
+        // word image itself is unchanged (bit-identical artifact bytes).
+        let (d, bits) = bm;
+        let m = mask_of_bools(d, &bits);
+        let bytes = encode_mask(&m);
+        let (back, used) = decode_mask(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back.dims(), d);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(back.get_linear(i), b);
+        }
+        prop_assert_eq!(back.words(), m.words());
+        // Re-encoding is byte-identical (no hidden nondeterminism).
+        prop_assert_eq!(encode_mask(&back), bytes);
+        // from_words accepts exactly the decoded image...
+        prop_assert_eq!(&Mask3::from_words(d, back.words().to_vec()).unwrap(), &back);
+        // ...and rejects a wrong-length image with a typed error.
+        let mut too_long = back.words().to_vec();
+        too_long.push(0);
+        prop_assert!(matches!(
+            Mask3::from_words(d, too_long),
+            Err(MaskWordsError::WordCountMismatch { .. })
+        ));
     }
 }
 

@@ -10,7 +10,7 @@ use ifet_sim::combustion_jet::top_fraction_mask;
 
 fn main() {
     let data = ifet_sim::combustion_jet(Dims3::new(48, 72, 24), 5);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let steps: Vec<u32> = data.series.steps().to_vec();
 

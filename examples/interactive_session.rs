@@ -42,11 +42,13 @@ fn main() {
 
     // ---- 2. Data-space training, then introspection ----------------------
     let session_series = series.clone();
-    let mut session = VisSession::new(session_series);
+    let mut session = VisSession::new(session_series).unwrap();
     let mut oracle = PaintOracle::new(3);
     let fi = 2; // paint on the middle frame
     let t_mid = series.steps()[fi];
-    session.add_paints(oracle.paint_from_truth(t_mid, data.truth_frame(fi), 300, 300));
+    session
+        .add_paints(oracle.paint_from_truth(t_mid, data.truth_frame(fi), 300, 300))
+        .unwrap();
     // Deliberately include the (useless here) position features.
     let spec = FeatureSpec {
         position: true,

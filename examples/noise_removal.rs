@@ -12,7 +12,7 @@ fn main() {
     // The reionization analog: a few large wobbly structures + many small
     // blobs sharing the same value band.
     let data = ifet_sim::reionization(Dims3::cube(48), 3);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
 
     let t = 310;
     let fi = data.series.index_of_step(t).unwrap();
@@ -23,7 +23,7 @@ fn main() {
     // ~200 of the background/noise (unwanted) on a few slices.
     let mut oracle = PaintOracle::new(42);
     let paints = oracle.paint_from_truth(t, truth, 200, 200);
-    session.add_paints(paints);
+    session.add_paints(paints).unwrap();
 
     // Train the per-voxel classifier with shell-neighborhood features.
     let spec = FeatureSpec {

@@ -19,7 +19,7 @@ fn main() {
         data.series.dims()
     );
 
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
 
     // 2. The "user" paints 1D transfer functions on the first and last key

@@ -11,7 +11,7 @@ fn main() {
     // The turbulent-vortex dataset: one feature that moves, deforms, and
     // splits near the end of t = 50..74.
     let data = ifet_sim::turbulent_vortex(Dims3::cube(48), 11);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
 
     // Seed the tracker inside the feature at the first frame (in the UI the
     // user clicks the feature; here we take the ground-truth centroid).

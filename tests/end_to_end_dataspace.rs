@@ -8,12 +8,14 @@ use ifet_track::FeatureOctree;
 
 fn setup() -> (ifet_sim::LabeledSeries, VisSession) {
     let data = ifet_sim::reionization(Dims3::cube(40), 0xDA7A);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let mut oracle = PaintOracle::new(0xDA7A);
     // Paint on the first and last frames only.
     for &t in &[130u32, 310] {
         let fi = data.series.index_of_step(t).unwrap();
-        session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 200, 200));
+        session
+            .add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 200, 200))
+            .unwrap();
     }
     session
         .train_classifier(
@@ -130,7 +132,7 @@ fn mask_criterion_tracking_from_classifier_output() {
         .iter()
         .map(|(t, frame)| clf.extract_mask(frame, data.series.normalized_time(t), 0.5))
         .collect();
-    let criterion = MaskCriterion::new(masks);
+    let criterion = MaskCriterion::new(masks).unwrap();
 
     // Seed at a truth voxel of the first frame.
     let seed = data.truth_frame(0).set_coords().next().unwrap();

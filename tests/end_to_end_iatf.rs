@@ -7,7 +7,7 @@ use ifet_sim::shock_bubble::ring_value_band;
 
 fn setup() -> (ifet_sim::LabeledSeries, VisSession) {
     let data = ifet_sim::shock_bubble(Dims3::cube(32), 0xE2E);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     for (t, tn) in [(195u32, 0.0f32), (225, 0.5), (255, 1.0)] {
         let (lo, hi) = ring_value_band(tn);
@@ -39,7 +39,7 @@ fn iatf_beats_static_tf_on_drifted_frames() {
 fn iatf_beats_lerp_at_unseen_steps() {
     // Key frames only at the endpoints; the middle frames are unseen.
     let data = ifet_sim::shock_bubble(Dims3::cube(32), 0xE2F);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     for (t, tn) in [(195u32, 0.0f32), (255, 1.0)] {
         let (lo, hi) = ring_value_band(tn);

@@ -21,7 +21,7 @@ fn centroid_seed(mask: &Mask3) -> (usize, usize, usize) {
 #[test]
 fn vortex_track_moves_deforms_and_splits() {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(40), 0x909);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
     let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
 
@@ -43,7 +43,7 @@ fn fixed_criterion_loses_decaying_swirl_adaptive_does_not() {
         dims: Dims3::cube(24),
         ..Default::default()
     });
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let steps: Vec<u32> = data.series.steps().to_vec();
 
@@ -88,7 +88,7 @@ fn fixed_criterion_loses_decaying_swirl_adaptive_does_not() {
 #[test]
 fn tracked_overlay_renders_red_over_context() {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(32), 0x90A);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     session.renderer.params.shading = false; // flat colors: red stays red
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
     let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
@@ -119,7 +119,7 @@ fn tracked_overlay_renders_red_over_context() {
 #[test]
 fn track_report_events_are_frame_ordered_and_consistent() {
     let data = ifet_sim::turbulent_vortex(Dims3::cube(32), 0x90B);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
     let (sx, sy, sz) = centroid_seed(data.truth_frame(0));
     let result = session.track_fixed(&[(0, sx, sy, sz)], 0.5, 10.0).unwrap();
 

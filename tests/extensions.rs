@@ -11,7 +11,7 @@ use ifet_track::EventKind;
 #[test]
 fn qg_inverse_cascade_yields_merge_events_and_tracks() {
     let data = ifet_sim::qg_turbulence(Dims3::cube(32), 7);
-    let criterion = MaskCriterion::new(data.truth.clone());
+    let criterion = MaskCriterion::new(data.truth.clone()).unwrap();
     let seeds: Vec<Seed4> = data
         .truth_frame(0)
         .set_coords()
@@ -157,7 +157,7 @@ fn out_of_core_series_supports_the_iatf_workflow() {
 
     // The IATF needs only the key frames in core (paper Section 4.2.3).
     let key_frames = [(195u32, 0.0f32), (255, 1.0)];
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = data.series.global_range();
     for (t, tn) in key_frames {
         let (lo, hi) = ring_value_band(tn);
@@ -191,7 +191,7 @@ fn suggested_key_frames_train_a_working_iatf() {
         ..Default::default()
     };
     let data = shock_bubble_with(params);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let keys = session.suggest_key_frames(3);
     assert!(keys.len() >= 2);
     let (glo, ghi) = data.series.global_range();
@@ -217,9 +217,11 @@ fn pruned_classifier_network_still_extracts() {
     let data = ifet_sim::reionization(Dims3::cube(24), 0xEA);
     let t = 310;
     let fi = data.series.index_of_step(t).unwrap();
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let mut oracle = PaintOracle::new(0xEA);
-    session.add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150));
+    session
+        .add_paints(oracle.paint_from_truth(t, data.truth_frame(fi), 150, 150))
+        .unwrap();
     session
         .train_classifier(
             FeatureSpec {

@@ -35,7 +35,7 @@ fn training_on_reloaded_series_is_identical() {
     std::fs::remove_dir_all(dir).ok();
 
     let train = |series: &TimeSeries| {
-        let mut session = VisSession::new(series.clone());
+        let mut session = VisSession::new(series.clone()).unwrap();
         let (glo, ghi) = series.global_range();
         for (t, tn) in [(195u32, 0.0f32), (255, 1.0)] {
             let (lo, hi) = ring_value_band(tn);
@@ -54,10 +54,12 @@ fn training_on_reloaded_series_is_identical() {
 fn whole_figure_pipeline_is_deterministic() {
     let run = || {
         let data = ifet_sim::reionization(Dims3::cube(24), 0x12);
-        let mut session = VisSession::new(data.series.clone());
+        let mut session = VisSession::new(data.series.clone()).unwrap();
         let mut oracle = PaintOracle::new(0x12);
         let fi = data.series.index_of_step(310).unwrap();
-        session.add_paints(oracle.paint_from_truth(310, data.truth_frame(fi), 80, 80));
+        session
+            .add_paints(oracle.paint_from_truth(310, data.truth_frame(fi), 80, 80))
+            .unwrap();
         session
             .train_classifier(FeatureSpec::default(), ClassifierParams::default())
             .unwrap();
@@ -70,7 +72,7 @@ fn whole_figure_pipeline_is_deterministic() {
 fn renderer_is_deterministic_across_thread_counts() {
     // Scanline parallelism must not change pixels.
     let data = ifet_sim::turbulent_vortex(Dims3::cube(24), 0x13);
-    let session = VisSession::new(data.series.clone());
+    let session = VisSession::new(data.series.clone()).unwrap();
     let (glo, ghi) = session.series().global_range();
     let tf = TransferFunction1D::band(glo, ghi, 0.5, ghi, 0.8);
     let t0 = data.series.steps()[0];
@@ -85,12 +87,84 @@ fn renderer_is_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn session_artifacts_are_byte_identical_across_thread_counts() {
+    // The golden determinism property for persistence: run the whole
+    // pipeline — IATF training, classifier training, data-space tracking,
+    // a paused checkpoint — under thread pools of different sizes, and the
+    // saved artifacts must agree to the byte. Frame-parallel classification,
+    // the per-thread scratch pool, and frontier-parallel growth must all be
+    // invisible in the serialized result.
+    let build = |threads: usize| {
+        pipeline::pool_with_threads(threads).install(|| {
+            let data = ifet_sim::reionization(Dims3::cube(16), 0x15);
+            let mut session = VisSession::new(data.series.clone()).unwrap();
+            let steps = data.series.steps().to_vec();
+            let (glo, ghi) = data.series.global_range();
+
+            session.add_key_frame(
+                steps[0],
+                TransferFunction1D::band(glo, ghi, glo + 0.3 * (ghi - glo), ghi, 0.9),
+            );
+            session.add_key_frame(
+                *steps.last().unwrap(),
+                TransferFunction1D::band(glo, ghi, glo + 0.5 * (ghi - glo), ghi, 0.9),
+            );
+            session.train_iatf(IatfParams {
+                epochs: 60,
+                ..Default::default()
+            });
+
+            let mut oracle = PaintOracle::new(0x15);
+            session
+                .add_paints(oracle.paint_from_truth(steps[0], data.truth_frame(0), 60, 60))
+                .unwrap();
+            session
+                .train_classifier(
+                    FeatureSpec::default(),
+                    ClassifierParams {
+                        epochs: 60,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+
+            // Seed tracking from the first voxel the classifier accepts, so
+            // the data-space criterion grows a real region.
+            let mask = session.extract_data_space(steps[0], 0.5).unwrap();
+            let d = data.series.dims();
+            let i = (0..d.len())
+                .find(|&i| mask.get_linear(i))
+                .expect("classifier accepted no voxel");
+            let (x, y, z) = d.coords(i);
+            let spec = CriterionSpec::DataSpace { tau: 0.5 };
+            let status = session
+                .run_track(spec.clone(), &[(0, x, y, z)], None)
+                .unwrap();
+            assert_eq!(status, TrackStatus::Completed);
+            // A second run interrupted after one parallel round leaves a
+            // checkpoint in the artifact as well.
+            session.run_track(spec, &[(0, x, y, z)], Some(1)).unwrap();
+
+            save_session_bytes(&session)
+        })
+    };
+
+    let one = build(1);
+    let two = build(2);
+    let four = build(4);
+    assert_eq!(one, two, "1-thread and 2-thread artifacts differ");
+    assert_eq!(one, four, "1-thread and 4-thread artifacts differ");
+}
+
+#[test]
 fn classifier_network_roundtrips_as_json() {
     let data = ifet_sim::reionization(Dims3::cube(24), 0x14);
-    let mut session = VisSession::new(data.series.clone());
+    let mut session = VisSession::new(data.series.clone()).unwrap();
     let mut oracle = PaintOracle::new(0x14);
     let fi = data.series.index_of_step(130).unwrap();
-    session.add_paints(oracle.paint_from_truth(130, data.truth_frame(fi), 60, 60));
+    session
+        .add_paints(oracle.paint_from_truth(130, data.truth_frame(fi), 60, 60))
+        .unwrap();
     session
         .train_classifier(FeatureSpec::default(), ClassifierParams::default())
         .unwrap();

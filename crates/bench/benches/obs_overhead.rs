@@ -1,0 +1,164 @@
+//! Cost of the observability layer (`ifet_core::obs`).
+//!
+//! Two claims are measured:
+//! 1. Primitives: a disabled `counter()` / `span()` is a load + branch —
+//!    nanoseconds — while the enabled paths stay cheap enough for per-slab
+//!    granularity.
+//! 2. Pipeline A/B: the instrumented hot path (series classification +
+//!    4D growth) timed with tracing disabled vs. under a live capture, plus
+//!    an estimate of the disabled-mode overhead: events-per-run × disabled
+//!    per-event cost as a fraction of the run, which must stay below 5%.
+//!
+//! `IFET_QUICK=1` shrinks everything to a CI smoke-run.
+
+use criterion::{black_box, Criterion};
+use ifet_core::obs;
+use ifet_core::prelude::*;
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::var("IFET_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    assert!(!obs::is_enabled());
+    g.bench_function("counter_disabled", |b| {
+        b.iter(|| obs::counter("bench.counter", black_box(1)))
+    });
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _s = obs::span("bench.span");
+        })
+    });
+    g.bench_function("is_enabled", |b| b.iter(|| black_box(obs::is_enabled())));
+    g.finish();
+
+    // Enabled costs, measured inside one long-lived capture. The guard space
+    // is bounded: counters merge by name, so the span tree stays tiny.
+    let (_, _trace) = obs::capture("bench.enabled", || {
+        let mut g = c.benchmark_group("obs_primitives_enabled");
+        g.bench_function("counter_enabled", |b| {
+            b.iter(|| obs::counter("bench.counter", black_box(1)))
+        });
+        g.bench_function("span_enabled", |b| {
+            b.iter(|| {
+                let _s = obs::span("bench.span");
+            })
+        });
+        g.finish();
+    });
+}
+
+/// One representative hot-path run: classify every frame, then grow a 4D
+/// region under a fixed band. Returns a value dependent on the work so the
+/// optimizer cannot elide it.
+fn pipeline_once(
+    clf: &DataSpaceClassifier,
+    series: &TimeSeries,
+    seed: Seed4,
+    band: (f32, f32),
+) -> usize {
+    let certainty = clf.classify_series(series);
+    let criterion = FixedBandCriterion::new(band.0, band.1, series.len()).unwrap();
+    let masks = grow_4d(series, &criterion, &[seed]).unwrap();
+    certainty.len() + masks.iter().map(|m| m.count()).sum::<usize>()
+}
+
+/// Count spans and counters in a trace — the number of observability events
+/// a single pipeline run produces.
+fn event_count(s: &obs::Span) -> usize {
+    1 + s.counters.len() + s.children.iter().map(event_count).sum::<usize>()
+}
+
+fn time_runs(reps: usize, mut f: impl FnMut() -> usize) -> Duration {
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..reps {
+        acc = acc.wrapping_add(f());
+    }
+    black_box(acc);
+    start.elapsed()
+}
+
+fn bench_pipeline_ab() {
+    let dims = if quick() { 12 } else { 16 };
+    let reps = if quick() { 2 } else { 8 };
+    let data = ifet_sim::shock_bubble(Dims3::cube(dims), 0x51);
+    let series = data.series.clone();
+
+    let mut session = VisSession::new(series.clone()).unwrap();
+    let mut oracle = PaintOracle::new(5);
+    let step0 = series.steps()[0];
+    session
+        .add_paints(oracle.paint_from_truth(step0, &data.truth[0], 60, 60))
+        .unwrap();
+    session
+        .train_classifier(
+            FeatureSpec {
+                shell: ShellMode::None,
+                ..Default::default()
+            },
+            ClassifierParams {
+                epochs: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let clf = session.classifier().unwrap().clone();
+
+    let (_, f0) = series.iter().next().unwrap();
+    let (mut bi, mut bv) = (0usize, f32::MIN);
+    for (i, &v) in f0.as_slice().iter().enumerate() {
+        if v > bv {
+            bv = v;
+            bi = i;
+        }
+    }
+    let (x, y, z) = series.dims().coords(bi);
+    let (_, ghi) = series.global_range();
+    let band = (bv - 0.3, ghi);
+    let seed = (0usize, x, y, z);
+
+    // Warm up, then A/B.
+    pipeline_once(&clf, &series, seed, band);
+    assert!(!obs::is_enabled());
+    let disabled = time_runs(reps, || pipeline_once(&clf, &series, seed, band));
+    let (enabled, trace) = obs::capture("bench.pipeline", || {
+        time_runs(reps, || pipeline_once(&clf, &series, seed, band))
+    });
+
+    let events = event_count(&trace.root) / reps.max(1);
+    // Disabled instrumentation costs one is_enabled check (plus argument
+    // setup) per event; bound the per-event cost generously at 25ns.
+    let per_run = disabled.as_nanos() as f64 / reps as f64;
+    let est_overhead_pct = (events as f64 * 25.0) / per_run * 100.0;
+
+    println!("obs_overhead/pipeline_ab");
+    println!("  disabled: {:>10.3} ms/run", per_run / 1e6);
+    println!(
+        "  enabled:  {:>10.3} ms/run ({:+.2}% vs disabled)",
+        enabled.as_nanos() as f64 / reps as f64 / 1e6,
+        (enabled.as_nanos() as f64 / disabled.as_nanos() as f64 - 1.0) * 100.0
+    );
+    println!("  events/run: {events}");
+    println!("  estimated disabled overhead: {est_overhead_pct:.3}% (budget 5%)");
+    assert!(
+        est_overhead_pct < 5.0,
+        "disabled instrumentation exceeds the 5% hot-path budget: {est_overhead_pct:.3}%"
+    );
+}
+
+fn main() {
+    let mut c = if quick() {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(120))
+    } else {
+        Criterion::default()
+    };
+    bench_primitives(&mut c);
+    bench_pipeline_ab();
+}

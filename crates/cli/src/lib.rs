@@ -8,15 +8,24 @@
 //!   adaptive transfer function from key-frame value bands,
 //! - `render --data DIR --step T (--iatf FILE | --band LO:HI) --out FILE.ppm`
 //!   — ray-cast one frame,
-//! - `track --data DIR --seed X,Y,Z (--iatf FILE --tau V | --band LO:HI)`
-//!   — 4D region growing with an adaptive or fixed criterion; prints the
-//!   per-frame voxel counts and events.
+//! - `track --data DIR --seed X,Y,Z (--iatf FILE --tau V | --band LO:HI |
+//!   --session FILE --dataspace-tau V)` — 4D region growing with an
+//!   adaptive, fixed, or data-space criterion; prints the per-frame voxel
+//!   counts and events.
+//!
+//! Every subcommand additionally honours `--trace FILE` (versioned JSON
+//! span tree), `--profile` (per-stage table on stderr), and
+//! `--trace-mode full|stable` — see [`run`].
 
+use ifet_core::obs;
 use ifet_core::prelude::*;
 use ifet_tf::Iatf;
 use ifet_volume::io::{read_series, write_series};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+
+/// Options that take no value; `--profile` alone means "print the profile".
+const BOOL_FLAGS: &[&str] = &["profile"];
 
 /// Parsed command line: subcommand, positional args, `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,13 +44,14 @@ pub fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut options: HashMap<String, Vec<String>> = HashMap::new();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("option --{name} needs a value"))?;
-            options
-                .entry(name.to_string())
-                .or_default()
-                .push(value.clone());
+            let value = if BOOL_FLAGS.contains(&name) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("option --{name} needs a value"))?
+                    .clone()
+            };
+            options.entry(name.to_string()).or_default().push(value);
         } else {
             positional.push(a.clone());
         }
@@ -73,6 +83,11 @@ impl Args {
         self.options.get(name).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
+    /// Presence of a valueless flag (see [`BOOL_FLAGS`]).
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
     pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name) {
             None => Ok(default),
@@ -94,6 +109,23 @@ pub fn parse_key_spec(s: &str) -> Result<(u32, f32, f32), String> {
         return Err(format!("key spec {s:?}: hi must exceed lo"));
     }
     Ok((t, lo, hi))
+}
+
+/// Parse `STEP:N` oracle-paint specs (paint N positive + N negative voxels
+/// from the ground-truth sidecar of time step STEP).
+pub fn parse_paint_spec(s: &str) -> Result<(u32, usize), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 2 {
+        return Err(format!("paint spec must be STEP:N, got {s:?}"));
+    }
+    let t = parts[0].parse().map_err(|_| format!("bad step in {s:?}"))?;
+    let n: usize = parts[1]
+        .parse()
+        .map_err(|_| format!("bad count in {s:?}"))?;
+    if n == 0 {
+        return Err(format!("paint spec {s:?}: count must be positive"));
+    }
+    Ok((t, n))
 }
 
 /// Parse `X,Y,Z` voxel coordinates.
@@ -142,6 +174,29 @@ fn load_series(dir: &str) -> Result<TimeSeries, String> {
     }
     paths.sort();
     read_series(&paths).map_err(|e| format!("failed to load series: {e}"))
+}
+
+/// Load the `_truth` ground-truth companion frames that [`load_series`]
+/// filters out. Only `generate`d directories have them.
+fn load_truth_series(dir: &str) -> Result<TimeSeries, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.contains("_truth"))
+                .unwrap_or(false)
+        })
+        .collect();
+    if paths.is_empty() {
+        return Err(format!(
+            "no ground-truth sidecars in {dir} (was it written by `ifet generate`?)"
+        ));
+    }
+    paths.sort();
+    read_series(&paths).map_err(|e| format!("failed to load truth series: {e}"))
 }
 
 /// `generate` subcommand.
@@ -285,12 +340,23 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
     let series = load_series(dir)?;
     let (glo, ghi) = series.global_range();
     let _ = glo;
-    let session = VisSession::new(series.clone()).unwrap();
+    // `--session` opens a saved artifact so artifact state (most usefully a
+    // trained data-space classifier) can drive the criterion.
+    let session = if let Some(path) = args.opt("session") {
+        VisSession::load(series.clone(), path).map_err(|e| e.to_string())?
+    } else {
+        VisSession::new(series.clone()).unwrap()
+    };
 
     // The frontier-parallel grower fans out per-frame work; `--threads`
     // pins its worker count (0 = default sizing).
     let run_tracking = |session: &VisSession| -> Result<TrackResult, String> {
-        if let Some(path) = args.opt("iatf") {
+        if let Some(tau) = args.opt("dataspace-tau") {
+            let tau: f32 = tau.parse().map_err(|_| "bad --dataspace-tau")?;
+            session
+                .track_spec(&CriterionSpec::DataSpace { tau }, &[(0, sx, sy, sz)])
+                .map_err(|e| format!("tracking failed: {e}"))
+        } else if let Some(path) = args.opt("iatf") {
             let iatf = load_iatf(path)?;
             let tau: f32 = args.opt_parse("tau", 0.5f32)?;
             let tfs: Vec<TransferFunction1D> = series
@@ -309,7 +375,10 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
                 .track_fixed(&[(0, sx, sy, sz)], lo, hi)
                 .map_err(|e| format!("tracking failed: {e}"))
         } else {
-            Err("track needs --iatf FILE [--tau V] or --band LO:HI".into())
+            Err(
+                "track needs --iatf FILE [--tau V], --band LO:HI, or --session FILE --dataspace-tau V"
+                    .into(),
+            )
         }
     };
     let result = if threads == 0 {
@@ -381,18 +450,63 @@ fn cmd_session_save(args: &Args) -> Result<String, String> {
         notes.push(format!("trained IATF on {} key frames", keys.len()));
     }
 
+    // `--paint STEP:N` simulates a user painting N positive + N negative
+    // voxels per listed frame from the generated ground-truth sidecars, then
+    // trains the data-space classifier on the result.
+    let paint_specs = args.all("paint");
+    if !paint_specs.is_empty() {
+        let truth = load_truth_series(dir)?;
+        let mut oracle = PaintOracle::new(args.opt_parse("paint-seed", 1u64)?);
+        let mut painted = 0usize;
+        for spec in paint_specs {
+            let (step, n) = parse_paint_spec(spec)?;
+            let idx = truth
+                .index_of_step(step)
+                .ok_or_else(|| format!("paint step {step} not in series"))?;
+            let mask = Mask3::threshold(truth.frame(idx), 0.5);
+            session
+                .add_paints(oracle.paint_from_truth(step, &mask, n, n))
+                .map_err(|e| e.to_string())?;
+            painted += 2 * n;
+        }
+        let clf_epochs: usize = args.opt_parse("clf-epochs", 200usize)?;
+        session
+            .train_classifier(
+                FeatureSpec::default(),
+                ClassifierParams {
+                    epochs: clf_epochs,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| format!("classifier training failed: {e}"))?;
+        notes.push(format!(
+            "trained data-space classifier on {painted} painted voxels across {} frames",
+            paint_specs.len()
+        ));
+    }
+
     if let Some(seed) = args.opt("seed") {
         let (sx, sy, sz) = parse_voxel(seed)?;
         let spec = if let Some(band) = args.opt("band") {
             let (lo, hi) = parse_band(band)?;
             CriterionSpec::FixedBand { lo, hi }
+        } else if let Some(tau) = args.opt("dataspace-tau") {
+            if session.classifier().is_none() {
+                return Err(
+                    "--dataspace-tau needs a trained classifier (use --paint STEP:N)".into(),
+                );
+            }
+            CriterionSpec::DataSpace {
+                tau: tau.parse().map_err(|_| "bad --dataspace-tau")?,
+            }
         } else if session.iatf().is_some() {
             CriterionSpec::AdaptiveTf {
                 tau: args.opt_parse("tau", 0.5f32)?,
             }
         } else {
             return Err(
-                "session save --seed needs --band LO:HI or --key frames (adaptive criterion)"
+                "session save --seed needs --band LO:HI, --dataspace-tau V (with --paint), \
+                 or --key frames (adaptive criterion)"
                     .into(),
             );
         };
@@ -414,12 +528,25 @@ fn cmd_session_save(args: &Args) -> Result<String, String> {
         }
     }
 
+    embed_trace_summary(&mut session)?;
     session.save(out).map_err(|e| e.to_string())?;
     let mut msg = format!("saved session artifact -> {out}");
     for n in notes {
         msg.push_str(&format!("\n  {n}"));
     }
     Ok(msg)
+}
+
+/// When a capture is live (`--trace`/`--profile`), snapshot the span tree so
+/// far and ride it along in the artifact's TRACE section. Stable mode only:
+/// embedded timings would make artifact bytes nondeterministic.
+fn embed_trace_summary(session: &mut VisSession) -> Result<(), String> {
+    if let Some(t) = obs::snapshot() {
+        session
+            .set_trace_summary(t.to_stable().to_json())
+            .map_err(|e| format!("trace summary rejected: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Human-readable inventory of a loaded session.
@@ -492,6 +619,7 @@ fn cmd_session_resume(args: &Args) -> Result<String, String> {
     let result = session.resume_track().map_err(|e| e.to_string())?;
     let total: usize = result.report.voxels_per_frame.iter().sum();
     let events = result.report.events.len();
+    embed_trace_summary(&mut session)?;
     session.save(out).map_err(|e| e.to_string())?;
     Ok(format!(
         "resumed tracking to completion: {total} voxels, {events} events\nsaved -> {out}"
@@ -510,8 +638,52 @@ pub fn cmd_suggest_keys(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// Dispatch a parsed command.
+/// Dispatch a parsed command, honouring the cross-cutting observability
+/// options: `--trace FILE` writes the versioned span tree as JSON,
+/// `--profile` prints an aggregate per-span table to stderr, and
+/// `--trace-mode full|stable` picks between wall-clock timings and the
+/// deterministic-counters-only form (default `full`).
 pub fn run(args: &Args) -> Result<String, String> {
+    let trace_path = args.opt("trace");
+    let profile = args.flag("profile");
+    if trace_path.is_none() && !profile {
+        return dispatch(args);
+    }
+    let mode = match args.opt("trace-mode").unwrap_or("full") {
+        "full" => obs::TraceMode::Full,
+        "stable" => obs::TraceMode::Stable,
+        other => return Err(format!("invalid --trace-mode {other:?} (full or stable)")),
+    };
+    let (result, trace) = obs::capture(command_root(&args.command), || dispatch(args));
+    let trace = match mode {
+        obs::TraceMode::Full => trace,
+        obs::TraceMode::Stable => trace.to_stable(),
+    };
+    if let Some(path) = trace_path {
+        std::fs::write(path, trace.to_json_pretty())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    if profile {
+        eprintln!("{}", obs::profile_table(&trace));
+    }
+    result
+}
+
+/// Root span name for a subcommand ([`obs::capture`] wants a static name).
+fn command_root(command: &str) -> &'static str {
+    match command {
+        "generate" => "ifet.generate",
+        "info" => "ifet.info",
+        "train-iatf" => "ifet.train-iatf",
+        "render" => "ifet.render",
+        "track" => "ifet.track",
+        "session" => "ifet.session",
+        "suggest-keys" => "ifet.suggest-keys",
+        _ => "ifet",
+    }
+}
+
+fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "info" => cmd_info(args),
@@ -534,12 +706,21 @@ USAGE:
   ifet info --data DIR
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
   ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
-  ifet track --data DIR --seed X,Y,Z (--iatf FILE [--tau V] | --band LO:HI) [--threads N]
+  ifet track --data DIR --seed X,Y,Z [--threads N]
+             (--iatf FILE [--tau V] | --band LO:HI | --session FILE --dataspace-tau V)
   ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
-                    [--seed X,Y,Z (--band LO:HI | --tau V)] [--rounds N]
+                    [--paint STEP:N ...] [--clf-epochs N] [--paint-seed S]
+                    [--seed X,Y,Z (--band LO:HI | --dataspace-tau V | --tau V)]
+                    [--rounds N]
   ifet session load --data DIR --session FILE
   ifet session resume --data DIR --session FILE [--out FILE]
   ifet suggest-keys --data DIR [--max N]
+
+observability (any subcommand):
+  --trace FILE          write a versioned JSON span tree of the run
+  --profile             print an aggregate per-span profile table to stderr
+  --trace-mode MODE     full (timings, default) or stable (deterministic
+                        counters only; timings zeroed, runtime counters dropped)
 
 datasets: shock-bubble, combustion-jet, reionization, turbulent-vortex,
           swirling-flow, qg-turbulence";

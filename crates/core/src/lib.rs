@@ -45,6 +45,13 @@ pub mod persist;
 pub mod pipeline;
 pub mod session;
 
+/// Runtime observability: structured span tracing and deterministic counters.
+///
+/// Re-exported so applications can drive capture (`obs::capture`,
+/// `obs::span`, `obs::counter`) through the same facade they use for
+/// everything else.
+pub use ifet_obs as obs;
+
 pub use metrics::Scores;
 pub use persist::PersistError;
 pub use session::{

@@ -31,6 +31,7 @@
 use crate::session::{CompletedTrack, CriterionSpec, PendingTrack, TrackResult, VisSession};
 use ifet_extract::paint::PaintSet;
 use ifet_extract::{ClassifierSnapshot, DataSpaceClassifier, SnapshotError};
+use ifet_obs as obs;
 use ifet_tf::{ColorMap, Iatf, IatfParams, TransferFunction1D};
 use ifet_track::{track_events, GrowCheckpoint, GrowError, Seed4, TrackReport};
 use ifet_volume::maskio::{decode_mask, encode_mask_into, MaskIoError};
@@ -56,6 +57,9 @@ const SEC_PAINTS: &str = "PAINTS";
 const SEC_CLASSIFY: &str = "CLASSIFY";
 const SEC_TRACKS: &str = "TRACKS";
 const SEC_CHECKPT: &str = "CHECKPT";
+/// Optional stable-mode trace summary (versioned obs JSON). Absent unless a
+/// trace was attached; skipped by readers that predate it (forward compat).
+const SEC_TRACE: &str = "TRACE";
 
 /// Why a session artifact could not be written or read. Anything a damaged,
 /// truncated, or foreign file can trigger is a variant here — loading never
@@ -212,6 +216,20 @@ fn crc32_table() -> &'static [u32; 256] {
     })
 }
 
+/// [`crc32`] accumulating elapsed time into `acc_ns` when tracing is active.
+/// Timing is runtime-only information, so the disabled path pays a single
+/// branch and never touches the clock.
+fn timed_crc32(data: &[u8], acc_ns: &mut u64) -> u32 {
+    if obs::is_enabled() {
+        let t0 = std::time::Instant::now();
+        let c = crc32(data);
+        *acc_ns += t0.elapsed().as_nanos() as u64;
+        c
+    } else {
+        crc32(data)
+    }
+}
+
 /// CRC32 of a byte slice (table-driven; the corruption tests sweep every byte
 /// of an artifact, so this must not be the bitwise-loop variant).
 pub fn crc32(data: &[u8]) -> u32 {
@@ -252,6 +270,8 @@ impl ArtifactWriter {
 
     /// Serialize the whole artifact.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _span = obs::span("persist.to_bytes");
+        let mut crc_ns = 0u64;
         let table_len = self.sections.len() * TABLE_ENTRY_LEN;
         let payload_base = FIXED_HEADER_LEN + table_len + 4;
         let total: usize = payload_base + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>();
@@ -264,15 +284,18 @@ impl ArtifactWriter {
             out.extend_from_slice(tag);
             out.extend_from_slice(&(offset as u64).to_le_bytes());
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(&timed_crc32(payload, &mut crc_ns).to_le_bytes());
             offset += payload.len();
         }
-        let header_crc = crc32(&out);
+        let header_crc = timed_crc32(&out, &mut crc_ns);
         out.extend_from_slice(&header_crc.to_le_bytes());
         for (_, payload) in &self.sections {
             out.extend_from_slice(payload);
         }
         debug_assert_eq!(out.len(), total);
+        obs::counter("sections", self.sections.len() as u64);
+        obs::counter("bytes", out.len() as u64);
+        obs::counter_runtime("crc_ns", crc_ns);
         out
     }
 }
@@ -303,6 +326,9 @@ fn read_u64(b: &[u8]) -> u64 {
 
 impl<'a> ArtifactReader<'a> {
     pub fn parse(data: &'a [u8]) -> Result<Self, PersistError> {
+        let _span = obs::span("persist.parse");
+        obs::counter("bytes", data.len() as u64);
+        let mut crc_ns = 0u64;
         if data.len() < FIXED_HEADER_LEN {
             return Err(PersistError::TruncatedHeader {
                 needed: FIXED_HEADER_LEN,
@@ -337,7 +363,7 @@ impl<'a> ArtifactReader<'a> {
         }
         // The header checksum covers the table, so a bit flip in a *tag*
         // cannot silently turn a known section into a skipped unknown one.
-        if crc32(&data[..table_end]) != read_u32(&data[table_end..]) {
+        if timed_crc32(&data[..table_end], &mut crc_ns) != read_u32(&data[table_end..]) {
             return Err(PersistError::HeaderChecksumMismatch);
         }
         let mut sections = Vec::with_capacity(count);
@@ -372,11 +398,13 @@ impl<'a> ArtifactReader<'a> {
                     got: data.len(),
                 });
             }
-            if crc32(&data[offset..end]) != crc {
+            if timed_crc32(&data[offset..end], &mut crc_ns) != crc {
                 return Err(PersistError::ChecksumMismatch { section: tag });
             }
             sections.push((tag, offset, len));
         }
+        obs::counter("sections", sections.len() as u64);
+        obs::counter_runtime("crc_ns", crc_ns);
         Ok(Self { data, sections })
     }
 
@@ -658,6 +686,7 @@ fn decode_checkpoint(payload: &[u8], series: &TimeSeries) -> Result<PendingTrack
 
 /// Serialize a session to artifact bytes (the series itself is not stored).
 pub fn save_session_bytes(sess: &VisSession) -> Vec<u8> {
+    let _span = obs::span("persist.save");
     let series = sess.series();
     let d = series.dims();
     let meta = SessionMeta {
@@ -671,24 +700,39 @@ pub fn save_session_bytes(sess: &VisSession) -> Vec<u8> {
         colormap: sess.colormap,
         iatf_params: sess.iatf_params(),
     };
+    // Each section's encoding gets its own span so a trace shows where save
+    // time and bytes go (e.g. a large CHECKPT dominating the artifact).
+    fn add_section(w: &mut ArtifactWriter, tag: &str, encode: impl FnOnce() -> Vec<u8>) {
+        let _span = obs::span_dyn(format!("persist.section.{tag}"));
+        let payload = encode();
+        obs::counter("bytes", payload.len() as u64);
+        w.add(tag, payload);
+    }
     let mut w = ArtifactWriter::new();
-    w.add(SEC_META, to_json_payload(&meta));
-    w.add(SEC_KEYFRAME, to_json_payload(&sess.key_frames().to_vec()));
-    w.add(SEC_IATF, to_json_payload(&sess.iatf().cloned()));
-    w.add(SEC_PAINTS, to_json_payload(&sess.paints().to_vec()));
-    w.add(
-        SEC_CLASSIFY,
-        to_json_payload(&sess.classifier().map(|c| c.snapshot())),
-    );
-    w.add(SEC_TRACKS, encode_tracks(sess.tracks()));
+    add_section(&mut w, SEC_META, || to_json_payload(&meta));
+    add_section(&mut w, SEC_KEYFRAME, || {
+        to_json_payload(&sess.key_frames().to_vec())
+    });
+    add_section(&mut w, SEC_IATF, || to_json_payload(&sess.iatf().cloned()));
+    add_section(&mut w, SEC_PAINTS, || {
+        to_json_payload(&sess.paints().to_vec())
+    });
+    add_section(&mut w, SEC_CLASSIFY, || {
+        to_json_payload(&sess.classifier().map(|c| c.snapshot()))
+    });
+    add_section(&mut w, SEC_TRACKS, || encode_tracks(sess.tracks()));
     if let Some(pending) = sess.pending_track() {
-        w.add(SEC_CHECKPT, encode_checkpoint(pending));
+        add_section(&mut w, SEC_CHECKPT, || encode_checkpoint(pending));
+    }
+    if let Some(trace) = sess.trace_summary() {
+        add_section(&mut w, SEC_TRACE, || trace.as_bytes().to_vec());
     }
     w.to_bytes()
 }
 
 /// Rebuild a session from artifact bytes against its time series.
 pub fn load_session_bytes(series: TimeSeries, bytes: &[u8]) -> Result<VisSession, PersistError> {
+    let _span = obs::span("persist.load");
     let r = ArtifactReader::parse(bytes)?;
 
     let meta: SessionMeta = from_json_payload(SEC_META, r.require(SEC_META)?)?;
@@ -763,6 +807,25 @@ pub fn load_session_bytes(series: TimeSeries, bytes: &[u8]) -> Result<VisSession
         .map(|p| decode_checkpoint(p, &series))
         .transpose()?;
 
+    // The trace summary is kept as the raw JSON string so a load→save cycle
+    // re-emits the section byte-for-byte, but it still has to parse as a
+    // trace we understand — a corrupted summary should fail loudly at load,
+    // not when some later tool tries to read it.
+    let trace_summary = r
+        .section(SEC_TRACE)
+        .map(|p| -> Result<String, PersistError> {
+            let text = std::str::from_utf8(p).map_err(|_| PersistError::Malformed {
+                section: SEC_TRACE.to_string(),
+                reason: "trace summary is not valid UTF-8".to_string(),
+            })?;
+            obs::Trace::from_json(text).map_err(|e| PersistError::Malformed {
+                section: SEC_TRACE.to_string(),
+                reason: e.to_string(),
+            })?;
+            Ok(text.to_string())
+        })
+        .transpose()?;
+
     Ok(VisSession::from_parts(
         series,
         key_frames,
@@ -773,6 +836,7 @@ pub fn load_session_bytes(series: TimeSeries, bytes: &[u8]) -> Result<VisSession
         meta.colormap,
         tracks,
         pending,
+        trace_summary,
     ))
 }
 

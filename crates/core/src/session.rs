@@ -8,6 +8,7 @@ use ifet_extract::paint::PaintSet;
 use ifet_extract::{
     ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, TrainError,
 };
+use ifet_obs as obs;
 use ifet_render::{render_tracking_overlay, Camera, Image, Renderer};
 use ifet_tf::{ColorMap, Iatf, IatfBuilder, IatfParams, TransferFunction1D};
 use ifet_track::{
@@ -133,6 +134,9 @@ pub struct VisSession {
     classifier: Option<DataSpaceClassifier>,
     tracks: Vec<CompletedTrack>,
     pending: Option<PendingTrack>,
+    /// Stable-mode trace summary (versioned obs JSON) riding along in saved
+    /// artifacts; kept as the raw string so re-saving is byte-identical.
+    trace_summary: Option<String>,
     pub renderer: Renderer,
     pub colormap: ColorMap,
 }
@@ -152,6 +156,7 @@ impl VisSession {
             classifier: None,
             tracks: Vec::new(),
             pending: None,
+            trace_summary: None,
             renderer: Renderer::default(),
             colormap: ColorMap::Rainbow,
         })
@@ -169,6 +174,7 @@ impl VisSession {
         colormap: ColorMap,
         tracks: Vec<CompletedTrack>,
         pending: Option<PendingTrack>,
+        trace_summary: Option<String>,
     ) -> Self {
         Self {
             series,
@@ -179,6 +185,7 @@ impl VisSession {
             classifier,
             tracks,
             pending,
+            trace_summary,
             renderer: Renderer::default(),
             colormap,
         }
@@ -222,6 +229,7 @@ impl VisSession {
     /// Train the adaptive transfer function from the current key frames.
     pub fn train_iatf(&mut self, params: IatfParams) -> &Iatf {
         assert!(!self.key_frames.is_empty(), "no key frames specified");
+        let _span = obs::span("session.train_iatf");
         let mut b = IatfBuilder::new(params);
         for (t, tf) in &self.key_frames {
             b.add_key_frame(*t, tf.clone());
@@ -319,6 +327,7 @@ impl VisSession {
         spec: FeatureSpec,
         params: ClassifierParams,
     ) -> Result<&DataSpaceClassifier, TrainError> {
+        let _span = obs::span("session.train_classifier");
         let fx = FeatureExtractor::new(spec);
         let clf = DataSpaceClassifier::train(fx, &self.series, &self.paints, params)?;
         self.classifier = Some(clf);
@@ -327,6 +336,33 @@ impl VisSession {
 
     pub fn classifier(&self) -> Option<&DataSpaceClassifier> {
         self.classifier.as_ref()
+    }
+
+    /// Install an externally trained classifier (e.g. a `train_multi` model
+    /// over a sibling multivariate series) so it persists with the session.
+    pub fn adopt_classifier(&mut self, clf: DataSpaceClassifier) -> &mut Self {
+        self.classifier = Some(clf);
+        self
+    }
+
+    /// The trace summary riding along in saved artifacts, if any.
+    pub fn trace_summary(&self) -> Option<&str> {
+        self.trace_summary.as_deref()
+    }
+
+    /// Attach a trace summary to persist with the session (as the artifact's
+    /// skippable TRACE section). The JSON must parse under the versioned
+    /// trace schema; it is stored verbatim so re-saving stays byte-identical.
+    pub fn set_trace_summary(&mut self, trace_json: String) -> Result<&mut Self, obs::TraceError> {
+        obs::Trace::from_json(&trace_json)?;
+        self.trace_summary = Some(trace_json);
+        Ok(self)
+    }
+
+    /// Drop any attached trace summary.
+    pub fn clear_trace_summary(&mut self) -> &mut Self {
+        self.trace_summary = None;
+        self
     }
 
     /// Data-space extraction mask at step `t` (None until trained).
@@ -360,7 +396,7 @@ impl VisSession {
     }
 
     /// Track with a named criterion, without recording the run.
-    fn track_spec(
+    pub fn track_spec(
         &self,
         spec: &CriterionSpec,
         seeds: &[Seed4],
@@ -419,6 +455,7 @@ impl VisSession {
         seeds: &[Seed4],
         max_rounds: Option<u64>,
     ) -> Result<TrackStatus, SessionError> {
+        let _span = obs::span("session.run_track");
         let criterion = self.resolve_criterion(&spec)?;
         let mut grower = Grower::start(&self.series, criterion.as_ref(), seeds)?;
         if grower.run(max_rounds) {
@@ -445,6 +482,7 @@ impl VisSession {
     /// result is identical to what an uninterrupted run would have produced
     /// (growth is a fixpoint, independent of round partitioning).
     pub fn resume_track(&mut self) -> Result<&TrackResult, PersistError> {
+        let _span = obs::span("session.resume_track");
         let pending = self.pending.take().ok_or(PersistError::NoCheckpoint)?;
         let criterion =
             self.resolve_criterion(&pending.spec)

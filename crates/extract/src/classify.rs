@@ -4,6 +4,7 @@ use crate::features::FeatureExtractor;
 use crate::paint::PaintSet;
 use ifet_nn::mlp::Scratch;
 use ifet_nn::{Activation, Mlp, Normalizer, Svm, SvmParams, TrainParams, Trainer, TrainingSet};
+use ifet_obs as obs;
 use ifet_volume::{Mask3, MultiSeries, MultiVolume, ScalarVolume, TimeSeries};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -49,7 +50,18 @@ impl ScratchPool {
     }
 
     fn take(&self) -> PredictBuffers {
-        self.free.lock().unwrap().pop().unwrap_or_default()
+        // Hit/miss split depends on worker scheduling, so these are runtime
+        // counters (stripped from stable traces).
+        match self.free.lock().unwrap().pop() {
+            Some(bufs) => {
+                obs::counter_runtime("scratch_pool_hits", 1);
+                bufs
+            }
+            None => {
+                obs::counter_runtime("scratch_pool_misses", 1);
+                PredictBuffers::default()
+            }
+        }
     }
 
     fn put(&self, bufs: PredictBuffers) {
@@ -150,19 +162,62 @@ pub struct DataSpaceClassifier {
     normalizer: Normalizer,
     engine: LearningEngine,
     final_loss: f32,
+    /// `Some(n)` for a [`Self::train_multi`] model over `n` variables;
+    /// `None` for scalar models. Determines the expected feature width.
+    multi_vars: Option<usize>,
     scratch_pool: ScratchPool,
 }
 
 /// The serializable identity of a trained [`DataSpaceClassifier`]: feature
-/// spec, fitted normalizer, learned engine weights, and the recorded training
-/// loss. Everything needed to rebuild an identical classifier with
+/// spec, fitted normalizer, learned engine weights, the recorded training
+/// loss, and (for `train_multi` models) the multivariate width. Everything
+/// needed to rebuild an identical classifier with
 /// [`DataSpaceClassifier::from_snapshot`]; runtime scratch state is excluded.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassifierSnapshot {
     pub spec: crate::features::FeatureSpec,
     pub normalizer: Normalizer,
     pub engine: LearningEngine,
     pub final_loss: f32,
+    /// Number of variables a `train_multi` model was trained over; `None`
+    /// for scalar models.
+    pub multi_vars: Option<usize>,
+}
+
+// Manual serde impls rather than derive: `multi_vars` is omitted when `None`
+// and treated as `None` when missing, so snapshots written before the field
+// existed still load, old readers skip it by name, and save→load→save stays
+// byte-identical for both generations (derive would hard-error on the
+// missing field).
+impl Serialize for ClassifierSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("spec".to_string(), self.spec.to_value()),
+            ("normalizer".to_string(), self.normalizer.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+            ("final_loss".to_string(), self.final_loss.to_value()),
+        ];
+        if let Some(nv) = self.multi_vars {
+            pairs.push(("multi_vars".to_string(), nv.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for ClassifierSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let multi_vars = match v.get("multi_vars") {
+            None | Some(serde::Value::Null) => None,
+            Some(mv) => Some(usize::from_value(mv)?),
+        };
+        Ok(Self {
+            spec: Deserialize::from_value(serde::vhelp::field(v, "spec")?)?,
+            normalizer: Deserialize::from_value(serde::vhelp::field(v, "normalizer")?)?,
+            engine: Deserialize::from_value(serde::vhelp::field(v, "engine")?)?,
+            final_loss: Deserialize::from_value(serde::vhelp::field(v, "final_loss")?)?,
+            multi_vars,
+        })
+    }
 }
 
 /// Why a [`ClassifierSnapshot`] cannot be rebuilt into a working classifier.
@@ -294,6 +349,7 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
+            multi_vars: None,
             scratch_pool: ScratchPool::new(),
         })
     }
@@ -320,6 +376,7 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::SupportVector(svm),
             final_loss,
+            multi_vars: None,
             scratch_pool: ScratchPool::new(),
         })
     }
@@ -339,6 +396,7 @@ impl DataSpaceClassifier {
             normalizer: self.normalizer.clone(),
             engine: self.engine.clone(),
             final_loss: self.final_loss,
+            multi_vars: self.multi_vars,
         }
     }
 
@@ -350,7 +408,11 @@ impl DataSpaceClassifier {
             return Err(SnapshotError::EmptySpec);
         }
         let extractor = FeatureExtractor::new(snap.spec);
-        let n = extractor.num_features();
+        // Multivariate models expect one value feature per variable.
+        let n = match snap.multi_vars {
+            Some(nv) => extractor.num_features_multi(nv),
+            None => extractor.num_features(),
+        };
         if snap.normalizer.num_features() != n {
             return Err(SnapshotError::FeatureCountMismatch {
                 expected: n,
@@ -383,8 +445,15 @@ impl DataSpaceClassifier {
             normalizer: snap.normalizer,
             engine: snap.engine,
             final_loss: snap.final_loss,
+            multi_vars: snap.multi_vars,
             scratch_pool: ScratchPool::new(),
         })
+    }
+
+    /// Number of variables this model was trained over (`None` for scalar
+    /// models; see [`Self::train_multi`]).
+    pub fn multi_vars(&self) -> Option<usize> {
+        self.multi_vars
     }
 
     /// Mean MSE of the final training epoch (NN) or training error rate (SVM).
@@ -468,22 +537,28 @@ impl DataSpaceClassifier {
             normalizer,
             engine: LearningEngine::NeuralNet(net),
             final_loss,
+            multi_vars: Some(mseries.names().len()),
             scratch_pool: ScratchPool::new(),
         })
     }
 
     /// Classify a multivariate frame (trained via [`Self::train_multi`]).
     pub fn classify_frame_multi(&self, frame: &MultiVolume, t_norm: f32) -> ScalarVolume {
+        let _span = obs::span("extract.classify_frame");
         let d = frame.dims();
         let slab = d.nx * d.ny;
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
+            // Declared first so the flush runs after the predictor returns
+            // its buffers (take/put bracket the pool counters).
+            let _flush = obs::flush_guard();
             let mut predictor = self.predictor();
             for y in 0..d.ny {
                 for x in 0..d.nx {
                     out[x + d.nx * y] = predictor.predict_multi_at(frame, x, y, z, t_norm);
                 }
             }
+            obs::counter("voxels_classified", out.len() as u64);
         });
         ScalarVolume::from_vec(d, data)
     }
@@ -509,16 +584,21 @@ impl DataSpaceClassifier {
     /// z-slabs; this is the "10 seconds for a 256³ volume" operation of
     /// Section 7, here multithreaded).
     pub fn classify_frame(&self, frame: &ScalarVolume, t_norm: f32) -> ScalarVolume {
+        let _span = obs::span("extract.classify_frame");
         let d = frame.dims();
         let slab = d.nx * d.ny;
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
+            // Declared first so the flush runs after the predictor returns
+            // its buffers (take/put bracket the pool counters).
+            let _flush = obs::flush_guard();
             let mut predictor = self.predictor();
             for y in 0..d.ny {
                 for x in 0..d.nx {
                     out[x + d.nx * y] = predictor.predict_at(frame, x, y, z, t_norm);
                 }
             }
+            obs::counter("voxels_classified", out.len() as u64);
         });
         ScalarVolume::from_vec(d, data)
     }
@@ -575,10 +655,14 @@ impl DataSpaceClassifier {
     /// paper's Conclusion notes per-time-step independence makes cluster
     /// fan-out trivial; here frames fan out across the thread pool.
     pub fn classify_series(&self, series: &TimeSeries) -> Vec<ScalarVolume> {
+        let _span = obs::span("extract.classify_series");
         let items: Vec<(u32, &ScalarVolume)> = series.iter().collect();
         items
             .par_iter()
             .map(|(t, frame)| {
+                // Declared first so the flush runs after the predictor
+                // returns its buffers (take/put bracket the pool counters).
+                let _flush = obs::flush_guard();
                 // Within a frame we stay sequential: frame-level parallelism
                 // already saturates the pool for multi-frame series.
                 let tn = series.normalized_time(*t);
@@ -592,6 +676,8 @@ impl DataSpaceClassifier {
                         }
                     }
                 }
+                obs::counter("frames", 1);
+                obs::counter("voxels_classified", d.len() as u64);
                 ScalarVolume::from_vec(d, data)
             })
             .collect()
@@ -702,6 +788,74 @@ mod tests {
         // achievable F1 against the middle third is bounded at 2·(1/3)/(1/3+2/3+...)
         let single = Mask3::threshold(ms.frame(0).var("a").unwrap(), 0.5);
         assert!(mask.f1(&truth) > single.f1(&truth) + 0.2);
+    }
+
+    #[test]
+    fn multivariate_snapshot_roundtrips() {
+        let (ms, truth) = joint_scene(24);
+        let mut oracle = PaintOracle::new(8);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 120, 120);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default())
+            .unwrap();
+        assert_eq!(clf.multi_vars(), Some(2));
+        let snap = clf.snapshot();
+        assert_eq!(snap.multi_vars, Some(2));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ClassifierSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let rebuilt = DataSpaceClassifier::from_snapshot(back).unwrap();
+        assert_eq!(rebuilt.multi_vars(), Some(2));
+        assert_eq!(
+            rebuilt.classify_frame_multi(ms.frame(0), 0.0).as_slice(),
+            clf.classify_frame_multi(ms.frame(0), 0.0).as_slice()
+        );
+    }
+
+    #[test]
+    fn scalar_snapshot_omits_multi_vars_and_legacy_json_loads() {
+        // Scalar snapshots serialize without the field (byte-identical to the
+        // pre-`multi_vars` format), and JSON lacking the field — i.e. any
+        // artifact written before the field existed — loads as `None`.
+        let (clf, _, _, _) = trained_on_scene();
+        let json = serde_json::to_string(&clf.snapshot()).unwrap();
+        assert!(!json.contains("multi_vars"));
+        let back: ClassifierSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.multi_vars, None);
+        assert!(DataSpaceClassifier::from_snapshot(back).is_ok());
+    }
+
+    #[test]
+    fn multivariate_snapshot_with_wrong_width_is_rejected() {
+        let (ms, truth) = joint_scene(24);
+        let mut oracle = PaintOracle::new(8);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 60, 60);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default())
+            .unwrap();
+        let mut snap = clf.snapshot();
+        // Claiming a different variable count desyncs the expected width.
+        snap.multi_vars = Some(5);
+        assert!(matches!(
+            DataSpaceClassifier::from_snapshot(snap.clone()).unwrap_err(),
+            SnapshotError::FeatureCountMismatch { .. }
+        ));
+        // Dropping the field entirely makes it a (narrower) scalar claim.
+        snap.multi_vars = None;
+        assert!(matches!(
+            DataSpaceClassifier::from_snapshot(snap).unwrap_err(),
+            SnapshotError::FeatureCountMismatch { .. }
+        ));
     }
 
     #[test]

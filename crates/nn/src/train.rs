@@ -3,6 +3,7 @@
 #![allow(clippy::needless_range_loop)] // parallel-array indexing reads clearer here
 
 use crate::mlp::{Mlp, Scratch};
+use ifet_obs as obs;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -363,6 +364,7 @@ impl Trainer {
     /// Returns the mean per-sample MSE observed during the epoch.
     pub fn train_epoch(&mut self, net: &mut Mlp, set: &TrainingSet) -> f32 {
         assert!(!set.is_empty(), "cannot train on an empty set");
+        let _span = obs::span("nn.epoch");
         let mut order: Vec<usize> = (0..set.len()).collect();
         order.shuffle(&mut self.rng);
         let mut total = 0.0f64;
@@ -370,11 +372,18 @@ impl Trainer {
             let (x, t) = set.sample(i);
             total += self.train_sample(net, x, t) as f64;
         }
-        (total / set.len() as f64) as f32
+        let loss = (total / set.len() as f64) as f32;
+        // Training is serial and seeded, so the loss is deterministic and can
+        // ride in a stable trace (fixed-point micro-units; counters are u64).
+        obs::counter("samples", set.len() as u64);
+        obs::counter("loss_micro", obs::micros_f32(loss));
+        loss
     }
 
     /// Train for `epochs` epochs; returns the per-epoch mean MSE trace.
     pub fn train(&mut self, net: &mut Mlp, set: &TrainingSet, epochs: usize) -> Vec<f32> {
+        let _span = obs::span("nn.train");
+        obs::counter("epochs", epochs as u64);
         (0..epochs).map(|_| self.train_epoch(net, set)).collect()
     }
 
@@ -440,6 +449,8 @@ impl IncrementalTrainer {
         if self.set.is_empty() || epochs == 0 {
             return None;
         }
+        let _span = obs::span("nn.train");
+        obs::counter("epochs", epochs as u64);
         let mut last = None;
         for _ in 0..epochs {
             let loss = self.trainer.train_epoch(&mut self.net, &self.set);

@@ -1,0 +1,960 @@
+//! Runtime observability: structured tracing spans and per-stage counters.
+//!
+//! This crate is the registry behind `ifet <cmd> --trace/--profile`. It is
+//! deliberately dependency-free (only the offline serde shims, for JSON) and
+//! designed around two constraints:
+//!
+//! 1. **Near-zero cost when disabled.** Every entry point starts with a single
+//!    relaxed atomic load; instrumented code reports *aggregates* (one counter
+//!    call per slab / frame / round / section, never per voxel), so the
+//!    disabled path adds a handful of branches to work units that each cost
+//!    milliseconds. The `obs_overhead` bench pins this below 5%.
+//!
+//! 2. **Deterministic counters across thread counts.** Counter deltas from
+//!    worker threads accumulate in thread-local buffers and are merged into
+//!    the innermost open span when it closes (u64 addition commutes, so the
+//!    merge order does not matter). Counters are sorted by name at span close.
+//!    Timings and scheduling-dependent values (scratch-pool hits, barrier
+//!    waits) are recorded through [`counter_runtime`] and stripped by
+//!    [`Trace::to_stable`], so the *stable* rendering of a trace is
+//!    byte-identical across `--threads 1/2/4`.
+//!
+//! Spans form a tree rooted at the name passed to [`start`]/[`capture`]. Only
+//! the thread that called `start` may open spans (the rayon shim runs
+//! `ThreadPool::install` closures on the calling thread, so pipeline stages
+//! always satisfy this); worker threads contribute counters only. A collected
+//! tree serializes to a versioned JSON document (schema
+//! [`TRACE_SCHEMA_VERSION`]) with a strict reader that rejects unknown fields,
+//! mirroring the persistence layer's corruption tests.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use serde::value::Number;
+use serde::Value;
+
+/// Version of the emitted trace document. Bump on any field change and
+/// extend the schema-stability test in `tests/observability.rs`.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Registry state
+// ---------------------------------------------------------------------------
+
+/// Fast-path gate: checked (relaxed) before any other work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Capture generation. Thread-local buffers stamp the epoch they were filled
+/// under; a stale stamp means the buffer belongs to a previous capture and is
+/// discarded instead of merged.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Counter deltas flushed by worker threads, awaiting attribution to the
+/// innermost open span. `(name, delta, runtime)`.
+static PENDING: Mutex<Vec<(&'static str, u64, bool)>> = Mutex::new(Vec::new());
+
+/// The open-span stack. `None` while no capture is active.
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Serializes whole captures (used by `capture`, and so by tests that must
+/// not see each other's counters).
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+struct OpenSpan {
+    name: Cow<'static, str>,
+    start: Instant,
+    counters: Vec<(String, u64, bool)>,
+    children: Vec<Span>,
+}
+
+impl OpenSpan {
+    fn new(name: Cow<'static, str>) -> Self {
+        Self {
+            name,
+            start: Instant::now(),
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, name: &str, delta: u64, runtime: bool) {
+        match self
+            .counters
+            .iter_mut()
+            .find(|(n, _, r)| n == name && *r == runtime)
+        {
+            Some((_, v, _)) => *v += delta,
+            None => self.counters.push((name.to_string(), delta, runtime)),
+        }
+    }
+
+    fn close(self) -> Span {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        self.finish_with(dur_ns)
+    }
+
+    /// Like `close` but non-consuming (snapshots of still-open spans).
+    fn clone_open(&self) -> Span {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        OpenSpan {
+            name: self.name.clone(),
+            start: self.start,
+            counters: self.counters.clone(),
+            children: self.children.clone(),
+        }
+        .finish_with(dur_ns)
+    }
+
+    fn finish_with(mut self, dur_ns: u64) -> Span {
+        self.counters
+            .sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
+        Span {
+            name: self.name.into_owned(),
+            dur_ns,
+            counters: self
+                .counters
+                .into_iter()
+                .map(|(name, value, runtime)| Counter {
+                    name,
+                    value,
+                    runtime,
+                })
+                .collect(),
+            children: self.children,
+        }
+    }
+}
+
+struct Recorder {
+    owner: ThreadId,
+    stack: Vec<OpenSpan>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = const {
+        RefCell::new(LocalBuf { epoch: 0, entries: Vec::new() })
+    };
+}
+
+struct LocalBuf {
+    epoch: u64,
+    entries: Vec<(&'static str, u64, bool)>,
+}
+
+fn lock_capture() -> std::sync::MutexGuard<'static, ()> {
+    // A panic inside a captured closure poisons the lock; the lock only
+    // serializes captures, so recovery is always safe.
+    CAPTURE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_pending() -> std::sync::MutexGuard<'static, Vec<(&'static str, u64, bool)>> {
+    PENDING.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_recorder() -> std::sync::MutexGuard<'static, Option<Recorder>> {
+    RECORDER.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn drain_pending_into_top(rec: &mut Recorder) {
+    let mut pending = lock_pending();
+    if pending.is_empty() {
+        return;
+    }
+    if let Some(top) = rec.stack.last_mut() {
+        for (name, delta, runtime) in pending.drain(..) {
+            top.add(name, delta, runtime);
+        }
+    } else {
+        pending.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public recording API
+// ---------------------------------------------------------------------------
+
+/// Whether a capture is currently active. Use to gate counter *computations*
+/// whose value is itself costly (e.g. a mask popcount); plain [`counter`]
+/// calls self-gate and do not need this.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Begin collecting under a root span. Any capture already active is
+/// discarded. Only the calling thread may subsequently open spans.
+pub fn start(root: &'static str) {
+    let _ = finish();
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    lock_pending().clear();
+    *lock_recorder() = Some(Recorder {
+        owner: std::thread::current().id(),
+        stack: vec![OpenSpan::new(Cow::Borrowed(root))],
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop collecting and return the span tree, or `None` if no capture was
+/// active. Spans still open (guards not yet dropped) are closed bottom-up.
+pub fn finish() -> Option<Trace> {
+    if !is_enabled() {
+        return None;
+    }
+    flush();
+    let mut guard = lock_recorder();
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut rec = guard.take()?;
+    drop(guard);
+    drain_pending_into_top(&mut rec);
+    let mut closed: Option<Span> = None;
+    while let Some(open) = rec.stack.pop() {
+        let mut span = open.close();
+        if let Some(child) = closed.take() {
+            span.children.push(child);
+        }
+        closed = Some(span);
+    }
+    closed.map(|root| Trace {
+        schema: TRACE_SCHEMA_VERSION,
+        mode: TraceMode::Full,
+        root,
+    })
+}
+
+/// Run `f` under a fresh capture rooted at `root` and return its result with
+/// the collected trace. Captures are globally serialized, so concurrently
+/// running tests cannot pollute each other's counters. If `f` panics, the
+/// capture is torn down before the panic propagates.
+pub fn capture<R>(root: &'static str, f: impl FnOnce() -> R) -> (R, Trace) {
+    let _serialize = lock_capture();
+    struct TearDown;
+    impl Drop for TearDown {
+        fn drop(&mut self) {
+            let _ = finish();
+        }
+    }
+    let armed = TearDown;
+    start(root);
+    let result = f();
+    std::mem::forget(armed);
+    let trace = finish().expect("capture was active");
+    (result, trace)
+}
+
+/// Open a timed span. The returned guard closes it on drop. Inert (and
+/// branch-cheap) when no capture is active or when called from a thread other
+/// than the one that called [`start`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: false };
+    }
+    span_open(Cow::Borrowed(name))
+}
+
+/// [`span`] with a runtime-built name (e.g. a per-section label). Prefer
+/// [`span`] anywhere the name is known at compile time.
+#[inline]
+pub fn span_dyn(name: String) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: false };
+    }
+    span_open(Cow::Owned(name))
+}
+
+fn span_open(name: Cow<'static, str>) -> SpanGuard {
+    flush();
+    let mut guard = lock_recorder();
+    let Some(rec) = guard.as_mut() else {
+        return SpanGuard { active: false };
+    };
+    if rec.owner != std::thread::current().id() {
+        return SpanGuard { active: false };
+    }
+    drain_pending_into_top(rec);
+    rec.stack.push(OpenSpan::new(name));
+    SpanGuard { active: true }
+}
+
+/// Closes its span on drop. Obtain via [`span`]/[`span_dyn`] or the
+/// [`obs_span!`] macro.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active || !is_enabled() {
+            // `finish()` may have already closed everything this guard covers.
+            return;
+        }
+        flush();
+        let mut guard = lock_recorder();
+        let Some(rec) = guard.as_mut() else { return };
+        drain_pending_into_top(rec);
+        // The root span belongs to `finish()`; stack depth 1 means this guard
+        // outlived the capture that opened it.
+        if rec.stack.len() <= 1 {
+            return;
+        }
+        let span = rec.stack.pop().expect("stack depth checked above").close();
+        rec.stack
+            .last_mut()
+            .expect("stack depth checked above")
+            .children
+            .push(span);
+    }
+}
+
+/// Open a span for the rest of the enclosing scope:
+/// `obs_span!("track.round");`
+#[macro_export]
+macro_rules! obs_span {
+    ($name:literal) => {
+        let _obs_span_guard = $crate::span($name);
+    };
+}
+
+/// Add to a **deterministic** counter: its value must depend only on inputs,
+/// never on scheduling. Deterministic counters survive
+/// [`Trace::to_stable`] and are pinned byte-identical across thread counts by
+/// the observability tests. Buffered thread-locally; merged when the
+/// innermost open span closes (worker threads must [`flush`] at work-unit
+/// end, most easily via [`flush_guard`]).
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    add_local(name, delta, false);
+}
+
+/// Add to a **runtime** counter: scheduling-dependent values (pool hits,
+/// wait times). Stripped by [`Trace::to_stable`].
+#[inline]
+pub fn counter_runtime(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    add_local(name, delta, true);
+}
+
+fn add_local(name: &'static str, delta: u64, runtime: bool) {
+    let epoch = EPOCH.load(Ordering::SeqCst);
+    LOCAL.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.epoch != epoch {
+            buf.epoch = epoch;
+            buf.entries.clear();
+        }
+        match buf
+            .entries
+            .iter_mut()
+            .find(|(n, _, r)| *n == name && *r == runtime)
+        {
+            Some((_, v, _)) => *v += delta,
+            None => buf.entries.push((name, delta, runtime)),
+        }
+    });
+}
+
+/// Publish this thread's buffered counters for merging into the current
+/// span. Worker threads call this (or drop a [`flush_guard`]) at the end of
+/// each parallel work unit; span guards flush the owner thread automatically.
+pub fn flush() {
+    if !is_enabled() {
+        return;
+    }
+    let epoch = EPOCH.load(Ordering::SeqCst);
+    LOCAL.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.epoch != epoch || buf.entries.is_empty() {
+            return;
+        }
+        lock_pending().extend(buf.entries.drain(..));
+    });
+}
+
+/// Calls [`flush`] on drop. Declare first in a parallel closure so it runs
+/// after everything else in the closure (drop order is reverse declaration):
+/// `let _flush = obs::flush_guard();`
+pub fn flush_guard() -> FlushGuard {
+    FlushGuard
+}
+
+pub struct FlushGuard;
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        flush();
+    }
+}
+
+/// Non-destructive snapshot of the capture so far: still-open spans appear
+/// with their elapsed-so-far durations. Buffered counters are attributed to
+/// the innermost open span (where they would land anyway). `None` if no
+/// capture is active.
+pub fn snapshot() -> Option<Trace> {
+    if !is_enabled() {
+        return None;
+    }
+    flush();
+    let mut guard = lock_recorder();
+    let rec = guard.as_mut()?;
+    drain_pending_into_top(rec);
+    let mut closed: Option<Span> = None;
+    for open in rec.stack.iter().rev() {
+        let mut span = open.clone_open();
+        if let Some(child) = closed.take() {
+            span.children.push(child);
+        }
+        closed = Some(span);
+    }
+    closed.map(|root| Trace {
+        schema: TRACE_SCHEMA_VERSION,
+        mode: TraceMode::Full,
+        root,
+    })
+}
+
+/// Fixed-point helper for recording a non-negative float (e.g. a loss) as a
+/// deterministic integer counter, in micro-units.
+#[inline]
+pub fn micros_f32(v: f32) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        (v as f64 * 1e6).round() as u64
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace model
+// ---------------------------------------------------------------------------
+
+/// Rendering/redaction mode recorded in the trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Everything: durations and runtime counters included.
+    Full,
+    /// Deterministic subset: durations zeroed, runtime counters stripped.
+    /// Byte-identical across thread counts.
+    Stable,
+}
+
+impl TraceMode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceMode::Full => "full",
+            TraceMode::Stable => "stable",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(TraceMode::Full),
+            "stable" => Some(TraceMode::Stable),
+            _ => None,
+        }
+    }
+}
+
+/// One counter on a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    pub name: String,
+    pub value: u64,
+    /// Scheduling-dependent (see [`counter_runtime`]); stripped in stable mode.
+    pub runtime: bool,
+}
+
+/// One node of the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub name: String,
+    pub dur_ns: u64,
+    /// Sorted by name (then runtime flag) at close.
+    pub counters: Vec<Counter>,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Counter value by name, searching this span only.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Depth-first search for the first descendant (or self) with `name`.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// All spans (self and descendants) with `name`, in depth-first order.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a Span>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for c in &self.children {
+            c.find_all(name, out);
+        }
+    }
+}
+
+/// A complete versioned trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub schema: u32,
+    pub mode: TraceMode,
+    pub root: Span,
+}
+
+impl Trace {
+    /// Deterministic redaction: durations zeroed, runtime counters removed.
+    /// The stable rendering of a trace is the part pinned across thread
+    /// counts by tests and embedded in `.ifet` artifacts.
+    pub fn to_stable(&self) -> Trace {
+        fn redact(s: &Span) -> Span {
+            Span {
+                name: s.name.clone(),
+                dur_ns: 0,
+                counters: s.counters.iter().filter(|c| !c.runtime).cloned().collect(),
+                children: s.children.iter().map(redact).collect(),
+            }
+        }
+        Trace {
+            schema: self.schema,
+            mode: TraceMode::Stable,
+            root: redact(&self.root),
+        }
+    }
+
+    fn span_to_value(s: &Span) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::String(s.name.clone())),
+            ("dur_ns".to_string(), Value::Number(Number::U(s.dur_ns))),
+            (
+                "counters".to_string(),
+                Value::Array(
+                    s.counters
+                        .iter()
+                        .map(|c| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::String(c.name.clone())),
+                                ("value".to_string(), Value::Number(Number::U(c.value))),
+                                ("runtime".to_string(), Value::Bool(c.runtime)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "children".to_string(),
+                Value::Array(s.children.iter().map(Self::span_to_value).collect()),
+            ),
+        ])
+    }
+
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "trace_schema".to_string(),
+                Value::Number(Number::U(self.schema as u64)),
+            ),
+            (
+                "mode".to_string(),
+                Value::String(self.mode.as_str().to_string()),
+            ),
+            ("root".to_string(), Self::span_to_value(&self.root)),
+        ])
+    }
+
+    /// Compact JSON. Deterministic: object fields are emitted in fixed order
+    /// and counters were sorted at span close.
+    pub fn to_json(&self) -> String {
+        serde_json::write_compact(&self.to_value())
+    }
+
+    /// Indented JSON for `--trace` output files.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::write_pretty(&self.to_value())
+    }
+
+    /// Strict parser: rejects unknown or missing fields, wrong types, and
+    /// documents from a newer schema. This is the fixture reader used by the
+    /// schema-stability test — any field change must bump
+    /// [`TRACE_SCHEMA_VERSION`] and be reflected here.
+    pub fn from_json(text: &str) -> Result<Trace, TraceError> {
+        let value =
+            serde_json::parse_value(text).map_err(|e| TraceError(format!("bad JSON: {e}")))?;
+        let pairs = expect_keys(&value, "trace", &["trace_schema", "mode", "root"])?;
+        let schema = pairs[0]
+            .1
+            .as_u64()
+            .ok_or_else(|| TraceError("trace_schema must be an unsigned integer".into()))?;
+        if schema > TRACE_SCHEMA_VERSION as u64 {
+            return Err(TraceError(format!(
+                "trace schema {schema} is newer than supported {TRACE_SCHEMA_VERSION}"
+            )));
+        }
+        let mode_str = pairs[1]
+            .1
+            .as_str()
+            .ok_or_else(|| TraceError("mode must be a string".into()))?;
+        let mode = TraceMode::parse(mode_str)
+            .ok_or_else(|| TraceError(format!("unknown trace mode `{mode_str}`")))?;
+        let root = Self::span_from_value(&pairs[2].1)?;
+        Ok(Trace {
+            schema: schema as u32,
+            mode,
+            root,
+        })
+    }
+
+    fn span_from_value(v: &Value) -> Result<Span, TraceError> {
+        let pairs = expect_keys(v, "span", &["name", "dur_ns", "counters", "children"])?;
+        let name = pairs[0]
+            .1
+            .as_str()
+            .ok_or_else(|| TraceError("span name must be a string".into()))?
+            .to_string();
+        let dur_ns = pairs[1]
+            .1
+            .as_u64()
+            .ok_or_else(|| TraceError("dur_ns must be an unsigned integer".into()))?;
+        let counters = pairs[2]
+            .1
+            .as_array()
+            .ok_or_else(|| TraceError("counters must be an array".into()))?
+            .iter()
+            .map(Self::counter_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let children = pairs[3]
+            .1
+            .as_array()
+            .ok_or_else(|| TraceError("children must be an array".into()))?
+            .iter()
+            .map(Self::span_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Span {
+            name,
+            dur_ns,
+            counters,
+            children,
+        })
+    }
+
+    fn counter_from_value(v: &Value) -> Result<Counter, TraceError> {
+        let pairs = expect_keys(v, "counter", &["name", "value", "runtime"])?;
+        Ok(Counter {
+            name: pairs[0]
+                .1
+                .as_str()
+                .ok_or_else(|| TraceError("counter name must be a string".into()))?
+                .to_string(),
+            value: pairs[1]
+                .1
+                .as_u64()
+                .ok_or_else(|| TraceError("counter value must be an unsigned integer".into()))?,
+            runtime: pairs[2]
+                .1
+                .as_bool()
+                .ok_or_else(|| TraceError("counter runtime must be a bool".into()))?,
+        })
+    }
+}
+
+/// Require `v` to be an object with exactly `keys`, in exactly that order.
+/// Field order is part of the schema (the emitter is deterministic), so the
+/// strict reader checks it too — reordering is an unannounced schema change.
+fn expect_keys<'a>(
+    v: &'a Value,
+    what: &str,
+    keys: &[&str],
+) -> Result<&'a [(String, Value)], TraceError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| TraceError(format!("{what} must be an object")))?;
+    if pairs.len() != keys.len() {
+        let got: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        return Err(TraceError(format!(
+            "{what} must have exactly fields {keys:?}, got {got:?}"
+        )));
+    }
+    for (i, key) in keys.iter().enumerate() {
+        if pairs[i].0 != *key {
+            return Err(TraceError(format!(
+                "{what} field {i} must be `{key}`, got `{}`",
+                pairs[i].0
+            )));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Error from the strict trace reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------------
+// Profile summary
+// ---------------------------------------------------------------------------
+
+/// Aggregate the span tree by name into a `--profile` table: one row per
+/// span name with call count, total/mean duration, and summed counters.
+pub fn profile_table(trace: &Trace) -> String {
+    struct Row {
+        calls: u64,
+        total_ns: u64,
+        counters: Vec<(String, u64)>,
+    }
+    fn walk(s: &Span, rows: &mut Vec<(String, Row)>) {
+        match rows.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, row)) => {
+                row.calls += 1;
+                row.total_ns += s.dur_ns;
+                for c in &s.counters {
+                    match row.counters.iter_mut().find(|(n, _)| *n == c.name) {
+                        Some((_, v)) => *v += c.value,
+                        None => row.counters.push((c.name.clone(), c.value)),
+                    }
+                }
+            }
+            None => rows.push((
+                s.name.clone(),
+                Row {
+                    calls: 1,
+                    total_ns: s.dur_ns,
+                    counters: s
+                        .counters
+                        .iter()
+                        .map(|c| (c.name.clone(), c.value))
+                        .collect(),
+                },
+            )),
+        }
+        for c in &s.children {
+            walk(c, rows);
+        }
+    }
+    let mut rows: Vec<(String, Row)> = Vec::new();
+    walk(&trace.root, &mut rows);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>12} {:>12}  counters\n",
+        "span", "calls", "total_ms", "mean_us"
+    ));
+    for (name, row) in &rows {
+        let total_ms = row.total_ns as f64 / 1e6;
+        let mean_us = row.total_ns as f64 / row.calls as f64 / 1e3;
+        let counters = row
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "{name:<28} {:>7} {total_ms:>12.3} {mean_us:>12.1}  {counters}\n",
+            row.calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_calls_are_inert() {
+        assert!(!is_enabled());
+        counter("nope", 1);
+        counter_runtime("nope", 1);
+        flush();
+        let _g = span("nope");
+        drop(_g);
+        assert!(finish().is_none());
+        assert!(snapshot().is_none());
+    }
+
+    #[test]
+    fn capture_builds_nested_tree_with_merged_counters() {
+        let ((), trace) = capture("root", || {
+            counter("top", 1);
+            {
+                let _s = span("stage");
+                counter("work", 2);
+                counter("work", 3);
+                counter_runtime("hits", 7);
+                {
+                    let _inner = span("inner");
+                    counter("deep", 1);
+                }
+            }
+            counter("top", 1);
+        });
+        assert_eq!(trace.schema, TRACE_SCHEMA_VERSION);
+        assert_eq!(trace.root.name, "root");
+        assert_eq!(trace.root.counter("top"), Some(2));
+        let stage = trace.root.find("stage").expect("stage span");
+        assert_eq!(stage.counter("work"), Some(5));
+        assert_eq!(stage.counter("hits"), Some(7));
+        assert_eq!(stage.children.len(), 1);
+        assert_eq!(stage.children[0].name, "inner");
+        assert_eq!(stage.children[0].counter("deep"), Some(1));
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn worker_thread_counters_merge_into_enclosing_span() {
+        let ((), trace) = capture("root", || {
+            let _s = span("par");
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        let _flush = flush_guard();
+                        counter("units", 1);
+                    });
+                }
+            });
+        });
+        let par = trace.root.find("par").expect("par span");
+        assert_eq!(par.counter("units"), Some(4));
+    }
+
+    #[test]
+    fn worker_threads_cannot_open_spans() {
+        let ((), trace) = capture("root", || {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _s = span("worker-span");
+                    counter("c", 1);
+                    flush();
+                });
+            });
+        });
+        assert!(trace.root.find("worker-span").is_none());
+        // The counter still lands (on the root).
+        assert_eq!(trace.root.counter("c"), Some(1));
+    }
+
+    #[test]
+    fn stable_mode_strips_runtime_and_timing() {
+        let ((), trace) = capture("root", || {
+            let _s = span("stage");
+            counter("det", 3);
+            counter_runtime("sched", 9);
+        });
+        let stable = trace.to_stable();
+        assert_eq!(stable.mode, TraceMode::Stable);
+        assert_eq!(stable.root.dur_ns, 0);
+        let stage = stable.root.find("stage").unwrap();
+        assert_eq!(stage.dur_ns, 0);
+        assert_eq!(stage.counter("det"), Some(3));
+        assert_eq!(stage.counter("sched"), None);
+        // Full trace keeps both.
+        let full_stage = trace.root.find("stage").unwrap();
+        assert_eq!(full_stage.counter("sched"), Some(9));
+    }
+
+    #[test]
+    fn json_round_trip_and_strictness() {
+        let ((), trace) = capture("root", || {
+            let _s = span("stage");
+            counter("b", 1);
+            counter("a", 2);
+            counter_runtime("a", 3);
+        });
+        let text = trace.to_json_pretty();
+        let back = Trace::from_json(&text).expect("round trip");
+        assert_eq!(back, trace);
+
+        // Compact form round-trips too.
+        assert_eq!(Trace::from_json(&trace.to_json()).unwrap(), trace);
+
+        // Counters sorted: deterministic ones by name, runtime after its twin.
+        let stage = back.root.find("stage").unwrap();
+        let order: Vec<(&str, bool)> = stage
+            .counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.runtime))
+            .collect();
+        assert_eq!(order, vec![("a", false), ("a", true), ("b", false)]);
+    }
+
+    #[test]
+    fn reader_rejects_unknown_fields_and_newer_schema() {
+        let good = r#"{"trace_schema":1,"mode":"stable","root":{"name":"r","dur_ns":0,"counters":[],"children":[]}}"#;
+        assert!(Trace::from_json(good).is_ok());
+
+        let extra_top = r#"{"trace_schema":1,"mode":"stable","root":{"name":"r","dur_ns":0,"counters":[],"children":[]},"extra":1}"#;
+        assert!(Trace::from_json(extra_top).is_err());
+
+        let extra_span = r#"{"trace_schema":1,"mode":"stable","root":{"name":"r","dur_ns":0,"counters":[],"children":[],"self_ns":0}}"#;
+        assert!(Trace::from_json(extra_span).is_err());
+
+        let missing =
+            r#"{"trace_schema":1,"root":{"name":"r","dur_ns":0,"counters":[],"children":[]}}"#;
+        assert!(Trace::from_json(missing).is_err());
+
+        let newer = r#"{"trace_schema":2,"mode":"stable","root":{"name":"r","dur_ns":0,"counters":[],"children":[]}}"#;
+        assert!(Trace::from_json(newer).is_err());
+
+        let bad_mode = r#"{"trace_schema":1,"mode":"verbose","root":{"name":"r","dur_ns":0,"counters":[],"children":[]}}"#;
+        assert!(Trace::from_json(bad_mode).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let ((), trace) = capture("root", || {
+            counter("before", 1);
+            let snap = snapshot().expect("active capture");
+            assert_eq!(snap.root.counter("before"), Some(1));
+            counter("after", 1);
+        });
+        assert_eq!(trace.root.counter("before"), Some(1));
+        assert_eq!(trace.root.counter("after"), Some(1));
+    }
+
+    #[test]
+    fn profile_table_aggregates_by_name() {
+        let ((), trace) = capture("root", || {
+            for _ in 0..3 {
+                let _s = span("round");
+                counter("frontier", 10);
+            }
+        });
+        let table = profile_table(&trace);
+        assert!(table.contains("round"));
+        assert!(table.contains("frontier=30"));
+        let round_line = table.lines().find(|l| l.starts_with("round")).unwrap();
+        assert!(round_line.contains("      3 "), "3 calls: {round_line}");
+    }
+
+    #[test]
+    fn micros_helper() {
+        assert_eq!(micros_f32(0.25), 250_000);
+        assert_eq!(micros_f32(0.0), 0);
+        assert_eq!(micros_f32(f32::NAN), 0);
+        assert_eq!(micros_f32(-1.0), 0);
+    }
+}

@@ -24,9 +24,11 @@
 //! property test).
 
 use crate::criterion::GrowthCriterion;
+use ifet_obs as obs;
 use ifet_volume::{Dims3, Mask3, TimeSeries};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -116,9 +118,15 @@ pub fn grow_4d(
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
 ) -> Result<Vec<Mask3>, GrowError> {
+    let _span = obs::span("track.grow_4d");
     let mut grower = Grower::start(series, criterion, seeds)?;
     grower.run(None);
-    Ok(grower.into_masks())
+    let masks = grower.into_masks();
+    if obs::is_enabled() {
+        let total: usize = masks.iter().map(|m| m.count()).sum();
+        obs::counter("grown_voxels", total as u64);
+    }
+    Ok(masks)
 }
 
 /// Per-frame growth state. One task owns one frame per round, so spatial
@@ -179,12 +187,19 @@ pub struct Grower {
 
 impl Grower {
     fn precompute_tables(series: &TimeSeries, criterion: &dyn GrowthCriterion) -> Vec<Mask3> {
+        let _span = obs::span("track.precompute_tables");
+        obs::counter("frames", series.len() as u64);
         // Evaluated in parallel: after this, the criterion is never consulted
         // again.
-        (0..series.len())
+        let tables: Vec<Mask3> = (0..series.len())
             .into_par_iter()
             .map(|fi| criterion.precompute_frame(fi, series.frame(fi)))
-            .collect()
+            .collect();
+        if obs::is_enabled() {
+            let acceptance: usize = tables.iter().map(|t| t.count()).sum();
+            obs::counter("acceptance_voxels", acceptance as u64);
+        }
+        tables
     }
 
     /// Begin a fresh grow from `seeds`.
@@ -294,15 +309,22 @@ impl Grower {
     /// Run at most `max_rounds` further rounds (all the way to the fixpoint
     /// when `None`). Returns `true` when growth is complete.
     pub fn run(&mut self, max_rounds: Option<u64>) -> bool {
+        let _span = obs::span("track.grow_rounds");
         let mut this_call = 0u64;
         while !self.is_done() {
             if let Some(m) = max_rounds {
                 if this_call >= m {
+                    obs::counter("rounds", this_call);
                     return false;
                 }
             }
             self.round();
             this_call += 1;
+        }
+        obs::counter("rounds", this_call);
+        if obs::is_enabled() {
+            let grown: usize = self.states.iter().map(|s| s.mask.count()).sum();
+            obs::counter("grown_voxels", grown as u64);
         }
         true
     }
@@ -310,10 +332,17 @@ impl Grower {
     /// One level-synchronous round: expand every frame's frontier in
     /// parallel, then exchange temporal candidates at the barrier.
     fn round(&mut self) {
+        let _span = obs::span("track.round");
+        if obs::is_enabled() {
+            let frontier: usize = self.states.iter().map(|s| s.frontier.len()).sum();
+            obs::counter("frontier", frontier as u64);
+        }
         let d = self.d;
         let n_frames = self.states.len();
         let tables = &self.tables;
         self.states.par_iter_mut().enumerate().for_each(|(fi, st)| {
+            // Declared first so the flush runs after the per-frame work.
+            let _flush = obs::flush_guard();
             let table = &tables[fi];
             let frontier = std::mem::take(&mut st.frontier);
             for &i in &frontier {
@@ -331,10 +360,16 @@ impl Grower {
                     st.temporal_out.push((fi + 1, i));
                 }
             }
+            // Per-frame aggregates: sums are order-independent, so these are
+            // deterministic across thread counts.
+            obs::counter("accepted_spatial", st.spatial_next.len() as u64);
+            obs::counter("temporal_proposals", st.temporal_out.len() as u64);
         });
 
         // Barrier: promote spatial discoveries to the next frontier, then
         // resolve cross-frame candidates against their target frames.
+        let barrier_start = Instant::now();
+        let mut accepted_temporal = 0u64;
         let mut proposals: Vec<(usize, usize)> = Vec::new();
         for st in &mut self.states {
             st.frontier = std::mem::take(&mut st.spatial_next);
@@ -343,8 +378,11 @@ impl Grower {
         for (tf, i) in proposals {
             if self.tables[tf].get_linear(i) && self.states[tf].mask.insert_linear(i) {
                 self.states[tf].frontier.push(i);
+                accepted_temporal += 1;
             }
         }
+        obs::counter("accepted_temporal", accepted_temporal);
+        obs::counter_runtime("barrier_ns", barrier_start.elapsed().as_nanos() as u64);
         self.rounds += 1;
     }
 

@@ -61,7 +61,7 @@ fn pipeline_once(
     seed: Seed4,
     band: (f32, f32),
 ) -> usize {
-    let certainty = clf.classify_series(series);
+    let certainty = clf.classify_series(series).unwrap();
     let criterion = FixedBandCriterion::new(band.0, band.1, series.len()).unwrap();
     let masks = grow_4d(series, &criterion, &[seed]).unwrap();
     certainty.len() + masks.iter().map(|m| m.count()).sum::<usize>()

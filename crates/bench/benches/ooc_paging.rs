@@ -1,0 +1,131 @@
+//! Out-of-core paging benchmarks: what does running against an N-frame LRU
+//! cache cost relative to a fully resident series?
+//!
+//! Two access patterns are measured over a 64³ × 16 series (the in-core
+//! copy is ~16 MiB, so every configuration fits in RAM and the numbers
+//! isolate paging overhead, not disk bandwidth):
+//! 1. A sequential full sweep (sum every voxel of every frame) — the
+//!    pattern of `classify_series` / IATF generation. Capacity 1 is the
+//!    worst case (every frame is a miss); at full capacity the second and
+//!    later iterations are pure hits.
+//! 2. 4D region growing, whose frontier revisits frames out of order and so
+//!    exercises eviction and re-paging at small capacities.
+//!
+//! `IFET_QUICK=1` shrinks the series to 16³ × 8 for a CI smoke-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifet_track::{grow_4d, FixedBandCriterion, Seed4};
+use ifet_volume::io::write_series;
+use ifet_volume::{Dims3, OutOfCoreSeries, ScalarVolume, TimeSeries};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn quick() -> bool {
+    std::env::var("IFET_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn shape() -> (usize, usize) {
+    if quick() {
+        (16, 8)
+    } else {
+        (64, 16)
+    }
+}
+
+/// A sphere of high values drifting along x so the grown region spans every
+/// frame (same structure as the region-growing benchmarks).
+fn drifting_sphere_series(n: usize, frames: usize) -> TimeSeries {
+    let d = Dims3::cube(n);
+    let c = n as f32 / 2.0;
+    let r0 = n as f32 * 0.28;
+    TimeSeries::from_frames(
+        (0..frames as u32)
+            .map(|t| {
+                let cx = n as f32 * 0.3 + (n as f32 * 0.05) * t as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let dx = x as f32 - cx;
+                    let dy = y as f32 - c;
+                    let dz = z as f32 - c;
+                    let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                    (1.0 - r / r0).max(0.0)
+                });
+                (t, vol)
+            })
+            .collect(),
+    )
+}
+
+/// The series written to disk once per process; benches reopen it at each
+/// capacity under test.
+fn on_disk() -> (TimeSeries, Vec<PathBuf>) {
+    let (n, frames) = shape();
+    let series = drifting_sphere_series(n, frames);
+    let dir = std::env::temp_dir().join(format!("ifet_bench_ooc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = write_series(&dir, "bench", &series).unwrap();
+    (series, paths)
+}
+
+fn sum_in_core(series: &TimeSeries) -> f64 {
+    series
+        .iter()
+        .map(|(_, f)| f.as_slice().iter().map(|&v| v as f64).sum::<f64>())
+        .sum()
+}
+
+fn sum_paged(series: &OutOfCoreSeries) -> f64 {
+    (0..series.len())
+        .map(|i| {
+            let f = series.frame(i).unwrap();
+            f.as_slice().iter().map(|&v| v as f64).sum::<f64>()
+        })
+        .sum()
+}
+
+fn bench_sequential_sweep(c: &mut Criterion) {
+    let (series, paths) = on_disk();
+    let frames = series.len();
+
+    let mut g = c.benchmark_group("ooc_sweep");
+    g.sample_size(10);
+    g.bench_function("in_core", |b| b.iter(|| black_box(sum_in_core(&series))));
+    for &cap in &[1usize, 2, 4, frames] {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        assert_eq!(sum_paged(&ooc), sum_in_core(&series), "paging changed data");
+        g.bench_with_input(BenchmarkId::new("cache", cap), &cap, |b, _| {
+            b.iter(|| black_box(sum_paged(&ooc)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_grow_paged(c: &mut Criterion) {
+    let (series, paths) = on_disk();
+    let (n, frames) = shape();
+    let criterion = FixedBandCriterion::new(0.25, 2.0, frames).unwrap();
+    let seeds: Vec<Seed4> = vec![(0, (n as f32 * 0.3) as usize, n / 2, n / 2)];
+    let reference = grow_4d(&series, &criterion, &seeds).unwrap();
+
+    let mut g = c.benchmark_group("ooc_grow_4d");
+    g.sample_size(10);
+    g.bench_function("in_core", |b| {
+        b.iter(|| black_box(grow_4d(&series, &criterion, &seeds).unwrap()))
+    });
+    for &cap in &[1usize, 2, frames] {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        assert_eq!(
+            grow_4d(&ooc, &criterion, &seeds).unwrap(),
+            reference,
+            "paging changed growth"
+        );
+        g.bench_with_input(BenchmarkId::new("cache", cap), &cap, |b, _| {
+            b.iter(|| black_box(grow_4d(&ooc, &criterion, &seeds).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential_sweep, bench_grow_paged);
+criterion_main!(benches);

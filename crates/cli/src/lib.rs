@@ -21,6 +21,7 @@ use ifet_core::obs;
 use ifet_core::prelude::*;
 use ifet_tf::Iatf;
 use ifet_volume::io::{read_series, write_series};
+use ifet_volume::{map_frames_windowed, FrameSource, OutOfCoreSeries};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -156,12 +157,13 @@ pub fn parse_band(s: &str) -> Result<(f32, f32), String> {
     Ok((lo, hi))
 }
 
-fn load_series(dir: &str) -> Result<TimeSeries, String> {
+/// Sorted data-frame paths of a series directory (ground-truth companions
+/// written by `generate` are not data frames and are excluded).
+fn frame_paths(dir: &str) -> Result<Vec<PathBuf>, String> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {dir}: {e}"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
-        // Ground-truth companions written by `generate` are not data frames.
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
@@ -173,7 +175,53 @@ fn load_series(dir: &str) -> Result<TimeSeries, String> {
         return Err(format!("no .raw frames in {dir}"));
     }
     paths.sort();
-    read_series(&paths).map_err(|e| format!("failed to load series: {e}"))
+    Ok(paths)
+}
+
+fn load_series(dir: &str) -> Result<TimeSeries, String> {
+    read_series(&frame_paths(dir)?).map_err(|e| format!("failed to load series: {e}"))
+}
+
+/// Parsed `--ooc-cache N`: run against a disk-backed series with an N-frame
+/// LRU cache instead of loading everything in core.
+fn ooc_cache_opt(args: &Args) -> Result<Option<usize>, String> {
+    match args.opt("ooc-cache") {
+        None => Ok(None),
+        Some(s) => {
+            let n: usize = s
+                .parse()
+                .map_err(|_| format!("invalid --ooc-cache: {s:?}"))?;
+            if n == 0 {
+                return Err("--ooc-cache must be at least 1 frame".into());
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+fn open_ooc(dir: &str, capacity: usize) -> Result<OutOfCoreSeries, String> {
+    OutOfCoreSeries::open(frame_paths(dir)?, capacity)
+        .map_err(|e| format!("failed to open out-of-core series: {e}"))
+}
+
+/// Paging summary appended to a command's output. The high-water mark — the
+/// bounded-memory witness — is also mirrored into the runtime counter set.
+fn ooc_summary(series: &OutOfCoreSeries) -> String {
+    let st = series.stats();
+    obs::counter_runtime(
+        "volume.ooc.resident_high_water",
+        st.resident_high_water as u64,
+    );
+    format!(
+        "ooc: cache capacity {} frames, resident high-water {}, \
+         hits {}, misses {}, evictions {}, {} bytes paged\n",
+        series.capacity(),
+        st.resident_high_water,
+        st.hits,
+        st.misses,
+        st.evictions,
+        st.bytes_paged
+    )
 }
 
 /// Load the `_truth` ground-truth companion frames that [`load_series`]
@@ -332,25 +380,35 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
     Ok(format!("rendered step {t} at {size}x{size} -> {out}"))
 }
 
-/// `track` subcommand.
+/// `track` subcommand. With `--ooc-cache N` the series stays on disk and at
+/// most N frames are resident at once; a paging summary is appended.
 pub fn cmd_track(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
+    match ooc_cache_opt(args)? {
+        Some(cap) => {
+            let series = open_ooc(dir, cap)?;
+            let mut out = cmd_track_impl(args, &series)?;
+            out.push_str(&ooc_summary(&series));
+            Ok(out)
+        }
+        None => cmd_track_impl(args, load_series(dir)?),
+    }
+}
+
+fn cmd_track_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, String> {
     let (sx, sy, sz) = parse_voxel(args.require("seed")?)?;
     let threads: usize = args.opt_parse("threads", 0usize)?;
-    let series = load_series(dir)?;
-    let (glo, ghi) = series.global_range();
-    let _ = glo;
     // `--session` opens a saved artifact so artifact state (most usefully a
     // trained data-space classifier) can drive the criterion.
     let session = if let Some(path) = args.opt("session") {
-        VisSession::load(series.clone(), path).map_err(|e| e.to_string())?
+        VisSession::load(series, path).map_err(|e| e.to_string())?
     } else {
-        VisSession::new(series.clone()).unwrap()
+        VisSession::new(series).map_err(|e| e.to_string())?
     };
 
     // The frontier-parallel grower fans out per-frame work; `--threads`
     // pins its worker count (0 = default sizing).
-    let run_tracking = |session: &VisSession| -> Result<TrackResult, String> {
+    let run_tracking = |session: &VisSession<S>| -> Result<TrackResult, String> {
         if let Some(tau) = args.opt("dataspace-tau") {
             let tau: f32 = tau.parse().map_err(|_| "bad --dataspace-tau")?;
             session
@@ -359,10 +417,9 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
         } else if let Some(path) = args.opt("iatf") {
             let iatf = load_iatf(path)?;
             let tau: f32 = args.opt_parse("tau", 0.5f32)?;
-            let tfs: Vec<TransferFunction1D> = series
-                .iter()
-                .map(|(t, frame)| iatf.generate(t, frame))
-                .collect();
+            let tfs: Vec<TransferFunction1D> =
+                map_frames_windowed(session.series(), |_, t, frame| iatf.generate(t, frame))
+                    .map_err(|e| format!("tracking failed: {e}"))?;
             let criterion =
                 AdaptiveTfCriterion::new(tfs, tau).map_err(|e| format!("tracking failed: {e}"))?;
             session
@@ -370,7 +427,6 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
                 .map_err(|e| format!("tracking failed: {e}"))
         } else if let Some(band) = args.opt("band") {
             let (lo, hi) = parse_band(band)?;
-            let _ = ghi;
             session
                 .track_fixed(&[(0, sx, sy, sz)], lo, hi)
                 .map_err(|e| format!("tracking failed: {e}"))
@@ -387,8 +443,9 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
         pipeline::pool_with_threads(threads).install(|| run_tracking(&session))?
     };
 
+    let steps = session.series().steps().to_vec();
     let mut out = String::from("t      voxels components\n");
-    for (i, &t) in series.steps().iter().enumerate() {
+    for (i, &t) in steps.iter().enumerate() {
         out.push_str(&format!(
             "{:<6} {:>7} {:>10}\n",
             t, result.report.voxels_per_frame[i], result.report.components_per_frame[i]
@@ -398,29 +455,46 @@ pub fn cmd_track(args: &Args) -> Result<String, String> {
     for e in &result.report.events {
         out.push_str(&format!(
             "  t={}: {:?} {:?} -> {:?}\n",
-            series.steps()[e.frame],
-            e.kind,
-            e.before,
-            e.after
+            steps[e.frame], e.kind, e.before, e.after
         ));
     }
-    let _ = session;
     Ok(out)
 }
 
 /// `session` subcommand dispatcher: versioned artifact save / load / resume.
+/// All actions honour `--ooc-cache N` (page the series from disk through an
+/// N-frame LRU cache instead of loading it whole).
 pub fn cmd_session(args: &Args) -> Result<String, String> {
     let action = args
         .positional
         .first()
-        .ok_or("session needs an action: save, load, or resume")?;
-    match action.as_str() {
-        "save" => cmd_session_save(args),
-        "load" => cmd_session_load(args),
-        "resume" => cmd_session_resume(args),
-        other => Err(format!(
-            "unknown session action {other:?} (try save, load, resume)"
-        )),
+        .ok_or("session needs an action: save, load, or resume")?
+        .as_str();
+    if !matches!(action, "save" | "load" | "resume") {
+        return Err(format!(
+            "unknown session action {action:?} (try save, load, resume)"
+        ));
+    }
+    let dir = args.require("data")?;
+    match ooc_cache_opt(args)? {
+        Some(cap) => {
+            let series = open_ooc(dir, cap)?;
+            let mut out = match action {
+                "save" => cmd_session_save(args, &series),
+                "load" => cmd_session_load(args, &series),
+                _ => cmd_session_resume(args, &series),
+            }?;
+            out.push_str(&ooc_summary(&series));
+            Ok(out)
+        }
+        None => {
+            let series = load_series(dir)?;
+            match action {
+                "save" => cmd_session_save(args, series),
+                "load" => cmd_session_load(args, series),
+                _ => cmd_session_resume(args, series),
+            }
+        }
     }
 }
 
@@ -428,11 +502,10 @@ pub fn cmd_session(args: &Args) -> Result<String, String> {
 /// tracking run) and persist it as a versioned artifact. With `--rounds N`
 /// the tracking run may pause mid-growth; the checkpoint is saved too and
 /// `session resume` finishes it later.
-fn cmd_session_save(args: &Args) -> Result<String, String> {
+fn cmd_session_save<S: FrameSource>(args: &Args, series: S) -> Result<String, String> {
     let dir = args.require("data")?;
     let out = args.require("out")?;
-    let series = load_series(dir)?;
-    let (glo, ghi) = series.global_range();
+    let (glo, ghi) = series.global_range().map_err(|e| e.to_string())?;
     let mut session = VisSession::new(series).map_err(|e| e.to_string())?;
 
     let keys = args.all("key");
@@ -540,7 +613,7 @@ fn cmd_session_save(args: &Args) -> Result<String, String> {
 /// When a capture is live (`--trace`/`--profile`), snapshot the span tree so
 /// far and ride it along in the artifact's TRACE section. Stable mode only:
 /// embedded timings would make artifact bytes nondeterministic.
-fn embed_trace_summary(session: &mut VisSession) -> Result<(), String> {
+fn embed_trace_summary<S: FrameSource>(session: &mut VisSession<S>) -> Result<(), String> {
     if let Some(t) = obs::snapshot() {
         session
             .set_trace_summary(t.to_stable().to_json())
@@ -550,7 +623,7 @@ fn embed_trace_summary(session: &mut VisSession) -> Result<(), String> {
 }
 
 /// Human-readable inventory of a loaded session.
-fn session_inventory(session: &VisSession) -> String {
+fn session_inventory<S: FrameSource>(session: &VisSession<S>) -> String {
     let mut out = String::new();
     let steps: Vec<u32> = session.key_frames().iter().map(|(t, _)| *t).collect();
     out.push_str(&format!("key frames: {} {steps:?}\n", steps.len()));
@@ -597,10 +670,8 @@ fn session_inventory(session: &VisSession) -> String {
 
 /// `session load`: open an artifact against its series and print what is in
 /// it (also serving as an integrity check — corrupt files fail here).
-fn cmd_session_load(args: &Args) -> Result<String, String> {
-    let dir = args.require("data")?;
+fn cmd_session_load<S: FrameSource>(args: &Args, series: S) -> Result<String, String> {
     let path = args.require("session")?;
-    let series = load_series(dir)?;
     let session = VisSession::load(series, path).map_err(|e| e.to_string())?;
     Ok(format!(
         "session artifact {path}\n{}",
@@ -610,11 +681,9 @@ fn cmd_session_load(args: &Args) -> Result<String, String> {
 
 /// `session resume`: finish the artifact's pending tracking run from its
 /// checkpoint and write the completed session back out.
-fn cmd_session_resume(args: &Args) -> Result<String, String> {
-    let dir = args.require("data")?;
+fn cmd_session_resume<S: FrameSource>(args: &Args, series: S) -> Result<String, String> {
     let path = args.require("session")?;
     let out = args.opt("out").unwrap_or(path);
-    let series = load_series(dir)?;
     let mut session = VisSession::load(series, path).map_err(|e| e.to_string())?;
     let result = session.resume_track().map_err(|e| e.to_string())?;
     let total: usize = result.report.voxels_per_frame.iter().sum();
@@ -624,6 +693,56 @@ fn cmd_session_resume(args: &Args) -> Result<String, String> {
     Ok(format!(
         "resumed tracking to completion: {total} voxels, {events} events\nsaved -> {out}"
     ))
+}
+
+/// `classify` subcommand: run a saved session's trained data-space
+/// classifier over every frame and report per-frame certainty coverage.
+/// With `--out DIR` the certainty fields are written as raw volumes; with
+/// `--ooc-cache N` the input series pages through an N-frame LRU cache.
+pub fn cmd_classify(args: &Args) -> Result<String, String> {
+    let dir = args.require("data")?;
+    match ooc_cache_opt(args)? {
+        Some(cap) => {
+            let series = open_ooc(dir, cap)?;
+            let mut out = cmd_classify_impl(args, &series)?;
+            out.push_str(&ooc_summary(&series));
+            Ok(out)
+        }
+        None => cmd_classify_impl(args, load_series(dir)?),
+    }
+}
+
+fn cmd_classify_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, String> {
+    let path = args.require("session")?;
+    let tau: f32 = args.opt_parse("tau", 0.5f32)?;
+    let session = VisSession::load(series, path).map_err(|e| e.to_string())?;
+    let clf = session.classifier().ok_or(
+        "session has no trained classifier (train one with `session save --paint STEP:N`)",
+    )?;
+    let certainty = clf
+        .classify_series(session.series())
+        .map_err(|e| format!("classification failed: {e}"))?;
+    let steps = session.series().steps().to_vec();
+    let mut out = String::from("t      voxels>=tau mean-certainty\n");
+    for (i, c) in certainty.iter().enumerate() {
+        let above = c.as_slice().iter().filter(|&&v| v >= tau).count();
+        out.push_str(&format!(
+            "{:<6} {:>11} {:>14.4}\n",
+            steps[i],
+            above,
+            c.mean()
+        ));
+    }
+    if let Some(outdir) = args.opt("out") {
+        let fields = TimeSeries::from_frames(steps.iter().copied().zip(certainty).collect());
+        let written = write_series(Path::new(outdir), "certainty", &fields)
+            .map_err(|e| format!("write failed: {e}"))?;
+        out.push_str(&format!(
+            "wrote {} certainty volumes -> {outdir}\n",
+            written.len()
+        ));
+    }
+    Ok(out)
 }
 
 /// `suggest-keys` subcommand: where should the user paint key frames?
@@ -678,6 +797,7 @@ fn command_root(command: &str) -> &'static str {
         "render" => "ifet.render",
         "track" => "ifet.track",
         "session" => "ifet.session",
+        "classify" => "ifet.classify",
         "suggest-keys" => "ifet.suggest-keys",
         _ => "ifet",
     }
@@ -691,6 +811,7 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "render" => cmd_render(args),
         "track" => cmd_track(args),
         "session" => cmd_session(args),
+        "classify" => cmd_classify(args),
         "suggest-keys" => cmd_suggest_keys(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -706,15 +827,22 @@ USAGE:
   ifet info --data DIR
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
   ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
-  ifet track --data DIR --seed X,Y,Z [--threads N]
+  ifet track --data DIR --seed X,Y,Z [--threads N] [--ooc-cache N]
              (--iatf FILE [--tau V] | --band LO:HI | --session FILE --dataspace-tau V)
   ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
                     [--paint STEP:N ...] [--clf-epochs N] [--paint-seed S]
                     [--seed X,Y,Z (--band LO:HI | --dataspace-tau V | --tau V)]
-                    [--rounds N]
-  ifet session load --data DIR --session FILE
-  ifet session resume --data DIR --session FILE [--out FILE]
+                    [--rounds N] [--ooc-cache N]
+  ifet session load --data DIR --session FILE [--ooc-cache N]
+  ifet session resume --data DIR --session FILE [--out FILE] [--ooc-cache N]
+  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [--ooc-cache N]
   ifet suggest-keys --data DIR [--max N]
+
+out-of-core (track, session, classify):
+  --ooc-cache N         page frames from disk through an N-frame LRU cache
+                        instead of loading the series in core; results are
+                        byte-identical, and a paging summary (resident
+                        high-water, hits/misses/evictions) is appended
 
 observability (any subcommand):
   --trace FILE          write a versioned JSON span tree of the run
@@ -903,6 +1031,107 @@ mod tests {
         );
 
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// A 16-frame series with a drifting bright ball, written to a fresh
+    /// temp directory (the `generate` datasets have fixed frame counts, so
+    /// out-of-core tests build their own series).
+    fn write_ooc_series(tag: &str) -> String {
+        let d = Dims3::cube(12);
+        let series = TimeSeries::from_frames(
+            (0..16)
+                .map(|k| {
+                    let drift = 0.05 * k as f32;
+                    let cx = 3.0 + 0.4 * k as f32;
+                    let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                        let dist = ((x as f32 - cx).powi(2)
+                            + (y as f32 - 6.0).powi(2)
+                            + (z as f32 - 6.0).powi(2))
+                        .sqrt();
+                        let base = (x + y + z) as f32 / 36.0 + drift;
+                        if dist <= 2.5 {
+                            base + 1.0
+                        } else {
+                            base
+                        }
+                    });
+                    (k as u32 * 5, vol)
+                })
+                .collect(),
+        );
+        let dir = std::env::temp_dir().join(format!("ifet_cli_ooc_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_series(&dir, "ooc", &series).unwrap();
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn track_ooc_matches_in_core_and_stays_bounded() {
+        let dirs = write_ooc_series("track");
+        let track = |extra: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data {dirs} --seed 3,6,6 --band 0.9:3.0{extra}"
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        let reference = track("");
+        assert!(reference.contains("events:"), "{reference}");
+
+        let paged = track(" --ooc-cache 2");
+        let (body, summary) = paged
+            .split_once("ooc:")
+            .expect("paged run must append an ooc summary");
+        assert_eq!(body, reference, "out-of-core output must be byte-identical");
+
+        // The bounded-memory witness: at most 2 data frames were ever
+        // resident, even though the series has 16.
+        let hw: usize = summary
+            .split("resident high-water ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("summary must report the resident high-water mark");
+        assert!(hw <= 2, "resident high-water {hw} exceeds --ooc-cache 2");
+        assert!(summary.contains("misses"), "{summary}");
+        std::fs::remove_dir_all(&dirs).ok();
+    }
+
+    #[test]
+    fn stable_traces_invariant_across_threads_and_cache() {
+        let dirs = write_ooc_series("trace");
+        let trace_for = |threads: usize, cache: Option<usize>| -> Vec<u8> {
+            let tag = cache.map_or("incore".to_string(), |c| c.to_string());
+            let path = format!("{dirs}/trace_{threads}_{tag}.json");
+            let cache_arg = cache.map_or(String::new(), |c| format!(" --ooc-cache {c}"));
+            run(&parse_args(&argv(&format!(
+                "track --data {dirs} --seed 3,6,6 --band 0.9:3.0 \
+                 --threads {threads}{cache_arg} --trace {path} --trace-mode stable"
+            )))
+            .unwrap())
+            .unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        let reference = trace_for(1, None);
+        for threads in [1usize, 2, 4] {
+            for cache in [None, Some(1), Some(2), Some(16)] {
+                assert_eq!(
+                    trace_for(threads, cache),
+                    reference,
+                    "stable trace diverged at threads {threads}, cache {cache:?}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dirs).ok();
+    }
+
+    #[test]
+    fn ooc_cache_rejects_zero() {
+        let a = parse_args(&argv(
+            "track --data d --seed 0,0,0 --band 0:1 --ooc-cache 0",
+        ))
+        .unwrap();
+        assert!(run(&a).unwrap_err().contains("at least 1"));
     }
 
     #[test]

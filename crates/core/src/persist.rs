@@ -35,7 +35,7 @@ use ifet_obs as obs;
 use ifet_tf::{ColorMap, Iatf, IatfParams, TransferFunction1D};
 use ifet_track::{track_events, GrowCheckpoint, GrowError, Seed4, TrackReport};
 use ifet_volume::maskio::{decode_mask, encode_mask_into, MaskIoError};
-use ifet_volume::{Mask3, TimeSeries};
+use ifet_volume::{FrameSource, Mask3};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::OnceLock;
@@ -565,7 +565,10 @@ fn encode_tracks(tracks: &[CompletedTrack]) -> Vec<u8> {
     out
 }
 
-fn decode_tracks(payload: &[u8], series: &TimeSeries) -> Result<Vec<CompletedTrack>, PersistError> {
+fn decode_tracks<S: FrameSource + ?Sized>(
+    payload: &[u8],
+    series: &S,
+) -> Result<Vec<CompletedTrack>, PersistError> {
     let mut c = Cursor::new(SEC_TRACKS, payload);
     let count = c.u32()? as usize;
     let mut tracks = Vec::new();
@@ -637,7 +640,10 @@ fn encode_checkpoint(pending: &PendingTrack) -> Vec<u8> {
     out
 }
 
-fn decode_checkpoint(payload: &[u8], series: &TimeSeries) -> Result<PendingTrack, PersistError> {
+fn decode_checkpoint<S: FrameSource + ?Sized>(
+    payload: &[u8],
+    series: &S,
+) -> Result<PendingTrack, PersistError> {
     let mut c = Cursor::new(SEC_CHECKPT, payload);
     let jlen = c.u32()? as usize;
     let header: CheckpointHeader = from_json_payload(SEC_CHECKPT, c.take(jlen)?)?;
@@ -685,7 +691,9 @@ fn decode_checkpoint(payload: &[u8], series: &TimeSeries) -> Result<PendingTrack
 // ---- Whole-session save / load ----
 
 /// Serialize a session to artifact bytes (the series itself is not stored).
-pub fn save_session_bytes(sess: &VisSession) -> Vec<u8> {
+/// Panics if a paged source cannot read its frames while computing the
+/// global range (the same I/O would already have failed earlier in use).
+pub fn save_session_bytes<S: FrameSource>(sess: &VisSession<S>) -> Vec<u8> {
     let _span = obs::span("persist.save");
     let series = sess.series();
     let d = series.dims();
@@ -696,7 +704,7 @@ pub fn save_session_bytes(sess: &VisSession) -> Vec<u8> {
         schema_track: ifet_track::SCHEMA_VERSION,
         dims: (d.nx as u64, d.ny as u64, d.nz as u64),
         steps: series.steps().to_vec(),
-        global_range: series.global_range(),
+        global_range: series.global_range().unwrap_or_else(|e| panic!("{e}")),
         colormap: sess.colormap,
         iatf_params: sess.iatf_params(),
     };
@@ -730,8 +738,11 @@ pub fn save_session_bytes(sess: &VisSession) -> Vec<u8> {
     w.to_bytes()
 }
 
-/// Rebuild a session from artifact bytes against its time series.
-pub fn load_session_bytes(series: TimeSeries, bytes: &[u8]) -> Result<VisSession, PersistError> {
+/// Rebuild a session from artifact bytes against its frame source.
+pub fn load_session_bytes<S: FrameSource>(
+    series: S,
+    bytes: &[u8],
+) -> Result<VisSession<S>, PersistError> {
     let _span = obs::span("persist.load");
     let r = ArtifactReader::parse(bytes)?;
 
@@ -841,12 +852,12 @@ pub fn load_session_bytes(series: TimeSeries, bytes: &[u8]) -> Result<VisSession
 }
 
 /// Write a session artifact to disk.
-pub fn save_session(sess: &VisSession, path: &Path) -> Result<(), PersistError> {
+pub fn save_session<S: FrameSource>(sess: &VisSession<S>, path: &Path) -> Result<(), PersistError> {
     Ok(std::fs::write(path, save_session_bytes(sess))?)
 }
 
-/// Read a session artifact from disk against its time series.
-pub fn load_session(series: TimeSeries, path: &Path) -> Result<VisSession, PersistError> {
+/// Read a session artifact from disk against its frame source.
+pub fn load_session<S: FrameSource>(series: S, path: &Path) -> Result<VisSession<S>, PersistError> {
     let bytes = std::fs::read(path)?;
     load_session_bytes(series, &bytes)
 }

@@ -6,8 +6,7 @@
 //! concurrently." On a single machine the same independence lets frames fan
 //! out across a thread pool; the scaling bench measures exactly this.
 
-use ifet_volume::{ScalarVolume, TimeSeries};
-use rayon::prelude::*;
+use ifet_volume::{map_frames_windowed, FrameSource, ScalarVolume, SeriesError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -32,20 +31,33 @@ pub fn pool_with_threads(threads: usize) -> Arc<rayon::ThreadPool> {
 }
 
 /// Apply `f` to every `(step, frame)` of a series in parallel, preserving
-/// order in the output.
-pub fn map_frames<T, F>(series: &TimeSeries, f: F) -> Vec<T>
+/// order in the output. Panics if a paged source fails to load a frame; use
+/// [`try_map_frames`] to handle that case.
+pub fn map_frames<S, T, F>(series: &S, f: F) -> Vec<T>
 where
+    S: FrameSource + ?Sized,
     T: Send,
     F: Fn(u32, &ScalarVolume) -> T + Sync,
 {
-    let items: Vec<(u32, &ScalarVolume)> = series.iter().collect();
-    items.par_iter().map(|(t, frame)| f(*t, frame)).collect()
+    try_map_frames(series, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`map_frames`]: fan out over frames in residency-bounded windows
+/// (one full parallel pass for in-core sources), surfacing paging failures.
+pub fn try_map_frames<S, T, F>(series: &S, f: F) -> Result<Vec<T>, SeriesError>
+where
+    S: FrameSource + ?Sized,
+    T: Send,
+    F: Fn(u32, &ScalarVolume) -> T + Sync,
+{
+    map_frames_windowed(series, |_i, t, frame| f(t, frame))
 }
 
 /// Apply `f` with an explicit thread count (for scaling studies), using the
 /// cached pool for that count; `threads == 0` means rayon's default.
-pub fn map_frames_with_threads<T, F>(series: &TimeSeries, threads: usize, f: F) -> Vec<T>
+pub fn map_frames_with_threads<S, T, F>(series: &S, threads: usize, f: F) -> Vec<T>
 where
+    S: FrameSource + ?Sized,
     T: Send,
     F: Fn(u32, &ScalarVolume) -> T + Sync + Send,
 {
@@ -56,17 +68,26 @@ where
 }
 
 /// Sequential reference (the 1-worker baseline for speedup computation).
-pub fn map_frames_sequential<T, F>(series: &TimeSeries, f: F) -> Vec<T>
+pub fn map_frames_sequential<S, T, F>(series: &S, f: F) -> Vec<T>
 where
+    S: FrameSource + ?Sized,
     F: Fn(u32, &ScalarVolume) -> T,
 {
-    series.iter().map(|(t, frame)| f(t, frame)).collect()
+    let steps = series.steps().to_vec();
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let frame = series.frame(i).unwrap_or_else(|e| panic!("{e}"));
+            f(t, &frame)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ifet_volume::Dims3;
+    use ifet_volume::{Dims3, TimeSeries};
 
     fn series(n_frames: usize) -> TimeSeries {
         let d = Dims3::cube(8);

@@ -15,7 +15,7 @@ use ifet_track::{
     grow_4d, track_events, AdaptiveTfCriterion, CriterionError, FixedBandCriterion, GrowCheckpoint,
     GrowError, Grower, GrowthCriterion, MaskCriterion, Seed4, TrackReport,
 };
-use ifet_volume::{Mask3, TimeSeries};
+use ifet_volume::{map_frames_windowed, FrameSource, Mask3, TimeSeries};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -84,6 +84,8 @@ pub enum SessionError {
     Criterion(CriterionError),
     /// Region growing rejected the seeds or checkpoint.
     Grow(GrowError),
+    /// The frame source failed to deliver a frame (paging I/O, bad index).
+    Series { reason: String },
 }
 
 impl std::fmt::Display for SessionError {
@@ -97,6 +99,7 @@ impl std::fmt::Display for SessionError {
             SessionError::NoClassifier => write!(f, "no trained classifier in this session"),
             SessionError::Criterion(e) => write!(f, "criterion: {e}"),
             SessionError::Grow(e) => write!(f, "tracking: {e}"),
+            SessionError::Series { reason } => write!(f, "frame source: {reason}"),
         }
     }
 }
@@ -123,10 +126,26 @@ impl From<GrowError> for SessionError {
     }
 }
 
+impl From<ifet_volume::SeriesError> for SessionError {
+    fn from(e: ifet_volume::SeriesError) -> Self {
+        SessionError::Series {
+            reason: e.to_string(),
+        }
+    }
+}
+
 /// One loaded dataset plus everything the user has taught the system so far.
+///
+/// Generic over the [`FrameSource`] backing it: `VisSession<TimeSeries>` (the
+/// default) works fully in core; `VisSession<OutOfCoreSeries>` pages frames
+/// through a bounded LRU cache, so the same session API runs on series larger
+/// than memory. Frame access in the `Option`-returning convenience helpers
+/// (`adaptive_tf_at_step`, `render_*`) panics on paging I/O errors — the
+/// `Result`-returning tracking/classification entry points report them as
+/// [`SessionError::Series`].
 #[derive(Debug, Clone)]
-pub struct VisSession {
-    series: TimeSeries,
+pub struct VisSession<S: FrameSource = TimeSeries> {
+    series: S,
     key_frames: Vec<(u32, TransferFunction1D)>,
     iatf: Option<Iatf>,
     iatf_params: IatfParams,
@@ -141,9 +160,9 @@ pub struct VisSession {
     pub colormap: ColorMap,
 }
 
-impl VisSession {
-    /// Open a session on a time series.
-    pub fn new(series: TimeSeries) -> Result<Self, SessionError> {
+impl<S: FrameSource> VisSession<S> {
+    /// Open a session on a frame source.
+    pub fn new(series: S) -> Result<Self, SessionError> {
         if series.is_empty() {
             return Err(SessionError::EmptySeries);
         }
@@ -165,7 +184,7 @@ impl VisSession {
     /// Rebuild a session from persisted parts (see [`crate::persist`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
-        series: TimeSeries,
+        series: S,
         key_frames: Vec<(u32, TransferFunction1D)>,
         iatf: Option<Iatf>,
         iatf_params: IatfParams,
@@ -191,7 +210,7 @@ impl VisSession {
         }
     }
 
-    pub fn series(&self) -> &TimeSeries {
+    pub fn series(&self) -> &S {
         &self.series
     }
 
@@ -246,18 +265,20 @@ impl VisSession {
     /// The adaptive TF for a series step (None until `train_iatf` ran).
     pub fn adaptive_tf_at_step(&self, t: u32) -> Option<TransferFunction1D> {
         let iatf = self.iatf.as_ref()?;
-        let frame = self.series.frame_at_step(t)?;
-        Some(iatf.generate(t, frame))
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))?;
+        Some(iatf.generate(t, &frame))
     }
 
-    /// Adaptive TFs for every frame, in series order.
+    /// Adaptive TFs for every frame, in series order. Frames are visited in
+    /// bounded windows so a paged source never exceeds its cache capacity.
     pub fn adaptive_tfs(&self) -> Option<Vec<TransferFunction1D>> {
         let iatf = self.iatf.as_ref()?;
         Some(
-            self.series
-                .iter()
-                .map(|(t, frame)| iatf.generate(t, frame))
-                .collect(),
+            map_frames_windowed(&self.series, |_, t, frame| iatf.generate(t, frame))
+                .unwrap_or_else(|e| panic!("{e}")),
         )
     }
 
@@ -288,6 +309,7 @@ impl VisSession {
         let frame = self
             .series
             .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| panic!("step {t} not in series"));
         let d = frame.dims();
         let mut m = Mask3::empty(d);
@@ -368,8 +390,11 @@ impl VisSession {
     /// Data-space extraction mask at step `t` (None until trained).
     pub fn extract_data_space(&self, t: u32, tau: f32) -> Option<Mask3> {
         let clf = self.classifier.as_ref()?;
-        let frame = self.series.frame_at_step(t)?;
-        Some(clf.extract_mask(frame, self.series.normalized_time(t), tau))
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))?;
+        Some(clf.extract_mask(&frame, self.series.normalized_time(t), tau))
     }
 
     // ---- Tracking (paper Section 5) ----
@@ -435,7 +460,7 @@ impl VisSession {
             CriterionSpec::DataSpace { tau } => {
                 let clf = self.classifier.as_ref().ok_or(SessionError::NoClassifier)?;
                 let masks: Vec<Mask3> = clf
-                    .classify_series(&self.series)
+                    .classify_series(&self.series)?
                     .iter()
                     .map(|c| Mask3::threshold(c, *tau))
                     .collect();
@@ -523,8 +548,8 @@ impl VisSession {
         persist::save_session(self, path.as_ref())
     }
 
-    /// Load a session artifact against its time series.
-    pub fn load(series: TimeSeries, path: impl AsRef<Path>) -> Result<Self, PersistError> {
+    /// Load a session artifact against its frame source.
+    pub fn load(series: S, path: impl AsRef<Path>) -> Result<Self, PersistError> {
         persist::load_session(series, path.as_ref())
     }
 
@@ -540,9 +565,10 @@ impl VisSession {
         let frame = self
             .series
             .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| panic!("step {t} not in series"));
         self.renderer
-            .render(frame, tf, self.colormap, &self.camera(), w, h)
+            .render(&frame, tf, self.colormap, &self.camera(), w, h)
     }
 
     /// Render frame `t` with the adaptive TF (None until trained). This is
@@ -558,9 +584,10 @@ impl VisSession {
         let frame = self
             .series
             .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| panic!("step {t} not in series"));
         self.renderer
-            .render_mip(frame, self.colormap, &self.camera(), w, h)
+            .render_mip(&frame, self.colormap, &self.camera(), w, h)
     }
 
     /// Render frame `t` with opacity taken from the data-space classifier's
@@ -568,10 +595,13 @@ impl VisSession {
     /// "classified result ... used to assign opacity to each voxel".
     pub fn render_classified(&self, t: u32, w: usize, h: usize) -> Option<Image> {
         let clf = self.classifier.as_ref()?;
-        let frame = self.series.frame_at_step(t)?;
-        let certainty = clf.classify_frame(frame, self.series.normalized_time(t));
+        let frame = self
+            .series
+            .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))?;
+        let certainty = clf.classify_frame(&frame, self.series.normalized_time(t));
         Some(self.renderer.render_classified(
-            frame,
+            &frame,
             &certainty,
             self.colormap,
             &self.camera(),
@@ -593,10 +623,11 @@ impl VisSession {
         let frame = self
             .series
             .frame_at_step(t)
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| panic!("step {t} not in series"));
         render_tracking_overlay(
             &self.renderer,
-            frame,
+            &frame,
             tracked,
             base_tf,
             adaptive_tf,

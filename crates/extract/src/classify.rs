@@ -5,7 +5,9 @@ use crate::paint::PaintSet;
 use ifet_nn::mlp::Scratch;
 use ifet_nn::{Activation, Mlp, Normalizer, Svm, SvmParams, TrainParams, Trainer, TrainingSet};
 use ifet_obs as obs;
-use ifet_volume::{Mask3, MultiSeries, MultiVolume, ScalarVolume, TimeSeries};
+use ifet_volume::{
+    map_frames_windowed, FrameSource, Mask3, MultiSeries, MultiVolume, ScalarVolume, SeriesError,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -261,6 +263,16 @@ pub enum TrainError {
     PaintedStepNotInSeries { step: u32 },
     /// Paint sets were supplied but none of them contains a voxel.
     NoPaintedVoxels,
+    /// Loading a painted frame from the source failed (paging I/O).
+    Source { reason: String },
+}
+
+impl From<SeriesError> for TrainError {
+    fn from(e: SeriesError) -> Self {
+        TrainError::Source {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for TrainError {
@@ -271,6 +283,7 @@ impl std::fmt::Display for TrainError {
                 write!(f, "painted step {step} not in series")
             }
             TrainError::NoPaintedVoxels => write!(f, "paint sets contain no voxels"),
+            TrainError::Source { reason } => write!(f, "frame source failed: {reason}"),
         }
     }
 }
@@ -280,10 +293,12 @@ impl std::error::Error for TrainError {}
 /// Fitted normalizer plus normalized training rows and their labels.
 type TrainingRows = (Normalizer, Vec<Vec<f32>>, Vec<f32>);
 
-/// Assemble normalized `(rows, labels)` from painted frames.
-fn assemble_rows(
+/// Assemble normalized `(rows, labels)` from painted frames. Only the
+/// painted frames are touched, one at a time — exactly the paper's argument
+/// that training needs just the key frames in core (§4.2.2).
+fn assemble_rows<S: FrameSource + ?Sized>(
     extractor: &FeatureExtractor,
-    series: &TimeSeries,
+    series: &S,
     paints: &[PaintSet],
 ) -> Result<TrainingRows, TrainError> {
     if paints.is_empty() {
@@ -294,11 +309,11 @@ fn assemble_rows(
     let mut buf = Vec::new();
     for set in paints {
         let frame = series
-            .frame_at_step(set.step)
+            .frame_at_step(set.step)?
             .ok_or(TrainError::PaintedStepNotInSeries { step: set.step })?;
         let tn = series.normalized_time(set.step);
         for ((x, y, z), label) in set.iter() {
-            extractor.vector_into(frame, x, y, z, tn, &mut buf);
+            extractor.vector_into(&frame, x, y, z, tn, &mut buf);
             rows.push(buf.clone());
             labels.push(label);
         }
@@ -318,9 +333,9 @@ impl DataSpaceClassifier {
     ///
     /// Training is per-voxel: every painted voxel contributes one
     /// `(feature vector, label)` row.
-    pub fn train(
+    pub fn train<S: FrameSource + ?Sized>(
         extractor: FeatureExtractor,
-        series: &TimeSeries,
+        series: &S,
         paints: &[PaintSet],
         params: ClassifierParams,
     ) -> Result<Self, TrainError> {
@@ -357,9 +372,9 @@ impl DataSpaceClassifier {
     /// Train a support-vector-machine classifier on the same painted rows —
     /// the alternative engine of the paper's Section 8. `final_loss` reports
     /// the training-set misclassification rate.
-    pub fn train_svm(
+    pub fn train_svm<S: FrameSource + ?Sized>(
         extractor: FeatureExtractor,
-        series: &TimeSeries,
+        series: &S,
         paints: &[PaintSet],
         params: SvmParams,
     ) -> Result<Self, TrainError> {
@@ -653,34 +668,34 @@ impl DataSpaceClassifier {
 
     /// Classify every frame of a series in parallel over *frames* — the
     /// paper's Conclusion notes per-time-step independence makes cluster
-    /// fan-out trivial; here frames fan out across the thread pool.
-    pub fn classify_series(&self, series: &TimeSeries) -> Vec<ScalarVolume> {
+    /// fan-out trivial; here frames fan out across the thread pool, in
+    /// residency-bounded windows when the source is paged.
+    pub fn classify_series<S: FrameSource + ?Sized>(
+        &self,
+        series: &S,
+    ) -> Result<Vec<ScalarVolume>, SeriesError> {
         let _span = obs::span("extract.classify_series");
-        let items: Vec<(u32, &ScalarVolume)> = series.iter().collect();
-        items
-            .par_iter()
-            .map(|(t, frame)| {
-                // Declared first so the flush runs after the predictor
-                // returns its buffers (take/put bracket the pool counters).
-                let _flush = obs::flush_guard();
-                // Within a frame we stay sequential: frame-level parallelism
-                // already saturates the pool for multi-frame series.
-                let tn = series.normalized_time(*t);
-                let d = frame.dims();
-                let mut predictor = self.predictor();
-                let mut data = Vec::with_capacity(d.len());
-                for z in 0..d.nz {
-                    for y in 0..d.ny {
-                        for x in 0..d.nx {
-                            data.push(predictor.predict_at(frame, x, y, z, tn));
-                        }
+        map_frames_windowed(series, |_i, t, frame| {
+            // Declared first so the flush runs after the predictor
+            // returns its buffers (take/put bracket the pool counters).
+            let _flush = obs::flush_guard();
+            // Within a frame we stay sequential: frame-level parallelism
+            // already saturates the pool for multi-frame series.
+            let tn = series.normalized_time(t);
+            let d = frame.dims();
+            let mut predictor = self.predictor();
+            let mut data = Vec::with_capacity(d.len());
+            for z in 0..d.nz {
+                for y in 0..d.ny {
+                    for x in 0..d.nx {
+                        data.push(predictor.predict_at(frame, x, y, z, tn));
                     }
                 }
-                obs::counter("frames", 1);
-                obs::counter("voxels_classified", d.len() as u64);
-                ScalarVolume::from_vec(d, data)
-            })
-            .collect()
+            }
+            obs::counter("frames", 1);
+            obs::counter("voxels_classified", d.len() as u64);
+            ScalarVolume::from_vec(d, data)
+        })
     }
 }
 
@@ -689,7 +704,7 @@ mod tests {
     use super::*;
     use crate::features::{FeatureSpec, ShellMode};
     use crate::paint::PaintOracle;
-    use ifet_volume::Dims3;
+    use ifet_volume::{Dims3, TimeSeries};
 
     /// One big ball and several small balls, all with value 1.0 — separable
     /// only through the shell (size), not the value.
@@ -933,7 +948,7 @@ mod tests {
     #[test]
     fn classify_series_matches_per_frame() {
         let (clf, vol, _, series) = trained_on_scene();
-        let all = clf.classify_series(&series);
+        let all = clf.classify_series(&series).unwrap();
         assert_eq!(all.len(), 1);
         let single = clf.classify_frame(&vol, 0.0);
         for (a, b) in all[0].as_slice().iter().zip(single.as_slice()) {

@@ -82,6 +82,7 @@ impl Renderer {
         overlay: Option<&Mask3>,
         overlay_tf: Option<&TransferFunction1D>,
     ) -> Image {
+        let _span = ifet_obs::span("render.raycast");
         let mut img = Image::new(w, h);
         let p = self.params;
         let d = vol.dims();
@@ -90,6 +91,9 @@ impl Renderer {
 
         let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
         rows.into_par_iter().for_each(|(py, row)| {
+            // Workers may not open spans; per-scanline work is reported as
+            // deterministic counters flushed when each row finishes.
+            let _flush = ifet_obs::flush_guard();
             for px in 0..w {
                 let (origin, dir) = camera.ray(px, py, w, h);
                 let rgb = self.trace(
@@ -99,6 +103,8 @@ impl Renderer {
                 row[3 * px + 1] = rgb[1].clamp(0.0, 1.0);
                 row[3 * px + 2] = rgb[2].clamp(0.0, 1.0);
             }
+            ifet_obs::counter("scanlines", 1);
+            ifet_obs::counter("pixels", w as u64);
         });
 
         let _ = (d, p);
@@ -211,6 +217,7 @@ impl Renderer {
             certainty.dims(),
             "certainty field dims mismatch"
         );
+        let _span = ifet_obs::span("render.classified");
         let mut img = Image::new(w, h);
         let p = self.params;
         let d = vol.dims();
@@ -220,6 +227,9 @@ impl Renderer {
 
         let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
         rows.into_par_iter().for_each(|(py, row)| {
+            let _flush = ifet_obs::flush_guard();
+            ifet_obs::counter("scanlines", 1);
+            ifet_obs::counter("pixels", w as u64);
             for px in 0..w {
                 let (origin, dir) = camera.ray(px, py, w, h);
                 let mut color = [0.0f32; 3];
@@ -276,6 +286,7 @@ impl Renderer {
         w: usize,
         h: usize,
     ) -> Image {
+        let _span = ifet_obs::span("render.mip");
         let mut img = Image::new(w, h);
         let p = self.params;
         let d = vol.dims();
@@ -284,6 +295,9 @@ impl Renderer {
 
         let rows: Vec<(usize, &mut [f32])> = img.rows_mut().enumerate().collect();
         rows.into_par_iter().for_each(|(py, row)| {
+            let _flush = ifet_obs::flush_guard();
+            ifet_obs::counter("scanlines", 1);
+            ifet_obs::counter("pixels", w as u64);
             for px in 0..w {
                 let (origin, dir) = camera.ray(px, py, w, h);
                 let rgb = if let Some((t0, t1)) = ray_box(origin, dir, bounds) {

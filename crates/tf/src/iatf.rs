@@ -17,7 +17,7 @@
 
 use crate::tf1d::{TransferFunction1D, TF_ENTRIES};
 use ifet_nn::{Activation, IncrementalTrainer, Mlp, TrainParams, TrainingSet};
-use ifet_volume::{CumulativeHistogram, Histogram, ScalarVolume, TimeSeries};
+use ifet_volume::{CumulativeHistogram, FrameSource, Histogram, ScalarVolume};
 use serde::{Deserialize, Serialize};
 
 /// IATF hyper-parameters.
@@ -78,13 +78,16 @@ impl IatfBuilder {
     }
 
     /// Assemble the training set from the key frames and the series' data
-    /// distributions (one row per TF table entry per key frame).
-    fn training_set(&self, series: &TimeSeries) -> TrainingSet {
-        let (glo, ghi) = series.global_range();
+    /// distributions (one row per TF table entry per key frame). Generic over
+    /// the frame source: only the key frames are paged in, one at a time —
+    /// the paper's "only the key frames need to be in core" (§4.2.2).
+    fn training_set<S: FrameSource + ?Sized>(&self, series: &S) -> TrainingSet {
+        let (glo, ghi) = series.global_range().unwrap_or_else(|e| panic!("{e}"));
         let mut set = TrainingSet::new();
         for (t, tf) in &self.key_frames {
             let frame = series
                 .frame_at_step(*t)
+                .unwrap_or_else(|e| panic!("{e}"))
                 .unwrap_or_else(|| panic!("key frame step {t} not in series"));
             let h = Histogram::of_values(frame.as_slice(), self.params.bins, glo, ghi);
             let ch = CumulativeHistogram::from_histogram(&h);
@@ -100,7 +103,7 @@ impl IatfBuilder {
 
     /// Train the network to convergence and return the adaptive TF.
     /// Panics if no key frames were added.
-    pub fn train(&self, series: &TimeSeries) -> Iatf {
+    pub fn train<S: FrameSource + ?Sized>(&self, series: &S) -> Iatf {
         assert!(
             !self.key_frames.is_empty(),
             "IATF needs at least one key frame"
@@ -114,7 +117,7 @@ impl IatfBuilder {
     /// [`IncrementalTrainer`] pre-loaded with the key-frame samples. Drive it
     /// with `step(n)` between interactions, then call
     /// [`IatfBuilder::finish`].
-    pub fn start_incremental(&self, series: &TimeSeries) -> IncrementalTrainer {
+    pub fn start_incremental<S: FrameSource + ?Sized>(&self, series: &S) -> IncrementalTrainer {
         let set = self.training_set(series);
         let net = Mlp::new(
             &[3, self.params.hidden, 1],
@@ -135,8 +138,8 @@ impl IatfBuilder {
     }
 
     /// Wrap a (partially) trained network into a usable [`Iatf`].
-    pub fn finish(&self, series: &TimeSeries, inc: IncrementalTrainer) -> Iatf {
-        let (glo, ghi) = series.global_range();
+    pub fn finish<S: FrameSource + ?Sized>(&self, series: &S, inc: IncrementalTrainer) -> Iatf {
+        let (glo, ghi) = series.global_range().unwrap_or_else(|e| panic!("{e}"));
         let final_loss = inc.loss_history().last().copied();
         Iatf {
             net: inc.into_network(),
@@ -261,7 +264,7 @@ impl Iatf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ifet_volume::{Dims3, ScalarVolume};
+    use ifet_volume::{Dims3, ScalarVolume, TimeSeries};
 
     /// Per-step global value shifts: deliberately *irregular* in time (the
     /// paper: "the range of the data values can vary so dramatically that we

@@ -9,7 +9,7 @@
 //! user should paint key frames on — the frames where a TF trained elsewhere
 //! would drift most.
 
-use ifet_volume::{Histogram, TimeSeries};
+use ifet_volume::{FrameSource, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// L1 distance between two normalized histograms (total variation × 2).
@@ -40,16 +40,20 @@ pub fn emd_distance(a: &Histogram, b: &Histogram) -> f64 {
 }
 
 /// Per-frame histograms over the series' global range (comparable bins).
-fn series_histograms(series: &TimeSeries, bins: usize) -> Vec<Histogram> {
-    let (lo, hi) = series.global_range();
-    series
-        .iter()
-        .map(|(_, f)| Histogram::of_values(f.as_slice(), bins, lo, hi))
+/// Frames stream through one at a time, so a paged source never exceeds its
+/// residency bound here.
+fn series_histograms<S: FrameSource + ?Sized>(series: &S, bins: usize) -> Vec<Histogram> {
+    let (lo, hi) = series.global_range().unwrap_or_else(|e| panic!("{e}"));
+    (0..series.len())
+        .map(|i| {
+            let f = series.frame(i).unwrap_or_else(|e| panic!("{e}"));
+            Histogram::of_values(f.as_slice(), bins, lo, hi)
+        })
         .collect()
 }
 
 /// Distribution change between consecutive frames.
-pub fn change_curve(series: &TimeSeries, bins: usize) -> Vec<f64> {
+pub fn change_curve<S: FrameSource + ?Sized>(series: &S, bins: usize) -> Vec<f64> {
     let hs = series_histograms(series, bins);
     hs.windows(2)
         .map(|w| histogram_distance(&w[0], &w[1]))
@@ -73,7 +77,11 @@ pub enum TemporalBehavior {
 /// - otherwise, if some later frame returns close to the first frame's
 ///   distribution (within half the maximum excursion) → `Periodic`;
 /// - otherwise `Drifting`.
-pub fn classify_behavior(series: &TimeSeries, bins: usize, regular_tol: f64) -> TemporalBehavior {
+pub fn classify_behavior<S: FrameSource + ?Sized>(
+    series: &S,
+    bins: usize,
+    regular_tol: f64,
+) -> TemporalBehavior {
     if series.len() < 2 {
         return TemporalBehavior::Regular;
     }
@@ -102,8 +110,8 @@ pub fn classify_behavior(series: &TimeSeries, bins: usize, regular_tol: f64) -> 
 /// frame whose distribution is farthest from every already-chosen frame,
 /// stopping early when the farthest remaining distance drops below
 /// `min_gain`. Returned steps are sorted.
-pub fn suggest_key_frames(
-    series: &TimeSeries,
+pub fn suggest_key_frames<S: FrameSource + ?Sized>(
+    series: &S,
     bins: usize,
     max_keys: usize,
     min_gain: f64,
@@ -141,7 +149,7 @@ pub fn suggest_key_frames(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ifet_volume::{Dims3, ScalarVolume};
+    use ifet_volume::{Dims3, ScalarVolume, TimeSeries};
 
     fn shifted_series(shifts: &[f32]) -> TimeSeries {
         let d = Dims3::cube(10);

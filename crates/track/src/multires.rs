@@ -17,7 +17,7 @@
 use crate::criterion::GrowthCriterion;
 use crate::region_grow::{GrowError, Seed4};
 use ifet_volume::filter::downsample;
-use ifet_volume::{Dims3, Mask3, TimeSeries};
+use ifet_volume::{map_frames_windowed, Dims3, FrameSource, Mask3, TimeSeries};
 use std::collections::VecDeque;
 
 /// Upsample a coarse mask by `factor`, then dilate it `dilate` times —
@@ -43,8 +43,8 @@ pub fn upsample_mask(coarse: &Mask3, fine_dims: Dims3, factor: usize, dilate: us
 /// Fine-level growth is restricted to the upsampled, dilated coarse track,
 /// which bounds the number of criterion evaluations by
 /// `O(|coarse track| * factor³)` instead of `O(volume)`.
-pub fn grow_4d_multires(
-    series: &TimeSeries,
+pub fn grow_4d_multires<S: FrameSource + ?Sized>(
+    series: &S,
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
     factor: usize,
@@ -58,12 +58,11 @@ pub fn grow_4d_multires(
 
     // 1. Coarse pass: downsampled frames, same criterion (the criterion sees
     //    block-averaged values; bands survive averaging for compact features).
-    let coarse_series = TimeSeries::from_frames(
-        series
-            .iter()
-            .map(|(t, f)| (t, downsample(f, factor)))
-            .collect(),
-    );
+    //    The coarse series is factor³ smaller than the data, so it is kept in
+    //    core even when the source is paged.
+    let coarse_series = TimeSeries::from_frames(map_frames_windowed(series, |_, t, f| {
+        (t, downsample(f, factor))
+    })?);
     let coarse_seeds: Vec<Seed4> = seeds
         .iter()
         .map(|&(fi, x, y, z)| {
@@ -89,32 +88,36 @@ pub fn grow_4d_multires(
     let mut masks: Vec<Mask3> = (0..n_frames).map(|_| Mask3::empty(fine_dims)).collect();
     let mut queue: VecDeque<Seed4> = VecDeque::new();
     for &(fi, x, y, z) in seeds {
-        if !masks[fi].get(x, y, z)
-            && candidates[fi].get(x, y, z)
-            && criterion.accept(fi, series.frame(fi), x, y, z)
-        {
+        if masks[fi].get(x, y, z) || !candidates[fi].get(x, y, z) {
+            continue;
+        }
+        let frame = series.frame(fi)?;
+        if criterion.accept(fi, &frame, x, y, z) {
             masks[fi].set(x, y, z, true);
             queue.push_back((fi, x, y, z));
         }
     }
     while let Some((fi, x, y, z)) = queue.pop_front() {
+        let frame = series.frame(fi)?;
         for (nx, ny, nz) in fine_dims.neighbors6(x, y, z) {
             if !masks[fi].get(nx, ny, nz)
                 && candidates[fi].get(nx, ny, nz)
-                && criterion.accept(fi, series.frame(fi), nx, ny, nz)
+                && criterion.accept(fi, &frame, nx, ny, nz)
             {
                 masks[fi].set(nx, ny, nz, true);
                 queue.push_back((fi, nx, ny, nz));
             }
         }
+        drop(frame);
         for nf in [fi.wrapping_sub(1), fi + 1] {
             if nf >= n_frames {
                 continue;
             }
-            if !masks[nf].get(x, y, z)
-                && candidates[nf].get(x, y, z)
-                && criterion.accept(nf, series.frame(nf), x, y, z)
-            {
+            if masks[nf].get(x, y, z) || !candidates[nf].get(x, y, z) {
+                continue;
+            }
+            let nframe = series.frame(nf)?;
+            if criterion.accept(nf, &nframe, x, y, z) {
                 masks[nf].set(x, y, z, true);
                 queue.push_back((nf, x, y, z));
             }

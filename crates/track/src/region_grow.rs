@@ -25,7 +25,7 @@
 
 use crate::criterion::GrowthCriterion;
 use ifet_obs as obs;
-use ifet_volume::{Dims3, Mask3, TimeSeries};
+use ifet_volume::{map_frames_windowed, Dims3, FrameSource, Mask3, SeriesError};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -51,6 +51,16 @@ pub enum GrowError {
     /// against (wrong frame count, wrong dims, or out-of-range frontier
     /// indices) — typically a corrupted or mismatched session artifact.
     BadCheckpoint { reason: String },
+    /// Loading a frame from the source failed (paging I/O or a bad index).
+    Source { reason: String },
+}
+
+impl From<SeriesError> for GrowError {
+    fn from(e: SeriesError) -> Self {
+        GrowError::Source {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for GrowError {
@@ -74,14 +84,15 @@ impl std::fmt::Display for GrowError {
                 seed.1, seed.2, seed.3
             ),
             Self::BadCheckpoint { reason } => write!(f, "bad grow checkpoint: {reason}"),
+            Self::Source { reason } => write!(f, "frame source failed: {reason}"),
         }
     }
 }
 
 impl std::error::Error for GrowError {}
 
-pub(crate) fn validate(
-    series: &TimeSeries,
+pub(crate) fn validate<S: FrameSource + ?Sized>(
+    series: &S,
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
 ) -> Result<(), GrowError> {
@@ -112,9 +123,10 @@ pub(crate) fn validate(
 /// Returns one mask per frame (empty masks for frames the region never
 /// reaches). Seeds that fail the criterion are ignored (the user clicked
 /// background). Runs the frontier-parallel algorithm; the result is
-/// bit-identical to [`grow_4d_serial`].
-pub fn grow_4d(
-    series: &TimeSeries,
+/// bit-identical to [`grow_4d_serial`] and independent of the frame source
+/// (in-core or paged — pinned by the out-of-core equivalence suite).
+pub fn grow_4d<S: FrameSource + ?Sized>(
+    series: &S,
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
 ) -> Result<Vec<Mask3>, GrowError> {
@@ -186,31 +198,36 @@ pub struct Grower {
 }
 
 impl Grower {
-    fn precompute_tables(series: &TimeSeries, criterion: &dyn GrowthCriterion) -> Vec<Mask3> {
+    fn precompute_tables<S: FrameSource + ?Sized>(
+        series: &S,
+        criterion: &dyn GrowthCriterion,
+    ) -> Result<Vec<Mask3>, GrowError> {
         let _span = obs::span("track.precompute_tables");
         obs::counter("frames", series.len() as u64);
-        // Evaluated in parallel: after this, the criterion is never consulted
-        // again.
-        let tables: Vec<Mask3> = (0..series.len())
-            .into_par_iter()
-            .map(|fi| criterion.precompute_frame(fi, series.frame(fi)))
-            .collect();
+        // Each table depends only on its own frame, so frames stream through
+        // in ascending order through residency-bounded windows: one full
+        // parallel pass for in-core sources, cache-capacity-sized windows for
+        // paged ones. Acceptance tables (1 bit/voxel) stay resident; raw
+        // frames do not. After this, the criterion is never consulted again.
+        let tables: Vec<Mask3> = map_frames_windowed(series, |fi, _t, frame| {
+            criterion.precompute_frame(fi, frame)
+        })?;
         if obs::is_enabled() {
             let acceptance: usize = tables.iter().map(|t| t.count()).sum();
             obs::counter("acceptance_voxels", acceptance as u64);
         }
-        tables
+        Ok(tables)
     }
 
     /// Begin a fresh grow from `seeds`.
-    pub fn start(
-        series: &TimeSeries,
+    pub fn start<S: FrameSource + ?Sized>(
+        series: &S,
         criterion: &dyn GrowthCriterion,
         seeds: &[Seed4],
     ) -> Result<Self, GrowError> {
         validate(series, criterion, seeds)?;
         let d = series.dims();
-        let tables = Self::precompute_tables(series, criterion);
+        let tables = Self::precompute_tables(series, criterion)?;
         let mut states: Vec<FrameState> = (0..series.len()).map(|_| FrameState::fresh(d)).collect();
         for &(fi, x, y, z) in seeds {
             let i = d.index(x, y, z);
@@ -231,8 +248,8 @@ impl Grower {
     /// The checkpoint is validated against the series before any growth state
     /// is adopted — a corrupted or mismatched artifact yields
     /// [`GrowError::BadCheckpoint`], never a panic.
-    pub fn resume(
-        series: &TimeSeries,
+    pub fn resume<S: FrameSource + ?Sized>(
+        series: &S,
         criterion: &dyn GrowthCriterion,
         ckpt: GrowCheckpoint,
     ) -> Result<Self, GrowError> {
@@ -276,7 +293,7 @@ impl Grower {
                 }
             }
         }
-        let tables = Self::precompute_tables(series, criterion);
+        let tables = Self::precompute_tables(series, criterion)?;
         let states = ckpt
             .masks
             .into_iter()
@@ -409,8 +426,8 @@ impl Grower {
 
 /// Single-threaded reference implementation of [`grow_4d`]: one FIFO queue,
 /// criterion consulted through [`GrowthCriterion::accept`] at every edge.
-pub fn grow_4d_serial(
-    series: &TimeSeries,
+pub fn grow_4d_serial<S: FrameSource + ?Sized>(
+    series: &S,
     criterion: &dyn GrowthCriterion,
     seeds: &[Seed4],
 ) -> Result<Vec<Mask3>, GrowError> {
@@ -424,26 +441,34 @@ pub fn grow_4d_serial(
         if masks[fi].get(x, y, z) {
             continue;
         }
-        if criterion.accept(fi, series.frame(fi), x, y, z) {
+        let frame = series.frame(fi)?;
+        if criterion.accept(fi, &frame, x, y, z) {
             masks[fi].set(x, y, z, true);
             queue.push_back((fi, x, y, z));
         }
     }
 
     while let Some((fi, x, y, z)) = queue.pop_front() {
-        // Spatial growth within the frame.
+        // Spatial growth within the frame. The handle is held across the
+        // neighbour sweep so a paged source reads the frame at most once here.
+        let frame = series.frame(fi)?;
         for (nx, ny, nz) in d.neighbors6(x, y, z) {
-            if !masks[fi].get(nx, ny, nz) && criterion.accept(fi, series.frame(fi), nx, ny, nz) {
+            if !masks[fi].get(nx, ny, nz) && criterion.accept(fi, &frame, nx, ny, nz) {
                 masks[fi].set(nx, ny, nz, true);
                 queue.push_back((fi, nx, ny, nz));
             }
         }
+        drop(frame);
         // Temporal growth: the same voxel in adjacent frames.
         for nf in [fi.wrapping_sub(1), fi + 1] {
             if nf >= n_frames {
                 continue;
             }
-            if !masks[nf].get(x, y, z) && criterion.accept(nf, series.frame(nf), x, y, z) {
+            if masks[nf].get(x, y, z) {
+                continue;
+            }
+            let nframe = series.frame(nf)?;
+            if criterion.accept(nf, &nframe, x, y, z) {
                 masks[nf].set(x, y, z, true);
                 queue.push_back((nf, x, y, z));
             }
@@ -463,7 +488,7 @@ pub fn voxels_per_frame(masks: &[Mask3]) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::criterion::{FixedBandCriterion, MaskCriterion};
-    use ifet_volume::{Dims3, ScalarVolume};
+    use ifet_volume::{Dims3, ScalarVolume, TimeSeries};
 
     /// A bright ball moving +x by 2 voxels per frame, fading 0.2 per frame.
     fn moving_ball_series() -> TimeSeries {

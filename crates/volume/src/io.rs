@@ -83,6 +83,8 @@ fn sidecar_path(raw: &Path) -> PathBuf {
 /// Write a volume as raw little-endian f32 plus a `<path>.json` sidecar.
 pub fn write_raw(path: &Path, vol: &ScalarVolume, meta: &VolumeMeta) -> Result<(), IoError> {
     assert_eq!(vol.dims(), meta.dims, "meta dims must match volume dims");
+    let _span = ifet_obs::span("volume.io.write");
+    ifet_obs::counter_runtime("volume.io.bytes_written", (vol.dims().len() * 4) as u64);
     let mut w = BufWriter::new(File::create(path)?);
     for &v in vol.as_slice() {
         w.write_all(&v.to_le_bytes())?;
@@ -95,6 +97,10 @@ pub fn write_raw(path: &Path, vol: &ScalarVolume, meta: &VolumeMeta) -> Result<(
 
 /// Read a volume written by [`write_raw`]. The sidecar supplies dimensions.
 pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
+    // Runtime counters only — no span. Read counts depend on the paging
+    // schedule (an out-of-core run re-reads evicted frames), and spans
+    // survive `to_stable`, so a per-read span would make stable traces
+    // differ across cache capacities.
     let side = File::open(sidecar_path(path))?;
     let meta: VolumeMeta = serde_json::from_reader(BufReader::new(side))?;
     if meta.dtype != "f32le" {
@@ -113,6 +119,7 @@ pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
+    ifet_obs::counter_runtime("volume.io.bytes_read", expected as u64);
     Ok((ScalarVolume::from_vec(meta.dims, data), meta))
 }
 

@@ -8,6 +8,9 @@
 //! - [`ScalarVolume`] / [`Volume`] — a dense 3D scalar field,
 //! - [`VectorVolume`] — a dense 3D vector field with differential operators,
 //! - [`TimeSeries`] — a time-varying sequence of scalar volumes,
+//! - [`FrameSource`] — the access contract shared by in-core and
+//!   out-of-core series, with [`OutOfCoreSeries`] paging frames through a
+//!   bounded LRU cache (the paper's "cannot fit in core" regime, §4.2.2),
 //! - [`MultiVolume`] — several named variables over one grid (multivariate data),
 //! - [`Histogram`] / [`CumulativeHistogram`] — value distributions, the key
 //!   ingredient of the paper's adaptive transfer function (Section 4.2.1),
@@ -33,6 +36,7 @@ pub mod ooc;
 pub mod sample;
 pub mod series;
 pub mod shell;
+pub mod source;
 pub mod vecfield;
 pub mod volume;
 
@@ -41,7 +45,8 @@ pub use histogram::{CumulativeHistogram, Histogram};
 pub use mask::{Mask3, MaskWordsError};
 pub use maskio::{decode_mask, encode_mask, encode_mask_into, MaskIoError};
 pub use multivol::{MultiSeries, MultiVolume};
-pub use ooc::OutOfCoreSeries;
-pub use series::TimeSeries;
+pub use ooc::{CacheStats, OutOfCoreSeries};
+pub use series::{SeriesError, TimeSeries};
+pub use source::{map_frames_windowed, FrameHandle, FrameSource};
 pub use vecfield::VectorVolume;
 pub use volume::{ScalarVolume, Volume};

@@ -13,37 +13,144 @@ use crate::dims::Dims3;
 use crate::io::{read_raw, write_series, IoError};
 use crate::series::TimeSeries;
 use crate::volume::ScalarVolume;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-/// Cache state: most-recently-used at the back.
+/// Paging statistics for one [`OutOfCoreSeries`].
+///
+/// Mirrored into the obs runtime counter set (`volume.ooc.*`); kept out of
+/// stable traces because hit/miss/evict sequences depend on scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Raw voxel bytes read from disk (4 bytes per voxel per paged frame).
+    pub bytes_paged: u64,
+    /// Frames resident right now.
+    pub resident: usize,
+    /// Maximum frames ever resident at once — the bounded-memory witness.
+    pub resident_high_water: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// One resident frame, threaded on an intrusive LRU list over slot indices.
+struct Slot {
+    frame: usize,
+    vol: Arc<ScalarVolume>,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache with O(1) get/insert: a frame-index map into a slot slab whose
+/// occupied slots form a doubly-linked recency list (`head` = least recent,
+/// `tail` = most recent). Replaces the original linear-scan `VecDeque`.
 struct Cache {
     capacity: usize,
-    entries: VecDeque<(usize, Arc<ScalarVolume>)>,
-    hits: u64,
-    misses: u64,
+    map: HashMap<usize, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
 }
 
 impl Cache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn detach(&mut self, s: usize) {
+        let (prev, next) = {
+            let e = self.slots[s].as_ref().unwrap();
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().unwrap().next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().unwrap().prev = prev,
+        }
+    }
+
+    fn attach_most_recent(&mut self, s: usize) {
+        {
+            let e = self.slots[s].as_mut().unwrap();
+            e.prev = self.tail;
+            e.next = NIL;
+        }
+        match self.tail {
+            NIL => self.head = s,
+            t => self.slots[t].as_mut().unwrap().next = s,
+        }
+        self.tail = s;
+    }
+
     fn get(&mut self, idx: usize) -> Option<Arc<ScalarVolume>> {
-        if let Some(pos) = self.entries.iter().position(|(i, _)| *i == idx) {
-            let entry = self.entries.remove(pos).unwrap();
-            let vol = entry.1.clone();
-            self.entries.push_back(entry);
-            self.hits += 1;
-            Some(vol)
+        if let Some(&s) = self.map.get(&idx) {
+            self.detach(s);
+            self.attach_most_recent(s);
+            self.stats.hits += 1;
+            ifet_obs::counter_runtime("volume.ooc.hit", 1);
+            Some(self.slots[s].as_ref().unwrap().vol.clone())
         } else {
-            self.misses += 1;
+            self.stats.misses += 1;
+            ifet_obs::counter_runtime("volume.ooc.miss", 1);
             None
         }
     }
 
     fn insert(&mut self, idx: usize, vol: Arc<ScalarVolume>) {
-        while self.entries.len() >= self.capacity {
-            self.entries.pop_front();
+        if let Some(&s) = self.map.get(&idx) {
+            // A concurrent loader beat us to it; just refresh recency.
+            self.detach(s);
+            self.attach_most_recent(s);
+            return;
         }
-        self.entries.push_back((idx, vol));
+        while self.map.len() >= self.capacity {
+            let lru = self.head;
+            self.detach(lru);
+            let e = self.slots[lru].take().unwrap();
+            self.map.remove(&e.frame);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+            ifet_obs::counter_runtime("volume.ooc.evict", 1);
+        }
+        let bytes = (vol.dims().len() * 4) as u64;
+        let s = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        self.slots[s] = Some(Slot {
+            frame: idx,
+            vol,
+            prev: NIL,
+            next: NIL,
+        });
+        self.attach_most_recent(s);
+        self.map.insert(idx, s);
+        self.stats.bytes_paged += bytes;
+        self.stats.resident_high_water = self.stats.resident_high_water.max(self.map.len());
+        ifet_obs::counter_runtime("volume.ooc.bytes_paged", bytes);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident: self.map.len(),
+            ..self.stats
+        }
     }
 }
 
@@ -54,6 +161,8 @@ pub struct OutOfCoreSeries {
     steps: Vec<u32>,
     paths: Vec<PathBuf>,
     cache: Mutex<Cache>,
+    /// Memoized global `(min, max)`: one streaming scan, reused thereafter.
+    range: Mutex<Option<(f32, f32)>>,
 }
 
 impl OutOfCoreSeries {
@@ -69,12 +178,8 @@ impl OutOfCoreSeries {
             dims: series.dims(),
             steps: series.steps().to_vec(),
             paths,
-            cache: Mutex::new(Cache {
-                capacity: capacity.max(1),
-                entries: VecDeque::new(),
-                hits: 0,
-                misses: 0,
-            }),
+            cache: Mutex::new(Cache::new(capacity)),
+            range: Mutex::new(None),
         })
     }
 
@@ -105,12 +210,8 @@ impl OutOfCoreSeries {
             dims: dims.unwrap(),
             steps: labelled.iter().map(|(t, _)| *t).collect(),
             paths: labelled.into_iter().map(|(_, p)| p).collect(),
-            cache: Mutex::new(Cache {
-                capacity: capacity.max(1),
-                entries: VecDeque::new(),
-                hits: 0,
-                misses: 0,
-            }),
+            cache: Mutex::new(Cache::new(capacity)),
+            range: Mutex::new(None),
         })
     }
 
@@ -151,15 +252,43 @@ impl OutOfCoreSeries {
         }
     }
 
+    /// Cache capacity: the residency bound in frames.
+    pub fn capacity(&self) -> usize {
+        self.cache.lock().unwrap().capacity
+    }
+
     /// `(hits, misses)` so far.
     pub fn cache_stats(&self) -> (u64, u64) {
         let c = self.cache.lock().unwrap();
-        (c.hits, c.misses)
+        (c.stats.hits, c.stats.misses)
+    }
+
+    /// Full paging statistics, including the resident high-water mark.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
     }
 
     /// Frames currently resident.
     pub fn resident(&self) -> usize {
-        self.cache.lock().unwrap().entries.len()
+        self.cache.lock().unwrap().map.len()
+    }
+
+    /// Global `(min, max)` across all frames, computed by one streaming scan
+    /// in ascending frame order and memoized.
+    pub(crate) fn global_range_cached(&self) -> Result<(f32, f32), IoError> {
+        if let Some(r) = *self.range.lock().unwrap() {
+            return Ok(r);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for i in 0..self.len() {
+            let (a, b) = self.frame(i)?.value_range();
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+        let r = if lo > hi { (0.0, 0.0) } else { (lo, hi) };
+        *self.range.lock().unwrap() = Some(r);
+        Ok(r)
     }
 
     /// Materialize the whole series in core (only for small data / tests).
@@ -307,6 +436,38 @@ mod tests {
         let _ = ooc.frame(1).unwrap(); // evicts frame 0 from the cache
                                        // The caller's Arc still works even though the cache dropped it.
         assert_eq!(held.as_slice()[0], 0.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stats_track_evictions_and_high_water() {
+        let dir = tmpdir("stats");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        assert_eq!(ooc.capacity(), 2);
+        for i in 0..6 {
+            let _ = ooc.frame(i).unwrap();
+        }
+        let st = ooc.stats();
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.misses, 6);
+        assert_eq!(st.evictions, 4);
+        assert_eq!(st.resident, 2);
+        assert_eq!(st.resident_high_water, 2);
+        assert_eq!(st.bytes_paged, 6 * 8 * 8 * 8 * 4);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn global_range_cached_scans_once() {
+        let dir = tmpdir("range");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
+        assert_eq!(ooc.global_range_cached().unwrap(), s.global_range());
+        let (_, misses_before) = ooc.cache_stats();
+        assert_eq!(ooc.global_range_cached().unwrap(), s.global_range());
+        let (_, misses_after) = ooc.cache_stats();
+        assert_eq!(misses_before, misses_after, "second call must be memoized");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -2,8 +2,68 @@
 
 use crate::dims::Dims3;
 use crate::histogram::CumulativeHistogram;
+use crate::io::IoError;
 use crate::volume::ScalarVolume;
 use serde::{Deserialize, Serialize};
+
+/// Typed errors for series construction and frame access.
+///
+/// The panicking constructors ([`TimeSeries::push`], [`TimeSeries::from_frames`])
+/// route through these via the `try_*` siblings, so every failure mode carries
+/// a structured cause that callers (notably the CLI) can map to a message
+/// instead of a backtrace.
+#[derive(Debug)]
+pub enum SeriesError {
+    /// A frame index past the end of the series.
+    FrameOutOfRange { index: usize, len: usize },
+    /// `push` with a step label not strictly greater than the last.
+    NonIncreasingStep { last: u32, next: u32 },
+    /// A frame whose grid does not match the series grid.
+    DimsMismatch { expected: Dims3, got: Dims3 },
+    /// A series needs at least one frame.
+    Empty,
+    /// Paging a disk-backed frame failed.
+    Io(IoError),
+}
+
+impl std::fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesError::FrameOutOfRange { index, len } => {
+                write!(f, "frame index {index} out of range for {len}-frame series")
+            }
+            SeriesError::NonIncreasingStep { last, next } => {
+                write!(
+                    f,
+                    "time steps must be strictly increasing: {last} -> {next}"
+                )
+            }
+            SeriesError::DimsMismatch { expected, got } => {
+                write!(
+                    f,
+                    "frame dims mismatch: series is {expected:?}, frame is {got:?}"
+                )
+            }
+            SeriesError::Empty => write!(f, "a series needs at least one frame"),
+            SeriesError::Io(e) => write!(f, "frame paging failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeriesError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for SeriesError {
+    fn from(e: IoError) -> Self {
+        SeriesError::Io(e)
+    }
+}
 
 /// A time-varying sequence of scalar volumes over a fixed grid.
 ///
@@ -28,28 +88,45 @@ impl TimeSeries {
     }
 
     /// Build from labelled frames. Frames must share `dims`; steps must be
-    /// strictly increasing.
+    /// strictly increasing. Panics on violation; see [`Self::try_from_frames`]
+    /// for the fallible form.
     pub fn from_frames(frames: Vec<(u32, ScalarVolume)>) -> Self {
-        assert!(!frames.is_empty(), "a series needs at least one frame");
-        let dims = frames[0].1.dims();
-        let mut s = Self::new(dims);
-        for (t, v) in frames {
-            s.push(t, v);
-        }
-        s
+        Self::try_from_frames(frames).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Append a frame at time step `t`.
+    /// Fallible [`Self::from_frames`].
+    pub fn try_from_frames(frames: Vec<(u32, ScalarVolume)>) -> Result<Self, SeriesError> {
+        let dims = frames.first().ok_or(SeriesError::Empty)?.1.dims();
+        let mut s = Self::new(dims);
+        for (t, v) in frames {
+            s.try_push(t, v)?;
+        }
+        Ok(s)
+    }
+
+    /// Append a frame at time step `t`. Panics on violation; see
+    /// [`Self::try_push`] for the fallible form.
     pub fn push(&mut self, t: u32, vol: ScalarVolume) {
-        assert_eq!(vol.dims(), self.dims, "frame dims mismatch");
+        self.try_push(t, vol).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Self::push`]: rejects grids that differ from the series and
+    /// step labels that do not strictly increase.
+    pub fn try_push(&mut self, t: u32, vol: ScalarVolume) -> Result<(), SeriesError> {
+        if vol.dims() != self.dims {
+            return Err(SeriesError::DimsMismatch {
+                expected: self.dims,
+                got: vol.dims(),
+            });
+        }
         if let Some(&last) = self.steps.last() {
-            assert!(
-                t > last,
-                "time steps must be strictly increasing: {last} -> {t}"
-            );
+            if t <= last {
+                return Err(SeriesError::NonIncreasingStep { last, next: t });
+            }
         }
         self.steps.push(t);
         self.frames.push(vol);
+        Ok(())
     }
 
     #[inline]
@@ -74,10 +151,20 @@ impl TimeSeries {
         &self.steps
     }
 
-    /// Frame by positional index.
+    /// Frame by positional index. Panics when out of range; see
+    /// [`Self::try_frame`] for the fallible form.
     #[inline]
     pub fn frame(&self, i: usize) -> &ScalarVolume {
-        &self.frames[i]
+        self.try_frame(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::frame`].
+    #[inline]
+    pub fn try_frame(&self, i: usize) -> Result<&ScalarVolume, SeriesError> {
+        self.frames.get(i).ok_or(SeriesError::FrameOutOfRange {
+            index: i,
+            len: self.frames.len(),
+        })
     }
 
     /// Frame by time-step label.
@@ -171,6 +258,41 @@ mod tests {
     fn dims_mismatch_panics() {
         let mut s = TimeSeries::new(Dims3::cube(2));
         s.push(0, ScalarVolume::zeros(Dims3::cube(3)));
+    }
+
+    #[test]
+    fn try_push_reports_typed_errors() {
+        let d = Dims3::cube(2);
+        let mut s = TimeSeries::new(d);
+        s.try_push(5, ScalarVolume::zeros(d)).unwrap();
+        assert!(matches!(
+            s.try_push(5, ScalarVolume::zeros(d)),
+            Err(SeriesError::NonIncreasingStep { last: 5, next: 5 })
+        ));
+        assert!(matches!(
+            s.try_push(9, ScalarVolume::zeros(Dims3::cube(3))),
+            Err(SeriesError::DimsMismatch { .. })
+        ));
+        // Failed pushes must not mutate the series.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn try_frame_out_of_range_is_typed() {
+        let s = series();
+        assert!(s.try_frame(2).is_ok());
+        assert!(matches!(
+            s.try_frame(3),
+            Err(SeriesError::FrameOutOfRange { index: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn try_from_frames_empty_is_typed() {
+        assert!(matches!(
+            TimeSeries::try_from_frames(vec![]),
+            Err(SeriesError::Empty)
+        ));
     }
 
     #[test]

@@ -260,3 +260,76 @@ fn mask_of_bools(d: Dims3, bits: &[bool]) -> Mask3 {
     }
     m
 }
+
+// ---- Out-of-core LRU cache properties ----
+
+/// One shared on-disk series for the LRU properties (written once per run).
+fn ooc_fixture() -> &'static (ifet_volume::TimeSeries, Vec<std::path::PathBuf>) {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<(ifet_volume::TimeSeries, Vec<std::path::PathBuf>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let d = Dims3::cube(4);
+        let series = ifet_volume::TimeSeries::from_frames(
+            (0..OOC_FRAMES)
+                .map(|k| {
+                    (
+                        k as u32 * 3,
+                        ScalarVolume::from_fn(d, move |x, y, z| {
+                            (x + 2 * y + 4 * z) as f32 + 100.0 * k as f32
+                        }),
+                    )
+                })
+                .collect(),
+        );
+        let dir = std::env::temp_dir().join(format!("ifet_lru_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = ifet_volume::io::write_series(&dir, "lru", &series).unwrap();
+        (series, paths)
+    })
+}
+
+const OOC_FRAMES: usize = 6;
+
+proptest! {
+    /// Random access through the LRU cache is transparent (every frame read
+    /// back equals its in-core twin), residency never exceeds capacity, the
+    /// hit/miss/evict accounting balances, and the resident set is exactly
+    /// the most-recently-used frames.
+    #[test]
+    fn lru_random_access_is_transparent_and_bounded(
+        capacity in 1usize..8,
+        accesses in proptest::collection::vec(0usize..OOC_FRAMES, 1..40),
+    ) {
+        let (series, paths) = ooc_fixture();
+        let ooc = ifet_volume::OutOfCoreSeries::open(paths.clone(), capacity).unwrap();
+        for &i in &accesses {
+            let got = ooc.frame(i).unwrap();
+            prop_assert_eq!(&*got, series.frame(i));
+            let st = ooc.stats();
+            prop_assert!(st.resident <= capacity);
+            prop_assert!(st.resident_high_water <= capacity);
+        }
+        let st = ooc.stats();
+        prop_assert_eq!(st.hits + st.misses, accesses.len() as u64);
+        let distinct: std::collections::HashSet<usize> = accesses.iter().copied().collect();
+        prop_assert!(st.misses >= distinct.len() as u64);
+        prop_assert_eq!(st.evictions, st.misses - st.resident as u64);
+        prop_assert_eq!(st.bytes_paged, st.misses * series.dims().len() as u64 * 4);
+
+        // LRU order: the last `capacity` distinct frames accessed must still
+        // be resident, so touching them again cannot miss.
+        let mut mru: Vec<usize> = Vec::new();
+        for &i in accesses.iter().rev() {
+            if !mru.contains(&i) {
+                mru.push(i);
+            }
+            if mru.len() == capacity.min(distinct.len()) {
+                break;
+            }
+        }
+        for &i in &mru {
+            let _ = ooc.frame(i).unwrap();
+        }
+        prop_assert_eq!(ooc.stats().misses, st.misses, "MRU frames must still be resident");
+    }
+}

@@ -60,7 +60,8 @@ fn traced_pipeline(threads: usize) -> obs::Trace {
             let certainty = session
                 .classifier()
                 .unwrap()
-                .classify_series(session.series());
+                .classify_series(session.series())
+                .unwrap();
             assert_eq!(certainty.len(), session.series().len());
 
             let (seed, (lo, hi)) = hot_seed_band(session.series());

@@ -1,0 +1,188 @@
+//! Out-of-core equivalence suite: every pipeline stage must produce results
+//! byte-identical to the in-core path when run against an [`OutOfCoreSeries`]
+//! at any cache capacity. Paging is allowed to change *when* frames are
+//! resident, never *what* any stage computes — this file pins that contract
+//! at capacities 1 (worst case: every access may page), 2 (the ISSUE's
+//! bounded-memory target), and full (cache never evicts).
+
+use ifet_core::persist::save_session_bytes;
+use ifet_core::prelude::*;
+use ifet_tf::IatfBuilder;
+use ifet_track::FixedBandCriterion;
+use ifet_volume::{FrameSource, OutOfCoreSeries};
+use std::path::PathBuf;
+
+const FRAMES: usize = 16;
+
+/// A drifting-ramp series with a moving bright ball: enough structure for
+/// tracking, classification, and IATF training to all do real work.
+fn series() -> TimeSeries {
+    let d = Dims3::cube(12);
+    TimeSeries::from_frames(
+        (0..FRAMES)
+            .map(|k| {
+                let drift = 0.05 * k as f32;
+                let cx = 3.0 + 0.4 * k as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let dist = ((x as f32 - cx).powi(2)
+                        + (y as f32 - 6.0).powi(2)
+                        + (z as f32 - 6.0).powi(2))
+                    .sqrt();
+                    let base = (x + y + z) as f32 / 36.0 + drift;
+                    if dist <= 2.5 {
+                        base + 1.0
+                    } else {
+                        base
+                    }
+                });
+                (k as u32 * 5, vol)
+            })
+            .collect(),
+    )
+}
+
+/// The in-core series written to disk once; each test reopens it at the
+/// capacity under test.
+fn on_disk(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
+    let s = series();
+    let dir = std::env::temp_dir().join(format!("ifet_ooc_eq_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = ifet_volume::io::write_series(&dir, "eq", &s).unwrap();
+    (s, paths)
+}
+
+fn capacities() -> [usize; 3] {
+    [1, 2, FRAMES]
+}
+
+#[test]
+fn trait_queries_match_across_sources() {
+    let (s, paths) = on_disk("queries");
+    for cap in capacities() {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        assert_eq!(FrameSource::dims(&ooc), s.dims());
+        assert_eq!(FrameSource::steps(&ooc), s.steps());
+        assert_eq!(FrameSource::global_range(&ooc).unwrap(), s.global_range());
+        assert_eq!(
+            FrameSource::cumulative_histograms(&ooc, 64).unwrap(),
+            s.cumulative_histograms(64)
+        );
+        for i in 0..s.len() {
+            assert_eq!(&*FrameSource::frame(&ooc, i).unwrap(), s.frame(i));
+        }
+        assert!(ooc.stats().resident_high_water <= cap);
+    }
+}
+
+#[test]
+fn grow_4d_is_identical_at_every_capacity() {
+    let (s, paths) = on_disk("grow");
+    let criterion = FixedBandCriterion::new(0.9, 3.0, s.len()).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let reference = grow_4d(&s, &criterion, &seeds).unwrap();
+    assert!(reference[0].count() > 0, "seed must land in the ball");
+    for cap in capacities() {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        let masks = grow_4d(&ooc, &criterion, &seeds).unwrap();
+        assert_eq!(masks, reference, "grow_4d diverged at capacity {cap}");
+        assert!(ooc.stats().resident_high_water <= cap);
+    }
+}
+
+#[test]
+fn classify_series_is_identical_at_every_capacity() {
+    let (s, paths) = on_disk("classify");
+    // Paint the ball vs background on frame 0 from its ground truth and
+    // train once; the same classifier then runs against every source.
+    let truth = Mask3::threshold(s.frame(0), 1.0);
+    let mut oracle = PaintOracle::new(11);
+    oracle.slice_stride = 1;
+    let paints = vec![oracle.paint_from_truth(0, &truth, 60, 60)];
+    let clf = DataSpaceClassifier::train(
+        FeatureExtractor::new(FeatureSpec::default()),
+        &s,
+        &paints,
+        ClassifierParams {
+            epochs: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let reference = clf.classify_series(&s).unwrap();
+    for cap in capacities() {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        let out = clf.classify_series(&ooc).unwrap();
+        assert_eq!(out, reference, "classification diverged at capacity {cap}");
+        assert!(ooc.stats().resident_high_water <= cap);
+    }
+}
+
+#[test]
+fn iatf_training_and_generation_are_identical_at_every_capacity() {
+    let (s, paths) = on_disk("iatf");
+    let (glo, ghi) = s.global_range();
+    let keys: Vec<(u32, TransferFunction1D)> = [0u32, 35, 75]
+        .iter()
+        .map(|&t| (t, TransferFunction1D::band(glo, ghi, 0.9, 1.8, 1.0)))
+        .collect();
+    let params = IatfParams {
+        epochs: 60,
+        ..Default::default()
+    };
+    let train = |src: &dyn Fn(&mut IatfBuilder)| {
+        let mut b = IatfBuilder::new(params);
+        for (t, tf) in &keys {
+            b.add_key_frame(*t, tf.clone());
+        }
+        src(&mut b);
+        b
+    };
+    let b = train(&|_| {});
+    let reference = b.train(&s);
+    let ref_json = serde_json::to_string(&reference).unwrap();
+    let ref_tfs: Vec<TransferFunction1D> = s
+        .iter()
+        .map(|(t, frame)| reference.generate(t, frame))
+        .collect();
+    for cap in capacities() {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        let b = train(&|_| {});
+        let iatf = b.train(&ooc);
+        assert_eq!(
+            serde_json::to_string(&iatf).unwrap(),
+            ref_json,
+            "IATF training diverged at capacity {cap}"
+        );
+        let tfs: Vec<TransferFunction1D> =
+            ifet_volume::map_frames_windowed(&ooc, |_, t, frame| iatf.generate(t, frame)).unwrap();
+        assert_eq!(tfs, ref_tfs, "IATF generation diverged at capacity {cap}");
+        assert!(ooc.stats().resident_high_water <= cap);
+    }
+}
+
+#[test]
+fn session_track_artifacts_are_byte_identical() {
+    let (s, paths) = on_disk("artifact");
+    let spec = CriterionSpec::FixedBand { lo: 0.9, hi: 3.0 };
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let mut reference = VisSession::new(s).unwrap();
+    assert_eq!(
+        reference.run_track(spec.clone(), &seeds, None).unwrap(),
+        TrackStatus::Completed
+    );
+    let ref_bytes = save_session_bytes(&reference);
+    for cap in capacities() {
+        let ooc = OutOfCoreSeries::open(paths.clone(), cap).unwrap();
+        let mut sess = VisSession::new(ooc).unwrap();
+        assert_eq!(
+            sess.run_track(spec.clone(), &seeds, None).unwrap(),
+            TrackStatus::Completed
+        );
+        assert_eq!(
+            save_session_bytes(&sess),
+            ref_bytes,
+            "artifact bytes diverged at capacity {cap}"
+        );
+        assert!(sess.series().stats().resident_high_water <= cap);
+    }
+}

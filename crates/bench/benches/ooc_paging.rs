@@ -16,7 +16,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifet_track::{grow_4d, FixedBandCriterion, Seed4};
 use ifet_volume::io::write_series;
-use ifet_volume::{Dims3, OutOfCoreSeries, ScalarVolume, TimeSeries};
+use ifet_volume::{
+    map_frames_windowed, CacheBudgetHandle, Dims3, OutOfCoreSeries, ScalarVolume, TimeSeries,
+};
 use std::hint::black_box;
 use std::path::PathBuf;
 
@@ -84,9 +86,21 @@ fn sum_paged(series: &OutOfCoreSeries) -> f64 {
         .sum()
 }
 
+/// Windowed sweep via [`map_frames_windowed`] — the pattern that issues
+/// prefetch hints for the next window while the current one computes.
+fn sum_windowed(series: &OutOfCoreSeries) -> f64 {
+    map_frames_windowed(series, |_, _, f| {
+        f.as_slice().iter().map(|&v| v as f64).sum::<f64>()
+    })
+    .unwrap()
+    .into_iter()
+    .sum()
+}
+
 fn bench_sequential_sweep(c: &mut Criterion) {
     let (series, paths) = on_disk();
     let frames = series.len();
+    let frame_bytes = series.dims().len() as u64 * 4;
 
     let mut g = c.benchmark_group("ooc_sweep");
     g.sample_size(10);
@@ -96,6 +110,37 @@ fn bench_sequential_sweep(c: &mut Criterion) {
         assert_eq!(sum_paged(&ooc), sum_in_core(&series), "paging changed data");
         g.bench_with_input(BenchmarkId::new("cache", cap), &cap, |b, _| {
             b.iter(|| black_box(sum_paged(&ooc)))
+        });
+    }
+    // Byte-budget axis: the same sweep with the budget counted in bytes.
+    for &capf in &[1u64, 2, 4] {
+        let budget = CacheBudgetHandle::bytes(capf * frame_bytes);
+        let ooc = OutOfCoreSeries::open_with(paths.clone(), &budget, 0).unwrap();
+        assert_eq!(sum_paged(&ooc), sum_in_core(&series), "paging changed data");
+        g.bench_with_input(BenchmarkId::new("cache_bytes", capf), &capf, |b, _| {
+            b.iter(|| black_box(sum_paged(&ooc)))
+        });
+    }
+    g.finish();
+}
+
+/// Prefetch axis: a windowed sweep at cache capacity 2, with background
+/// read-ahead depths 0 (off) through 4. Depth > 0 overlaps the next
+/// window's disk reads with the current window's compute — a wall-clock win
+/// only when a spare core can run the worker; on a single-core host the
+/// overlap serializes and the numbers document that.
+fn bench_prefetch_axis(c: &mut Criterion) {
+    let (series, paths) = on_disk();
+    let expected = sum_in_core(&series);
+
+    let mut g = c.benchmark_group("ooc_prefetch");
+    g.sample_size(10);
+    for &depth in &[0usize, 1, 2, 4] {
+        let budget = CacheBudgetHandle::frames(2);
+        let ooc = OutOfCoreSeries::open_with(paths.clone(), &budget, depth).unwrap();
+        assert_eq!(sum_windowed(&ooc), expected, "prefetch changed data");
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| black_box(sum_windowed(&ooc)))
         });
     }
     g.finish();
@@ -127,5 +172,10 @@ fn bench_grow_paged(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sequential_sweep, bench_grow_paged);
+criterion_group!(
+    benches,
+    bench_sequential_sweep,
+    bench_prefetch_axis,
+    bench_grow_paged
+);
 criterion_main!(benches);

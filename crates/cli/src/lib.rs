@@ -21,7 +21,10 @@ use ifet_core::obs;
 use ifet_core::prelude::*;
 use ifet_tf::Iatf;
 use ifet_volume::io::{read_series, write_series};
-use ifet_volume::{map_frames_windowed, FrameSource, OutOfCoreSeries};
+use ifet_volume::{
+    map_frames_windowed, CacheBudget, CacheBudgetHandle, FrameSink, FrameSource, OutOfCoreSeries,
+    OutOfCoreSink, SeriesError,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -182,46 +185,93 @@ fn load_series(dir: &str) -> Result<TimeSeries, String> {
     read_series(&frame_paths(dir)?).map_err(|e| format!("failed to load series: {e}"))
 }
 
-/// Parsed `--ooc-cache N`: run against a disk-backed series with an N-frame
-/// LRU cache instead of loading everything in core.
-fn ooc_cache_opt(args: &Args) -> Result<Option<usize>, String> {
-    match args.opt("ooc-cache") {
-        None => Ok(None),
-        Some(s) => {
+/// Parsed out-of-core paging options: `--ooc-cache N` (frame budget) or
+/// `--ooc-cache-bytes B` (byte budget) select the disk-backed path, and
+/// `--prefetch D` adds background read-ahead of up to D frames. The two
+/// budget flags are mutually exclusive, and `--prefetch` is only meaningful
+/// when one of them is present.
+fn ooc_budget_opt(args: &Args) -> Result<Option<(CacheBudget, usize)>, String> {
+    let budget = match (args.opt("ooc-cache"), args.opt("ooc-cache-bytes")) {
+        (Some(_), Some(_)) => {
+            return Err("--ooc-cache and --ooc-cache-bytes are mutually exclusive".into())
+        }
+        (Some(s), None) => {
             let n: usize = s
                 .parse()
                 .map_err(|_| format!("invalid --ooc-cache: {s:?}"))?;
             if n == 0 {
                 return Err("--ooc-cache must be at least 1 frame".into());
             }
-            Ok(Some(n))
+            Some(CacheBudget::Frames(n))
         }
+        (None, Some(s)) => {
+            let b: u64 = s
+                .parse()
+                .map_err(|_| format!("invalid --ooc-cache-bytes: {s:?}"))?;
+            if b == 0 {
+                return Err("--ooc-cache-bytes must be positive".into());
+            }
+            Some(CacheBudget::Bytes(b))
+        }
+        (None, None) => None,
+    };
+    let prefetch: usize = args.opt_parse("prefetch", 0usize)?;
+    match budget {
+        Some(b) => Ok(Some((b, prefetch))),
+        None if args.opt("prefetch").is_some() => {
+            Err("--prefetch needs --ooc-cache N or --ooc-cache-bytes B".into())
+        }
+        None => Ok(None),
     }
 }
 
-fn open_ooc(dir: &str, capacity: usize) -> Result<OutOfCoreSeries, String> {
-    OutOfCoreSeries::open(frame_paths(dir)?, capacity)
+fn open_ooc(dir: &str, budget: CacheBudget, prefetch: usize) -> Result<OutOfCoreSeries, String> {
+    OutOfCoreSeries::open_with(frame_paths(dir)?, &CacheBudgetHandle::new(budget), prefetch)
         .map_err(|e| format!("failed to open out-of-core series: {e}"))
 }
 
-/// Paging summary appended to a command's output. The high-water mark — the
-/// bounded-memory witness — is also mirrored into the runtime counter set.
+/// Paging summary appended to a command's output. The high-water marks — the
+/// bounded-memory witnesses, in frames and bytes — are also mirrored into
+/// the runtime counter set.
 fn ooc_summary(series: &OutOfCoreSeries) -> String {
     let st = series.stats();
     obs::counter_runtime(
         "volume.ooc.resident_high_water",
         st.resident_high_water as u64,
     );
-    format!(
-        "ooc: cache capacity {} frames, resident high-water {}, \
-         hits {}, misses {}, evictions {}, {} bytes paged\n",
-        series.capacity(),
+    obs::counter_runtime(
+        "volume.ooc.resident_high_water_bytes",
+        st.resident_high_water_bytes,
+    );
+    let head = match series.budget().limit() {
+        CacheBudget::Frames(_) => format!("cache capacity {} frames", series.capacity()),
+        CacheBudget::Bytes(b) => {
+            format!("cache budget {b} bytes (~{} frames)", series.capacity())
+        }
+    };
+    let mut out = format!(
+        "ooc: {head}, resident high-water {}, \
+         hits {}, misses {}, evictions {}, {} bytes paged, \
+         {} bytes high-water\n",
         st.resident_high_water,
         st.hits,
         st.misses,
         st.evictions,
-        st.bytes_paged
-    )
+        st.bytes_paged,
+        st.resident_high_water_bytes,
+    );
+    if series.prefetch_depth() > 0 {
+        out.push_str(&format!(
+            "ooc: prefetch depth {}, prefetched {}, prefetch hits {}, \
+             prefetch wasted {}, read retries {}\n",
+            series.prefetch_depth(),
+            st.prefetched,
+            st.prefetch_hits,
+            st.prefetch_wasted,
+            st.read_retries,
+        ));
+    }
+    out
 }
 
 /// Load the `_truth` ground-truth companion frames that [`load_series`]
@@ -380,13 +430,15 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
     Ok(format!("rendered step {t} at {size}x{size} -> {out}"))
 }
 
-/// `track` subcommand. With `--ooc-cache N` the series stays on disk and at
-/// most N frames are resident at once; a paging summary is appended.
+/// `track` subcommand. With `--ooc-cache N` (or `--ooc-cache-bytes B`) the
+/// series stays on disk and at most that budget of frames is resident at
+/// once; `--prefetch D` overlaps the next window's reads with the current
+/// window's compute. A paging summary is appended.
 pub fn cmd_track(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
-    match ooc_cache_opt(args)? {
-        Some(cap) => {
-            let series = open_ooc(dir, cap)?;
+    match ooc_budget_opt(args)? {
+        Some((budget, prefetch)) => {
+            let series = open_ooc(dir, budget, prefetch)?;
             let mut out = cmd_track_impl(args, &series)?;
             out.push_str(&ooc_summary(&series));
             Ok(out)
@@ -476,9 +528,9 @@ pub fn cmd_session(args: &Args) -> Result<String, String> {
         ));
     }
     let dir = args.require("data")?;
-    match ooc_cache_opt(args)? {
-        Some(cap) => {
-            let series = open_ooc(dir, cap)?;
+    match ooc_budget_opt(args)? {
+        Some((budget, prefetch)) => {
+            let series = open_ooc(dir, budget, prefetch)?;
             let mut out = match action {
                 "save" => cmd_session_save(args, &series),
                 "load" => cmd_session_load(args, &series),
@@ -697,18 +749,41 @@ fn cmd_session_resume<S: FrameSource>(args: &Args, series: S) -> Result<String, 
 
 /// `classify` subcommand: run a saved session's trained data-space
 /// classifier over every frame and report per-frame certainty coverage.
-/// With `--out DIR` the certainty fields are written as raw volumes; with
-/// `--ooc-cache N` the input series pages through an N-frame LRU cache.
+/// With `--out DIR` the certainty fields stream to disk one frame at a
+/// time; with `--ooc-cache N` / `--ooc-cache-bytes B` the input series
+/// pages through a budget-bounded LRU cache (`--prefetch D` adds
+/// read-ahead), so neither input nor output is ever fully in core.
 pub fn cmd_classify(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
-    match ooc_cache_opt(args)? {
-        Some(cap) => {
-            let series = open_ooc(dir, cap)?;
+    match ooc_budget_opt(args)? {
+        Some((budget, prefetch)) => {
+            let series = open_ooc(dir, budget, prefetch)?;
             let mut out = cmd_classify_impl(args, &series)?;
             out.push_str(&ooc_summary(&series));
             Ok(out)
         }
         None => cmd_classify_impl(args, load_series(dir)?),
+    }
+}
+
+/// Sink adapter for `classify --out`: summarizes each certainty frame for
+/// the coverage table, then forwards it to the spill-to-disk sink, so no
+/// more than one derived frame is ever materialized.
+struct CoverageSink {
+    inner: OutOfCoreSink,
+    tau: f32,
+    rows: Vec<(u32, usize, f32)>,
+}
+
+impl FrameSink for CoverageSink {
+    fn put(&mut self, t: u32, vol: ScalarVolume) -> Result<(), SeriesError> {
+        let above = vol.as_slice().iter().filter(|&&v| v >= self.tau).count();
+        self.rows.push((t, above, vol.mean()));
+        self.inner.put(t, vol)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 }
 
@@ -719,28 +794,35 @@ fn cmd_classify_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, S
     let clf = session.classifier().ok_or(
         "session has no trained classifier (train one with `session save --paint STEP:N`)",
     )?;
-    let certainty = clf
-        .classify_series(session.series())
-        .map_err(|e| format!("classification failed: {e}"))?;
-    let steps = session.series().steps().to_vec();
-    let mut out = String::from("t      voxels>=tau mean-certainty\n");
-    for (i, c) in certainty.iter().enumerate() {
-        let above = c.as_slice().iter().filter(|&&v| v >= tau).count();
-        out.push_str(&format!(
-            "{:<6} {:>11} {:>14.4}\n",
-            steps[i],
-            above,
-            c.mean()
-        ));
-    }
-    if let Some(outdir) = args.opt("out") {
-        let fields = TimeSeries::from_frames(steps.iter().copied().zip(certainty).collect());
-        let written = write_series(Path::new(outdir), "certainty", &fields)
+    // Both paths stream: certainty frames are summarized (and with `--out`
+    // written to disk) as they are produced, never collected into a Vec.
+    let (rows, written) = if let Some(outdir) = args.opt("out") {
+        let inner = OutOfCoreSink::new(Path::new(outdir), "certainty")
             .map_err(|e| format!("write failed: {e}"))?;
-        out.push_str(&format!(
-            "wrote {} certainty volumes -> {outdir}\n",
-            written.len()
-        ));
+        let mut sink = CoverageSink {
+            inner,
+            tau,
+            rows: Vec::new(),
+        };
+        clf.classify_series_into(session.series(), &mut sink)
+            .map_err(|e| format!("classification failed: {e}"))?;
+        let written = sink.inner.into_paths().len();
+        (sink.rows, Some(written))
+    } else {
+        let rows = clf
+            .classify_series_map(session.series(), |_, t, cert| {
+                let above = cert.as_slice().iter().filter(|&&v| v >= tau).count();
+                (t, above, cert.mean())
+            })
+            .map_err(|e| format!("classification failed: {e}"))?;
+        (rows, None)
+    };
+    let mut out = String::from("t      voxels>=tau mean-certainty\n");
+    for (t, above, mean) in &rows {
+        out.push_str(&format!("{t:<6} {above:>11} {mean:>14.4}\n"));
+    }
+    if let (Some(written), Some(outdir)) = (written, args.opt("out")) {
+        out.push_str(&format!("wrote {written} certainty volumes -> {outdir}\n"));
     }
     Ok(out)
 }
@@ -827,22 +909,29 @@ USAGE:
   ifet info --data DIR
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
   ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
-  ifet track --data DIR --seed X,Y,Z [--threads N] [--ooc-cache N]
+  ifet track --data DIR --seed X,Y,Z [--threads N] [ooc options]
              (--iatf FILE [--tau V] | --band LO:HI | --session FILE --dataspace-tau V)
   ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
                     [--paint STEP:N ...] [--clf-epochs N] [--paint-seed S]
                     [--seed X,Y,Z (--band LO:HI | --dataspace-tau V | --tau V)]
-                    [--rounds N] [--ooc-cache N]
-  ifet session load --data DIR --session FILE [--ooc-cache N]
-  ifet session resume --data DIR --session FILE [--out FILE] [--ooc-cache N]
-  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [--ooc-cache N]
+                    [--rounds N] [ooc options]
+  ifet session load --data DIR --session FILE [ooc options]
+  ifet session resume --data DIR --session FILE [--out FILE] [ooc options]
+  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [ooc options]
   ifet suggest-keys --data DIR [--max N]
 
-out-of-core (track, session, classify):
+out-of-core options (track, session, classify):
   --ooc-cache N         page frames from disk through an N-frame LRU cache
                         instead of loading the series in core; results are
                         byte-identical, and a paging summary (resident
-                        high-water, hits/misses/evictions) is appended
+                        high-water in frames and bytes, hits/misses/
+                        evictions) is appended
+  --ooc-cache-bytes B   same, but the budget is B bytes of frame data
+                        (mutually exclusive with --ooc-cache); eviction is
+                        charged by actual frame size
+  --prefetch D          read up to D upcoming frames in the background while
+                        the current window computes; in-flight reads are
+                        charged against the cache budget, so the bound holds
 
 observability (any subcommand):
   --trace FILE          write a versioned JSON span tree of the run
@@ -1097,13 +1186,94 @@ mod tests {
         std::fs::remove_dir_all(&dirs).ok();
     }
 
+    /// Byte high-water parsed out of an ooc paging summary.
+    fn parse_hw_bytes(summary: &str) -> u64 {
+        summary
+            .split(',')
+            .find_map(|f| f.trim().strip_suffix("bytes high-water"))
+            .and_then(|s| s.trim().parse().ok())
+            .expect("summary must report the byte high-water mark")
+    }
+
+    #[test]
+    fn track_ooc_byte_budget_matches_in_core_and_stays_bounded() {
+        let dirs = write_ooc_series("bytes");
+        let track = |extra: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data {dirs} --seed 3,6,6 --band 0.9:3.0{extra}"
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        let reference = track("");
+        // Two 12^3 f32 frames' worth of budget.
+        let budget = 2 * 12u64.pow(3) * 4;
+        let paged = track(&format!(" --ooc-cache-bytes {budget}"));
+        let (body, summary) = paged
+            .split_once("ooc:")
+            .expect("paged run must append an ooc summary");
+        assert_eq!(body, reference, "byte-budget output must be byte-identical");
+        assert!(
+            summary.contains(&format!("cache budget {budget} bytes")),
+            "{summary}"
+        );
+        // The bounded-memory witness, this time in bytes: resident plus
+        // in-flight frame data never exceeded the budget.
+        let hw_bytes = parse_hw_bytes(summary);
+        assert!(
+            hw_bytes <= budget,
+            "byte high-water {hw_bytes} exceeds --ooc-cache-bytes {budget}"
+        );
+        std::fs::remove_dir_all(&dirs).ok();
+    }
+
+    #[test]
+    fn track_ooc_prefetch_is_byte_identical_and_stays_bounded() {
+        let dirs = write_ooc_series("prefetch");
+        let track = |extra: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data {dirs} --seed 3,6,6 --band 0.9:3.0{extra}"
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        let reference = track("");
+        for prefetch in [1usize, 2, 4] {
+            let paged = track(&format!(" --ooc-cache 2 --prefetch {prefetch}"));
+            let (body, summary) = paged
+                .split_once("ooc:")
+                .expect("paged run must append an ooc summary");
+            assert_eq!(
+                body, reference,
+                "prefetch {prefetch} output must be byte-identical"
+            );
+            // Read-ahead must not break the budget: in-flight prefetch reads
+            // are charged against the same two-frame bound.
+            let hw: usize = summary
+                .split("resident high-water ")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap();
+            assert!(
+                hw <= 2,
+                "prefetch {prefetch}: high-water {hw} exceeds cache 2"
+            );
+            assert!(summary.contains("prefetch depth"), "{summary}");
+        }
+        std::fs::remove_dir_all(&dirs).ok();
+    }
+
     #[test]
     fn stable_traces_invariant_across_threads_and_cache() {
         let dirs = write_ooc_series("trace");
-        let trace_for = |threads: usize, cache: Option<usize>| -> Vec<u8> {
+        let trace_for = |threads: usize, cache: Option<usize>, prefetch: usize| -> Vec<u8> {
             let tag = cache.map_or("incore".to_string(), |c| c.to_string());
-            let path = format!("{dirs}/trace_{threads}_{tag}.json");
-            let cache_arg = cache.map_or(String::new(), |c| format!(" --ooc-cache {c}"));
+            let path = format!("{dirs}/trace_{threads}_{tag}_{prefetch}.json");
+            let mut cache_arg = cache.map_or(String::new(), |c| format!(" --ooc-cache {c}"));
+            if prefetch > 0 {
+                cache_arg.push_str(&format!(" --prefetch {prefetch}"));
+            }
             run(&parse_args(&argv(&format!(
                 "track --data {dirs} --seed 3,6,6 --band 0.9:3.0 \
                  --threads {threads}{cache_arg} --trace {path} --trace-mode stable"
@@ -1112,14 +1282,20 @@ mod tests {
             .unwrap();
             std::fs::read(&path).unwrap()
         };
-        let reference = trace_for(1, None);
+        let reference = trace_for(1, None, 0);
         for threads in [1usize, 2, 4] {
             for cache in [None, Some(1), Some(2), Some(16)] {
-                assert_eq!(
-                    trace_for(threads, cache),
-                    reference,
-                    "stable trace diverged at threads {threads}, cache {cache:?}"
-                );
+                // Prefetch workers emit no spans, so read-ahead depth must
+                // be invisible in stable traces too.
+                let prefetches: &[usize] = if cache.is_some() { &[0, 2] } else { &[0] };
+                for &prefetch in prefetches {
+                    assert_eq!(
+                        trace_for(threads, cache, prefetch),
+                        reference,
+                        "stable trace diverged at threads {threads}, \
+                         cache {cache:?}, prefetch {prefetch}"
+                    );
+                }
             }
         }
         std::fs::remove_dir_all(&dirs).ok();
@@ -1132,6 +1308,21 @@ mod tests {
         ))
         .unwrap();
         assert!(run(&a).unwrap_err().contains("at least 1"));
+    }
+
+    #[test]
+    fn ooc_flag_validation() {
+        let run_track = |flags: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data d --seed 0,0,0 --band 0:1 {flags}"
+            )))
+            .unwrap())
+            .unwrap_err()
+        };
+        assert!(run_track("--ooc-cache-bytes 0").contains("positive"));
+        assert!(run_track("--ooc-cache 2 --ooc-cache-bytes 100").contains("mutually exclusive"));
+        assert!(run_track("--prefetch 2").contains("needs --ooc-cache"));
+        assert!(run_track("--ooc-cache-bytes nope").contains("invalid --ooc-cache-bytes"));
     }
 
     #[test]

@@ -459,11 +459,12 @@ impl<S: FrameSource> VisSession<S> {
             }
             CriterionSpec::DataSpace { tau } => {
                 let clf = self.classifier.as_ref().ok_or(SessionError::NoClassifier)?;
-                let masks: Vec<Mask3> = clf
-                    .classify_series(&self.series)?
-                    .iter()
-                    .map(|c| Mask3::threshold(c, *tau))
-                    .collect();
+                // Stream: each certainty volume is thresholded into a packed
+                // mask as it is produced, so only masks accumulate — the
+                // full-resolution f32 certainty series never materializes.
+                let masks: Vec<Mask3> = clf.classify_series_map(&self.series, |_, _, cert| {
+                    Mask3::threshold(&cert, *tau)
+                })?;
                 Ok(Box::new(MaskCriterion::new(masks)?))
             }
         }

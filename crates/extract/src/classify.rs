@@ -6,7 +6,8 @@ use ifet_nn::mlp::Scratch;
 use ifet_nn::{Activation, Mlp, Normalizer, Svm, SvmParams, TrainParams, Trainer, TrainingSet};
 use ifet_obs as obs;
 use ifet_volume::{
-    map_frames_windowed, FrameSource, Mask3, MultiSeries, MultiVolume, ScalarVolume, SeriesError,
+    map_frames_windowed, map_frames_windowed_into, FrameSink, FrameSource, Mask3, MultiSeries,
+    MultiVolume, ScalarVolume, SeriesError,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -666,6 +667,33 @@ impl DataSpaceClassifier {
         Mask3::threshold(&self.classify_frame(frame, t_norm), tau)
     }
 
+    /// The per-frame body shared by every whole-series classification entry
+    /// point: one certainty volume for the frame at step `t`, with the
+    /// deterministic `frames` / `voxels_classified` counters. Identical
+    /// regardless of which entry point drives it, so streamed and
+    /// materialized outputs are byte-identical.
+    fn classify_one_frame(&self, t: u32, frame: &ScalarVolume, tn: f32) -> ScalarVolume {
+        // Declared first so the flush runs after the predictor
+        // returns its buffers (take/put bracket the pool counters).
+        let _flush = obs::flush_guard();
+        // Within a frame we stay sequential: frame-level parallelism
+        // already saturates the pool for multi-frame series.
+        let _ = t;
+        let d = frame.dims();
+        let mut predictor = self.predictor();
+        let mut data = Vec::with_capacity(d.len());
+        for z in 0..d.nz {
+            for y in 0..d.ny {
+                for x in 0..d.nx {
+                    data.push(predictor.predict_at(frame, x, y, z, tn));
+                }
+            }
+        }
+        obs::counter("frames", 1);
+        obs::counter("voxels_classified", d.len() as u64);
+        ScalarVolume::from_vec(d, data)
+    }
+
     /// Classify every frame of a series in parallel over *frames* — the
     /// paper's Conclusion notes per-time-step independence makes cluster
     /// fan-out trivial; here frames fan out across the thread pool, in
@@ -674,27 +702,40 @@ impl DataSpaceClassifier {
         &self,
         series: &S,
     ) -> Result<Vec<ScalarVolume>, SeriesError> {
+        self.classify_series_map(series, |_, _, cert| cert)
+    }
+
+    /// [`Self::classify_series`] with a post-map applied to each certainty
+    /// volume as it is produced, so only the mapped results accumulate in
+    /// core (a `Mask3` per frame instead of a full `f32` volume, say).
+    /// Counters and span match `classify_series` exactly.
+    pub fn classify_series_map<S, T, F>(&self, series: &S, post: F) -> Result<Vec<T>, SeriesError>
+    where
+        S: FrameSource + ?Sized,
+        T: Send,
+        F: Fn(usize, u32, ScalarVolume) -> T + Sync,
+    {
         let _span = obs::span("extract.classify_series");
-        map_frames_windowed(series, |_i, t, frame| {
-            // Declared first so the flush runs after the predictor
-            // returns its buffers (take/put bracket the pool counters).
-            let _flush = obs::flush_guard();
-            // Within a frame we stay sequential: frame-level parallelism
-            // already saturates the pool for multi-frame series.
+        map_frames_windowed(series, |i, t, frame| {
             let tn = series.normalized_time(t);
-            let d = frame.dims();
-            let mut predictor = self.predictor();
-            let mut data = Vec::with_capacity(d.len());
-            for z in 0..d.nz {
-                for y in 0..d.ny {
-                    for x in 0..d.nx {
-                        data.push(predictor.predict_at(frame, x, y, z, tn));
-                    }
-                }
-            }
-            obs::counter("frames", 1);
-            obs::counter("voxels_classified", d.len() as u64);
-            ScalarVolume::from_vec(d, data)
+            post(i, t, self.classify_one_frame(t, frame, tn))
+        })
+    }
+
+    /// Stream whole-series classification into a [`FrameSink`]: certainty
+    /// volumes leave core one residency window at a time instead of
+    /// materializing, so a paged input can be classified to disk with
+    /// bounded memory end to end. Byte-identical to writing
+    /// [`Self::classify_series`]'s output.
+    pub fn classify_series_into<S, K>(&self, series: &S, sink: &mut K) -> Result<(), SeriesError>
+    where
+        S: FrameSource + ?Sized,
+        K: FrameSink + ?Sized,
+    {
+        let _span = obs::span("extract.classify_series");
+        map_frames_windowed_into(series, sink, |_i, t, frame| {
+            let tn = series.normalized_time(t);
+            self.classify_one_frame(t, frame, tn)
         })
     }
 }
@@ -953,6 +994,27 @@ mod tests {
         let single = clf.classify_frame(&vol, 0.0);
         for (a, b) in all[0].as_slice().iter().zip(single.as_slice()) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn classify_series_into_and_map_match_materialized() {
+        let (clf, _, _, series) = trained_on_scene();
+        let all = clf.classify_series(&series).unwrap();
+
+        let mut sink = ifet_volume::TimeSeriesSink::new();
+        clf.classify_series_into(&series, &mut sink).unwrap();
+        let streamed = sink.into_series().unwrap();
+        assert_eq!(streamed.len(), all.len());
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(streamed.frame(i).as_slice(), v.as_slice());
+        }
+
+        let masks = clf
+            .classify_series_map(&series, |_, _, cert| Mask3::threshold(&cert, 0.5))
+            .unwrap();
+        for (m, v) in masks.iter().zip(&all) {
+            assert_eq!(*m, Mask3::threshold(v, 0.5));
         }
     }
 

@@ -10,7 +10,11 @@
 //! - [`TimeSeries`] — a time-varying sequence of scalar volumes,
 //! - [`FrameSource`] — the access contract shared by in-core and
 //!   out-of-core series, with [`OutOfCoreSeries`] paging frames through a
-//!   bounded LRU cache (the paper's "cannot fit in core" regime, §4.2.2),
+//!   budget-bounded LRU cache with optional background read-ahead (the
+//!   paper's "cannot fit in core" regime, §4.2.2); budgets ([`CacheBudget`])
+//!   are counted in frames or bytes and may be shared across series,
+//! - [`FrameSink`] — the write-capable counterpart, streaming derived frames
+//!   out in core ([`TimeSeriesSink`]) or spilled to disk ([`OutOfCoreSink`]),
 //! - [`MultiVolume`] — several named variables over one grid (multivariate data),
 //! - [`Histogram`] / [`CumulativeHistogram`] — value distributions, the key
 //!   ingredient of the paper's adaptive transfer function (Section 4.2.1),
@@ -36,6 +40,7 @@ pub mod ooc;
 pub mod sample;
 pub mod series;
 pub mod shell;
+pub mod sink;
 pub mod source;
 pub mod vecfield;
 pub mod volume;
@@ -45,8 +50,12 @@ pub use histogram::{CumulativeHistogram, Histogram};
 pub use mask::{Mask3, MaskWordsError};
 pub use maskio::{decode_mask, encode_mask, encode_mask_into, MaskIoError};
 pub use multivol::{MultiSeries, MultiVolume};
-pub use ooc::{CacheStats, OutOfCoreSeries};
+pub use ooc::{
+    BudgetStats, CacheBudget, CacheBudgetHandle, CacheStats, OutOfCoreSeries, ReadFault,
+    ReadFaultHook,
+};
 pub use series::{SeriesError, TimeSeries};
-pub use source::{map_frames_windowed, FrameHandle, FrameSource};
+pub use sink::{FrameSink, OutOfCoreSink, TimeSeriesSink};
+pub use source::{map_frames_windowed, map_frames_windowed_into, FrameHandle, FrameSource};
 pub use vecfield::VectorVolume;
 pub use volume::{ScalarVolume, Volume};

@@ -1,4 +1,5 @@
-//! Out-of-core time series: disk-backed frames with an LRU cache.
+//! Out-of-core time series: disk-backed frames with a budgeted LRU cache and
+//! background read-ahead.
 //!
 //! The paper's motivation is terascale data: "when the volume size is large
 //! or many time steps are used, it can be time consuming to load the volumes
@@ -8,19 +9,51 @@
 //! bounded number of frames resident, paging the rest from the raw-brick
 //! files of [`crate::io`]; the IATF workflow needs only the key frames in
 //! core, exactly as the paper argues.
+//!
+//! # Budgets
+//!
+//! Residency is governed by a [`CacheBudget`] — either a frame count or a
+//! byte total — owned by a [`CacheBudgetHandle`]. The handle is cloneable and
+//! may be shared across several series (a multi-variable session opens one
+//! series per variable); eviction is then *global*: the least-recently-used
+//! frame across every member series is evicted first, charged by its actual
+//! byte size. In-flight reads (demand misses and prefetches that have
+//! reserved space but not yet committed) count against the budget, so the
+//! high-water marks are honest even while the prefetch worker is mid-read.
+//!
+//! # Prefetch
+//!
+//! [`OutOfCoreSeries::set_prefetch`] starts a background `std::thread` that
+//! services read-ahead hints (see `FrameSource::prefetch_hint` in
+//! [`crate::source`]): while the caller computes on the current window, the
+//! worker pages the next window's frames through the same reserve → read →
+//! commit path as demand misses. Prefetch is *purely* a warm-cache hint — a
+//! failed or skipped prefetch never changes what demand reads return, and
+//! prefetch emits no obs spans (only runtime counters), so stable traces are
+//! byte-identical whether read-ahead is on or off. Transient read failures
+//! are retried a bounded number of times on both paths; the prefetch worker
+//! then degrades silently while demand reads surface the error.
 
 use crate::dims::Dims3;
 use crate::io::{read_raw, write_series, IoError};
 use crate::series::TimeSeries;
 use crate::volume::ScalarVolume;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
 
 /// Paging statistics for one [`OutOfCoreSeries`].
 ///
 /// Mirrored into the obs runtime counter set (`volume.ooc.*`); kept out of
 /// stable traces because hit/miss/evict sequences depend on scheduling.
+///
+/// `hits`/`misses` count *demand* requests only (`hits + misses` is the total
+/// number of demand frame accesses); prefetch traffic is reported separately
+/// so the algebra stays closed: `prefetch_wasted <= prefetched`, and every
+/// successful load (demand miss or prefetch) adds one frame's bytes to
+/// `bytes_paged`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
@@ -28,10 +61,52 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Raw voxel bytes read from disk (4 bytes per voxel per paged frame).
     pub bytes_paged: u64,
-    /// Frames resident right now.
+    /// Frames resident right now (this series).
     pub resident: usize,
-    /// Maximum frames ever resident at once — the bounded-memory witness.
+    /// Bytes resident right now (this series).
+    pub resident_bytes: u64,
+    /// Maximum frames ever resident-or-in-flight at once across the whole
+    /// shared budget — the bounded-memory witness.
     pub resident_high_water: usize,
+    /// Maximum bytes ever resident-or-in-flight at once across the whole
+    /// shared budget.
+    pub resident_high_water_bytes: u64,
+    /// Frames loaded by the prefetch worker (committed to the cache).
+    pub prefetched: u64,
+    /// Demand accesses served by a frame the prefetch worker loaded.
+    pub prefetch_hits: u64,
+    /// Prefetch requests skipped because the frame was already resident or
+    /// in flight.
+    pub prefetch_misses: u64,
+    /// Prefetched frames evicted before any demand access touched them.
+    pub prefetch_wasted: u64,
+    /// Transient read failures absorbed by the bounded retry loop.
+    pub read_retries: u64,
+}
+
+/// How much may be resident at once, shared by every series on one
+/// [`CacheBudgetHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheBudget {
+    /// At most `n` frames resident-or-in-flight (floored at 1).
+    Frames(usize),
+    /// At most `n` bytes resident-or-in-flight, charged by actual frame byte
+    /// size. A budget smaller than one frame still admits a single frame so
+    /// progress is always possible.
+    Bytes(u64),
+}
+
+/// Aggregate accounting for a [`CacheBudgetHandle`], across all member series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    pub resident_frames: usize,
+    pub resident_bytes: u64,
+    pub inflight_frames: usize,
+    pub inflight_bytes: u64,
+    /// Peak `resident + inflight` frames.
+    pub high_water_frames: usize,
+    /// Peak `resident + inflight` bytes.
+    pub high_water_bytes: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -42,30 +117,36 @@ struct Slot {
     vol: Arc<ScalarVolume>,
     prev: usize,
     next: usize,
+    /// Global recency stamp (from the budget's tick) for cross-series LRU.
+    stamp: u64,
+    /// Loaded by the prefetch worker and not yet touched by demand.
+    prefetched: bool,
 }
 
-/// LRU cache with O(1) get/insert: a frame-index map into a slot slab whose
-/// occupied slots form a doubly-linked recency list (`head` = least recent,
-/// `tail` = most recent). Replaces the original linear-scan `VecDeque`.
+/// Per-series cache state: a frame-index map into a slot slab whose occupied
+/// slots form a doubly-linked recency list (`head` = least recent, `tail` =
+/// most recent), plus the set of frame indices currently being read.
 struct Cache {
-    capacity: usize,
+    frame_bytes: u64,
     map: HashMap<usize, usize>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     head: usize,
     tail: usize,
+    inflight: HashSet<usize>,
     stats: CacheStats,
 }
 
 impl Cache {
-    fn new(capacity: usize) -> Self {
+    fn new(frame_bytes: u64) -> Self {
         Self {
-            capacity: capacity.max(1),
+            frame_bytes,
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            inflight: HashSet::new(),
             stats: CacheStats::default(),
         }
     }
@@ -98,37 +179,34 @@ impl Cache {
         self.tail = s;
     }
 
-    fn get(&mut self, idx: usize) -> Option<Arc<ScalarVolume>> {
-        if let Some(&s) = self.map.get(&idx) {
-            self.detach(s);
-            self.attach_most_recent(s);
-            self.stats.hits += 1;
-            ifet_obs::counter_runtime("volume.ooc.hit", 1);
-            Some(self.slots[s].as_ref().unwrap().vol.clone())
-        } else {
-            self.stats.misses += 1;
-            ifet_obs::counter_runtime("volume.ooc.miss", 1);
-            None
+    /// Demand lookup: on a hit, refresh recency, stamp, and the prefetch
+    /// bookkeeping. Does *not* count misses — the caller decides whether an
+    /// absence becomes a miss (it may first wait out an in-flight read).
+    fn get_resident(&mut self, idx: usize, stamp: u64) -> Option<Arc<ScalarVolume>> {
+        let &s = self.map.get(&idx)?;
+        self.detach(s);
+        self.attach_most_recent(s);
+        let e = self.slots[s].as_mut().unwrap();
+        e.stamp = stamp;
+        if e.prefetched {
+            e.prefetched = false;
+            self.stats.prefetch_hits += 1;
+            ifet_obs::counter_runtime("volume.ooc.prefetch_hit", 1);
         }
+        self.stats.hits += 1;
+        ifet_obs::counter_runtime("volume.ooc.hit", 1);
+        Some(e.vol.clone())
     }
 
-    fn insert(&mut self, idx: usize, vol: Arc<ScalarVolume>) {
-        if let Some(&s) = self.map.get(&idx) {
-            // A concurrent loader beat us to it; just refresh recency.
-            self.detach(s);
-            self.attach_most_recent(s);
-            return;
-        }
-        while self.map.len() >= self.capacity {
-            let lru = self.head;
-            self.detach(lru);
-            let e = self.slots[lru].take().unwrap();
-            self.map.remove(&e.frame);
-            self.free.push(lru);
-            self.stats.evictions += 1;
-            ifet_obs::counter_runtime("volume.ooc.evict", 1);
-        }
-        let bytes = (vol.dims().len() * 4) as u64;
+    fn note_miss(&mut self) {
+        self.stats.misses += 1;
+        ifet_obs::counter_runtime("volume.ooc.miss", 1);
+    }
+
+    /// Insert a committed load. The budget has already reserved space; the
+    /// in-flight guard guarantees no duplicate entry.
+    fn insert(&mut self, idx: usize, vol: Arc<ScalarVolume>, stamp: u64, prefetched: bool) {
+        debug_assert!(!self.map.contains_key(&idx));
         let s = self.free.pop().unwrap_or_else(|| {
             self.slots.push(None);
             self.slots.len() - 1
@@ -138,57 +216,430 @@ impl Cache {
             vol,
             prev: NIL,
             next: NIL,
+            stamp,
+            prefetched,
         });
         self.attach_most_recent(s);
         self.map.insert(idx, s);
-        self.stats.bytes_paged += bytes;
-        self.stats.resident_high_water = self.stats.resident_high_water.max(self.map.len());
-        ifet_obs::counter_runtime("volume.ooc.bytes_paged", bytes);
+        self.stats.bytes_paged += self.frame_bytes;
+        ifet_obs::counter_runtime("volume.ooc.bytes_paged", self.frame_bytes);
+        if prefetched {
+            self.stats.prefetched += 1;
+            ifet_obs::counter_runtime("volume.ooc.prefetched", 1);
+        }
     }
 
-    fn stats(&self) -> CacheStats {
-        CacheStats {
-            resident: self.map.len(),
-            ..self.stats
+    /// Evict the least-recently-used slot; returns the bytes freed.
+    fn evict_lru(&mut self) -> u64 {
+        let lru = self.head;
+        debug_assert_ne!(lru, NIL);
+        self.detach(lru);
+        let e = self.slots[lru].take().unwrap();
+        self.map.remove(&e.frame);
+        self.free.push(lru);
+        self.stats.evictions += 1;
+        ifet_obs::counter_runtime("volume.ooc.evict", 1);
+        if e.prefetched {
+            self.stats.prefetch_wasted += 1;
+            ifet_obs::counter_runtime("volume.ooc.prefetch_wasted", 1);
+        }
+        self.frame_bytes
+    }
+
+    /// Recency stamp of the LRU slot, if any frame is resident.
+    fn lru_stamp(&self) -> Option<u64> {
+        match self.head {
+            NIL => None,
+            h => Some(self.slots[h].as_ref().unwrap().stamp),
         }
     }
 }
 
-/// A time series whose frames live on disk, with at most `capacity` frames
-/// resident at a time.
-pub struct OutOfCoreSeries {
+/// One series' cache plus the condvar its in-flight waiters sleep on.
+struct SeriesCache {
+    cache: Mutex<Cache>,
+    cv: Condvar,
+}
+
+/// Shared accounting for every series on one budget handle.
+#[derive(Default)]
+struct BudgetState {
+    resident_frames: usize,
+    resident_bytes: u64,
+    inflight_frames: usize,
+    inflight_bytes: u64,
+    hw_frames: usize,
+    hw_bytes: u64,
+    members: Vec<Weak<SeriesCache>>,
+}
+
+/// Lock order is strictly budget → cache: the budget lock may be held while
+/// member cache locks are taken (eviction, commit), never the reverse.
+struct Budget {
+    limit: CacheBudget,
+    state: Mutex<BudgetState>,
+    cv: Condvar,
+    /// Global recency clock: every touch stamps its slot so eviction can
+    /// order frames across series.
+    tick: AtomicU64,
+}
+
+impl Budget {
+    fn fits(&self, st: &BudgetState, frame_bytes: u64) -> bool {
+        match self.limit {
+            CacheBudget::Frames(n) => st.resident_frames + st.inflight_frames < n.max(1),
+            CacheBudget::Bytes(b) => st.resident_bytes + st.inflight_bytes + frame_bytes <= b,
+        }
+    }
+
+    /// Evict the globally least-recent resident frame. Returns `false` when
+    /// nothing is resident anywhere.
+    fn evict_one(&self, st: &mut BudgetState) -> bool {
+        st.members.retain(|w| w.strong_count() > 0);
+        let mut best: Option<(usize, u64)> = None;
+        for (mi, w) in st.members.iter().enumerate() {
+            let Some(sc) = w.upgrade() else { continue };
+            let c = sc.cache.lock().unwrap();
+            if let Some(stamp) = c.lru_stamp() {
+                if best.map_or(true, |(_, s)| stamp < s) {
+                    best = Some((mi, stamp));
+                }
+            }
+        }
+        let Some((mi, _)) = best else { return false };
+        let Some(sc) = st.members[mi].upgrade() else {
+            return false;
+        };
+        let mut c = sc.cache.lock().unwrap();
+        if c.lru_stamp().is_none() {
+            return false;
+        }
+        let freed = c.evict_lru();
+        st.resident_frames -= 1;
+        st.resident_bytes -= freed;
+        true
+    }
+
+    /// Reserve space for one in-flight read, evicting and waiting as needed.
+    /// When nothing is evictable and nothing else is in flight, the
+    /// reservation proceeds anyway so a sub-frame budget still makes
+    /// progress (the single-frame floor).
+    fn reserve(&self, frame_bytes: u64) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            while !self.fits(&st, frame_bytes) && self.evict_one(&mut st) {}
+            if self.fits(&st, frame_bytes) || st.inflight_frames == 0 {
+                st.inflight_frames += 1;
+                st.inflight_bytes += frame_bytes;
+                st.hw_frames = st.hw_frames.max(st.resident_frames + st.inflight_frames);
+                st.hw_bytes = st.hw_bytes.max(st.resident_bytes + st.inflight_bytes);
+                return;
+            }
+            // Timed wait as a spurious-wakeup / missed-notify guard; the loop
+            // re-checks the budget either way.
+            let (g, _) = self.cv.wait_timeout(st, Duration::from_millis(50)).unwrap();
+            st = g;
+        }
+    }
+
+    /// Turn a reservation into a resident cache entry. Accounting and insert
+    /// happen under the budget lock so the evictor never sees them disagree.
+    fn commit_and_insert(
+        &self,
+        sc: &SeriesCache,
+        idx: usize,
+        vol: Arc<ScalarVolume>,
+        prefetched: bool,
+    ) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        let fb;
+        {
+            let mut c = sc.cache.lock().unwrap();
+            fb = c.frame_bytes;
+            c.insert(idx, vol, stamp, prefetched);
+            c.inflight.remove(&idx);
+        }
+        st.inflight_frames -= 1;
+        st.inflight_bytes -= fb;
+        st.resident_frames += 1;
+        st.resident_bytes += fb;
+        drop(st);
+        self.cv.notify_all();
+        sc.cv.notify_all();
+    }
+
+    /// Abandon a reservation after a failed read.
+    fn release(&self, sc: &SeriesCache, idx: usize) {
+        let mut st = self.state.lock().unwrap();
+        let fb = {
+            let mut c = sc.cache.lock().unwrap();
+            c.inflight.remove(&idx);
+            c.frame_bytes
+        };
+        st.inflight_frames -= 1;
+        st.inflight_bytes -= fb;
+        drop(st);
+        self.cv.notify_all();
+        sc.cv.notify_all();
+    }
+
+    fn register(&self, sc: &Arc<SeriesCache>) {
+        self.state.lock().unwrap().members.push(Arc::downgrade(sc));
+    }
+
+    fn stats(&self) -> BudgetStats {
+        let st = self.state.lock().unwrap();
+        BudgetStats {
+            resident_frames: st.resident_frames,
+            resident_bytes: st.resident_bytes,
+            inflight_frames: st.inflight_frames,
+            inflight_bytes: st.inflight_bytes,
+            high_water_frames: st.hw_frames,
+            high_water_bytes: st.hw_bytes,
+        }
+    }
+}
+
+/// A cloneable handle to a shared [`CacheBudget`]. Every
+/// [`OutOfCoreSeries`] opened with the same handle draws on the same
+/// allowance; eviction picks the globally least-recent frame across all of
+/// them, charged by byte size.
+#[derive(Clone)]
+pub struct CacheBudgetHandle(Arc<Budget>);
+
+impl CacheBudgetHandle {
+    pub fn new(limit: CacheBudget) -> Self {
+        Self(Arc::new(Budget {
+            limit,
+            state: Mutex::new(BudgetState::default()),
+            cv: Condvar::new(),
+            tick: AtomicU64::new(0),
+        }))
+    }
+
+    /// Shorthand for `new(CacheBudget::Frames(n))`.
+    pub fn frames(n: usize) -> Self {
+        Self::new(CacheBudget::Frames(n))
+    }
+
+    /// Shorthand for `new(CacheBudget::Bytes(n))`.
+    pub fn bytes(n: u64) -> Self {
+        Self::new(CacheBudget::Bytes(n))
+    }
+
+    pub fn limit(&self) -> CacheBudget {
+        self.0.limit
+    }
+
+    /// Aggregate accounting across all member series, including in-flight
+    /// reads and the high-water marks.
+    pub fn stats(&self) -> BudgetStats {
+        self.0.stats()
+    }
+}
+
+impl std::fmt::Debug for CacheBudgetHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CacheBudgetHandle")
+            .field(&self.0.limit)
+            .finish()
+    }
+}
+
+/// Fault injected into one read attempt by a test hook; see
+/// [`OutOfCoreSeries::set_read_fault_hook`].
+#[derive(Debug, Clone, Copy)]
+pub enum ReadFault {
+    /// Sleep before performing the real read (scheduling chaos).
+    Delay(Duration),
+    /// Fail this attempt with a transient I/O error.
+    Error,
+}
+
+/// Per-attempt fault decision: `(frame index, 1-based attempt) -> fault?`.
+pub type ReadFaultHook = Arc<dyn Fn(usize, u32) -> Option<ReadFault> + Send + Sync>;
+
+/// Bounded retry for transient read failures, on both demand and prefetch
+/// paths.
+const READ_ATTEMPTS: u32 = 3;
+
+struct Inner {
     dims: Dims3,
     steps: Vec<u32>,
     paths: Vec<PathBuf>,
-    cache: Mutex<Cache>,
+    sc: Arc<SeriesCache>,
+    budget: CacheBudgetHandle,
     /// Memoized global `(min, max)`: one streaming scan, reused thereafter.
     range: Mutex<Option<(f32, f32)>>,
+    fault: Mutex<Option<ReadFaultHook>>,
+}
+
+impl Inner {
+    fn frame_bytes(&self) -> u64 {
+        (self.dims.len() * 4) as u64
+    }
+
+    /// One physical read with bounded retry; the fault hook (when installed)
+    /// may delay or fail individual attempts.
+    fn read_frame(&self, i: usize) -> Result<ScalarVolume, IoError> {
+        let hook = self.fault.lock().unwrap().clone();
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let injected = hook.as_ref().and_then(|h| h(i, attempt));
+            let res = match injected {
+                Some(ReadFault::Error) => Err(IoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "injected transient read fault",
+                ))),
+                Some(ReadFault::Delay(d)) => {
+                    std::thread::sleep(d);
+                    read_raw(&self.paths[i]).map(|(v, _)| v)
+                }
+                None => read_raw(&self.paths[i]).map(|(v, _)| v),
+            };
+            match res {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= READ_ATTEMPTS {
+                        return Err(e);
+                    }
+                    self.sc.cache.lock().unwrap().stats.read_retries += 1;
+                    ifet_obs::counter_runtime("volume.ooc.read_retry", 1);
+                }
+            }
+        }
+    }
+
+    /// Demand access: hit, wait out an in-flight read, or load ourselves.
+    fn demand_frame(&self, i: usize) -> Result<Arc<ScalarVolume>, IoError> {
+        assert!(i < self.paths.len(), "frame {i} out of range");
+        let b = &self.budget.0;
+        {
+            let mut c = self.sc.cache.lock().unwrap();
+            loop {
+                let stamp = b.tick.fetch_add(1, Ordering::Relaxed);
+                if let Some(v) = c.get_resident(i, stamp) {
+                    return Ok(v);
+                }
+                if !c.inflight.contains(&i) {
+                    break;
+                }
+                // Someone (usually the prefetch worker) is already reading
+                // this frame; wait for commit or release, then re-check.
+                let (g, _) = self
+                    .sc
+                    .cv
+                    .wait_timeout(c, Duration::from_millis(50))
+                    .unwrap();
+                c = g;
+            }
+            c.note_miss();
+            c.inflight.insert(i);
+        }
+        b.reserve(self.frame_bytes());
+        match self.read_frame(i) {
+            Ok(vol) => {
+                let vol = Arc::new(vol);
+                b.commit_and_insert(&self.sc, i, vol.clone(), false);
+                Ok(vol)
+            }
+            Err(e) => {
+                b.release(&self.sc, i);
+                Err(e)
+            }
+        }
+    }
+
+    /// Read-ahead: best-effort warm of the cache. Never surfaces errors —
+    /// a failed prefetch just leaves the frame for demand to (re)load.
+    fn prefetch_frame(&self, i: usize) {
+        if i >= self.paths.len() {
+            return;
+        }
+        let b = &self.budget.0;
+        {
+            let mut c = self.sc.cache.lock().unwrap();
+            if c.map.contains_key(&i) || c.inflight.contains(&i) {
+                c.stats.prefetch_misses += 1;
+                ifet_obs::counter_runtime("volume.ooc.prefetch_miss", 1);
+                return;
+            }
+            c.inflight.insert(i);
+        }
+        b.reserve(self.frame_bytes());
+        match self.read_frame(i) {
+            Ok(vol) => b.commit_and_insert(&self.sc, i, Arc::new(vol), true),
+            Err(_) => b.release(&self.sc, i),
+        }
+    }
+}
+
+enum PrefetchMsg {
+    Batch(Vec<usize>),
+    Stop,
+}
+
+struct PrefetchWorker {
+    tx: mpsc::Sender<PrefetchMsg>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// A time series whose frames live on disk, with residency bounded by a
+/// (possibly shared) [`CacheBudget`].
+pub struct OutOfCoreSeries {
+    inner: Arc<Inner>,
+    prefetch_depth: usize,
+    worker: Option<PrefetchWorker>,
 }
 
 impl OutOfCoreSeries {
-    /// Write an in-core series to `dir` and return the disk-backed handle.
+    /// Write an in-core series to `dir` and return the disk-backed handle
+    /// with a private `Frames(capacity)` budget.
     pub fn create(
         dir: &Path,
         prefix: &str,
         series: &TimeSeries,
         capacity: usize,
     ) -> Result<Self, IoError> {
-        let paths = write_series(dir, prefix, series)?;
-        Ok(Self {
-            dims: series.dims(),
-            steps: series.steps().to_vec(),
-            paths,
-            cache: Mutex::new(Cache::new(capacity)),
-            range: Mutex::new(None),
-        })
+        Self::create_with(dir, prefix, series, &CacheBudgetHandle::frames(capacity), 0)
     }
 
-    /// Open from existing frame files (reads each sidecar for the step
-    /// label, but no voxel data).
+    /// [`Self::create`] with an explicit (possibly shared) budget and a
+    /// prefetch depth (`0` disables read-ahead).
+    pub fn create_with(
+        dir: &Path,
+        prefix: &str,
+        series: &TimeSeries,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+    ) -> Result<Self, IoError> {
+        let paths = write_series(dir, prefix, series)?;
+        Self::from_parts(
+            series.dims(),
+            series.steps().to_vec(),
+            paths,
+            budget,
+            prefetch,
+        )
+    }
+
+    /// Open from existing frame files with a private `Frames(capacity)`
+    /// budget (reads each sidecar for the step label, but no voxel data).
     pub fn open(paths: Vec<PathBuf>, capacity: usize) -> Result<Self, IoError> {
+        Self::open_with(paths, &CacheBudgetHandle::frames(capacity), 0)
+    }
+
+    /// [`Self::open`] with an explicit (possibly shared) budget and a
+    /// prefetch depth (`0` disables read-ahead).
+    pub fn open_with(
+        paths: Vec<PathBuf>,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+    ) -> Result<Self, IoError> {
         assert!(!paths.is_empty(), "need at least one frame file");
-        // Read sidecars only — via read_raw on the first file for dims, and
-        // cheap JSON reads for steps.
+        // Read sidecars only — cheap JSON reads for dims and steps.
         let mut labelled: Vec<(u32, PathBuf)> = Vec::with_capacity(paths.len());
         let mut dims = None;
         for (k, p) in paths.iter().enumerate() {
@@ -206,77 +657,181 @@ impl OutOfCoreSeries {
             labelled.push((meta.step.unwrap_or(k as u32), p.clone()));
         }
         labelled.sort_by_key(|(t, _)| *t);
-        Ok(Self {
-            dims: dims.unwrap(),
-            steps: labelled.iter().map(|(t, _)| *t).collect(),
-            paths: labelled.into_iter().map(|(_, p)| p).collect(),
-            cache: Mutex::new(Cache::new(capacity)),
-            range: Mutex::new(None),
-        })
+        Self::from_parts(
+            dims.unwrap(),
+            labelled.iter().map(|(t, _)| *t).collect(),
+            labelled.into_iter().map(|(_, p)| p).collect(),
+            budget,
+            prefetch,
+        )
+    }
+
+    fn from_parts(
+        dims: Dims3,
+        steps: Vec<u32>,
+        paths: Vec<PathBuf>,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+    ) -> Result<Self, IoError> {
+        let sc = Arc::new(SeriesCache {
+            cache: Mutex::new(Cache::new((dims.len() * 4) as u64)),
+            cv: Condvar::new(),
+        });
+        budget.0.register(&sc);
+        let mut s = Self {
+            inner: Arc::new(Inner {
+                dims,
+                steps,
+                paths,
+                sc,
+                budget: budget.clone(),
+                range: Mutex::new(None),
+                fault: Mutex::new(None),
+            }),
+            prefetch_depth: 0,
+            worker: None,
+        };
+        s.set_prefetch(prefetch);
+        Ok(s)
     }
 
     pub fn dims(&self) -> Dims3 {
-        self.dims
+        self.inner.dims
     }
 
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.inner.paths.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.inner.paths.is_empty()
     }
 
     pub fn steps(&self) -> &[u32] {
-        &self.steps
+        &self.inner.steps
+    }
+
+    /// The frame files backing this series, in step order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.inner.paths
     }
 
     /// Load frame `i`, from cache when resident. The `Arc` keeps the frame
     /// alive for the caller even after eviction.
     pub fn frame(&self, i: usize) -> Result<Arc<ScalarVolume>, IoError> {
-        assert!(i < self.paths.len(), "frame {i} out of range");
-        if let Some(hit) = self.cache.lock().unwrap().get(i) {
-            return Ok(hit);
-        }
-        let (vol, _) = read_raw(&self.paths[i])?;
-        let vol = Arc::new(vol);
-        self.cache.lock().unwrap().insert(i, vol.clone());
-        Ok(vol)
+        self.inner.demand_frame(i)
     }
 
     /// Frame by step label.
     pub fn frame_at_step(&self, t: u32) -> Result<Option<Arc<ScalarVolume>>, IoError> {
-        match self.steps.binary_search(&t) {
+        match self.inner.steps.binary_search(&t) {
             Ok(i) => Ok(Some(self.frame(i)?)),
             Err(_) => Ok(None),
         }
     }
 
-    /// Cache capacity: the residency bound in frames.
+    /// Residency bound in frames: the budget expressed as whole frames of
+    /// this series (byte budgets round down, floored at one frame).
     pub fn capacity(&self) -> usize {
-        self.cache.lock().unwrap().capacity
+        match self.inner.budget.0.limit {
+            CacheBudget::Frames(n) => n.max(1),
+            CacheBudget::Bytes(b) => ((b / self.inner.frame_bytes()) as usize).max(1),
+        }
     }
 
-    /// `(hits, misses)` so far.
+    /// The budget handle this series draws on (shared across clones).
+    pub fn budget(&self) -> &CacheBudgetHandle {
+        &self.inner.budget
+    }
+
+    /// Read-ahead depth in frames (`0` = prefetch disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        self.prefetch_depth
+    }
+
+    /// Start (or stop, with `0`) the background read-ahead worker. Hints
+    /// from `FrameSource::prefetch_hint` are clamped to `depth` frames.
+    pub fn set_prefetch(&mut self, depth: usize) {
+        if depth == self.prefetch_depth && (depth == 0) == self.worker.is_none() {
+            return;
+        }
+        self.stop_worker();
+        self.prefetch_depth = depth;
+        if depth == 0 {
+            return;
+        }
+        let inner = self.inner.clone();
+        let (tx, rx) = mpsc::channel::<PrefetchMsg>();
+        let handle = std::thread::Builder::new()
+            .name("ifet-ooc-prefetch".into())
+            .spawn(move || {
+                while let Ok(PrefetchMsg::Batch(idxs)) = rx.recv() {
+                    // Merge this thread's counter buffer after each batch so
+                    // runtime counters from the worker become visible.
+                    let _flush = ifet_obs::flush_guard();
+                    for i in idxs {
+                        inner.prefetch_frame(i);
+                    }
+                }
+            })
+            .expect("spawn prefetch worker");
+        self.worker = Some(PrefetchWorker { tx, handle });
+    }
+
+    /// Queue read-ahead for `upcoming` frame indices (clamped to the
+    /// configured depth). No-op when prefetch is disabled. Never blocks.
+    pub fn request_prefetch(&self, upcoming: &[usize]) {
+        let Some(w) = &self.worker else { return };
+        let take = self.prefetch_depth.min(upcoming.len());
+        if take == 0 {
+            return;
+        }
+        let batch: Vec<usize> = upcoming[..take]
+            .iter()
+            .copied()
+            .filter(|&i| i < self.inner.paths.len())
+            .collect();
+        if !batch.is_empty() {
+            let _ = w.tx.send(PrefetchMsg::Batch(batch));
+        }
+    }
+
+    /// Install (or clear) a per-read fault hook. Test instrumentation for
+    /// the chaos suite: lets a test delay or transiently fail individual
+    /// read attempts on both the demand and prefetch paths.
+    pub fn set_read_fault_hook(&self, hook: Option<ReadFaultHook>) {
+        *self.inner.fault.lock().unwrap() = hook;
+    }
+
+    /// `(hits, misses)` so far (demand accesses only).
     pub fn cache_stats(&self) -> (u64, u64) {
-        let c = self.cache.lock().unwrap();
+        let c = self.inner.sc.cache.lock().unwrap();
         (c.stats.hits, c.stats.misses)
     }
 
-    /// Full paging statistics, including the resident high-water mark.
+    /// Full paging statistics. Per-series traffic counters plus the shared
+    /// budget's high-water marks (which include in-flight reads).
     pub fn stats(&self) -> CacheStats {
-        self.cache.lock().unwrap().stats()
+        let b = self.inner.budget.stats();
+        let c = self.inner.sc.cache.lock().unwrap();
+        CacheStats {
+            resident: c.map.len(),
+            resident_bytes: c.map.len() as u64 * c.frame_bytes,
+            resident_high_water: b.high_water_frames,
+            resident_high_water_bytes: b.high_water_bytes,
+            ..c.stats
+        }
     }
 
-    /// Frames currently resident.
+    /// Frames currently resident (this series).
     pub fn resident(&self) -> usize {
-        self.cache.lock().unwrap().map.len()
+        self.inner.sc.cache.lock().unwrap().map.len()
     }
 
     /// Global `(min, max)` across all frames, computed by one streaming scan
     /// in ascending frame order and memoized.
     pub(crate) fn global_range_cached(&self) -> Result<(f32, f32), IoError> {
-        if let Some(r) = *self.range.lock().unwrap() {
+        if let Some(r) = *self.inner.range.lock().unwrap() {
             return Ok(r);
         }
         let mut lo = f32::INFINITY;
@@ -287,23 +842,37 @@ impl OutOfCoreSeries {
             hi = hi.max(b);
         }
         let r = if lo > hi { (0.0, 0.0) } else { (lo, hi) };
-        *self.range.lock().unwrap() = Some(r);
+        *self.inner.range.lock().unwrap() = Some(r);
         Ok(r)
     }
 
     /// Materialize the whole series in core (only for small data / tests).
     pub fn load_all(&self) -> Result<TimeSeries, IoError> {
         let mut frames = Vec::with_capacity(self.len());
-        for (i, &t) in self.steps.iter().enumerate() {
+        for (i, &t) in self.inner.steps.iter().enumerate() {
             frames.push((t, (*self.frame(i)?).clone()));
         }
         Ok(TimeSeries::from_frames(frames))
+    }
+
+    fn stop_worker(&mut self) {
+        if let Some(w) = self.worker.take() {
+            let _ = w.tx.send(PrefetchMsg::Stop);
+            let _ = w.handle.join();
+        }
+    }
+}
+
+impl Drop for OutOfCoreSeries {
+    fn drop(&mut self) {
+        self.stop_worker();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     fn sample_series() -> TimeSeries {
         let d = Dims3::cube(8);
@@ -319,6 +888,8 @@ mod tests {
         std::fs::create_dir_all(&d).unwrap();
         d
     }
+
+    const FB: u64 = 8 * 8 * 8 * 4; // bytes per sample_series frame
 
     #[test]
     fn create_and_read_frames() {
@@ -385,9 +956,7 @@ mod tests {
         let dir = tmpdir("open");
         let s = sample_series();
         let created = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
-        let paths: Vec<PathBuf> = (0..created.len())
-            .map(|i| created.paths[i].clone())
-            .collect();
+        let paths: Vec<PathBuf> = created.paths().to_vec();
         let opened = OutOfCoreSeries::open(paths, 2).unwrap();
         assert_eq!(opened.steps(), created.steps());
         assert_eq!(opened.load_all().unwrap(), s);
@@ -410,7 +979,7 @@ mod tests {
         let s = sample_series();
         let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
         // Delete one raw file behind the cache's back.
-        std::fs::remove_file(&ooc.paths[3]).unwrap();
+        std::fs::remove_file(&ooc.paths()[3]).unwrap();
         assert!(ooc.frame(3).is_err(), "deleted frame must surface as Err");
         // Other frames still load.
         assert!(ooc.frame(0).is_ok());
@@ -422,7 +991,7 @@ mod tests {
         let dir = tmpdir("corrupt");
         let s = sample_series();
         let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
-        std::fs::write(&ooc.paths[2], [1u8, 2, 3]).unwrap(); // truncated
+        std::fs::write(&ooc.paths()[2], [1u8, 2, 3]).unwrap(); // truncated
         assert!(ooc.frame(2).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
@@ -454,7 +1023,185 @@ mod tests {
         assert_eq!(st.evictions, 4);
         assert_eq!(st.resident, 2);
         assert_eq!(st.resident_high_water, 2);
-        assert_eq!(st.bytes_paged, 6 * 8 * 8 * 8 * 4);
+        assert_eq!(st.bytes_paged, 6 * FB);
+        assert_eq!(st.resident_bytes, 2 * FB);
+        assert_eq!(st.resident_high_water_bytes, 2 * FB);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_bytes() {
+        let dir = tmpdir("bytebudget");
+        let s = sample_series();
+        // Room for exactly three frames.
+        let budget = CacheBudgetHandle::bytes(3 * FB);
+        let ooc = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 0).unwrap();
+        assert_eq!(ooc.capacity(), 3);
+        for i in 0..6 {
+            let _ = ooc.frame(i).unwrap();
+        }
+        let st = ooc.stats();
+        assert_eq!(st.resident, 3);
+        assert_eq!(st.resident_bytes, 3 * FB);
+        assert!(st.resident_high_water_bytes <= 3 * FB);
+        assert_eq!(st.evictions, 3);
+        // True LRU under byte charging: the last three frames are resident.
+        let (h0, _) = ooc.cache_stats();
+        let _ = ooc.frame(3).unwrap();
+        let _ = ooc.frame(4).unwrap();
+        let _ = ooc.frame(5).unwrap();
+        let (h1, m) = ooc.cache_stats();
+        assert_eq!(h1, h0 + 3, "frames 3..6 must all be hits");
+        assert_eq!(m, 6);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sub_frame_byte_budget_still_makes_progress() {
+        let dir = tmpdir("tiny");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::bytes(FB / 2);
+        let ooc = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 0).unwrap();
+        assert_eq!(ooc.capacity(), 1);
+        for i in 0..6 {
+            assert_eq!(ooc.frame(i).unwrap().as_slice()[0], i as f32);
+        }
+        // The single-frame floor: never more than one frame despite the
+        // sub-frame budget.
+        assert!(ooc.stats().resident_high_water <= 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shared_budget_evicts_across_series() {
+        let dir = tmpdir("shared");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::new(CacheBudget::Frames(2));
+        let a = OutOfCoreSeries::create_with(&dir.join("a"), "f", &s, &budget, 0).unwrap();
+        let b = OutOfCoreSeries::create_with(&dir.join("b"), "f", &s, &budget, 0).unwrap();
+        let _ = a.frame(0).unwrap();
+        let _ = a.frame(1).unwrap();
+        assert_eq!(a.resident(), 2);
+        // Loading into `b` must evict from `a`: the budget is global.
+        let _ = b.frame(0).unwrap();
+        assert_eq!(a.resident() + b.resident(), 2);
+        assert_eq!(a.stats().evictions, 1, "a's LRU frame paid for b's load");
+        let bs = budget.stats();
+        assert_eq!(bs.resident_frames, 2);
+        assert!(bs.high_water_frames <= 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prefetch_warms_cache_and_counts_hits() {
+        let dir = tmpdir("prefetch");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(4);
+        let ooc = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 2).unwrap();
+        assert_eq!(ooc.prefetch_depth(), 2);
+        ooc.request_prefetch(&[0, 1, 2, 3]); // clamped to depth 2
+                                             // Wait for the worker to commit both frames.
+        for _ in 0..200 {
+            if ooc.stats().prefetched == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let st = ooc.stats();
+        assert_eq!(st.prefetched, 2, "depth clamps the request to two frames");
+        assert_eq!(st.misses, 0, "prefetch loads are not demand misses");
+        let _ = ooc.frame(0).unwrap();
+        let _ = ooc.frame(1).unwrap();
+        let st = ooc.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.prefetch_hits, 2);
+        assert_eq!(st.misses, 0);
+        // Re-requesting resident frames is a prefetch miss (skip).
+        ooc.request_prefetch(&[0]);
+        for _ in 0..200 {
+            if ooc.stats().prefetch_misses == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ooc.stats().prefetch_misses, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prefetch_respects_budget_high_water() {
+        let dir = tmpdir("prefhw");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(2);
+        let ooc = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 4).unwrap();
+        // Walk the series with aggressive read-ahead; the budget (which
+        // charges in-flight reads too) must never be exceeded.
+        for i in 0..6 {
+            ooc.request_prefetch(&[i + 1, i + 2, i + 3, i + 4]);
+            let _ = ooc.frame(i).unwrap();
+        }
+        let st = ooc.stats();
+        assert!(
+            st.resident_high_water <= 2,
+            "high water {} exceeds budget",
+            st.resident_high_water
+        );
+        assert!(st.prefetch_wasted <= st.prefetched);
+        assert_eq!(st.hits + st.misses, 6);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fault_hook_retries_transient_errors() {
+        let dir = tmpdir("fault");
+        let s = sample_series();
+        let ooc = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        // Fail the first two attempts of every read of frame 3.
+        ooc.set_read_fault_hook(Some(Arc::new(|frame, attempt| {
+            (frame == 3 && attempt <= 2).then_some(ReadFault::Error)
+        })));
+        assert_eq!(ooc.frame(3).unwrap().as_slice()[0], 3.0);
+        assert_eq!(ooc.stats().read_retries, 2);
+        // A permanently failing frame still surfaces an error after the
+        // bounded retries.
+        ooc.set_read_fault_hook(Some(Arc::new(|frame, _| {
+            (frame == 4).then_some(ReadFault::Error)
+        })));
+        assert!(ooc.frame(4).is_err());
+        ooc.set_read_fault_hook(None);
+        assert!(ooc.frame(4).is_ok());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn failed_prefetch_degrades_to_demand_load() {
+        let dir = tmpdir("prefail");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(3);
+        let ooc = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 2).unwrap();
+        // Fail the first three read attempts of frame 1 (exhausting the
+        // prefetch worker's retries), then succeed.
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        ooc.set_read_fault_hook(Some(Arc::new(move |frame, _| {
+            (frame == 1 && c.fetch_add(1, Ordering::SeqCst) < 3).then_some(ReadFault::Error)
+        })));
+        ooc.request_prefetch(&[1]);
+        // Wait until the worker has given up (three failed attempts).
+        for _ in 0..400 {
+            if calls.load(Ordering::SeqCst) >= 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Demand still gets the frame; the failed prefetch left no trace
+        // beyond retry counters and an unreserved budget.
+        assert_eq!(ooc.frame(1).unwrap().as_slice()[0], 1.0);
+        let st = ooc.stats();
+        assert_eq!(st.prefetched, 0);
+        assert_eq!(st.misses, 1);
+        let bs = budget.stats();
+        assert_eq!(bs.inflight_frames, 0, "failed prefetch must release");
         std::fs::remove_dir_all(dir).ok();
     }
 

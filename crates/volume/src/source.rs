@@ -83,6 +83,18 @@ pub trait FrameSource: Sync {
         None
     }
 
+    /// Hint that `upcoming` frame indices will be requested soon, in order.
+    ///
+    /// Purely advisory: a source may warm its cache in the background (see
+    /// `OutOfCoreSeries::set_prefetch`), clamp the hint to its configured
+    /// read-ahead depth, or ignore it entirely — the default does nothing.
+    /// Acting on a hint must never change what `frame(i)` returns, only how
+    /// fast it returns; [`map_frames_windowed`] issues hints for the next
+    /// window while the current one computes.
+    fn prefetch_hint(&self, upcoming: &[usize]) {
+        let _ = upcoming;
+    }
+
     /// Positional index of a time-step label.
     fn index_of_step(&self, t: u32) -> Option<usize> {
         self.steps().binary_search(&t).ok()
@@ -186,6 +198,10 @@ impl FrameSource for OutOfCoreSeries {
         Some(self.capacity())
     }
 
+    fn prefetch_hint(&self, upcoming: &[usize]) {
+        self.request_prefetch(upcoming);
+    }
+
     fn global_range(&self) -> Result<(f32, f32), SeriesError> {
         // Computed once (streaming, ascending order) then memoized, since
         // training and classification consult it per sample.
@@ -215,6 +231,10 @@ impl<S: FrameSource + ?Sized> FrameSource for &S {
         (**self).residency_bound()
     }
 
+    fn prefetch_hint(&self, upcoming: &[usize]) {
+        (**self).prefetch_hint(upcoming)
+    }
+
     fn global_range(&self) -> Result<(f32, f32), SeriesError> {
         (**self).global_range()
     }
@@ -229,9 +249,13 @@ impl<S: FrameSource + ?Sized> FrameSource for &S {
 ///
 /// Each window is paged in sequentially (so a bounded LRU cache is filled in
 /// order, never over capacity), then `f` fans out across the resident window.
-/// Because `f` sees one frame at a time and results are collected in index
-/// order, the output is bit-identical for any window size or thread count —
-/// the window only changes *when* a frame is resident, never what `f` computes.
+/// Once the current window's handles are held, the *next* window is announced
+/// via [`FrameSource::prefetch_hint`], so a read-ahead-capable source can
+/// overlap its paging with this window's compute. Because `f` sees one frame
+/// at a time and results are collected in index order, the output is
+/// bit-identical for any window size, thread count, or prefetch depth — the
+/// window and the hint only change *when* a frame is resident, never what
+/// `f` computes.
 pub fn map_frames_windowed<S, T, F>(series: &S, f: F) -> Result<Vec<T>, SeriesError>
 where
     S: FrameSource + ?Sized,
@@ -248,6 +272,10 @@ where
         let handles = (start..end)
             .map(|i| series.frame(i))
             .collect::<Result<Vec<_>, _>>()?;
+        if end < n {
+            let upcoming: Vec<usize> = (end..(end + window).min(n)).collect();
+            series.prefetch_hint(&upcoming);
+        }
         let results: Vec<T> = handles
             .par_iter()
             .enumerate()
@@ -257,6 +285,44 @@ where
         start = end;
     }
     Ok(out)
+}
+
+/// [`map_frames_windowed`], but each window's derived frames are streamed
+/// into `sink` (in ascending step order) instead of being collected — so a
+/// whole-series derivation holds at most one window of outputs in core.
+/// Output bytes are identical to materializing via [`map_frames_windowed`]
+/// and writing afterwards, at any window size, thread count, or prefetch
+/// depth.
+pub fn map_frames_windowed_into<S, K, F>(series: &S, sink: &mut K, f: F) -> Result<(), SeriesError>
+where
+    S: FrameSource + ?Sized,
+    K: crate::sink::FrameSink + ?Sized,
+    F: Fn(usize, u32, &ScalarVolume) -> ScalarVolume + Sync,
+{
+    let n = series.len();
+    let window = series.residency_bound().unwrap_or(n).max(1);
+    let steps = series.steps().to_vec();
+    let mut start = 0;
+    while start < n {
+        let end = (start + window).min(n);
+        let handles = (start..end)
+            .map(|i| series.frame(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        if end < n {
+            let upcoming: Vec<usize> = (end..(end + window).min(n)).collect();
+            series.prefetch_hint(&upcoming);
+        }
+        let results: Vec<ScalarVolume> = handles
+            .par_iter()
+            .enumerate()
+            .map(|(k, h)| f(start + k, steps[start + k], h))
+            .collect();
+        for (k, vol) in results.into_iter().enumerate() {
+            sink.put(steps[start + k], vol)?;
+        }
+        start = end;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -311,6 +377,25 @@ mod tests {
         let direct: Vec<f32> = (0..s.len()).map(|i| s.frame(i).as_slice()[0]).collect();
         let mapped = map_frames_windowed(&s, |_, _, f| f.as_slice()[0]).unwrap();
         assert_eq!(mapped, direct);
+    }
+
+    #[test]
+    fn windowed_map_into_matches_materialized() {
+        let s = series();
+        let doubled = map_frames_windowed(&s, |_, _, f| {
+            ScalarVolume::from_vec(f.dims(), f.as_slice().iter().map(|v| v * 2.0).collect())
+        })
+        .unwrap();
+        let mut sink = crate::sink::TimeSeriesSink::new();
+        map_frames_windowed_into(&s, &mut sink, |_, _, f| {
+            ScalarVolume::from_vec(f.dims(), f.as_slice().iter().map(|v| v * 2.0).collect())
+        })
+        .unwrap();
+        let streamed = sink.into_series().unwrap();
+        assert_eq!(streamed.steps(), s.steps());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(streamed.frame(i).as_slice(), d.as_slice());
+        }
     }
 
     #[test]

@@ -332,4 +332,103 @@ proptest! {
         }
         prop_assert_eq!(ooc.stats().misses, st.misses, "MRU frames must still be resident");
     }
+
+    /// A byte-counted budget shared by two series is never exceeded — not
+    /// even transiently by in-flight prefetch reads, which are charged
+    /// before their bytes land. The only sanctioned overshoot is the
+    /// single-frame floor when the budget is smaller than one frame.
+    #[test]
+    fn lru_shared_byte_budget_never_exceeded(
+        budget_bytes in 1u64..1200,
+        ops in proptest::collection::vec((0usize..OOC_FRAMES, any::<bool>(), any::<bool>()), 1..40),
+    ) {
+        let (series, paths) = ooc_fixture();
+        let frame_bytes = series.dims().len() as u64 * 4;
+        let budget = ifet_volume::CacheBudgetHandle::bytes(budget_bytes);
+        let a = ifet_volume::OutOfCoreSeries::open_with(paths.clone(), &budget, 2).unwrap();
+        let b = ifet_volume::OutOfCoreSeries::open_with(paths.clone(), &budget, 2).unwrap();
+        let bound = budget_bytes.max(frame_bytes);
+        for &(i, use_b, hint) in &ops {
+            let ooc = if use_b { &b } else { &a };
+            if hint {
+                ooc.request_prefetch(&[(i + 1) % OOC_FRAMES, (i + 2) % OOC_FRAMES]);
+            }
+            let got = ooc.frame(i).unwrap();
+            prop_assert_eq!(&*got, series.frame(i));
+            let st = budget.stats();
+            prop_assert!(
+                st.high_water_bytes <= bound,
+                "high-water {} exceeds bound {} (budget {})",
+                st.high_water_bytes, bound, budget_bytes
+            );
+        }
+        // Per-series byte high-waters are within the shared bound too.
+        for ooc in [&a, &b] {
+            prop_assert!(ooc.stats().resident_high_water_bytes <= bound);
+        }
+    }
+
+    /// Stats algebra under prefetch: demand accounting stays exact
+    /// (`hits + misses` equals exactly the number of demand reads no matter
+    /// how prefetch races them), every paged byte is attributed to a demand
+    /// miss or a prefetch load, and a prefetched frame resolves to at most
+    /// one of {hit, wasted}.
+    #[test]
+    fn lru_stats_algebra_holds_under_prefetch(
+        capacity in 1usize..4,
+        depth in 1usize..4,
+        accesses in proptest::collection::vec(0usize..OOC_FRAMES, 1..40),
+    ) {
+        let (series, paths) = ooc_fixture();
+        let frame_bytes = series.dims().len() as u64 * 4;
+        let budget = ifet_volume::CacheBudgetHandle::frames(capacity);
+        let ooc = ifet_volume::OutOfCoreSeries::open_with(paths.clone(), &budget, depth).unwrap();
+        for (k, &i) in accesses.iter().enumerate() {
+            if k % 2 == 0 {
+                ooc.request_prefetch(&[(i + 1) % OOC_FRAMES]);
+            }
+            prop_assert_eq!(&*ooc.frame(i).unwrap(), series.frame(i));
+        }
+        let st = ooc.stats();
+        prop_assert_eq!(st.hits + st.misses, accesses.len() as u64);
+        prop_assert!(st.prefetch_hits + st.prefetch_wasted <= st.prefetched);
+        prop_assert_eq!(st.bytes_paged, (st.misses + st.prefetched) * frame_bytes);
+        prop_assert!(st.resident_high_water <= capacity);
+    }
+
+    /// Byte-charged eviction is still true LRU: with a budget worth exactly
+    /// `capacity` frames, the last `capacity` distinct frames demanded are
+    /// resident, so re-touching them cannot miss.
+    #[test]
+    fn lru_byte_charged_eviction_is_true_lru(
+        capacity in 1usize..5,
+        accesses in proptest::collection::vec(0usize..OOC_FRAMES, 1..40),
+    ) {
+        let (series, paths) = ooc_fixture();
+        let frame_bytes = series.dims().len() as u64 * 4;
+        let budget = ifet_volume::CacheBudgetHandle::bytes(capacity as u64 * frame_bytes);
+        let ooc = ifet_volume::OutOfCoreSeries::open_with(paths.clone(), &budget, 0).unwrap();
+        for &i in &accesses {
+            prop_assert_eq!(&*ooc.frame(i).unwrap(), series.frame(i));
+            prop_assert!(ooc.stats().resident_high_water_bytes <= capacity as u64 * frame_bytes);
+        }
+        let st = ooc.stats();
+        let distinct: std::collections::HashSet<usize> = accesses.iter().copied().collect();
+        let mut mru: Vec<usize> = Vec::new();
+        for &i in accesses.iter().rev() {
+            if !mru.contains(&i) {
+                mru.push(i);
+            }
+            if mru.len() == capacity.min(distinct.len()) {
+                break;
+            }
+        }
+        for &i in &mru {
+            let _ = ooc.frame(i).unwrap();
+        }
+        prop_assert_eq!(
+            ooc.stats().misses, st.misses,
+            "byte-charged LRU evicted a most-recently-used frame"
+        );
+    }
 }

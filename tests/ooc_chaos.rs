@@ -1,0 +1,246 @@
+//! Chaos suite: the paging layer under hostile scheduling. A wrapper source
+//! injects randomized per-read delays, and the out-of-core read path is fed
+//! transient I/O failures through its fault hook. Under every combination
+//! the contract of `tests/ooc_equivalence.rs` must still hold: delays,
+//! retries, and prefetch races may change *when* bytes move, never *what*
+//! any stage computes — outputs and stable traces stay byte-identical to
+//! the clean in-core run.
+
+use ifet_core::obs;
+use ifet_core::prelude::*;
+use ifet_track::FixedBandCriterion;
+use ifet_volume::{
+    CacheBudget, CacheBudgetHandle, FrameHandle, FrameSource, OutOfCoreSeries, ReadFault,
+    ReadFaultHook, SeriesError,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const FRAMES: usize = 16;
+const FRAME_BYTES: u64 = 12 * 12 * 12 * 4;
+
+/// Same drifting-ball fixture as the equivalence suite.
+fn series() -> TimeSeries {
+    let d = Dims3::cube(12);
+    TimeSeries::from_frames(
+        (0..FRAMES)
+            .map(|k| {
+                let drift = 0.05 * k as f32;
+                let cx = 3.0 + 0.4 * k as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let dist = ((x as f32 - cx).powi(2)
+                        + (y as f32 - 6.0).powi(2)
+                        + (z as f32 - 6.0).powi(2))
+                    .sqrt();
+                    let base = (x + y + z) as f32 / 36.0 + drift;
+                    if dist <= 2.5 {
+                        base + 1.0
+                    } else {
+                        base
+                    }
+                });
+                (k as u32 * 5, vol)
+            })
+            .collect(),
+    )
+}
+
+fn on_disk(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
+    let s = series();
+    let dir = std::env::temp_dir().join(format!("ifet_ooc_chaos_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = ifet_volume::io::write_series(&dir, "chaos", &s).unwrap();
+    (s, paths)
+}
+
+fn open_with(paths: &[PathBuf], budget: CacheBudget, prefetch: usize) -> OutOfCoreSeries {
+    OutOfCoreSeries::open_with(paths.to_vec(), &CacheBudgetHandle::new(budget), prefetch).unwrap()
+}
+
+/// splitmix64 finalizer: deterministic pseudo-randomness without any
+/// wall-clock or RNG dependence, so every chaos schedule is replayable.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A [`FrameSource`] test double that forwards to a paged series but sleeps
+/// a pseudo-random amount on a third of reads, perturbing the interleaving
+/// of demand reads, prefetch completions, and evictions.
+struct ChaosSource<'a> {
+    inner: &'a OutOfCoreSeries,
+    seed: u64,
+    reads: AtomicU64,
+}
+
+impl<'a> ChaosSource<'a> {
+    fn new(inner: &'a OutOfCoreSeries, seed: u64) -> Self {
+        Self {
+            inner,
+            seed,
+            reads: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FrameSource for ChaosSource<'_> {
+    fn dims(&self) -> Dims3 {
+        FrameSource::dims(self.inner)
+    }
+
+    fn len(&self) -> usize {
+        FrameSource::len(self.inner)
+    }
+
+    fn steps(&self) -> &[u32] {
+        FrameSource::steps(self.inner)
+    }
+
+    fn frame(&self, i: usize) -> Result<FrameHandle<'_>, SeriesError> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        let r = mix(self.seed ^ (n << 20) ^ i as u64);
+        if r % 3 == 0 {
+            std::thread::sleep(Duration::from_micros(r % 400));
+        }
+        FrameSource::frame(self.inner, i)
+    }
+
+    fn residency_bound(&self) -> Option<usize> {
+        FrameSource::residency_bound(self.inner)
+    }
+
+    fn prefetch_hint(&self, upcoming: &[usize]) {
+        FrameSource::prefetch_hint(self.inner, upcoming)
+    }
+}
+
+/// Fault hook that injects pseudo-random read delays and fails the first
+/// `fails_per_frame` read attempts of every frame with a transient I/O
+/// error — whoever gets there first (demand or prefetch) eats the failures
+/// and must retry or degrade.
+fn chaos_hook(seed: u64, fails_per_frame: u32) -> ReadFaultHook {
+    let counts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+    Arc::new(move |frame, attempt| {
+        let seen = {
+            let mut c = counts.lock().unwrap();
+            let e = c.entry(frame).or_insert(0);
+            let seen = *e;
+            *e += 1;
+            seen
+        };
+        if seen < fails_per_frame {
+            return Some(ReadFault::Error);
+        }
+        let r = mix(seed ^ ((frame as u64) << 8) ^ attempt as u64);
+        if r % 2 == 0 {
+            Some(ReadFault::Delay(Duration::from_micros(r % 300)))
+        } else {
+            None
+        }
+    })
+}
+
+/// Track through a source under span capture; returns the masks and the
+/// canonical stable-trace JSON.
+fn tracked<S: FrameSource>(src: &S) -> (Vec<Mask3>, String) {
+    let criterion = FixedBandCriterion::new(0.9, 3.0, FrameSource::len(src)).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let (masks, trace) = obs::capture("chaos.track", || grow_4d(src, &criterion, &seeds));
+    (masks.unwrap(), trace.to_stable().to_json_pretty())
+}
+
+#[test]
+fn chaos_delays_never_change_outputs_or_stable_traces() {
+    let (s, paths) = on_disk("delays");
+    let (reference, ref_trace) = tracked(&s);
+    assert!(reference[0].count() > 0, "seed must land in the ball");
+    for seed in [1u64, 7, 23] {
+        for prefetch in [0usize, 2, 4] {
+            let ooc = open_with(&paths, CacheBudget::Frames(2), prefetch);
+            let chaos = ChaosSource::new(&ooc, seed);
+            let (masks, trace) = tracked(&chaos);
+            assert_eq!(
+                masks, reference,
+                "outputs diverged under delay chaos (seed {seed}, prefetch {prefetch})"
+            );
+            assert_eq!(
+                trace, ref_trace,
+                "stable trace diverged under delay chaos (seed {seed}, prefetch {prefetch})"
+            );
+            assert!(ooc.stats().resident_high_water <= 2);
+        }
+    }
+}
+
+#[test]
+fn transient_read_faults_are_retried_and_invisible() {
+    let (s, paths) = on_disk("faults");
+    let (reference, ref_trace) = tracked(&s);
+    for seed in [3u64, 11] {
+        for prefetch in [0usize, 2] {
+            let ooc = open_with(&paths, CacheBudget::Frames(2), prefetch);
+            // Two failures per frame: strictly fewer than the read-path's
+            // bounded retries, so every read eventually lands no matter
+            // whether demand or prefetch eats the faults.
+            ooc.set_read_fault_hook(Some(chaos_hook(seed, 2)));
+            let (masks, trace) = tracked(&ooc);
+            assert_eq!(
+                masks, reference,
+                "outputs diverged under fault chaos (seed {seed}, prefetch {prefetch})"
+            );
+            assert_eq!(
+                trace, ref_trace,
+                "stable trace diverged under fault chaos (seed {seed}, prefetch {prefetch})"
+            );
+            let st = ooc.stats();
+            assert!(
+                st.read_retries >= 2 * FRAMES as u64,
+                "every frame's injected faults must show up as retries, got {}",
+                st.read_retries
+            );
+            assert!(st.resident_high_water <= 2);
+        }
+    }
+}
+
+#[test]
+fn prefetch_under_chaos_respects_byte_budget_and_stats_algebra() {
+    let (s, paths) = on_disk("budget");
+    let criterion = FixedBandCriterion::new(0.9, 3.0, s.len()).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let reference = grow_4d(&s, &criterion, &seeds).unwrap();
+    let budget = 2 * FRAME_BYTES;
+    for seed in [5u64, 17, 41] {
+        for prefetch in [1usize, 4] {
+            let ooc = open_with(&paths, CacheBudget::Bytes(budget), prefetch);
+            ooc.set_read_fault_hook(Some(chaos_hook(seed, 1)));
+            let masks = grow_4d(&ChaosSource::new(&ooc, seed), &criterion, &seeds).unwrap();
+            assert_eq!(
+                masks, reference,
+                "outputs diverged (seed {seed}, prefetch {prefetch})"
+            );
+            let st = ooc.stats();
+            assert!(
+                st.resident_high_water_bytes <= budget,
+                "byte high-water {} exceeds budget {budget} \
+                 (seed {seed}, prefetch {prefetch})",
+                st.resident_high_water_bytes
+            );
+            assert!(
+                st.prefetch_wasted <= st.prefetched,
+                "wasted {} > prefetched {}",
+                st.prefetch_wasted,
+                st.prefetched
+            );
+            assert!(
+                st.hits + st.misses >= FRAMES as u64,
+                "every frame is demanded at least once"
+            );
+        }
+    }
+}

@@ -9,10 +9,11 @@ use ifet_core::persist::save_session_bytes;
 use ifet_core::prelude::*;
 use ifet_tf::IatfBuilder;
 use ifet_track::FixedBandCriterion;
-use ifet_volume::{FrameSource, OutOfCoreSeries};
+use ifet_volume::{CacheBudget, CacheBudgetHandle, FrameSource, OutOfCoreSeries};
 use std::path::PathBuf;
 
 const FRAMES: usize = 16;
+const FRAME_BYTES: u64 = 12 * 12 * 12 * 4;
 
 /// A drifting-ramp series with a moving bright ball: enough structure for
 /// tracking, classification, and IATF training to all do real work.
@@ -53,6 +54,40 @@ fn on_disk(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
 
 fn capacities() -> [usize; 3] {
     [1, 2, FRAMES]
+}
+
+/// The prefetch × budget matrix: read-ahead depths {0, 1, 2, 4} against a
+/// two-frame budget expressed both ways (frame-counted and byte-counted).
+fn budget_matrix() -> Vec<(CacheBudget, usize)> {
+    let mut m = Vec::new();
+    for budget in [CacheBudget::Frames(2), CacheBudget::Bytes(2 * FRAME_BYTES)] {
+        for prefetch in [0usize, 1, 2, 4] {
+            m.push((budget, prefetch));
+        }
+    }
+    m
+}
+
+fn open_with(paths: &[PathBuf], budget: CacheBudget, prefetch: usize) -> OutOfCoreSeries {
+    OutOfCoreSeries::open_with(paths.to_vec(), &CacheBudgetHandle::new(budget), prefetch).unwrap()
+}
+
+/// The bounded-memory witness for either budget kind, including in-flight
+/// prefetch reads (the high-water marks count those too).
+fn assert_budget_held(ooc: &OutOfCoreSeries, budget: CacheBudget) {
+    let st = ooc.stats();
+    match budget {
+        CacheBudget::Frames(n) => assert!(
+            st.resident_high_water <= n,
+            "frame high-water {} exceeds budget {n}",
+            st.resident_high_water
+        ),
+        CacheBudget::Bytes(b) => assert!(
+            st.resident_high_water_bytes <= b,
+            "byte high-water {} exceeds budget {b}",
+            st.resident_high_water_bytes
+        ),
+    }
 }
 
 #[test]
@@ -184,5 +219,142 @@ fn session_track_artifacts_are_byte_identical() {
             "artifact bytes diverged at capacity {cap}"
         );
         assert!(sess.series().stats().resident_high_water <= cap);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch × budget × threads matrix: background read-ahead and byte-counted
+// eviction may change paging order and overlap, never a single output byte.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn grow_4d_is_identical_across_prefetch_budget_and_threads() {
+    let (s, paths) = on_disk("grow_matrix");
+    let criterion = FixedBandCriterion::new(0.9, 3.0, s.len()).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let reference = grow_4d(&s, &criterion, &seeds).unwrap();
+    for threads in [1usize, 2, 4] {
+        let pool = pipeline::pool_with_threads(threads);
+        for (budget, prefetch) in budget_matrix() {
+            let ooc = open_with(&paths, budget, prefetch);
+            let masks = pool.install(|| grow_4d(&ooc, &criterion, &seeds)).unwrap();
+            assert_eq!(
+                masks, reference,
+                "grow_4d diverged at threads {threads}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn classify_series_is_identical_across_prefetch_budget_and_threads() {
+    let (s, paths) = on_disk("classify_matrix");
+    let truth = Mask3::threshold(s.frame(0), 1.0);
+    let mut oracle = PaintOracle::new(11);
+    oracle.slice_stride = 1;
+    let paints = vec![oracle.paint_from_truth(0, &truth, 60, 60)];
+    let clf = DataSpaceClassifier::train(
+        FeatureExtractor::new(FeatureSpec::default()),
+        &s,
+        &paints,
+        ClassifierParams {
+            epochs: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let reference = clf.classify_series(&s).unwrap();
+    for threads in [1usize, 2, 4] {
+        let pool = pipeline::pool_with_threads(threads);
+        for (budget, prefetch) in budget_matrix() {
+            let ooc = open_with(&paths, budget, prefetch);
+            let out = pool.install(|| clf.classify_series(&ooc)).unwrap();
+            assert_eq!(
+                out, reference,
+                "classification diverged at threads {threads}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn iatf_is_identical_across_prefetch_budget_and_threads() {
+    let (s, paths) = on_disk("iatf_matrix");
+    let (glo, ghi) = s.global_range();
+    let keys: Vec<(u32, TransferFunction1D)> = [0u32, 35, 75]
+        .iter()
+        .map(|&t| (t, TransferFunction1D::band(glo, ghi, 0.9, 1.8, 1.0)))
+        .collect();
+    let params = IatfParams {
+        epochs: 60,
+        ..Default::default()
+    };
+    let build = || {
+        let mut b = IatfBuilder::new(params);
+        for (t, tf) in &keys {
+            b.add_key_frame(*t, tf.clone());
+        }
+        b
+    };
+    let reference = build().train(&s);
+    let ref_json = serde_json::to_string(&reference).unwrap();
+    let ref_tfs: Vec<TransferFunction1D> = s
+        .iter()
+        .map(|(t, frame)| reference.generate(t, frame))
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let pool = pipeline::pool_with_threads(threads);
+        for (budget, prefetch) in budget_matrix() {
+            let ooc = open_with(&paths, budget, prefetch);
+            let iatf = pool.install(|| build().train(&ooc));
+            assert_eq!(
+                serde_json::to_string(&iatf).unwrap(),
+                ref_json,
+                "IATF training diverged at threads {threads}, {budget:?}, prefetch {prefetch}"
+            );
+            let tfs: Vec<TransferFunction1D> = pool
+                .install(|| {
+                    ifet_volume::map_frames_windowed(&ooc, |_, t, frame| iatf.generate(t, frame))
+                })
+                .unwrap();
+            assert_eq!(
+                tfs, ref_tfs,
+                "IATF generation diverged at threads {threads}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn session_artifacts_are_identical_across_prefetch_budget_and_threads() {
+    let (s, paths) = on_disk("artifact_matrix");
+    let spec = CriterionSpec::FixedBand { lo: 0.9, hi: 3.0 };
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let mut reference = VisSession::new(s).unwrap();
+    assert_eq!(
+        reference.run_track(spec.clone(), &seeds, None).unwrap(),
+        TrackStatus::Completed
+    );
+    let ref_bytes = save_session_bytes(&reference);
+    for threads in [1usize, 2, 4] {
+        let pool = pipeline::pool_with_threads(threads);
+        for (budget, prefetch) in budget_matrix() {
+            let ooc = open_with(&paths, budget, prefetch);
+            let mut sess = VisSession::new(ooc).unwrap();
+            assert_eq!(
+                pool.install(|| sess.run_track(spec.clone(), &seeds, None))
+                    .unwrap(),
+                TrackStatus::Completed
+            );
+            assert_eq!(
+                save_session_bytes(&sess),
+                ref_bytes,
+                "artifact bytes diverged at threads {threads}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(sess.series(), budget);
+        }
     }
 }

@@ -39,6 +39,23 @@ fn bench_classify_scratch(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batch-width axis of the SoA-batched predictor: width 1 runs the same
+/// code row-by-row, wider batches amortize feature assembly and let the
+/// chunked forward pass autovectorize. Output is bit-identical throughout.
+fn bench_classify_batch_axis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classify_batch");
+    let (data, clf) = trained_classifier(32);
+    let (_, frame) = data.series.iter().next().unwrap();
+    for &batch in &[1usize, 8, 16, 64] {
+        clf.set_batch(batch);
+        g.bench_with_input(BenchmarkId::new("rows", batch), &batch, |b, _| {
+            b.iter(|| black_box(clf.classify_frame(frame, 0.0)))
+        });
+    }
+    clf.set_batch(0);
+    g.finish();
+}
+
 fn bench_classify_series(c: &mut Criterion) {
     let mut g = c.benchmark_group("classify_series");
     let (data, clf) = trained_classifier(24);
@@ -48,5 +65,10 @@ fn bench_classify_series(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_classify_scratch, bench_classify_series);
+criterion_group!(
+    benches,
+    bench_classify_scratch,
+    bench_classify_batch_axis,
+    bench_classify_series
+);
 criterion_main!(benches);

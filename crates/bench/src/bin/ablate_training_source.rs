@@ -45,7 +45,8 @@ fn train_from_random_voxels(
         Activation::Sigmoid,
         Activation::Sigmoid,
         0x1A7F,
-    );
+    )
+    .expect("fixed ablation network shape");
     let mut trainer = Trainer::new(TrainParams {
         learning_rate: 0.35,
         momentum: 0.9,

@@ -225,6 +225,13 @@ fn ooc_budget_opt(args: &Args) -> Result<Option<(CacheBudget, usize)>, String> {
     }
 }
 
+/// `--batch N`: voxel rows per batched classification pass, and samples per
+/// ray-packet when rendering. 0 (the default) = auto. Output is
+/// bit-identical at every width, so this is purely a throughput knob.
+fn batch_opt(args: &Args) -> Result<usize, String> {
+    args.opt_parse("batch", 0usize)
+}
+
 fn open_ooc(dir: &str, budget: CacheBudget, prefetch: usize) -> Result<OutOfCoreSeries, String> {
     OutOfCoreSeries::open_with(frame_paths(dir)?, &CacheBudgetHandle::new(budget), prefetch)
         .map_err(|e| format!("failed to open out-of-core series: {e}"))
@@ -383,8 +390,13 @@ pub fn cmd_train_iatf(args: &Args) -> Result<String, String> {
         session.add_key_frame(t, TransferFunction1D::band(glo, ghi, lo, hi, 1.0));
     }
     let epochs: usize = args.opt_parse("epochs", 600usize)?;
+    let hidden: usize = args.opt_parse("hidden", IatfParams::default().hidden)?;
+    if hidden == 0 {
+        return Err("--hidden must be at least 1 neuron".into());
+    }
     session.train_iatf(IatfParams {
         epochs,
+        hidden,
         ..Default::default()
     });
     let iatf = session.iatf().unwrap();
@@ -410,7 +422,10 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
     let size: usize = args.opt_parse("size", 256usize)?;
     let series = load_series(dir)?;
     let (glo, ghi) = series.global_range();
-    let session = VisSession::new(series.clone()).unwrap();
+    let mut session = VisSession::new(series.clone()).unwrap();
+    // `--batch` maps onto the ray caster's packet width here (clamped to
+    // MAX_PACKET internally); output is invariant to it.
+    session.renderer.params.packet = batch_opt(args)?;
 
     let tf = if let Some(path) = args.opt("iatf") {
         let iatf = load_iatf(path)?;
@@ -457,6 +472,8 @@ fn cmd_track_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, Stri
     } else {
         VisSession::new(series).map_err(|e| e.to_string())?
     };
+    // No-op unless a loaded classifier drives the criterion (--dataspace-tau).
+    session.set_classifier_batch(batch_opt(args)?);
 
     // The frontier-parallel grower fans out per-frame work; `--threads`
     // pins its worker count (0 = default sizing).
@@ -595,15 +612,18 @@ fn cmd_session_save<S: FrameSource>(args: &Args, series: S) -> Result<String, St
             painted += 2 * n;
         }
         let clf_epochs: usize = args.opt_parse("clf-epochs", 200usize)?;
+        let clf_hidden: usize = args.opt_parse("clf-hidden", ClassifierParams::default().hidden)?;
         session
             .train_classifier(
                 FeatureSpec::default(),
                 ClassifierParams {
                     epochs: clf_epochs,
+                    hidden: clf_hidden,
                     ..Default::default()
                 },
             )
             .map_err(|e| format!("classifier training failed: {e}"))?;
+        session.set_classifier_batch(batch_opt(args)?);
         notes.push(format!(
             "trained data-space classifier on {painted} painted voxels across {} frames",
             paint_specs.len()
@@ -794,6 +814,7 @@ fn cmd_classify_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, S
     let clf = session.classifier().ok_or(
         "session has no trained classifier (train one with `session save --paint STEP:N`)",
     )?;
+    clf.set_batch(batch_opt(args)?);
     // Both paths stream: certainty frames are summarized (and with `--out`
     // written to disk) as they are produced, never collected into a Vec.
     let (rows, written) = if let Some(outdir) = args.opt("out") {
@@ -907,18 +928,28 @@ ifet — intelligent feature extraction and tracking for 4D flow data
 USAGE:
   ifet generate <dataset> --out DIR [--dims N] [--seed S]
   ifet info --data DIR
-  ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] --out FILE
-  ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N] --out FILE.ppm
-  ifet track --data DIR --seed X,Y,Z [--threads N] [ooc options]
+  ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] [--hidden N]
+                  --out FILE
+  ifet render --data DIR --step T (--iatf FILE | --band LO:HI) [--size N]
+              [--batch N] --out FILE.ppm
+  ifet track --data DIR --seed X,Y,Z [--threads N] [--batch N] [ooc options]
              (--iatf FILE [--tau V] | --band LO:HI | --session FILE --dataspace-tau V)
   ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
-                    [--paint STEP:N ...] [--clf-epochs N] [--paint-seed S]
+                    [--paint STEP:N ...] [--clf-epochs N] [--clf-hidden N]
+                    [--paint-seed S] [--batch N]
                     [--seed X,Y,Z (--band LO:HI | --dataspace-tau V | --tau V)]
                     [--rounds N] [ooc options]
   ifet session load --data DIR --session FILE [ooc options]
   ifet session resume --data DIR --session FILE [--out FILE] [ooc options]
-  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [ooc options]
+  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [--batch N]
+                [ooc options]
   ifet suggest-keys --data DIR [--max N]
+
+batched hot paths (render, track, session save, classify):
+  --batch N             rows per batched classification pass, and samples per
+                        ray packet when rendering (0 or omitted = auto).
+                        Output is bit-identical at every width; this is purely
+                        a throughput knob.
 
 out-of-core options (track, session, classify):
   --ooc-cache N         page frames from disk through an N-frame LRU cache
@@ -1326,6 +1357,96 @@ mod tests {
     }
 
     #[test]
+    fn batch_flag_validation() {
+        let a = parse_args(&argv("classify --data d --session s --batch nope")).unwrap();
+        assert!(batch_opt(&a).unwrap_err().contains("invalid --batch"));
+        let a = parse_args(&argv("classify --data d --session s")).unwrap();
+        assert_eq!(batch_opt(&a).unwrap(), 0, "omitted --batch means auto");
+    }
+
+    #[test]
+    fn classify_batch_axis_is_invariant_in_stable_traces() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_batch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        let sess = format!("{dirs}/clf.ifet");
+        run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {sess} --paint 195:40 --clf-epochs 60"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Coverage tables AND stable traces must be byte-identical at every
+        // batch width: batching is a throughput knob, not a result knob, and
+        // the batch counters are runtime-only so stable mode drops them.
+        let classify_at = |batch: Option<usize>| -> (String, Vec<u8>) {
+            let tag = batch.map_or("auto".to_string(), |b| b.to_string());
+            let path = format!("{dirs}/ctrace_{tag}.json");
+            let barg = batch.map_or(String::new(), |b| format!(" --batch {b}"));
+            let out = run(&parse_args(&argv(&format!(
+                "classify --data {dirs} --session {sess}{barg} \
+                 --trace {path} --trace-mode stable"
+            )))
+            .unwrap())
+            .unwrap();
+            (out, std::fs::read(&path).unwrap())
+        };
+        let (ref_out, ref_trace) = classify_at(None);
+        assert!(ref_out.contains("mean-certainty"), "{ref_out}");
+        for b in [1usize, 7, 64] {
+            let (out, trace) = classify_at(Some(b));
+            assert_eq!(out, ref_out, "coverage diverged at --batch {b}");
+            assert_eq!(trace, ref_trace, "stable trace diverged at --batch {b}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn hidden_flags_validate_and_surface_model_errors() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_hid_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // train-iatf rejects a zero hidden width up front.
+        let err = run(&parse_args(&argv(&format!(
+            "train-iatf --data {dirs} --key 195:0.5:1.0 --hidden 0 --out {dirs}/x.iatf"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        // A zero classifier width flows through the typed model error
+        // instead of panicking inside the network constructor.
+        let err = run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {dirs}/c.ifet --paint 195:10 --clf-hidden 0"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("classifier training failed"), "{err}");
+        assert!(err.contains("zero"), "{err}");
+
+        // A small nonzero width trains fine.
+        let msg = run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {dirs}/c.ifet --paint 195:10 \
+             --clf-epochs 5 --clf-hidden 2"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(msg.contains("trained data-space classifier"), "{msg}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn session_needs_action() {
         let a = parse_args(&argv("session --data d")).unwrap();
         assert!(run(&a).unwrap_err().contains("save, load, or resume"));
@@ -1357,6 +1478,20 @@ mod tests {
         let msg = run(&r2).unwrap();
         assert!(msg.contains("rendered step 50"), "{msg}");
         assert!(dir.join("img.ppm").exists());
+
+        // `--batch` only changes the ray caster's packet width; the image
+        // bytes must not move.
+        let r3 = parse_args(&argv(&format!(
+            "render --data {dirs} --step 50 --band 0.5:2.0 --size 32 --batch 5 \
+             --out {dirs}/img_b.ppm"
+        )))
+        .unwrap();
+        run(&r3).unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("img.ppm")).unwrap(),
+            std::fs::read(dir.join("img_b.ppm")).unwrap(),
+            "--batch must not change rendered bytes"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -360,6 +360,19 @@ impl<S: FrameSource> VisSession<S> {
         self.classifier.as_ref()
     }
 
+    /// Set the classifier's scanline batch width (0 = auto); see
+    /// [`DataSpaceClassifier::set_batch`]. Returns false when no classifier
+    /// is trained yet. Output is bit-identical at every width.
+    pub fn set_classifier_batch(&self, rows: usize) -> bool {
+        match &self.classifier {
+            Some(clf) => {
+                clf.set_batch(rows);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Install an externally trained classifier (e.g. a `train_multi` model
     /// over a sibling multivariate series) so it persists with the session.
     pub fn adopt_classifier(&mut self, clf: DataSpaceClassifier) -> &mut Self {

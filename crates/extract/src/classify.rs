@@ -11,6 +11,7 @@ use ifet_volume::{
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The supervised learner behind a classifier. The paper uses a neural
@@ -23,13 +24,18 @@ pub enum LearningEngine {
     SupportVector(Svm),
 }
 
-/// Reusable per-predictor buffers: the feature vector under construction and
-/// the MLP forward-pass scratch. `Scratch` self-sizes on first use, so a
-/// default-constructed instance works for either engine.
+/// Reusable per-predictor buffers: the feature vector under construction,
+/// the MLP forward-pass scratch, and the batch-row staging buffers. `Scratch`
+/// self-sizes on first use, so a default-constructed instance works for
+/// either engine and any batch width.
 #[derive(Debug, Default)]
 struct PredictBuffers {
     features: Vec<f32>,
     scratch: Scratch,
+    /// Feature rows for a batched run, row-major `[len * num_features]`.
+    rows: Vec<f32>,
+    /// Batched prediction output staging (`len` certainties).
+    outs: Vec<f32>,
 }
 
 /// A free-list of [`PredictBuffers`] shared across classification calls.
@@ -104,28 +110,86 @@ impl PooledPredictor<'_> {
     /// Certainty for one voxel of a scalar frame.
     #[inline]
     fn predict_at(&mut self, frame: &ScalarVolume, x: usize, y: usize, z: usize, tn: f32) -> f32 {
-        let PredictBuffers { features, scratch } = &mut self.bufs;
+        let PredictBuffers {
+            features, scratch, ..
+        } = &mut self.bufs;
         self.clf.extractor.vector_into(frame, x, y, z, tn, features);
         self.clf.normalizer.apply(features);
         Self::predict_engine(&self.clf.engine, features, scratch)
     }
 
-    /// Certainty for one voxel of a multivariate frame.
-    #[inline]
-    fn predict_multi_at(
+    /// Batched prediction: normalize the staged rows (each `nf` wide) and
+    /// write one certainty per row into `out`. Per-row work is the exact
+    /// same operation sequence as the scalar path (`Normalizer::apply` on
+    /// the row slice, then `predict1`-equivalent inference), so batched
+    /// output is bit-identical to per-voxel output.
+    fn predict_rows_into(&mut self, nf: usize, out: &mut [f32]) {
+        let PredictBuffers {
+            scratch,
+            rows,
+            outs,
+            ..
+        } = &mut self.bufs;
+        debug_assert_eq!(rows.len(), nf * out.len());
+        for row in rows.chunks_exact_mut(nf) {
+            self.clf.normalizer.apply(row);
+        }
+        // Fill depth varies with batch width and volume extent, so this is a
+        // runtime counter (stripped from stable traces).
+        obs::counter_runtime("extract.batch.fill", out.len() as u64);
+        match &self.clf.engine {
+            LearningEngine::NeuralNet(net) => {
+                net.predict_batch(rows, scratch, outs);
+                out.copy_from_slice(outs);
+            }
+            LearningEngine::SupportVector(svm) => {
+                for (o, row) in out.iter_mut().zip(rows.chunks_exact(nf)) {
+                    *o = svm.predict(row);
+                }
+            }
+        }
+    }
+
+    /// Certainties for the run of `out.len()` voxels starting at `(x0, y, z)`
+    /// along x of a scalar frame.
+    fn predict_run_into(
         &mut self,
-        frame: &MultiVolume,
-        x: usize,
+        frame: &ScalarVolume,
+        x0: usize,
         y: usize,
         z: usize,
         tn: f32,
-    ) -> f32 {
-        let PredictBuffers { features, scratch } = &mut self.bufs;
+        out: &mut [f32],
+    ) {
+        let nf = self.clf.extractor.num_features();
         self.clf
             .extractor
-            .vector_multi_into(frame, x, y, z, tn, features);
-        self.clf.normalizer.apply(features);
-        Self::predict_engine(&self.clf.engine, features, scratch)
+            .vectors_run_into(frame, x0, out.len(), y, z, tn, &mut self.bufs.rows);
+        self.predict_rows_into(nf, out);
+    }
+
+    /// Certainties for the run of `out.len()` voxels starting at `(x0, y, z)`
+    /// along x of a multivariate frame.
+    fn predict_run_multi_at(
+        &mut self,
+        frame: &MultiVolume,
+        x0: usize,
+        y: usize,
+        z: usize,
+        tn: f32,
+        out: &mut [f32],
+    ) {
+        let nf = self.clf.extractor.num_features_multi(frame.num_vars());
+        self.clf.extractor.vectors_run_multi_into(
+            frame,
+            x0,
+            out.len(),
+            y,
+            z,
+            tn,
+            &mut self.bufs.rows,
+        );
+        self.predict_rows_into(nf, out);
     }
 }
 
@@ -159,7 +223,7 @@ impl Default for ClassifierParams {
 }
 
 /// A trained per-voxel classifier: feature vector → certainty in `[0, 1]`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DataSpaceClassifier {
     extractor: FeatureExtractor,
     normalizer: Normalizer,
@@ -169,6 +233,25 @@ pub struct DataSpaceClassifier {
     /// `None` for scalar models. Determines the expected feature width.
     multi_vars: Option<usize>,
     scratch_pool: ScratchPool,
+    /// Scanline batch width for `classify_*`; 0 = auto. Atomic so the knob
+    /// can be set through shared references (sessions hand out
+    /// `Option<&DataSpaceClassifier>`); like the scratch pool it is runtime
+    /// state, not part of the classifier's identity.
+    batch: AtomicUsize,
+}
+
+impl Clone for DataSpaceClassifier {
+    fn clone(&self) -> Self {
+        Self {
+            extractor: self.extractor.clone(),
+            normalizer: self.normalizer.clone(),
+            engine: self.engine.clone(),
+            final_loss: self.final_loss,
+            multi_vars: self.multi_vars,
+            scratch_pool: self.scratch_pool.clone(),
+            batch: AtomicUsize::new(self.batch.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// The serializable identity of a trained [`DataSpaceClassifier`]: feature
@@ -266,6 +349,9 @@ pub enum TrainError {
     NoPaintedVoxels,
     /// Loading a painted frame from the source failed (paging I/O).
     Source { reason: String },
+    /// The classifier network could not be constructed from the requested
+    /// hyper-parameters (e.g. a zero hidden width).
+    Model { reason: String },
 }
 
 impl From<SeriesError> for TrainError {
@@ -285,6 +371,7 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::NoPaintedVoxels => write!(f, "paint sets contain no voxels"),
             TrainError::Source { reason } => write!(f, "frame source failed: {reason}"),
+            TrainError::Model { reason } => write!(f, "classifier model is invalid: {reason}"),
         }
     }
 }
@@ -351,7 +438,10 @@ impl DataSpaceClassifier {
             Activation::Sigmoid,
             Activation::Sigmoid,
             params.seed,
-        );
+        )
+        .map_err(|e| TrainError::Model {
+            reason: e.to_string(),
+        })?;
         let mut trainer = Trainer::new(TrainParams {
             learning_rate: params.learning_rate,
             momentum: params.momentum,
@@ -367,6 +457,7 @@ impl DataSpaceClassifier {
             final_loss,
             multi_vars: None,
             scratch_pool: ScratchPool::new(),
+            batch: AtomicUsize::new(0),
         })
     }
 
@@ -394,6 +485,7 @@ impl DataSpaceClassifier {
             final_loss,
             multi_vars: None,
             scratch_pool: ScratchPool::new(),
+            batch: AtomicUsize::new(0),
         })
     }
 
@@ -402,6 +494,27 @@ impl DataSpaceClassifier {
         PooledPredictor {
             clf: self,
             bufs: self.scratch_pool.take(),
+        }
+    }
+
+    /// Batch width used when [`Self::set_batch`] leaves the knob on auto.
+    pub const AUTO_BATCH: usize = 64;
+
+    /// Set the scanline batch width (voxel rows per batched inference pass)
+    /// used by every `classify_*` entry point. `0` restores auto, currently
+    /// [`Self::AUTO_BATCH`]. Output is bit-identical at every width; the
+    /// knob only trades per-call overhead against buffer footprint. Takes
+    /// `&self` so it can be applied through a session's shared classifier
+    /// reference.
+    pub fn set_batch(&self, rows: usize) {
+        self.batch.store(rows, Ordering::Relaxed);
+    }
+
+    /// Effective scanline batch width (auto resolved).
+    pub fn batch_rows(&self) -> usize {
+        match self.batch.load(Ordering::Relaxed) {
+            0 => Self::AUTO_BATCH,
+            n => n,
         }
     }
 
@@ -463,6 +576,7 @@ impl DataSpaceClassifier {
             final_loss: snap.final_loss,
             multi_vars: snap.multi_vars,
             scratch_pool: ScratchPool::new(),
+            batch: AtomicUsize::new(0),
         })
     }
 
@@ -540,7 +654,10 @@ impl DataSpaceClassifier {
             Activation::Sigmoid,
             Activation::Sigmoid,
             params.seed,
-        );
+        )
+        .map_err(|e| TrainError::Model {
+            reason: e.to_string(),
+        })?;
         let mut trainer = Trainer::new(TrainParams {
             learning_rate: params.learning_rate,
             momentum: params.momentum,
@@ -555,6 +672,7 @@ impl DataSpaceClassifier {
             final_loss,
             multi_vars: Some(mseries.names().len()),
             scratch_pool: ScratchPool::new(),
+            batch: AtomicUsize::new(0),
         })
     }
 
@@ -563,6 +681,7 @@ impl DataSpaceClassifier {
         let _span = obs::span("extract.classify_frame");
         let d = frame.dims();
         let slab = d.nx * d.ny;
+        let b = self.batch_rows();
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
             // Declared first so the flush runs after the predictor returns
@@ -570,8 +689,9 @@ impl DataSpaceClassifier {
             let _flush = obs::flush_guard();
             let mut predictor = self.predictor();
             for y in 0..d.ny {
-                for x in 0..d.nx {
-                    out[x + d.nx * y] = predictor.predict_multi_at(frame, x, y, z, t_norm);
+                let row = &mut out[d.nx * y..d.nx * (y + 1)];
+                for (ci, chunk) in row.chunks_mut(b).enumerate() {
+                    predictor.predict_run_multi_at(frame, ci * b, y, z, t_norm, chunk);
                 }
             }
             obs::counter("voxels_classified", out.len() as u64);
@@ -603,6 +723,7 @@ impl DataSpaceClassifier {
         let _span = obs::span("extract.classify_frame");
         let d = frame.dims();
         let slab = d.nx * d.ny;
+        let b = self.batch_rows();
         let mut data = vec![0.0f32; d.len()];
         data.par_chunks_mut(slab).enumerate().for_each(|(z, out)| {
             // Declared first so the flush runs after the predictor returns
@@ -610,8 +731,9 @@ impl DataSpaceClassifier {
             let _flush = obs::flush_guard();
             let mut predictor = self.predictor();
             for y in 0..d.ny {
-                for x in 0..d.nx {
-                    out[x + d.nx * y] = predictor.predict_at(frame, x, y, z, t_norm);
+                let row = &mut out[d.nx * y..d.nx * (y + 1)];
+                for (ci, chunk) in row.chunks_mut(b).enumerate() {
+                    predictor.predict_run_into(frame, ci * b, y, z, t_norm, chunk);
                 }
             }
             obs::counter("voxels_classified", out.len() as u64);
@@ -680,12 +802,15 @@ impl DataSpaceClassifier {
         // already saturates the pool for multi-frame series.
         let _ = t;
         let d = frame.dims();
+        let b = self.batch_rows();
         let mut predictor = self.predictor();
-        let mut data = Vec::with_capacity(d.len());
+        let mut data = vec![0.0f32; d.len()];
         for z in 0..d.nz {
             for y in 0..d.ny {
-                for x in 0..d.nx {
-                    data.push(predictor.predict_at(frame, x, y, z, tn));
+                let at = d.nx * (y + d.ny * z);
+                let row = &mut data[at..at + d.nx];
+                for (ci, chunk) in row.chunks_mut(b).enumerate() {
+                    predictor.predict_run_into(frame, ci * b, y, z, tn, chunk);
                 }
             }
         }
@@ -1043,6 +1168,71 @@ mod tests {
             svm.classify_frame(&vol, 0.0).as_slice(),
             svm.classify_frame_uncached(&vol, 0.0).as_slice()
         );
+    }
+
+    #[test]
+    fn batched_classify_bit_identical_across_batch_widths() {
+        // classify_frame_uncached is the per-voxel scalar reference; every
+        // batch width (including 1, an odd width, and widths larger than the
+        // x extent) must reproduce it bit for bit.
+        let (clf, vol, _, _) = trained_on_scene();
+        let reference = clf.classify_frame_uncached(&vol, 0.0);
+        for b in [1usize, 7, 16, 64, 101] {
+            clf.set_batch(b);
+            let got = clf.classify_frame(&vol, 0.0);
+            for (a, r) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(a.to_bits(), r.to_bits(), "batch width {b}");
+            }
+        }
+        clf.set_batch(0);
+        assert_eq!(clf.batch_rows(), DataSpaceClassifier::AUTO_BATCH);
+    }
+
+    #[test]
+    fn batched_multi_classify_invariant_to_batch_width() {
+        let (ms, truth) = joint_scene(24);
+        let mut oracle = PaintOracle::new(8);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 120, 120);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell: ShellMode::None,
+            shell_radius: 1.0,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train_multi(fx, &ms, &[paints], ClassifierParams::default())
+            .unwrap();
+        clf.set_batch(1);
+        let per_voxel = clf.classify_frame_multi(ms.frame(0), 0.0);
+        for b in [3usize, 64] {
+            clf.set_batch(b);
+            assert_eq!(
+                clf.classify_frame_multi(ms.frame(0), 0.0).as_slice(),
+                per_voxel.as_slice(),
+                "batch width {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_hidden_width_is_model_error() {
+        let (vol, truth) = size_scene(8);
+        let series = TimeSeries::from_frames(vec![(0, vol)]);
+        let mut oracle = PaintOracle::new(1);
+        oracle.slice_stride = 1;
+        let paints = oracle.paint_from_truth(0, &truth, 10, 10);
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let err = DataSpaceClassifier::train(
+            fx,
+            &series,
+            &[paints],
+            ClassifierParams {
+                hidden: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::Model { .. }), "{err:?}");
+        assert!(err.to_string().contains("zero"), "{err}");
     }
 
     #[test]

@@ -131,6 +131,18 @@ impl FeatureExtractor {
         out: &mut Vec<f32>,
     ) {
         out.clear();
+        self.append_one(vol, x, y, z, t_norm, out);
+    }
+
+    fn append_one(
+        &self,
+        vol: &ScalarVolume,
+        x: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+        out: &mut Vec<f32>,
+    ) {
         if self.spec.value {
             out.push(*vol.get(x, y, z));
         }
@@ -152,6 +164,29 @@ impl FeatureExtractor {
         }
         if self.spec.time {
             out.push(t_norm);
+        }
+    }
+
+    /// Assemble feature rows for the run of `len` voxels starting at
+    /// `(x0, y, z)` along x, appending `len * num_features()` values to
+    /// `out` (cleared first). Each row is assembled by the exact same code
+    /// as [`FeatureExtractor::vector_into`], so batched rows are
+    /// bit-identical to per-voxel rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vectors_run_into(
+        &self,
+        vol: &ScalarVolume,
+        x0: usize,
+        len: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.reserve(len * self.num_features());
+        for x in x0..x0 + len {
+            self.append_one(vol, x, y, z, t_norm, out);
         }
     }
 
@@ -186,6 +221,18 @@ impl FeatureExtractor {
     ) {
         assert!(mv.num_vars() > 0, "multivariate volume has no variables");
         out.clear();
+        self.append_one_multi(mv, x, y, z, t_norm, out);
+    }
+
+    fn append_one_multi(
+        &self,
+        mv: &ifet_volume::MultiVolume,
+        x: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+        out: &mut Vec<f32>,
+    ) {
         if self.spec.value {
             mv.values_at_into(x, y, z, out);
         }
@@ -211,6 +258,27 @@ impl FeatureExtractor {
         }
         if self.spec.time {
             out.push(t_norm);
+        }
+    }
+
+    /// Multivariate analogue of [`FeatureExtractor::vectors_run_into`]:
+    /// rows for the run of `len` voxels starting at `(x0, y, z)` along x.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vectors_run_multi_into(
+        &self,
+        mv: &ifet_volume::MultiVolume,
+        x0: usize,
+        len: usize,
+        y: usize,
+        z: usize,
+        t_norm: f32,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(mv.num_vars() > 0, "multivariate volume has no variables");
+        out.clear();
+        out.reserve(len * self.num_features_multi(mv.num_vars()));
+        for x in x0..x0 + len {
+            self.append_one_multi(mv, x, y, z, t_norm, out);
         }
     }
 
@@ -379,6 +447,48 @@ mod tests {
         fx.vector_multi_into(&mv, 3, 4, 5, 0.5, &mut multi);
         let single = fx.vector(&vol, 3, 4, 5, 0.5);
         assert_eq!(multi, single);
+    }
+
+    #[test]
+    fn run_rows_bit_identical_to_per_voxel() {
+        let fx = FeatureExtractor::new(FeatureSpec {
+            position: true,
+            ..Default::default()
+        });
+        let v = vol_ball(16, 4.0);
+        let nf = fx.num_features();
+        let mut run = Vec::new();
+        fx.vectors_run_into(&v, 2, 9, 5, 7, 0.3, &mut run);
+        assert_eq!(run.len(), 9 * nf);
+        let mut one = Vec::new();
+        for (i, x) in (2..11).enumerate() {
+            fx.vector_into(&v, x, 5, 7, 0.3, &mut one);
+            for (a, b) in run[i * nf..(i + 1) * nf].iter().zip(&one) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_rows_multi_bit_identical_to_per_voxel() {
+        use ifet_volume::MultiVolume;
+        let d = Dims3::cube(12);
+        let mut mv = MultiVolume::new(d);
+        mv.add("a", ScalarVolume::from_fn(d, |x, y, z| (x + y * z) as f32));
+        mv.add(
+            "b",
+            ScalarVolume::from_fn(d, |x, y, z| (x * 2 + y + z) as f32),
+        );
+        let fx = FeatureExtractor::new(FeatureSpec::default());
+        let nf = fx.num_features_multi(2);
+        let mut run = Vec::new();
+        fx.vectors_run_multi_into(&mv, 1, 7, 4, 6, 0.6, &mut run);
+        assert_eq!(run.len(), 7 * nf);
+        let mut one = Vec::new();
+        for (i, x) in (1..8).enumerate() {
+            fx.vector_multi_into(&mv, x, 4, 6, 0.6, &mut one);
+            assert_eq!(&run[i * nf..(i + 1) * nf], one.as_slice());
+        }
     }
 
     #[test]

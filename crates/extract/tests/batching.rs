@@ -1,0 +1,114 @@
+//! The batching gate: SoA-batched classification must be a pure throughput
+//! knob. Bit-identity against the per-voxel scalar path is checked across
+//! randomized batch widths (including 1, odd widths, and widths that leave
+//! odd tails) and worker counts, and stable traces must not move when
+//! batching is turned on.
+
+use ifet_extract::{
+    ClassifierParams, DataSpaceClassifier, FeatureExtractor, FeatureSpec, PaintOracle,
+};
+use ifet_obs as obs;
+use ifet_volume::{Dims3, Mask3, ScalarVolume, TimeSeries};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A two-ball scene and a classifier trained on it, built once and shared:
+/// training is the expensive part and every case only re-classifies.
+fn trained() -> &'static (DataSpaceClassifier, ScalarVolume, ScalarVolume) {
+    static CELL: OnceLock<(DataSpaceClassifier, ScalarVolume, ScalarVolume)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let d = Dims3::cube(14);
+        let ball = |x: usize, y: usize, z: usize, cx: f32, r: f32| {
+            ((x as f32 - cx).powi(2) + (y as f32 - 7.0).powi(2) + (z as f32 - 7.0).powi(2)).sqrt()
+                < r
+        };
+        let vol = ScalarVolume::from_fn(d, |x, y, z| {
+            if ball(x, y, z, 4.0, 3.0) || ball(x, y, z, 10.0, 1.5) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let truth = Mask3::from_fn(d, |x, y, z| ball(x, y, z, 4.0, 3.0));
+        let series = TimeSeries::from_frames(vec![(0, vol.clone())]);
+        let mut oracle = PaintOracle::new(11);
+        oracle.slice_stride = 2;
+        let paints = oracle.paint_from_truth(0, &truth, 80, 80);
+        let fx = FeatureExtractor::new(FeatureSpec {
+            shell_radius: 3.0,
+            position: true,
+            ..Default::default()
+        });
+        let clf = DataSpaceClassifier::train(
+            fx,
+            &series,
+            &[paints],
+            ClassifierParams {
+                epochs: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The scalar per-voxel reference, computed once, single-threaded.
+        let reference = clf.classify_frame_uncached(&vol, 0.0);
+        (clf, vol, reference)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched ≡ scalar, bit for bit, for any batch width (1, odd widths,
+    /// widths leaving odd tails, widths past the x extent) at any worker
+    /// count. The batch width is a throughput knob only.
+    #[test]
+    fn batched_classification_is_bit_identical(
+        batch in prop_oneof![Just(1usize), Just(7), Just(64), 2usize..130],
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let (clf, vol, reference) = trained();
+        clf.set_batch(batch);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(|| clf.classify_frame(vol, 0.0));
+        clf.set_batch(0);
+        for (i, (a, r)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(),
+                r.to_bits(),
+                "voxel {} diverged at batch {} threads {}",
+                i,
+                batch,
+                threads
+            );
+        }
+    }
+}
+
+/// Stable traces are the determinism contract: the batch fill counters are
+/// runtime-only, so turning batching on (at any width) must leave the stable
+/// trace bytes untouched.
+#[test]
+fn stable_traces_unchanged_by_batching() {
+    let (clf, vol, _) = trained();
+    let trace_at = |batch: usize| -> String {
+        clf.set_batch(batch);
+        let (_, trace) = obs::capture("batching.gate", || clf.classify_frame(vol, 0.0));
+        clf.set_batch(0);
+        trace.to_stable().to_json()
+    };
+    let reference = trace_at(1);
+    assert!(
+        reference.contains("voxels_classified"),
+        "gate must actually observe classification counters: {reference}"
+    );
+    for batch in [7usize, 64, 101] {
+        assert_eq!(
+            trace_at(batch),
+            reference,
+            "stable trace moved at batch width {batch}"
+        );
+    }
+}

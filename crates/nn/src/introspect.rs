@@ -98,7 +98,8 @@ pub fn drop_input(net: &Mlp, k: usize) -> Mlp {
     // networks this workspace builds).
     let hidden_act = layers[0].activation_kind();
     let out_act = layers.last().unwrap().activation_kind();
-    let mut new = Mlp::new(&sizes, hidden_act, out_act, 0);
+    let mut new = Mlp::new(&sizes, hidden_act, out_act, 0)
+        .expect("sizes derived from a valid network are valid");
 
     for (li, layer) in layers.iter().enumerate() {
         for o in 0..layer.n_out() {

@@ -32,7 +32,7 @@ pub mod train;
 pub const SCHEMA_VERSION: u32 = 1;
 
 pub use activation::Activation;
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpShapeError, BATCH_LANES};
 pub use normalize::Normalizer;
 pub use svm::{Kernel, Svm, SvmParams};
 pub use train::{IncrementalTrainer, TrainParams, Trainer, TrainingSet};

@@ -61,10 +61,28 @@ impl Layer {
     }
 
     /// Forward one layer: `out` must have length `n_out`.
+    ///
+    /// The length checks are hard asserts: the accumulation below zips the
+    /// weight row against the input, which would silently truncate on a
+    /// mismatch and return garbage instead of failing. A malformed network
+    /// (e.g. a corrupted artifact that skipped [`Mlp::validate_shape`]) must
+    /// die here, in every build profile, not mispredict.
     #[inline]
     pub(crate) fn forward_into(&self, input: &[f32], out: &mut [f32]) {
-        debug_assert_eq!(input.len(), self.n_in);
-        debug_assert_eq!(out.len(), self.n_out);
+        assert_eq!(
+            input.len(),
+            self.n_in,
+            "layer input length {} != layer width {}",
+            input.len(),
+            self.n_in
+        );
+        assert_eq!(
+            out.len(),
+            self.n_out,
+            "layer output length {} != layer neuron count {}",
+            out.len(),
+            self.n_out
+        );
         for (o, out_v) in out.iter_mut().enumerate() {
             let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
             let mut acc = self.biases[o];
@@ -74,7 +92,89 @@ impl Layer {
             *out_v = self.activation.apply(acc);
         }
     }
+
+    /// Batched forward: `input` packs `rows` samples feature-major
+    /// (`input[i * rows + b]` is feature `i` of sample `b`), `out` receives
+    /// the activations in the same structure-of-arrays layout
+    /// (`out[o * rows + b]`).
+    ///
+    /// Per sample the accumulation visits inputs in exactly the order of
+    /// [`Self::forward_into`] — bias first, then features ascending — so
+    /// every sample's result is bit-identical to a scalar pass. The batch
+    /// dimension only widens the innermost loop into [`BATCH_LANES`]-wide
+    /// chunks of independent multiply-adds that the autovectorizer lifts to
+    /// SIMD.
+    pub(crate) fn forward_batch_into(&self, input: &[f32], rows: usize, out: &mut [f32]) {
+        assert_eq!(
+            input.len(),
+            self.n_in * rows,
+            "batched layer input length {} != {} x {rows} rows",
+            input.len(),
+            self.n_in
+        );
+        assert_eq!(
+            out.len(),
+            self.n_out * rows,
+            "batched layer output length {} != {} x {rows} rows",
+            out.len(),
+            self.n_out
+        );
+        if rows == 0 {
+            return;
+        }
+        for o in 0..self.n_out {
+            let wrow = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let out_row = &mut out[o * rows..(o + 1) * rows];
+            out_row.fill(self.biases[o]);
+            for (in_row, &w) in input.chunks_exact(rows).zip(wrow) {
+                let mut acc = out_row.chunks_exact_mut(BATCH_LANES);
+                let mut xs = in_row.chunks_exact(BATCH_LANES);
+                for (a, x) in acc.by_ref().zip(xs.by_ref()) {
+                    for l in 0..BATCH_LANES {
+                        a[l] += w * x[l];
+                    }
+                }
+                for (a, &x) in acc.into_remainder().iter_mut().zip(xs.remainder()) {
+                    *a += w * x;
+                }
+            }
+            for a in out_row.iter_mut() {
+                *a = self.activation.apply(*a);
+            }
+        }
+    }
 }
+
+/// Fixed chunk width of the batched accumulation kernels. Eight `f32` lanes
+/// fill one AVX2 register and two NEON registers; the remainder loop handles
+/// odd tails.
+pub const BATCH_LANES: usize = 8;
+
+/// Why an [`Mlp`] could not be constructed from the requested layer sizes.
+/// Construction is reachable from user-supplied hyper-parameters (CLI flags,
+/// session artifacts), so bad shapes are reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlpShapeError {
+    /// Fewer than two sizes — a network needs at least input and output widths.
+    TooFewLayers { got: usize },
+    /// `sizes[index]` is zero.
+    ZeroLayerSize { index: usize },
+}
+
+impl std::fmt::Display for MlpShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlpShapeError::TooFewLayers { got } => {
+                write!(f, "need at least input and output layer sizes, got {got}")
+            }
+            MlpShapeError::ZeroLayerSize { index } => {
+                write!(f, "layer size {index} is zero; every layer needs neurons")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlpShapeError {}
 
 /// A feed-forward multi-layer perceptron.
 ///
@@ -90,12 +190,22 @@ impl Mlp {
     /// Build a network with the given layer sizes (`sizes[0]` inputs,
     /// `sizes.last()` outputs), hidden activation `hidden_act` and output
     /// activation `output_act`, deterministically initialized from `seed`.
-    pub fn new(sizes: &[usize], hidden_act: Activation, output_act: Activation, seed: u64) -> Self {
-        assert!(
-            sizes.len() >= 2,
-            "need at least input and output layer sizes"
-        );
-        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be non-zero");
+    ///
+    /// Sizes arrive from user-facing configuration (classifier
+    /// hyper-parameters, CLI flags), so malformed shapes are a typed
+    /// [`MlpShapeError`] rather than a panic.
+    pub fn new(
+        sizes: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        seed: u64,
+    ) -> Result<Self, MlpShapeError> {
+        if sizes.len() < 2 {
+            return Err(MlpShapeError::TooFewLayers { got: sizes.len() });
+        }
+        if let Some(index) = sizes.iter().position(|&s| s == 0) {
+            return Err(MlpShapeError::ZeroLayerSize { index });
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = sizes.len() - 1;
         let layers = (0..n)
@@ -104,7 +214,7 @@ impl Mlp {
                 Layer::new(sizes[i], sizes[i + 1], act, &mut rng)
             })
             .collect();
-        Self { layers }
+        Ok(Self { layers })
     }
 
     /// The paper's default: `inputs -> hidden (sigmoid) -> 1 output (sigmoid)`.
@@ -123,6 +233,7 @@ impl Mlp {
             Activation::Sigmoid,
             seed,
         )
+        .expect("three_layer needs non-zero input and hidden widths")
     }
 
     /// Number of input features.
@@ -209,6 +320,64 @@ impl Mlp {
         self.forward_scratch(input, scratch)[0]
     }
 
+    /// Batched forward pass over `inputs`, which packs whole feature rows
+    /// back-to-back (`inputs[b * n_in + i]`, i.e. ordinary row-major layout).
+    /// Returns the last layer's activations feature-major:
+    /// `out[o * rows + b]` is output `o` of row `b`.
+    ///
+    /// Each row's arithmetic replays [`Self::forward_scratch`] operation for
+    /// operation (same accumulation order, same activation calls), so the
+    /// batched result is bit-identical to `rows` scalar passes — batching is
+    /// purely a throughput optimization. See `forward_batch_into` for the
+    /// SIMD-friendly kernel shape.
+    pub fn forward_batch<'s>(&self, inputs: &[f32], scratch: &'s mut Scratch) -> &'s [f32] {
+        let n_in = self.input_size();
+        assert_eq!(
+            inputs.len() % n_in,
+            0,
+            "batched input length {} is not a multiple of network input size {n_in}",
+            inputs.len()
+        );
+        let rows = inputs.len() / n_in;
+        scratch.ensure_batch(self, rows);
+        // Transpose the rows into the structure-of-arrays staging buffer so
+        // each layer kernel streams contiguous per-feature lanes.
+        for (b, row) in inputs.chunks_exact(n_in).enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                scratch.input_soa[i * rows + b] = v;
+            }
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (done, todo) = scratch.batch.split_at_mut(li);
+            let layer_input: &[f32] = if li == 0 {
+                &scratch.input_soa
+            } else {
+                &done[li - 1]
+            };
+            layer.forward_batch_into(layer_input, rows, &mut todo[0]);
+        }
+        // Row throughput depends on the caller's batch configuration, so it
+        // is a runtime counter (stripped from stable traces).
+        ifet_obs::counter_runtime("nn.batch.rows", rows as u64);
+        scratch.batch.last().map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Batched [`Self::predict1`]: classify `rows` packed feature rows into
+    /// `out` (cleared first), one certainty per row, bit-identical to calling
+    /// `predict1` on each row.
+    pub fn predict_batch(&self, inputs: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        assert_eq!(
+            self.output_size(),
+            1,
+            "predict_batch needs a single-output network, this one has {} outputs",
+            self.output_size()
+        );
+        out.clear();
+        // A single output neuron makes the SoA result exactly the per-row
+        // certainty vector.
+        out.extend_from_slice(self.forward_batch(inputs, scratch));
+    }
+
     /// Check the structural invariants a deserialized network must satisfy
     /// before it is safe to run: non-empty layer stack, non-zero layer sizes,
     /// weight/bias buffers of exactly the advertised shape, and consecutive
@@ -271,10 +440,16 @@ impl Mlp {
     }
 }
 
-/// Reusable forward-pass buffers: one activation vector per layer.
+/// Reusable forward-pass buffers: one activation vector per layer for the
+/// scalar path, plus structure-of-arrays buffers for the batched path
+/// (`batch[li][o * rows + b]`). Both self-size on first use and coexist in
+/// one scratch so pooled predictors carry a single object.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
     activations: Vec<Vec<f32>>,
+    batch: Vec<Vec<f32>>,
+    input_soa: Vec<f32>,
+    batch_rows: usize,
 }
 
 impl Scratch {
@@ -297,6 +472,25 @@ impl Scratch {
         }
     }
 
+    fn ensure_batch(&mut self, net: &Mlp, rows: usize) {
+        if self.batch.len() != net.layers.len()
+            || self.batch_rows != rows
+            || self
+                .batch
+                .iter()
+                .zip(&net.layers)
+                .any(|(a, l)| a.len() != l.n_out * rows)
+        {
+            self.batch = net
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.n_out * rows])
+                .collect();
+            self.batch_rows = rows;
+        }
+        self.input_soa.resize(net.input_size() * rows, 0.0);
+    }
+
     /// The last layer's activations from the most recent forward pass.
     pub fn output(&self) -> &[f32] {
         self.activations.last().map(|v| v.as_slice()).unwrap_or(&[])
@@ -314,7 +508,7 @@ mod tests {
 
     #[test]
     fn construction_shapes() {
-        let net = Mlp::new(&[3, 8, 2], Activation::Sigmoid, Activation::Identity, 42);
+        let net = Mlp::new(&[3, 8, 2], Activation::Sigmoid, Activation::Identity, 42).unwrap();
         assert_eq!(net.input_size(), 3);
         assert_eq!(net.output_size(), 2);
         assert_eq!(net.layer_sizes(), vec![3, 8, 2]);
@@ -328,15 +522,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn too_few_layers_panics() {
-        let _ = Mlp::new(&[4], Activation::Sigmoid, Activation::Sigmoid, 0);
+    fn bad_sizes_are_typed_errors() {
+        let too_few = Mlp::new(&[4], Activation::Sigmoid, Activation::Sigmoid, 0).unwrap_err();
+        assert_eq!(too_few, MlpShapeError::TooFewLayers { got: 1 });
+        assert!(too_few.to_string().contains("at least"));
+
+        let zero = Mlp::new(&[4, 0, 1], Activation::Sigmoid, Activation::Sigmoid, 0).unwrap_err();
+        assert_eq!(zero, MlpShapeError::ZeroLayerSize { index: 1 });
+        assert!(zero.to_string().contains("zero"));
     }
 
     #[test]
     #[should_panic]
-    fn zero_layer_size_panics() {
-        let _ = Mlp::new(&[4, 0, 1], Activation::Sigmoid, Activation::Sigmoid, 0);
+    fn three_layer_zero_hidden_panics() {
+        let _ = Mlp::three_layer(4, 0, 0);
     }
 
     #[test]
@@ -358,7 +557,7 @@ mod tests {
 
     #[test]
     fn forward_scratch_matches_forward() {
-        let net = Mlp::new(&[2, 4, 4, 2], Activation::Tanh, Activation::Identity, 3);
+        let net = Mlp::new(&[2, 4, 4, 2], Activation::Tanh, Activation::Identity, 3).unwrap();
         let x = [0.3, -0.7];
         let a = net.forward(&x);
         let mut s = Scratch::for_net(&net);
@@ -379,7 +578,7 @@ mod tests {
     #[test]
     fn identity_single_layer_is_affine() {
         // One linear layer must compute exactly W x + b.
-        let mut net = Mlp::new(&[2, 1], Activation::Sigmoid, Activation::Identity, 0);
+        let mut net = Mlp::new(&[2, 1], Activation::Sigmoid, Activation::Identity, 0).unwrap();
         net.layers_mut()[0].weights = vec![2.0, -1.0];
         net.layers_mut()[0].biases = vec![0.5];
         let y = net.forward(&[3.0, 4.0]);
@@ -420,9 +619,104 @@ mod tests {
     #[test]
     fn scratch_resizes_for_different_net() {
         let a = Mlp::three_layer(2, 3, 0);
-        let b = Mlp::new(&[2, 7, 2], Activation::Sigmoid, Activation::Sigmoid, 1);
+        let b = Mlp::new(&[2, 7, 2], Activation::Sigmoid, Activation::Sigmoid, 1).unwrap();
         let mut s = Scratch::for_net(&a);
         let _ = b.forward_scratch(&[0.1, 0.2], &mut s);
         assert_eq!(s.output().len(), 2);
+    }
+
+    /// Deterministic pseudo-random feature rows covering negatives, zeros,
+    /// and values past the activations' saturation knees.
+    fn test_rows(rows: usize, n_in: usize) -> Vec<f32> {
+        (0..rows * n_in)
+            .map(|k| ((k * 37 + 11) % 101) as f32 / 20.0 - 2.5)
+            .collect()
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_scalar() {
+        let net = Mlp::new(&[5, 9, 4, 2], Activation::Tanh, Activation::Sigmoid, 11).unwrap();
+        // Sizes straddle the 8-lane chunk width: 1, a full chunk, odd tails,
+        // and multiples.
+        for rows in [1usize, 2, 7, 8, 9, 16, 33, 64] {
+            let inputs = test_rows(rows, 5);
+            let mut scratch = Scratch::for_net(&net);
+            let out = net.forward_batch(&inputs, &mut scratch).to_vec();
+            assert_eq!(out.len(), 2 * rows);
+            for b in 0..rows {
+                let expect = net.forward(&inputs[b * 5..(b + 1) * 5]);
+                for o in 0..2 {
+                    assert_eq!(
+                        out[o * rows + b].to_bits(),
+                        expect[o].to_bits(),
+                        "row {b} output {o} diverged at batch {rows}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_predict1() {
+        let net = Mlp::three_layer(6, 12, 77);
+        for rows in [1usize, 7, 13, 64] {
+            let inputs = test_rows(rows, 6);
+            let mut scratch = Scratch::for_net(&net);
+            let mut out = Vec::new();
+            net.predict_batch(&inputs, &mut scratch, &mut out);
+            assert_eq!(out.len(), rows);
+            let mut reference = Scratch::for_net(&net);
+            for (b, row) in inputs.chunks_exact(6).enumerate() {
+                assert_eq!(
+                    out[b].to_bits(),
+                    net.predict1(row, &mut reference).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_and_scalar_paths_share_scratch() {
+        // Interleaving scalar and batched passes through one scratch must
+        // not corrupt either: the buffers are disjoint.
+        let net = Mlp::three_layer(4, 8, 5);
+        let mut s = Scratch::for_net(&net);
+        let x = [0.3, -0.1, 0.8, 0.2];
+        let scalar = net.predict1(&x, &mut s);
+        let inputs = test_rows(9, 4);
+        let mut out = Vec::new();
+        net.predict_batch(&inputs, &mut s, &mut out);
+        assert_eq!(scalar.to_bits(), net.predict1(&x, &mut s).to_bits());
+        let mut out2 = Vec::new();
+        net.predict_batch(&inputs, &mut s, &mut out2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn forward_batch_empty_input_yields_empty_output() {
+        let net = Mlp::three_layer(3, 4, 0);
+        let mut s = Scratch::for_net(&net);
+        assert!(net.forward_batch(&[], &mut s).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_batch_rejects_ragged_input() {
+        let net = Mlp::three_layer(3, 4, 0);
+        let mut s = Scratch::for_net(&net);
+        // 5 values cannot split into rows of 3.
+        let _ = net.forward_batch(&[0.0; 5], &mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer input length")]
+    fn mismatched_layer_chain_panics_instead_of_truncating() {
+        // Regression: a malformed network whose layer chain disagrees used to
+        // zip-truncate in release builds and return garbage predictions. The
+        // length invariant is now a hard assert in every profile.
+        let mut net = Mlp::new(&[2, 3, 1], Activation::Sigmoid, Activation::Sigmoid, 0).unwrap();
+        net.layers[1].n_in = 4;
+        net.layers[1].weights = vec![0.25; 4];
+        let _ = net.forward(&[0.1, 0.2]);
     }
 }

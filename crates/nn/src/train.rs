@@ -568,7 +568,7 @@ mod tests {
     #[test]
     fn learns_linear_regression() {
         // Identity output layer can fit y = 0.5 x0 - 0.25 x1 + 0.1.
-        let mut net = Mlp::new(&[2, 6, 1], Activation::Tanh, Activation::Identity, 5);
+        let mut net = Mlp::new(&[2, 6, 1], Activation::Tanh, Activation::Identity, 5).unwrap();
         let mut tr = Trainer::new(TrainParams {
             learning_rate: 0.05,
             momentum: 0.8,

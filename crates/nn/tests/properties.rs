@@ -26,7 +26,7 @@ proptest! {
 
     #[test]
     fn scratch_reuse_equals_fresh(input in small_input(), seed in any::<u64>()) {
-        let net = Mlp::new(&[3, 6, 4, 2], Activation::Tanh, Activation::Identity, seed);
+        let net = Mlp::new(&[3, 6, 4, 2], Activation::Tanh, Activation::Identity, seed).unwrap();
         let fresh = net.forward(&input);
         let mut scratch = Scratch::for_net(&net);
         // Warm the scratch with a different input first.

@@ -19,4 +19,4 @@ pub mod slice_view;
 
 pub use camera::Camera;
 pub use image::Image;
-pub use raycast::{render_tracking_overlay, RenderParams, Renderer};
+pub use raycast::{render_tracking_overlay, RenderParams, Renderer, AUTO_PACKET, MAX_PACKET};

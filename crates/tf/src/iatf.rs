@@ -124,7 +124,8 @@ impl IatfBuilder {
             Activation::Sigmoid,
             Activation::Sigmoid,
             self.params.seed,
-        );
+        )
+        .expect("IATF network shape is [3, hidden, 1] with hidden >= 1");
         let mut inc = IncrementalTrainer::new(
             net,
             TrainParams {

@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifet_track::{grow_4d, FixedBandCriterion, Seed4};
-use ifet_volume::io::write_series;
+use ifet_volume::io::{write_series, write_series_with};
 use ifet_volume::{
     map_frames_windowed, CacheBudgetHandle, Dims3, OutOfCoreSeries, ScalarVolume, TimeSeries,
 };
@@ -172,10 +172,73 @@ fn bench_grow_paged(c: &mut Criterion) {
     g.finish();
 }
 
+/// Storage-flavor axis: the sequential sweep over raw copying reads,
+/// compressed (`.rawz`) frames decoded on page-in, and zero-copy mmap —
+/// all at cache capacity 2. Setup doubles as the `--compress` density
+/// smoke: charged at compressed size, the same byte budget must page at
+/// least twice the frames the raw series does on this sphere fixture.
+fn bench_storage_flavors(c: &mut Criterion) {
+    let (series, raw_paths) = on_disk();
+    let zdir = std::env::temp_dir().join(format!("ifet_bench_oocz_{}", std::process::id()));
+    std::fs::create_dir_all(&zdir).unwrap();
+    let zpaths = write_series_with(&zdir, "bench", &series, true).unwrap();
+    let expected = sum_in_core(&series);
+    let frame_bytes = series.dims().len() as u64 * 4;
+
+    // Frames-per-byte: the worst compressed frame must fit twice in one
+    // raw frame's bytes...
+    let zmax = zpaths
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .max()
+        .unwrap();
+    assert!(
+        zmax * 2 <= frame_bytes,
+        "compressed frames too large ({zmax} of {frame_bytes} raw bytes): \
+         a byte budget would not hold 2x the frames"
+    );
+    // ...and the paged high-water must confirm it end to end: under the
+    // same two-raw-frame byte budget, the compressed series keeps at least
+    // twice as many frames resident.
+    let budget = 2 * frame_bytes;
+    let raw = OutOfCoreSeries::open_with(raw_paths.clone(), &CacheBudgetHandle::bytes(budget), 0)
+        .unwrap();
+    assert_eq!(sum_paged(&raw), expected, "raw paging changed data");
+    let z =
+        OutOfCoreSeries::open_with(zpaths.clone(), &CacheBudgetHandle::bytes(budget), 0).unwrap();
+    assert_eq!(sum_paged(&z), expected, "codec changed data");
+    let (rhw, zhw) = (
+        raw.stats().resident_high_water,
+        z.stats().resident_high_water,
+    );
+    assert!(
+        zhw >= 2 * rhw,
+        "same {budget}-byte budget held {zhw} compressed frames vs {rhw} raw — \
+         expected at least 2x"
+    );
+
+    let mut g = c.benchmark_group("ooc_storage");
+    g.sample_size(10);
+    let flavors: [(&str, OutOfCoreSeries); 3] = [
+        ("raw", OutOfCoreSeries::open(raw_paths.clone(), 2).unwrap()),
+        ("compressed", OutOfCoreSeries::open(zpaths, 2).unwrap()),
+        (
+            "mmap",
+            OutOfCoreSeries::open_mmap(raw_paths, &CacheBudgetHandle::frames(2), 0).unwrap(),
+        ),
+    ];
+    for (label, ooc) in flavors {
+        assert_eq!(sum_paged(&ooc), expected, "{label} flavor changed data");
+        g.bench_function(label, |b| b.iter(|| black_box(sum_paged(&ooc))));
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential_sweep,
     bench_prefetch_axis,
-    bench_grow_paged
+    bench_grow_paged,
+    bench_storage_flavors
 );
 criterion_main!(benches);

@@ -20,7 +20,7 @@
 use ifet_core::obs;
 use ifet_core::prelude::*;
 use ifet_tf::Iatf;
-use ifet_volume::io::{read_series, write_series};
+use ifet_volume::io::{read_series, write_series_with};
 use ifet_volume::{
     map_frames_windowed, CacheBudget, CacheBudgetHandle, FrameSink, FrameSource, OutOfCoreSeries,
     OutOfCoreSink, SeriesError,
@@ -28,8 +28,10 @@ use ifet_volume::{
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
-/// Options that take no value; `--profile` alone means "print the profile".
-const BOOL_FLAGS: &[&str] = &["profile"];
+/// Options that take no value; `--profile` alone means "print the profile",
+/// `--compress` selects bricked compressed frame output, and `--mmap` pages
+/// raw frames by zero-copy file mapping.
+const BOOL_FLAGS: &[&str] = &["profile", "compress", "mmap"];
 
 /// Parsed command line: subcommand, positional args, `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,13 +162,21 @@ pub fn parse_band(s: &str) -> Result<(f32, f32), String> {
     Ok((lo, hi))
 }
 
-/// Sorted data-frame paths of a series directory (ground-truth companions
-/// written by `generate` are not data frames and are excluded).
+/// Whether a path looks like a frame file: raw `.raw` or compressed `.rawz`.
+fn is_frame_file(p: &Path) -> bool {
+    p.extension()
+        .map(|x| x == "raw" || x == "rawz")
+        .unwrap_or(false)
+}
+
+/// Sorted data-frame paths of a series directory — raw `.raw` and compressed
+/// `.rawz` frames alike (ground-truth companions written by `generate` are
+/// not data frames and are excluded).
 fn frame_paths(dir: &str) -> Result<Vec<PathBuf>, String> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {dir}: {e}"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
+        .filter(|p| is_frame_file(p))
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
@@ -175,7 +185,7 @@ fn frame_paths(dir: &str) -> Result<Vec<PathBuf>, String> {
         })
         .collect();
     if paths.is_empty() {
-        return Err(format!("no .raw frames in {dir}"));
+        return Err(format!("no .raw/.rawz frames in {dir}"));
     }
     paths.sort();
     Ok(paths)
@@ -185,12 +195,23 @@ fn load_series(dir: &str) -> Result<TimeSeries, String> {
     read_series(&frame_paths(dir)?).map_err(|e| format!("failed to load series: {e}"))
 }
 
+/// Parsed out-of-core paging options, bundled so every subcommand threads
+/// them identically.
+#[derive(Debug, Clone, Copy)]
+struct OocOpts {
+    budget: CacheBudget,
+    prefetch: usize,
+    /// Page raw frames by zero-copy `mmap` instead of copying reads.
+    mmap: bool,
+}
+
 /// Parsed out-of-core paging options: `--ooc-cache N` (frame budget) or
-/// `--ooc-cache-bytes B` (byte budget) select the disk-backed path, and
-/// `--prefetch D` adds background read-ahead of up to D frames. The two
-/// budget flags are mutually exclusive, and `--prefetch` is only meaningful
-/// when one of them is present.
-fn ooc_budget_opt(args: &Args) -> Result<Option<(CacheBudget, usize)>, String> {
+/// `--ooc-cache-bytes B` (byte budget) select the disk-backed path,
+/// `--prefetch D` adds background read-ahead of up to D frames, and
+/// `--mmap` pages raw frames zero-copy from the OS page cache. The two
+/// budget flags are mutually exclusive, and `--prefetch`/`--mmap` are only
+/// meaningful when one of them is present.
+fn ooc_budget_opt(args: &Args) -> Result<Option<OocOpts>, String> {
     let budget = match (args.opt("ooc-cache"), args.opt("ooc-cache-bytes")) {
         (Some(_), Some(_)) => {
             return Err("--ooc-cache and --ooc-cache-bytes are mutually exclusive".into())
@@ -216,11 +237,17 @@ fn ooc_budget_opt(args: &Args) -> Result<Option<(CacheBudget, usize)>, String> {
         (None, None) => None,
     };
     let prefetch: usize = args.opt_parse("prefetch", 0usize)?;
+    let mmap = args.flag("mmap");
     match budget {
-        Some(b) => Ok(Some((b, prefetch))),
+        Some(b) => Ok(Some(OocOpts {
+            budget: b,
+            prefetch,
+            mmap,
+        })),
         None if args.opt("prefetch").is_some() => {
             Err("--prefetch needs --ooc-cache N or --ooc-cache-bytes B".into())
         }
+        None if mmap => Err("--mmap needs --ooc-cache N or --ooc-cache-bytes B".into()),
         None => Ok(None),
     }
 }
@@ -232,9 +259,15 @@ fn batch_opt(args: &Args) -> Result<usize, String> {
     args.opt_parse("batch", 0usize)
 }
 
-fn open_ooc(dir: &str, budget: CacheBudget, prefetch: usize) -> Result<OutOfCoreSeries, String> {
-    OutOfCoreSeries::open_with(frame_paths(dir)?, &CacheBudgetHandle::new(budget), prefetch)
-        .map_err(|e| format!("failed to open out-of-core series: {e}"))
+fn open_ooc(dir: &str, opts: OocOpts) -> Result<OutOfCoreSeries, String> {
+    let paths = frame_paths(dir)?;
+    let budget = CacheBudgetHandle::new(opts.budget);
+    let open = if opts.mmap {
+        OutOfCoreSeries::open_mmap(paths, &budget, opts.prefetch)
+    } else {
+        OutOfCoreSeries::open_with(paths, &budget, opts.prefetch)
+    };
+    open.map_err(|e| format!("failed to open out-of-core series: {e}"))
 }
 
 /// Paging summary appended to a command's output. The high-water marks — the
@@ -250,12 +283,15 @@ fn ooc_summary(series: &OutOfCoreSeries) -> String {
         "volume.ooc.resident_high_water_bytes",
         st.resident_high_water_bytes,
     );
-    let head = match series.budget().limit() {
+    let mut head = match series.budget().limit() {
         CacheBudget::Frames(_) => format!("cache capacity {} frames", series.capacity()),
         CacheBudget::Bytes(b) => {
             format!("cache budget {b} bytes (~{} frames)", series.capacity())
         }
     };
+    if series.is_mmap() {
+        head.push_str(", mmap");
+    }
     let mut out = format!(
         "ooc: {head}, resident high-water {}, \
          hits {}, misses {}, evictions {}, {} bytes paged, \
@@ -287,7 +323,7 @@ fn load_truth_series(dir: &str) -> Result<TimeSeries, String> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {dir}: {e}"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
+        .filter(|p| is_frame_file(p))
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
@@ -327,7 +363,8 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
             ))
         }
     };
-    let paths = write_series(Path::new(out), &data.name, &data.series)
+    let compress = args.flag("compress");
+    let paths = write_series_with(Path::new(out), &data.name, &data.series, compress)
         .map_err(|e| format!("write failed: {e}"))?;
     // Ground-truth masks as 0/1 volumes alongside.
     let truth_series = TimeSeries::from_frames(
@@ -338,18 +375,20 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
             .map(|(&t, m)| (t, m.to_volume()))
             .collect(),
     );
-    write_series(
+    write_series_with(
         Path::new(out),
         &format!("{}_truth", data.name),
         &truth_series,
+        compress,
     )
     .map_err(|e| format!("truth write failed: {e}"))?;
     Ok(format!(
-        "wrote {} frames of {} ({}) + ground truth to {}",
+        "wrote {} frames of {} ({}) + ground truth to {}{}",
         paths.len(),
         data.name,
         dims,
-        out
+        out,
+        if compress { " (compressed)" } else { "" }
     ))
 }
 
@@ -452,8 +491,8 @@ pub fn cmd_render(args: &Args) -> Result<String, String> {
 pub fn cmd_track(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
     match ooc_budget_opt(args)? {
-        Some((budget, prefetch)) => {
-            let series = open_ooc(dir, budget, prefetch)?;
+        Some(opts) => {
+            let series = open_ooc(dir, opts)?;
             let mut out = cmd_track_impl(args, &series)?;
             out.push_str(&ooc_summary(&series));
             Ok(out)
@@ -546,8 +585,8 @@ pub fn cmd_session(args: &Args) -> Result<String, String> {
     }
     let dir = args.require("data")?;
     match ooc_budget_opt(args)? {
-        Some((budget, prefetch)) => {
-            let series = open_ooc(dir, budget, prefetch)?;
+        Some(opts) => {
+            let series = open_ooc(dir, opts)?;
             let mut out = match action {
                 "save" => cmd_session_save(args, &series),
                 "load" => cmd_session_load(args, &series),
@@ -776,8 +815,8 @@ fn cmd_session_resume<S: FrameSource>(args: &Args, series: S) -> Result<String, 
 pub fn cmd_classify(args: &Args) -> Result<String, String> {
     let dir = args.require("data")?;
     match ooc_budget_opt(args)? {
-        Some((budget, prefetch)) => {
-            let series = open_ooc(dir, budget, prefetch)?;
+        Some(opts) => {
+            let series = open_ooc(dir, opts)?;
             let mut out = cmd_classify_impl(args, &series)?;
             out.push_str(&ooc_summary(&series));
             Ok(out)
@@ -818,8 +857,9 @@ fn cmd_classify_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, S
     // Both paths stream: certainty frames are summarized (and with `--out`
     // written to disk) as they are produced, never collected into a Vec.
     let (rows, written) = if let Some(outdir) = args.opt("out") {
-        let inner = OutOfCoreSink::new(Path::new(outdir), "certainty")
-            .map_err(|e| format!("write failed: {e}"))?;
+        let inner =
+            OutOfCoreSink::with_compression(Path::new(outdir), "certainty", args.flag("compress"))
+                .map_err(|e| format!("write failed: {e}"))?;
         let mut sink = CoverageSink {
             inner,
             tau,
@@ -926,7 +966,7 @@ pub const USAGE: &str = "\
 ifet — intelligent feature extraction and tracking for 4D flow data
 
 USAGE:
-  ifet generate <dataset> --out DIR [--dims N] [--seed S]
+  ifet generate <dataset> --out DIR [--dims N] [--seed S] [--compress]
   ifet info --data DIR
   ifet train-iatf --data DIR --key T:LO:HI [--key ...] [--epochs N] [--hidden N]
                   --out FILE
@@ -941,8 +981,8 @@ USAGE:
                     [--rounds N] [ooc options]
   ifet session load --data DIR --session FILE [ooc options]
   ifet session resume --data DIR --session FILE [--out FILE] [ooc options]
-  ifet classify --data DIR --session FILE [--tau V] [--out DIR] [--batch N]
-                [ooc options]
+  ifet classify --data DIR --session FILE [--tau V] [--out DIR [--compress]]
+                [--batch N] [ooc options]
   ifet suggest-keys --data DIR [--max N]
 
 batched hot paths (render, track, session save, classify):
@@ -963,6 +1003,15 @@ out-of-core options (track, session, classify):
   --prefetch D          read up to D upcoming frames in the background while
                         the current window computes; in-flight reads are
                         charged against the cache budget, so the bound holds
+  --mmap                page raw frames by zero-copy mmap (borrowing the OS
+                        page cache) instead of copying reads; results are
+                        byte-identical; refuses compressed .rawz series
+
+compressed frame storage (generate, classify --out):
+  --compress            write frames as bricked, CRC-guarded compressed
+                        .rawz containers instead of raw .raw payloads; all
+                        readers decode them transparently and byte budgets
+                        charge frames at their (smaller) compressed size
 
 observability (any subcommand):
   --trace FILE          write a versioned JSON span tree of the run
@@ -1181,7 +1230,7 @@ mod tests {
         );
         let dir = std::env::temp_dir().join(format!("ifet_cli_ooc_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        write_series(&dir, "ooc", &series).unwrap();
+        write_series_with(&dir, "ooc", &series, false).unwrap();
         dir.to_str().unwrap().to_string()
     }
 
@@ -1354,6 +1403,128 @@ mod tests {
         assert!(run_track("--ooc-cache 2 --ooc-cache-bytes 100").contains("mutually exclusive"));
         assert!(run_track("--prefetch 2").contains("needs --ooc-cache"));
         assert!(run_track("--ooc-cache-bytes nope").contains("invalid --ooc-cache-bytes"));
+    }
+
+    #[test]
+    fn mmap_flag_validation() {
+        let a = parse_args(&argv("track --data d --seed 0,0,0 --band 0:1 --mmap")).unwrap();
+        assert!(run(&a).unwrap_err().contains("needs --ooc-cache"));
+    }
+
+    #[test]
+    fn track_mmap_matches_in_core_and_reports_mode() {
+        let dirs = write_ooc_series("mmap");
+        let track = |extra: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data {dirs} --seed 3,6,6 --band 0.9:3.0{extra}"
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        let reference = track("");
+        let paged = track(" --ooc-cache 2 --mmap");
+        let (body, summary) = paged
+            .split_once("ooc:")
+            .expect("paged run must append an ooc summary");
+        assert_eq!(body, reference, "mmap output must be byte-identical");
+        assert!(summary.contains("mmap"), "{summary}");
+        std::fs::remove_dir_all(&dirs).ok();
+    }
+
+    #[test]
+    fn generate_compress_roundtrips_and_mmap_refuses_it() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_gz_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        let raw_dir = format!("{dirs}/raw");
+        let z_dir = format!("{dirs}/z");
+        for (out, extra) in [(&raw_dir, ""), (&z_dir, " --compress")] {
+            let msg = run(&parse_args(&argv(&format!(
+                "generate shock-bubble --out {out} --dims 16 --seed 3{extra}"
+            )))
+            .unwrap())
+            .unwrap();
+            assert!(msg.contains("wrote 5 frames"), "{msg}");
+        }
+        assert!(
+            frame_paths(&z_dir)
+                .unwrap()
+                .iter()
+                .all(|p| p.extension().unwrap() == "rawz"),
+            "--compress must write .rawz frames"
+        );
+        // Compressed frames take less disk.
+        let bytes = |d: &str| -> u64 {
+            frame_paths(d)
+                .unwrap()
+                .iter()
+                .map(|p| std::fs::metadata(p).unwrap().len())
+                .sum()
+        };
+        assert!(bytes(&z_dir) < bytes(&raw_dir));
+        // Identical analysis output from either flavor, in core or paged.
+        let track = |data: &str, extra: &str| {
+            run(&parse_args(&argv(&format!(
+                "track --data {data} --seed 8,8,8 --band 0.9:3.0{extra}"
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        let reference = track(&raw_dir, "");
+        assert_eq!(track(&z_dir, ""), reference);
+        let paged = track(&z_dir, " --ooc-cache 2");
+        assert_eq!(paged.split_once("ooc:").unwrap().0, reference);
+        // mmap needs a byte-for-byte voxel image on disk: compressed frames
+        // are refused up front.
+        let err = run(&parse_args(&argv(&format!(
+            "track --data {z_dir} --seed 8,8,8 --band 0.9:3.0 --ooc-cache 2 --mmap"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("unsupported dtype"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn classify_out_compress_writes_rawz_certainty() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_cz_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        let sess = format!("{dirs}/clf.ifet");
+        run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {sess} --paint 195:10 --clf-epochs 5 --clf-hidden 2"
+        )))
+        .unwrap())
+        .unwrap();
+        let cert_raw = format!("{dirs}/cert_raw");
+        let cert_z = format!("{dirs}/cert_z");
+        let out_raw = run(&parse_args(&argv(&format!(
+            "classify --data {dirs} --session {sess} --out {cert_raw}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out_z = run(&parse_args(&argv(&format!(
+            "classify --data {dirs} --session {sess} --out {cert_z} --compress"
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(
+            out_raw.replace(&cert_raw, "OUT"),
+            out_z.replace(&cert_z, "OUT"),
+            "coverage table must not depend on output compression"
+        );
+        let zpaths = frame_paths(&cert_z).unwrap();
+        assert!(zpaths.iter().all(|p| p.extension().unwrap() == "rawz"));
+        // The compressed certainty frames decode to the raw ones bit-for-bit.
+        let raw_series = read_series(&frame_paths(&cert_raw).unwrap()).unwrap();
+        let z_series = read_series(&zpaths).unwrap();
+        assert_eq!(raw_series, z_series);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! Volume I/O: raw little-endian `f32` bricks with a JSON sidecar, the common
 //! interchange format for scientific volume data (value-compatible with the
 //! `.raw` + metadata convention used by most volume renderers).
+//!
+//! Frames come in two on-disk flavors, distinguished by the sidecar
+//! `dtype`: `"f32le"` is the raw payload (`.raw`), and [`crate::codec::DTYPE`]
+//! is the bricked compressed container (`.rawz`, written by
+//! [`write_compressed`]). [`read_frame`] dispatches on the sidecar, so
+//! readers are agnostic to how a series was written.
 
+use crate::codec;
 use crate::dims::Dims3;
 use crate::series::TimeSeries;
 use crate::volume::ScalarVolume;
@@ -45,6 +52,8 @@ pub enum IoError {
     },
     /// Unsupported `dtype` in the sidecar.
     UnsupportedDtype(String),
+    /// A compressed frame failed to decode (corruption or truncation).
+    Codec(codec::CodecError),
 }
 
 impl std::fmt::Display for IoError {
@@ -56,11 +65,20 @@ impl std::fmt::Display for IoError {
                 write!(f, "raw size mismatch: expected {expected} bytes, got {got}")
             }
             IoError::UnsupportedDtype(d) => write!(f, "unsupported dtype {d:?}"),
+            IoError::Codec(e) => write!(f, "compressed frame error: {e}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
@@ -74,10 +92,22 @@ impl From<serde_json::Error> for IoError {
     }
 }
 
+impl From<codec::CodecError> for IoError {
+    fn from(e: codec::CodecError) -> Self {
+        IoError::Codec(e)
+    }
+}
+
 fn sidecar_path(raw: &Path) -> PathBuf {
     let mut p = raw.as_os_str().to_owned();
     p.push(".json");
     PathBuf::from(p)
+}
+
+/// Read just the `<path>.json` sidecar of a frame file.
+pub fn read_sidecar(path: &Path) -> Result<VolumeMeta, IoError> {
+    let side = File::open(sidecar_path(path))?;
+    Ok(serde_json::from_reader(BufReader::new(side))?)
 }
 
 /// Write a volume as raw little-endian f32 plus a `<path>.json` sidecar.
@@ -95,17 +125,38 @@ pub fn write_raw(path: &Path, vol: &ScalarVolume, meta: &VolumeMeta) -> Result<(
     Ok(())
 }
 
+/// Write a volume as a bricked compressed container (see [`crate::codec`])
+/// plus a `<path>.json` sidecar whose `dtype` is [`codec::DTYPE`]. The
+/// caller's `meta.dtype` is overridden; everything else is preserved.
+pub fn write_compressed(path: &Path, vol: &ScalarVolume, meta: &VolumeMeta) -> Result<(), IoError> {
+    assert_eq!(vol.dims(), meta.dims, "meta dims must match volume dims");
+    let _span = ifet_obs::span("volume.io.write");
+    let encoded = codec::encode_frame(vol.as_slice());
+    ifet_obs::counter_runtime("volume.io.bytes_written", encoded.len() as u64);
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&encoded)?;
+    w.flush()?;
+    let mut meta = meta.clone();
+    meta.dtype = codec::DTYPE.to_string();
+    let side = File::create(sidecar_path(path))?;
+    serde_json::to_writer_pretty(BufWriter::new(side), &meta)?;
+    Ok(())
+}
+
 /// Read a volume written by [`write_raw`]. The sidecar supplies dimensions.
 pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
     // Runtime counters only — no span. Read counts depend on the paging
     // schedule (an out-of-core run re-reads evicted frames), and spans
     // survive `to_stable`, so a per-read span would make stable traces
     // differ across cache capacities.
-    let side = File::open(sidecar_path(path))?;
-    let meta: VolumeMeta = serde_json::from_reader(BufReader::new(side))?;
+    let meta = read_sidecar(path)?;
     if meta.dtype != "f32le" {
         return Err(IoError::UnsupportedDtype(meta.dtype.clone()));
     }
+    read_raw_payload(path, meta)
+}
+
+fn read_raw_payload(path: &Path, meta: VolumeMeta) -> Result<(ScalarVolume, VolumeMeta), IoError> {
     let mut bytes = Vec::new();
     BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
     let expected = meta.dims.len() * 4;
@@ -123,6 +174,28 @@ pub fn read_raw(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
     Ok((ScalarVolume::from_vec(meta.dims, data), meta))
 }
 
+fn read_compressed_payload(
+    path: &Path,
+    meta: VolumeMeta,
+) -> Result<(ScalarVolume, VolumeMeta), IoError> {
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    ifet_obs::counter_runtime("volume.io.bytes_read", bytes.len() as u64);
+    let data = codec::decode_frame(&bytes, meta.dims.len())?;
+    Ok((ScalarVolume::from_vec(meta.dims, data), meta))
+}
+
+/// Read a frame of either flavor, dispatching on the sidecar `dtype`:
+/// raw `"f32le"` payloads and [`codec::DTYPE`] compressed containers.
+pub fn read_frame(path: &Path) -> Result<(ScalarVolume, VolumeMeta), IoError> {
+    let meta = read_sidecar(path)?;
+    match meta.dtype.as_str() {
+        "f32le" => read_raw_payload(path, meta),
+        codec::DTYPE => read_compressed_payload(path, meta),
+        _ => Err(IoError::UnsupportedDtype(meta.dtype.clone())),
+    }
+}
+
 /// Write every frame of a series as `prefix_t<step>.raw` (+ sidecars).
 /// Returns the written paths.
 pub fn write_series(
@@ -130,24 +203,43 @@ pub fn write_series(
     prefix: &str,
     series: &TimeSeries,
 ) -> Result<Vec<PathBuf>, IoError> {
+    write_series_with(dir, prefix, series, false)
+}
+
+/// [`write_series`] with a choice of on-disk format: `compress = true`
+/// writes bricked compressed `prefix_t<step>.rawz` containers (see
+/// [`crate::codec`]) instead of raw `.raw` payloads. Either flavor reads
+/// back through [`read_series`] / [`read_frame`] with bit-identical voxels.
+pub fn write_series_with(
+    dir: &Path,
+    prefix: &str,
+    series: &TimeSeries,
+    compress: bool,
+) -> Result<Vec<PathBuf>, IoError> {
     std::fs::create_dir_all(dir)?;
+    let ext = if compress { "rawz" } else { "raw" };
     let mut paths = Vec::new();
     for (t, frame) in series.iter() {
-        let p = dir.join(format!("{prefix}_t{t:05}.raw"));
+        let p = dir.join(format!("{prefix}_t{t:05}.{ext}"));
         let mut meta = VolumeMeta::new(frame.dims());
         meta.step = Some(t);
-        write_raw(&p, frame, &meta)?;
+        if compress {
+            write_compressed(&p, frame, &meta)?;
+        } else {
+            write_raw(&p, frame, &meta)?;
+        }
         paths.push(p);
     }
     Ok(paths)
 }
 
-/// Read a series back from the paths produced by [`write_series`]
-/// (any order; frames are sorted by their sidecar step labels).
+/// Read a series back from the paths produced by [`write_series`] or
+/// [`write_series_with`] (any order; frames are sorted by their sidecar
+/// step labels; raw and compressed frames may mix).
 pub fn read_series(paths: &[PathBuf]) -> Result<TimeSeries, IoError> {
     let mut frames = Vec::new();
     for p in paths {
-        let (vol, meta) = read_raw(p)?;
+        let (vol, meta) = read_frame(p)?;
         frames.push((meta.step.unwrap_or(frames.len() as u32), vol));
     }
     frames.sort_by_key(|(t, _)| *t);
@@ -231,5 +323,64 @@ mod tests {
     fn missing_file_is_io_error() {
         let p = PathBuf::from("/nonexistent/ifet/v.raw");
         assert!(matches!(read_raw(&p), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn compressed_roundtrip_is_bit_identical() {
+        let dir = tmpdir("z");
+        let v = ScalarVolume::from_fn(Dims3::new(7, 5, 3), |x, y, z| {
+            (x as f32 * 0.5 - y as f32).powi(2) + z as f32
+        });
+        let p = dir.join("v.rawz");
+        write_compressed(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        let (back, meta) = read_frame(&p).unwrap();
+        assert_eq!(meta.dtype, crate::codec::DTYPE);
+        for (a, b) in v.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The strict raw reader refuses the compressed flavor.
+        assert!(matches!(read_raw(&p), Err(IoError::UnsupportedDtype(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_series_roundtrips_and_shrinks() {
+        let dir = tmpdir("zseries");
+        let d = Dims3::cube(12);
+        let s = TimeSeries::from_frames(
+            (0..3u32)
+                .map(|k| {
+                    (
+                        k * 2,
+                        ScalarVolume::from_fn(d, move |x, y, z| (x + y + z) as f32 + k as f32),
+                    )
+                })
+                .collect(),
+        );
+        let paths = write_series_with(&dir, "v", &s, true).unwrap();
+        assert!(paths.iter().all(|p| p.extension().unwrap() == "rawz"));
+        assert_eq!(read_series(&paths).unwrap(), s);
+        let raw_bytes = (d.len() * 4) as u64;
+        for p in &paths {
+            assert!(
+                std::fs::metadata(p).unwrap().len() < raw_bytes,
+                "smooth frame must compress below {raw_bytes} bytes"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_compressed_frame_is_codec_error() {
+        let dir = tmpdir("zbad");
+        let v = ScalarVolume::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+        let p = dir.join("v.rawz");
+        write_compressed(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read_frame(&p), Err(IoError::Codec(_))));
+        std::fs::remove_dir_all(dir).ok();
     }
 }

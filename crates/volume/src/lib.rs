@@ -23,18 +23,22 @@
 //! - trilinear [`sample`]-ing and central-difference gradients for rendering,
 //! - separable Gaussian [`filter`]-ing (the paper's "blur the volume"
 //!   baseline in Figure 7),
-//! - raw-binary + JSON-sidecar [`io`],
+//! - raw-binary + JSON-sidecar [`io`], with a bricked, CRC-guarded
+//!   compression [`codec`] (`.rawz` frames, decoded transparently on
+//!   page-in) and zero-copy [`mmapio`] frame mapping for raw frames,
 //! - versioned binary [`maskio`] encoding for masks inside session artifacts.
 //!
 //! Everything is deterministic and `f32`-based; volumes are laid out in
 //! x-fastest (C) order so `idx = x + nx*(y + ny*z)`.
 
+pub mod codec;
 pub mod dims;
 pub mod filter;
 pub mod histogram;
 pub mod io;
 pub mod mask;
 pub mod maskio;
+pub mod mmapio;
 pub mod multivol;
 pub mod ooc;
 pub mod sample;
@@ -45,10 +49,12 @@ pub mod source;
 pub mod vecfield;
 pub mod volume;
 
+pub use codec::CodecError;
 pub use dims::{Dims3, Ix3};
 pub use histogram::{CumulativeHistogram, Histogram};
 pub use mask::{Mask3, MaskWordsError};
 pub use maskio::{decode_mask, encode_mask, encode_mask_into, MaskIoError};
+pub use mmapio::{map_frame, Mapping};
 pub use multivol::{MultiSeries, MultiVolume};
 pub use ooc::{
     BudgetStats, CacheBudget, CacheBudgetHandle, CacheStats, OutOfCoreSeries, ReadFault,

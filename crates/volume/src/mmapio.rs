@@ -1,0 +1,244 @@
+//! Zero-copy frame mapping: a tiny no-libc-crate `mmap` shim.
+//!
+//! Raw frame files are pure little-endian `f32` payloads, so on a
+//! little-endian Unix host a read-only file mapping *is* the voxel slice —
+//! page-in borrows the OS page cache instead of copying into a heap `Vec`.
+//! The build environment has no `libc`/`memmap2` crate, but `std` already
+//! links the platform libc, so the two symbols we need are declared here
+//! directly.
+//!
+//! # Borrow rules
+//!
+//! - A [`Mapping`] is read-only (`PROT_READ`, `MAP_PRIVATE`): the voxels it
+//!   exposes can never be written through, and a mapped
+//!   [`crate::ScalarVolume`] transparently copies itself to owned storage
+//!   if a caller ever asks for mutable access.
+//! - The mapping is `munmap`ed when the last `Arc` clone drops; volumes
+//!   built over it share the `Arc`, so a frame handle outlives cache
+//!   eviction exactly like a copied frame does.
+//! - The bytes are *not* snapshotted: truncating or rewriting the file
+//!   while it is mapped is undefined at the OS level, the same contract as
+//!   every other mmap consumer. The paging layer only maps immutable,
+//!   fully written frame files.
+//!
+//! On unsupported targets (non-Unix or big-endian) [`map_frame`] silently
+//! falls back to an ordinary copying read, so `--mmap` stays byte-identical
+//! everywhere.
+
+use crate::io::{read_raw, IoError};
+use crate::volume::ScalarVolume;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(all(unix, target_endian = "little"))]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::unix::io::RawFd;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: RawFd,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only, page-aligned mapping of a whole file.
+#[derive(Debug)]
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// A private read-only mapping is plain immutable memory: nothing can write
+// through it, so sharing across threads is as safe as sharing a `&[u8]`.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Whether this build actually maps files (vs. the copying fallback).
+    pub fn supported() -> bool {
+        cfg!(all(unix, target_endian = "little"))
+    }
+
+    /// Map `path` read-only. Errors come straight from `open`/`mmap`.
+    #[cfg(all(unix, target_endian = "little"))]
+    pub fn map(path: &Path) -> std::io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap(len = 0) is EINVAL; an empty file has no bytes to map.
+            return Ok(Mapping {
+                ptr: std::ptr::NonNull::<f32>::dangling().as_ptr() as *const u8,
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        ifet_obs::counter_runtime("volume.io.bytes_mapped", len as u64);
+        Ok(Mapping {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(all(unix, target_endian = "little")))]
+    pub fn map(_path: &Path) -> std::io::Result<Mapping> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "mmap unavailable on this target",
+        ))
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        // Safety: `ptr` is either a live mapping of `len` bytes (kept alive
+        // by `self`) or a dangling pointer with `len == 0`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// View the mapping as `f32`s; `None` when the length is not a multiple
+    /// of four or the base pointer is misaligned (never happens for a
+    /// page-aligned file mapping, but checked anyway).
+    pub fn as_f32s(&self) -> Option<&[f32]> {
+        if self.len % 4 != 0 || (self.ptr as usize) % std::mem::align_of::<f32>() != 0 {
+            return None;
+        }
+        // Safety: alignment and length checked; every `u32` bit pattern is
+        // a valid `f32`; the host is little-endian (by construction of the
+        // writers and the cfg gate on `map`).
+        Some(unsafe { std::slice::from_raw_parts(self.ptr as *const f32, self.len / 4) })
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_endian = "little"))]
+        if self.len > 0 {
+            // Safety: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// Load a raw frame as a mapped volume: sidecar for dims, `mmap` for the
+/// voxels. Validation matches [`read_raw`] (dtype must be `"f32le"`, file
+/// length must equal `dims.len() * 4`); on targets without mmap support the
+/// voxels are read by copy instead, with identical results.
+pub fn map_frame(path: &Path) -> Result<ScalarVolume, IoError> {
+    let meta = crate::io::read_sidecar(path)?;
+    if meta.dtype != "f32le" {
+        return Err(IoError::UnsupportedDtype(meta.dtype));
+    }
+    if !Mapping::supported() {
+        return read_raw(path).map(|(v, _)| v);
+    }
+    let map = Mapping::map(path)?;
+    let expected = meta.dims.len() * 4;
+    if map.len() != expected {
+        return Err(IoError::SizeMismatch {
+            expected,
+            got: map.len(),
+        });
+    }
+    ScalarVolume::from_mapping(meta.dims, Arc::new(map))
+        .ok_or(IoError::SizeMismatch { expected, got: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+    use crate::io::{write_raw, VolumeMeta};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ifet_mmap_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn mapped_frame_matches_copied_read() {
+        let dir = tmpdir("match");
+        let v = ScalarVolume::from_fn(Dims3::new(5, 4, 3), |x, y, z| {
+            x as f32 - 0.25 * y as f32 + 2.0 * z as f32
+        });
+        let p = dir.join("v.raw");
+        write_raw(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        let mapped = map_frame(&p).unwrap();
+        assert_eq!(mapped, v);
+        assert_eq!(mapped.is_mapped(), Mapping::supported());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mapped_size_mismatch_is_typed() {
+        let dir = tmpdir("size");
+        let v = ScalarVolume::zeros(Dims3::cube(3));
+        let p = dir.join("v.raw");
+        write_raw(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        std::fs::write(&p, [0u8; 8]).unwrap();
+        assert!(matches!(
+            map_frame(&p),
+            Err(IoError::SizeMismatch { expected: 108, .. })
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mapped_volume_survives_clone_and_mutation() {
+        let dir = tmpdir("cow");
+        let v = ScalarVolume::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+        let p = dir.join("v.raw");
+        write_raw(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        let mapped = map_frame(&p).unwrap();
+        let mut clone = mapped.clone();
+        // Mutation copies to owned storage and never writes the mapping.
+        clone.set(0, 0, 0, 99.0);
+        assert_eq!(*clone.get(0, 0, 0), 99.0);
+        assert_eq!(*mapped.get(0, 0, 0), 0.0);
+        assert!(!clone.is_mapped());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_dtype_is_rejected_for_mapping() {
+        let dir = tmpdir("dtype");
+        let v = ScalarVolume::zeros(Dims3::cube(2));
+        let p = dir.join("v.rawz");
+        crate::io::write_compressed(&p, &v, &VolumeMeta::new(v.dims())).unwrap();
+        assert!(matches!(map_frame(&p), Err(IoError::UnsupportedDtype(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -35,7 +35,7 @@
 //! then degrades silently while demand reads surface the error.
 
 use crate::dims::Dims3;
-use crate::io::{read_raw, write_series, IoError};
+use crate::io::{write_series_with, IoError};
 use crate::series::TimeSeries;
 use crate::volume::ScalarVolume;
 use std::collections::{HashMap, HashSet};
@@ -59,7 +59,9 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
-    /// Raw voxel bytes read from disk (4 bytes per voxel per paged frame).
+    /// On-disk bytes paged in: raw frames charge `voxels * 4`, compressed
+    /// frames charge their (smaller) compressed file size — the same number
+    /// the byte budget charges, so "frames per byte" is an honest ratio.
     pub bytes_paged: u64,
     /// Frames resident right now (this series).
     pub resident: usize,
@@ -121,13 +123,15 @@ struct Slot {
     stamp: u64,
     /// Loaded by the prefetch worker and not yet touched by demand.
     prefetched: bool,
+    /// Budget charge of this frame (its on-disk byte size), remembered so
+    /// eviction frees exactly what insertion charged.
+    bytes: u64,
 }
 
 /// Per-series cache state: a frame-index map into a slot slab whose occupied
 /// slots form a doubly-linked recency list (`head` = least recent, `tail` =
 /// most recent), plus the set of frame indices currently being read.
 struct Cache {
-    frame_bytes: u64,
     map: HashMap<usize, usize>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
@@ -138,9 +142,8 @@ struct Cache {
 }
 
 impl Cache {
-    fn new(frame_bytes: u64) -> Self {
+    fn new() -> Self {
         Self {
-            frame_bytes,
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -203,9 +206,16 @@ impl Cache {
         ifet_obs::counter_runtime("volume.ooc.miss", 1);
     }
 
-    /// Insert a committed load. The budget has already reserved space; the
-    /// in-flight guard guarantees no duplicate entry.
-    fn insert(&mut self, idx: usize, vol: Arc<ScalarVolume>, stamp: u64, prefetched: bool) {
+    /// Insert a committed load charged at `bytes`. The budget has already
+    /// reserved space; the in-flight guard guarantees no duplicate entry.
+    fn insert(
+        &mut self,
+        idx: usize,
+        vol: Arc<ScalarVolume>,
+        stamp: u64,
+        prefetched: bool,
+        bytes: u64,
+    ) {
         debug_assert!(!self.map.contains_key(&idx));
         let s = self.free.pop().unwrap_or_else(|| {
             self.slots.push(None);
@@ -218,11 +228,13 @@ impl Cache {
             next: NIL,
             stamp,
             prefetched,
+            bytes,
         });
         self.attach_most_recent(s);
         self.map.insert(idx, s);
-        self.stats.bytes_paged += self.frame_bytes;
-        ifet_obs::counter_runtime("volume.ooc.bytes_paged", self.frame_bytes);
+        self.stats.bytes_paged += bytes;
+        self.stats.resident_bytes += bytes;
+        ifet_obs::counter_runtime("volume.ooc.bytes_paged", bytes);
         if prefetched {
             self.stats.prefetched += 1;
             ifet_obs::counter_runtime("volume.ooc.prefetched", 1);
@@ -238,12 +250,13 @@ impl Cache {
         self.map.remove(&e.frame);
         self.free.push(lru);
         self.stats.evictions += 1;
+        self.stats.resident_bytes -= e.bytes;
         ifet_obs::counter_runtime("volume.ooc.evict", 1);
         if e.prefetched {
             self.stats.prefetch_wasted += 1;
             ifet_obs::counter_runtime("volume.ooc.prefetch_wasted", 1);
         }
-        self.frame_bytes
+        e.bytes
     }
 
     /// Recency stamp of the LRU slot, if any frame is resident.
@@ -342,43 +355,42 @@ impl Budget {
         }
     }
 
-    /// Turn a reservation into a resident cache entry. Accounting and insert
-    /// happen under the budget lock so the evictor never sees them disagree.
+    /// Turn a reservation of `bytes` into a resident cache entry. Accounting
+    /// and insert happen under the budget lock so the evictor never sees them
+    /// disagree.
     fn commit_and_insert(
         &self,
         sc: &SeriesCache,
         idx: usize,
         vol: Arc<ScalarVolume>,
         prefetched: bool,
+        bytes: u64,
     ) {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock().unwrap();
-        let fb;
         {
             let mut c = sc.cache.lock().unwrap();
-            fb = c.frame_bytes;
-            c.insert(idx, vol, stamp, prefetched);
+            c.insert(idx, vol, stamp, prefetched, bytes);
             c.inflight.remove(&idx);
         }
         st.inflight_frames -= 1;
-        st.inflight_bytes -= fb;
+        st.inflight_bytes -= bytes;
         st.resident_frames += 1;
-        st.resident_bytes += fb;
+        st.resident_bytes += bytes;
         drop(st);
         self.cv.notify_all();
         sc.cv.notify_all();
     }
 
-    /// Abandon a reservation after a failed read.
-    fn release(&self, sc: &SeriesCache, idx: usize) {
+    /// Abandon a reservation of `bytes` after a failed read.
+    fn release(&self, sc: &SeriesCache, idx: usize, bytes: u64) {
         let mut st = self.state.lock().unwrap();
-        let fb = {
+        {
             let mut c = sc.cache.lock().unwrap();
             c.inflight.remove(&idx);
-            c.frame_bytes
-        };
+        }
         st.inflight_frames -= 1;
-        st.inflight_bytes -= fb;
+        st.inflight_bytes -= bytes;
         drop(st);
         self.cv.notify_all();
         sc.cv.notify_all();
@@ -468,6 +480,15 @@ struct Inner {
     dims: Dims3,
     steps: Vec<u32>,
     paths: Vec<PathBuf>,
+    /// Per-frame budget charge: the on-disk byte size of each frame file.
+    /// Raw frames charge `voxels * 4`; compressed frames charge their
+    /// (smaller) container size, so a byte budget holds more of them.
+    charges: Vec<u64>,
+    /// Largest per-frame charge, for the conservative `capacity()` bound.
+    max_charge: u64,
+    /// Page frames in by `mmap` (zero-copy borrow of the OS page cache)
+    /// instead of a copying read. Requires raw `"f32le"` frames.
+    mmap: bool,
     sc: Arc<SeriesCache>,
     budget: CacheBudgetHandle,
     /// Memoized global `(min, max)`: one streaming scan, reused thereafter.
@@ -476,11 +497,22 @@ struct Inner {
 }
 
 impl Inner {
-    fn frame_bytes(&self) -> u64 {
-        (self.dims.len() * 4) as u64
+    /// Budget charge of frame `i` (its on-disk byte size).
+    fn charge(&self, i: usize) -> u64 {
+        self.charges[i]
     }
 
-    /// One physical read with bounded retry; the fault hook (when installed)
+    /// The physical page-in of one frame: mapped (zero-copy) or copied, with
+    /// compressed frames decoding on the copy path.
+    fn read_one(&self, i: usize) -> Result<ScalarVolume, IoError> {
+        if self.mmap {
+            crate::mmapio::map_frame(&self.paths[i])
+        } else {
+            crate::io::read_frame(&self.paths[i]).map(|(v, _)| v)
+        }
+    }
+
+    /// One logical read with bounded retry; the fault hook (when installed)
     /// may delay or fail individual attempts.
     fn read_frame(&self, i: usize) -> Result<ScalarVolume, IoError> {
         let hook = self.fault.lock().unwrap().clone();
@@ -495,9 +527,9 @@ impl Inner {
                 ))),
                 Some(ReadFault::Delay(d)) => {
                     std::thread::sleep(d);
-                    read_raw(&self.paths[i]).map(|(v, _)| v)
+                    self.read_one(i)
                 }
-                None => read_raw(&self.paths[i]).map(|(v, _)| v),
+                None => self.read_one(i),
             };
             match res {
                 Ok(v) => return Ok(v),
@@ -538,15 +570,16 @@ impl Inner {
             c.note_miss();
             c.inflight.insert(i);
         }
-        b.reserve(self.frame_bytes());
+        let charge = self.charge(i);
+        b.reserve(charge);
         match self.read_frame(i) {
             Ok(vol) => {
                 let vol = Arc::new(vol);
-                b.commit_and_insert(&self.sc, i, vol.clone(), false);
+                b.commit_and_insert(&self.sc, i, vol.clone(), false, charge);
                 Ok(vol)
             }
             Err(e) => {
-                b.release(&self.sc, i);
+                b.release(&self.sc, i, charge);
                 Err(e)
             }
         }
@@ -568,10 +601,11 @@ impl Inner {
             }
             c.inflight.insert(i);
         }
-        b.reserve(self.frame_bytes());
+        let charge = self.charge(i);
+        b.reserve(charge);
         match self.read_frame(i) {
-            Ok(vol) => b.commit_and_insert(&self.sc, i, Arc::new(vol), true),
-            Err(_) => b.release(&self.sc, i),
+            Ok(vol) => b.commit_and_insert(&self.sc, i, Arc::new(vol), true, charge),
+            Err(_) => b.release(&self.sc, i, charge),
         }
     }
 }
@@ -615,13 +649,28 @@ impl OutOfCoreSeries {
         budget: &CacheBudgetHandle,
         prefetch: usize,
     ) -> Result<Self, IoError> {
-        let paths = write_series(dir, prefix, series)?;
+        Self::create_opts(dir, prefix, series, budget, prefetch, false)
+    }
+
+    /// [`Self::create_with`] with a choice of on-disk format: `compress`
+    /// writes bricked compressed `.rawz` containers (see [`crate::codec`]),
+    /// which the cache then charges at their smaller compressed size.
+    pub fn create_opts(
+        dir: &Path,
+        prefix: &str,
+        series: &TimeSeries,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+        compress: bool,
+    ) -> Result<Self, IoError> {
+        let paths = write_series_with(dir, prefix, series, compress)?;
         Self::from_parts(
             series.dims(),
             series.steps().to_vec(),
             paths,
             budget,
             prefetch,
+            false,
         )
     }
 
@@ -638,17 +687,45 @@ impl OutOfCoreSeries {
         budget: &CacheBudgetHandle,
         prefetch: usize,
     ) -> Result<Self, IoError> {
+        Self::open_opts(paths, budget, prefetch, false)
+    }
+
+    /// [`Self::open_with`] paging by zero-copy `mmap` instead of copying
+    /// reads. Every frame must be raw `"f32le"` (compressed containers have
+    /// no byte-for-byte voxel image on disk to borrow); on targets without
+    /// mmap support the series transparently falls back to copying reads
+    /// with identical results.
+    pub fn open_mmap(
+        paths: Vec<PathBuf>,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+    ) -> Result<Self, IoError> {
+        Self::open_opts(paths, budget, prefetch, true)
+    }
+
+    fn open_opts(
+        paths: Vec<PathBuf>,
+        budget: &CacheBudgetHandle,
+        prefetch: usize,
+        mmap: bool,
+    ) -> Result<Self, IoError> {
         assert!(!paths.is_empty(), "need at least one frame file");
-        // Read sidecars only — cheap JSON reads for dims and steps.
+        // Read sidecars only — cheap JSON reads for dims, steps, and dtype.
         let mut labelled: Vec<(u32, PathBuf)> = Vec::with_capacity(paths.len());
         let mut dims = None;
         for (k, p) in paths.iter().enumerate() {
-            let side = std::fs::File::open(PathBuf::from({
-                let mut s = p.as_os_str().to_owned();
-                s.push(".json");
-                s
-            }))?;
-            let meta: crate::io::VolumeMeta = serde_json::from_reader(side)?;
+            let meta = crate::io::read_sidecar(p)?;
+            let raw = meta.dtype == "f32le";
+            let compressed = meta.dtype == crate::codec::DTYPE;
+            if !raw && !compressed {
+                return Err(IoError::UnsupportedDtype(meta.dtype));
+            }
+            if mmap && !raw {
+                // Mapping borrows the on-disk bytes as voxels; a compressed
+                // container has no such image, so refuse up front rather
+                // than failing on first access.
+                return Err(IoError::UnsupportedDtype(meta.dtype));
+            }
             if let Some(d) = dims {
                 assert_eq!(d, meta.dims, "frame dims mismatch in series");
             } else {
@@ -663,6 +740,7 @@ impl OutOfCoreSeries {
             labelled.into_iter().map(|(_, p)| p).collect(),
             budget,
             prefetch,
+            mmap,
         )
     }
 
@@ -672,9 +750,15 @@ impl OutOfCoreSeries {
         paths: Vec<PathBuf>,
         budget: &CacheBudgetHandle,
         prefetch: usize,
+        mmap: bool,
     ) -> Result<Self, IoError> {
+        let mut charges = Vec::with_capacity(paths.len());
+        for p in &paths {
+            charges.push(std::fs::metadata(p)?.len());
+        }
+        let max_charge = charges.iter().copied().max().unwrap_or(1).max(1);
         let sc = Arc::new(SeriesCache {
-            cache: Mutex::new(Cache::new((dims.len() * 4) as u64)),
+            cache: Mutex::new(Cache::new()),
             cv: Condvar::new(),
         });
         budget.0.register(&sc);
@@ -683,6 +767,9 @@ impl OutOfCoreSeries {
                 dims,
                 steps,
                 paths,
+                charges,
+                max_charge,
+                mmap,
                 sc,
                 budget: budget.clone(),
                 range: Mutex::new(None),
@@ -731,12 +818,19 @@ impl OutOfCoreSeries {
     }
 
     /// Residency bound in frames: the budget expressed as whole frames of
-    /// this series (byte budgets round down, floored at one frame).
+    /// this series. Byte budgets divide by the *largest* per-frame charge
+    /// (conservative for mixed compressed sizes), round down, and floor at
+    /// one frame.
     pub fn capacity(&self) -> usize {
         match self.inner.budget.0.limit {
             CacheBudget::Frames(n) => n.max(1),
-            CacheBudget::Bytes(b) => ((b / self.inner.frame_bytes()) as usize).max(1),
+            CacheBudget::Bytes(b) => ((b / self.inner.max_charge) as usize).max(1),
         }
+    }
+
+    /// Whether frames page in by zero-copy `mmap` on this series.
+    pub fn is_mmap(&self) -> bool {
+        self.inner.mmap
     }
 
     /// The budget handle this series draws on (shared across clones).
@@ -816,7 +910,6 @@ impl OutOfCoreSeries {
         let c = self.inner.sc.cache.lock().unwrap();
         CacheStats {
             resident: c.map.len(),
-            resident_bytes: c.map.len() as u64 * c.frame_bytes,
             resident_high_water: b.high_water_frames,
             resident_high_water_bytes: b.high_water_bytes,
             ..c.stats
@@ -1224,6 +1317,97 @@ mod tests {
         let s = sample_series();
         let ooc = OutOfCoreSeries::create(&dir, "f", &s, 1).unwrap();
         assert_eq!(ooc.load_all().unwrap(), s);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_series_charges_compressed_bytes() {
+        let dir = tmpdir("zcharge");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(1);
+        let ooc = OutOfCoreSeries::create_opts(&dir, "f", &s, &budget, 0, true).unwrap();
+        assert_eq!(ooc.load_all().unwrap(), s, "compressed paging is lossless");
+        let st = ooc.stats();
+        assert!(
+            st.bytes_paged < 6 * FB,
+            "constant frames must page fewer than raw bytes ({} vs {})",
+            st.bytes_paged,
+            6 * FB
+        );
+        // Charges come from the actual file sizes.
+        let on_disk: u64 = ooc
+            .paths()
+            .iter()
+            .map(|p| std::fs::metadata(p).unwrap().len())
+            .sum();
+        assert_eq!(st.bytes_paged, on_disk);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_holds_more_compressed_frames() {
+        let dir = tmpdir("zmore");
+        let s = sample_series();
+        // One raw frame's worth of budget holds several compressed frames.
+        let budget = CacheBudgetHandle::bytes(FB);
+        let ooc = OutOfCoreSeries::create_opts(&dir, "f", &s, &budget, 0, true).unwrap();
+        assert!(
+            ooc.capacity() > 1,
+            "capacity {} should exceed one frame under compression",
+            ooc.capacity()
+        );
+        for i in 0..6 {
+            let _ = ooc.frame(i).unwrap();
+        }
+        let st = ooc.stats();
+        assert!(st.resident > 1);
+        assert!(st.resident_high_water_bytes <= FB);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mmap_series_matches_copied_reads() {
+        let dir = tmpdir("mmap");
+        let s = sample_series();
+        let created = OutOfCoreSeries::create(&dir, "f", &s, 2).unwrap();
+        let budget = CacheBudgetHandle::frames(2);
+        let ooc = OutOfCoreSeries::open_mmap(created.paths().to_vec(), &budget, 0).unwrap();
+        assert!(ooc.is_mmap());
+        assert_eq!(ooc.load_all().unwrap(), s);
+        assert_eq!(
+            ooc.frame(0).unwrap().is_mapped(),
+            crate::mmapio::Mapping::supported()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mmap_rejects_compressed_frames_up_front() {
+        let dir = tmpdir("mmapz");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(2);
+        let ooc = OutOfCoreSeries::create_opts(&dir, "f", &s, &budget, 0, true).unwrap();
+        assert!(matches!(
+            OutOfCoreSeries::open_mmap(ooc.paths().to_vec(), &budget, 0),
+            Err(IoError::UnsupportedDtype(_))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_compressed_frame_is_typed_codec_error() {
+        let dir = tmpdir("zcorrupt");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(1);
+        let ooc = OutOfCoreSeries::create_opts(&dir, "f", &s, &budget, 0, true).unwrap();
+        let p = ooc.paths()[2].clone();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x5a;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(ooc.frame(2), Err(IoError::Codec(_))));
+        // Other frames still load fine.
+        assert!(ooc.frame(0).is_ok());
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -24,6 +24,10 @@ pub enum SeriesError {
     Empty,
     /// Paging a disk-backed frame failed.
     Io(IoError),
+    /// A compressed frame failed to decode: corruption, truncation, or a
+    /// header that disagrees with the sidecar. Split out from [`Self::Io`]
+    /// so callers can distinguish "disk unhappy" from "data untrustworthy".
+    Codec(crate::codec::CodecError),
 }
 
 impl std::fmt::Display for SeriesError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for SeriesError {
             }
             SeriesError::Empty => write!(f, "a series needs at least one frame"),
             SeriesError::Io(e) => write!(f, "frame paging failed: {e}"),
+            SeriesError::Codec(e) => write!(f, "compressed frame rejected: {e}"),
         }
     }
 }
@@ -54,6 +59,7 @@ impl std::error::Error for SeriesError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SeriesError::Io(e) => Some(e),
+            SeriesError::Codec(e) => Some(e),
             _ => None,
         }
     }
@@ -61,7 +67,10 @@ impl std::error::Error for SeriesError {
 
 impl From<IoError> for SeriesError {
     fn from(e: IoError) -> Self {
-        SeriesError::Io(e)
+        match e {
+            IoError::Codec(c) => SeriesError::Codec(c),
+            other => SeriesError::Io(other),
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! [`OutOfCoreSeries`] without rewriting anything.
 
 use crate::dims::Dims3;
-use crate::io::{write_raw, IoError, VolumeMeta};
+use crate::io::{write_compressed, write_raw, IoError, VolumeMeta};
 use crate::ooc::{CacheBudgetHandle, OutOfCoreSeries};
 use crate::series::{SeriesError, TimeSeries};
 use crate::volume::ScalarVolume;
@@ -90,11 +90,20 @@ pub struct OutOfCoreSink {
     dims: Option<Dims3>,
     last_step: Option<u32>,
     paths: Vec<PathBuf>,
+    compress: bool,
 }
 
 impl OutOfCoreSink {
     /// Create the sink, making `dir` as needed.
     pub fn new(dir: &Path, prefix: &str) -> Result<Self, IoError> {
+        Self::with_compression(dir, prefix, false)
+    }
+
+    /// [`Self::new`] with a choice of on-disk format: `compress` writes each
+    /// frame as a bricked compressed `prefix_t<step>.rawz` container (see
+    /// [`crate::codec`]) instead of a raw payload. Either flavor reopens via
+    /// [`Self::into_series`] with bit-identical voxels.
+    pub fn with_compression(dir: &Path, prefix: &str, compress: bool) -> Result<Self, IoError> {
         std::fs::create_dir_all(dir)?;
         Ok(Self {
             dir: dir.to_path_buf(),
@@ -102,6 +111,7 @@ impl OutOfCoreSink {
             dims: None,
             last_step: None,
             paths: Vec::new(),
+            compress,
         })
     }
 
@@ -141,10 +151,15 @@ impl FrameSink for OutOfCoreSink {
                 return Err(SeriesError::NonIncreasingStep { last, next: t });
             }
         }
-        let p = self.dir.join(format!("{}_t{t:05}.raw", self.prefix));
+        let ext = if self.compress { "rawz" } else { "raw" };
+        let p = self.dir.join(format!("{}_t{t:05}.{ext}", self.prefix));
         let mut meta = VolumeMeta::new(vol.dims());
         meta.step = Some(t);
-        write_raw(&p, &vol, &meta)?;
+        if self.compress {
+            write_compressed(&p, &vol, &meta)?;
+        } else {
+            write_raw(&p, &vol, &meta)?;
+        }
         self.dims = Some(vol.dims());
         self.last_step = Some(t);
         self.paths.push(p);
@@ -236,6 +251,45 @@ mod tests {
             );
         }
         assert_eq!(read_series(&stream_paths).unwrap(), series);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_sink_matches_write_series_bytes() {
+        let dir = tmpdir("zbytes");
+        let series = TimeSeries::from_frames(frames());
+        let batch_paths =
+            crate::io::write_series_with(&dir.join("batch"), "v", &series, true).unwrap();
+
+        let mut sink = OutOfCoreSink::with_compression(&dir.join("stream"), "v", true).unwrap();
+        for (t, v) in frames() {
+            sink.put(t, v).unwrap();
+        }
+        let stream_paths = sink.into_paths();
+        assert_eq!(batch_paths.len(), stream_paths.len());
+        for (a, b) in batch_paths.iter().zip(&stream_paths) {
+            assert_eq!(a.file_name(), b.file_name(), "same naming scheme");
+            assert_eq!(a.extension().unwrap(), "rawz");
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "streamed compressed bytes differ from batch write"
+            );
+        }
+        assert_eq!(read_series(&stream_paths).unwrap(), series);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_sink_reopens_as_series() {
+        let dir = tmpdir("zreopen");
+        let mut sink = OutOfCoreSink::with_compression(&dir, "v", true).unwrap();
+        for (t, v) in frames() {
+            sink.put(t, v).unwrap();
+        }
+        let budget = CacheBudgetHandle::frames(2);
+        let ooc = sink.into_series(&budget, 0).unwrap();
+        assert_eq!(ooc.load_all().unwrap(), TimeSeries::from_frames(frames()));
         std::fs::remove_dir_all(dir).ok();
     }
 

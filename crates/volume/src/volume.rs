@@ -1,13 +1,126 @@
 //! Dense 3D volumes.
 
 use crate::dims::{Dims3, Ix3};
+use crate::mmapio::Mapping;
 use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Voxel storage: an owned heap buffer, or a read-only view over a shared
+/// file mapping (see [`crate::mmapio`]). Mapped storage is only ever
+/// constructed for plain-old-data element types (`f32`), checked at the
+/// sole construction site ([`ScalarVolume::from_mapping`]); any request for
+/// mutable access transparently copies to owned storage first.
+enum Store<T> {
+    Owned(Vec<T>),
+    Mapped(MappedStore<T>),
+}
+
+/// A typed view over a whole [`Mapping`]. Alignment and length are
+/// validated at construction; the `Arc` keeps the pages mapped for as long
+/// as any clone of the volume lives.
+struct MappedStore<T> {
+    map: Arc<Mapping>,
+    _t: PhantomData<T>,
+}
+
+impl<T> MappedStore<T> {
+    fn as_slice(&self) -> &[T] {
+        let bytes = self.map.as_bytes();
+        debug_assert_eq!(bytes.len() % std::mem::size_of::<T>(), 0);
+        // Safety: construction checked alignment and size; mapped stores
+        // hold only POD element types, and the mapping is immutable and
+        // outlives `self`.
+        unsafe {
+            std::slice::from_raw_parts(
+                bytes.as_ptr() as *const T,
+                bytes.len() / std::mem::size_of::<T>(),
+            )
+        }
+    }
+}
+
+impl<T> Store<T> {
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Store::Owned(v) => v,
+            Store::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Mutable access, copying mapped storage to an owned buffer first
+    /// (copy-on-write: the mapping itself is never written through).
+    fn make_owned(&mut self) -> &mut Vec<T> {
+        if let Store::Mapped(m) = self {
+            let src = m.as_slice();
+            let mut v: Vec<T> = Vec::with_capacity(src.len());
+            // Safety: mapped stores hold only POD elements (construction
+            // invariant), so a bitwise copy is a valid duplication.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), v.as_mut_ptr(), src.len());
+                v.set_len(src.len());
+            }
+            *self = Store::Owned(v);
+        }
+        match self {
+            Store::Owned(v) => v,
+            Store::Mapped(_) => unreachable!(),
+        }
+    }
+
+    fn into_vec(mut self) -> Vec<T> {
+        self.make_owned();
+        match self {
+            Store::Owned(v) => v,
+            Store::Mapped(_) => unreachable!(),
+        }
+    }
+}
+
+impl<T: Clone> Clone for Store<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Store::Owned(v) => Store::Owned(v.clone()),
+            // Cloning a mapped volume shares the mapping (cheap); the clone
+            // copies itself to owned storage only if mutated.
+            Store::Mapped(m) => Store::Mapped(MappedStore {
+                map: Arc::clone(&m.map),
+                _t: PhantomData,
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Store<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Store<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Serialize> Serialize for Store<T> {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Store<T> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<T>::from_value(v).map(Store::Owned)
+    }
+}
 
 /// A dense 3D grid of values laid out x-fastest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Volume<T> {
     dims: Dims3,
-    data: Vec<T>,
+    data: Store<T>,
 }
 
 /// The workhorse scalar field type of the workspace.
@@ -18,7 +131,7 @@ impl<T: Clone> Volume<T> {
     pub fn filled(dims: Dims3, fill: T) -> Self {
         Self {
             dims,
-            data: vec![fill; dims.len()],
+            data: Store::Owned(vec![fill; dims.len()]),
         }
     }
 
@@ -30,7 +143,10 @@ impl<T: Clone> Volume<T> {
             "buffer length {} does not match dims {dims}",
             data.len()
         );
-        Self { dims, data }
+        Self {
+            dims,
+            data: Store::Owned(data),
+        }
     }
 
     /// Build a volume by evaluating `f` at every voxel coordinate.
@@ -43,7 +159,10 @@ impl<T: Clone> Volume<T> {
                 }
             }
         }
-        Self { dims, data }
+        Self {
+            dims,
+            data: Store::Owned(data),
+        }
     }
 }
 
@@ -55,46 +174,54 @@ impl<T> Volume<T> {
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Raw slice in linear order.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable raw slice in linear order.
+    /// Mutable raw slice in linear order. A mapped volume copies itself to
+    /// owned storage first (the file mapping is never written through).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
+        self.data.make_owned()
     }
 
-    /// Consume into the raw buffer.
+    /// Consume into the raw buffer (copying if the storage was mapped).
     pub fn into_vec(self) -> Vec<T> {
-        self.data
+        self.data.into_vec()
+    }
+
+    /// Whether the voxels live in a shared file mapping rather than an
+    /// owned buffer (see [`crate::mmapio`]).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Store::Mapped(_))
     }
 
     #[inline]
     pub fn get(&self, x: usize, y: usize, z: usize) -> &T {
-        &self.data[self.dims.index(x, y, z)]
+        &self.as_slice()[self.dims.index(x, y, z)]
     }
 
     #[inline]
     pub fn get_mut(&mut self, x: usize, y: usize, z: usize) -> &mut T {
         let i = self.dims.index(x, y, z);
-        &mut self.data[i]
+        &mut self.data.make_owned()[i]
     }
 
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, z: usize, v: T) {
         let i = self.dims.index(x, y, z);
-        self.data[i] = v;
+        self.data.make_owned()[i] = v;
     }
 
     /// Value at a signed coordinate, clamped to the boundary (Neumann).
@@ -107,7 +234,7 @@ impl<T> Volume<T> {
     /// Iterate `(coords, &value)` in linear order.
     pub fn iter(&self) -> impl Iterator<Item = (Ix3, &T)> {
         let dims = self.dims;
-        self.data
+        self.as_slice()
             .iter()
             .enumerate()
             .map(move |(i, v)| (dims.coords(i), v))
@@ -117,7 +244,7 @@ impl<T> Volume<T> {
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Volume<U> {
         Volume {
             dims: self.dims,
-            data: self.data.iter().map(f).collect(),
+            data: Store::Owned(self.as_slice().iter().map(f).collect()),
         }
     }
 }
@@ -143,9 +270,26 @@ impl ScalarVolume {
         Self::filled(dims, 0.0)
     }
 
+    /// Build a volume whose voxels are a zero-copy view over a file
+    /// mapping. `None` when the mapping is misaligned for `f32` or its
+    /// byte length does not equal `dims.len() * 4`.
+    pub fn from_mapping(dims: Dims3, map: Arc<Mapping>) -> Option<Self> {
+        let floats = map.as_f32s()?;
+        if floats.len() != dims.len() {
+            return None;
+        }
+        Some(Self {
+            dims,
+            data: Store::Mapped(MappedStore {
+                map,
+                _t: PhantomData,
+            }),
+        })
+    }
+
     /// Minimum finite value (NaNs ignored); `None` for all-NaN data.
     pub fn min_value(&self) -> Option<f32> {
-        self.data
+        self.as_slice()
             .iter()
             .copied()
             .filter(|v| !v.is_nan())
@@ -154,7 +298,7 @@ impl ScalarVolume {
 
     /// Maximum finite value (NaNs ignored).
     pub fn max_value(&self) -> Option<f32> {
-        self.data
+        self.as_slice()
             .iter()
             .copied()
             .filter(|v| !v.is_nan())
@@ -165,7 +309,7 @@ impl ScalarVolume {
     pub fn value_range(&self) -> (f32, f32) {
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
-        for &v in &self.data {
+        for &v in self.as_slice() {
             if v.is_nan() {
                 continue;
             }
@@ -181,10 +325,10 @@ impl ScalarVolume {
 
     /// Mean of all voxels.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        (self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64) as f32
+        (self.as_slice().iter().map(|&v| v as f64).sum::<f64>() / self.len() as f64) as f32
     }
 
     /// Rescale values linearly so the occupied range maps onto `[0, 1]`.
@@ -236,7 +380,7 @@ impl ScalarVolume {
 
     /// Sum of all voxel values ("mass").
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&v| v as f64).sum()
+        self.as_slice().iter().map(|&v| v as f64).sum()
     }
 }
 

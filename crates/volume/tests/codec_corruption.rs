@@ -1,0 +1,258 @@
+//! Corruption injection for the compressed frame container, mirroring the
+//! session-artifact battery in `tests/persistence.rs`: every header and
+//! table byte flip, a flip in every brick payload, truncation at structural
+//! boundaries, and sidecar tampering must each surface as a typed
+//! [`IoError::Codec`] / [`SeriesError::Codec`] — never a panic, and never
+//! silently-wrong voxels.
+
+use ifet_volume::codec::{CodecError, BRICK_VOXELS, ENTRY_LEN, HEADER_LEN};
+use ifet_volume::io::{read_frame, write_series_with, IoError};
+use ifet_volume::ooc::{CacheBudgetHandle, OutOfCoreSeries};
+use ifet_volume::{Dims3, FrameSource, ScalarVolume, SeriesError, TimeSeries};
+use std::path::{Path, PathBuf};
+
+/// 18×18×14 = 4536 voxels: one full 4096-voxel brick plus a 440-voxel
+/// ragged tail, so both brick shapes take corruption.
+const DIMS: (usize, usize, usize) = (18, 18, 14);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ifet_codec_corrupt_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Frame 0 is a smooth gradient (delta+RLE wins), frame 1 is hash noise
+/// (stored-mode fallback): the sweep hits both brick encodings.
+fn write_corpus(dir: &Path) -> Vec<PathBuf> {
+    let d = Dims3::new(DIMS.0, DIMS.1, DIMS.2);
+    let smooth: Vec<f32> = (0..d.len()).map(|i| (i / 64) as f32 * 0.25).collect();
+    let noisy: Vec<f32> = (0..d.len())
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f32::from_bits((x >> 32) as u32)
+        })
+        .collect();
+    let series = TimeSeries::from_frames(vec![
+        (0, ScalarVolume::from_vec(d, smooth)),
+        (1, ScalarVolume::from_vec(d, noisy)),
+    ]);
+    write_series_with(dir, "v", &series, true).unwrap()
+}
+
+/// `(table_end, per-brick payload ranges)` parsed by hand from the container
+/// bytes, independently of the decoder under test.
+fn layout(bytes: &[u8]) -> (usize, Vec<std::ops::Range<usize>>) {
+    let brick_count = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+    let table_end = HEADER_LEN + brick_count * ENTRY_LEN;
+    let mut off = table_end;
+    let bricks = (0..brick_count)
+        .map(|b| {
+            let e = HEADER_LEN + b * ENTRY_LEN;
+            let enc_len = u32::from_le_bytes(bytes[e + 1..e + 5].try_into().unwrap()) as usize;
+            let r = off..off + enc_len;
+            off += enc_len;
+            r
+        })
+        .collect();
+    (table_end, bricks)
+}
+
+fn expect_codec_err(path: &Path, what: &str) -> CodecError {
+    match read_frame(path) {
+        Err(IoError::Codec(e)) => e,
+        Err(other) => panic!("{what}: expected IoError::Codec, got {other:?}"),
+        Ok(_) => panic!("{what}: corruption read back Ok — silently wrong voxels"),
+    }
+}
+
+#[test]
+fn container_layout_matches_the_spec() {
+    let dir = tmpdir("layout");
+    let paths = write_corpus(&dir);
+    for p in &paths {
+        let bytes = std::fs::read(p).unwrap();
+        assert_eq!(&bytes[0..4], b"IFZ1");
+        let voxels = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(voxels as usize, DIMS.0 * DIMS.1 * DIMS.2);
+        let (table_end, bricks) = layout(&bytes);
+        assert_eq!(bricks.len(), voxels as usize / BRICK_VOXELS + 1);
+        assert_eq!(bricks.last().unwrap().end, bytes.len());
+        assert!(table_end < bytes.len());
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn every_header_and_table_byte_flip_is_typed() {
+    let dir = tmpdir("header");
+    let paths = write_corpus(&dir);
+    for p in &paths {
+        let good = std::fs::read(p).unwrap();
+        let (table_end, _) = layout(&good);
+        for pos in 0..table_end {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            std::fs::write(p, &bad).unwrap();
+            let e = expect_codec_err(p, &format!("{} flip at {pos}", p.display()));
+            // Structural fields fail their own checks; everything else is
+            // caught by the header CRC (which also covers the table).
+            match pos {
+                0..=3 => assert!(matches!(e, CodecError::Magic), "magic flip at {pos}: {e:?}"),
+                _ => assert!(
+                    matches!(
+                        e,
+                        CodecError::Version(_)
+                            | CodecError::HeaderCrc
+                            | CodecError::VoxelCount { .. }
+                            | CodecError::BrickLayout { .. }
+                            | CodecError::Truncated { .. }
+                    ),
+                    "flip at {pos}: unexpected {e:?}"
+                ),
+            }
+        }
+        std::fs::write(p, &good).unwrap();
+        read_frame(p).expect("restored file must read clean");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn byte_flip_in_every_brick_payload_is_typed() {
+    let dir = tmpdir("brick");
+    let paths = write_corpus(&dir);
+    for p in &paths {
+        let good = std::fs::read(p).unwrap();
+        let (_, bricks) = layout(&good);
+        for (b, r) in bricks.iter().enumerate() {
+            for pos in [r.start, r.start + r.len() / 2, r.end - 1] {
+                let mut bad = good.clone();
+                bad[pos] ^= 0x01;
+                std::fs::write(p, &bad).unwrap();
+                let e = expect_codec_err(p, &format!("brick {b} flip at {pos}"));
+                assert!(
+                    matches!(e, CodecError::BrickCrc { brick } if brick == b),
+                    "brick {b} flip at {pos}: expected BrickCrc, got {e:?}"
+                );
+            }
+        }
+        std::fs::write(p, &good).unwrap();
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn truncation_at_structural_boundaries_is_typed() {
+    let dir = tmpdir("trunc");
+    let paths = write_corpus(&dir);
+    let p = &paths[0];
+    let good = std::fs::read(p).unwrap();
+    let (table_end, bricks) = layout(&good);
+    let cuts = [
+        0,
+        HEADER_LEN - 1,
+        HEADER_LEN,
+        table_end - 1,
+        table_end,
+        bricks[0].end - 1,
+        good.len() - 1,
+    ];
+    for cut in cuts {
+        std::fs::write(p, &good[..cut]).unwrap();
+        let e = expect_codec_err(p, &format!("truncated to {cut} bytes"));
+        assert!(
+            matches!(e, CodecError::Truncated { .. }),
+            "cut at {cut}: expected Truncated, got {e:?}"
+        );
+    }
+    // Trailing garbage after the last payload is also rejected, not ignored.
+    let mut padded = good.clone();
+    padded.extend_from_slice(&[0xAB; 7]);
+    std::fs::write(p, &padded).unwrap();
+    let e = expect_codec_err(p, "7 trailing bytes");
+    assert!(matches!(e, CodecError::TrailingBytes { extra: 7 }), "{e:?}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sidecar_tampering_is_typed() {
+    let dir = tmpdir("sidecar");
+    let paths = write_corpus(&dir);
+    let p = &paths[0];
+    let side = PathBuf::from(format!("{}.json", p.display()));
+    let good = std::fs::read_to_string(&side).unwrap();
+
+    // Unknown dtype: refused before any payload bytes are interpreted.
+    std::fs::write(&side, good.replace("f32le+ifz1", "f64le+ifz1")).unwrap();
+    assert!(matches!(
+        read_frame(p),
+        Err(IoError::UnsupportedDtype(d)) if d == "f64le+ifz1"
+    ));
+
+    // Dims that disagree with the container's voxel count: the header is
+    // intact, so the mismatch is pinned as VoxelCount, not a CRC error.
+    std::fs::write(
+        &side,
+        good.replace(&format!("{}", DIMS.0), &format!("{}", DIMS.0 + 1)),
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(p),
+        Err(IoError::Codec(CodecError::VoxelCount { .. }))
+    ));
+
+    std::fs::write(&side, &good).unwrap();
+    read_frame(p).expect("restored sidecar must read clean");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corruption_surfaces_through_the_paged_series_as_series_codec() {
+    let dir = tmpdir("series");
+    let paths = write_corpus(&dir);
+    let good = std::fs::read(&paths[1]).unwrap();
+    let (_, bricks) = layout(&good);
+    let mut bad = good.clone();
+    bad[bricks[1].start + 3] ^= 0x40;
+    std::fs::write(&paths[1], &bad).unwrap();
+
+    let budget = CacheBudgetHandle::frames(1);
+    let ooc = OutOfCoreSeries::open_with(paths.clone(), &budget, 0).unwrap();
+    // The clean frame pages in fine; the corrupted one is a typed refusal
+    // every time it is demanded, through the FrameSource trait surface.
+    assert!(FrameSource::frame(&ooc, 0).is_ok());
+    for _ in 0..2 {
+        match FrameSource::frame(&ooc, 1) {
+            Err(SeriesError::Codec(CodecError::BrickCrc { brick: 1 })) => {}
+            Err(other) => panic!("expected SeriesError::Codec(BrickCrc), got {other:?}"),
+            Ok(_) => panic!("corrupted frame paged in Ok — silently wrong voxels"),
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sampled_whole_file_flip_sweep_never_panics_or_lies() {
+    // Belt and braces on top of the targeted tests: walk both frames at a
+    // prime stride; any single-byte flip anywhere must yield Err, never Ok.
+    let dir = tmpdir("sweep");
+    let paths = write_corpus(&dir);
+    for p in &paths {
+        let good = std::fs::read(p).unwrap();
+        for pos in (0..good.len()).step_by(13) {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            std::fs::write(p, &bad).unwrap();
+            assert!(
+                read_frame(p).is_err(),
+                "{}: flip at byte {pos} was not detected",
+                p.display()
+            );
+        }
+        std::fs::write(p, &good).unwrap();
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

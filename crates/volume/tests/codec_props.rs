@@ -1,0 +1,150 @@
+//! Property-based tests for the bricked frame codec: every `f32` bit
+//! pattern — quiet/signalling NaN payloads, ±infinity, denormals, negative
+//! zero — must survive encode → decode bit-identically, at every frame
+//! length (empty, sub-brick, exact multiples, ragged tails), and the
+//! compressed container must never blow up beyond its fixed per-brick
+//! overhead.
+
+use ifet_volume::codec::{decode_frame, encode_frame, BRICK_VOXELS, ENTRY_LEN, HEADER_LEN};
+use proptest::prelude::*;
+
+/// Frame lengths that exercise the brick layout: empty, one partial brick,
+/// exact brick multiples, and ragged tails across several bricks.
+fn len_strategy() -> BoxedStrategy<usize> {
+    prop_oneof![
+        Just(0usize),
+        1usize..64,
+        Just(BRICK_VOXELS - 1),
+        Just(BRICK_VOXELS),
+        Just(BRICK_VOXELS + 1),
+        Just(2 * BRICK_VOXELS),
+        (2 * BRICK_VOXELS + 1)..(3 * BRICK_VOXELS),
+    ]
+    .boxed()
+}
+
+/// A single arbitrary `f32` *bit pattern*, biased toward the special values
+/// a value-range strategy would never produce.
+fn bits_strategy() -> BoxedStrategy<u32> {
+    prop_oneof![
+        // Fully arbitrary bits (hits normals, denormals, NaNs, infs).
+        any::<u32>(),
+        // Explicit specials: +/-0, +/-inf, canonical NaN, NaN payloads.
+        Just(0x0000_0000u32),
+        Just(0x8000_0000u32),
+        Just(0x7f80_0000u32),
+        Just(0xff80_0000u32),
+        Just(f32::NAN.to_bits()),
+        Just(0x7fc0_dead_u32 | 0x7fc0_0000),
+        Just(0xffc0_0001u32),
+        // Denormal neighborhood.
+        Just(0x0000_0001u32),
+        Just(0x807f_ffffu32),
+    ]
+    .boxed()
+}
+
+fn assert_bits_roundtrip(values: &[f32]) {
+    let enc = encode_frame(values);
+    let dec = decode_frame(&enc, values.len()).expect("decode of fresh encode");
+    assert_eq!(dec.len(), values.len());
+    for (i, (a, b)) in values.iter().zip(&dec).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "voxel {i} changed: {:08x} -> {:08x}",
+            a.to_bits(),
+            b.to_bits()
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bit_patterns_roundtrip(len in len_strategy(), seed in any::<u64>()) {
+        // One strategy draw seeds a cheap per-voxel bit generator so large
+        // frames don't need a Vec strategy of the same length.
+        let mut x = seed | 1;
+        let values: Vec<f32> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f32::from_bits((x >> 33) as u32 ^ (x as u32))
+            })
+            .collect();
+        assert_bits_roundtrip(&values);
+    }
+
+    #[test]
+    fn special_value_frames_roundtrip(len in len_strategy(),
+                                      specials in collection::vec(bits_strategy(), 1..16)) {
+        // Tile the special bit patterns across the frame, so NaN payloads,
+        // infinities, and denormals land in every brick including the tail.
+        let values: Vec<f32> = (0..len)
+            .map(|i| f32::from_bits(specials[i % specials.len()]))
+            .collect();
+        assert_bits_roundtrip(&values);
+    }
+
+    #[test]
+    fn constant_bricks_roundtrip_and_shrink(bits in bits_strategy(),
+                                            len in 256usize..(2 * BRICK_VOXELS)) {
+        let values = vec![f32::from_bits(bits); len];
+        assert_bits_roundtrip(&values);
+        // A constant frame is the codec's best case: delta planes are all
+        // zero after the first byte, so RLE must beat 4:1.
+        let enc = encode_frame(&values);
+        assert!(
+            enc.len() < values.len(),
+            "constant frame of {len} voxels encoded to {} bytes",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn worst_case_overhead_is_bounded(len in len_strategy(), seed in any::<u64>()) {
+        // Incompressible bits: stored-mode fallback caps the container at
+        // raw size plus fixed header/table overhead — never more.
+        let mut x = seed | 1;
+        let values: Vec<f32> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f32::from_bits((x >> 32) as u32)
+            })
+            .collect();
+        let enc = encode_frame(&values);
+        let bricks = len.div_ceil(BRICK_VOXELS);
+        let cap = len * 4 + HEADER_LEN + bricks * ENTRY_LEN;
+        assert!(
+            enc.len() <= cap,
+            "{len} voxels encoded to {} bytes, cap {cap}",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn ratio_counter_stays_sane(len in 64usize..(BRICK_VOXELS + 64), seed in any::<u64>()) {
+        // The volume.codec.ratio_pct counter: never 0, and at most 200%
+        // (the worst case is container overhead on an incompressible frame,
+        // comfortably under a 100% blowup for any non-trivial frame).
+        let mut x = seed | 1;
+        let values: Vec<f32> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f32::from_bits((x >> 32) as u32)
+            })
+            .collect();
+        let (_, trace) = ifet_obs::capture("codec.props", || encode_frame(&values));
+        let ratio = trace.root.counter("volume.codec.ratio_pct").unwrap();
+        assert!((1..=200).contains(&ratio), "ratio {ratio}% out of sane range");
+    }
+
+    #[test]
+    fn decode_rejects_wrong_voxel_count(len in 1usize..2048, delta in 1usize..64) {
+        let values = vec![1.0f32; len];
+        let enc = encode_frame(&values);
+        assert!(decode_frame(&enc, len + delta).is_err());
+        if len > delta {
+            assert!(decode_frame(&enc, len - delta).is_err());
+        }
+    }
+}

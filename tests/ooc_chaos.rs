@@ -244,3 +244,111 @@ fn prefetch_under_chaos_respects_byte_budget_and_stats_algebra() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Storage-flavor chaos: the same hostile schedules against the compressed
+// decode path and the mmap zero-copy path. Faults injected under the retry
+// loop hit whichever read primitive the flavor uses, so delays and transient
+// errors exercise decode-after-read and map-after-open alike — and must
+// remain invisible except as `read_retries`.
+// ---------------------------------------------------------------------------
+
+fn on_disk_compressed(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
+    let s = series();
+    let dir = std::env::temp_dir().join(format!("ifet_ooc_chaos_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = ifet_volume::io::write_series_with(&dir, "chaos", &s, true).unwrap();
+    (s, paths)
+}
+
+fn open_mmap(paths: &[PathBuf], budget: CacheBudget, prefetch: usize) -> OutOfCoreSeries {
+    OutOfCoreSeries::open_mmap(paths.to_vec(), &CacheBudgetHandle::new(budget), prefetch).unwrap()
+}
+
+#[test]
+fn chaos_over_compressed_frames_never_changes_outputs_or_traces() {
+    let (s, paths) = on_disk_compressed("decode");
+    let (reference, ref_trace) = tracked(&s);
+    for seed in [3u64, 11, 29] {
+        for prefetch in [0usize, 2] {
+            let ooc = open_with(&paths, CacheBudget::Frames(2), prefetch);
+            ooc.set_read_fault_hook(Some(chaos_hook(seed, 2)));
+            let (masks, trace) = tracked(&ChaosSource::new(&ooc, seed));
+            assert_eq!(
+                masks, reference,
+                "compressed outputs diverged (seed {seed}, prefetch {prefetch})"
+            );
+            assert_eq!(
+                trace, ref_trace,
+                "compressed stable trace diverged (seed {seed}, prefetch {prefetch})"
+            );
+            let st = ooc.stats();
+            assert!(
+                st.read_retries >= 2 * FRAMES as u64,
+                "decode-path faults must surface as retries, got {}",
+                st.read_retries
+            );
+            assert!(st.resident_high_water <= 2);
+        }
+    }
+}
+
+#[test]
+fn chaos_over_mmap_frames_never_changes_outputs_or_traces() {
+    let (s, paths) = on_disk("mmap");
+    let (reference, ref_trace) = tracked(&s);
+    for seed in [5u64, 13, 37] {
+        for prefetch in [0usize, 2] {
+            let ooc = open_mmap(&paths, CacheBudget::Frames(2), prefetch);
+            assert!(ooc.is_mmap());
+            ooc.set_read_fault_hook(Some(chaos_hook(seed, 2)));
+            let (masks, trace) = tracked(&ChaosSource::new(&ooc, seed));
+            assert_eq!(
+                masks, reference,
+                "mmap outputs diverged (seed {seed}, prefetch {prefetch})"
+            );
+            assert_eq!(
+                trace, ref_trace,
+                "mmap stable trace diverged (seed {seed}, prefetch {prefetch})"
+            );
+            let st = ooc.stats();
+            assert!(
+                st.read_retries >= 2 * FRAMES as u64,
+                "mmap-path faults must surface as retries, got {}",
+                st.read_retries
+            );
+            assert!(st.resident_high_water <= 2);
+        }
+    }
+}
+
+#[test]
+fn chaos_byte_budgets_hold_in_compressed_units() {
+    // Byte-budgeted paging over compressed frames under fault + delay
+    // chaos: outputs still byte-identical, and the high-water stays under
+    // the budget measured in *compressed* bytes.
+    let (s, paths) = on_disk_compressed("zbudget");
+    let criterion = FixedBandCriterion::new(0.9, 3.0, s.len()).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let reference = grow_4d(&s, &criterion, &seeds).unwrap();
+    let budget = 2 * FRAME_BYTES;
+    for seed in [7u64, 19] {
+        for prefetch in [1usize, 4] {
+            let ooc = open_with(&paths, CacheBudget::Bytes(budget), prefetch);
+            ooc.set_read_fault_hook(Some(chaos_hook(seed, 1)));
+            let masks = grow_4d(&ChaosSource::new(&ooc, seed), &criterion, &seeds).unwrap();
+            assert_eq!(
+                masks, reference,
+                "compressed outputs diverged (seed {seed}, prefetch {prefetch})"
+            );
+            let st = ooc.stats();
+            assert!(
+                st.resident_high_water_bytes <= budget,
+                "compressed-byte high-water {} exceeds budget {budget} \
+                 (seed {seed}, prefetch {prefetch})",
+                st.resident_high_water_bytes
+            );
+            assert!(st.prefetch_wasted <= st.prefetched);
+        }
+    }
+}

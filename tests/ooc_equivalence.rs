@@ -9,7 +9,7 @@ use ifet_core::persist::save_session_bytes;
 use ifet_core::prelude::*;
 use ifet_tf::IatfBuilder;
 use ifet_track::FixedBandCriterion;
-use ifet_volume::{CacheBudget, CacheBudgetHandle, FrameSource, OutOfCoreSeries};
+use ifet_volume::{CacheBudget, CacheBudgetHandle, FrameSource, Mapping, OutOfCoreSeries};
 use std::path::PathBuf;
 
 const FRAMES: usize = 16;
@@ -357,4 +357,263 @@ fn session_artifacts_are_identical_across_prefetch_budget_and_threads() {
             assert_budget_held(sess.series(), budget);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Storage flavor matrix: the same contract across on-disk formats and read
+// paths. {raw, compressed, mmap} × {frame budget, byte budget} × prefetch
+// {0, 2} at capacities 1, 2, and full — the codec and the zero-copy mapping
+// may change how bytes reach memory, never a single output byte. Compressed
+// series additionally charge the byte budget at *compressed* size, and the
+// byte high-water must stay under the budget in those smaller units.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flavor {
+    Raw,
+    Compressed,
+    Mmap,
+}
+
+const FLAVORS: [Flavor; 3] = [Flavor::Raw, Flavor::Compressed, Flavor::Mmap];
+
+/// Write the fixture once per (tag, flavor); mmap reads raw files.
+fn on_disk_flavor(tag: &str, flavor: Flavor) -> (TimeSeries, Vec<PathBuf>) {
+    let s = series();
+    let dir = std::env::temp_dir().join(format!(
+        "ifet_ooc_eq_{tag}_{flavor:?}_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let compress = flavor == Flavor::Compressed;
+    let paths = ifet_volume::io::write_series_with(&dir, "eq", &s, compress).unwrap();
+    (s, paths)
+}
+
+fn open_flavor(
+    paths: &[PathBuf],
+    flavor: Flavor,
+    budget: CacheBudget,
+    prefetch: usize,
+) -> OutOfCoreSeries {
+    let h = CacheBudgetHandle::new(budget);
+    match flavor {
+        Flavor::Mmap => OutOfCoreSeries::open_mmap(paths.to_vec(), &h, prefetch).unwrap(),
+        _ => OutOfCoreSeries::open_with(paths.to_vec(), &h, prefetch).unwrap(),
+    }
+}
+
+/// Budgets for the flavor sweep: the acceptance capacities {1, 2, full}
+/// plus a two-raw-frame byte budget (compressed frames are charged at
+/// their smaller on-disk size against the same byte count).
+fn flavor_matrix() -> Vec<(CacheBudget, usize)> {
+    let mut m = Vec::new();
+    for budget in [
+        CacheBudget::Frames(1),
+        CacheBudget::Frames(2),
+        CacheBudget::Frames(FRAMES),
+        CacheBudget::Bytes(2 * FRAME_BYTES),
+    ] {
+        for prefetch in [0usize, 2] {
+            m.push((budget, prefetch));
+        }
+    }
+    m
+}
+
+#[test]
+fn grow_4d_is_identical_across_storage_flavors() {
+    let criterion = FixedBandCriterion::new(0.9, 3.0, FRAMES).unwrap();
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let reference = grow_4d(&series(), &criterion, &seeds).unwrap();
+    for flavor in FLAVORS {
+        let (_, paths) = on_disk_flavor("grow", flavor);
+        for (budget, prefetch) in flavor_matrix() {
+            let ooc = open_flavor(&paths, flavor, budget, prefetch);
+            let masks = grow_4d(&ooc, &criterion, &seeds).unwrap();
+            assert_eq!(
+                masks, reference,
+                "grow_4d diverged at {flavor:?}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn classify_series_is_identical_across_storage_flavors() {
+    let s = series();
+    let truth = Mask3::threshold(s.frame(0), 1.0);
+    let mut oracle = PaintOracle::new(11);
+    oracle.slice_stride = 1;
+    let paints = vec![oracle.paint_from_truth(0, &truth, 60, 60)];
+    let clf = DataSpaceClassifier::train(
+        FeatureExtractor::new(FeatureSpec::default()),
+        &s,
+        &paints,
+        ClassifierParams {
+            epochs: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let reference = clf.classify_series(&s).unwrap();
+    for flavor in FLAVORS {
+        let (_, paths) = on_disk_flavor("classify", flavor);
+        for (budget, prefetch) in flavor_matrix() {
+            let ooc = open_flavor(&paths, flavor, budget, prefetch);
+            let out = clf.classify_series(&ooc).unwrap();
+            assert_eq!(
+                out, reference,
+                "classification diverged at {flavor:?}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn iatf_is_identical_across_storage_flavors() {
+    let s = series();
+    let (glo, ghi) = s.global_range();
+    let keys: Vec<(u32, TransferFunction1D)> = [0u32, 35, 75]
+        .iter()
+        .map(|&t| (t, TransferFunction1D::band(glo, ghi, 0.9, 1.8, 1.0)))
+        .collect();
+    let params = IatfParams {
+        epochs: 60,
+        ..Default::default()
+    };
+    let build = || {
+        let mut b = IatfBuilder::new(params);
+        for (t, tf) in &keys {
+            b.add_key_frame(*t, tf.clone());
+        }
+        b
+    };
+    let reference = build().train(&s);
+    let ref_json = serde_json::to_string(&reference).unwrap();
+    let ref_tfs: Vec<TransferFunction1D> = s
+        .iter()
+        .map(|(t, frame)| reference.generate(t, frame))
+        .collect();
+    for flavor in FLAVORS {
+        let (_, paths) = on_disk_flavor("iatf", flavor);
+        for (budget, prefetch) in flavor_matrix() {
+            let ooc = open_flavor(&paths, flavor, budget, prefetch);
+            let iatf = build().train(&ooc);
+            assert_eq!(
+                serde_json::to_string(&iatf).unwrap(),
+                ref_json,
+                "IATF training diverged at {flavor:?}, {budget:?}, prefetch {prefetch}"
+            );
+            let tfs: Vec<TransferFunction1D> =
+                ifet_volume::map_frames_windowed(&ooc, |_, t, frame| iatf.generate(t, frame))
+                    .unwrap();
+            assert_eq!(
+                tfs, ref_tfs,
+                "IATF generation diverged at {flavor:?}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(&ooc, budget);
+        }
+    }
+}
+
+#[test]
+fn session_artifacts_are_identical_across_storage_flavors() {
+    let spec = CriterionSpec::FixedBand { lo: 0.9, hi: 3.0 };
+    let seeds = [(0usize, 3usize, 6usize, 6usize)];
+    let mut reference = VisSession::new(series()).unwrap();
+    assert_eq!(
+        reference.run_track(spec.clone(), &seeds, None).unwrap(),
+        TrackStatus::Completed
+    );
+    let ref_bytes = save_session_bytes(&reference);
+    for flavor in FLAVORS {
+        let (_, paths) = on_disk_flavor("artifact", flavor);
+        for (budget, prefetch) in flavor_matrix() {
+            let ooc = open_flavor(&paths, flavor, budget, prefetch);
+            let mut sess = VisSession::new(ooc).unwrap();
+            assert_eq!(
+                sess.run_track(spec.clone(), &seeds, None).unwrap(),
+                TrackStatus::Completed
+            );
+            assert_eq!(
+                save_session_bytes(&sess),
+                ref_bytes,
+                "artifact bytes diverged at {flavor:?}, {budget:?}, prefetch {prefetch}"
+            );
+            assert_budget_held(sess.series(), budget);
+        }
+    }
+}
+
+#[test]
+fn mmap_series_actually_borrows_when_the_platform_supports_it() {
+    let (s, paths) = on_disk_flavor("borrow", Flavor::Mmap);
+    let ooc = open_flavor(&paths, Flavor::Mmap, CacheBudget::Frames(2), 0);
+    assert!(ooc.is_mmap());
+    for i in 0..s.len() {
+        let h = FrameSource::frame(&ooc, i).unwrap();
+        assert_eq!(
+            h.is_mapped(),
+            Mapping::supported(),
+            "frame {i}: mmap flavor must borrow exactly when the platform can"
+        );
+        assert_eq!(&*h, s.frame(i));
+    }
+}
+
+#[test]
+fn compressed_byte_budget_admits_more_frames_than_raw() {
+    // A quantized fixture (few distinct voxel values, so the shuffled delta
+    // planes RLE away) compresses far below raw size; charged at compressed
+    // size, a single raw frame's worth of byte budget must hold several
+    // compressed frames at once — while the compressed-byte high-water
+    // stays under the budget.
+    let d = Dims3::cube(12);
+    let quantized = TimeSeries::from_frames(
+        (0..FRAMES)
+            .map(|k| {
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| ((x + y + z + k) / 6) as f32);
+                (k as u32 * 5, vol)
+            })
+            .collect(),
+    );
+    let dir = std::env::temp_dir().join(format!("ifet_ooc_eq_charge_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let zpaths = ifet_volume::io::write_series_with(&dir, "eq", &quantized, true).unwrap();
+    let zsize = std::fs::metadata(&zpaths[0]).unwrap().len();
+    assert!(
+        zsize * 2 <= FRAME_BYTES,
+        "fixture stopped compressing ({zsize} of {FRAME_BYTES} raw bytes); \
+         the charging assertions below would be vacuous"
+    );
+    let budget = CacheBudget::Bytes(FRAME_BYTES);
+    let ooc = open_flavor(&zpaths, Flavor::Compressed, budget, 0);
+    for i in 0..FRAMES {
+        FrameSource::frame(&ooc, i).unwrap();
+    }
+    let st = ooc.stats();
+    assert!(
+        st.resident_high_water >= 2,
+        "one raw frame of byte budget held only {} compressed frames",
+        st.resident_high_water
+    );
+    assert!(
+        st.resident_high_water_bytes <= FRAME_BYTES,
+        "compressed-byte high-water {} exceeds budget {FRAME_BYTES}",
+        st.resident_high_water_bytes
+    );
+
+    let (_, rpaths) = on_disk_flavor("charge_raw", Flavor::Raw);
+    let raw = open_flavor(&rpaths, Flavor::Raw, budget, 0);
+    for i in 0..FRAMES {
+        FrameSource::frame(&raw, i).unwrap();
+    }
+    assert_eq!(
+        raw.stats().resident_high_water,
+        1,
+        "raw frames charge full size: the same budget holds exactly one"
+    );
 }

@@ -29,9 +29,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Options that take no value; `--profile` alone means "print the profile",
-/// `--compress` selects bricked compressed frame output, and `--mmap` pages
-/// raw frames by zero-copy file mapping.
-const BOOL_FLAGS: &[&str] = &["profile", "compress", "mmap"];
+/// `--compress` selects bricked compressed frame output, `--mmap` pages
+/// raw frames by zero-copy file mapping, and `--adaptive` asks
+/// `client render-slice` for IATF-modulated opacity.
+const BOOL_FLAGS: &[&str] = &["profile", "compress", "mmap", "adaptive"];
 
 /// Parsed command line: subcommand, positional args, `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -900,6 +901,192 @@ pub fn cmd_suggest_keys(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `serve` subcommand: run the multi-tenant session service on a Unix
+/// socket. Every tenant's frame data pages through one shared cache budget
+/// (`--ooc-cache N` / `--ooc-cache-bytes B`, default 8 frames); per-tenant
+/// admission is bounded by `--max-inflight` (excess requests get a typed
+/// `Overloaded` rejection, never a queue). `--max-requests N` stops the
+/// server after N answered requests — a deterministic exit for scripts and
+/// tests.
+#[cfg(unix)]
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    use ifet_serve::{serve_unix, ServeConfig, ServeEngine, ServerOpts};
+    let socket = args.require("socket")?;
+    let (budget, prefetch) = match ooc_budget_opt(args)? {
+        Some(o) if o.mmap => {
+            return Err("serve pages through the shared cache; --mmap is not supported".into())
+        }
+        Some(o) => (o.budget, o.prefetch),
+        None => (CacheBudget::Frames(8), 0),
+    };
+    let max_inflight: usize = args.opt_parse("max-inflight", 4usize)?;
+    if max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    let max_requests = args
+        .opt("max-requests")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("invalid --max-requests: {s:?}"))
+        })
+        .transpose()?;
+    let engine = ServeEngine::new(ServeConfig {
+        budget,
+        max_inflight_per_tenant: max_inflight,
+        prefetch,
+    });
+    let served = serve_unix(Path::new(socket), &engine, ServerOpts { max_requests })
+        .map_err(|e| format!("serve failed: {e}"))?;
+    Ok(format!("served {served} requests on {socket}"))
+}
+
+#[cfg(not(unix))]
+pub fn cmd_serve(_args: &Args) -> Result<String, String> {
+    Err("serve requires a Unix-socket transport".into())
+}
+
+/// `client` subcommand: send one verb to a running `ifet serve` and print
+/// the reply. The tenant id travels with the request, so a tenant's session
+/// binding persists across invocations.
+#[cfg(unix)]
+pub fn cmd_client(args: &Args) -> Result<String, String> {
+    use ifet_serve::{Axis, Client, Request, Verb, WireCriterion};
+    let socket = args.require("socket")?;
+    let tenant: u32 = args.opt_parse("tenant", 0u32)?;
+    let verb_name = args
+        .positional
+        .first()
+        .ok_or("client needs a verb: open, classify, track, render-slice, report-stats, close")?;
+    let verb = match verb_name.as_str() {
+        "open" => Verb::Open {
+            artifact: args.require("artifact")?.to_string(),
+            data_dir: args.require("data")?.to_string(),
+        },
+        "classify" => Verb::Classify {
+            step: args.require("step")?.parse().map_err(|_| "bad --step")?,
+            tau: args.opt_parse("tau", 0.5f32)?,
+        },
+        "track" => {
+            let (sx, sy, sz) = parse_voxel(args.require("seed")?)?;
+            let criterion = if let Some(band) = args.opt("band") {
+                let (lo, hi) = parse_band(band)?;
+                WireCriterion::FixedBand { lo, hi }
+            } else if let Some(tau) = args.opt("dataspace-tau") {
+                WireCriterion::DataSpace {
+                    tau: tau.parse().map_err(|_| "bad --dataspace-tau")?,
+                }
+            } else {
+                WireCriterion::AdaptiveTf {
+                    tau: args.opt_parse("tau", 0.5f32)?,
+                }
+            };
+            Verb::Track {
+                criterion,
+                seeds: vec![(0, sx as u32, sy as u32, sz as u32)],
+            }
+        }
+        "render-slice" => Verb::RenderSlice {
+            step: args.require("step")?.parse().map_err(|_| "bad --step")?,
+            axis: match args.opt("axis").unwrap_or("z") {
+                "x" => Axis::X,
+                "y" => Axis::Y,
+                "z" => Axis::Z,
+                other => return Err(format!("invalid --axis {other:?} (x, y, or z)")),
+            },
+            k: args.opt_parse("k", 0u32)?,
+            adaptive: args.flag("adaptive"),
+        },
+        "report-stats" => Verb::ReportStats,
+        "close" => Verb::Close,
+        other => {
+            return Err(format!(
+                "unknown client verb {other:?} \
+                 (open, classify, track, render-slice, report-stats, close)"
+            ))
+        }
+    };
+    let mut client = Client::connect(Path::new(socket))
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let rsp = client
+        .call(&Request {
+            request_id: 1,
+            tenant,
+            verb,
+        })
+        .map_err(|e| format!("call failed: {e}"))?;
+    format_response(args, rsp.body)
+}
+
+#[cfg(not(unix))]
+pub fn cmd_client(_args: &Args) -> Result<String, String> {
+    Err("client requires a Unix-socket transport".into())
+}
+
+#[cfg(unix)]
+fn format_response(args: &Args, body: ifet_serve::ResponseBody) -> Result<String, String> {
+    use ifet_serve::ResponseBody;
+    match body {
+        ResponseBody::OpenOk {
+            frames,
+            dims,
+            first_step,
+            last_step,
+            has_iatf,
+            has_classifier,
+            tracks,
+        } => Ok(format!(
+            "opened: {frames} frames of {}x{}x{}, steps {first_step}..{last_step}, \
+             iatf {}, classifier {}, {tracks} completed tracks",
+            dims.0,
+            dims.1,
+            dims.2,
+            if has_iatf { "trained" } else { "absent" },
+            if has_classifier { "trained" } else { "absent" },
+        )),
+        ResponseBody::ClassifyOk { voxels, words } => Ok(format!(
+            "classified: {voxels} voxels above tau ({} mask words)",
+            words.len()
+        )),
+        ResponseBody::TrackOk {
+            voxels_per_frame,
+            events,
+        } => {
+            let total: u64 = voxels_per_frame.iter().map(|&v| u64::from(v)).sum();
+            Ok(format!(
+                "tracked: {total} voxels across {} frames, {events} events\nper-frame: {voxels_per_frame:?}",
+                voxels_per_frame.len()
+            ))
+        }
+        ResponseBody::RenderSliceOk { width, height, rgb } => {
+            if let Some(out) = args.opt("out") {
+                let mut ppm = format!("P6\n{width} {height}\n255\n").into_bytes();
+                ppm.extend_from_slice(&rgb);
+                std::fs::write(out, ppm).map_err(|e| e.to_string())?;
+                Ok(format!("rendered {width}x{height} slice -> {out}"))
+            } else {
+                Ok(format!(
+                    "rendered {width}x{height} slice ({} bytes)",
+                    rgb.len()
+                ))
+            }
+        }
+        ResponseBody::StatsOk(st) => Ok(format!(
+            "tenant: sent {}, accepted {}, rejected {}, completed {}, max depth {}\n\
+             batcher: {} jobs in {} cycles, {} MLP rows",
+            st.sent,
+            st.accepted,
+            st.rejected,
+            st.completed,
+            st.max_depth,
+            st.batch_jobs,
+            st.batch_cycles,
+            st.batch_rows,
+        )),
+        ResponseBody::CloseOk => Ok("closed".into()),
+        ResponseBody::Err { code, message } => Err(format!("server error ({code:?}): {message}")),
+    }
+}
+
 /// Dispatch a parsed command, honouring the cross-cutting observability
 /// options: `--trace FILE` writes the versioned span tree as JSON,
 /// `--profile` prints an aggregate per-span table to stderr, and
@@ -942,6 +1129,8 @@ fn command_root(command: &str) -> &'static str {
         "session" => "ifet.session",
         "classify" => "ifet.classify",
         "suggest-keys" => "ifet.suggest-keys",
+        "serve" => "ifet.serve",
+        "client" => "ifet.client",
         _ => "ifet",
     }
 }
@@ -956,6 +1145,8 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "session" => cmd_session(args),
         "classify" => cmd_classify(args),
         "suggest-keys" => cmd_suggest_keys(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     }
@@ -984,6 +1175,23 @@ USAGE:
   ifet classify --data DIR --session FILE [--tau V] [--out DIR [--compress]]
                 [--batch N] [ooc options]
   ifet suggest-keys --data DIR [--max N]
+  ifet serve --socket PATH [--max-inflight N] [--max-requests N] [ooc options]
+  ifet client <verb> --socket PATH [--tenant N] [verb options]
+
+session service (serve / client):
+  `serve` keeps many session artifacts resident at once, every tenant's
+  frame data paged through ONE shared cache budget (--ooc-cache /
+  --ooc-cache-bytes, default 8 frames). Per-tenant admission is bounded by
+  --max-inflight (default 4); requests beyond the bound are rejected with a
+  typed Overloaded error, never queued. --max-requests N exits after N
+  answered requests (deterministic shutdown for scripts).
+  `client` verbs (tenant id rides with every request):
+    open         --artifact FILE.ifet --data DIR
+    classify     --step T [--tau V]
+    track        --seed X,Y,Z (--band LO:HI | --dataspace-tau V | [--tau V])
+    render-slice --step T [--axis x|y|z] [--k K] [--adaptive] [--out FILE.ppm]
+    report-stats
+    close
 
 batched hot paths (render, track, session save, classify):
   --batch N             rows per batched classification pass, and samples per
@@ -1615,6 +1823,85 @@ mod tests {
         .unwrap();
         assert!(msg.contains("trained data-space classifier"), "{msg}");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_and_client_round_trip_over_a_socket() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_srv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        let sess = format!("{dirs}/srv.ifet");
+        run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {sess} --paint 195:10 --clf-epochs 5 --clf-hidden 2"
+        )))
+        .unwrap())
+        .unwrap();
+
+        let sock = format!("{dirs}/ifet.sock");
+        let server = {
+            let serve = parse_args(&argv(&format!(
+                "serve --socket {sock} --ooc-cache 2 --max-requests 4"
+            )))
+            .unwrap();
+            std::thread::spawn(move || run(&serve))
+        };
+        let call = |line: &str| -> Result<String, String> {
+            // The server binds asynchronously; retry connects briefly.
+            let args = parse_args(&argv(line)).unwrap();
+            for _ in 0..500 {
+                match run(&args) {
+                    Err(e) if e.contains("cannot connect") => {
+                        std::thread::sleep(std::time::Duration::from_millis(2))
+                    }
+                    other => return other,
+                }
+            }
+            Err("server never came up".into())
+        };
+
+        let msg = call(&format!(
+            "client open --socket {sock} --tenant 5 --artifact {sess} --data {dirs}"
+        ))
+        .unwrap();
+        assert!(msg.contains("opened: 5 frames of 16x16x16"), "{msg}");
+        assert!(msg.contains("classifier trained"), "{msg}");
+        let msg = call(&format!(
+            "client classify --socket {sock} --tenant 5 --step 195 --tau 0.5"
+        ))
+        .unwrap();
+        assert!(msg.contains("voxels above tau"), "{msg}");
+        let msg = call(&format!("client report-stats --socket {sock} --tenant 5")).unwrap();
+        assert!(msg.contains("accepted 3"), "{msg}");
+        let msg = call(&format!("client close --socket {sock} --tenant 5")).unwrap();
+        assert_eq!(msg, "closed");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("served 4 requests"), "{served}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn client_verb_validation() {
+        let a = parse_args(&argv("client --socket /tmp/x.sock")).unwrap();
+        assert!(run(&a).unwrap_err().contains("needs a verb"));
+        let a = parse_args(&argv("client frobnicate --socket /tmp/x.sock")).unwrap();
+        assert!(run(&a).unwrap_err().contains("unknown client verb"));
+        let a = parse_args(&argv(
+            "client render-slice --socket /tmp/x.sock --step 0 --axis w",
+        ))
+        .unwrap();
+        assert!(run(&a).unwrap_err().contains("invalid --axis"));
+        let a = parse_args(&argv("serve --socket /tmp/x.sock --max-inflight 0")).unwrap();
+        assert!(run(&a).unwrap_err().contains("at least 1"));
+        let a = parse_args(&argv("serve --socket /tmp/x.sock --ooc-cache 2 --mmap")).unwrap();
+        assert!(run(&a).unwrap_err().contains("not supported"));
     }
 
     #[test]

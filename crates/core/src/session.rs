@@ -272,6 +272,23 @@ impl<S: FrameSource> VisSession<S> {
         Some(iatf.generate(t, &frame))
     }
 
+    /// [`Self::adaptive_tf_at_step`] for callers that must survive paging
+    /// I/O failures (e.g. a serving layer): transient frame-source errors
+    /// come back as [`SessionError::Series`] instead of panicking.
+    /// `Ok(None)` means no IATF is trained or the step is not in the series.
+    pub fn try_adaptive_tf_at_step(
+        &self,
+        t: u32,
+    ) -> Result<Option<TransferFunction1D>, SessionError> {
+        let Some(iatf) = self.iatf.as_ref() else {
+            return Ok(None);
+        };
+        match self.series.frame_at_step(t)? {
+            Some(frame) => Ok(Some(iatf.generate(t, &frame))),
+            None => Ok(None),
+        }
+    }
+
     /// Adaptive TFs for every frame, in series order. Frames are visited in
     /// bounded windows so a paged source never exceeds its cache capacity.
     pub fn adaptive_tfs(&self) -> Option<Vec<TransferFunction1D>> {
@@ -408,6 +425,25 @@ impl<S: FrameSource> VisSession<S> {
             .frame_at_step(t)
             .unwrap_or_else(|e| panic!("{e}"))?;
         Some(clf.extract_mask(&frame, self.series.normalized_time(t), tau))
+    }
+
+    /// [`Self::extract_data_space`] for callers that must survive paging
+    /// I/O failures (e.g. a serving layer): transient frame-source errors
+    /// come back as [`SessionError::Series`] instead of panicking.
+    /// `Ok(None)` means no classifier is trained or the step is not in the
+    /// series.
+    pub fn try_extract_data_space(&self, t: u32, tau: f32) -> Result<Option<Mask3>, SessionError> {
+        let Some(clf) = self.classifier.as_ref() else {
+            return Ok(None);
+        };
+        match self.series.frame_at_step(t)? {
+            Some(frame) => Ok(Some(clf.extract_mask(
+                &frame,
+                self.series.normalized_time(t),
+                tau,
+            ))),
+            None => Ok(None),
+        }
     }
 
     // ---- Tracking (paper Section 5) ----

@@ -344,6 +344,34 @@ pub fn counter_runtime(name: &'static str, delta: u64) {
     add_local(name, delta, true);
 }
 
+/// [`counter_runtime`] with a runtime-built name (e.g. a per-tenant label
+/// like `serve.tenant.3.rejected`). Names are interned for the process
+/// lifetime, so use bounded name sets (tenant ids, shard ids) — not
+/// unbounded ones (request ids). Prefer [`counter_runtime`] anywhere the
+/// name is known at compile time.
+pub fn counter_runtime_dyn(name: String, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    add_local(intern(name), delta, true);
+}
+
+/// Process-lifetime intern table backing [`counter_runtime_dyn`]: the
+/// counter buffers key by `&'static str`, so each distinct dynamic name is
+/// leaked exactly once and reused thereafter.
+fn intern(name: String) -> &'static str {
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    match table.iter().find(|n| **n == name) {
+        Some(n) => n,
+        None => {
+            let leaked: &'static str = Box::leak(name.into_boxed_str());
+            table.push(leaked);
+            leaked
+        }
+    }
+}
+
 fn add_local(name: &'static str, delta: u64, runtime: bool) {
     let epoch = EPOCH.load(Ordering::SeqCst);
     LOCAL.with(|buf| {

@@ -1,0 +1,238 @@
+//! Cross-session MLP batching: classification and IATF-generation requests
+//! from *all* tenants funnel through one worker that drains the whole queue
+//! each cycle and runs same-artifact jobs back-to-back.
+//!
+//! Why this is free, determinism-wise: the classifier's scanline path
+//! already assembles features SoA and runs `Mlp::predict_batch`, which is
+//! bit-identical to row-at-a-time inference at every width (PR 6's pinned
+//! invariant), and its scratch pools are bit-identical whether warm or cold
+//! (PR 2). Grouping jobs by artifact therefore changes only *when* work
+//! runs — same-artifact jobs reuse warm predictor pools and the frames the
+//! first job paged in — never the bytes a job returns. That is what lets
+//! the equivalence gate demand byte-identical responses under any
+//! interleaving.
+
+use crate::engine::SharedSession;
+use crate::error::ServeError;
+use ifet_obs as obs;
+use ifet_tf::TransferFunction1D;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A batched unit of MLP work.
+pub(crate) enum JobKind {
+    /// Data-space extraction mask at `step` with certainty threshold `tau`.
+    Classify { step: u32, tau: f32 },
+    /// IATF-generated transfer function for the frame at `step`.
+    GenerateTf { step: u32 },
+}
+
+/// What a job produced.
+pub(crate) enum JobOut {
+    Mask { voxels: u64, words: Vec<u64> },
+    Tf(TransferFunction1D),
+}
+
+pub(crate) struct Job {
+    session: Arc<SharedSession>,
+    kind: JobKind,
+    reply: mpsc::Sender<Result<JobOut, ServeError>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    stop: bool,
+}
+
+/// Monotonic batching counters (engine-wide, surfaced by `report-stats`).
+#[derive(Default)]
+pub(crate) struct BatchCounters {
+    pub cycles: AtomicU64,
+    pub jobs: AtomicU64,
+    pub rows: AtomicU64,
+}
+
+pub(crate) struct Batcher {
+    shared: Arc<(Mutex<Queue>, Condvar)>,
+    pub counters: Arc<BatchCounters>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    pub fn start() -> Self {
+        let shared = Arc::new((Mutex::new(Queue::default()), Condvar::new()));
+        let counters = Arc::new(BatchCounters::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("ifet-serve-batch".into())
+                .spawn(move || worker_loop(&shared, &counters))
+                .expect("spawn batch worker")
+        };
+        Self {
+            shared,
+            counters,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue a job and wake the worker. The caller blocks on the reply
+    /// channel, so per-tenant in-flight accounting covers time spent queued.
+    pub fn submit(&self, session: Arc<SharedSession>, kind: JobKind) -> Result<JobOut, ServeError> {
+        let (lock, cv) = &*self.shared;
+        let reply_rx = {
+            let (tx, rx) = mpsc::channel();
+            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            q.jobs.push_back(Job {
+                session,
+                kind,
+                reply: tx,
+            });
+            cv.notify_one();
+            rx
+        };
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Session {
+                reason: "batch worker unavailable".into(),
+            }),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.shared;
+        {
+            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            q.stop = true;
+        }
+        cv.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &(Mutex<Queue>, Condvar), counters: &BatchCounters) {
+    let (lock, cv) = shared;
+    loop {
+        // Drain the *entire* queue in one sweep: everything pending at this
+        // instant, across all tenants, becomes one batch cycle.
+        let batch: Vec<Job> = {
+            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            while q.jobs.is_empty() && !q.stop {
+                q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.jobs.is_empty() && q.stop {
+                return;
+            }
+            q.jobs.drain(..).collect()
+        };
+
+        // Group by artifact, preserving first-arrival order of groups and
+        // arrival order within each group, so same-artifact jobs run
+        // back-to-back against warm predictor pools and resident frames.
+        let mut order: Vec<&str> = Vec::new();
+        for job in &batch {
+            if !order.iter().any(|k| *k == job.session.key()) {
+                order.push(job.session.key());
+            }
+        }
+        let order: Vec<String> = order.into_iter().map(String::from).collect();
+
+        let njobs = batch.len() as u64;
+        let mut rows = 0u64;
+        let mut jobs: Vec<Option<Job>> = batch.into_iter().map(Some).collect();
+        for key in &order {
+            for slot in jobs.iter_mut() {
+                let belongs = slot
+                    .as_ref()
+                    .is_some_and(|j| j.session.key() == key.as_str());
+                if !belongs {
+                    continue;
+                }
+                let job = slot.take().expect("slot checked non-empty");
+                rows += run_job(job);
+            }
+        }
+
+        counters.cycles.fetch_add(1, Ordering::Relaxed);
+        counters.jobs.fetch_add(njobs, Ordering::Relaxed);
+        counters.rows.fetch_add(rows, Ordering::Relaxed);
+        obs::counter_runtime("serve.batch.cycles", 1);
+        obs::counter_runtime("serve.batch.jobs", njobs);
+        obs::counter_runtime("serve.batch.rows", rows);
+        obs::flush();
+    }
+}
+
+/// Execute one job and send its reply; returns the MLP rows it consumed.
+fn run_job(job: Job) -> u64 {
+    let session = job.session.session();
+    let (result, rows) = match job.kind {
+        JobKind::Classify { step, tau } => match session.try_extract_data_space(step, tau) {
+            Ok(Some(mask)) => {
+                let rows = session.series().dims().len() as u64;
+                (
+                    Ok(JobOut::Mask {
+                        voxels: mask.count() as u64,
+                        words: mask.words().to_vec(),
+                    }),
+                    rows,
+                )
+            }
+            Ok(None) => (Err(classify_refusal(job.session.as_ref(), step)), 0),
+            Err(e) => (
+                Err(ServeError::Session {
+                    reason: e.to_string(),
+                }),
+                0,
+            ),
+        },
+        JobKind::GenerateTf { step } => match session.try_adaptive_tf_at_step(step) {
+            Ok(Some(tf)) => {
+                let rows = session.series().dims().len() as u64;
+                (Ok(JobOut::Tf(tf)), rows)
+            }
+            Ok(None) => (Err(generate_refusal(job.session.as_ref(), step)), 0),
+            Err(e) => (
+                Err(ServeError::Session {
+                    reason: e.to_string(),
+                }),
+                0,
+            ),
+        },
+    };
+    let _ = job.reply.send(result);
+    rows
+}
+
+fn classify_refusal(shared: &SharedSession, step: u32) -> ServeError {
+    if shared.session().classifier().is_none() {
+        ServeError::Session {
+            reason: "no trained classifier in this session".into(),
+        }
+    } else {
+        ServeError::BadRequest {
+            reason: format!("step {step} not in the series"),
+        }
+    }
+}
+
+fn generate_refusal(shared: &SharedSession, step: u32) -> ServeError {
+    if shared.session().iatf().is_none() {
+        ServeError::Session {
+            reason: "no trained IATF in this session".into(),
+        }
+    } else {
+        ServeError::BadRequest {
+            reason: format!("step {step} not in the series"),
+        }
+    }
+}

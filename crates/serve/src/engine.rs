@@ -1,0 +1,502 @@
+//! The multi-tenant serving engine: resident shared sessions, one global
+//! cache budget, per-tenant admission control, typed errors.
+//!
+//! # Residency model
+//!
+//! Sessions are keyed by `.ifet` artifact path. The first `open` loads the
+//! artifact against an [`OutOfCoreSeries`] opened on the engine's *shared*
+//! [`CacheBudgetHandle`]; later opens of the same artifact — by any tenant —
+//! bind to the same resident [`SharedSession`] (an `Arc`, enabled by the
+//! `FrameSource for Arc<S>` passthrough). All verbs take `&self` on the
+//! session, so tenants serve concurrently from one copy; a session leaves
+//! memory when the last tenant bound to it closes.
+//!
+//! # Fairness and backpressure
+//!
+//! Admission is per-tenant: each tenant may have at most
+//! [`ServeConfig::max_inflight_per_tenant`] requests executing (or queued at
+//! the batcher / blocked on paging) at once. The bound is checked at entry —
+//! a request over the bound is *rejected immediately* with a typed
+//! `Overloaded` error rather than queued, so one greedy tenant can saturate
+//! only its own lane while the byte budget is contended, never the accept
+//! path of others. Counters satisfy `accepted + rejected == sent` at any
+//! quiescent point.
+//!
+//! # Why responses are schedule-independent
+//!
+//! Every verb except `report-stats` computes from (artifact bytes, request
+//! arguments) alone through code whose outputs are pinned bit-identical
+//! against paging order, batch width, and thread count by the equivalence
+//! suites of PRs 4–7. The engine adds no response state of its own — no
+//! timestamps, no sequence numbers — so a concurrent run must produce the
+//! same response bytes as a serial replay. `report-stats` is the deliberate
+//! exception (it *reports* scheduling), mirroring how runtime counters are
+//! stripped from stable traces.
+
+use crate::batch::{Batcher, JobKind, JobOut};
+use crate::error::ServeError;
+use crate::protocol::{
+    Axis, ErrorCode, Request, Response, ResponseBody, StatsReport, Verb, WireCriterion,
+};
+use ifet_core::prelude::*;
+use ifet_obs as obs;
+use ifet_render::{render_slice, SliceAxis};
+use ifet_volume::{CacheBudget, CacheBudgetHandle, FrameSource, OutOfCoreSeries, ReadFaultHook};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Engine-wide policy knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// The single budget every tenant's frame data pages through.
+    pub budget: CacheBudget,
+    /// Per-tenant in-flight bound; requests beyond it are rejected
+    /// `Overloaded`, never queued.
+    pub max_inflight_per_tenant: usize,
+    /// Read-ahead depth for newly opened series (0 = no prefetch).
+    pub prefetch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            budget: CacheBudget::Frames(8),
+            max_inflight_per_tenant: 4,
+            prefetch: 0,
+        }
+    }
+}
+
+/// One artifact resident in the engine: the paged series and the loaded
+/// session, shared by every tenant bound to it.
+pub struct SharedSession {
+    key: String,
+    series: Arc<OutOfCoreSeries>,
+    session: VisSession<Arc<OutOfCoreSeries>>,
+}
+
+impl SharedSession {
+    /// The artifact path this session was loaded from.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The resident session (read-only under serving).
+    pub fn session(&self) -> &VisSession<Arc<OutOfCoreSeries>> {
+        &self.session
+    }
+
+    /// The shared paged series (for cache stats and fault injection).
+    pub fn series(&self) -> &OutOfCoreSeries {
+        &self.series
+    }
+}
+
+/// Per-tenant admission state and counters.
+#[derive(Default)]
+struct Tenant {
+    inflight: AtomicUsize,
+    sent: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    max_depth: AtomicU64,
+    session: Mutex<Option<Arc<SharedSession>>>,
+}
+
+impl Tenant {
+    fn note_depth(&self, depth: usize) {
+        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    budget: CacheBudgetHandle,
+    /// Artifact key → resident session. `Weak` so residency ends with the
+    /// last tenant binding, not with the map entry.
+    artifacts: Mutex<HashMap<String, Weak<SharedSession>>>,
+    tenants: Mutex<BTreeMap<u32, Arc<Tenant>>>,
+    batcher: Batcher,
+    /// Fault hooks by artifact key, applied at open time (chaos testing).
+    fault_hooks: Mutex<HashMap<String, ReadFaultHook>>,
+}
+
+/// The multi-tenant serving engine. Cheap to clone (shared state); all
+/// methods take `&self`, so one engine serves any number of client threads.
+#[derive(Clone)]
+pub struct ServeEngine {
+    inner: Arc<Inner>,
+}
+
+impl ServeEngine {
+    pub fn new(cfg: ServeConfig) -> Self {
+        let budget = CacheBudgetHandle::new(cfg.budget);
+        Self {
+            inner: Arc::new(Inner {
+                cfg,
+                budget,
+                artifacts: Mutex::new(HashMap::new()),
+                tenants: Mutex::new(BTreeMap::new()),
+                batcher: Batcher::start(),
+                fault_hooks: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The shared budget every tenant pages through.
+    pub fn budget(&self) -> &CacheBudgetHandle {
+        &self.inner.budget
+    }
+
+    /// Install (or clear) a read-fault hook for an artifact key. Applied to
+    /// the artifact's series when it is (re)opened — register before `open`.
+    /// Chaos tests use this to inject delays and transient I/O faults.
+    pub fn set_read_fault_hook(&self, artifact: &str, hook: Option<ReadFaultHook>) {
+        let mut hooks = lock(&self.inner.fault_hooks);
+        match hook {
+            Some(h) => {
+                if let Some(shared) = self.resident(artifact) {
+                    shared.series().set_read_fault_hook(Some(h.clone()));
+                }
+                hooks.insert(artifact.to_string(), h);
+            }
+            None => {
+                if let Some(shared) = self.resident(artifact) {
+                    shared.series().set_read_fault_hook(None);
+                }
+                hooks.remove(artifact);
+            }
+        }
+    }
+
+    /// The resident shared session for an artifact, if any tenant holds it.
+    pub fn resident(&self, artifact: &str) -> Option<Arc<SharedSession>> {
+        lock(&self.inner.artifacts)
+            .get(artifact)
+            .and_then(Weak::upgrade)
+    }
+
+    /// Handle one decoded request: admission, execution, typed reply.
+    pub fn handle(&self, req: Request) -> Response {
+        let tenant = self.tenant_entry(req.tenant);
+        tenant.sent.fetch_add(1, Ordering::SeqCst);
+        let depth = tenant.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        tenant.note_depth(depth);
+        if depth > self.inner.cfg.max_inflight_per_tenant {
+            tenant.inflight.fetch_sub(1, Ordering::SeqCst);
+            tenant.rejected.fetch_add(1, Ordering::SeqCst);
+            obs::counter_runtime_dyn(format!("serve.tenant.{}.rejected", req.tenant), 1);
+            let err = ServeError::Overloaded {
+                tenant: req.tenant,
+                inflight: depth - 1,
+                bound: self.inner.cfg.max_inflight_per_tenant,
+            };
+            return error_response(&req, &err);
+        }
+        tenant.accepted.fetch_add(1, Ordering::SeqCst);
+        obs::counter_runtime_dyn(format!("serve.tenant.{}.accepted", req.tenant), 1);
+        let body = self.execute(&tenant, &req).unwrap_or_else(|e| err_body(&e));
+        tenant.inflight.fetch_sub(1, Ordering::SeqCst);
+        tenant.completed.fetch_add(1, Ordering::SeqCst);
+        Response {
+            request_id: req.request_id,
+            tenant: req.tenant,
+            body,
+        }
+    }
+
+    /// Byte-in/byte-out entry: decode a request frame, handle it, encode
+    /// the response frame. A malformed frame yields an error response with
+    /// `request_id`/`tenant` zero and code `Protocol` — corrupted bytes can
+    /// never be attributed to a session (the CRC covers the whole payload).
+    pub fn handle_wire(&self, frame: &[u8]) -> Vec<u8> {
+        let rsp = match crate::protocol::decode_request(frame) {
+            Ok(req) => self.handle(req),
+            Err(e) => Response {
+                request_id: 0,
+                tenant: 0,
+                body: ResponseBody::Err {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                },
+            },
+        };
+        crate::protocol::encode_response(&rsp)
+    }
+
+    /// Snapshot a tenant's counters (test and stats-verb surface).
+    pub fn tenant_stats(&self, tenant: u32) -> StatsReport {
+        let t = self.tenant_entry(tenant);
+        let c = &self.inner.batcher.counters;
+        StatsReport {
+            sent: t.sent.load(Ordering::SeqCst),
+            accepted: t.accepted.load(Ordering::SeqCst),
+            rejected: t.rejected.load(Ordering::SeqCst),
+            completed: t.completed.load(Ordering::SeqCst),
+            max_depth: t.max_depth.load(Ordering::SeqCst),
+            batch_jobs: c.jobs.load(Ordering::SeqCst),
+            batch_cycles: c.cycles.load(Ordering::SeqCst),
+            batch_rows: c.rows.load(Ordering::SeqCst),
+        }
+    }
+
+    fn tenant_entry(&self, id: u32) -> Arc<Tenant> {
+        let mut map = lock(&self.inner.tenants);
+        Arc::clone(map.entry(id).or_default())
+    }
+
+    fn execute(&self, tenant: &Tenant, req: &Request) -> Result<ResponseBody, ServeError> {
+        match &req.verb {
+            Verb::Open { artifact, data_dir } => {
+                let shared = self.open_shared(artifact, data_dir)?;
+                let session = shared.session();
+                let series = session.series();
+                let steps = series.steps();
+                let d = series.dims();
+                let body = ResponseBody::OpenOk {
+                    frames: series.len() as u32,
+                    dims: (d.nx as u32, d.ny as u32, d.nz as u32),
+                    first_step: steps.first().copied().unwrap_or(0),
+                    last_step: steps.last().copied().unwrap_or(0),
+                    has_iatf: session.iatf().is_some(),
+                    has_classifier: session.classifier().is_some(),
+                    tracks: session.tracks().len() as u32,
+                };
+                *lock(&tenant.session) = Some(shared);
+                Ok(body)
+            }
+            Verb::Classify { step, tau } => {
+                let shared = self.bound_session(tenant, req.tenant)?;
+                match self.inner.batcher.submit(
+                    shared,
+                    JobKind::Classify {
+                        step: *step,
+                        tau: *tau,
+                    },
+                )? {
+                    JobOut::Mask { voxels, words } => {
+                        Ok(ResponseBody::ClassifyOk { voxels, words })
+                    }
+                    JobOut::Tf(_) => Err(ServeError::Session {
+                        reason: "batch worker returned mismatched output".into(),
+                    }),
+                }
+            }
+            Verb::Track { criterion, seeds } => {
+                let shared = self.bound_session(tenant, req.tenant)?;
+                let spec = match criterion {
+                    WireCriterion::FixedBand { lo, hi } => {
+                        CriterionSpec::FixedBand { lo: *lo, hi: *hi }
+                    }
+                    WireCriterion::AdaptiveTf { tau } => CriterionSpec::AdaptiveTf { tau: *tau },
+                    WireCriterion::DataSpace { tau } => CriterionSpec::DataSpace { tau: *tau },
+                };
+                let seeds: Vec<Seed4> = seeds
+                    .iter()
+                    .map(|&(t, x, y, z)| (t as usize, x as usize, y as usize, z as usize))
+                    .collect();
+                let result = shared
+                    .session()
+                    .track_spec(&spec, &seeds)
+                    .map_err(|e| match e {
+                        SessionError::Grow(_) => ServeError::BadRequest {
+                            reason: e.to_string(),
+                        },
+                        other => ServeError::Session {
+                            reason: other.to_string(),
+                        },
+                    })?;
+                Ok(ResponseBody::TrackOk {
+                    voxels_per_frame: result
+                        .report
+                        .voxels_per_frame
+                        .iter()
+                        .map(|&v| v as u32)
+                        .collect(),
+                    events: result.report.events.len() as u32,
+                })
+            }
+            Verb::RenderSlice {
+                step,
+                axis,
+                k,
+                adaptive,
+            } => {
+                let shared = self.bound_session(tenant, req.tenant)?;
+                self.render_slice(&shared, *step, *axis, *k, *adaptive)
+            }
+            Verb::ReportStats => Ok(ResponseBody::StatsOk(self.tenant_stats(req.tenant))),
+            Verb::Close => {
+                *lock(&tenant.session) = None;
+                Ok(ResponseBody::CloseOk)
+            }
+        }
+    }
+
+    fn render_slice(
+        &self,
+        shared: &Arc<SharedSession>,
+        step: u32,
+        axis: Axis,
+        k: u32,
+        adaptive: bool,
+    ) -> Result<ResponseBody, ServeError> {
+        let session = shared.session();
+        let series = session.series();
+        let frame = series
+            .frame_at_step(step)
+            .map_err(|e| ServeError::Session {
+                reason: e.to_string(),
+            })?
+            .ok_or_else(|| ServeError::BadRequest {
+                reason: format!("step {step} not in the series"),
+            })?;
+        let axis = match axis {
+            Axis::X => SliceAxis::X,
+            Axis::Y => SliceAxis::Y,
+            Axis::Z => SliceAxis::Z,
+        };
+        let d = frame.dims();
+        let extent = match axis {
+            SliceAxis::X => d.nx,
+            SliceAxis::Y => d.ny,
+            SliceAxis::Z => d.nz,
+        };
+        if k as usize >= extent {
+            return Err(ServeError::BadRequest {
+                reason: format!("slice index {k} out of range (extent {extent})"),
+            });
+        }
+        let mut img = render_slice(&frame, axis, k as usize, session.colormap);
+        if adaptive {
+            // IATF-generated opacity modulates the slice — the generation
+            // itself is MLP work, so it goes through the batcher like any
+            // other tenant's.
+            let tf = match self
+                .inner
+                .batcher
+                .submit(Arc::clone(shared), JobKind::GenerateTf { step })?
+            {
+                JobOut::Tf(tf) => tf,
+                JobOut::Mask { .. } => {
+                    return Err(ServeError::Session {
+                        reason: "batch worker returned mismatched output".into(),
+                    })
+                }
+            };
+            let (w, h, data) = ifet_render::slice_data(&frame, axis, k as usize);
+            for y in 0..h {
+                for x in 0..w {
+                    let o = tf.opacity_at(data[x + w * y]).clamp(0.0, 1.0);
+                    let p = img.pixel(x, y);
+                    img.set_pixel(x, y, [p[0] * o, p[1] * o, p[2] * o]);
+                }
+            }
+        }
+        let (w, h) = (img.width(), img.height());
+        let rgb = img
+            .as_slice()
+            .iter()
+            .map(|&c| (c.clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect();
+        Ok(ResponseBody::RenderSliceOk {
+            width: w as u32,
+            height: h as u32,
+            rgb,
+        })
+    }
+
+    fn bound_session(&self, tenant: &Tenant, id: u32) -> Result<Arc<SharedSession>, ServeError> {
+        lock(&tenant.session)
+            .as_ref()
+            .map(Arc::clone)
+            .ok_or(ServeError::NoSession { tenant: id })
+    }
+
+    /// Load (or rebind to) the shared session for an artifact. Holds the
+    /// artifact map lock across the load so concurrent first-opens of the
+    /// same artifact resolve to one resident copy; loading reads only
+    /// sidecars and the artifact file, never frame payloads, so the lock is
+    /// held for metadata I/O only.
+    fn open_shared(
+        &self,
+        artifact: &str,
+        data_dir: &str,
+    ) -> Result<Arc<SharedSession>, ServeError> {
+        let mut map = lock(&self.inner.artifacts);
+        if let Some(shared) = map.get(artifact).and_then(Weak::upgrade) {
+            return Ok(shared);
+        }
+        let paths =
+            frame_paths(Path::new(data_dir)).map_err(|reason| ServeError::Open { reason })?;
+        let series = OutOfCoreSeries::open_with(paths, &self.inner.budget, self.inner.cfg.prefetch)
+            .map_err(|e| ServeError::Open {
+                reason: e.to_string(),
+            })?;
+        if let Some(hook) = lock(&self.inner.fault_hooks).get(artifact) {
+            series.set_read_fault_hook(Some(hook.clone()));
+        }
+        let series = Arc::new(series);
+        let session =
+            VisSession::load(Arc::clone(&series), artifact).map_err(|e| ServeError::Open {
+                reason: e.to_string(),
+            })?;
+        let shared = Arc::new(SharedSession {
+            key: artifact.to_string(),
+            series,
+            session,
+        });
+        map.insert(artifact.to_string(), Arc::downgrade(&shared));
+        Ok(shared)
+    }
+}
+
+/// Frame files of a series directory: every `.raw`/`.rawz` under `dir`,
+/// lexicographically sorted (the series itself orders by sidecar step).
+/// `_truth` ground-truth companions written by `ifet generate` are not
+/// data frames and are excluded, mirroring the CLI's series loader.
+fn frame_paths(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("raw") | Some("rawz")
+            )
+        })
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| !n.contains("_truth"))
+                .unwrap_or(true)
+        })
+        .collect();
+    if paths.is_empty() {
+        return Err(format!("no .raw/.rawz frames in {}", dir.display()));
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn err_body(e: &ServeError) -> ResponseBody {
+    ResponseBody::Err {
+        code: e.code(),
+        message: e.to_string(),
+    }
+}
+
+fn error_response(req: &Request, e: &ServeError) -> Response {
+    Response {
+        request_id: req.request_id,
+        tenant: req.tenant,
+        body: err_body(e),
+    }
+}

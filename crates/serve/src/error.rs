@@ -1,0 +1,62 @@
+//! Typed service errors: every refusal a request can hit maps to exactly
+//! one [`ErrorCode`] on the wire, so clients can branch without parsing
+//! messages and the fuzz suite can assert "typed error, never a panic".
+
+use crate::protocol::ErrorCode;
+
+/// Why the engine refused (or failed) a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant is at its in-flight bound; the request was not queued.
+    /// Backpressure, not failure: retry once earlier requests drain.
+    Overloaded {
+        tenant: u32,
+        inflight: usize,
+        bound: usize,
+    },
+    /// The verb needs an open session and this tenant has none.
+    NoSession { tenant: u32 },
+    /// Arguments were structurally valid but unusable.
+    BadRequest { reason: String },
+    /// Opening the artifact or its frame directory failed.
+    Open { reason: String },
+    /// The resident session refused or failed the operation (no trained
+    /// model, paging I/O error, bad seeds…).
+    Session { reason: String },
+}
+
+impl ServeError {
+    /// The wire-level error code this maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::NoSession { .. } => ErrorCode::NoSession,
+            ServeError::BadRequest { .. } => ErrorCode::BadRequest,
+            ServeError::Open { .. } => ErrorCode::Open,
+            ServeError::Session { .. } => ErrorCode::Session,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                tenant,
+                inflight,
+                bound,
+            } => write!(
+                f,
+                "tenant {tenant} overloaded: {inflight} requests in flight, bound {bound}"
+            ),
+            ServeError::NoSession { tenant } => {
+                write!(f, "tenant {tenant} has no open session")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Open { reason } => write!(f, "open failed: {reason}"),
+            ServeError::Session { reason } => write!(f, "session: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,157 @@
+//! Unix-socket transport: a thread-per-connection server over
+//! [`ServeEngine`] and a blocking [`Client`].
+//!
+//! The socket carries exactly the frames defined in [`crate::protocol`].
+//! A connection may interleave requests for any tenants (the tenant id
+//! travels in each request); a malformed frame gets a `Protocol` error
+//! response and the connection is closed, since framing can no longer be
+//! trusted mid-stream.
+
+use crate::engine::ServeEngine;
+use crate::protocol::{
+    decode_response, encode_request, read_frame_bytes, ProtocolError, Request, Response,
+    MAGIC_REQUEST, MAGIC_RESPONSE,
+};
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Server run policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOpts {
+    /// Stop accepting and return once this many requests have been served
+    /// (`None` = run until the process dies). Lets tests and demos run the
+    /// server on a plain thread with a deterministic exit.
+    pub max_requests: Option<u64>,
+}
+
+/// Serve `engine` on a Unix socket at `path` until `max_requests` requests
+/// have been answered. Returns the number served. Any stale socket file at
+/// `path` is replaced.
+pub fn serve_unix(path: &Path, engine: &ServeEngine, opts: ServerOpts) -> std::io::Result<u64> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let served = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    loop {
+        if let Some(max) = opts.max_requests {
+            if served.load(Ordering::SeqCst) >= max {
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                let engine = engine.clone();
+                let served = Arc::clone(&served);
+                let shutdown = stream.try_clone()?;
+                workers.push((
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &engine, &served);
+                    }),
+                    shutdown,
+                ));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(listener);
+    let _ = std::fs::remove_file(path);
+    // Connections may be parked in a blocking read waiting for a next
+    // request that will never come; shut them down so their threads see
+    // EOF and exit instead of pinning the server.
+    for (w, stream) in workers {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        let _ = w.join();
+    }
+    Ok(served.load(Ordering::SeqCst))
+}
+
+fn serve_connection(
+    mut stream: UnixStream,
+    engine: &ServeEngine,
+    served: &AtomicU64,
+) -> std::io::Result<()> {
+    loop {
+        match read_frame_bytes(&mut stream, MAGIC_REQUEST)? {
+            None => return Ok(()),
+            Some(Ok(frame)) => {
+                let rsp = engine.handle_wire(&frame);
+                stream.write_all(&rsp)?;
+                served.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(Err(e)) => {
+                // Framing is lost: answer with a typed protocol error
+                // (request id 0 — corrupted bytes are attributable to no
+                // session) and drop the connection.
+                let rsp = crate::protocol::encode_response(&Response {
+                    request_id: 0,
+                    tenant: 0,
+                    body: crate::protocol::ResponseBody::Err {
+                        code: crate::protocol::ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                });
+                let _ = stream.write_all(&rsp);
+                served.fetch_add(1, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(ProtocolError),
+    /// The server closed the connection before responding.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking request/response client over a Unix socket.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    pub fn connect(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&encode_request(req))?;
+        match read_frame_bytes(&mut self.stream, MAGIC_RESPONSE)? {
+            None => Err(ClientError::Disconnected),
+            Some(Ok(frame)) => decode_response(&frame).map_err(ClientError::Protocol),
+            Some(Err(e)) => Err(ClientError::Protocol(e)),
+        }
+    }
+}

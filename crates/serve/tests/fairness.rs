@@ -1,0 +1,290 @@
+//! Fairness and backpressure, deterministically: a greedy tenant saturates
+//! its in-flight bound while its frame reads are *held at a gate* (a
+//! blocking fault hook the test controls), so there is no timing guesswork
+//! — the engine's state is pinned exactly when the assertions run.
+//!
+//! Contract under a starved byte budget:
+//! - the greedy tenant gets its bounded amount of in-flight work, then an
+//!   immediate typed `Overloaded` for everything beyond it — rejected at
+//!   admission, never queued;
+//! - a light tenant on another artifact keeps completing the whole time;
+//! - the counter algebra holds for both: `accepted + rejected == sent`.
+
+use ifet_serve::{
+    Axis, ErrorCode, Request, ResponseBody, ServeConfig, ServeEngine, Verb, WireCriterion,
+};
+use ifet_volume::{CacheBudget, ReadFaultHook};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[path = "../../../tests/support/mod.rs"]
+mod support;
+use support::{serve_fixture, ServeFixture, FRAME_BYTES, STEP_STRIDE};
+
+const BOUND: usize = 2;
+const EXTRA: u64 = 6;
+
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    arrivals: AtomicU64,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            arrivals: AtomicU64::new(0),
+        })
+    }
+
+    /// A fault hook that blocks every read of the hooked artifact until
+    /// [`Gate::release`] — the test's handle on "work is in flight *now*".
+    fn hook(self: &Arc<Self>) -> ReadFaultHook {
+        let gate = Arc::clone(self);
+        Arc::new(move |_frame, _attempt| {
+            gate.arrivals.fetch_add(1, Ordering::SeqCst);
+            let mut open = gate.open.lock().unwrap();
+            while !*open {
+                open = gate.cv.wait(open).unwrap();
+            }
+            None
+        })
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn open_req(id: u64, tenant: u32, fx: &ServeFixture) -> Request {
+    Request {
+        request_id: id,
+        tenant,
+        verb: Verb::Open {
+            artifact: fx.artifact.display().to_string(),
+            data_dir: fx.data_dir.display().to_string(),
+        },
+    }
+}
+
+fn track_req(id: u64, tenant: u32) -> Request {
+    Request {
+        request_id: id,
+        tenant,
+        verb: Verb::Track {
+            criterion: WireCriterion::FixedBand { lo: 0.9, hi: 3.0 },
+            seeds: vec![(0, 3, 6, 6)],
+        },
+    }
+}
+
+/// Poll tenant counters until `pred` holds (bounded; the gate guarantees
+/// the state can't regress once reached).
+fn wait_until(engine: &ServeEngine, tenant: u32, pred: impl Fn(u64, u64) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let st = engine.tenant_stats(tenant);
+        if pred(st.accepted, st.completed) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for tenant {tenant} counters: {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn greedy_tenant_is_bounded_while_light_tenant_completes() {
+    let fx_greedy = serve_fixture("fair_greedy", 0.0);
+    let fx_light = serve_fixture("fair_light", 0.25);
+    let gate = Gate::new();
+
+    // Starved shared budget: two frames' worth of bytes for everyone. The
+    // greedy tenant's gated read holds part of it in flight the whole time,
+    // so the light tenant pages its single-frame verbs through what's left.
+    let engine = ServeEngine::new(ServeConfig {
+        budget: CacheBudget::Bytes(2 * FRAME_BYTES),
+        max_inflight_per_tenant: BOUND,
+        prefetch: 0,
+    });
+    let greedy_key = fx_greedy.artifact.display().to_string();
+    engine.set_read_fault_hook(&greedy_key, Some(gate.hook()));
+
+    // Greedy opens (metadata only — no frame reads, so no gate).
+    match engine.handle(open_req(1, 0, &fx_greedy)).body {
+        ResponseBody::OpenOk { .. } => {}
+        other => panic!("greedy open failed: {other:?}"),
+    }
+
+    std::thread::scope(|s| {
+        // Fill the greedy tenant's bound with tracks that stop at the gate
+        // on their first frame read.
+        let blocked: Vec<_> = (0..BOUND as u64)
+            .map(|i| {
+                let engine = engine.clone();
+                s.spawn(move || engine.handle(track_req(10 + i, 0)))
+            })
+            .collect();
+        // Both are in flight once accepted == 1 open + BOUND tracks with
+        // only the open completed; admission counts them before execution,
+        // so from here every further greedy request sees a full lane.
+        wait_until(&engine, 0, |accepted, completed| {
+            accepted == 1 + BOUND as u64 && completed == 1
+        });
+
+        // The greedy burst beyond the bound: rejected immediately and
+        // typed, while the lane is still blocked — never queued behind it.
+        for i in 0..EXTRA {
+            let rsp = engine.handle(track_req(100 + i, 0));
+            match rsp.body {
+                ResponseBody::Err { code, message } => {
+                    assert_eq!(code, ErrorCode::Overloaded, "burst {i}: {message}");
+                }
+                other => panic!("burst {i} was not rejected: {other:?}"),
+            }
+        }
+        let st = engine.tenant_stats(0);
+        assert_eq!(st.rejected, EXTRA);
+        assert_eq!(st.accepted, 1 + BOUND as u64);
+        assert_eq!(st.accepted + st.rejected, st.sent);
+        assert_eq!(st.completed, 1, "rejections must not wait on the lane");
+
+        // The light tenant's whole session completes while the greedy lane
+        // is wedged: opens, classifies, renders, closes — zero rejections.
+        let light = [
+            open_req(50, 1, &fx_light),
+            Request {
+                request_id: 51,
+                tenant: 1,
+                verb: Verb::Classify {
+                    step: 3 * STEP_STRIDE,
+                    tau: 0.5,
+                },
+            },
+            Request {
+                request_id: 52,
+                tenant: 1,
+                verb: Verb::RenderSlice {
+                    step: STEP_STRIDE,
+                    axis: Axis::Z,
+                    k: 6,
+                    adaptive: false,
+                },
+            },
+            Request {
+                request_id: 53,
+                tenant: 1,
+                verb: Verb::Close,
+            },
+        ];
+        for req in light {
+            let id = req.request_id;
+            if let ResponseBody::Err { code, message } = engine.handle(req).body {
+                panic!("light request {id} failed: {code:?} {message}")
+            }
+        }
+        let lt = engine.tenant_stats(1);
+        assert_eq!(lt.rejected, 0, "light tenant must never be rejected");
+        assert_eq!(lt.accepted, 4);
+        assert_eq!(lt.completed, 4);
+        assert_eq!(lt.accepted + lt.rejected, lt.sent);
+
+        // Open the gate: the blocked tracks finish as real answers — the
+        // bound delayed them, it never corrupted them.
+        gate.release();
+        for h in blocked {
+            match h.join().unwrap().body {
+                ResponseBody::TrackOk {
+                    voxels_per_frame, ..
+                } => assert!(voxels_per_frame[0] > 0),
+                other => panic!("gated track failed after release: {other:?}"),
+            }
+        }
+    });
+
+    let st = engine.tenant_stats(0);
+    assert_eq!(st.sent, 1 + BOUND as u64 + EXTRA);
+    assert_eq!(st.accepted, 1 + BOUND as u64);
+    assert_eq!(st.rejected, EXTRA);
+    assert_eq!(
+        st.completed, st.accepted,
+        "every accepted request completed"
+    );
+    assert_eq!(st.accepted + st.rejected, st.sent);
+    assert!(
+        st.max_depth as usize > BOUND,
+        "the burst must have probed past the bound"
+    );
+    assert!(
+        gate.arrivals.load(Ordering::SeqCst) > 0,
+        "gated reads must actually have hit the gate"
+    );
+}
+
+#[test]
+fn rejection_is_per_tenant_not_global() {
+    // Two tenants over the *same* artifact: one wedged at its bound must
+    // not consume the other's admission lane — the bound is per-tenant even
+    // when the resident session is shared.
+    let fx = serve_fixture("fair_shared", 0.0);
+    let gate = Gate::new();
+    let engine = ServeEngine::new(ServeConfig {
+        budget: CacheBudget::Frames(4),
+        max_inflight_per_tenant: 1,
+        prefetch: 0,
+    });
+    let key = fx.artifact.display().to_string();
+    engine.set_read_fault_hook(&key, Some(gate.hook()));
+    assert!(matches!(
+        engine.handle(open_req(1, 0, &fx)).body,
+        ResponseBody::OpenOk { .. }
+    ));
+    assert!(matches!(
+        engine.handle(open_req(2, 1, &fx)).body,
+        ResponseBody::OpenOk { .. }
+    ));
+
+    std::thread::scope(|s| {
+        let blocked = {
+            let engine = engine.clone();
+            s.spawn(move || engine.handle(track_req(10, 0)))
+        };
+        wait_until(&engine, 0, |accepted, completed| {
+            accepted == 2 && completed == 1
+        });
+        // Tenant 0 is full; its next request bounces.
+        assert!(matches!(
+            engine.handle(track_req(11, 0)).body,
+            ResponseBody::Err {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        ));
+        // Tenant 1 still has its own lane — its request is *accepted* and
+        // merely waits at the gate like any real reader would.
+        let other = {
+            let engine = engine.clone();
+            s.spawn(move || engine.handle(track_req(12, 1)))
+        };
+        wait_until(&engine, 1, |accepted, completed| {
+            accepted == 2 && completed == 1
+        });
+        assert_eq!(engine.tenant_stats(1).rejected, 0);
+
+        gate.release();
+        assert!(matches!(
+            blocked.join().unwrap().body,
+            ResponseBody::TrackOk { .. }
+        ));
+        assert!(matches!(
+            other.join().unwrap().body,
+            ResponseBody::TrackOk { .. }
+        ));
+    });
+}

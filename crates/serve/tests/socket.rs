@@ -1,0 +1,100 @@
+//! Unix-socket transport smoke: the thin server layer must carry the same
+//! bytes the engine produces in-process — the transport adds framing, never
+//! meaning.
+
+#![cfg(unix)]
+
+use ifet_serve::{
+    serve_unix, Client, Request, ResponseBody, ServeConfig, ServeEngine, ServerOpts, Verb,
+};
+use std::path::PathBuf;
+
+#[path = "../../../tests/support/mod.rs"]
+mod support;
+use support::serve_fixture;
+
+fn socket_path(tag: &str) -> PathBuf {
+    support::temp_dir(tag).join("ifet.sock")
+}
+
+#[test]
+fn socket_round_trip_matches_in_process_engine() {
+    let fx = serve_fixture("sock_rt", 0.0);
+    let reqs: Vec<Request> = vec![
+        Request {
+            request_id: 1,
+            tenant: 3,
+            verb: Verb::Open {
+                artifact: fx.artifact.display().to_string(),
+                data_dir: fx.data_dir.display().to_string(),
+            },
+        },
+        Request {
+            request_id: 2,
+            tenant: 3,
+            verb: Verb::Classify { step: 0, tau: 0.5 },
+        },
+        Request {
+            request_id: 3,
+            tenant: 3,
+            verb: Verb::ReportStats,
+        },
+        Request {
+            request_id: 4,
+            tenant: 3,
+            verb: Verb::Close,
+        },
+    ];
+
+    // In-process reference (fresh engine, same config).
+    let reference: Vec<ResponseBody> = {
+        let engine = ServeEngine::new(ServeConfig::default());
+        reqs.iter().map(|r| engine.handle(r.clone()).body).collect()
+    };
+
+    let sock = socket_path("sock_rt");
+    let engine = ServeEngine::new(ServeConfig::default());
+    let server = {
+        let sock = sock.clone();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            serve_unix(
+                &sock,
+                &engine,
+                ServerOpts {
+                    max_requests: Some(4),
+                },
+            )
+        })
+    };
+    // The server binds asynchronously; connect with retry.
+    let mut client = None;
+    for _ in 0..500 {
+        match Client::connect(&sock) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+    let mut client = client.expect("server never came up");
+
+    for (req, want) in reqs.iter().zip(&reference) {
+        let rsp = client.call(req).unwrap();
+        assert_eq!(rsp.request_id, req.request_id);
+        assert_eq!(rsp.tenant, req.tenant);
+        // `report-stats` is runtime-valued; everything else must match the
+        // in-process engine bit for bit.
+        if !matches!(req.verb, Verb::ReportStats) {
+            assert_eq!(
+                &rsp.body, want,
+                "transport changed request {}",
+                req.request_id
+            );
+        }
+    }
+    let served = server.join().unwrap().unwrap();
+    assert_eq!(served, 4);
+    assert!(!sock.exists(), "server must clean up its socket");
+}

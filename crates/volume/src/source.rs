@@ -259,6 +259,44 @@ impl<S: FrameSource + ?Sized> FrameSource for &S {
     }
 }
 
+/// Shared-ownership passthrough so many holders (e.g. tenants of a serving
+/// layer) can drive the same paged series — and the same LRU/budget state —
+/// without one of them owning it exclusively. `VisSession<Arc<OutOfCoreSeries>>`
+/// is the canonical use: sessions opened on the same artifact share frames.
+impl<S: FrameSource + Send + ?Sized> FrameSource for Arc<S> {
+    fn dims(&self) -> Dims3 {
+        (**self).dims()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn steps(&self) -> &[u32] {
+        (**self).steps()
+    }
+
+    fn frame(&self, i: usize) -> Result<FrameHandle<'_>, SeriesError> {
+        (**self).frame(i)
+    }
+
+    fn residency_bound(&self) -> Option<usize> {
+        (**self).residency_bound()
+    }
+
+    fn prefetch_hint(&self, upcoming: &[usize]) {
+        (**self).prefetch_hint(upcoming)
+    }
+
+    fn global_range(&self) -> Result<(f32, f32), SeriesError> {
+        (**self).global_range()
+    }
+
+    fn cumulative_histograms(&self, bins: usize) -> Result<Vec<CumulativeHistogram>, SeriesError> {
+        (**self).cumulative_histograms(bins)
+    }
+}
+
 /// Map `f` over every frame in ascending order, in parallel windows no larger
 /// than the source's residency bound.
 ///
@@ -384,6 +422,18 @@ mod tests {
         let h = FrameSource::frame_at_step(&s, 13).unwrap().unwrap();
         assert_eq!(h.as_slice()[0], 1.0);
         assert!(FrameSource::frame_at_step(&s, 14).unwrap().is_none());
+    }
+
+    #[test]
+    fn arc_passthrough_matches_inner() {
+        let s = Arc::new(series());
+        assert_eq!(FrameSource::dims(&s), FrameSource::dims(&*s));
+        assert_eq!(FrameSource::len(&s), 5);
+        assert_eq!(FrameSource::global_range(&s).unwrap(), (0.0, 4.0));
+        assert_eq!(generic_first_value(&s, 3), 3.0);
+        // Clones share the same underlying series.
+        let s2 = Arc::clone(&s);
+        assert_eq!(generic_first_value(&s2, 1), generic_first_value(&s, 1));
     }
 
     #[test]

@@ -10,63 +10,21 @@ use ifet_core::obs;
 use ifet_core::prelude::*;
 use ifet_track::FixedBandCriterion;
 use ifet_volume::{
-    CacheBudget, CacheBudgetHandle, FrameHandle, FrameSource, OutOfCoreSeries, ReadFault,
-    ReadFaultHook, SeriesError,
+    CacheBudget, CacheBudgetHandle, FrameHandle, FrameSource, OutOfCoreSeries, SeriesError,
 };
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-const FRAMES: usize = 16;
-const FRAME_BYTES: u64 = 12 * 12 * 12 * 4;
-
-/// Same drifting-ball fixture as the equivalence suite.
-fn series() -> TimeSeries {
-    let d = Dims3::cube(12);
-    TimeSeries::from_frames(
-        (0..FRAMES)
-            .map(|k| {
-                let drift = 0.05 * k as f32;
-                let cx = 3.0 + 0.4 * k as f32;
-                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
-                    let dist = ((x as f32 - cx).powi(2)
-                        + (y as f32 - 6.0).powi(2)
-                        + (z as f32 - 6.0).powi(2))
-                    .sqrt();
-                    let base = (x + y + z) as f32 / 36.0 + drift;
-                    if dist <= 2.5 {
-                        base + 1.0
-                    } else {
-                        base
-                    }
-                });
-                (k as u32 * 5, vol)
-            })
-            .collect(),
-    )
-}
+mod support;
+use support::{chaos_hook, mix, FRAMES, FRAME_BYTES};
 
 fn on_disk(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
-    let s = series();
-    let dir = std::env::temp_dir().join(format!("ifet_ooc_chaos_{tag}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let paths = ifet_volume::io::write_series(&dir, "chaos", &s).unwrap();
-    (s, paths)
+    support::on_disk_as(&format!("ooc_chaos_{tag}"), "chaos", false)
 }
 
 fn open_with(paths: &[PathBuf], budget: CacheBudget, prefetch: usize) -> OutOfCoreSeries {
     OutOfCoreSeries::open_with(paths.to_vec(), &CacheBudgetHandle::new(budget), prefetch).unwrap()
-}
-
-/// splitmix64 finalizer: deterministic pseudo-randomness without any
-/// wall-clock or RNG dependence, so every chaos schedule is replayable.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
 }
 
 /// A [`FrameSource`] test double that forwards to a paged series but sleeps
@@ -117,32 +75,6 @@ impl FrameSource for ChaosSource<'_> {
     fn prefetch_hint(&self, upcoming: &[usize]) {
         FrameSource::prefetch_hint(self.inner, upcoming)
     }
-}
-
-/// Fault hook that injects pseudo-random read delays and fails the first
-/// `fails_per_frame` read attempts of every frame with a transient I/O
-/// error — whoever gets there first (demand or prefetch) eats the failures
-/// and must retry or degrade.
-fn chaos_hook(seed: u64, fails_per_frame: u32) -> ReadFaultHook {
-    let counts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
-    Arc::new(move |frame, attempt| {
-        let seen = {
-            let mut c = counts.lock().unwrap();
-            let e = c.entry(frame).or_insert(0);
-            let seen = *e;
-            *e += 1;
-            seen
-        };
-        if seen < fails_per_frame {
-            return Some(ReadFault::Error);
-        }
-        let r = mix(seed ^ ((frame as u64) << 8) ^ attempt as u64);
-        if r % 2 == 0 {
-            Some(ReadFault::Delay(Duration::from_micros(r % 300)))
-        } else {
-            None
-        }
-    })
 }
 
 /// Track through a source under span capture; returns the masks and the
@@ -254,11 +186,7 @@ fn prefetch_under_chaos_respects_byte_budget_and_stats_algebra() {
 // ---------------------------------------------------------------------------
 
 fn on_disk_compressed(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
-    let s = series();
-    let dir = std::env::temp_dir().join(format!("ifet_ooc_chaos_{tag}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let paths = ifet_volume::io::write_series_with(&dir, "chaos", &s, true).unwrap();
-    (s, paths)
+    support::on_disk_as(&format!("ooc_chaos_{tag}z"), "chaos", true)
 }
 
 fn open_mmap(paths: &[PathBuf], budget: CacheBudget, prefetch: usize) -> OutOfCoreSeries {
@@ -318,6 +246,168 @@ fn chaos_over_mmap_frames_never_changes_outputs_or_traces() {
                 st.read_retries
             );
             assert!(st.resident_high_water <= 2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer chaos: the same read delays and transient I/O faults, injected
+// under a multi-tenant engine while client threads race. The service contract
+// is the ooc contract one layer up: responses and stable traces stay
+// byte-identical to a clean serial run, and the faults are visible only as
+// `read_retries` on the shared series — never in any reply.
+// ---------------------------------------------------------------------------
+
+mod serve_chaos {
+    use super::support::{serve_fixture, ServeFixture, STEP_STRIDE};
+    use super::*;
+    use ifet_serve::{
+        encode_request, Axis, Request, ServeConfig, ServeEngine, Verb, WireCriterion,
+    };
+    use std::sync::Barrier;
+
+    fn engine(budget: CacheBudget) -> ServeEngine {
+        ServeEngine::new(ServeConfig {
+            budget,
+            max_inflight_per_tenant: 16,
+            prefetch: 0,
+        })
+    }
+
+    /// A fixed per-tenant request log touching every frame-reading verb.
+    /// No `close`: the session stays resident so the test can read the
+    /// shared series' retry counters afterwards.
+    fn log(tenant: u32, fx: &ServeFixture) -> Vec<Request> {
+        let verbs = vec![
+            Verb::Open {
+                artifact: fx.artifact.display().to_string(),
+                data_dir: fx.data_dir.display().to_string(),
+            },
+            Verb::Classify { step: 0, tau: 0.5 },
+            Verb::RenderSlice {
+                step: 2 * STEP_STRIDE,
+                axis: Axis::Z,
+                k: 6,
+                adaptive: false,
+            },
+            Verb::Track {
+                criterion: WireCriterion::FixedBand { lo: 0.9, hi: 3.0 },
+                seeds: vec![(0, 3, 6, 6)],
+            },
+            Verb::Classify {
+                step: 7 * STEP_STRIDE,
+                tau: 0.65,
+            },
+            Verb::RenderSlice {
+                step: 0,
+                axis: Axis::X,
+                k: 3,
+                adaptive: true,
+            },
+        ];
+        verbs
+            .into_iter()
+            .enumerate()
+            .map(|(i, verb)| Request {
+                request_id: (u64::from(tenant) << 32) | i as u64,
+                tenant,
+                verb,
+            })
+            .collect()
+    }
+
+    fn run_log(eng: &ServeEngine, log: &[Request]) -> Vec<Vec<u8>> {
+        log.iter()
+            .map(|r| eng.handle_wire(&encode_request(r)))
+            .collect()
+    }
+
+    #[test]
+    fn serve_responses_survive_fault_chaos_byte_identical() {
+        let fx = serve_fixture("srv_chaos", 0.0);
+        let key = fx.artifact.display().to_string();
+        let logs: Vec<Vec<Request>> = (0..3).map(|t| log(t, &fx)).collect();
+
+        // Clean serial reference, per client (responses carry tenant ids).
+        let clean = engine(CacheBudget::Frames(2));
+        let reference: Vec<Vec<Vec<u8>>> = logs.iter().map(|l| run_log(&clean, l)).collect();
+        drop(clean);
+
+        for seed in [3u64, 11] {
+            for budget in [CacheBudget::Frames(2), CacheBudget::Bytes(2 * FRAME_BYTES)] {
+                let eng = engine(budget);
+                // Registered before any open, so the hook rides along from
+                // the very first frame read of the shared series.
+                eng.set_read_fault_hook(&key, Some(chaos_hook(seed, 2)));
+                let barrier = Barrier::new(logs.len());
+                let got: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = logs
+                        .iter()
+                        .map(|l| {
+                            let eng = eng.clone();
+                            let barrier = &barrier;
+                            s.spawn(move || {
+                                barrier.wait();
+                                run_log(&eng, l)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                assert_eq!(
+                    got, reference,
+                    "served bytes diverged under fault chaos (seed {seed}, {budget:?})"
+                );
+                let shared = eng
+                    .resident(&key)
+                    .expect("session stays resident without close");
+                let st = shared.series().stats();
+                assert!(
+                    st.read_retries >= 2 * FRAMES as u64,
+                    "injected faults must surface as retries, got {}",
+                    st.read_retries
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_stable_traces_survive_fault_chaos_byte_identical() {
+        let fx = serve_fixture("srv_chaos_trace", 0.0);
+        let key = fx.artifact.display().to_string();
+        let open = log(0, &fx).remove(0);
+        let track = Request {
+            request_id: 99,
+            tenant: 0,
+            verb: Verb::Track {
+                criterion: WireCriterion::FixedBand { lo: 0.9, hi: 3.0 },
+                seeds: vec![(0, 3, 6, 6)],
+            },
+        };
+
+        let capture_track = |eng: &ServeEngine| {
+            let (rsp, trace) = obs::capture("serve.chaos.track", || eng.handle(track.clone()));
+            (
+                ifet_serve::encode_response(&rsp),
+                trace.to_stable().to_json_pretty(),
+            )
+        };
+
+        let clean = engine(CacheBudget::Frames(2));
+        clean.handle(open.clone());
+        let (ref_bytes, ref_trace) = capture_track(&clean);
+        drop(clean);
+
+        for seed in [5u64, 17] {
+            let eng = engine(CacheBudget::Frames(2));
+            eng.set_read_fault_hook(&key, Some(chaos_hook(seed, 2)));
+            eng.handle(open.clone());
+            let (bytes, trace) = capture_track(&eng);
+            assert_eq!(bytes, ref_bytes, "served bytes diverged (seed {seed})");
+            assert_eq!(
+                trace, ref_trace,
+                "serve-layer stable trace diverged under fault chaos (seed {seed})"
+            );
         }
     }
 }

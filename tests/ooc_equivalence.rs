@@ -12,44 +12,13 @@ use ifet_track::FixedBandCriterion;
 use ifet_volume::{CacheBudget, CacheBudgetHandle, FrameSource, Mapping, OutOfCoreSeries};
 use std::path::PathBuf;
 
-const FRAMES: usize = 16;
-const FRAME_BYTES: u64 = 12 * 12 * 12 * 4;
-
-/// A drifting-ramp series with a moving bright ball: enough structure for
-/// tracking, classification, and IATF training to all do real work.
-fn series() -> TimeSeries {
-    let d = Dims3::cube(12);
-    TimeSeries::from_frames(
-        (0..FRAMES)
-            .map(|k| {
-                let drift = 0.05 * k as f32;
-                let cx = 3.0 + 0.4 * k as f32;
-                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
-                    let dist = ((x as f32 - cx).powi(2)
-                        + (y as f32 - 6.0).powi(2)
-                        + (z as f32 - 6.0).powi(2))
-                    .sqrt();
-                    let base = (x + y + z) as f32 / 36.0 + drift;
-                    if dist <= 2.5 {
-                        base + 1.0
-                    } else {
-                        base
-                    }
-                });
-                (k as u32 * 5, vol)
-            })
-            .collect(),
-    )
-}
+mod support;
+use support::{series, FRAMES, FRAME_BYTES};
 
 /// The in-core series written to disk once; each test reopens it at the
 /// capacity under test.
 fn on_disk(tag: &str) -> (TimeSeries, Vec<PathBuf>) {
-    let s = series();
-    let dir = std::env::temp_dir().join(format!("ifet_ooc_eq_{tag}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let paths = ifet_volume::io::write_series(&dir, "eq", &s).unwrap();
-    (s, paths)
+    support::on_disk_as(&format!("ooc_eq_{tag}"), "eq", false)
 }
 
 fn capacities() -> [usize; 3] {
@@ -379,15 +348,11 @@ const FLAVORS: [Flavor; 3] = [Flavor::Raw, Flavor::Compressed, Flavor::Mmap];
 
 /// Write the fixture once per (tag, flavor); mmap reads raw files.
 fn on_disk_flavor(tag: &str, flavor: Flavor) -> (TimeSeries, Vec<PathBuf>) {
-    let s = series();
-    let dir = std::env::temp_dir().join(format!(
-        "ifet_ooc_eq_{tag}_{flavor:?}_{}",
-        std::process::id()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    let compress = flavor == Flavor::Compressed;
-    let paths = ifet_volume::io::write_series_with(&dir, "eq", &s, compress).unwrap();
-    (s, paths)
+    support::on_disk_as(
+        &format!("ooc_eq_{tag}_{flavor:?}"),
+        "eq",
+        flavor == Flavor::Compressed,
+    )
 }
 
 fn open_flavor(

@@ -1,0 +1,213 @@
+//! Shared fixtures for the integration suites. One copy of the
+//! drifting-ball series, its on-disk forms, the deterministic chaos
+//! helpers, and a fully trained session artifact — used by the out-of-core
+//! equivalence/chaos suites and the serve suites alike, so every layer is
+//! gated against the *same* data.
+//!
+//! Everything here is deterministic: fixtures derive from closed-form
+//! voxel functions and seeded splitmix64 streams, never from wall clocks
+//! or OS RNGs, so any failure replays exactly.
+
+#![allow(dead_code)]
+
+use ifet_core::prelude::*;
+use ifet_extract::PaintSet;
+use ifet_volume::{ReadFault, ReadFaultHook};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Frames in the standard fixture series.
+pub const FRAMES: usize = 16;
+/// Cube edge of the standard fixture series.
+pub const DIM: usize = 12;
+/// Raw (uncompressed) size of one fixture frame.
+pub const FRAME_BYTES: u64 = (DIM * DIM * DIM * 4) as u64;
+/// Step labels are `5 * frame_index`.
+pub const STEP_STRIDE: u32 = 5;
+
+/// A drifting-ramp series with a moving bright ball: enough structure for
+/// tracking, classification, and IATF training to all do real work. The
+/// ball starts centered at `(3, 6, 6)` and drifts `+0.4` in x per frame.
+pub fn series() -> TimeSeries {
+    series_with_offset(0.0)
+}
+
+/// [`series`] with every voxel shifted by `offset` — cheap way to mint a
+/// *different* dataset (different artifact, different classifier outputs)
+/// for multi-artifact scenarios.
+pub fn series_with_offset(offset: f32) -> TimeSeries {
+    let d = Dims3::cube(DIM);
+    TimeSeries::from_frames(
+        (0..FRAMES)
+            .map(|k| {
+                let drift = 0.05 * k as f32;
+                let cx = 3.0 + 0.4 * k as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let dist = ((x as f32 - cx).powi(2)
+                        + (y as f32 - 6.0).powi(2)
+                        + (z as f32 - 6.0).powi(2))
+                    .sqrt();
+                    let base = (x + y + z) as f32 / 36.0 + drift + offset;
+                    if dist <= 2.5 {
+                        base + 1.0
+                    } else {
+                        base
+                    }
+                });
+                (k as u32 * STEP_STRIDE, vol)
+            })
+            .collect(),
+    )
+}
+
+/// A fresh per-process temp directory namespaced by `tag`.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ifet_fix_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The fixture series written to disk (raw or compressed frames); returns
+/// the in-core reference and the frame paths.
+pub fn on_disk_as(tag: &str, prefix: &str, compressed: bool) -> (TimeSeries, Vec<PathBuf>) {
+    let s = series();
+    let dir = temp_dir(tag);
+    let paths = if compressed {
+        ifet_volume::io::write_series_with(&dir, prefix, &s, true).unwrap()
+    } else {
+        ifet_volume::io::write_series(&dir, prefix, &s).unwrap()
+    };
+    (s, paths)
+}
+
+/// splitmix64 finalizer: deterministic pseudo-randomness without any
+/// wall-clock or RNG dependence, so every randomized schedule is
+/// replayable from its seed.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Fault hook that injects pseudo-random read delays and fails the first
+/// `fails_per_frame` read attempts of every frame with a transient I/O
+/// error — whoever gets there first (demand or prefetch) eats the failures
+/// and must retry or degrade.
+pub fn chaos_hook(seed: u64, fails_per_frame: u32) -> ReadFaultHook {
+    let counts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+    Arc::new(move |frame, attempt| {
+        let seen = {
+            let mut c = counts.lock().unwrap();
+            let e = c.entry(frame).or_insert(0);
+            let seen = *e;
+            *e += 1;
+            seen
+        };
+        if seen < fails_per_frame {
+            return Some(ReadFault::Error);
+        }
+        let r = mix(seed ^ ((frame as u64) << 8) ^ attempt as u64);
+        if r % 2 == 0 {
+            Some(ReadFault::Delay(Duration::from_micros(r % 300)))
+        } else {
+            None
+        }
+    })
+}
+
+/// Paints for the fixture ball at frame 0 (center `(3, 6, 6)`, radius 2.5):
+/// a handful of inside voxels positive, far corners negative. Hand-picked,
+/// so training is deterministic with no oracle RNG involved.
+pub fn ball_paints() -> PaintSet {
+    let mut p = PaintSet::new(0);
+    for pos in [
+        (3, 6, 6),
+        (4, 6, 6),
+        (2, 6, 6),
+        (3, 5, 6),
+        (3, 6, 5),
+        (3, 7, 7),
+    ] {
+        p.paint(pos, true);
+    }
+    for neg in [
+        (0, 0, 0),
+        (11, 11, 11),
+        (11, 0, 0),
+        (0, 11, 11),
+        (8, 1, 1),
+        (0, 6, 0),
+    ] {
+        p.paint(neg, false);
+    }
+    p
+}
+
+/// A session on `series` with every capability the serve verbs exercise:
+/// two key frames + trained IATF, ball paints + trained classifier, and
+/// one completed fixed-band track. Training params are small but real.
+pub fn trained_session(series: TimeSeries) -> VisSession {
+    let steps = series.steps().to_vec();
+    let (glo, ghi) = series.global_range();
+    let mut sess = VisSession::new(series).unwrap();
+    sess.add_key_frame(
+        steps[0],
+        TransferFunction1D::band(glo, ghi, glo + 0.6 * (ghi - glo), ghi, 0.9),
+    );
+    sess.add_key_frame(
+        *steps.last().unwrap(),
+        TransferFunction1D::band(glo, ghi, glo + 0.4 * (ghi - glo), ghi, 0.9),
+    );
+    sess.train_iatf(IatfParams {
+        hidden: 4,
+        bins: 32,
+        epochs: 8,
+        ..Default::default()
+    });
+    sess.add_paints(ball_paints()).unwrap();
+    sess.train_classifier(
+        FeatureSpec::default(),
+        ClassifierParams {
+            epochs: 25,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let status = sess
+        .run_track(
+            CriterionSpec::FixedBand { lo: 0.9, hi: 3.0 },
+            &[(0, 3, 6, 6)],
+            None,
+        )
+        .unwrap();
+    assert_eq!(status, TrackStatus::Completed);
+    sess
+}
+
+/// A serve-ready fixture on disk: frame files in `data_dir`, a trained
+/// `.ifet` artifact at `artifact`, plus the in-core session it was saved
+/// from (the serial-replay reference).
+pub struct ServeFixture {
+    pub artifact: PathBuf,
+    pub data_dir: PathBuf,
+    pub session: VisSession,
+}
+
+/// Build a [`ServeFixture`] under `tag`, optionally value-shifted by
+/// `offset` (see [`series_with_offset`]).
+pub fn serve_fixture(tag: &str, offset: f32) -> ServeFixture {
+    let dir = temp_dir(tag);
+    let s = series_with_offset(offset);
+    ifet_volume::io::write_series(&dir, "srv", &s).unwrap();
+    let session = trained_session(s);
+    let artifact = dir.join("session.ifet");
+    session.save(&artifact).unwrap();
+    ServeFixture {
+        artifact,
+        data_dir: dir,
+        session,
+    }
+}

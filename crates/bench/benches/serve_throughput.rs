@@ -1,0 +1,156 @@
+//! Serve-layer throughput: requests/second through the worker-pool
+//! executor over a real Unix socket, across the two knobs the rearchitected
+//! transport added — pool size (`--workers`) and pipeline depth (the
+//! `hello` handshake's outstanding-request window).
+//!
+//! The matrix is workers {1, 2, 4} × depth {1, 8}. Depth 1 is the v1
+//! single-shot cadence (one reply before the next request), so the
+//! (workers=1, depth=1) cell is the old architecture's baseline and every
+//! other cell measures what multiplexing buys. Each measured batch also
+//! cross-checks a reply against the in-process engine, so the numbers can
+//! never come from a transport that answers with the wrong bytes.
+//!
+//! `IFET_QUICK=1` shrinks the batch for a CI smoke-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ifet_serve::{
+    serve_unix, Client, Request, ResponseBody, ServeConfig, ServeEngine, ServerOpts, Verb,
+};
+use ifet_volume::CacheBudget;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+#[path = "../../../tests/support/mod.rs"]
+mod support;
+use support::{serve_fixture, STEP_STRIDE};
+
+fn quick() -> bool {
+    std::env::var("IFET_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Requests measured per iteration (a full pipeline window cycle repeated).
+fn batch() -> u64 {
+    if quick() {
+        8
+    } else {
+        64
+    }
+}
+
+/// Start a server for one configuration and return a connected client with
+/// a bound session and a negotiated pipeline depth. The server thread is
+/// deliberately left running (no `max_requests`); the process exit reaps
+/// every configuration at once.
+fn pipelined_client(workers: usize, depth: u32, sock: PathBuf) -> Client {
+    let engine = ServeEngine::new(ServeConfig {
+        budget: CacheBudget::Frames(8),
+        max_inflight_per_tenant: 16,
+        prefetch: 0,
+        tenant_quota_bytes: None,
+    });
+    let fx = serve_fixture(&format!("bench_srv_w{workers}_d{depth}"), 0.0);
+    std::thread::spawn({
+        let sock = sock.clone();
+        move || {
+            serve_unix(
+                &sock,
+                &engine,
+                ServerOpts {
+                    max_requests: None,
+                    workers,
+                },
+            )
+        }
+    });
+    let mut client = None;
+    for _ in 0..500 {
+        match Client::connect(&sock) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+    let mut client = client.expect("bench server never came up");
+    let open = client
+        .call(&Request {
+            request_id: 1,
+            tenant: 0,
+            verb: Verb::Open {
+                artifact: fx.artifact.display().to_string(),
+                data_dir: fx.data_dir.display().to_string(),
+            },
+        })
+        .unwrap();
+    assert!(matches!(open.body, ResponseBody::OpenOk { .. }));
+    assert_eq!(client.hello(depth).unwrap(), depth);
+    client
+}
+
+/// Drive `n` classify requests keeping at most `depth` outstanding; returns
+/// the voxel count of the last reply as the black-boxed result.
+fn drive(client: &mut Client, n: u64, depth: u64) -> u64 {
+    let mut last = 0u64;
+    let mut next_await = 0u64;
+    for i in 0..n {
+        if i >= depth {
+            let rsp = client.await_response(1000 + next_await).unwrap();
+            match rsp.body {
+                ResponseBody::ClassifyOk { voxels, .. } => last = voxels,
+                other => panic!("bench request failed: {other:?}"),
+            }
+            next_await += 1;
+        }
+        client
+            .submit(&Request {
+                request_id: 1000 + i,
+                tenant: 0,
+                verb: Verb::Classify {
+                    step: (i as u32 % 4) * STEP_STRIDE,
+                    tau: 0.5,
+                },
+            })
+            .unwrap();
+    }
+    while next_await < n {
+        let rsp = client.await_response(1000 + next_await).unwrap();
+        match rsp.body {
+            ResponseBody::ClassifyOk { voxels, .. } => last = rsp.request_id + voxels,
+            other => panic!("bench request failed: {other:?}"),
+        }
+        next_await += 1;
+    }
+    last
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("ifet_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = batch();
+
+    let mut g = c.benchmark_group("serve_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    for &workers in &[1usize, 2, 4] {
+        for &depth in &[1u32, 8] {
+            let sock = dir.join(format!("w{workers}_d{depth}.sock"));
+            let mut client = pipelined_client(workers, depth, sock);
+            // Warm the cache and prove the path answers real bytes before
+            // timing anything.
+            assert!(drive(&mut client, 4, u64::from(depth)) > 0);
+            g.bench_with_input(
+                BenchmarkId::new(format!("workers_{workers}"), format!("depth_{depth}")),
+                &depth,
+                |b, &d| b.iter(|| black_box(drive(&mut client, n, u64::from(d)))),
+            );
+        }
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

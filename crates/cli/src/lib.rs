@@ -930,14 +930,39 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 .map_err(|_| format!("invalid --max-requests: {s:?}"))
         })
         .transpose()?;
+    let workers: usize = args.opt_parse("workers", 0usize)?;
+    let tenant_quota_bytes = args
+        .opt("tenant-quota-bytes")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("invalid --tenant-quota-bytes: {s:?}"))
+        })
+        .transpose()?;
+    if tenant_quota_bytes == Some(0) {
+        return Err("--tenant-quota-bytes must be at least 1".into());
+    }
     let engine = ServeEngine::new(ServeConfig {
         budget,
         max_inflight_per_tenant: max_inflight,
         prefetch,
+        tenant_quota_bytes,
     });
-    let served = serve_unix(Path::new(socket), &engine, ServerOpts { max_requests })
-        .map_err(|e| format!("serve failed: {e}"))?;
-    Ok(format!("served {served} requests on {socket}"))
+    let served = serve_unix(
+        Path::new(socket),
+        &engine,
+        ServerOpts {
+            max_requests,
+            workers,
+        },
+    )
+    .map_err(|e| format!("serve failed: {e}"))?;
+    let b = engine.budget().stats();
+    Ok(format!(
+        "served {served} requests on {socket}\n\
+         paging: resident high-water {} frames / {} bytes, \
+         evictions {} ({} quota-local, {} idle-preferred)",
+        b.high_water_frames, b.high_water_bytes, b.evictions, b.quota_evictions, b.idle_evictions,
+    ))
 }
 
 #[cfg(not(unix))]
@@ -958,6 +983,7 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
         .first()
         .ok_or("client needs a verb: open, classify, track, render-slice, report-stats, close")?;
     let verb = match verb_name.as_str() {
+        "bench" => return cmd_client_bench(args, socket, tenant),
         "open" => Verb::Open {
             artifact: args.require("artifact")?.to_string(),
             data_dir: args.require("data")?.to_string(),
@@ -1022,6 +1048,143 @@ pub fn cmd_client(_args: &Args) -> Result<String, String> {
     Err("client requires a Unix-socket transport".into())
 }
 
+/// `client bench`: a pipelined load generator against a running `ifet
+/// serve`. Opens the artifact, negotiates pipelined mode with a `hello`
+/// handshake, then keeps `--depth` seeded read-only requests (classify /
+/// render-slice) outstanding until `--requests` have been answered.
+/// Reports throughput plus the tenant's admission counter algebra
+/// (`accepted + rejected == sent`), which must hold under any executor.
+#[cfg(unix)]
+fn cmd_client_bench(args: &Args, socket: &str, tenant: u32) -> Result<String, String> {
+    use ifet_serve::{Axis, Client, Request, ResponseBody, Verb};
+    let artifact = args.require("artifact")?.to_string();
+    let data = args.require("data")?.to_string();
+    let requests: u64 = args.opt_parse("requests", 64u64)?;
+    let depth: u32 = args.opt_parse("depth", 8u32)?;
+    let seed: u64 = args.opt_parse("seed", 1u64)?;
+    if depth == 0 {
+        return Err("--depth must be at least 1".into());
+    }
+    let mut client = Client::connect(Path::new(socket))
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+
+    // Open synchronously (session binding must exist before any pipelined
+    // read), then switch the connection to pipelined mode.
+    let open = client
+        .call(&Request {
+            request_id: 1,
+            tenant,
+            verb: Verb::Open {
+                artifact,
+                data_dir: data,
+            },
+        })
+        .map_err(|e| format!("open failed: {e}"))?;
+    let (frames, dims, first_step, last_step) = match open.body {
+        ResponseBody::OpenOk {
+            frames,
+            dims,
+            first_step,
+            last_step,
+            ..
+        } => (frames, dims, first_step, last_step),
+        other => return Err(format!("open failed: {other:?}")),
+    };
+    let stride = if frames > 1 {
+        ((last_step - first_step) / (frames - 1)).max(1)
+    } else {
+        1
+    };
+    let granted = client
+        .hello(depth)
+        .map_err(|e| format!("hello failed: {e}"))?;
+
+    // Seeded read-only mix; request ids 2.. are unique so replies can come
+    // back in any completion order.
+    let verb_for = |i: u64| -> Verb {
+        let r = mix(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let step = first_step + (r as u32 % frames) * stride;
+        if r % 2 == 0 {
+            Verb::Classify { step, tau: 0.5 }
+        } else {
+            Verb::RenderSlice {
+                step,
+                axis: Axis::Z,
+                k: (r >> 8) as u32 % dims.2,
+                adaptive: false,
+            }
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let mut next_await: u64 = 0;
+    let mut errors: u64 = 0;
+    for i in 0..requests {
+        if i >= u64::from(granted) {
+            let rsp = client
+                .await_response(2 + next_await)
+                .map_err(|e| format!("await failed: {e}"))?;
+            if matches!(rsp.body, ResponseBody::Err { .. }) {
+                errors += 1;
+            }
+            next_await += 1;
+        }
+        client
+            .submit(&Request {
+                request_id: 2 + i,
+                tenant,
+                verb: verb_for(i),
+            })
+            .map_err(|e| format!("submit failed: {e}"))?;
+    }
+    while next_await < requests {
+        let rsp = client
+            .await_response(2 + next_await)
+            .map_err(|e| format!("await failed: {e}"))?;
+        if matches!(rsp.body, ResponseBody::Err { .. }) {
+            errors += 1;
+        }
+        next_await += 1;
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = client
+        .call(&Request {
+            request_id: 2 + requests,
+            tenant,
+            verb: Verb::ReportStats,
+        })
+        .map_err(|e| format!("report-stats failed: {e}"))?;
+    let ResponseBody::StatsOk(st) = stats.body else {
+        return Err(format!("report-stats failed: {:?}", stats.body));
+    };
+    let algebra = st.accepted + st.rejected == st.sent;
+    let mut out = format!(
+        "bench: {requests} requests, depth {depth} (granted {granted}), \
+         {errors} errored, {:.0} req/s\n\
+         tenant counters: sent {}, accepted {}, rejected {}, completed {} \
+         (accepted + rejected == sent: {algebra})",
+        requests as f64 / elapsed,
+        st.sent,
+        st.accepted,
+        st.rejected,
+        st.completed,
+    );
+    if !algebra {
+        out.push_str("\nerror: admission counter algebra violated");
+        return Err(out);
+    }
+    Ok(out)
+}
+
+/// splitmix64: the repo's standard cheap deterministic mixer.
+#[cfg(unix)]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(unix)]
 fn format_response(args: &Args, body: ifet_serve::ResponseBody) -> Result<String, String> {
     use ifet_serve::ResponseBody;
@@ -1072,7 +1235,8 @@ fn format_response(args: &Args, body: ifet_serve::ResponseBody) -> Result<String
         }
         ResponseBody::StatsOk(st) => Ok(format!(
             "tenant: sent {}, accepted {}, rejected {}, completed {}, max depth {}\n\
-             batcher: {} jobs in {} cycles, {} MLP rows",
+             batcher: {} jobs in {} cycles, {} MLP rows\n\
+             paging: {} evictions ({} quota-local, {} idle-preferred)",
             st.sent,
             st.accepted,
             st.rejected,
@@ -1081,6 +1245,15 @@ fn format_response(args: &Args, body: ifet_serve::ResponseBody) -> Result<String
             st.batch_jobs,
             st.batch_cycles,
             st.batch_rows,
+            st.evictions,
+            st.quota_evictions,
+            st.idle_evictions,
+        )),
+        ResponseBody::HelloOk {
+            version,
+            max_pipeline,
+        } => Ok(format!(
+            "hello: protocol v{version}, pipeline depth {max_pipeline} granted"
         )),
         ResponseBody::CloseOk => Ok("closed".into()),
         ResponseBody::Err { code, message } => Err(format!("server error ({code:?}): {message}")),
@@ -1175,16 +1348,23 @@ USAGE:
   ifet classify --data DIR --session FILE [--tau V] [--out DIR [--compress]]
                 [--batch N] [ooc options]
   ifet suggest-keys --data DIR [--max N]
-  ifet serve --socket PATH [--max-inflight N] [--max-requests N] [ooc options]
+  ifet serve --socket PATH [--max-inflight N] [--max-requests N] [--workers N]
+             [--tenant-quota-bytes B] [ooc options]
   ifet client <verb> --socket PATH [--tenant N] [verb options]
 
 session service (serve / client):
   `serve` keeps many session artifacts resident at once, every tenant's
   frame data paged through ONE shared cache budget (--ooc-cache /
-  --ooc-cache-bytes, default 8 frames). Per-tenant admission is bounded by
-  --max-inflight (default 4); requests beyond the bound are rejected with a
-  typed Overloaded error, never queued. --max-requests N exits after N
-  answered requests (deterministic shutdown for scripts).
+  --ooc-cache-bytes, default 8 frames). Requests from all connections are
+  executed by a fixed pool of --workers threads (default 4); per-tenant
+  admission is bounded by --max-inflight (default 4); requests beyond the
+  bound are rejected with a typed Overloaded error, never queued.
+  --tenant-quota-bytes B caps each open artifact's resident frame bytes at
+  B on top of the global budget: a tenant over its quota evicts its OWN
+  least-recent frames first, and global evictions prefer idle tenants'
+  frames over actively-computing ones. --max-requests N exits after N
+  answered requests (deterministic shutdown for scripts); a paging summary
+  (high-water, evictions split by policy) is appended on exit.
   `client` verbs (tenant id rides with every request):
     open         --artifact FILE.ifet --data DIR
     classify     --step T [--tau V]
@@ -1192,6 +1372,10 @@ session service (serve / client):
     render-slice --step T [--axis x|y|z] [--k K] [--adaptive] [--out FILE.ppm]
     report-stats
     close
+    bench        --artifact FILE.ifet --data DIR [--requests N] [--depth D]
+                 [--seed S]   pipelined load generator: opens, negotiates a
+                 hello handshake, keeps D requests outstanding, reports
+                 req/s and the admission counter algebra
 
 batched hot paths (render, track, session save, classify):
   --batch N             rows per batched classification pass, and samples per
@@ -1883,6 +2067,86 @@ mod tests {
 
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("served 4 requests"), "{served}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// `client bench` drives a pipelined load through a worker-pool server
+    /// and reports the admission counter algebra; when the server goes away
+    /// mid-conversation the CLI surfaces the friendly typed disconnect,
+    /// never a panic or a raw broken-pipe error.
+    #[cfg(unix)]
+    #[test]
+    fn client_bench_pipelines_and_disconnects_are_friendly() {
+        let dir = std::env::temp_dir().join(format!("ifet_cli_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        run(&parse_args(&argv(&format!(
+            "generate shock-bubble --out {dirs} --dims 16 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        let sess = format!("{dirs}/srv.ifet");
+        run(&parse_args(&argv(&format!(
+            "session save --data {dirs} --out {sess} --paint 195:10 --clf-epochs 5 --clf-hidden 2"
+        )))
+        .unwrap())
+        .unwrap();
+
+        let call = |line: &str| -> Result<String, String> {
+            let args = parse_args(&argv(line)).unwrap();
+            for _ in 0..500 {
+                match run(&args) {
+                    Err(e) if e.contains("cannot connect") => {
+                        std::thread::sleep(std::time::Duration::from_millis(2))
+                    }
+                    other => return other,
+                }
+            }
+            Err("server never came up".into())
+        };
+
+        // open + hello + 8 pipelined + report-stats = 11 served requests.
+        let sock = format!("{dirs}/bench.sock");
+        let server = {
+            let serve = parse_args(&argv(&format!(
+                "serve --socket {sock} --ooc-cache 3 --workers 2 \
+                 --tenant-quota-bytes 50000000 --max-requests 11"
+            )))
+            .unwrap();
+            std::thread::spawn(move || run(&serve))
+        };
+        let msg = call(&format!(
+            "client bench --socket {sock} --tenant 2 --artifact {sess} --data {dirs} \
+             --requests 8 --depth 4 --seed 3"
+        ))
+        .unwrap();
+        assert!(msg.contains("bench: 8 requests"), "{msg}");
+        assert!(msg.contains("granted 4"), "{msg}");
+        assert!(msg.contains("0 errored"), "{msg}");
+        assert!(msg.contains("accepted + rejected == sent: true"), "{msg}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("served 11 requests"), "{served}");
+        assert!(served.contains("quota-local"), "{served}");
+
+        // A one-request server dies right after the bench's open; the hello
+        // that follows on the same connection must come back as the typed
+        // friendly disconnect.
+        let sock = format!("{dirs}/bench1.sock");
+        let server = {
+            let serve = parse_args(&argv(&format!(
+                "serve --socket {sock} --ooc-cache 2 --max-requests 1"
+            )))
+            .unwrap();
+            std::thread::spawn(move || run(&serve))
+        };
+        let err = call(&format!(
+            "client bench --socket {sock} --tenant 2 --artifact {sess} --data {dirs} \
+             --requests 4 --depth 2"
+        ))
+        .unwrap_err();
+        assert!(err.contains("server closed the connection"), "{err}");
+        assert!(!err.contains("Broken pipe"), "{err}");
+        server.join().unwrap().unwrap();
         std::fs::remove_dir_all(dir).ok();
     }
 

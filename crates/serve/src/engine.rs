@@ -57,6 +57,11 @@ pub struct ServeConfig {
     pub max_inflight_per_tenant: usize,
     /// Read-ahead depth for newly opened series (0 = no prefetch).
     pub prefetch: usize,
+    /// Resident-byte quota applied to each opened artifact's residency
+    /// group (`None` = unlimited). A tenant whose artifact is over quota
+    /// evicts its *own* LRU frames first; tenants sharing an artifact share
+    /// its quota. See `CacheBudgetHandle::set_group_quota`.
+    pub tenant_quota_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +70,7 @@ impl Default for ServeConfig {
             budget: CacheBudget::Frames(8),
             max_inflight_per_tenant: 4,
             prefetch: 0,
+            tenant_quota_bytes: None,
         }
     }
 }
@@ -75,12 +81,20 @@ pub struct SharedSession {
     key: String,
     series: Arc<OutOfCoreSeries>,
     session: VisSession<Arc<OutOfCoreSeries>>,
+    /// Residency group this artifact's bytes are attributed to in the shared
+    /// budget (assigned at first open; see `ServeConfig::tenant_quota_bytes`).
+    group: u64,
 }
 
 impl SharedSession {
     /// The artifact path this session was loaded from.
     pub fn key(&self) -> &str {
         &self.key
+    }
+
+    /// The residency group this artifact pages under.
+    pub fn residency_group(&self) -> u64 {
+        self.group
     }
 
     /// The resident session (read-only under serving).
@@ -122,6 +136,9 @@ struct Inner {
     batcher: Batcher,
     /// Fault hooks by artifact key, applied at open time (chaos testing).
     fault_hooks: Mutex<HashMap<String, ReadFaultHook>>,
+    /// Residency-group id allocator (0 is the budget's default group, never
+    /// handed to an artifact).
+    next_group: AtomicU64,
 }
 
 /// The multi-tenant serving engine. Cheap to clone (shared state); all
@@ -142,6 +159,7 @@ impl ServeEngine {
                 tenants: Mutex::new(BTreeMap::new()),
                 batcher: Batcher::start(),
                 fault_hooks: Mutex::new(HashMap::new()),
+                next_group: AtomicU64::new(1),
             }),
         }
     }
@@ -231,6 +249,7 @@ impl ServeEngine {
     pub fn tenant_stats(&self, tenant: u32) -> StatsReport {
         let t = self.tenant_entry(tenant);
         let c = &self.inner.batcher.counters;
+        let b = self.inner.budget.stats();
         StatsReport {
             sent: t.sent.load(Ordering::SeqCst),
             accepted: t.accepted.load(Ordering::SeqCst),
@@ -240,6 +259,9 @@ impl ServeEngine {
             batch_jobs: c.jobs.load(Ordering::SeqCst),
             batch_cycles: c.cycles.load(Ordering::SeqCst),
             batch_rows: c.rows.load(Ordering::SeqCst),
+            evictions: b.evictions,
+            quota_evictions: b.quota_evictions,
+            idle_evictions: b.idle_evictions,
         }
     }
 
@@ -270,6 +292,7 @@ impl ServeEngine {
             }
             Verb::Classify { step, tau } => {
                 let shared = self.bound_session(tenant, req.tenant)?;
+                let _active = GroupActivity::enter(&self.inner.budget, shared.group);
                 match self.inner.batcher.submit(
                     shared,
                     JobKind::Classify {
@@ -287,6 +310,7 @@ impl ServeEngine {
             }
             Verb::Track { criterion, seeds } => {
                 let shared = self.bound_session(tenant, req.tenant)?;
+                let _active = GroupActivity::enter(&self.inner.budget, shared.group);
                 let spec = match criterion {
                     WireCriterion::FixedBand { lo, hi } => {
                         CriterionSpec::FixedBand { lo: *lo, hi: *hi }
@@ -326,6 +350,7 @@ impl ServeEngine {
                 adaptive,
             } => {
                 let shared = self.bound_session(tenant, req.tenant)?;
+                let _active = GroupActivity::enter(&self.inner.budget, shared.group);
                 self.render_slice(&shared, *step, *axis, *k, *adaptive)
             }
             Verb::ReportStats => Ok(ResponseBody::StatsOk(self.tenant_stats(req.tenant))),
@@ -333,6 +358,14 @@ impl ServeEngine {
                 *lock(&tenant.session) = None;
                 Ok(ResponseBody::CloseOk)
             }
+            // The handshake is connection-level state owned by the transport
+            // (the server flips the connection into pipelined mode when it
+            // sees the verb go by); the engine just grants a clamped depth so
+            // the reply is deterministic and transport-independent.
+            Verb::Hello { max_pipeline } => Ok(ResponseBody::HelloOk {
+                version: crate::protocol::PROTOCOL_VERSION,
+                max_pipeline: (*max_pipeline).clamp(1, crate::protocol::MAX_PIPELINE),
+            }),
         }
     }
 
@@ -439,6 +472,14 @@ impl ServeEngine {
         if let Some(hook) = lock(&self.inner.fault_hooks).get(artifact) {
             series.set_read_fault_hook(Some(hook.clone()));
         }
+        // Assign the artifact its residency group before any frame read so
+        // every byte it pages is attributed (and quota-bounded) from the
+        // start. Loading below reads only the artifact file, never frames.
+        let group = self.inner.next_group.fetch_add(1, Ordering::Relaxed);
+        series.set_residency_group(group);
+        if let Some(q) = self.inner.cfg.tenant_quota_bytes {
+            self.inner.budget.set_group_quota(group, Some(q));
+        }
         let series = Arc::new(series);
         let session =
             VisSession::load(Arc::clone(&series), artifact).map_err(|e| ServeError::Open {
@@ -448,6 +489,7 @@ impl ServeEngine {
             key: artifact.to_string(),
             series,
             session,
+            group,
         });
         map.insert(artifact.to_string(), Arc::downgrade(&shared));
         Ok(shared)
@@ -484,6 +526,27 @@ fn frame_paths(dir: &Path) -> Result<Vec<PathBuf>, String> {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII activity marker for a residency group: while any request against an
+/// artifact is executing, the budget's eviction policy deprioritizes that
+/// artifact's frames (idle tenants' frames go first).
+struct GroupActivity<'a> {
+    budget: &'a CacheBudgetHandle,
+    group: u64,
+}
+
+impl<'a> GroupActivity<'a> {
+    fn enter(budget: &'a CacheBudgetHandle, group: u64) -> Self {
+        budget.group_enter(group);
+        Self { budget, group }
+    }
+}
+
+impl Drop for GroupActivity<'_> {
+    fn drop(&mut self) {
+        self.budget.group_exit(self.group);
+    }
 }
 
 fn err_body(e: &ServeError) -> ResponseBody {

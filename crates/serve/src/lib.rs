@@ -12,12 +12,17 @@
 //!
 //! - [`protocol`] — the length-prefixed, CRC-guarded binary wire format
 //!   (verbs: `open`, `classify`, `track`, `render-slice`, `report-stats`,
-//!   `close`), with typed [`ProtocolError`]s for every corruption mode.
+//!   `close`, and the pipelining `hello` handshake), with typed
+//!   [`ProtocolError`]s for every corruption mode.
 //! - [`engine`] — [`ServeEngine`]: session residency and sharing,
 //!   per-tenant admission (bounded in-flight work, typed `Overloaded`
-//!   backpressure), and the cross-session MLP batcher.
-//! - [`server`] — a Unix-socket transport (`ifet serve` / `ifet client`),
-//!   kept deliberately thin: the deterministic test harness drives
+//!   backpressure), per-artifact residency-quota groups on the shared
+//!   cache budget, and the cross-session MLP batcher.
+//! - [`server`] — the Unix-socket transport (`ifet serve` / `ifet
+//!   client`): per-connection reader/writer threads around a fixed
+//!   worker-pool executor, multiplexed pipelined connections (replies in
+//!   completion order, matched by request id), and a multiplexing
+//!   [`Client`](server::Client). The deterministic test harness drives
 //!   [`ServeEngine::handle_wire`] in-process instead.
 //!
 //! The load-bearing contract, pinned by `tests/serve_equivalence.rs`:
@@ -39,7 +44,8 @@ pub use engine::{ServeConfig, ServeEngine, SharedSession};
 pub use error::ServeError;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, Axis, ErrorCode,
-    ProtocolError, Request, Response, ResponseBody, StatsReport, Verb, WireCriterion,
+    ProtocolError, Request, Response, ResponseBody, StatsReport, Verb, WireCriterion, MAX_PIPELINE,
+    PROTOCOL_VERSION,
 };
 #[cfg(unix)]
 pub use server::{serve_unix, Client, ClientError, ServerOpts};

@@ -35,6 +35,13 @@ pub const MAGIC_RESPONSE: [u8; 4] = *b"IFS1";
 pub const MAX_PAYLOAD: u32 = 1 << 24;
 /// Bytes of framing around a payload: magic + length prefix + trailing CRC.
 pub const FRAME_OVERHEAD: usize = 4 + 4 + 4;
+/// Protocol revision negotiated by [`Verb::Hello`]. v2 adds the pipelining
+/// handshake; framing and every v1 verb encoding are unchanged, so v1
+/// clients (which never send `Hello`) interoperate without translation.
+pub const PROTOCOL_VERSION: u32 = 2;
+/// Hard cap on the pipeline depth a `Hello` can negotiate: the per-connection
+/// bound on decoded-but-unanswered requests the server will hold.
+pub const MAX_PIPELINE: u32 = 64;
 
 /// Why a byte buffer is not a valid protocol frame. Every corruption mode
 /// the fuzz suite sweeps (flips, truncations, oversized prefixes, unknown
@@ -139,6 +146,12 @@ pub enum Verb {
     ReportStats,
     /// Release this tenant's session binding.
     Close,
+    /// Pipelining handshake (protocol v2). The client asks for up to
+    /// `max_pipeline` outstanding requests on this connection; the server
+    /// answers [`ResponseBody::HelloOk`] with the granted depth (clamped to
+    /// [`MAX_PIPELINE`]). A connection that never sends `Hello` runs in
+    /// v1-compatible single-shot mode: one request, one reply, in order.
+    Hello { max_pipeline: u32 },
 }
 
 impl Verb {
@@ -151,6 +164,7 @@ impl Verb {
             Verb::RenderSlice { .. } => "render-slice",
             Verb::ReportStats => "report-stats",
             Verb::Close => "close",
+            Verb::Hello { .. } => "hello",
         }
     }
 }
@@ -229,6 +243,14 @@ pub struct StatsReport {
     pub batch_cycles: u64,
     /// Engine-wide: voxel rows pushed through the MLP by batched jobs.
     pub batch_rows: u64,
+    /// Engine-wide: frames evicted from the shared cache budget.
+    pub evictions: u64,
+    /// Engine-wide: evictions by the quota-local phase (a tenant over its
+    /// resident-byte quota reclaiming its own LRU frames).
+    pub quota_evictions: u64,
+    /// Engine-wide: evictions redirected from an active tenant's LRU frame
+    /// to an idle tenant's frame.
+    pub idle_evictions: u64,
 }
 
 /// A response body: one `Ok` variant per verb, or a typed error.
@@ -261,6 +283,16 @@ pub enum ResponseBody {
     },
     StatsOk(StatsReport),
     CloseOk,
+    /// Handshake grant (protocol v2): the connection may now keep up to
+    /// `max_pipeline` requests outstanding, with replies in completion order
+    /// matched by request id.
+    HelloOk {
+        /// Server protocol revision ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Granted pipeline depth (requested depth clamped to
+        /// [`MAX_PIPELINE`], floored at 1).
+        max_pipeline: u32,
+    },
     Err {
         code: ErrorCode,
         message: String,
@@ -370,6 +402,10 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
         }
         Verb::ReportStats => w.u8(4),
         Verb::Close => w.u8(5),
+        Verb::Hello { max_pipeline } => {
+            w.u8(6);
+            w.u32(*max_pipeline);
+        }
     }
     w.0
 }
@@ -439,8 +475,19 @@ fn encode_response_payload(rsp: &Response) -> Vec<u8> {
             w.u64(s.batch_jobs);
             w.u64(s.batch_cycles);
             w.u64(s.batch_rows);
+            w.u64(s.evictions);
+            w.u64(s.quota_evictions);
+            w.u64(s.idle_evictions);
         }
         ResponseBody::CloseOk => w.u8(5),
+        ResponseBody::HelloOk {
+            version,
+            max_pipeline,
+        } => {
+            w.u8(6);
+            w.u32(*version);
+            w.u32(*max_pipeline);
+        }
         ResponseBody::Err { code, message } => {
             w.u8(255);
             w.u8(code.to_u8());
@@ -585,6 +632,9 @@ fn decode_request_payload(payload: &[u8]) -> Result<Request, ProtocolError> {
         },
         4 => Verb::ReportStats,
         5 => Verb::Close,
+        6 => Verb::Hello {
+            max_pipeline: r.u32()?,
+        },
         other => return Err(ProtocolError::UnknownVerb(other)),
     };
     r.finish()?;
@@ -660,8 +710,15 @@ fn decode_response_payload(payload: &[u8]) -> Result<Response, ProtocolError> {
             batch_jobs: r.u64()?,
             batch_cycles: r.u64()?,
             batch_rows: r.u64()?,
+            evictions: r.u64()?,
+            quota_evictions: r.u64()?,
+            idle_evictions: r.u64()?,
         }),
         5 => ResponseBody::CloseOk,
+        6 => ResponseBody::HelloOk {
+            version: r.u32()?,
+            max_pipeline: r.u32()?,
+        },
         255 => ResponseBody::Err {
             code: ErrorCode::from_u8(r.u8()?)?,
             message: r.str()?,
@@ -775,6 +832,11 @@ mod tests {
                 tenant: 3,
                 verb: Verb::Close,
             },
+            Request {
+                request_id: 13,
+                tenant: 0,
+                verb: Verb::Hello { max_pipeline: 8 },
+            },
         ]
     }
 
@@ -820,8 +882,15 @@ mod tests {
                 batch_jobs: 6,
                 batch_cycles: 3,
                 batch_rows: 10_368,
+                evictions: 5,
+                quota_evictions: 2,
+                idle_evictions: 1,
             }),
             ResponseBody::CloseOk,
+            ResponseBody::HelloOk {
+                version: PROTOCOL_VERSION,
+                max_pipeline: 8,
+            },
             ResponseBody::Err {
                 code: ErrorCode::Overloaded,
                 message: "tenant 3 at in-flight bound 4".into(),

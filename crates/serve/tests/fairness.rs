@@ -112,6 +112,7 @@ fn greedy_tenant_is_bounded_while_light_tenant_completes() {
         budget: CacheBudget::Bytes(2 * FRAME_BYTES),
         max_inflight_per_tenant: BOUND,
         prefetch: 0,
+        tenant_quota_bytes: None,
     });
     let greedy_key = fx_greedy.artifact.display().to_string();
     engine.set_read_fault_hook(&greedy_key, Some(gate.hook()));
@@ -228,6 +229,116 @@ fn greedy_tenant_is_bounded_while_light_tenant_completes() {
 }
 
 #[test]
+fn tenant_quota_evicts_own_frames_and_leaves_neighbours_resident() {
+    // Residency fairness: under a roomy *global* budget, a tenant that
+    // pages past its own `--tenant-quota-bytes` must reclaim its OWN
+    // least-recent frames — the neighbour's working set stays resident and
+    // untouched. Both bounds (global high-water AND per-tenant quota) must
+    // hold simultaneously.
+    let fx_a = serve_fixture("fair_quota_a", 0.0);
+    let fx_b = serve_fixture("fair_quota_b", 0.25);
+    let engine = ServeEngine::new(ServeConfig {
+        budget: CacheBudget::Frames(8),
+        max_inflight_per_tenant: 4,
+        prefetch: 0,
+        tenant_quota_bytes: Some(2 * FRAME_BYTES),
+    });
+    assert!(matches!(
+        engine.handle(open_req(1, 0, &fx_a)).body,
+        ResponseBody::OpenOk { .. }
+    ));
+    assert!(matches!(
+        engine.handle(open_req(2, 1, &fx_b)).body,
+        ResponseBody::OpenOk { .. }
+    ));
+
+    let classify = |id: u64, tenant: u32, frame: u32| Request {
+        request_id: id,
+        tenant,
+        verb: Verb::Classify {
+            step: frame * STEP_STRIDE,
+            tau: 0.5,
+        },
+    };
+    // The neighbour fills its quota first: two frames resident.
+    for frame in 0..2 {
+        match engine
+            .handle(classify(10 + u64::from(frame), 1, frame))
+            .body
+        {
+            ResponseBody::ClassifyOk { .. } => {}
+            other => panic!("neighbour classify failed: {other:?}"),
+        }
+    }
+    // The paging tenant walks four distinct frames through a two-frame
+    // quota: frames 0 and 1 must be evicted — by the quota-local phase,
+    // from its own set — even though the global budget (8 frames) still
+    // has room for all six.
+    for frame in 0..4 {
+        match engine
+            .handle(classify(20 + u64::from(frame), 0, frame))
+            .body
+        {
+            ResponseBody::ClassifyOk { .. } => {}
+            other => panic!("paging classify failed: {other:?}"),
+        }
+    }
+
+    let key_a = fx_a.artifact.display().to_string();
+    let key_b = fx_b.artifact.display().to_string();
+    let shared_a = engine.resident(&key_a).expect("a stays resident");
+    let shared_b = engine.resident(&key_b).expect("b stays resident");
+    let ga = engine.budget().group_stats(shared_a.residency_group());
+    let gb = engine.budget().group_stats(shared_b.residency_group());
+
+    // Per-tenant bound: the paging tenant never exceeded its quota and
+    // paid exactly the overflow in quota-local evictions.
+    assert!(
+        ga.high_water_bytes <= 2 * FRAME_BYTES,
+        "tenant quota breached: high-water {} > {}",
+        ga.high_water_bytes,
+        2 * FRAME_BYTES
+    );
+    assert_eq!(ga.resident_bytes, 2 * FRAME_BYTES);
+    assert_eq!(ga.quota_evictions, 2, "4 frames through a 2-frame quota");
+
+    // The neighbour was untouched: still at quota, zero evictions — both
+    // in its group account and on its own series.
+    assert_eq!(gb.resident_bytes, 2 * FRAME_BYTES);
+    assert_eq!(gb.quota_evictions, 0);
+    assert_eq!(
+        shared_b.series().stats().evictions,
+        0,
+        "quota pressure on tenant 0 must never evict tenant 1's frames"
+    );
+
+    // Global bound holds at the same time, and every eviction was
+    // quota-local — the global budget never had to act.
+    let st = engine.budget().stats();
+    assert!(st.high_water_frames <= 8);
+    assert_eq!(st.evictions, 2);
+    assert_eq!(st.quota_evictions, 2);
+    assert_eq!(st.idle_evictions, 0);
+
+    // The counters surface over the wire too (`report-stats`).
+    match engine
+        .handle(Request {
+            request_id: 90,
+            tenant: 0,
+            verb: Verb::ReportStats,
+        })
+        .body
+    {
+        ResponseBody::StatsOk(report) => {
+            assert_eq!(report.evictions, 2);
+            assert_eq!(report.quota_evictions, 2);
+            assert_eq!(report.idle_evictions, 0);
+        }
+        other => panic!("report-stats failed: {other:?}"),
+    }
+}
+
+#[test]
 fn rejection_is_per_tenant_not_global() {
     // Two tenants over the *same* artifact: one wedged at its bound must
     // not consume the other's admission lane — the bound is per-tenant even
@@ -238,6 +349,7 @@ fn rejection_is_per_tenant_not_global() {
         budget: CacheBudget::Frames(4),
         max_inflight_per_tenant: 1,
         prefetch: 0,
+        tenant_quota_bytes: None,
     });
     let key = fx.artifact.display().to_string();
     engine.set_read_fault_hook(&key, Some(gate.hook()));

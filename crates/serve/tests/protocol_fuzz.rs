@@ -54,6 +54,7 @@ fn sample_requests() -> Vec<Request> {
         },
         Verb::ReportStats,
         Verb::Close,
+        Verb::Hello { max_pipeline: 8 },
     ];
     verbs
         .into_iter()
@@ -102,7 +103,14 @@ fn sample_responses() -> Vec<Response> {
             batch_jobs: 5,
             batch_cycles: 2,
             batch_rows: 1728,
+            evictions: 6,
+            quota_evictions: 4,
+            idle_evictions: 1,
         }),
+        ResponseBody::HelloOk {
+            version: 2,
+            max_pipeline: 64,
+        },
         ResponseBody::CloseOk,
         ResponseBody::Err {
             code: ErrorCode::Overloaded,
@@ -208,6 +216,76 @@ fn oversized_length_prefixes_are_rejected_without_allocation() {
         decode_request(&frame),
         Err(ProtocolError::BadMagic { .. })
     ));
+}
+
+/// The engine's reply to an oversized length prefix, pinned byte for byte.
+/// The message must echo the *offending declared length* (so a client
+/// operator can see what the peer claimed), the reply is unattributed
+/// (request id 0 / tenant 0), and the encoding is frozen: any accidental
+/// change to the error text, the status discriminant, or the framing shows
+/// up here as a literal byte diff.
+#[test]
+fn oversized_reply_bytes_are_pinned_and_echo_the_declared_length() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC_REQUEST);
+    frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 16]);
+    let engine = ServeEngine::new(ServeConfig::default());
+    let reply = engine.handle_wire(&frame);
+
+    #[rustfmt::skip]
+    const PINNED: [u8; 73] = [
+        // "IFS1" | payload_len 61 LE
+        0x49, 0x46, 0x53, 0x31, 0x3D, 0x00, 0x00, 0x00,
+        // request_id 0 | tenant 0 | status Err (255) | code Protocol (0)
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x00,
+        // message len 43 LE | "length prefix 16777217 exceeds cap 16777216"
+        0x2B, 0x00, 0x00, 0x00,
+        0x6C, 0x65, 0x6E, 0x67, 0x74, 0x68, 0x20, 0x70, 0x72, 0x65, 0x66, 0x69, 0x78, 0x20,
+        0x31, 0x36, 0x37, 0x37, 0x37, 0x32, 0x31, 0x37, 0x20,
+        0x65, 0x78, 0x63, 0x65, 0x65, 0x64, 0x73, 0x20, 0x63, 0x61, 0x70, 0x20,
+        0x31, 0x36, 0x37, 0x37, 0x37, 0x32, 0x31, 0x36,
+        // crc32 over the payload
+        0xF2, 0xE9, 0xE2, 0x50,
+    ];
+    assert_eq!(reply, PINNED, "oversized reply encoding drifted");
+
+    // The pin is self-consistent: it decodes back to the typed error with
+    // the declared length in the message.
+    let rsp = decode_response(&reply).unwrap();
+    assert_eq!(rsp.request_id, 0);
+    assert_eq!(rsp.tenant, 0);
+    match rsp.body {
+        ResponseBody::Err { code, message } => {
+            assert_eq!(code, ErrorCode::Protocol);
+            assert!(
+                message.contains(&(MAX_PAYLOAD + 1).to_string()),
+                "message must echo the offending declared length: {message}"
+            );
+            assert!(
+                message.contains(&MAX_PAYLOAD.to_string()),
+                "message must state the cap: {message}"
+            );
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+
+    // Every hostile declared length echoes its own value — the reply is a
+    // function of the attack, not a canned string.
+    for len in [MAX_PAYLOAD + 2, u32::MAX] {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC_REQUEST);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]);
+        let rsp = decode_response(&engine.handle_wire(&frame)).unwrap();
+        match rsp.body {
+            ResponseBody::Err { code, message } => {
+                assert_eq!(code, ErrorCode::Protocol);
+                assert!(message.contains(&len.to_string()), "len {len}: {message}");
+            }
+            other => panic!("len {len}: expected Protocol error, got {other:?}"),
+        }
+    }
 }
 
 /// Rewrite one payload byte and *fix the CRC*, so corruption reaches the

@@ -5,9 +5,10 @@
 #![cfg(unix)]
 
 use ifet_serve::{
-    serve_unix, Client, Request, ResponseBody, ServeConfig, ServeEngine, ServerOpts, Verb,
+    serve_unix, Client, ClientError, Request, ResponseBody, ServeConfig, ServeEngine, ServerOpts,
+    Verb,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 #[path = "../../../tests/support/mod.rs"]
 mod support;
@@ -15,6 +16,16 @@ use support::serve_fixture;
 
 fn socket_path(tag: &str) -> PathBuf {
     support::temp_dir(tag).join("ifet.sock")
+}
+
+fn connect_with_retry(sock: &Path) -> Client {
+    for _ in 0..500 {
+        if let Ok(c) = Client::connect(sock) {
+            return c;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!("server never came up on {}", sock.display());
 }
 
 #[test]
@@ -63,22 +74,13 @@ fn socket_round_trip_matches_in_process_engine() {
                 &engine,
                 ServerOpts {
                     max_requests: Some(4),
+                    workers: 0,
                 },
             )
         })
     };
     // The server binds asynchronously; connect with retry.
-    let mut client = None;
-    for _ in 0..500 {
-        match Client::connect(&sock) {
-            Ok(c) => {
-                client = Some(c);
-                break;
-            }
-            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
-        }
-    }
-    let mut client = client.expect("server never came up");
+    let mut client = connect_with_retry(&sock);
 
     for (req, want) in reqs.iter().zip(&reference) {
         let rsp = client.call(req).unwrap();
@@ -97,4 +99,124 @@ fn socket_round_trip_matches_in_process_engine() {
     let served = server.join().unwrap().unwrap();
     assert_eq!(served, 4);
     assert!(!sock.exists(), "server must clean up its socket");
+}
+
+/// A client talking past a `max_requests` shutdown must get the typed
+/// [`ClientError::Disconnected`] — never a panic, and never a raw
+/// broken-pipe `Io` (the CLI turns `Disconnected` into a friendly message,
+/// so the mapping is load-bearing).
+#[test]
+fn reads_after_server_shutdown_surface_typed_disconnected() {
+    let sock = socket_path("sock_disc");
+    let engine = ServeEngine::new(ServeConfig::default());
+    let server = {
+        let sock = sock.clone();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            serve_unix(
+                &sock,
+                &engine,
+                ServerOpts {
+                    max_requests: Some(1),
+                    workers: 2,
+                },
+            )
+        })
+    };
+    let mut client = connect_with_retry(&sock);
+    let stats = Request {
+        request_id: 1,
+        tenant: 0,
+        verb: Verb::ReportStats,
+    };
+    client.call(&stats).expect("first request is served");
+    let served = server.join().unwrap().unwrap();
+    assert_eq!(served, 1);
+
+    // The server is gone. Depending on timing the write may still land in
+    // the socket buffer (the read then sees EOF) or fail with a broken
+    // pipe; both must come back as the typed Disconnected, repeatedly.
+    for _ in 0..3 {
+        match client.call(&stats) {
+            Err(ClientError::Disconnected) => {}
+            other => panic!("expected Disconnected after shutdown, got {other:?}"),
+        }
+    }
+}
+
+/// Pipelined mode over a real socket: `hello` grants a depth, a burst of
+/// submits goes out without awaiting, and every reply comes back matched
+/// to its request id.
+#[test]
+fn pipelined_requests_round_trip_over_a_socket() {
+    let fx = serve_fixture("sock_pipe", 0.0);
+    let sock = socket_path("sock_pipe");
+    let engine = ServeEngine::new(ServeConfig {
+        max_inflight_per_tenant: 16,
+        ..Default::default()
+    });
+    // open + hello + 8 pipelined + close = 11 requests.
+    let server = {
+        let sock = sock.clone();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            serve_unix(
+                &sock,
+                &engine,
+                ServerOpts {
+                    max_requests: Some(11),
+                    workers: 4,
+                },
+            )
+        })
+    };
+    let mut client = connect_with_retry(&sock);
+    let open = client
+        .call(&Request {
+            request_id: 1,
+            tenant: 7,
+            verb: Verb::Open {
+                artifact: fx.artifact.display().to_string(),
+                data_dir: fx.data_dir.display().to_string(),
+            },
+        })
+        .unwrap();
+    assert!(matches!(open.body, ResponseBody::OpenOk { .. }));
+    let granted = client.hello(8).unwrap();
+    assert_eq!(granted, 8);
+
+    for i in 0..8u64 {
+        client
+            .submit(&Request {
+                request_id: 10 + i,
+                tenant: 7,
+                verb: Verb::Classify {
+                    step: (i as u32 % 4) * support::STEP_STRIDE,
+                    tau: 0.5,
+                },
+            })
+            .unwrap();
+    }
+    // Await in reverse submission order: completion order is irrelevant,
+    // the pending-buffer must hand each id its own reply.
+    for i in (0..8u64).rev() {
+        let rsp = client.await_response(10 + i).unwrap();
+        assert_eq!(rsp.request_id, 10 + i);
+        assert!(
+            matches!(rsp.body, ResponseBody::ClassifyOk { .. }),
+            "request {} failed: {:?}",
+            10 + i,
+            rsp.body
+        );
+    }
+    let close = client
+        .call(&Request {
+            request_id: 99,
+            tenant: 7,
+            verb: Verb::Close,
+        })
+        .unwrap();
+    assert!(matches!(close.body, ResponseBody::CloseOk));
+    let served = server.join().unwrap().unwrap();
+    assert_eq!(served, 11);
 }

@@ -57,8 +57,8 @@ pub use maskio::{decode_mask, encode_mask, encode_mask_into, MaskIoError};
 pub use mmapio::{map_frame, Mapping};
 pub use multivol::{MultiSeries, MultiVolume};
 pub use ooc::{
-    BudgetStats, CacheBudget, CacheBudgetHandle, CacheStats, OutOfCoreSeries, ReadFault,
-    ReadFaultHook,
+    BudgetStats, CacheBudget, CacheBudgetHandle, CacheStats, GroupStats, OutOfCoreSeries,
+    ReadFault, ReadFaultHook,
 };
 pub use series::{SeriesError, TimeSeries};
 pub use sink::{FrameSink, OutOfCoreSink, TimeSeriesSink};

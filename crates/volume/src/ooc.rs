@@ -109,6 +109,31 @@ pub struct BudgetStats {
     pub high_water_frames: usize,
     /// Peak `resident + inflight` bytes.
     pub high_water_bytes: u64,
+    /// Total evictions driven by this budget (all member series).
+    pub evictions: u64,
+    /// Evictions performed by the quota-local phase: a group over its own
+    /// byte quota reclaiming its own LRU frames.
+    pub quota_evictions: u64,
+    /// Global evictions redirected away from the globally least-recent frame
+    /// because its residency group was active and an idle group's frame was
+    /// available instead.
+    pub idle_evictions: u64,
+}
+
+/// Accounting for one residency group under a [`CacheBudgetHandle`]; see
+/// [`OutOfCoreSeries::set_residency_group`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    pub resident_bytes: u64,
+    pub inflight_bytes: u64,
+    /// Peak `resident + inflight` bytes for this group.
+    pub high_water_bytes: u64,
+    /// The group's resident-byte quota, if one is set.
+    pub quota_bytes: Option<u64>,
+    /// Evictions the quota-local phase charged to this group.
+    pub quota_evictions: u64,
+    /// In-flight activity refcount (see [`CacheBudgetHandle::group_enter`]).
+    pub active: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -272,6 +297,22 @@ impl Cache {
 struct SeriesCache {
     cache: Mutex<Cache>,
     cv: Condvar,
+    /// Residency group this series' bytes are attributed to (0 = the default
+    /// group: no quota, shared with every unassigned series).
+    group: AtomicU64,
+}
+
+/// Per-group residency accounting; created lazily on first touch.
+#[derive(Default)]
+struct GroupState {
+    resident_bytes: u64,
+    inflight_bytes: u64,
+    hw_bytes: u64,
+    quota: Option<u64>,
+    /// Refcount of in-flight requests touching this group; `0` marks the
+    /// group idle, making its frames preferred eviction victims.
+    active: usize,
+    quota_evictions: u64,
 }
 
 /// Shared accounting for every series on one budget handle.
@@ -283,7 +324,17 @@ struct BudgetState {
     inflight_bytes: u64,
     hw_frames: usize,
     hw_bytes: u64,
+    evictions: u64,
+    quota_evictions: u64,
+    idle_evictions: u64,
+    groups: HashMap<u64, GroupState>,
     members: Vec<Weak<SeriesCache>>,
+}
+
+impl BudgetState {
+    fn group_mut(&mut self, g: u64) -> &mut GroupState {
+        self.groups.entry(g).or_default()
+    }
 }
 
 /// Lock order is strictly budget → cache: the budget lock may be held while
@@ -305,13 +356,69 @@ impl Budget {
         }
     }
 
-    /// Evict the globally least-recent resident frame. Returns `false` when
-    /// nothing is resident anywhere.
+    /// Account an eviction of `freed` bytes attributed to `group`.
+    fn debit_eviction(st: &mut BudgetState, group: u64, freed: u64) {
+        st.resident_frames -= 1;
+        st.resident_bytes -= freed;
+        st.evictions += 1;
+        let g = st.group_mut(group);
+        g.resident_bytes = g.resident_bytes.saturating_sub(freed);
+    }
+
+    /// Evict the least-recent resident frame, preferring frames whose
+    /// residency group is *idle* (activity refcount zero) over frames of
+    /// active groups. Falls back to the global LRU when every resident frame
+    /// belongs to an active group. Returns `false` when nothing is resident.
     fn evict_one(&self, st: &mut BudgetState) -> bool {
+        st.members.retain(|w| w.strong_count() > 0);
+        // (member index, stamp, group, group is idle) per member LRU head.
+        let mut global: Option<(usize, u64, u64)> = None;
+        let mut idle: Option<(usize, u64, u64)> = None;
+        for (mi, w) in st.members.iter().enumerate() {
+            let Some(sc) = w.upgrade() else { continue };
+            let c = sc.cache.lock().unwrap();
+            let Some(stamp) = c.lru_stamp() else { continue };
+            let group = sc.group.load(Ordering::Relaxed);
+            if global.map_or(true, |(_, s, _)| stamp < s) {
+                global = Some((mi, stamp, group));
+            }
+            let group_active = st.groups.get(&group).map_or(0, |g| g.active);
+            if group_active == 0 && idle.map_or(true, |(_, s, _)| stamp < s) {
+                idle = Some((mi, stamp, group));
+            }
+        }
+        let Some((gmi, gstamp, ggroup)) = global else {
+            return false;
+        };
+        let (mi, stamp, group) = idle.unwrap_or((gmi, gstamp, ggroup));
+        let Some(sc) = st.members[mi].upgrade() else {
+            return false;
+        };
+        let mut c = sc.cache.lock().unwrap();
+        if c.lru_stamp().is_none() {
+            return false;
+        }
+        let freed = c.evict_lru();
+        drop(c);
+        Self::debit_eviction(st, group, freed);
+        if stamp != gstamp {
+            st.idle_evictions += 1;
+            ifet_obs::counter_runtime("volume.ooc.idle_evict", 1);
+        }
+        true
+    }
+
+    /// Evict the least-recent resident frame *within* one residency group
+    /// (the quota-local phase). Returns `false` when the group has nothing
+    /// resident.
+    fn evict_one_in_group(&self, st: &mut BudgetState, group: u64) -> bool {
         st.members.retain(|w| w.strong_count() > 0);
         let mut best: Option<(usize, u64)> = None;
         for (mi, w) in st.members.iter().enumerate() {
             let Some(sc) = w.upgrade() else { continue };
+            if sc.group.load(Ordering::Relaxed) != group {
+                continue;
+            }
             let c = sc.cache.lock().unwrap();
             if let Some(stamp) = c.lru_stamp() {
                 if best.map_or(true, |(_, s)| stamp < s) {
@@ -328,24 +435,54 @@ impl Budget {
             return false;
         }
         let freed = c.evict_lru();
-        st.resident_frames -= 1;
-        st.resident_bytes -= freed;
+        drop(c);
+        Self::debit_eviction(st, group, freed);
+        st.quota_evictions += 1;
+        st.group_mut(group).quota_evictions += 1;
+        ifet_obs::counter_runtime("volume.ooc.quota_evict", 1);
         true
     }
 
-    /// Reserve space for one in-flight read, evicting and waiting as needed.
-    /// When nothing is evictable and nothing else is in flight, the
-    /// reservation proceeds anyway so a sub-frame budget still makes
-    /// progress (the single-frame floor).
-    fn reserve(&self, frame_bytes: u64) {
+    /// Whether `group` can take `frame_bytes` more without crossing its
+    /// quota. Groups without a quota always have room.
+    fn quota_room(st: &BudgetState, group: u64, frame_bytes: u64) -> bool {
+        match st.groups.get(&group) {
+            Some(g) => match g.quota {
+                Some(q) => g.resident_bytes + g.inflight_bytes + frame_bytes <= q,
+                None => true,
+            },
+            None => true,
+        }
+    }
+
+    /// Reserve space for one in-flight read attributed to `group`, evicting
+    /// and waiting as needed. Two phases: a group over its own quota evicts
+    /// its *own* LRU frames first (never charging its overflow to others),
+    /// then the global budget evicts idle-preferred. When nothing is
+    /// evictable and nothing else is in flight, the reservation proceeds
+    /// anyway so a sub-frame budget (or sub-frame quota) still makes
+    /// progress (the single-frame floor, globally and per group).
+    fn reserve(&self, frame_bytes: u64, group: u64) {
         let mut st = self.state.lock().unwrap();
         loop {
+            while !Self::quota_room(&st, group, frame_bytes)
+                && self.evict_one_in_group(&mut st, group)
+            {}
             while !self.fits(&st, frame_bytes) && self.evict_one(&mut st) {}
-            if self.fits(&st, frame_bytes) || st.inflight_frames == 0 {
+            let group_floor = st
+                .groups
+                .get(&group)
+                .map_or(true, |g| g.resident_bytes + g.inflight_bytes == 0);
+            let quota_ok = Self::quota_room(&st, group, frame_bytes) || group_floor;
+            let global_ok = self.fits(&st, frame_bytes) || st.inflight_frames == 0;
+            if quota_ok && global_ok {
                 st.inflight_frames += 1;
                 st.inflight_bytes += frame_bytes;
                 st.hw_frames = st.hw_frames.max(st.resident_frames + st.inflight_frames);
                 st.hw_bytes = st.hw_bytes.max(st.resident_bytes + st.inflight_bytes);
+                let g = st.group_mut(group);
+                g.inflight_bytes += frame_bytes;
+                g.hw_bytes = g.hw_bytes.max(g.resident_bytes + g.inflight_bytes);
                 return;
             }
             // Timed wait as a spurious-wakeup / missed-notify guard; the loop
@@ -357,7 +494,7 @@ impl Budget {
 
     /// Turn a reservation of `bytes` into a resident cache entry. Accounting
     /// and insert happen under the budget lock so the evictor never sees them
-    /// disagree.
+    /// disagree. `group` must match the reservation's.
     fn commit_and_insert(
         &self,
         sc: &SeriesCache,
@@ -365,6 +502,7 @@ impl Budget {
         vol: Arc<ScalarVolume>,
         prefetched: bool,
         bytes: u64,
+        group: u64,
     ) {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock().unwrap();
@@ -377,13 +515,16 @@ impl Budget {
         st.inflight_bytes -= bytes;
         st.resident_frames += 1;
         st.resident_bytes += bytes;
+        let g = st.group_mut(group);
+        g.inflight_bytes = g.inflight_bytes.saturating_sub(bytes);
+        g.resident_bytes += bytes;
         drop(st);
         self.cv.notify_all();
         sc.cv.notify_all();
     }
 
     /// Abandon a reservation of `bytes` after a failed read.
-    fn release(&self, sc: &SeriesCache, idx: usize, bytes: u64) {
+    fn release(&self, sc: &SeriesCache, idx: usize, bytes: u64, group: u64) {
         let mut st = self.state.lock().unwrap();
         {
             let mut c = sc.cache.lock().unwrap();
@@ -391,6 +532,8 @@ impl Budget {
         }
         st.inflight_frames -= 1;
         st.inflight_bytes -= bytes;
+        let g = st.group_mut(group);
+        g.inflight_bytes = g.inflight_bytes.saturating_sub(bytes);
         drop(st);
         self.cv.notify_all();
         sc.cv.notify_all();
@@ -409,6 +552,9 @@ impl Budget {
             inflight_bytes: st.inflight_bytes,
             high_water_frames: st.hw_frames,
             high_water_bytes: st.hw_bytes,
+            evictions: st.evictions,
+            quota_evictions: st.quota_evictions,
+            idle_evictions: st.idle_evictions,
         }
     }
 }
@@ -448,6 +594,48 @@ impl CacheBudgetHandle {
     /// reads and the high-water marks.
     pub fn stats(&self) -> BudgetStats {
         self.0.stats()
+    }
+
+    /// Set (or clear) a resident-byte quota for one residency group. A group
+    /// over its quota evicts its *own* least-recent frames before reserving
+    /// more; it never spills its overflow onto other groups. A quota smaller
+    /// than one frame still admits a single frame (the per-group floor).
+    pub fn set_group_quota(&self, group: u64, quota_bytes: Option<u64>) {
+        let mut st = self.0.state.lock().unwrap();
+        st.group_mut(group).quota = quota_bytes;
+    }
+
+    /// Mark one in-flight request against `group`. While a group's activity
+    /// refcount is nonzero its frames are deprioritized as eviction victims:
+    /// global eviction takes the LRU frame of an *idle* group when one
+    /// exists. Pair every call with [`Self::group_exit`].
+    pub fn group_enter(&self, group: u64) {
+        let mut st = self.0.state.lock().unwrap();
+        st.group_mut(group).active += 1;
+    }
+
+    /// Balance a [`Self::group_enter`]; the group becomes idle (and its
+    /// frames become preferred victims) when the refcount reaches zero.
+    pub fn group_exit(&self, group: u64) {
+        let mut st = self.0.state.lock().unwrap();
+        let g = st.group_mut(group);
+        g.active = g.active.saturating_sub(1);
+    }
+
+    /// Accounting for one residency group (zeros if never touched).
+    pub fn group_stats(&self, group: u64) -> GroupStats {
+        let st = self.0.state.lock().unwrap();
+        match st.groups.get(&group) {
+            Some(g) => GroupStats {
+                resident_bytes: g.resident_bytes,
+                inflight_bytes: g.inflight_bytes,
+                high_water_bytes: g.hw_bytes,
+                quota_bytes: g.quota,
+                quota_evictions: g.quota_evictions,
+                active: g.active,
+            },
+            None => GroupStats::default(),
+        }
     }
 }
 
@@ -571,15 +759,18 @@ impl Inner {
             c.inflight.insert(i);
         }
         let charge = self.charge(i);
-        b.reserve(charge);
+        // Group attribution is read once so reserve/commit/release agree even
+        // if the series is reassigned mid-read.
+        let group = self.sc.group.load(Ordering::Relaxed);
+        b.reserve(charge, group);
         match self.read_frame(i) {
             Ok(vol) => {
                 let vol = Arc::new(vol);
-                b.commit_and_insert(&self.sc, i, vol.clone(), false, charge);
+                b.commit_and_insert(&self.sc, i, vol.clone(), false, charge, group);
                 Ok(vol)
             }
             Err(e) => {
-                b.release(&self.sc, i, charge);
+                b.release(&self.sc, i, charge, group);
                 Err(e)
             }
         }
@@ -602,10 +793,11 @@ impl Inner {
             c.inflight.insert(i);
         }
         let charge = self.charge(i);
-        b.reserve(charge);
+        let group = self.sc.group.load(Ordering::Relaxed);
+        b.reserve(charge, group);
         match self.read_frame(i) {
-            Ok(vol) => b.commit_and_insert(&self.sc, i, Arc::new(vol), true, charge),
-            Err(_) => b.release(&self.sc, i, charge),
+            Ok(vol) => b.commit_and_insert(&self.sc, i, Arc::new(vol), true, charge, group),
+            Err(_) => b.release(&self.sc, i, charge, group),
         }
     }
 }
@@ -760,6 +952,7 @@ impl OutOfCoreSeries {
         let sc = Arc::new(SeriesCache {
             cache: Mutex::new(Cache::new()),
             cv: Condvar::new(),
+            group: AtomicU64::new(0),
         });
         budget.0.register(&sc);
         let mut s = Self {
@@ -836,6 +1029,35 @@ impl OutOfCoreSeries {
     /// The budget handle this series draws on (shared across clones).
     pub fn budget(&self) -> &CacheBudgetHandle {
         &self.inner.budget
+    }
+
+    /// Assign this series to a residency group (`0` is the default group).
+    /// All of the series' resident bytes are attributed to the group, which
+    /// can carry a byte quota ([`CacheBudgetHandle::set_group_quota`]) and an
+    /// activity refcount ([`CacheBudgetHandle::group_enter`]) that steers
+    /// eviction. Call before the first frame read; a later reassignment
+    /// migrates the bytes already resident but not reads currently in
+    /// flight.
+    pub fn set_residency_group(&self, group: u64) {
+        let b = &self.inner.budget.0;
+        let mut st = b.state.lock().unwrap();
+        let old = self.inner.sc.group.swap(group, Ordering::Relaxed);
+        if old == group {
+            return;
+        }
+        let moved = self.inner.sc.cache.lock().unwrap().stats.resident_bytes;
+        if moved > 0 {
+            let og = st.group_mut(old);
+            og.resident_bytes = og.resident_bytes.saturating_sub(moved);
+            let ng = st.group_mut(group);
+            ng.resident_bytes += moved;
+            ng.hw_bytes = ng.hw_bytes.max(ng.resident_bytes + ng.inflight_bytes);
+        }
+    }
+
+    /// The residency group this series is assigned to.
+    pub fn residency_group(&self) -> u64 {
+        self.inner.sc.group.load(Ordering::Relaxed)
     }
 
     /// Read-ahead depth in frames (`0` = prefetch disabled).
@@ -1182,6 +1404,97 @@ mod tests {
         let bs = budget.stats();
         assert_eq!(bs.resident_frames, 2);
         assert!(bs.high_water_frames <= 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn group_quota_evicts_own_frames_first() {
+        let dir = tmpdir("quota");
+        let s = sample_series();
+        // Roomy global budget: quota pressure, not global pressure, must
+        // drive every eviction in this test.
+        let budget = CacheBudgetHandle::frames(8);
+        let a = OutOfCoreSeries::create_with(&dir.join("a"), "f", &s, &budget, 0).unwrap();
+        let b = OutOfCoreSeries::create_with(&dir.join("b"), "f", &s, &budget, 0).unwrap();
+        a.set_residency_group(1);
+        b.set_residency_group(2);
+        budget.set_group_quota(1, Some(2 * FB));
+        // b establishes residency first; a's quota churn must not touch it.
+        let _ = b.frame(0).unwrap();
+        let _ = b.frame(1).unwrap();
+        for i in 0..6 {
+            let _ = a.frame(i).unwrap();
+        }
+        // The per-group bound and the global bound hold simultaneously.
+        let ga = budget.group_stats(1);
+        assert!(
+            ga.high_water_bytes <= 2 * FB,
+            "group 1 high-water {} exceeds its quota",
+            ga.high_water_bytes
+        );
+        assert_eq!(ga.resident_bytes, 2 * FB);
+        assert_eq!(ga.quota_evictions, 4, "frames 0..4 paid for 2..6");
+        let bs = budget.stats();
+        assert!(bs.high_water_frames <= 8);
+        assert_eq!(bs.quota_evictions, 4);
+        // Quota-local, not global: b kept everything, a evicted only its own.
+        assert_eq!(b.stats().evictions, 0, "b must be untouched by a's quota");
+        assert_eq!(a.stats().evictions, 4);
+        assert_eq!(a.resident(), 2);
+        assert_eq!(b.resident(), 2);
+        assert_eq!(budget.group_stats(2).quota_evictions, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sub_frame_group_quota_still_makes_progress() {
+        let dir = tmpdir("quotafloor");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(8);
+        let a = OutOfCoreSeries::create_with(&dir, "f", &s, &budget, 0).unwrap();
+        a.set_residency_group(1);
+        budget.set_group_quota(1, Some(FB / 2));
+        // The per-group single-frame floor: reads proceed, one frame at a
+        // time, despite a quota smaller than any frame.
+        for i in 0..6 {
+            assert_eq!(a.frame(i).unwrap().as_slice()[0], i as f32);
+        }
+        assert!(budget.group_stats(1).high_water_bytes <= FB);
+        assert_eq!(a.resident(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn eviction_prefers_idle_groups_over_active_ones() {
+        let dir = tmpdir("idleevict");
+        let s = sample_series();
+        let budget = CacheBudgetHandle::frames(2);
+        let a = OutOfCoreSeries::create_with(&dir.join("a"), "f", &s, &budget, 0).unwrap();
+        let b = OutOfCoreSeries::create_with(&dir.join("b"), "f", &s, &budget, 0).unwrap();
+        a.set_residency_group(1);
+        b.set_residency_group(2);
+        let _ = a.frame(0).unwrap(); // globally least recent
+        let _ = b.frame(0).unwrap();
+        // Group 1 is active, group 2 idle: the next eviction must take b's
+        // frame even though a holds the global LRU.
+        budget.group_enter(1);
+        let _ = a.frame(1).unwrap();
+        assert_eq!(a.resident(), 2, "active group kept its LRU frame");
+        assert_eq!(b.resident(), 0, "idle group's frame was the victim");
+        let bs = budget.stats();
+        assert_eq!(bs.idle_evictions, 1, "the eviction was redirected");
+        assert!(bs.high_water_frames <= 2, "the global bound still holds");
+        // Once group 1 goes idle again, plain global LRU resumes: b's next
+        // load takes a's oldest frame.
+        budget.group_exit(1);
+        let _ = b.frame(0).unwrap();
+        assert_eq!(a.resident(), 1);
+        assert_eq!(b.resident(), 1);
+        assert_eq!(
+            budget.stats().idle_evictions,
+            1,
+            "no redirect when all idle"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -271,6 +271,7 @@ mod serve_chaos {
             budget,
             max_inflight_per_tenant: 16,
             prefetch: 0,
+            tenant_quota_bytes: None,
         })
     }
 

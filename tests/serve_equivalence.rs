@@ -102,6 +102,7 @@ fn engine_with(budget: CacheBudget) -> ServeEngine {
         budget,
         max_inflight_per_tenant: 16,
         prefetch: 0,
+        tenant_quota_bytes: None,
     })
 }
 
@@ -176,6 +177,215 @@ fn concurrent_serving_is_byte_identical_to_serial_replay() {
                     st.high_water_bytes
                 ),
             }
+        }
+    }
+}
+
+/// A seeded log of *commuting* read-only verbs for the pipelined matrix:
+/// no `open`/`close` (session binding is established synchronously before
+/// pipelining starts), so any interleaving of the log is response-
+/// equivalent and replies may legally complete out of order.
+fn pipelined_schedule(seed: u64, client: u32) -> Vec<Request> {
+    let step = |r: u64| (r as u32 / 7 % FRAMES as u32) * STEP_STRIDE;
+    (0..REQUESTS_PER_CLIENT)
+        .map(|i| {
+            let r = mix(seed ^ ((u64::from(client) + 1) << 40) ^ i as u64);
+            let verb = match r % 8 {
+                0..=3 => Verb::Classify {
+                    step: step(r >> 8),
+                    tau: if r & 4 == 0 { 0.5 } else { 0.65 },
+                },
+                4..=5 => Verb::RenderSlice {
+                    step: step(r >> 8),
+                    axis: match (r >> 4) % 3 {
+                        0 => Axis::X,
+                        1 => Axis::Y,
+                        _ => Axis::Z,
+                    },
+                    k: (r >> 16) as u32 % 12,
+                    adaptive: false,
+                },
+                6 => Verb::RenderSlice {
+                    step: step(r >> 8),
+                    axis: Axis::Z,
+                    k: 6,
+                    adaptive: true,
+                },
+                _ => Verb::Track {
+                    criterion: WireCriterion::FixedBand { lo: 0.9, hi: 3.0 },
+                    seeds: vec![(0, 3, 6, 6)],
+                },
+            };
+            Request {
+                request_id: (u64::from(client) << 32) | (i as u64 + 2),
+                tenant: client,
+                verb,
+            }
+        })
+        .collect()
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates off `mix`), so clients
+/// await their pipelined replies in an order unrelated to submission.
+fn shuffled(seed: u64, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (mix(seed ^ (i as u64) << 16) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// The pipelined matrix: 4 clients × 8 outstanding requests over real
+/// sockets, against a worker-pool server. Replies may come back in any
+/// completion order, but every request id's reply must be byte-identical
+/// (after re-encoding) to a serial in-process replay of the same logs —
+/// reordering never crosses request ids — and every tenant's admission
+/// algebra (`accepted + rejected == sent`) must hold under the pool.
+#[test]
+#[cfg(unix)]
+fn pipelined_multiplexing_is_byte_identical_per_request_id() {
+    use ifet_serve::{encode_response, serve_unix, Client, ServerOpts};
+
+    let fixtures = [
+        serve_fixture("srv_pipe_eq_a", 0.0),
+        serve_fixture("srv_pipe_eq_b", 0.25),
+    ];
+    let budgets = [CacheBudget::Frames(4), CacheBudget::Bytes(2 * FRAME_BYTES)];
+    for seed in [1u64, 9] {
+        for budget in budgets {
+            let opens: Vec<Request> = (0..CLIENTS)
+                .map(|c| Request {
+                    request_id: (u64::from(c) << 32) | 1,
+                    tenant: c,
+                    verb: open_verb(&fixtures[c as usize % fixtures.len()]),
+                })
+                .collect();
+            let logs: Vec<Vec<Request>> =
+                (0..CLIENTS).map(|c| pipelined_schedule(seed, c)).collect();
+
+            // Serial in-process reference: fresh engine, each client's open
+            // then its log, client by client.
+            let serial_engine = engine_with(budget);
+            let mut want: std::collections::HashMap<u64, Vec<u8>> = Default::default();
+            for (open, log) in opens.iter().zip(&logs) {
+                want.insert(
+                    open.request_id,
+                    serial_engine.handle_wire(&encode_request(open)),
+                );
+                for req in log {
+                    want.insert(
+                        req.request_id,
+                        serial_engine.handle_wire(&encode_request(req)),
+                    );
+                }
+            }
+
+            // Multiplexed run: every client opens synchronously, negotiates
+            // pipelined mode, fires its whole log without awaiting, then
+            // collects replies in a seeded shuffled order.
+            let dir = support::temp_dir(&format!("srv_pipe_eq_{seed}_{budget:?}"));
+            let sock = dir.join("ifet.sock");
+            let engine = engine_with(budget);
+            let total = u64::from(CLIENTS) * (2 + REQUESTS_PER_CLIENT as u64);
+            let server = {
+                let sock = sock.clone();
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    serve_unix(
+                        &sock,
+                        &engine,
+                        ServerOpts {
+                            max_requests: Some(total),
+                            workers: 4,
+                        },
+                    )
+                })
+            };
+            let barrier = Barrier::new(CLIENTS as usize);
+            let got: Vec<Vec<(u64, Vec<u8>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|c| {
+                        let sock = &sock;
+                        let open = &opens[c as usize];
+                        let log = &logs[c as usize];
+                        let barrier = &barrier;
+                        s.spawn(move || {
+                            let mut client = None;
+                            for _ in 0..500 {
+                                match Client::connect(sock) {
+                                    Ok(cl) => {
+                                        client = Some(cl);
+                                        break;
+                                    }
+                                    Err(_) => {
+                                        std::thread::sleep(std::time::Duration::from_millis(2))
+                                    }
+                                }
+                            }
+                            let mut client = client.expect("server never came up");
+                            let mut out = Vec::new();
+                            let rsp = client.call(open).unwrap();
+                            out.push((open.request_id, encode_response(&rsp)));
+                            let granted = client.hello(REQUESTS_PER_CLIENT as u32).unwrap();
+                            assert_eq!(granted, REQUESTS_PER_CLIENT as u32);
+                            // All clients pipeline their full burst together.
+                            barrier.wait();
+                            for req in log {
+                                client.submit(req).unwrap();
+                            }
+                            for idx in shuffled(seed ^ u64::from(c), log.len()) {
+                                let req = &log[idx];
+                                let rsp = client.await_response(req.request_id).unwrap();
+                                assert_eq!(rsp.request_id, req.request_id);
+                                assert_eq!(rsp.tenant, req.tenant);
+                                out.push((req.request_id, encode_response(&rsp)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let served = server.join().unwrap().unwrap();
+            assert_eq!(served, total, "seed {seed}, budget {budget:?}");
+
+            for per_client in &got {
+                for (id, bytes) in per_client {
+                    let reference = want
+                        .get(id)
+                        .unwrap_or_else(|| panic!("unknown request id {id:#x}"));
+                    // Hello replies aside, every id's bytes must match the
+                    // serial replay exactly; reordering across the wire
+                    // never leaks into another id's reply.
+                    assert_eq!(
+                        bytes, reference,
+                        "request {id:#x} diverged from serial replay \
+                         (seed {seed}, budget {budget:?})"
+                    );
+                }
+            }
+
+            // Admission counter algebra holds per tenant under the pool —
+            // and nothing was rejected, so the byte-comparison above was
+            // not vacuous.
+            for c in 0..CLIENTS {
+                let st = engine.tenant_stats(c);
+                assert_eq!(
+                    st.accepted + st.rejected,
+                    st.sent,
+                    "tenant {c} counter algebra (seed {seed}, budget {budget:?})"
+                );
+                assert_eq!(st.rejected, 0, "tenant {c} saw spurious rejections");
+            }
+            // The contended budget's high-water must hold no matter how the
+            // pool interleaved the four pipelines.
+            let st = engine.budget().stats();
+            match budget {
+                CacheBudget::Frames(n) => assert!(st.high_water_frames <= n),
+                CacheBudget::Bytes(b) => assert!(st.high_water_bytes <= b),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Lagrangian tracing benchmarks: RK4 ensemble advection across the
+//! particle-count and dt axes, and the flow-map surrogate's inference cost
+//! against the full RK4 walk it replaces — the trade DESIGN.md §11
+//! quantifies for accuracy, measured here for speed.
+//!
+//! `IFET_QUICK=1` shrinks the fixture to 16³ × 4 frames for a CI smoke-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifet_sim::flows::{flow_series, FlowKind};
+use ifet_trace::{advect, seed_grid, train_flow_map, SurrogateParams, TraceParams};
+use ifet_volume::Dims3;
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("IFET_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn shape() -> (usize, usize) {
+    if quick() {
+        (16, 4)
+    } else {
+        (32, 8)
+    }
+}
+
+fn fixture() -> ifet_sim::flows::FlowSeries {
+    let (dim, frames) = shape();
+    flow_series(
+        FlowKind::parse("swirl").unwrap(),
+        Dims3::cube(dim),
+        frames,
+        2,
+    )
+}
+
+fn bench_rk4_particle_count(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("trace_rk4_particles");
+    let grids: &[usize] = if quick() { &[2, 3] } else { &[2, 4, 8] };
+    for &n in grids {
+        let seeds = seed_grid(f.u.dims(), n);
+        g.bench_with_input(
+            BenchmarkId::new("ensemble", seeds.len()),
+            &seeds,
+            |b, seeds| {
+                b.iter(|| {
+                    black_box(
+                        advect(&f.u, &f.v, &f.w, seeds, &TraceParams { rk4_dt: 1.0 }).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rk4_dt_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let seeds = seed_grid(f.u.dims(), 3);
+    let mut g = c.benchmark_group("trace_rk4_dt");
+    let dts: &[f64] = if quick() {
+        &[2.0, 1.0]
+    } else {
+        &[2.0, 1.0, 0.5, 0.25]
+    };
+    for &dt in dts {
+        g.bench_with_input(BenchmarkId::new("dt", format!("{dt}")), &dt, |b, &dt| {
+            b.iter(|| {
+                black_box(advect(&f.u, &f.v, &f.w, &seeds, &TraceParams { rk4_dt: dt }).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_surrogate_vs_rk4(c: &mut Criterion) {
+    let f = fixture();
+    let seeds = seed_grid(f.u.dims(), 3);
+    let set = advect(&f.u, &f.v, &f.w, &seeds, &TraceParams { rk4_dt: 1.0 }).unwrap();
+    let epochs = if quick() { 20 } else { 120 };
+    let (surrogate, report) = train_flow_map(
+        &set,
+        &SurrogateParams {
+            epochs,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.median_error.is_finite());
+    let t0 = *set.steps.first().unwrap() as f64;
+    let span = *set.steps.last().unwrap() as f64 - t0;
+
+    let mut g = c.benchmark_group("trace_flow_map");
+    g.bench_function("rk4_integrate_ensemble", |b| {
+        b.iter(|| {
+            black_box(advect(&f.u, &f.v, &f.w, &seeds, &TraceParams { rk4_dt: 1.0 }).unwrap())
+        })
+    });
+    g.bench_function("surrogate_infer_ensemble", |b| {
+        b.iter(|| {
+            for s in &seeds {
+                black_box(surrogate.predict(*s, t0, span));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rk4_particle_count,
+    bench_rk4_dt_sweep,
+    bench_surrogate_vs_rk4
+);
+criterion_main!(benches);

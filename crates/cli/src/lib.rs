@@ -11,7 +11,12 @@
 //! - `track --data DIR --seed X,Y,Z (--iatf FILE --tau V | --band LO:HI |
 //!   --session FILE --dataspace-tau V)` — 4D region growing with an
 //!   adaptive, fixed, or data-space criterion; prints the per-frame voxel
-//!   counts and events.
+//!   counts, events, and persistent tracks (with merge targets),
+//! - `generate-flow <flow> --out DIR` — write an analytic velocity field as
+//!   three scalar component series,
+//! - `trace-particles --flow DIR` — RK4 pathline advection of a particle
+//!   ensemble, with optional pathline artifact output and MLP flow-map
+//!   surrogate training.
 //!
 //! Every subcommand additionally honours `--trace FILE` (versioned JSON
 //! span tree), `--profile` (per-stage table on stderr), and
@@ -19,7 +24,11 @@
 
 use ifet_core::obs;
 use ifet_core::prelude::*;
+use ifet_sim::flows::{flow_series, FlowKind};
 use ifet_tf::Iatf;
+use ifet_trace::{
+    advect, save_pathlines, seed_grid, train_flow_map, ParticleEnding, SurrogateParams, TraceParams,
+};
 use ifet_volume::io::{read_series, write_series_with};
 use ifet_volume::{
     map_frames_windowed, CacheBudget, CacheBudgetHandle, FrameSink, FrameSource, OutOfCoreSeries,
@@ -32,7 +41,7 @@ use std::path::{Path, PathBuf};
 /// `--compress` selects bricked compressed frame output, `--mmap` pages
 /// raw frames by zero-copy file mapping, and `--adaptive` asks
 /// `client render-slice` for IATF-modulated opacity.
-const BOOL_FLAGS: &[&str] = &["profile", "compress", "mmap", "adaptive"];
+const BOOL_FLAGS: &[&str] = &["profile", "compress", "mmap", "adaptive", "seed-from-track"];
 
 /// Parsed command line: subcommand, positional args, `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +156,20 @@ pub fn parse_voxel(s: &str) -> Result<(usize, usize, usize), String> {
             .map_err(|_| format!("bad coordinate in {s:?}"))
     };
     Ok((p(0)?, p(1)?, p(2)?))
+}
+
+/// Parse `X,Y,Z` fractional particle-seed positions (voxel-index units).
+pub fn parse_seed(s: &str) -> Result<[f64; 3], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("seed must be X,Y,Z, got {s:?}"));
+    }
+    let p = |i: usize| {
+        parts[i]
+            .parse::<f64>()
+            .map_err(|_| format!("bad coordinate in {s:?}"))
+    };
+    Ok([p(0)?, p(1)?, p(2)?])
 }
 
 /// Parse `LO:HI` bands.
@@ -565,6 +588,285 @@ fn cmd_track_impl<S: FrameSource>(args: &Args, series: S) -> Result<String, Stri
         out.push_str(&format!(
             "  t={}: {:?} {:?} -> {:?}\n",
             steps[e.frame], e.kind, e.before, e.after
+        ));
+    }
+
+    // Persistent tracks with endings. Labeling works off the masks alone;
+    // attributes are measured frame-by-frame through the windowed walker, so
+    // the out-of-core path never needs all frames resident at once.
+    let labelings = label_masks(&result.masks);
+    let attrs: Vec<Vec<FeatureAttributes>> =
+        map_frames_windowed(session.series(), |i, _, frame| {
+            FeatureAttributes::measure_all(&labelings[i], frame)
+        })
+        .map_err(|e| format!("attribute measurement failed: {e}"))?;
+    let track_set = extract_tracks_from_parts(&labelings, &attrs, result.report.clone());
+    out.push_str("tracks:\n");
+    for t in &track_set.tracks {
+        let last = t.start_frame + t.lifetime() - 1;
+        let ending = match t.ending {
+            TrackEnding::SurvivesToEnd => "survives to end".to_string(),
+            TrackEnding::Dissipated => "dissipated".to_string(),
+            TrackEnding::Split => "split".to_string(),
+            TrackEnding::Merged { into } => format!("merged into #{into}"),
+        };
+        out.push_str(&format!(
+            "  #{} t={}..{} (life {}) {}\n",
+            t.id,
+            steps[t.start_frame],
+            steps[last],
+            t.lifetime(),
+            ending
+        ));
+    }
+    Ok(out)
+}
+
+/// The three velocity-component frame sets of a flow directory written by
+/// `generate-flow`: frame files whose names carry `_u_t` / `_v_t` / `_w_t`.
+fn flow_component_paths(dir: &str) -> Result<[Vec<PathBuf>; 3], String> {
+    let all = frame_paths(dir)?;
+    let pick = |tag: &str| -> Vec<PathBuf> {
+        all.iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.contains(tag))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect()
+    };
+    let comps = [pick("_u_t"), pick("_v_t"), pick("_w_t")];
+    for (c, name) in comps.iter().zip(["u", "v", "w"]) {
+        if c.is_empty() {
+            return Err(format!(
+                "no {name}-component frames (*_{name}_t*.raw/.rawz) in {dir} \
+                 (was it written by `ifet generate-flow`?)"
+            ));
+        }
+    }
+    if comps[0].len() != comps[1].len() || comps[0].len() != comps[2].len() {
+        return Err(format!(
+            "velocity components disagree on frame count: u={}, v={}, w={}",
+            comps[0].len(),
+            comps[1].len(),
+            comps[2].len()
+        ));
+    }
+    Ok(comps)
+}
+
+/// `generate-flow` subcommand: write an analytic velocity field as three
+/// scalar component series (u, v, w) for `trace-particles` to advect through.
+pub fn cmd_generate_flow(args: &Args) -> Result<String, String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("generate-flow needs a flow name (uniform, rotation, swirl)")?;
+    let kind = FlowKind::parse(name)
+        .ok_or_else(|| format!("unknown flow {name:?} (try uniform, rotation, swirl)"))?;
+    let out = args.require("out")?;
+    let n: usize = args.opt_parse("dims", 32usize)?;
+    let frames: usize = args.opt_parse("frames", 8usize)?;
+    let stride: u32 = args.opt_parse("stride", 2u32)?;
+    if frames < 2 {
+        return Err("--frames must be at least 2 (advection needs a frame pair)".into());
+    }
+    if stride == 0 {
+        return Err("--stride must be positive".into());
+    }
+    let compress = args.flag("compress");
+    let dims = Dims3::cube(n);
+    let f = flow_series(kind, dims, frames, stride);
+    let mut total = 0;
+    for (comp, series) in [("u", &f.u), ("v", &f.v), ("w", &f.w)] {
+        total += write_series_with(Path::new(out), &format!("{name}_{comp}"), series, compress)
+            .map_err(|e| format!("write failed: {e}"))?
+            .len();
+    }
+    Ok(format!(
+        "wrote {total} velocity frames of {name} ({frames} per component, {dims}, \
+         stride {stride}) to {out}{}",
+        if compress { " (compressed)" } else { "" }
+    ))
+}
+
+/// `--seed-from-track`: drop a particle at every voxel of the frame-0 grown
+/// feature mask — the paper's "follow the feature" workload, tracers seeded
+/// inside an extracted feature and carried off by the flow.
+fn seeds_from_track(args: &Args, dims: Dims3) -> Result<Vec<[f64; 3]>, String> {
+    let dir = args.require("data")?;
+    let (sx, sy, sz) = parse_voxel(args.require("track-seed")?)?;
+    let (lo, hi) = parse_band(args.require("band")?)?;
+    let series = load_series(dir)?;
+    if series.dims() != dims {
+        return Err(format!(
+            "--data dims {} do not match the flow's dims {dims}",
+            series.dims()
+        ));
+    }
+    let session = VisSession::new(series).map_err(|e| e.to_string())?;
+    let result = session
+        .track_fixed(&[(0, sx, sy, sz)], lo, hi)
+        .map_err(|e| format!("seed tracking failed: {e}"))?;
+    let mask = &result.masks[0];
+    let mut seeds = Vec::new();
+    for z in 0..dims.nz {
+        for y in 0..dims.ny {
+            for x in 0..dims.nx {
+                if mask.get(x, y, z) {
+                    seeds.push([x as f64, y as f64, z as f64]);
+                }
+            }
+        }
+    }
+    if seeds.is_empty() {
+        return Err("--seed-from-track: the frame-0 feature mask is empty".into());
+    }
+    Ok(seeds)
+}
+
+/// `trace-particles` subcommand. With an out-of-core budget, each velocity
+/// component pages through its OWN cache of the requested size — the
+/// documented bound (`--ooc-cache N` ⇒ at most N resident frames per
+/// component) — and a per-component paging summary is appended.
+pub fn cmd_trace_particles(args: &Args) -> Result<String, String> {
+    let dir = args.require("flow")?;
+    let [pu, pv, pw] = flow_component_paths(dir)?;
+    match ooc_budget_opt(args)? {
+        Some(opts) => {
+            let open = |paths: Vec<PathBuf>| -> Result<OutOfCoreSeries, String> {
+                let budget = CacheBudgetHandle::new(opts.budget);
+                let o = if opts.mmap {
+                    OutOfCoreSeries::open_mmap(paths, &budget, opts.prefetch)
+                } else {
+                    OutOfCoreSeries::open_with(paths, &budget, opts.prefetch)
+                };
+                o.map_err(|e| format!("failed to open out-of-core series: {e}"))
+            };
+            let (u, v, w) = (open(pu)?, open(pv)?, open(pw)?);
+            let mut out = cmd_trace_impl(args, &u, &v, &w)?;
+            for (name, s) in [("u", &u), ("v", &v), ("w", &w)] {
+                for line in ooc_summary(s).lines() {
+                    out.push_str(&format!("{name} {line}\n"));
+                }
+            }
+            Ok(out)
+        }
+        None => {
+            let load = |paths: Vec<PathBuf>| {
+                read_series(&paths).map_err(|e| format!("failed to load series: {e}"))
+            };
+            let (u, v, w) = (load(pu)?, load(pv)?, load(pw)?);
+            cmd_trace_impl(args, &u, &v, &w)
+        }
+    }
+}
+
+fn cmd_trace_impl<S: FrameSource>(args: &Args, u: &S, v: &S, w: &S) -> Result<String, String> {
+    let dims = u.dims();
+    let mut seeds: Vec<[f64; 3]> = Vec::new();
+    if let Some(s) = args.opt("seed-grid") {
+        let n: usize = s
+            .parse()
+            .map_err(|_| format!("invalid --seed-grid: {s:?}"))?;
+        if n == 0 {
+            return Err("--seed-grid must be at least 1".into());
+        }
+        seeds.extend(seed_grid(dims, n));
+    }
+    for s in args.all("seed") {
+        seeds.push(parse_seed(s)?);
+    }
+    if args.flag("seed-from-track") {
+        seeds.extend(seeds_from_track(args, dims)?);
+    }
+    if seeds.is_empty() {
+        return Err(
+            "trace-particles needs --seed-grid N, --seed X,Y,Z, and/or --seed-from-track".into(),
+        );
+    }
+
+    let params = TraceParams {
+        rk4_dt: args.opt_parse("rk4-dt", TraceParams::default().rk4_dt)?,
+    };
+    let threads: usize = args.opt_parse("threads", 0usize)?;
+    let run = || advect(u, v, w, &seeds, &params).map_err(|e| format!("trace failed: {e}"));
+    let set = if threads == 0 {
+        run()?
+    } else {
+        pipeline::pool_with_threads(threads).install(run)?
+    };
+
+    let (mut left, mut nonfinite) = (0usize, 0usize);
+    for p in &set.pathlines {
+        match p.ending {
+            ParticleEnding::LeftDomain { .. } => left += 1,
+            ParticleEnding::NonFinite { .. } => nonfinite += 1,
+            ParticleEnding::Completed => {}
+        }
+    }
+    let mut out = format!(
+        "traced {} particles over {} frames of {} (steps {}..{}, rk4 dt {})\n\
+         completed {}, left domain {left}, non-finite {nonfinite}\n",
+        set.pathlines.len(),
+        set.steps.len(),
+        set.dims,
+        set.steps.first().copied().unwrap_or(0),
+        set.steps.last().copied().unwrap_or(0),
+        set.rk4_dt,
+        set.completed(),
+    );
+    // Mean completed endpoint: a compact, deterministic digest of the whole
+    // ensemble (handy for the byte-identity gates).
+    let done: Vec<[f64; 3]> = set
+        .pathlines
+        .iter()
+        .filter(|p| p.ending == ParticleEnding::Completed)
+        .map(|p| p.endpoint())
+        .collect();
+    if !done.is_empty() {
+        let n = done.len() as f64;
+        let c = done.iter().fold([0.0f64; 3], |mut acc, p| {
+            for k in 0..3 {
+                acc[k] += p[k] / n;
+            }
+            acc
+        });
+        out.push_str(&format!(
+            "mean completed endpoint ({:.4}, {:.4}, {:.4})\n",
+            c[0], c[1], c[2]
+        ));
+    }
+
+    if let Some(path) = args.opt("out") {
+        save_pathlines(Path::new(path), &set)
+            .map_err(|e| format!("cannot write pathlines to {path}: {e}"))?;
+        out.push_str(&format!("wrote pathlines + sidecar to {path}\n"));
+    }
+
+    let epochs: usize = args.opt_parse("surrogate-epochs", 0usize)?;
+    if epochs > 0 {
+        let sp = SurrogateParams {
+            epochs,
+            hidden: args.opt_parse("surrogate-hidden", SurrogateParams::default().hidden)?,
+            ..Default::default()
+        };
+        if sp.hidden == 0 {
+            return Err("--surrogate-hidden must be at least 1 neuron".into());
+        }
+        let (_, report) =
+            train_flow_map(&set, &sp).map_err(|e| format!("surrogate training failed: {e}"))?;
+        out.push_str(&format!(
+            "surrogate: {} rows from {} particles ({} held out), \
+             median endpoint error {:.4} voxels (max {:.4}), final loss {:.6}\n",
+            report.training_rows,
+            report.train_particles,
+            report.holdout_particles,
+            report.median_error,
+            report.max_error,
+            report.final_loss,
         ));
     }
     Ok(out)
@@ -1295,10 +1597,12 @@ pub fn run(args: &Args) -> Result<String, String> {
 fn command_root(command: &str) -> &'static str {
     match command {
         "generate" => "ifet.generate",
+        "generate-flow" => "ifet.generate-flow",
         "info" => "ifet.info",
         "train-iatf" => "ifet.train-iatf",
         "render" => "ifet.render",
         "track" => "ifet.track",
+        "trace-particles" => "ifet.trace-particles",
         "session" => "ifet.session",
         "classify" => "ifet.classify",
         "suggest-keys" => "ifet.suggest-keys",
@@ -1311,10 +1615,12 @@ fn command_root(command: &str) -> &'static str {
 fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
+        "generate-flow" => cmd_generate_flow(args),
         "info" => cmd_info(args),
         "train-iatf" => cmd_train_iatf(args),
         "render" => cmd_render(args),
         "track" => cmd_track(args),
+        "trace-particles" => cmd_trace_particles(args),
         "session" => cmd_session(args),
         "classify" => cmd_classify(args),
         "suggest-keys" => cmd_suggest_keys(args),
@@ -1338,6 +1644,13 @@ USAGE:
               [--batch N] --out FILE.ppm
   ifet track --data DIR --seed X,Y,Z [--threads N] [--batch N] [ooc options]
              (--iatf FILE [--tau V] | --band LO:HI | --session FILE --dataspace-tau V)
+  ifet generate-flow <flow> --out DIR [--dims N] [--frames K] [--stride S]
+                     [--compress]
+  ifet trace-particles --flow DIR (--seed-grid N | --seed X,Y,Z ... |
+                       --seed-from-track --data DIR --band LO:HI
+                       --track-seed X,Y,Z) [--rk4-dt V] [--out FILE.plz]
+                       [--surrogate-epochs N [--surrogate-hidden H]]
+                       [--threads N] [ooc options]
   ifet session save --data DIR --out FILE [--key T:LO:HI ...] [--epochs N]
                     [--paint STEP:N ...] [--clf-epochs N] [--clf-hidden N]
                     [--paint-seed S] [--batch N]
@@ -1377,13 +1690,29 @@ session service (serve / client):
                  hello handshake, keeps D requests outstanding, reports
                  req/s and the admission counter algebra
 
+particle tracing (generate-flow / trace-particles):
+  `generate-flow` writes an analytic velocity field (uniform, rotation, or
+  swirl) as three scalar component series — <flow>_u/_v/_w frame files —
+  that `trace-particles` advects a particle ensemble through with RK4
+  (trilinear in space, linear between frames; --rk4-dt caps the step).
+  Seeds come from a regular --seed-grid N (N per axis), explicit repeated
+  --seed X,Y,Z positions, and/or --seed-from-track, which grows the feature
+  at --track-seed in the scalar series at --data with the fixed --band and
+  drops a particle at every voxel of its frame-0 mask. --out FILE writes
+  the versioned, CRC-guarded pathline artifact (+ JSON sidecar);
+  --surrogate-epochs N trains the MLP flow-map surrogate
+  (seed, t0, dt) -> endpoint on the integrated pathlines and reports its
+  held-out endpoint error in voxels. Pathline bytes are identical across
+  --threads, cache budgets, and storage flavors; with an ooc budget each
+  velocity component pages through its own cache of the requested size.
+
 batched hot paths (render, track, session save, classify):
   --batch N             rows per batched classification pass, and samples per
                         ray packet when rendering (0 or omitted = auto).
                         Output is bit-identical at every width; this is purely
                         a throughput knob.
 
-out-of-core options (track, session, classify):
+out-of-core options (track, trace-particles, session, classify):
   --ooc-cache N         page frames from disk through an N-frame LRU cache
                         instead of loading the series in core; results are
                         byte-identical, and a paging summary (resident

@@ -1,0 +1,262 @@
+//! End-to-end CLI coverage for `generate-flow` / `trace-particles`: the
+//! full user journey (write a velocity field, trace an ensemble, save the
+//! pathline artifact), the out-of-core byte-identity + residency witness,
+//! feature-seeded tracing (`--seed-from-track`), artifact round-trip and
+//! corruption behavior, and the `ifet track` merge-target lines.
+
+use ifet_cli::{parse_args, run};
+use ifet_core::prelude::*;
+use ifet_trace::{load_pathlines, pathlines_to_bytes, PathlineIoError};
+use ifet_volume::io::write_series_with;
+use std::path::Path;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn ifet(cmd: &str) -> Result<String, String> {
+    run(&parse_args(&argv(cmd)).unwrap())
+}
+
+fn tdir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("ifet_cli_tp_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_str().unwrap().to_string()
+}
+
+#[test]
+fn generate_flow_then_trace_end_to_end() {
+    let d = tdir("e2e");
+    let msg = ifet(&format!(
+        "generate-flow rotation --out {d} --dims 20 --frames 5 --stride 2"
+    ))
+    .unwrap();
+    assert!(msg.contains("15 velocity frames"), "{msg}");
+
+    let out = ifet(&format!(
+        "trace-particles --flow {d} --seed-grid 3 --seed 10.5,9.25,4.0 \
+         --rk4-dt 0.5 --out {d}/paths.plz --surrogate-epochs 30"
+    ))
+    .unwrap();
+    assert!(out.contains("traced 28 particles"), "{out}");
+    assert!(out.contains("rk4 dt 0.5"), "{out}");
+    assert!(out.contains("median endpoint error"), "{out}");
+    assert!(Path::new(&format!("{d}/paths.plz")).exists());
+    assert!(
+        Path::new(&format!("{d}/paths.plz.json")).exists(),
+        "sidecar must ride along"
+    );
+
+    // Save → load → save is byte-identical.
+    let bytes = std::fs::read(format!("{d}/paths.plz")).unwrap();
+    let set = load_pathlines(Path::new(&format!("{d}/paths.plz"))).unwrap();
+    assert_eq!(set.pathlines.len(), 28);
+    assert_eq!(
+        pathlines_to_bytes(&set),
+        bytes,
+        "re-serialized pathlines must match the on-disk artifact exactly"
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn corrupted_pathline_artifacts_fail_typed() {
+    let d = tdir("corrupt");
+    ifet(&format!(
+        "generate-flow uniform --out {d} --dims 12 --frames 3"
+    ))
+    .unwrap();
+    ifet(&format!(
+        "trace-particles --flow {d} --seed-grid 2 --out {d}/p.plz"
+    ))
+    .unwrap();
+    let clean = std::fs::read(format!("{d}/p.plz")).unwrap();
+    let victim = format!("{d}/flip.plz");
+
+    // Single-byte-flip sweep: every flip is *detected* with a typed error —
+    // magic flips as BadMagic, anything else by the trailing CRC.
+    for i in (0..clean.len()).step_by(7).chain([clean.len() - 1]) {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x40;
+        std::fs::write(&victim, &bad).unwrap();
+        match load_pathlines(Path::new(&victim)) {
+            Err(PathlineIoError::BadMagic) => assert!(i < 8, "byte {i}"),
+            Err(PathlineIoError::Checksum { .. }) => assert!(i >= 8, "byte {i}"),
+            other => panic!("flip at byte {i} gave {other:?}"),
+        }
+    }
+
+    // Truncation is typed too.
+    std::fs::write(&victim, &clean[..clean.len() / 2]).unwrap();
+    assert!(matches!(
+        load_pathlines(Path::new(&victim)),
+        Err(PathlineIoError::Checksum { .. }) | Err(PathlineIoError::Truncated { .. })
+    ));
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn trace_ooc_matches_in_core_and_stays_bounded() {
+    let d = tdir("ooc");
+    ifet(&format!(
+        "generate-flow swirl --out {d} --dims 16 --frames 6 --stride 2"
+    ))
+    .unwrap();
+    let trace = |extra: &str| {
+        ifet(&format!(
+            "trace-particles --flow {d} --seed-grid 3 --rk4-dt 0.5 --threads 2{extra}"
+        ))
+        .unwrap()
+    };
+    let reference = trace("");
+
+    let paged = trace(" --ooc-cache 2 --prefetch 1");
+    let (body, summaries) = paged
+        .split_once("u ooc:")
+        .expect("paged run must append per-component ooc summaries");
+    assert_eq!(body, reference, "out-of-core output must be byte-identical");
+
+    // The residency witness, per velocity component: at most 2 frames of
+    // each component were ever resident.
+    for name in ["u", "v", "w"] {
+        assert!(
+            summaries.contains(&format!("{name} ooc: prefetch depth 1"))
+                || name == "u" && summaries.contains("prefetch depth 1"),
+            "missing {name} summary:\n{summaries}"
+        );
+    }
+    for hw in format!("u ooc:{summaries}")
+        .split("resident high-water ")
+        .skip(1)
+        .map(|s| {
+            s.split(',')
+                .next()
+                .unwrap()
+                .trim()
+                .parse::<usize>()
+                .expect("high-water mark")
+        })
+    {
+        assert!(hw <= 2, "resident high-water {hw} exceeds --ooc-cache 2");
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Two bright balls drifting toward each other until they touch: frames
+/// 0..=2 have two components, frame 3 one — a Merge event, and two tracks
+/// ending `merged into` the absorbing track.
+fn write_merging_series(tag: &str, dim: usize) -> String {
+    let d = Dims3::cube(dim);
+    let series = TimeSeries::from_frames(
+        (0..4u32)
+            .map(|k| {
+                let ax = 4.0 + 1.5 * k as f32;
+                let bx = (dim - 5) as f32 - 1.5 * k as f32;
+                let c = (dim / 2) as f32;
+                let vol = ScalarVolume::from_fn(d, move |x, y, z| {
+                    let da =
+                        ((x as f32 - ax).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
+                            .sqrt();
+                    let db =
+                        ((x as f32 - bx).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
+                            .sqrt();
+                    if da <= 2.2 || db <= 2.2 {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                });
+                (k * 2, vol)
+            })
+            .collect(),
+    );
+    let dir = tdir(tag);
+    write_series_with(Path::new(&dir), "merge", &series, false).unwrap();
+    dir
+}
+
+#[test]
+fn track_prints_merge_targets() {
+    let dim = 16;
+    let d = write_merging_series("merge", dim);
+    let c = dim / 2;
+    let out = ifet(&format!("track --data {d} --seed 4,{c},{c} --band 1.0:3.0")).unwrap();
+    assert!(out.contains("Merge"), "no merge event:\n{out}");
+    assert!(out.contains("tracks:"), "{out}");
+    // Both parents name the absorbing track by id.
+    let merged_lines: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains("merged into #"))
+        .collect();
+    assert_eq!(
+        merged_lines.len(),
+        2,
+        "both parents must report their merge target:\n{out}"
+    );
+    let target = merged_lines[0]
+        .rsplit('#')
+        .next()
+        .unwrap()
+        .trim()
+        .to_string();
+    assert!(
+        merged_lines[1].ends_with(&format!("merged into #{target}")),
+        "parents disagree on the merge target:\n{out}"
+    );
+    assert!(
+        out.contains(&format!("#{target}")),
+        "the absorbing track itself must be listed:\n{out}"
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn seed_from_track_drops_particles_inside_the_grown_mask() {
+    let dim = 16;
+    let data = write_merging_series("seedmask", dim);
+    let flow = tdir("seedflow");
+    ifet(&format!(
+        "generate-flow uniform --out {flow} --dims {dim} --frames 4 --stride 2"
+    ))
+    .unwrap();
+    let c = dim / 2;
+    let out = ifet(&format!(
+        "trace-particles --flow {flow} --seed-from-track --data {data} \
+         --band 1.0:3.0 --track-seed 4,{c},{c} --out {flow}/seeded.plz"
+    ))
+    .unwrap();
+    assert!(out.contains("traced"), "{out}");
+
+    // Recompute the frame-0 grown mask independently and check every
+    // particle seed starts inside it.
+    let series = {
+        let mut paths: Vec<_> = std::fs::read_dir(&data)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "raw").unwrap_or(false))
+            .collect();
+        paths.sort();
+        ifet_volume::io::read_series(&paths).unwrap()
+    };
+    let session = VisSession::new(series).unwrap();
+    let result = session.track_fixed(&[(0, 4, c, c)], 1.0, 3.0).unwrap();
+    let mask = &result.masks[0];
+    assert!(mask.count() > 0);
+
+    let set = load_pathlines(Path::new(&format!("{flow}/seeded.plz"))).unwrap();
+    assert_eq!(
+        set.pathlines.len(),
+        mask.count(),
+        "one particle per set voxel of the frame-0 mask"
+    );
+    for p in &set.pathlines {
+        let [x, y, z] = p.seed;
+        assert_eq!(x.fract(), 0.0, "mask seeds sit on voxel centers");
+        assert!(
+            mask.get(x as usize, y as usize, z as usize),
+            "particle seeded at ({x}, {y}, {z}) is outside the grown mask"
+        );
+    }
+    std::fs::remove_dir_all(&data).ok();
+    std::fs::remove_dir_all(&flow).ok();
+}

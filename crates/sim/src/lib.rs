@@ -23,6 +23,7 @@
 
 pub mod analytic;
 pub mod combustion_jet;
+pub mod flows;
 pub mod fluid;
 pub mod noise;
 pub mod qg_turbulence;

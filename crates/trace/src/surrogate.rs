@@ -1,0 +1,314 @@
+//! The flow-map surrogate: `ifet-nn`'s MLP trained to predict where a
+//! particle ends up, `(seed, t₀, Δt) → end position`, from integrated
+//! pathlines — the workload shape of the Han et al. particle-tracing
+//! papers. Once trained, a flow-map query is one forward pass instead of an
+//! RK4 walk over the whole series, which is the trade the `trace_particles`
+//! bench measures.
+//!
+//! Training pairs are cut from the recorded pathlines: for each particle
+//! and each recorded frame index `i`, targets at `j = i + 2ᵏ` give
+//! short- and long-interval samples without quadratic blowup. Inputs and
+//! targets are normalized to `[0, 1]` (positions by grid extent, times by
+//! the series span), matching the sigmoid output layer.
+//!
+//! Accuracy is reported on *held-out seeds* (every `holdout_every`-th
+//! particle never trains): the median and max distance, in voxels, between
+//! the surrogate's predicted endpoint and the RK4-integrated one.
+
+use crate::advect::{ParticleEnding, PathlineSet};
+use crate::TraceError;
+use ifet_nn::{Activation, Mlp, TrainParams, Trainer, TrainingSet};
+use ifet_obs as obs;
+use ifet_volume::Dims3;
+
+/// splitmix64 finalizer — the repo-standard deterministic mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Hyper-parameters for [`train_flow_map`]. Deterministic given the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurrogateParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs over the pathline-pair set.
+    pub epochs: usize,
+    /// Weight-init and shuffle seed.
+    pub seed: u64,
+    /// Every `holdout_every`-th particle is held out of training and used
+    /// only for the error report (0 or 1 disables the holdout).
+    pub holdout_every: usize,
+}
+
+impl Default for SurrogateParams {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            epochs: 200,
+            seed: 0x7ACE,
+            holdout_every: 4,
+        }
+    }
+}
+
+/// A trained flow map over one series' domain and time span.
+#[derive(Debug, Clone)]
+pub struct FlowMapSurrogate {
+    net: Mlp,
+    dims: Dims3,
+    t_first: f64,
+    t_span: f64,
+}
+
+impl FlowMapSurrogate {
+    /// Predict the end position of a particle seeded at `seed` at absolute
+    /// time `t0`, advected for `dt` (both in step-label units).
+    pub fn predict(&self, seed: [f64; 3], t0: f64, dt: f64) -> [f64; 3] {
+        let nx = (self.dims.nx - 1).max(1) as f64;
+        let ny = (self.dims.ny - 1).max(1) as f64;
+        let nz = (self.dims.nz - 1).max(1) as f64;
+        let out = self.net.forward(&[
+            (seed[0] / nx) as f32,
+            (seed[1] / ny) as f32,
+            (seed[2] / nz) as f32,
+            (((t0 - self.t_first) / self.t_span).clamp(0.0, 1.0)) as f32,
+            ((dt / self.t_span).clamp(0.0, 1.0)) as f32,
+        ]);
+        [out[0] as f64 * nx, out[1] as f64 * ny, out[2] as f64 * nz]
+    }
+
+    /// The network itself (for persistence or inspection).
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+}
+
+/// Endpoint-error measurements from a [`train_flow_map`] run. Distances are
+/// in voxels, measured on the full-span flow map `(seed, t_first, span)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateReport {
+    /// Training pairs cut from the pathlines.
+    pub training_rows: usize,
+    /// Particles trained on / held out.
+    pub train_particles: usize,
+    pub holdout_particles: usize,
+    /// Median / max endpoint distance over held-out seeds (falls back to
+    /// the training seeds when the holdout is disabled or empty).
+    pub median_error: f64,
+    pub max_error: f64,
+    /// Final epoch's mean squared loss in normalized coordinates.
+    pub final_loss: f32,
+}
+
+/// Train the MLP flow-map surrogate on integrated pathlines and measure
+/// surrogate-vs-integrated endpoint error on held-out seeds.
+///
+/// Only in-domain trajectory spans train the map (an early-ended particle
+/// still contributes its recorded prefix). Fails typed when the pathlines
+/// hold no usable pairs at all.
+pub fn train_flow_map(
+    set: &PathlineSet,
+    params: &SurrogateParams,
+) -> Result<(FlowMapSurrogate, SurrogateReport), TraceError> {
+    let _span = obs::span("trace.surrogate.train");
+    let t_first = *set.steps.first().unwrap_or(&0) as f64;
+    let t_last = *set.steps.last().unwrap_or(&0) as f64;
+    let t_span = (t_last - t_first).max(1.0);
+    let nx = (set.dims.nx - 1).max(1) as f64;
+    let ny = (set.dims.ny - 1).max(1) as f64;
+    let nz = (set.dims.nz - 1).max(1) as f64;
+
+    // Hash the particle index before taking the residue: seeds usually come
+    // from regular grids, and a bare `idx % k` with k dividing the grid
+    // period would hold out a whole *plane* of seeds — forcing the MLP to
+    // extrapolate instead of measuring interpolation quality.
+    let holdout = |idx: usize| {
+        params.holdout_every >= 2 && mix(idx as u64) % params.holdout_every as u64 == 0
+    };
+
+    let mut rows = TrainingSet::new();
+    let mut train_particles = 0usize;
+    let mut usable = 0usize;
+    for (idx, path) in set.pathlines.iter().enumerate() {
+        if path.points.len() < 2 {
+            continue;
+        }
+        usable += 1;
+        if holdout(idx) {
+            continue;
+        }
+        train_particles += 1;
+        for i in 0..path.points.len() - 1 {
+            // Geometric target offsets: short intervals dominate counts,
+            // long intervals still appear for every start frame.
+            let mut k = 1usize;
+            while i + k < path.points.len() {
+                let j = i + k;
+                let p0 = path.points[i];
+                let pj = path.points[j];
+                let t0 = set.steps[i] as f64;
+                let dt = set.steps[j] as f64 - t0;
+                rows.add(
+                    vec![
+                        (p0[0] / nx) as f32,
+                        (p0[1] / ny) as f32,
+                        (p0[2] / nz) as f32,
+                        (((t0 - t_first) / t_span) as f32).clamp(0.0, 1.0),
+                        ((dt / t_span) as f32).clamp(0.0, 1.0),
+                    ],
+                    vec![
+                        (pj[0] / nx) as f32,
+                        (pj[1] / ny) as f32,
+                        (pj[2] / nz) as f32,
+                    ],
+                );
+                k *= 2;
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(TraceError::NotEnoughTrainingData {
+            usable_particles: usable,
+        });
+    }
+    obs::counter("trace.surrogate.rows", rows.len() as u64);
+
+    let mut net = Mlp::new(
+        &[5, params.hidden, 3],
+        Activation::Sigmoid,
+        Activation::Sigmoid,
+        params.seed,
+    )
+    .expect("surrogate layer sizes are non-zero");
+    let mut trainer = Trainer::new(TrainParams {
+        seed: params.seed,
+        ..TrainParams::default()
+    });
+    let losses = trainer.train(&mut net, &rows, params.epochs.max(1));
+
+    let surrogate = FlowMapSurrogate {
+        net,
+        dims: set.dims,
+        t_first,
+        t_span,
+    };
+
+    // Endpoint error on held-out seeds over the full completed span.
+    let measure = |idx_filter: &dyn Fn(usize) -> bool| {
+        let mut errs = Vec::new();
+        for (idx, path) in set.pathlines.iter().enumerate() {
+            if path.points.len() < 2 || path.ending != ParticleEnding::Completed || !idx_filter(idx)
+            {
+                continue;
+            }
+            let span = set.steps[path.points.len() - 1] as f64 - t_first;
+            let got = surrogate.predict(path.seed, t_first, span);
+            let want = path.endpoint();
+            let d = ((got[0] - want[0]).powi(2)
+                + (got[1] - want[1]).powi(2)
+                + (got[2] - want[2]).powi(2))
+            .sqrt();
+            errs.push(d);
+        }
+        errs
+    };
+    let held = measure(&holdout);
+    let holdout_particles = held.len();
+    let mut errors = if held.is_empty() {
+        measure(&|idx| !holdout(idx))
+    } else {
+        held
+    };
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_error = if errors.is_empty() {
+        f64::NAN
+    } else {
+        errors[errors.len() / 2]
+    };
+    let max_error = errors.last().copied().unwrap_or(f64::NAN);
+
+    Ok((
+        surrogate,
+        SurrogateReport {
+            training_rows: rows.len(),
+            train_particles,
+            holdout_particles,
+            median_error,
+            max_error,
+            final_loss: losses.last().copied().unwrap_or(f32::NAN),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advect::{advect, seed_grid, TraceParams};
+    use ifet_volume::{ScalarVolume, TimeSeries};
+
+    /// A gentle uniform drift: the flow map is linear in (seed, dt), well
+    /// inside what a small MLP fits.
+    fn drift_pathlines() -> PathlineSet {
+        let d = Dims3::cube(16);
+        let comp = |val: f32| {
+            TimeSeries::from_frames(
+                (0..9u32)
+                    .map(|k| (k * 2, ScalarVolume::filled(d, val)))
+                    .collect(),
+            )
+        };
+        let (u, v, w) = (comp(0.08), comp(-0.06), comp(0.04));
+        advect(&u, &v, &w, &seed_grid(d, 4), &TraceParams { rk4_dt: 1.0 }).unwrap()
+    }
+
+    #[test]
+    fn surrogate_learns_a_linear_flow_map() {
+        let paths = drift_pathlines();
+        let (_, report) = train_flow_map(
+            &paths,
+            &SurrogateParams {
+                epochs: 80,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.holdout_particles > 0);
+        assert!(report.training_rows > report.train_particles);
+        // A linear map on a 16³ grid: the MLP should land within a voxel.
+        assert!(
+            report.median_error < 1.0,
+            "median endpoint error {} voxels",
+            report.median_error
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let paths = drift_pathlines();
+        let p = SurrogateParams::default();
+        let (a, ra) = train_flow_map(&paths, &p).unwrap();
+        let (b, rb) = train_flow_map(&paths, &p).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            a.predict([3.0, 3.0, 3.0], 0.0, 16.0),
+            b.predict([3.0, 3.0, 3.0], 0.0, 16.0)
+        );
+    }
+
+    #[test]
+    fn empty_pathlines_fail_typed() {
+        let set = PathlineSet {
+            dims: Dims3::cube(4),
+            steps: vec![0, 1],
+            rk4_dt: 1.0,
+            pathlines: vec![],
+        };
+        assert!(matches!(
+            train_flow_map(&set, &SurrogateParams::default()),
+            Err(TraceError::NotEnoughTrainingData { .. })
+        ));
+    }
+}

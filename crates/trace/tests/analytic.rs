@@ -1,0 +1,177 @@
+//! Analytic ground truth for the RK4 advector.
+//!
+//! Uniquely among the repo's subsystems, particle tracing can be gated by
+//! *quantitative* closed-form solutions, not just self-consistency:
+//! `crates/sim/analytic.rs` provides velocity fields whose pathlines are
+//! known exactly.
+//!
+//! - **Uniform advection** is constant in space and time, so trilinear
+//!   sampling and RK4 are both exact — any endpoint deviation from the
+//!   closed-form line is pure floating-point noise.
+//! - **Rigid rotation** is *linear* in space (trilinear-exact) and steady
+//!   (time-lerp-exact), but genuinely curved in time, so the measured
+//!   endpoint error is the integrator's own O(dt⁴) truncation error — and
+//!   must shrink ~16× per dt halving.
+//!
+//! Plus the never-NaN / typed-ending property suite on the time-varying
+//! swirl field.
+
+use ifet_sim::analytic::{domain_center, rotation_pathline, uniform_pathline};
+use ifet_sim::flows::{flow_series, FlowKind};
+use ifet_trace::{advect, ParticleEnding, TraceParams};
+use ifet_volume::Dims3;
+use proptest::prelude::*;
+
+const DIM: usize = 32;
+/// Frame stride: large enough that sub-frame dt sweeps have room to halve.
+const STRIDE: u32 = 8;
+const FRAMES: usize = 5;
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+#[test]
+fn uniform_advection_matches_closed_form_to_roundoff() {
+    let vel = [0.22f32, 0.14, -0.08];
+    let f = flow_series(FlowKind::Uniform { vel }, Dims3::cube(DIM), FRAMES, STRIDE);
+    let seeds = [[4.0, 5.0, 20.0], [10.5, 12.25, 9.75]];
+    let set = advect(&f.u, &f.v, &f.w, &seeds, &TraceParams { rk4_dt: 0.5 }).unwrap();
+    let t_end = ((FRAMES - 1) as u32 * STRIDE) as f64;
+    for (i, p) in set.pathlines.iter().enumerate() {
+        assert_eq!(p.ending, ParticleEnding::Completed);
+        let want = uniform_pathline(seeds[i], vel, t_end);
+        let err = dist(p.endpoint(), want);
+        assert!(err < 1e-9, "seed {i}: endpoint off by {err}");
+        // Every intermediate frame point lies on the same line.
+        for (k, &pt) in p.points.iter().enumerate() {
+            let t = (set.steps[k] - set.steps[0]) as f64;
+            assert!(dist(pt, uniform_pathline(seeds[i], vel, t)) < 1e-9);
+        }
+    }
+}
+
+/// Endpoint error of one RK4 run on the rigid-rotation field.
+fn rotation_endpoint_error(dt: f64) -> f64 {
+    let omega = 0.15f32;
+    let d = Dims3::cube(DIM);
+    let f = flow_series(FlowKind::Rotation { omega }, d, FRAMES, STRIDE);
+    let c = domain_center(d);
+    let seed = [c[0] + 8.0, c[1], 8.0];
+    let set = advect(&f.u, &f.v, &f.w, &[seed], &TraceParams { rk4_dt: dt }).unwrap();
+    let p = &set.pathlines[0];
+    assert_eq!(p.ending, ParticleEnding::Completed, "dt={dt}");
+    let t_end = ((FRAMES - 1) as u32 * STRIDE) as f64;
+    dist(p.endpoint(), rotation_pathline(seed, c, omega, t_end))
+}
+
+#[test]
+fn rotation_error_shrinks_as_dt_to_the_fourth() {
+    // ω·T = 4.8 rad of arc at radius 8: enough curvature that truncation
+    // error dominates, while staying far above the f32-field noise floor.
+    let errs: Vec<f64> = [4.0, 2.0, 1.0]
+        .iter()
+        .map(|&dt| rotation_endpoint_error(dt))
+        .collect();
+    for w in errs.windows(2) {
+        let ratio = w[0] / w[1];
+        assert!(
+            ratio > 8.0,
+            "expected ~16x error drop per dt halving, got {ratio:.2}x ({errs:?})"
+        );
+    }
+    // And the absolute error at the finest dt is genuinely small.
+    assert!(errs[2] < 1e-3, "finest-dt error {} too large", errs[2]);
+    // Sanity: the coarsest error is measurable, so the ratios above are
+    // not comparing noise with noise.
+    assert!(
+        errs[0] > 1e-4,
+        "coarsest-dt error {} suspiciously small",
+        errs[0]
+    );
+}
+
+#[test]
+fn rotation_returns_to_start_after_full_turn() {
+    // A full 2π turn with steps chosen to land exactly: ω = 2π / T.
+    let d = Dims3::cube(DIM);
+    let t_total = ((FRAMES - 1) as u32 * STRIDE) as f64;
+    let omega = (2.0 * std::f64::consts::PI / t_total) as f32;
+    let f = flow_series(FlowKind::Rotation { omega }, d, FRAMES, STRIDE);
+    let c = domain_center(d);
+    let seed = [c[0] + 6.0, c[1] + 2.0, 10.0];
+    let set = advect(&f.u, &f.v, &f.w, &[seed], &TraceParams { rk4_dt: 0.25 }).unwrap();
+    let err = dist(set.pathlines[0].endpoint(), seed);
+    assert!(
+        err < 5e-3,
+        "after 2π the particle is {err} voxels from home"
+    );
+}
+
+/// Strategy: a seed strictly inside the `DIM³` domain.
+fn in_domain_seed() -> impl Strategy<Value = [f64; 3]> {
+    (any::<f64>(), any::<f64>(), any::<f64>()).prop_map(|(x, y, z)| {
+        let span = (DIM - 1) as f64;
+        [x * span, y * span, z * span]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// In-domain seeds on the (time-varying) swirl field never produce a
+    /// NaN/∞ position, whatever the dt.
+    #[test]
+    fn in_domain_seeds_never_go_non_finite(
+        seeds in proptest::collection::vec(in_domain_seed(), 1..12),
+        dt_frac in any::<f64>(),
+    ) {
+        let f = flow_series(
+            FlowKind::parse("swirl").unwrap(),
+            Dims3::cube(DIM),
+            FRAMES,
+            STRIDE,
+        );
+        let dt = 0.1 + dt_frac * 12.0;
+        let set = advect(&f.u, &f.v, &f.w, &seeds, &TraceParams { rk4_dt: dt }).unwrap();
+        for p in &set.pathlines {
+            prop_assert!(!matches!(p.ending, ParticleEnding::NonFinite { .. }));
+            for pt in &p.points {
+                prop_assert!(pt.iter().all(|c| c.is_finite()));
+            }
+        }
+    }
+
+    /// Out-of-domain *seeds* are refused with a typed error — and particles
+    /// that exit mid-flight get a typed ending, never a panic: an outward
+    /// uniform flow pushes every particle over the boundary eventually.
+    #[test]
+    fn domain_exits_are_typed_not_panics(
+        seed in in_domain_seed(),
+        out_axis in any::<u32>(),
+    ) {
+        let d = Dims3::cube(DIM);
+        let f = flow_series(
+            FlowKind::Uniform { vel: [1.4, 0.0, 0.0] },
+            d,
+            FRAMES,
+            STRIDE,
+        );
+        // A seed pushed outside along one axis is a typed TraceError.
+        let mut bad = seed;
+        bad[(out_axis % 3) as usize] = DIM as f64 + 3.5;
+        let err = advect(&f.u, &f.v, &f.w, &[bad], &TraceParams::default()).unwrap_err();
+        prop_assert!(matches!(err, ifet_trace::TraceError::SeedOutOfDomain { index: 0, .. }));
+
+        // The in-domain seed rides the outward flow (+1.4 x/step over 32
+        // steps crosses any 32-wide domain) and must end typed.
+        let set = advect(&f.u, &f.v, &f.w, &[seed], &TraceParams::default()).unwrap();
+        let p = &set.pathlines[0];
+        prop_assert!(matches!(p.ending, ParticleEnding::LeftDomain { .. }));
+        // The recorded prefix never leaves the domain.
+        for pt in &p.points {
+            prop_assert!(pt.iter().all(|c| c.is_finite()));
+            prop_assert!((0.0..=(DIM - 1) as f64).contains(&pt[0]));
+        }
+    }
+}

@@ -36,7 +36,9 @@ pub use events::{track_events, Event, EventKind, TrackReport};
 pub use multires::grow_4d_multires;
 pub use octree::FeatureOctree;
 pub use region_grow::{grow_4d, grow_4d_serial, GrowCheckpoint, GrowError, Grower, Seed4};
-pub use tracks::{extract_tracks, Track, TrackEnding, TrackSet};
+pub use tracks::{
+    extract_tracks, extract_tracks_from_parts, label_masks, Track, TrackEnding, TrackSet,
+};
 
 /// Version of this crate's serialized model types (criteria, checkpoints,
 /// reports) inside session artifacts. Bump on any breaking schema change.

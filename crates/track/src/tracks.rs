@@ -37,8 +37,10 @@ pub enum TrackEnding {
     Dissipated,
     /// The feature split; children carry on as new tracks.
     Split,
-    /// The feature merged into another track.
-    Merged,
+    /// The feature merged into another track — `into` names the track that
+    /// absorbed it, so a feature-seeded analysis (e.g. particles dropped in
+    /// a grown mask) can follow its source feature across the merge.
+    Merged { into: u32 },
 }
 
 impl Track {
@@ -85,20 +87,48 @@ impl TrackSet {
 
 /// Build persistent tracks from per-frame masks and the matching data frames
 /// (for attribute measurement). `masks.len()` must equal `frames.len()`.
+///
+/// Needs every frame resident at once; out-of-core callers should label and
+/// measure frame-by-frame themselves (e.g. through `map_frames_windowed`)
+/// and hand the parts to [`extract_tracks_from_parts`].
 pub fn extract_tracks(masks: &[Mask3], frames: &[&ScalarVolume]) -> TrackSet {
     assert_eq!(masks.len(), frames.len(), "masks/frames length mismatch");
     assert!(!masks.is_empty());
 
-    let labelings: Vec<ComponentLabels> = masks
-        .iter()
-        .map(|m| ComponentLabels::label(m, Connectivity::TwentySix))
-        .collect();
+    let labelings = label_masks(masks);
     let attrs: Vec<Vec<FeatureAttributes>> = labelings
         .iter()
         .zip(frames)
         .map(|(l, f)| FeatureAttributes::measure_all(l, f))
         .collect();
     let report = track_events(masks);
+    extract_tracks_from_parts(&labelings, &attrs, report)
+}
+
+/// Label every mask's connected components (26-connectivity) — the labeling
+/// side of [`extract_tracks`], split out so attribute measurement can page
+/// frames through a bounded window instead of holding them all.
+pub fn label_masks(masks: &[Mask3]) -> Vec<ComponentLabels> {
+    masks
+        .iter()
+        .map(|m| ComponentLabels::label(m, Connectivity::TwentySix))
+        .collect()
+}
+
+/// Stitch tracks from precomputed per-frame labelings, attribute tables, and
+/// the event report. `attrs[fi]` must be the `measure_all` result for
+/// `labelings[fi]`, and `report` the event report of the same mask sequence.
+pub fn extract_tracks_from_parts(
+    labelings: &[ComponentLabels],
+    attrs: &[Vec<FeatureAttributes>],
+    report: TrackReport,
+) -> TrackSet {
+    assert_eq!(
+        labelings.len(),
+        attrs.len(),
+        "labelings/attrs length mismatch"
+    );
+    assert!(!labelings.is_empty());
 
     // active[label-1] = track index currently carrying that component.
     let mut tracks: Vec<Track> = Vec::new();
@@ -116,7 +146,7 @@ pub fn extract_tracks(masks: &[Mask3], frames: &[&ScalarVolume]) -> TrackSet {
         });
     }
 
-    for fi in 0..masks.len() - 1 {
+    for fi in 0..labelings.len() - 1 {
         let next_count = labelings[fi + 1].count() as usize;
         let mut next_active: Vec<Option<usize>> = vec![None; next_count];
 
@@ -146,21 +176,31 @@ pub fn extract_tracks(masks: &[Mask3], frames: &[&ScalarVolume]) -> TrackSet {
                     }
                 }
                 EventKind::Merge => {
+                    // Resolve (or create) the absorbing track *first* so the
+                    // parents' endings can name it.
+                    let la = (e.after[0] - 1) as usize;
+                    let result_ti = match next_active[la] {
+                        Some(ti) => ti,
+                        None => {
+                            let ti = tracks.len();
+                            next_active[la] = Some(ti);
+                            tracks.push(Track {
+                                id: ti as u32,
+                                start_frame: fi + 1,
+                                attributes: vec![attrs[fi + 1][la].clone()],
+                                parent: None,
+                                ending: TrackEnding::SurvivesToEnd,
+                            });
+                            ti
+                        }
+                    };
+                    let into = tracks[result_ti].id;
                     for &before in &e.before {
                         if let Some(ti) = active[(before - 1) as usize] {
-                            tracks[ti].ending = TrackEnding::Merged;
+                            if ti != result_ti {
+                                tracks[ti].ending = TrackEnding::Merged { into };
+                            }
                         }
-                    }
-                    let la = (e.after[0] - 1) as usize;
-                    if next_active[la].is_none() {
-                        next_active[la] = Some(tracks.len());
-                        tracks.push(Track {
-                            id: tracks.len() as u32,
-                            start_frame: fi + 1,
-                            attributes: vec![attrs[fi + 1][la].clone()],
-                            parent: None,
-                            ending: TrackEnding::SurvivesToEnd,
-                        });
                     }
                 }
                 EventKind::Death => {
@@ -272,14 +312,20 @@ mod tests {
         let masks = vec![both, ball(d, (9.5, 10.0, 10.0), 5.0)];
         let v = flat(d);
         let set = extract_tracks(&masks, &[&v, &v]);
-        let merged = set
+        let merged: Vec<_> = set
             .tracks
             .iter()
-            .filter(|t| t.ending == TrackEnding::Merged)
-            .count();
-        assert_eq!(merged, 2);
+            .filter(|t| matches!(t.ending, TrackEnding::Merged { .. }))
+            .collect();
+        assert_eq!(merged.len(), 2);
         // Plus the merged result as a fresh track.
         assert_eq!(set.tracks.len(), 3);
+        // Both parents name the same absorbing track, and it exists and is
+        // not itself one of the parents.
+        let result_id = set.tracks[2].id;
+        for t in merged {
+            assert_eq!(t.ending, TrackEnding::Merged { into: result_id });
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum SeriesError {
     DimsMismatch { expected: Dims3, got: Dims3 },
     /// A series needs at least one frame.
     Empty,
+    /// Component series walked in lockstep disagree on their step
+    /// schedules (e.g. the u/v/w velocity components of one flow).
+    StepMismatch { component: usize },
     /// Paging a disk-backed frame failed.
     Io(IoError),
     /// A compressed frame failed to decode: corruption, truncation, or a
@@ -49,6 +52,12 @@ impl std::fmt::Display for SeriesError {
                 )
             }
             SeriesError::Empty => write!(f, "a series needs at least one frame"),
+            SeriesError::StepMismatch { component } => {
+                write!(
+                    f,
+                    "component series {component} disagrees with component 0 on step labels"
+                )
+            }
             SeriesError::Io(e) => write!(f, "frame paging failed: {e}"),
             SeriesError::Codec(e) => write!(f, "compressed frame rejected: {e}"),
         }

@@ -378,6 +378,76 @@ where
     Ok(())
 }
 
+/// Walk consecutive frame *pairs* of several component series in lockstep
+/// and in ascending time — the paging shape of Lagrangian advection, where
+/// integrating the interval `[tᵢ, tᵢ₊₁]` needs both bracketing frames of
+/// every velocity component resident at once.
+///
+/// For each interval `i` the callback receives the bracketing step labels
+/// and one frame handle per component for each end of the interval
+/// (`lo[k]`/`hi[k]` are component `k` at `tᵢ`/`tᵢ₊₁`). Intervals are visited
+/// strictly in order; before the callback runs, frame `i + 2` of every
+/// component is announced via [`FrameSource::prefetch_hint`] so a
+/// read-ahead-capable source overlaps the next page-in with this interval's
+/// compute. A paged component therefore never needs more than two resident
+/// frames (plus one in flight), and the walk order — hence any cache's
+/// hit/miss schedule — is independent of what the callback does.
+///
+/// All components must share one grid and step schedule; mismatches are a
+/// typed [`SeriesError`], not a panic. The callback's error type only needs
+/// `From<SeriesError>`, so domain layers can thread their own error through.
+pub fn walk_frame_pairs<S, E, F>(components: &[&S], mut f: F) -> Result<(), E>
+where
+    S: FrameSource + ?Sized,
+    E: From<SeriesError>,
+    F: FnMut(usize, (u32, &[FrameHandle<'_>]), (u32, &[FrameHandle<'_>])) -> Result<(), E>,
+{
+    let Some(first) = components.first() else {
+        return Ok(());
+    };
+    let dims = first.dims();
+    let steps = first.steps().to_vec();
+    for (k, c) in components.iter().enumerate().skip(1) {
+        if c.dims() != dims {
+            return Err(SeriesError::DimsMismatch {
+                expected: dims,
+                got: c.dims(),
+            }
+            .into());
+        }
+        if c.steps() != steps {
+            return Err(SeriesError::StepMismatch { component: k }.into());
+        }
+    }
+    if steps.len() < 2 {
+        return Err(SeriesError::Empty.into());
+    }
+    // Page the first frame of every component, then slide: the previous
+    // interval's `hi` handles become this interval's `lo`, so each frame is
+    // demanded exactly once per component no matter how many intervals
+    // reuse it.
+    let mut lo: Vec<FrameHandle<'_>> = components
+        .iter()
+        .map(|c| c.frame(0))
+        .collect::<Result<_, _>>()
+        .map_err(E::from)?;
+    for i in 0..steps.len() - 1 {
+        let hi: Vec<FrameHandle<'_>> = components
+            .iter()
+            .map(|c| c.frame(i + 1))
+            .collect::<Result<_, _>>()
+            .map_err(E::from)?;
+        if i + 2 < steps.len() {
+            for c in components {
+                c.prefetch_hint(&[i + 2]);
+            }
+        }
+        f(i, (steps[i], &lo), (steps[i + 1], &hi))?;
+        lo = hi;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +539,42 @@ mod tests {
         let pairs = map_frames_windowed(&s, |i, t, _| (i, t)).unwrap();
         let expect: Vec<(usize, u32)> = s.steps().iter().copied().enumerate().collect();
         assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn frame_pairs_walk_ascending_with_both_ends_resident() {
+        let s = series();
+        let mut seen = Vec::new();
+        walk_frame_pairs::<_, SeriesError, _>(&[&s, &s], |i, (t0, lo), (t1, hi)| {
+            assert_eq!(lo.len(), 2);
+            assert_eq!(hi.len(), 2);
+            seen.push((i, t0, t1, lo[0].as_slice()[0], hi[1].as_slice()[0]));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                (0, 3, 13, 0.0, 1.0),
+                (1, 13, 23, 1.0, 2.0),
+                (2, 23, 33, 2.0, 3.0),
+                (3, 33, 43, 3.0, 4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_pairs_reject_mismatched_components() {
+        let s = series();
+        let other = TimeSeries::from_frames(
+            (0..5u32)
+                .map(|k| (k, ScalarVolume::filled(Dims3::cube(4), 0.0)))
+                .collect(),
+        );
+        let r = walk_frame_pairs::<_, SeriesError, _>(&[&s, &other], |_, _, _| Ok(()));
+        assert!(matches!(r, Err(SeriesError::StepMismatch { component: 1 })));
+        let small = TimeSeries::from_frames(vec![(0, ScalarVolume::filled(Dims3::cube(3), 0.0))]);
+        let r = walk_frame_pairs::<_, SeriesError, _>(&[&s, &small], |_, _, _| Ok(()));
+        assert!(matches!(r, Err(SeriesError::DimsMismatch { .. })));
     }
 }

@@ -33,7 +33,19 @@ fn qg_inverse_cascade_yields_merge_events_and_tracks() {
         .map(|i| data.series.frame(i))
         .collect();
     let set = extract_tracks(&masks, &frames);
-    assert!(set.tracks.iter().any(|t| t.ending == TrackEnding::Merged));
+    // Every merged track names an absorbing track that actually exists.
+    let merged_into: Vec<u32> = set
+        .tracks
+        .iter()
+        .filter_map(|t| match t.ending {
+            TrackEnding::Merged { into } => Some(into),
+            _ => None,
+        })
+        .collect();
+    assert!(!merged_into.is_empty());
+    for into in merged_into {
+        assert!(set.tracks.iter().any(|t| t.id == into));
+    }
     assert!(set
         .tracks
         .iter()

@@ -443,3 +443,70 @@ fn chaos_byte_budgets_hold_in_compressed_units() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Particle-tracing chaos: the frame-pair walker drives three velocity
+// components through hostile schedules at once — per-component fault hooks
+// plus randomized read delays perturbing how the three caches interleave.
+// Pathline artifact bytes and the stable trace must match the clean in-core
+// run exactly; the injected faults surface only as `read_retries`.
+// ---------------------------------------------------------------------------
+
+mod trace_chaos {
+    use super::*;
+    use ifet_trace::{advect, pathlines_to_bytes, seed_grid, TraceParams};
+    use support::{flow_on_disk, FLOW_FRAMES};
+
+    fn traced<S: FrameSource>(u: &S, v: &S, w: &S) -> (Vec<u8>, String) {
+        let seeds = seed_grid(FrameSource::dims(u), 3);
+        let (set, trace) = obs::capture("chaos.trace", || {
+            advect(u, v, w, &seeds, &TraceParams { rk4_dt: 0.5 })
+        });
+        (
+            pathlines_to_bytes(&set.unwrap()),
+            trace.to_stable().to_json_pretty(),
+        )
+    }
+
+    #[test]
+    fn chaos_never_changes_pathline_bytes_or_stable_traces() {
+        let ([u, v, w], paths) = flow_on_disk("trace_chaos", false);
+        let (reference, ref_trace) = traced(&u, &v, &w);
+        for seed in [3u64, 11] {
+            for prefetch in [0usize, 2] {
+                let comps: Vec<OutOfCoreSeries> = paths
+                    .iter()
+                    .map(|p| open_with(p, CacheBudget::Frames(2), prefetch))
+                    .collect();
+                for (k, c) in comps.iter().enumerate() {
+                    // Distinct fault streams per component: the three caches
+                    // retry and recover on unrelated schedules.
+                    c.set_read_fault_hook(Some(chaos_hook(seed ^ ((k as u64) << 16), 2)));
+                }
+                let chaos: Vec<ChaosSource> = comps
+                    .iter()
+                    .enumerate()
+                    .map(|(k, c)| ChaosSource::new(c, seed ^ k as u64))
+                    .collect();
+                let (bytes, trace) = traced(&chaos[0], &chaos[1], &chaos[2]);
+                assert_eq!(
+                    bytes, reference,
+                    "pathline bytes diverged under chaos (seed {seed}, prefetch {prefetch})"
+                );
+                assert_eq!(
+                    trace, ref_trace,
+                    "stable trace diverged under chaos (seed {seed}, prefetch {prefetch})"
+                );
+                for (c, name) in comps.iter().zip(["u", "v", "w"]) {
+                    let st = c.stats();
+                    assert!(
+                        st.read_retries >= 2 * FLOW_FRAMES as u64,
+                        "{name}: injected faults must surface as retries, got {}",
+                        st.read_retries
+                    );
+                    assert!(st.resident_high_water <= 2, "{name} over budget");
+                }
+            }
+        }
+    }
+}

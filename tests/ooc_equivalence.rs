@@ -582,3 +582,83 @@ fn compressed_byte_budget_admits_more_frames_than_raw() {
         "raw frames charge full size: the same budget holds exactly one"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Particle tracing: RK4 pathline advection walks consecutive frame *pairs*
+// of three velocity-component series in lockstep, each component behind its
+// own cache. The serialized pathline artifact bytes must be identical to the
+// in-core run at every capacity, for every storage flavor, and across thread
+// counts — and the per-component residency bound must hold even though the
+// walker pins a frame pair per component.
+// ---------------------------------------------------------------------------
+
+mod trace {
+    use super::*;
+    use ifet_trace::{advect, pathlines_to_bytes, seed_grid, TraceParams};
+    use support::{flow_on_disk, FLOW_FRAMES};
+
+    fn advect_bytes<S: FrameSource>(u: &S, v: &S, w: &S) -> Vec<u8> {
+        let seeds = seed_grid(FrameSource::dims(u), 3);
+        let set = advect(u, v, w, &seeds, &TraceParams { rk4_dt: 0.5 }).unwrap();
+        pathlines_to_bytes(&set)
+    }
+
+    #[test]
+    fn pathline_bytes_identical_at_every_capacity_and_flavor() {
+        let ([u, v, w], raw_paths) = flow_on_disk("trace_eq_raw", false);
+        let (_, z_paths) = flow_on_disk("trace_eq_z", true);
+        let reference = advect_bytes(&u, &v, &w);
+
+        for cap in [1usize, 2, FLOW_FRAMES] {
+            for flavor in FLAVORS {
+                let paths = match flavor {
+                    Flavor::Compressed => &z_paths,
+                    _ => &raw_paths,
+                };
+                let comps: Vec<OutOfCoreSeries> = paths
+                    .iter()
+                    .map(|p| open_flavor(p, flavor, CacheBudget::Frames(cap), 0))
+                    .collect();
+                let got = advect_bytes(&comps[0], &comps[1], &comps[2]);
+                assert_eq!(
+                    got, reference,
+                    "pathline bytes diverged ({flavor:?}, capacity {cap})"
+                );
+                for (c, name) in comps.iter().zip(["u", "v", "w"]) {
+                    assert!(
+                        c.stats().resident_high_water <= cap,
+                        "{name} high-water {} exceeds capacity {cap} ({flavor:?})",
+                        c.stats().resident_high_water
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pathline_bytes_identical_across_thread_counts_and_prefetch() {
+        let ([u, v, w], paths) = flow_on_disk("trace_eq_threads", false);
+        let reference = advect_bytes(&u, &v, &w);
+        for threads in [1usize, 2, 4] {
+            let got = pipeline::pool_with_threads(threads).install(|| advect_bytes(&u, &v, &w));
+            assert_eq!(
+                got, reference,
+                "pathline bytes diverged at {threads} threads"
+            );
+            // And the paged path at the same thread count, with read-ahead.
+            let comps: Vec<OutOfCoreSeries> = paths
+                .iter()
+                .map(|p| open_flavor(p, Flavor::Raw, CacheBudget::Frames(2), 2))
+                .collect();
+            let got = pipeline::pool_with_threads(threads)
+                .install(|| advect_bytes(&comps[0], &comps[1], &comps[2]));
+            assert_eq!(
+                got, reference,
+                "paged pathline bytes diverged at {threads} threads"
+            );
+            for c in &comps {
+                assert!(c.stats().resident_high_water <= 2);
+            }
+        }
+    }
+}

@@ -82,6 +82,35 @@ pub fn on_disk_as(tag: &str, prefix: &str, compressed: bool) -> (TimeSeries, Vec
     (s, paths)
 }
 
+/// Frames per velocity component in the flow fixture.
+pub const FLOW_FRAMES: usize = 6;
+/// Cube edge of the flow fixture.
+pub const FLOW_DIM: usize = 16;
+/// Step labels of the flow fixture are `2 * frame_index`.
+pub const FLOW_STRIDE: u32 = 2;
+
+/// The decaying-swirl velocity fixture written to disk as its three scalar
+/// component series (u, v, w); returns the in-core components and their
+/// frame paths. Time-varying, so frame-pair interpolation does real work.
+pub fn flow_on_disk(tag: &str, compressed: bool) -> ([TimeSeries; 3], [Vec<PathBuf>; 3]) {
+    let f = ifet_sim::flows::flow_series(
+        ifet_sim::flows::FlowKind::parse("swirl").unwrap(),
+        Dims3::cube(FLOW_DIM),
+        FLOW_FRAMES,
+        FLOW_STRIDE,
+    );
+    let dir = temp_dir(tag);
+    let write = |name: &str, s: &TimeSeries| {
+        ifet_volume::io::write_series_with(&dir, name, s, compressed).unwrap()
+    };
+    let paths = [
+        write("fl_u", &f.u),
+        write("fl_v", &f.v),
+        write("fl_w", &f.w),
+    ];
+    ([f.u, f.v, f.w], paths)
+}
+
 /// splitmix64 finalizer: deterministic pseudo-randomness without any
 /// wall-clock or RNG dependence, so every randomized schedule is
 /// replayable from its seed.
